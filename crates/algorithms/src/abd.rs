@@ -1,0 +1,400 @@
+//! The Attiya–Bar-Noy–Dolev (ABD) replication algorithm \[3\], in its
+//! multi-writer multi-reader form.
+//!
+//! * **Write**: query a majority for the highest tag; pick the successor
+//!   tag; store `(tag, value)` at a majority.
+//! * **Read**: query a majority for the highest `(tag, value)`; write that
+//!   pair back to a majority; return the value.
+//!
+//! Servers hold exactly one `(tag, value)` pair, so per-server storage is
+//! `log2|V|` bits of value plus `o(log|V|)` of tag metadata — the
+//! replication cost the paper's Figure 1 plots as `f + 1` (on a minimal
+//! replica set) and that Theorem 6.5 shows is optimal once the number of
+//! active writes reaches `f + 1`.
+//!
+//! ABD sends no server-to-server messages, so it is a member of the
+//! Theorem 4.1 (no-gossip) algorithm class.
+
+use crate::reg::{RegInv, RegResp};
+use crate::tag::Tag;
+use crate::value::{Value, ValueSpec};
+use shmem_sim::{hash_of, Ctx, Node, NodeId, Protocol};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Protocol marker for ABD.
+pub struct Abd;
+
+impl Protocol for Abd {
+    type Msg = AbdMsg;
+    type Inv = RegInv;
+    type Resp = RegResp;
+    type Server = AbdServer;
+    type Client = AbdClient;
+}
+
+/// ABD wire messages. `rid` is a per-client phase nonce; stale responses
+/// are discarded by nonce mismatch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AbdMsg {
+    /// Phase 1: ask a server for its current `(tag, value)`.
+    Query {
+        /// Phase nonce.
+        rid: u64,
+    },
+    /// Server's phase-1 reply.
+    QueryResp {
+        /// Echoed nonce.
+        rid: u64,
+        /// The server's current tag.
+        tag: Tag,
+        /// The server's current value.
+        value: Value,
+    },
+    /// Phase 2: store `(tag, value)` (write propagation or read
+    /// write-back).
+    Store {
+        /// Phase nonce.
+        rid: u64,
+        /// Tag to store.
+        tag: Tag,
+        /// Value to store.
+        value: Value,
+    },
+    /// Server's phase-2 acknowledgement.
+    StoreAck {
+        /// Echoed nonce.
+        rid: u64,
+    },
+}
+
+/// Whether an ABD message is *value-dependent* in the sense of the paper's
+/// Definition 6.4: its content depends on the value being written. Only
+/// `Store` carries the value; queries and acks are metadata. ABD writes
+/// send value-dependent messages in exactly one phase (the second), so ABD
+/// satisfies Assumption 3.
+pub fn is_value_dependent(msg: &AbdMsg) -> bool {
+    matches!(
+        msg,
+        AbdMsg::Store { .. } | AbdMsg::QueryResp { .. } // responses echo the stored value
+    )
+}
+
+/// Value-dependence restricted to client-to-server traffic (what the
+/// Section 6 construction withholds): only `Store`.
+pub fn is_value_dependent_upstream(msg: &AbdMsg) -> bool {
+    matches!(msg, AbdMsg::Store { .. })
+}
+
+/// An ABD server: stores the highest-tagged `(tag, value)` pair seen.
+#[derive(Clone, Debug)]
+pub struct AbdServer {
+    tag: Tag,
+    value: Value,
+    spec: ValueSpec,
+}
+
+impl AbdServer {
+    /// A server initialized to the register's initial value.
+    pub fn new(initial: Value, spec: ValueSpec) -> AbdServer {
+        AbdServer {
+            tag: Tag::ZERO,
+            value: initial,
+            spec,
+        }
+    }
+
+    /// The currently stored tag (white-box access for audits).
+    pub fn tag(&self) -> Tag {
+        self.tag
+    }
+
+    /// The currently stored value.
+    pub fn value(&self) -> Value {
+        self.value
+    }
+}
+
+impl<P> Node<P> for AbdServer
+where
+    P: Protocol<Msg = AbdMsg, Inv = RegInv, Resp = RegResp>,
+{
+    fn on_message(&mut self, from: NodeId, msg: AbdMsg, ctx: &mut Ctx<P>) {
+        match msg {
+            AbdMsg::Query { rid } => ctx.send(
+                from,
+                AbdMsg::QueryResp {
+                    rid,
+                    tag: self.tag,
+                    value: self.value,
+                },
+            ),
+            AbdMsg::Store { rid, tag, value } => {
+                if tag > self.tag {
+                    self.tag = tag;
+                    self.value = value;
+                }
+                ctx.send(from, AbdMsg::StoreAck { rid });
+            }
+            AbdMsg::QueryResp { .. } | AbdMsg::StoreAck { .. } => {
+                // Servers never receive responses; tolerate and ignore.
+            }
+        }
+    }
+
+    fn state_bits(&self) -> f64 {
+        // One value of the domain: log2 |V| bits.
+        self.spec.bits
+    }
+
+    fn metadata_bits(&self) -> f64 {
+        Tag::BITS
+    }
+
+    fn digest(&self) -> u64 {
+        hash_of(&(self.tag, self.value))
+    }
+}
+
+/// Which phase an ABD client is in.
+#[derive(Clone, Debug)]
+enum Phase {
+    Idle,
+    Query {
+        op: RegInv,
+        responses: BTreeMap<u32, (Tag, Value)>,
+    },
+    Store {
+        acks: BTreeSet<u32>,
+        reply: RegResp,
+    },
+}
+
+/// An ABD client; acts as writer or reader depending on the invocation.
+#[derive(Clone, Debug)]
+pub struct AbdClient {
+    n: u32,
+    majority: u32,
+    me: u32,
+    rid: u64,
+    phase: Phase,
+}
+
+impl AbdClient {
+    /// A client for an `n`-server cluster. `me` is the client's id, used to
+    /// break tag ties between concurrent writers.
+    pub fn new(n: u32, me: u32) -> AbdClient {
+        AbdClient {
+            n,
+            majority: n / 2 + 1,
+            me,
+            rid: 0,
+            phase: Phase::Idle,
+        }
+    }
+}
+
+impl<P> Node<P> for AbdClient
+where
+    P: Protocol<Msg = AbdMsg, Inv = RegInv, Resp = RegResp>,
+{
+    fn on_invoke(&mut self, inv: RegInv, ctx: &mut Ctx<P>) {
+        assert!(
+            matches!(self.phase, Phase::Idle),
+            "client invoked while an operation is in flight"
+        );
+        self.rid += 1;
+        self.phase = Phase::Query {
+            op: inv,
+            responses: BTreeMap::new(),
+        };
+        ctx.broadcast_to_servers(self.n, AbdMsg::Query { rid: self.rid });
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: AbdMsg, ctx: &mut Ctx<P>) {
+        let server = match from.as_server() {
+            Some(s) => s.0,
+            None => return, // clients only talk to servers
+        };
+        match (&mut self.phase, msg) {
+            (Phase::Query { op, responses }, AbdMsg::QueryResp { rid, tag, value })
+                if rid == self.rid =>
+            {
+                responses.insert(server, (tag, value));
+                if responses.len() as u32 == self.majority {
+                    let (&max_tag, &max_value) = responses
+                        .iter()
+                        .map(|(_, (t, v))| (t, v))
+                        .max_by_key(|(t, _)| **t)
+                        .expect("majority is nonempty");
+                    let (tag, value, reply) = match *op {
+                        RegInv::Write(v) => {
+                            (max_tag.successor(self.me), v, RegResp::WriteAck)
+                        }
+                        RegInv::Read => (max_tag, max_value, RegResp::ReadValue(max_value)),
+                    };
+                    self.rid += 1;
+                    self.phase = Phase::Store {
+                        acks: BTreeSet::new(),
+                        reply,
+                    };
+                    ctx.broadcast_to_servers(
+                        self.n,
+                        AbdMsg::Store {
+                            rid: self.rid,
+                            tag,
+                            value,
+                        },
+                    );
+                }
+            }
+            (Phase::Store { acks, reply }, AbdMsg::StoreAck { rid }) if rid == self.rid => {
+                acks.insert(server);
+                if acks.len() as u32 == self.majority {
+                    let reply = *reply;
+                    self.phase = Phase::Idle;
+                    self.rid += 1;
+                    ctx.respond(reply);
+                }
+            }
+            _ => {} // stale or out-of-phase message
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        let phase_tag = match &self.phase {
+            Phase::Idle => 0u8,
+            Phase::Query { .. } => 1,
+            Phase::Store { .. } => 2,
+        };
+        hash_of(&(self.me, self.rid, phase_tag, format!("{:?}", self.phase)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmem_sim::{ClientId, ServerId, Sim, SimConfig};
+
+    fn cluster(n: u32, clients: u32) -> Sim<Abd> {
+        let spec = ValueSpec::from_bits(64.0);
+        Sim::new(
+            SimConfig::without_gossip(),
+            (0..n).map(|_| AbdServer::new(0, spec)).collect(),
+            (0..clients).map(|c| AbdClient::new(n, c)).collect(),
+        )
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut sim = cluster(5, 2);
+        sim.invoke(ClientId(0), RegInv::Write(42)).unwrap();
+        assert_eq!(
+            sim.run_until_op_completes(ClientId(0)).unwrap(),
+            RegResp::WriteAck
+        );
+        sim.invoke(ClientId(1), RegInv::Read).unwrap();
+        assert_eq!(
+            sim.run_until_op_completes(ClientId(1)).unwrap(),
+            RegResp::ReadValue(42)
+        );
+    }
+
+    #[test]
+    fn read_of_initial_value() {
+        let mut sim = cluster(3, 1);
+        sim.invoke(ClientId(0), RegInv::Read).unwrap();
+        assert_eq!(
+            sim.run_until_op_completes(ClientId(0)).unwrap(),
+            RegResp::ReadValue(0)
+        );
+    }
+
+    #[test]
+    fn tolerates_minority_failures() {
+        let mut sim = cluster(5, 2);
+        sim.fail_last_servers(2);
+        sim.invoke(ClientId(0), RegInv::Write(7)).unwrap();
+        sim.run_until_op_completes(ClientId(0)).unwrap();
+        sim.invoke(ClientId(1), RegInv::Read).unwrap();
+        assert_eq!(
+            sim.run_until_op_completes(ClientId(1)).unwrap(),
+            RegResp::ReadValue(7)
+        );
+    }
+
+    #[test]
+    fn stuck_under_majority_failures() {
+        let mut sim = cluster(5, 1);
+        sim.fail_last_servers(3);
+        sim.invoke(ClientId(0), RegInv::Write(7)).unwrap();
+        assert!(sim.run_until_op_completes(ClientId(0)).is_err());
+    }
+
+    #[test]
+    fn sequential_writes_monotone_tags() {
+        let mut sim = cluster(3, 1);
+        for v in 1..=4 {
+            sim.invoke(ClientId(0), RegInv::Write(v)).unwrap();
+            sim.run_until_op_completes(ClientId(0)).unwrap();
+        }
+        let t = sim.server(ServerId(0)).tag();
+        assert_eq!(t.seq, 4);
+        assert_eq!(sim.server(ServerId(0)).value(), 4);
+    }
+
+    #[test]
+    fn storage_is_one_value_per_server() {
+        let mut sim = cluster(5, 1);
+        sim.invoke(ClientId(0), RegInv::Write(9)).unwrap();
+        sim.run_until_op_completes(ClientId(0)).unwrap();
+        let snap = sim.storage();
+        assert_eq!(snap.per_server_peak_bits, vec![64.0; 5]);
+        assert_eq!(snap.peak_total_bits, 5.0 * 64.0);
+    }
+
+    #[test]
+    fn read_write_back_propagates() {
+        // A read that observes a value from a partially-propagated write
+        // writes it back to a majority, making it stable.
+        let mut sim = cluster(3, 3);
+        sim.invoke(ClientId(0), RegInv::Write(5)).unwrap();
+        // Deliver the write's query round fully, then its store to server 0
+        // only; then freeze the writer mid-write.
+        for s in 0..3 {
+            sim.deliver_one(NodeId::client(0), NodeId::server(s)).unwrap();
+            sim.deliver_one(NodeId::server(s), NodeId::client(0)).unwrap();
+        }
+        sim.deliver_one(NodeId::client(0), NodeId::server(0)).unwrap();
+        sim.freeze(NodeId::client(0));
+        // A read must find v=5 (server 0) and write it back before
+        // returning; a subsequent read then also returns 5 (atomicity).
+        sim.invoke(ClientId(1), RegInv::Read).unwrap();
+        let r1 = sim.run_until_op_completes(ClientId(1)).unwrap();
+        if r1 == RegResp::ReadValue(5) {
+            sim.invoke(ClientId(2), RegInv::Read).unwrap();
+            assert_eq!(
+                sim.run_until_op_completes(ClientId(2)).unwrap(),
+                RegResp::ReadValue(5)
+            );
+        } else {
+            // The read legitimately missed the in-flight write.
+            assert_eq!(r1, RegResp::ReadValue(0));
+        }
+    }
+
+    #[test]
+    fn stale_responses_ignored() {
+        // Drive a client through overlapping phases and ensure rid
+        // filtering keeps it consistent: the client must still finish.
+        let mut sim = cluster(5, 1);
+        sim.invoke(ClientId(0), RegInv::Write(3)).unwrap();
+        sim.run_until_op_completes(ClientId(0)).unwrap();
+        // Leftover messages (acks beyond majority) get delivered now.
+        sim.run_to_quiescence().unwrap();
+        sim.invoke(ClientId(0), RegInv::Read).unwrap();
+        assert_eq!(
+            sim.run_until_op_completes(ClientId(0)).unwrap(),
+            RegResp::ReadValue(3)
+        );
+    }
+}

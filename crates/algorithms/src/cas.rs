@@ -1,0 +1,645 @@
+//! Coded Atomic Storage (CAS) \[5, 6\] and its garbage-collected variant
+//! CASGC.
+//!
+//! CAS replaces ABD's full-value replication with Reed–Solomon codeword
+//! symbols: for an `[N, k]` code with `k ≤ N − 2f`, every quorum of
+//! `q = ⌈(N+k)/2⌉` servers intersects every other in at least `k` servers,
+//! so a reader that locates a finalized tag is guaranteed to find `k`
+//! symbols of it.
+//!
+//! * **Write**: query `q` servers for the highest finalized tag; pick the
+//!   successor; send each server its codeword symbol (*pre-write*); after
+//!   `q` pre-acks, send a *finalize* label; after `q` fin-acks, return.
+//! * **Read**: query `q` servers for the highest finalized tag `t*`;
+//!   request symbols of `t*` (servers record the fin label as they answer —
+//!   the read's write-back); decode once `k` symbols arrive and `q` servers
+//!   have answered.
+//!
+//! Servers accumulate one symbol of `log2|V|/k` bits per concurrent
+//! version — the `ν·N/k` storage the paper's Section 2.3 discusses. With
+//! [`CasConfig::gc_depth`] `= δ` (CASGC), only the `δ + 1` newest finalized
+//! versions are retained, capping storage at the price of conditional
+//! liveness (reads are guaranteed only while write concurrency is `≤ δ`).
+
+use crate::reg::{RegInv, RegResp};
+use crate::tag::Tag;
+use crate::value::{Value, ValueSpec};
+use shmem_erasure::{Gf256, ReedSolomon};
+use shmem_sim::{hash_of, Ctx, Node, NodeId, Protocol, ServerId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Protocol marker for CAS/CASGC.
+pub struct Cas;
+
+impl Protocol for Cas {
+    type Msg = CasMsg;
+    type Inv = RegInv;
+    type Resp = RegResp;
+    type Server = CasServer;
+    type Client = CasClient;
+}
+
+/// Static CAS parameters shared by servers and clients.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CasConfig {
+    /// Number of servers.
+    pub n: u32,
+    /// Failure tolerance.
+    pub f: u32,
+    /// Code dimension `k` (symbols needed to decode), `1 ≤ k ≤ N − 2f`.
+    pub k: u32,
+    /// CASGC garbage-collection depth `δ`: keep the `δ + 1` newest
+    /// finalized versions. `None` = plain CAS (no GC).
+    pub gc_depth: Option<u32>,
+    /// The value domain, for storage accounting.
+    pub spec: ValueSpec,
+}
+
+impl CasConfig {
+    /// Validated constructor with the native dimension `k = N − 2f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2f < N` (CAS requires a failure minority).
+    pub fn native(n: u32, f: u32, spec: ValueSpec) -> CasConfig {
+        assert!(2 * f < n, "CAS requires 2f < N, got N={n}, f={f}");
+        CasConfig {
+            n,
+            f,
+            k: n - 2 * f,
+            gc_depth: None,
+            spec,
+        }
+    }
+
+    /// Overrides the code dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ k ≤ N − 2f`.
+    pub fn with_k(mut self, k: u32) -> CasConfig {
+        assert!(
+            k >= 1 && k + 2 * self.f <= self.n,
+            "CAS needs 1 <= k <= N - 2f"
+        );
+        self.k = k;
+        self
+    }
+
+    /// Enables CASGC with depth `delta`.
+    pub fn with_gc(mut self, delta: u32) -> CasConfig {
+        self.gc_depth = Some(delta);
+        self
+    }
+
+    /// The quorum size `q = ⌈(N + k)/2⌉`.
+    pub fn quorum(&self) -> u32 {
+        (self.n + self.k).div_ceil(2)
+    }
+
+    /// The `[N, k]` Reed–Solomon code this configuration uses.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for a validated configuration.
+    pub fn code(&self) -> ReedSolomon<Gf256> {
+        ReedSolomon::new(self.n as usize, self.k as usize)
+            .expect("validated CAS parameters form a legal code")
+    }
+
+    /// Bits one codeword symbol carries: `log2|V| / k`.
+    pub fn symbol_bits(&self) -> f64 {
+        self.spec.bits / self.k as f64
+    }
+}
+
+/// CAS wire messages. `rid` is a per-client phase nonce.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CasMsg {
+    /// Ask for the server's highest *finalized* tag.
+    QueryTag {
+        /// Phase nonce.
+        rid: u64,
+    },
+    /// Reply to [`CasMsg::QueryTag`].
+    QueryTagResp {
+        /// Echoed nonce.
+        rid: u64,
+        /// Highest finalized tag at the server.
+        tag: Tag,
+    },
+    /// Store one codeword symbol for `tag` (value-dependent message).
+    PreWrite {
+        /// Phase nonce.
+        rid: u64,
+        /// The version being written.
+        tag: Tag,
+        /// This server's codeword symbol.
+        share: Vec<u8>,
+    },
+    /// Acknowledge a pre-write.
+    PreAck {
+        /// Echoed nonce.
+        rid: u64,
+    },
+    /// Mark `tag` finalized (metadata-only message).
+    Finalize {
+        /// Phase nonce.
+        rid: u64,
+        /// The version to finalize.
+        tag: Tag,
+    },
+    /// Acknowledge a finalize.
+    FinAck {
+        /// Echoed nonce.
+        rid: u64,
+    },
+    /// Read request: finalize `tag` and return its symbol if held.
+    ReadGet {
+        /// Phase nonce.
+        rid: u64,
+        /// The version the reader is assembling.
+        tag: Tag,
+    },
+    /// Reply to [`CasMsg::ReadGet`].
+    ReadResp {
+        /// Echoed nonce.
+        rid: u64,
+        /// This server's symbol for the tag, if it holds one.
+        share: Option<Vec<u8>>,
+    },
+}
+
+/// Whether a CAS message is *value-dependent* (Definition 6.4). Only the
+/// pre-write carries codeword symbols upstream; queries, finalize labels
+/// and acks are metadata. CAS writes send value-dependent messages in
+/// exactly one phase (the pre-write), so CAS satisfies Assumption 3 — this
+/// is why Theorem 6.5's bound applies to it.
+pub fn is_value_dependent(msg: &CasMsg) -> bool {
+    matches!(msg, CasMsg::PreWrite { .. } | CasMsg::ReadResp { .. })
+}
+
+/// Value-dependence restricted to client-to-server traffic (what the
+/// Section 6 construction withholds): only `PreWrite`.
+pub fn is_value_dependent_upstream(msg: &CasMsg) -> bool {
+    matches!(msg, CasMsg::PreWrite { .. })
+}
+
+/// A CAS server: a store of `(tag → symbol)` plus finalize labels.
+#[derive(Clone, Debug)]
+pub struct CasServer {
+    cfg: CasConfig,
+    shares: BTreeMap<Tag, Vec<u8>>,
+    finalized: BTreeSet<Tag>,
+}
+
+impl CasServer {
+    /// Server `index` of a cluster, initialized with its symbol of the
+    /// register's initial value under tag [`Tag::ZERO`] (finalized).
+    pub fn new(cfg: CasConfig, index: ServerId, initial: Value) -> CasServer {
+        let shares = cfg.code().encode_bytes(&ValueSpec::to_bytes(initial));
+        let mut map = BTreeMap::new();
+        map.insert(Tag::ZERO, shares[index.0 as usize].clone());
+        CasServer {
+            cfg,
+            shares: map,
+            finalized: [Tag::ZERO].into(),
+        }
+    }
+
+    /// Number of coded versions currently held.
+    pub fn versions_held(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// Highest finalized tag.
+    pub fn max_finalized(&self) -> Tag {
+        self.finalized.iter().next_back().copied().unwrap_or(Tag::ZERO)
+    }
+
+    fn garbage_collect(&mut self) {
+        let Some(delta) = self.cfg.gc_depth else {
+            return;
+        };
+        // Keep symbols for the δ+1 newest finalized tags and anything newer
+        // (still-unfinalized in-flight versions).
+        let keep_from = self
+            .finalized
+            .iter()
+            .rev()
+            .nth(delta as usize)
+            .copied();
+        if let Some(cutoff) = keep_from {
+            self.shares.retain(|&t, _| t >= cutoff);
+        }
+    }
+}
+
+impl Node<Cas> for CasServer {
+    fn on_message(&mut self, from: NodeId, msg: CasMsg, ctx: &mut Ctx<Cas>) {
+        match msg {
+            CasMsg::QueryTag { rid } => ctx.send(
+                from,
+                CasMsg::QueryTagResp {
+                    rid,
+                    tag: self.max_finalized(),
+                },
+            ),
+            CasMsg::PreWrite { rid, tag, share } => {
+                self.shares.entry(tag).or_insert(share);
+                self.garbage_collect();
+                ctx.send(from, CasMsg::PreAck { rid });
+            }
+            CasMsg::Finalize { rid, tag } => {
+                self.finalized.insert(tag);
+                self.garbage_collect();
+                ctx.send(from, CasMsg::FinAck { rid });
+            }
+            CasMsg::ReadGet { rid, tag } => {
+                // The read's write-back: answering the request finalizes
+                // the tag at this server.
+                self.finalized.insert(tag);
+                self.garbage_collect();
+                ctx.send(
+                    from,
+                    CasMsg::ReadResp {
+                        rid,
+                        share: self.shares.get(&tag).cloned(),
+                    },
+                );
+            }
+            CasMsg::QueryTagResp { .. }
+            | CasMsg::PreAck { .. }
+            | CasMsg::FinAck { .. }
+            | CasMsg::ReadResp { .. } => {}
+        }
+    }
+
+    fn state_bits(&self) -> f64 {
+        // Each retained version costs one codeword symbol: log2|V| / k.
+        self.shares.len() as f64 * self.cfg.symbol_bits()
+    }
+
+    fn metadata_bits(&self) -> f64 {
+        (self.shares.len() + self.finalized.len()) as f64 * Tag::BITS
+    }
+
+    fn digest(&self) -> u64 {
+        hash_of(&(&self.shares, &self.finalized))
+    }
+}
+
+/// Which phase a CAS client is in.
+#[derive(Clone, Debug)]
+enum Phase {
+    Idle,
+    /// Writer querying for the highest finalized tag.
+    WriteQuery {
+        value: Value,
+        tags: BTreeMap<u32, Tag>,
+    },
+    /// Writer waiting for pre-write acks.
+    PreWrite {
+        tag: Tag,
+        acks: BTreeSet<u32>,
+    },
+    /// Writer waiting for finalize acks.
+    Finalize {
+        acks: BTreeSet<u32>,
+    },
+    /// Reader querying for the highest finalized tag.
+    ReadQuery {
+        tags: BTreeMap<u32, Tag>,
+        retries: u32,
+    },
+    /// Reader assembling symbols of `tag`.
+    ReadGet {
+        tag: Tag,
+        responses: BTreeSet<u32>,
+        shares: BTreeMap<u32, Vec<u8>>,
+        retries: u32,
+    },
+}
+
+/// A CAS client; acts as writer or reader depending on the invocation.
+#[derive(Clone, Debug)]
+pub struct CasClient {
+    cfg: CasConfig,
+    me: u32,
+    rid: u64,
+    phase: Phase,
+}
+
+impl CasClient {
+    /// Maximum read restarts before the client gives up (a read can race
+    /// CASGC garbage collection; CASGC liveness is conditional).
+    pub const MAX_READ_RETRIES: u32 = 64;
+
+    /// A client for the given cluster configuration; `me` is the client id
+    /// used for tag tie-breaks.
+    pub fn new(cfg: CasConfig, me: u32) -> CasClient {
+        CasClient {
+            cfg,
+            me,
+            rid: 0,
+            phase: Phase::Idle,
+        }
+    }
+
+    fn begin_read_query(&mut self, retries: u32, ctx: &mut Ctx<Cas>) {
+        self.rid += 1;
+        self.phase = Phase::ReadQuery {
+            tags: BTreeMap::new(),
+            retries,
+        };
+        ctx.broadcast_to_servers(self.cfg.n, CasMsg::QueryTag { rid: self.rid });
+    }
+}
+
+impl Node<Cas> for CasClient {
+    fn on_invoke(&mut self, inv: RegInv, ctx: &mut Ctx<Cas>) {
+        assert!(
+            matches!(self.phase, Phase::Idle),
+            "client invoked while an operation is in flight"
+        );
+        match inv {
+            RegInv::Write(value) => {
+                self.rid += 1;
+                self.phase = Phase::WriteQuery {
+                    value,
+                    tags: BTreeMap::new(),
+                };
+                ctx.broadcast_to_servers(self.cfg.n, CasMsg::QueryTag { rid: self.rid });
+            }
+            RegInv::Read => self.begin_read_query(0, ctx),
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: CasMsg, ctx: &mut Ctx<Cas>) {
+        let server = match from.as_server() {
+            Some(s) => s.0,
+            None => return,
+        };
+        let q = self.cfg.quorum();
+        match (&mut self.phase, msg) {
+            (Phase::WriteQuery { value, tags }, CasMsg::QueryTagResp { rid, tag })
+                if rid == self.rid =>
+            {
+                tags.insert(server, tag);
+                if tags.len() as u32 == q {
+                    let max = tags.values().max().copied().unwrap_or(Tag::ZERO);
+                    let tag = max.successor(self.me);
+                    let value = *value;
+                    let shares = self
+                        .cfg
+                        .code()
+                        .encode_bytes(&ValueSpec::to_bytes(value));
+                    self.rid += 1;
+                    for (i, share) in shares.into_iter().enumerate() {
+                        ctx.send(
+                            NodeId::server(i as u32),
+                            CasMsg::PreWrite {
+                                rid: self.rid,
+                                tag,
+                                share,
+                            },
+                        );
+                    }
+                    self.phase = Phase::PreWrite {
+                        tag,
+                        acks: BTreeSet::new(),
+                    };
+                }
+            }
+            (Phase::PreWrite { tag, acks }, CasMsg::PreAck { rid }) if rid == self.rid => {
+                acks.insert(server);
+                if acks.len() as u32 == q {
+                    let tag = *tag;
+                    self.rid += 1;
+                    ctx.broadcast_to_servers(
+                        self.cfg.n,
+                        CasMsg::Finalize {
+                            rid: self.rid,
+                            tag,
+                        },
+                    );
+                    self.phase = Phase::Finalize {
+                        acks: BTreeSet::new(),
+                    };
+                }
+            }
+            (Phase::Finalize { acks }, CasMsg::FinAck { rid }) if rid == self.rid => {
+                acks.insert(server);
+                if acks.len() as u32 == q {
+                    self.phase = Phase::Idle;
+                    self.rid += 1;
+                    ctx.respond(RegResp::WriteAck);
+                }
+            }
+            (Phase::ReadQuery { tags, retries }, CasMsg::QueryTagResp { rid, tag })
+                if rid == self.rid =>
+            {
+                tags.insert(server, tag);
+                if tags.len() as u32 == q {
+                    let t = tags.values().max().copied().unwrap_or(Tag::ZERO);
+                    let retries = *retries;
+                    self.rid += 1;
+                    ctx.broadcast_to_servers(
+                        self.cfg.n,
+                        CasMsg::ReadGet {
+                            rid: self.rid,
+                            tag: t,
+                        },
+                    );
+                    self.phase = Phase::ReadGet {
+                        tag: t,
+                        responses: BTreeSet::new(),
+                        shares: BTreeMap::new(),
+                        retries,
+                    };
+                }
+            }
+            (
+                Phase::ReadGet {
+                    tag,
+                    responses,
+                    shares,
+                    retries,
+                },
+                CasMsg::ReadResp { rid, share },
+            ) if rid == self.rid => {
+                responses.insert(server);
+                if let Some(s) = share {
+                    shares.insert(server, s);
+                }
+                let enough_responses = responses.len() as u32 >= q;
+                let decodable = shares.len() as u32 >= self.cfg.k;
+                if enough_responses && decodable {
+                    let picked: Vec<(usize, Vec<u8>)> = shares
+                        .iter()
+                        .take(self.cfg.k as usize)
+                        .map(|(&i, s)| (i as usize, s.clone()))
+                        .collect();
+                    let bytes = self
+                        .cfg
+                        .code()
+                        .decode_bytes(&picked, 8)
+                        .expect("k distinct symbols decode");
+                    let value = ValueSpec::from_bytes(&bytes);
+                    let _ = tag;
+                    self.phase = Phase::Idle;
+                    self.rid += 1;
+                    ctx.respond(RegResp::ReadValue(value));
+                } else if responses.len() as u32 == self.cfg.n && !decodable {
+                    // Every server answered but the symbols were garbage
+                    // collected under us: restart the read (CASGC's
+                    // conditional liveness).
+                    let r = *retries + 1;
+                    assert!(
+                        r <= Self::MAX_READ_RETRIES,
+                        "read starved by garbage collection {r} times"
+                    );
+                    self.begin_read_query(r, ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        let phase_tag = match &self.phase {
+            Phase::Idle => 0u8,
+            Phase::WriteQuery { .. } => 1,
+            Phase::PreWrite { .. } => 2,
+            Phase::Finalize { .. } => 3,
+            Phase::ReadQuery { .. } => 4,
+            Phase::ReadGet { .. } => 5,
+        };
+        hash_of(&(self.me, self.rid, phase_tag, format!("{:?}", self.phase)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmem_sim::{ClientId, Sim, SimConfig};
+
+    fn cluster(n: u32, f: u32, gc: Option<u32>, clients: u32) -> Sim<Cas> {
+        let mut cfg = CasConfig::native(n, f, ValueSpec::from_bits(64.0));
+        if let Some(d) = gc {
+            cfg = cfg.with_gc(d);
+        }
+        Sim::new(
+            SimConfig::without_gossip(),
+            (0..n)
+                .map(|i| CasServer::new(cfg, ServerId(i), 0))
+                .collect(),
+            (0..clients).map(|c| CasClient::new(cfg, c)).collect(),
+        )
+    }
+
+    #[test]
+    fn quorum_arithmetic() {
+        let cfg = CasConfig::native(5, 1, ValueSpec::from_bits(64.0));
+        assert_eq!(cfg.k, 3);
+        assert_eq!(cfg.quorum(), 4);
+        // Two quorums of 4 out of 5 intersect in >= 3 = k servers.
+        let cfg21 = CasConfig::native(21, 10, ValueSpec::from_bits(64.0));
+        assert_eq!(cfg21.k, 1);
+        assert_eq!(cfg21.quorum(), 11);
+        let wide = CasConfig::native(9, 2, ValueSpec::from_bits(64.0));
+        assert_eq!(wide.k, 5);
+        assert_eq!(wide.quorum(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "2f < N")]
+    fn rejects_majority_failures() {
+        let _ = CasConfig::native(4, 2, ValueSpec::from_bits(64.0));
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut sim = cluster(5, 1, None, 2);
+        sim.invoke(ClientId(0), RegInv::Write(123456789)).unwrap();
+        assert_eq!(
+            sim.run_until_op_completes(ClientId(0)).unwrap(),
+            RegResp::WriteAck
+        );
+        sim.invoke(ClientId(1), RegInv::Read).unwrap();
+        assert_eq!(
+            sim.run_until_op_completes(ClientId(1)).unwrap(),
+            RegResp::ReadValue(123456789)
+        );
+    }
+
+    #[test]
+    fn read_of_initial_value() {
+        let mut sim = cluster(5, 1, None, 1);
+        sim.invoke(ClientId(0), RegInv::Read).unwrap();
+        assert_eq!(
+            sim.run_until_op_completes(ClientId(0)).unwrap(),
+            RegResp::ReadValue(0)
+        );
+    }
+
+    #[test]
+    fn tolerates_f_failures() {
+        let mut sim = cluster(7, 2, None, 2);
+        sim.fail_last_servers(2);
+        sim.invoke(ClientId(0), RegInv::Write(77)).unwrap();
+        sim.run_until_op_completes(ClientId(0)).unwrap();
+        sim.invoke(ClientId(1), RegInv::Read).unwrap();
+        assert_eq!(
+            sim.run_until_op_completes(ClientId(1)).unwrap(),
+            RegResp::ReadValue(77)
+        );
+    }
+
+    #[test]
+    fn storage_grows_with_ungarbage_collected_versions() {
+        let mut sim = cluster(5, 1, None, 1);
+        for v in 1..=4 {
+            sim.invoke(ClientId(0), RegInv::Write(v)).unwrap();
+            sim.run_until_op_completes(ClientId(0)).unwrap();
+            sim.run_to_quiescence().unwrap();
+        }
+        // Initial + 4 writes, never collected: 5 versions per server, each
+        // 64/3 bits.
+        let per_server = sim.server(ServerId(0)).versions_held();
+        assert_eq!(per_server, 5);
+        let bits = sim.storage().peak_total_bits;
+        assert!((bits - 5.0 * 5.0 * 64.0 / 3.0).abs() < 1e-6, "bits={bits}");
+    }
+
+    #[test]
+    fn gc_caps_retained_versions() {
+        let mut sim = cluster(5, 1, Some(1), 1);
+        for v in 1..=6 {
+            sim.invoke(ClientId(0), RegInv::Write(v)).unwrap();
+            sim.run_until_op_completes(ClientId(0)).unwrap();
+            sim.run_to_quiescence().unwrap();
+        }
+        // δ = 1: at most 2 finalized versions retained.
+        assert!(sim.server(ServerId(0)).versions_held() <= 2);
+        // And the latest value is still readable.
+        sim.invoke(ClientId(0), RegInv::Read).unwrap();
+        assert_eq!(
+            sim.run_until_op_completes(ClientId(0)).unwrap(),
+            RegResp::ReadValue(6)
+        );
+    }
+
+    #[test]
+    fn coded_storage_cheaper_than_replication_at_low_concurrency() {
+        // One version in flight: CAS total = N/k * |v| < N * |v| (ABD).
+        let mut sim = cluster(9, 2, Some(0), 1);
+        sim.invoke(ClientId(0), RegInv::Write(5)).unwrap();
+        sim.run_until_op_completes(ClientId(0)).unwrap();
+        sim.run_to_quiescence().unwrap();
+        let total = sim.storage().peak_total_bits;
+        // k = 5: peak is at most 2 versions * 9 servers * 64/5 bits.
+        assert!(total <= 2.0 * 9.0 * 64.0 / 5.0 + 1e-9, "total={total}");
+        assert!(total < 9.0 * 64.0, "coded beats replication: {total}");
+    }
+}

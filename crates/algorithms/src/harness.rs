@@ -1,0 +1,462 @@
+//! Cluster harnesses: build worlds, drive workloads, extract histories.
+
+use crate::abd::{Abd, AbdClient, AbdServer};
+use crate::abd_gossip::{AbdGossip, GossipServer};
+use crate::cas::{Cas, CasClient, CasConfig, CasServer};
+use crate::lossy::{Lossy, LossyServer};
+use crate::reg::{RegInv, RegResp};
+use crate::value::{Value, ValueSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shmem_sim::{ClientId, Protocol, RunError, ServerId, Sim, SimConfig, StorageSnapshot};
+use shmem_spec::history::{History, OpKind};
+
+/// A running register cluster of any protocol with the uniform
+/// [`RegInv`]/[`RegResp`] interface.
+///
+/// # Examples
+///
+/// ```
+/// use shmem_algorithms::harness::AbdCluster;
+///
+/// let mut c = AbdCluster::new(5, 2, 2, shmem_algorithms::ValueSpec::from_bits(64.0));
+/// c.write(0, 42)?;
+/// assert_eq!(c.read(1)?, 42);
+/// assert!(shmem_spec::check_atomic(&c.history()).is_ok());
+/// # Ok::<(), shmem_sim::RunError>(())
+/// ```
+pub struct Cluster<P: Protocol<Inv = RegInv, Resp = RegResp>> {
+    /// The underlying simulated world, exposed for adversary control.
+    pub sim: Sim<P>,
+    initial: Value,
+    f: u32,
+}
+
+/// ABD cluster alias.
+pub type AbdCluster = Cluster<Abd>;
+/// CAS/CASGC cluster alias.
+pub type CasCluster = Cluster<Cas>;
+/// Lossy-strawman cluster alias.
+pub type LossyCluster = Cluster<Lossy>;
+/// Gossiping-ABD cluster alias.
+pub type GossipCluster = Cluster<AbdGossip>;
+
+impl<P: Protocol<Inv = RegInv, Resp = RegResp>> Cluster<P> {
+    /// The failure budget the cluster was built for.
+    pub fn f(&self) -> u32 {
+        self.f
+    }
+
+    /// Completes a full write at `client`, running the world fairly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (liveness failure, busy client, …).
+    pub fn write(&mut self, client: u32, value: Value) -> Result<(), RunError> {
+        self.sim.invoke(ClientId(client), RegInv::Write(value))?;
+        self.sim.run_until_op_completes(ClientId(client))?;
+        Ok(())
+    }
+
+    /// Completes a full read at `client`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol answers a read with a write-ack (protocol
+    /// bug).
+    pub fn read(&mut self, client: u32) -> Result<Value, RunError> {
+        self.sim.invoke(ClientId(client), RegInv::Read)?;
+        let resp = self.sim.run_until_op_completes(ClientId(client))?;
+        Ok(resp.read_value().expect("read must return a value"))
+    }
+
+    /// Starts an operation without running it — for concurrent workloads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn begin(&mut self, client: u32, inv: RegInv) -> Result<(), RunError> {
+        self.sim.invoke(ClientId(client), inv)
+    }
+
+    /// Runs the world under a seeded random schedule until quiescence —
+    /// completes all open operations under an arbitrary interleaving.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::StepLimit`] if the protocol livelocks.
+    pub fn run_seeded(&mut self, seed: u64) -> Result<u64, RunError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut steps = 0u64;
+        let limit = self.sim.config().step_limit;
+        while self
+            .sim
+            .step_with(|opts| rng.gen_range(0..opts.len()))
+            .is_some()
+        {
+            steps += 1;
+            if steps > limit {
+                return Err(RunError::StepLimit { steps: limit });
+            }
+        }
+        Ok(steps)
+    }
+
+    /// Runs the world under a seeded random schedule that also reorders
+    /// messages within channels (requires the cluster to have been built
+    /// with [`shmem_sim::ChannelOrder::Any`]) until quiescence.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::StepLimit`] if the protocol livelocks.
+    pub fn run_seeded_reorder(&mut self, seed: u64) -> Result<u64, RunError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut steps = 0u64;
+        let limit = self.sim.config().step_limit;
+        while self
+            .sim
+            .step_with_reorder(|opts| {
+                let oi = rng.gen_range(0..opts.len());
+                let mi = rng.gen_range(0..opts[oi].1);
+                (oi, mi)
+            })
+            .is_some()
+        {
+            steps += 1;
+            if steps > limit {
+                return Err(RunError::StepLimit { steps: limit });
+            }
+        }
+        Ok(steps)
+    }
+
+    /// Runs the world fairly until quiescence.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::StepLimit`] if the protocol livelocks.
+    pub fn run_fair(&mut self) -> Result<u64, RunError> {
+        self.sim.run_to_quiescence()
+    }
+
+    /// The execution's history as a [`shmem_spec`] register history.
+    pub fn history(&self) -> History<Value> {
+        let mut h = History::new(self.initial);
+        for op in self.sim.ops() {
+            let kind = match op.invocation {
+                RegInv::Write(v) => OpKind::Write(v),
+                RegInv::Read => OpKind::Read,
+            };
+            let id = h.begin(op.client.0, kind, op.invoked_at);
+            if let Some(t) = op.responded_at {
+                let returned = op.response.and_then(RegResp::read_value);
+                h.complete(id, t, returned);
+            }
+        }
+        h
+    }
+
+    /// Measured storage peaks.
+    pub fn storage(&self) -> StorageSnapshot {
+        self.sim.storage()
+    }
+}
+
+impl AbdCluster {
+    /// An ABD cluster: `n` servers tolerating `f` failures (must be a
+    /// minority), `clients` clients, values from a `spec`-sized domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2f < n`.
+    pub fn new(n: u32, f: u32, clients: u32, spec: ValueSpec) -> AbdCluster {
+        Self::with_initial(n, f, clients, spec, 0)
+    }
+
+    /// Same, with arbitrary-order (non-FIFO) channels — the paper's
+    /// weakest channel model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2f < n`.
+    pub fn reordering(n: u32, f: u32, clients: u32, spec: ValueSpec) -> AbdCluster {
+        assert!(2 * f < n, "ABD requires a failure minority (2f < N)");
+        Cluster {
+            sim: Sim::new(
+                SimConfig::without_gossip().reordering(),
+                (0..n).map(|_| AbdServer::new(0, spec)).collect(),
+                (0..clients).map(|c| AbdClient::new(n, c)).collect(),
+            ),
+            initial: 0,
+            f,
+        }
+    }
+
+    /// Same, with an explicit initial register value.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2f < n`.
+    pub fn with_initial(
+        n: u32,
+        f: u32,
+        clients: u32,
+        spec: ValueSpec,
+        initial: Value,
+    ) -> AbdCluster {
+        assert!(2 * f < n, "ABD requires a failure minority (2f < N)");
+        Cluster {
+            sim: Sim::new(
+                SimConfig::without_gossip(),
+                (0..n).map(|_| AbdServer::new(initial, spec)).collect(),
+                (0..clients).map(|c| AbdClient::new(n, c)).collect(),
+            ),
+            initial,
+            f,
+        }
+    }
+}
+
+impl CasCluster {
+    /// A CAS/CASGC cluster from a validated [`CasConfig`].
+    pub fn from_config(cfg: CasConfig, clients: u32) -> CasCluster {
+        Self::from_config_with_initial(cfg, clients, 0)
+    }
+
+    /// Same, with an explicit initial register value.
+    pub fn from_config_with_initial(cfg: CasConfig, clients: u32, initial: Value) -> CasCluster {
+        Cluster {
+            sim: Sim::new(
+                SimConfig::without_gossip(),
+                (0..cfg.n)
+                    .map(|i| CasServer::new(cfg, ServerId(i), initial))
+                    .collect(),
+                (0..clients).map(|c| CasClient::new(cfg, c)).collect(),
+            ),
+            initial,
+            f: cfg.f,
+        }
+    }
+
+    /// Plain CAS with the native `k = N − 2f` code.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2f < n`.
+    pub fn new(n: u32, f: u32, clients: u32, spec: ValueSpec) -> CasCluster {
+        Self::from_config(CasConfig::native(n, f, spec), clients)
+    }
+
+    /// CASGC with garbage-collection depth `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2f < n`.
+    pub fn with_gc(n: u32, f: u32, delta: u32, clients: u32, spec: ValueSpec) -> CasCluster {
+        Self::from_config(CasConfig::native(n, f, spec).with_gc(delta), clients)
+    }
+
+    /// Plain CAS with arbitrary-order (non-FIFO) channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2f < n`.
+    pub fn reordering(n: u32, f: u32, clients: u32, spec: ValueSpec) -> CasCluster {
+        let cfg = CasConfig::native(n, f, spec);
+        Cluster {
+            sim: Sim::new(
+                SimConfig::without_gossip().reordering(),
+                (0..cfg.n)
+                    .map(|i| CasServer::new(cfg, ServerId(i), 0))
+                    .collect(),
+                (0..clients).map(|c| CasClient::new(cfg, c)).collect(),
+            ),
+            initial: 0,
+            f,
+        }
+    }
+}
+
+impl GossipCluster {
+    /// A gossiping-ABD cluster (server-to-server channels enabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2f < n`.
+    pub fn new(n: u32, f: u32, clients: u32, spec: ValueSpec) -> GossipCluster {
+        assert!(2 * f < n, "ABD requires a failure minority (2f < N)");
+        Cluster {
+            sim: Sim::new(
+                SimConfig::with_gossip(),
+                (0..n).map(|i| GossipServer::new(i, n, 0, spec)).collect(),
+                (0..clients).map(|c| AbdClient::new(n, c)).collect(),
+            ),
+            initial: 0,
+            f,
+        }
+    }
+}
+
+impl LossyCluster {
+    /// The broken cheap cluster: servers keep only `kept_bits` per value.
+    pub fn new(n: u32, f: u32, clients: u32, kept_bits: u32, spec: ValueSpec) -> LossyCluster {
+        Cluster {
+            sim: Sim::new(
+                SimConfig::without_gossip(),
+                (0..n)
+                    .map(|_| LossyServer::new(0, kept_bits, spec))
+                    .collect(),
+                (0..clients).map(|c| AbdClient::new(n, c)).collect(),
+            ),
+            initial: 0,
+            f,
+        }
+    }
+}
+
+/// A reproducible concurrent workload: `writers` clients each performing
+/// `rounds` writes of unique values, interleaved with `readers` clients
+/// reading, under a seeded random schedule.
+///
+/// Returns the completed steps.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_concurrent_workload<P: Protocol<Inv = RegInv, Resp = RegResp>>(
+    cluster: &mut Cluster<P>,
+    writers: u32,
+    readers: u32,
+    rounds: u32,
+    seed: u64,
+) -> Result<(), RunError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next_value = 1u64;
+    for _ in 0..rounds {
+        for w in 0..writers {
+            cluster.begin(w, RegInv::Write(next_value))?;
+            next_value += 1;
+        }
+        for r in 0..readers {
+            cluster.begin(writers + r, RegInv::Read)?;
+        }
+        // Interleave: random schedule until all ops of the round complete.
+        let mut budget = cluster.sim.config().step_limit;
+        loop {
+            let open = (0..writers + readers).any(|c| cluster.sim.has_open_op(ClientId(c)));
+            if !open {
+                break;
+            }
+            if cluster
+                .sim
+                .step_with(|opts| rng.gen_range(0..opts.len()))
+                .is_none()
+            {
+                return Err(RunError::Stuck { client: ClientId(0) });
+            }
+            budget -= 1;
+            if budget == 0 {
+                return Err(RunError::StepLimit {
+                    steps: cluster.sim.config().step_limit,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmem_spec::{check_atomic, check_regular};
+
+    #[test]
+    fn abd_sequential_history_is_atomic() {
+        let mut c = AbdCluster::new(5, 2, 3, ValueSpec::from_bits(64.0));
+        c.write(0, 1).unwrap();
+        assert_eq!(c.read(2), Ok(1));
+        c.write(1, 2).unwrap();
+        assert_eq!(c.read(2), Ok(2));
+        let h = c.history();
+        assert!(h.is_well_formed());
+        assert!(check_atomic(&h).is_ok());
+        assert!(check_regular(&h).is_ok());
+    }
+
+    #[test]
+    fn abd_concurrent_histories_atomic_across_seeds() {
+        for seed in 0..8 {
+            let mut c = AbdCluster::new(5, 2, 4, ValueSpec::from_bits(64.0));
+            run_concurrent_workload(&mut c, 2, 2, 2, seed).unwrap();
+            let h = c.history();
+            assert!(
+                check_atomic(&h).is_ok(),
+                "seed {seed} produced non-atomic history: {h:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cas_concurrent_histories_atomic_across_seeds() {
+        for seed in 0..8 {
+            let mut c = CasCluster::new(5, 1, 4, ValueSpec::from_bits(64.0));
+            run_concurrent_workload(&mut c, 2, 2, 2, seed).unwrap();
+            let h = c.history();
+            assert!(
+                check_atomic(&h).is_ok(),
+                "seed {seed} produced non-atomic history: {h:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn casgc_concurrent_histories_atomic_across_seeds() {
+        for seed in 0..8 {
+            // δ = 4 comfortably covers 2 concurrent writers.
+            let mut c = CasCluster::with_gc(5, 1, 4, 4, ValueSpec::from_bits(64.0));
+            run_concurrent_workload(&mut c, 2, 2, 2, seed).unwrap();
+            assert!(check_atomic(&c.history()).is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn lossy_cluster_violates_regularity() {
+        let mut c = LossyCluster::new(3, 1, 2, 2, ValueSpec::from_bits(8.0));
+        c.write(0, 0xAB).unwrap();
+        let got = c.read(1).unwrap();
+        assert_ne!(got, 0xAB); // truncated
+        let h = c.history();
+        assert!(check_regular(&h).is_err());
+        assert!(check_atomic(&h).is_err());
+    }
+
+    #[test]
+    fn abd_storage_flat_in_concurrency_cas_grows() {
+        let spec = ValueSpec::from_bits(64.0);
+        // Three concurrent writers.
+        let mut abd = AbdCluster::new(5, 2, 3, spec);
+        run_concurrent_workload(&mut abd, 3, 0, 2, 7).unwrap();
+        let abd_total = abd.storage().peak_total_bits;
+        assert_eq!(abd_total, 5.0 * 64.0); // one value per server, always
+
+        let mut cas = CasCluster::new(5, 1, 3, spec);
+        run_concurrent_workload(&mut cas, 3, 0, 2, 7).unwrap();
+        let cas_total = cas.storage().peak_total_bits;
+        // k = 3; at least 2 versions coexist somewhere along the run.
+        assert!(cas_total > 5.0 * 64.0 / 3.0, "cas_total={cas_total}");
+    }
+
+    #[test]
+    fn history_records_incomplete_ops() {
+        let mut c = AbdCluster::new(3, 1, 1, ValueSpec::from_bits(64.0));
+        c.begin(0, RegInv::Write(9)).unwrap();
+        // Never run: the op stays open.
+        let h = c.history();
+        assert_eq!(h.len(), 1);
+        assert!(!h.ops()[0].is_complete());
+    }
+}

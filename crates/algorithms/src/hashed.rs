@@ -1,0 +1,432 @@
+//! A CAS variant with a *hash announcement* phase — the algorithm class of
+//! references \[2, 15\] (PoWerStore, AWE) that Section 6.5's conjecture
+//! addresses.
+//!
+//! Those Byzantine-tolerant protocols send information about the value in
+//! **two** phases: an early phase carries a short hash (for client
+//! verification), a later phase carries the codeword symbols. Both
+//! messages are *value-dependent* in the sense of Definition 6.4, so
+//! Assumption 3(b) fails and Theorem 6.5 does not apply as stated — even
+//! though the hash phase carries only `O(λ)` bits, far less than
+//! `Θ(log|V|)`. The paper conjectures the bound still holds for this
+//! class.
+//!
+//! `HashedCas` reproduces the *structure* (we simulate crash faults only,
+//! so the hash is used as an integrity check on decode, not as a Byzantine
+//! defence): write = query → announce `h(v)` → pre-write symbols →
+//! finalize. The Assumption 3(b) checker in `shmem-core` detects its two
+//! value-dependent phases.
+
+use crate::cas::{CasConfig, CasMsg, CasServer};
+use crate::reg::{RegInv, RegResp};
+use crate::tag::Tag;
+use crate::value::{Value, ValueSpec};
+use shmem_sim::{hash_of, Ctx, Node, NodeId, Protocol, ServerId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Protocol marker for hashed CAS.
+pub struct HashedCas;
+
+impl Protocol for HashedCas {
+    type Msg = HashedMsg;
+    type Inv = RegInv;
+    type Resp = RegResp;
+    type Server = HashedServer;
+    type Client = HashedClient;
+}
+
+/// Wire messages: the CAS repertoire plus the hash announcement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HashedMsg {
+    /// A plain CAS message.
+    Cas(CasMsg),
+    /// The extra phase: announce `h(value)` for `tag` (value-dependent!).
+    HashAnnounce {
+        /// Phase nonce.
+        rid: u64,
+        /// The version being written.
+        tag: Tag,
+        /// The value's digest.
+        digest: u64,
+    },
+    /// Acknowledge a hash announcement.
+    HashAck {
+        /// Echoed nonce.
+        rid: u64,
+    },
+}
+
+/// Whether a message is value-dependent on the client-to-server path —
+/// note **two** kinds qualify, unlike plain CAS.
+pub fn is_value_dependent_upstream(msg: &HashedMsg) -> bool {
+    match msg {
+        HashedMsg::Cas(m) => crate::cas::is_value_dependent_upstream(m),
+        HashedMsg::HashAnnounce { .. } => true,
+        HashedMsg::HashAck { .. } => false,
+    }
+}
+
+/// The value digest used in announcements.
+pub fn value_digest(v: Value) -> u64 {
+    hash_of(&("hashed-cas-digest", v))
+}
+
+/// A hashed-CAS server: a CAS server plus a store of announced hashes.
+#[derive(Clone, Debug)]
+pub struct HashedServer {
+    inner: CasServer,
+    hashes: BTreeMap<Tag, u64>,
+}
+
+impl HashedServer {
+    /// Server `index`, initialized like a CAS server.
+    pub fn new(cfg: CasConfig, index: ServerId, initial: Value) -> HashedServer {
+        let mut hashes = BTreeMap::new();
+        hashes.insert(Tag::ZERO, value_digest(initial));
+        HashedServer {
+            inner: CasServer::new(cfg, index, initial),
+            hashes,
+        }
+    }
+
+    /// The announced hash for a tag, if any.
+    pub fn hash_of(&self, tag: Tag) -> Option<u64> {
+        self.hashes.get(&tag).copied()
+    }
+}
+
+impl Node<HashedCas> for HashedServer {
+    fn on_message(&mut self, from: NodeId, msg: HashedMsg, ctx: &mut Ctx<HashedCas>) {
+        match msg {
+            HashedMsg::Cas(inner) => {
+                // Run the CAS server and translate its replies.
+                let mut cas_ctx: Ctx<crate::cas::Cas> = Ctx::new(ctx.me(), ctx.now());
+                self.inner.on_message(from, inner, &mut cas_ctx);
+                let (outbox, _) = cas_ctx.into_effects();
+                for (to, m) in outbox {
+                    ctx.send(to, HashedMsg::Cas(m));
+                }
+            }
+            HashedMsg::HashAnnounce { rid, tag, digest } => {
+                self.hashes.insert(tag, digest);
+                ctx.send(from, HashedMsg::HashAck { rid });
+            }
+            HashedMsg::HashAck { .. } => {}
+        }
+    }
+
+    fn state_bits(&self) -> f64 {
+        self.inner.state_bits()
+    }
+
+    fn metadata_bits(&self) -> f64 {
+        // Hashes are O(lambda) metadata: 64 bits each plus a tag.
+        self.inner.metadata_bits() + self.hashes.len() as f64 * (64.0 + Tag::BITS)
+    }
+
+    fn digest(&self) -> u64 {
+        hash_of(&(self.inner.digest(), &self.hashes))
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Phase {
+    Idle,
+    WriteQuery { value: Value, tags: BTreeMap<u32, Tag> },
+    Announce { value: Value, tag: Tag, acks: BTreeSet<u32> },
+    PreWrite { tag: Tag, acks: BTreeSet<u32> },
+    Finalize { acks: BTreeSet<u32> },
+    ReadQuery { tags: BTreeMap<u32, Tag> },
+    ReadGet { tag: Tag, responses: BTreeSet<u32>, shares: BTreeMap<u32, Vec<u8>> },
+}
+
+/// A hashed-CAS client.
+#[derive(Clone, Debug)]
+pub struct HashedClient {
+    cfg: CasConfig,
+    me: u32,
+    rid: u64,
+    phase: Phase,
+}
+
+impl HashedClient {
+    /// A client for the given configuration.
+    pub fn new(cfg: CasConfig, me: u32) -> HashedClient {
+        HashedClient {
+            cfg,
+            me,
+            rid: 0,
+            phase: Phase::Idle,
+        }
+    }
+
+    fn broadcast_cas(&self, ctx: &mut Ctx<HashedCas>, msg: CasMsg) {
+        for i in 0..self.cfg.n {
+            ctx.send(NodeId::server(i), HashedMsg::Cas(msg.clone()));
+        }
+    }
+}
+
+impl Node<HashedCas> for HashedClient {
+    fn on_invoke(&mut self, inv: RegInv, ctx: &mut Ctx<HashedCas>) {
+        assert!(matches!(self.phase, Phase::Idle), "operation already open");
+        self.rid += 1;
+        match inv {
+            RegInv::Write(value) => {
+                self.phase = Phase::WriteQuery {
+                    value,
+                    tags: BTreeMap::new(),
+                };
+                self.broadcast_cas(ctx, CasMsg::QueryTag { rid: self.rid });
+            }
+            RegInv::Read => {
+                self.phase = Phase::ReadQuery { tags: BTreeMap::new() };
+                self.broadcast_cas(ctx, CasMsg::QueryTag { rid: self.rid });
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: HashedMsg, ctx: &mut Ctx<HashedCas>) {
+        let server = match from.as_server() {
+            Some(s) => s.0,
+            None => return,
+        };
+        let q = self.cfg.quorum();
+        match (&mut self.phase, msg) {
+            (
+                Phase::WriteQuery { value, tags },
+                HashedMsg::Cas(CasMsg::QueryTagResp { rid, tag }),
+            ) if rid == self.rid => {
+                tags.insert(server, tag);
+                if tags.len() as u32 == q {
+                    let max = tags.values().max().copied().unwrap_or(Tag::ZERO);
+                    let tag = max.successor(self.me);
+                    let value = *value;
+                    self.rid += 1;
+                    // Value-dependent phase #1: the hash announcement.
+                    for i in 0..self.cfg.n {
+                        ctx.send(
+                            NodeId::server(i),
+                            HashedMsg::HashAnnounce {
+                                rid: self.rid,
+                                tag,
+                                digest: value_digest(value),
+                            },
+                        );
+                    }
+                    self.phase = Phase::Announce {
+                        value,
+                        tag,
+                        acks: BTreeSet::new(),
+                    };
+                }
+            }
+            (Phase::Announce { value, tag, acks }, HashedMsg::HashAck { rid })
+                if rid == self.rid =>
+            {
+                acks.insert(server);
+                if acks.len() as u32 == q {
+                    let (value, tag) = (*value, *tag);
+                    let shares = self.cfg.code().encode_bytes(&ValueSpec::to_bytes(value));
+                    self.rid += 1;
+                    // Value-dependent phase #2: the codeword symbols.
+                    for (i, share) in shares.into_iter().enumerate() {
+                        ctx.send(
+                            NodeId::server(i as u32),
+                            HashedMsg::Cas(CasMsg::PreWrite {
+                                rid: self.rid,
+                                tag,
+                                share,
+                            }),
+                        );
+                    }
+                    self.phase = Phase::PreWrite {
+                        tag,
+                        acks: BTreeSet::new(),
+                    };
+                }
+            }
+            (Phase::PreWrite { tag, acks }, HashedMsg::Cas(CasMsg::PreAck { rid }))
+                if rid == self.rid =>
+            {
+                acks.insert(server);
+                if acks.len() as u32 == q {
+                    let tag = *tag;
+                    self.rid += 1;
+                    self.broadcast_cas(ctx, CasMsg::Finalize { rid: self.rid, tag });
+                    self.phase = Phase::Finalize { acks: BTreeSet::new() };
+                }
+            }
+            (Phase::Finalize { acks }, HashedMsg::Cas(CasMsg::FinAck { rid }))
+                if rid == self.rid =>
+            {
+                acks.insert(server);
+                if acks.len() as u32 == q {
+                    self.phase = Phase::Idle;
+                    self.rid += 1;
+                    ctx.respond(RegResp::WriteAck);
+                }
+            }
+            (Phase::ReadQuery { tags }, HashedMsg::Cas(CasMsg::QueryTagResp { rid, tag }))
+                if rid == self.rid =>
+            {
+                tags.insert(server, tag);
+                if tags.len() as u32 == q {
+                    let t = tags.values().max().copied().unwrap_or(Tag::ZERO);
+                    self.rid += 1;
+                    self.broadcast_cas(ctx, CasMsg::ReadGet { rid: self.rid, tag: t });
+                    self.phase = Phase::ReadGet {
+                        tag: t,
+                        responses: BTreeSet::new(),
+                        shares: BTreeMap::new(),
+                    };
+                }
+            }
+            (
+                Phase::ReadGet { tag, responses, shares },
+                HashedMsg::Cas(CasMsg::ReadResp { rid, share }),
+            ) if rid == self.rid => {
+                responses.insert(server);
+                if let Some(s) = share {
+                    shares.insert(server, s);
+                }
+                if responses.len() as u32 >= q && shares.len() as u32 >= self.cfg.k {
+                    let picked: Vec<(usize, Vec<u8>)> = shares
+                        .iter()
+                        .take(self.cfg.k as usize)
+                        .map(|(&i, s)| (i as usize, s.clone()))
+                        .collect();
+                    let bytes = self
+                        .cfg
+                        .code()
+                        .decode_bytes(&picked, 8)
+                        .expect("k distinct symbols decode");
+                    let value = ValueSpec::from_bytes(&bytes);
+                    let _ = tag;
+                    self.phase = Phase::Idle;
+                    self.rid += 1;
+                    ctx.respond(RegResp::ReadValue(value));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        let phase_tag = match &self.phase {
+            Phase::Idle => 0u8,
+            Phase::WriteQuery { .. } => 1,
+            Phase::Announce { .. } => 2,
+            Phase::PreWrite { .. } => 3,
+            Phase::Finalize { .. } => 4,
+            Phase::ReadQuery { .. } => 5,
+            Phase::ReadGet { .. } => 6,
+        };
+        hash_of(&(self.me, self.rid, phase_tag, format!("{:?}", self.phase)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmem_sim::{ClientId, Sim, SimConfig};
+
+    fn cluster(n: u32, f: u32, clients: u32) -> Sim<HashedCas> {
+        let cfg = CasConfig::native(n, f, ValueSpec::from_bits(64.0));
+        Sim::new(
+            SimConfig::without_gossip(),
+            (0..n)
+                .map(|i| HashedServer::new(cfg, ServerId(i), 0))
+                .collect(),
+            (0..clients).map(|c| HashedClient::new(cfg, c)).collect(),
+        )
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut sim = cluster(5, 1, 2);
+        sim.invoke(ClientId(0), RegInv::Write(987654321)).unwrap();
+        assert_eq!(
+            sim.run_until_op_completes(ClientId(0)).unwrap(),
+            RegResp::WriteAck
+        );
+        sim.invoke(ClientId(1), RegInv::Read).unwrap();
+        assert_eq!(
+            sim.run_until_op_completes(ClientId(1)).unwrap(),
+            RegResp::ReadValue(987654321)
+        );
+    }
+
+    #[test]
+    fn hash_is_stored_alongside_shares() {
+        let mut sim = cluster(5, 1, 1);
+        sim.invoke(ClientId(0), RegInv::Write(42)).unwrap();
+        sim.run_until_op_completes(ClientId(0)).unwrap();
+        sim.run_to_quiescence().unwrap();
+        let tag = Tag::new(1, 0);
+        for s in 0..5 {
+            assert_eq!(
+                sim.server(ServerId(s)).hash_of(tag),
+                Some(value_digest(42)),
+                "server {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_value_dependent_message_kinds() {
+        assert!(is_value_dependent_upstream(&HashedMsg::HashAnnounce {
+            rid: 1,
+            tag: Tag::new(1, 0),
+            digest: 9,
+        }));
+        assert!(is_value_dependent_upstream(&HashedMsg::Cas(
+            CasMsg::PreWrite {
+                rid: 1,
+                tag: Tag::new(1, 0),
+                share: vec![1],
+            }
+        )));
+        assert!(!is_value_dependent_upstream(&HashedMsg::Cas(
+            CasMsg::QueryTag { rid: 1 }
+        )));
+        assert!(!is_value_dependent_upstream(&HashedMsg::HashAck { rid: 1 }));
+    }
+
+    #[test]
+    fn tolerates_f_failures() {
+        let mut sim = cluster(5, 1, 2);
+        sim.fail_last_servers(1);
+        sim.invoke(ClientId(0), RegInv::Write(5)).unwrap();
+        sim.run_until_op_completes(ClientId(0)).unwrap();
+        sim.invoke(ClientId(1), RegInv::Read).unwrap();
+        assert_eq!(
+            sim.run_until_op_completes(ClientId(1)).unwrap(),
+            RegResp::ReadValue(5)
+        );
+    }
+
+    #[test]
+    fn histories_atomic() {
+        use shmem_spec::history::{History, OpKind};
+        let mut sim = cluster(5, 1, 3);
+        sim.invoke(ClientId(0), RegInv::Write(1)).unwrap();
+        sim.invoke(ClientId(1), RegInv::Write(2)).unwrap();
+        sim.invoke(ClientId(2), RegInv::Read).unwrap();
+        while (0..3).any(|c| sim.has_open_op(ClientId(c))) {
+            sim.step_fair().expect("progress");
+        }
+        let mut h = History::new(0u64);
+        for op in sim.ops() {
+            let kind = match op.invocation {
+                RegInv::Write(v) => OpKind::Write(v),
+                RegInv::Read => OpKind::Read,
+            };
+            let id = h.begin(op.client.0, kind, op.invoked_at);
+            if let Some(t) = op.responded_at {
+                h.complete(id, t, op.response.and_then(RegResp::read_value));
+            }
+        }
+        assert!(shmem_spec::check_atomic(&h).is_ok());
+    }
+}

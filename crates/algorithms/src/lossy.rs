@@ -1,0 +1,141 @@
+//! A deliberately *broken* cheap algorithm: ABD whose servers store only
+//! the low `b` bits of each value.
+//!
+//! Its per-server storage (`b` bits) can be driven far below every lower
+//! bound in the paper — and, exactly as the theorems predict, it then fails
+//! regularity: a read reconstructs a truncated value. This is the
+//! falsification target the proof machinery in `shmem-core` is validated
+//! against (a checker that never flags anything proves nothing).
+
+use crate::abd::{AbdClient, AbdMsg};
+use crate::reg::{RegInv, RegResp};
+use crate::tag::Tag;
+use crate::value::{Value, ValueSpec};
+use shmem_sim::{hash_of, Ctx, Node, NodeId, Protocol};
+
+/// Protocol marker for the lossy strawman.
+pub struct Lossy;
+
+impl Protocol for Lossy {
+    type Msg = AbdMsg;
+    type Inv = RegInv;
+    type Resp = RegResp;
+    type Server = LossyServer;
+    type Client = AbdClient;
+}
+
+/// A server that keeps only the low `kept_bits` of every stored value.
+#[derive(Clone, Debug)]
+pub struct LossyServer {
+    tag: Tag,
+    value: Value,
+    kept_bits: u32,
+    spec: ValueSpec,
+}
+
+impl LossyServer {
+    /// A server keeping `kept_bits` bits per value (the cheat: honest
+    /// storage would need `spec.bits`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kept_bits >= 64` (use the honest ABD server instead).
+    pub fn new(initial: Value, kept_bits: u32, spec: ValueSpec) -> LossyServer {
+        assert!(kept_bits < 64, "lossy server must actually lose bits");
+        LossyServer {
+            tag: Tag::ZERO,
+            value: initial & Self::mask(kept_bits),
+            kept_bits,
+            spec,
+        }
+    }
+
+    fn mask(kept_bits: u32) -> u64 {
+        (1u64 << kept_bits) - 1
+    }
+}
+
+impl Node<Lossy> for LossyServer {
+    fn on_message(&mut self, from: NodeId, msg: AbdMsg, ctx: &mut Ctx<Lossy>) {
+        match msg {
+            AbdMsg::Query { rid } => ctx.send(
+                from,
+                AbdMsg::QueryResp {
+                    rid,
+                    tag: self.tag,
+                    value: self.value,
+                },
+            ),
+            AbdMsg::Store { rid, tag, value } => {
+                if tag > self.tag {
+                    self.tag = tag;
+                    self.value = value & Self::mask(self.kept_bits); // the cheat
+                }
+                ctx.send(from, AbdMsg::StoreAck { rid });
+            }
+            AbdMsg::QueryResp { .. } | AbdMsg::StoreAck { .. } => {}
+        }
+    }
+
+    fn state_bits(&self) -> f64 {
+        // Honest accounting of the dishonest storage: the server's
+        // value-bearing state ranges over only 2^kept_bits states.
+        (self.kept_bits as f64).min(self.spec.bits)
+    }
+
+    fn metadata_bits(&self) -> f64 {
+        Tag::BITS
+    }
+
+    fn digest(&self) -> u64 {
+        hash_of(&(self.tag, self.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmem_sim::{ClientId, Sim, SimConfig};
+
+    fn cluster(n: u32, kept_bits: u32) -> Sim<Lossy> {
+        let spec = ValueSpec::from_bits(8.0);
+        Sim::new(
+            SimConfig::without_gossip(),
+            (0..n).map(|_| LossyServer::new(0, kept_bits, spec)).collect(),
+            (0..2).map(|c| AbdClient::new(n, c)).collect(),
+        )
+    }
+
+    #[test]
+    fn truncates_high_bits() {
+        let mut sim = cluster(3, 2);
+        sim.invoke(ClientId(0), RegInv::Write(0b1011)).unwrap();
+        sim.run_until_op_completes(ClientId(0)).unwrap();
+        sim.invoke(ClientId(1), RegInv::Read).unwrap();
+        // The read returns the truncated value — a regularity violation
+        // whenever the written value used high bits.
+        assert_eq!(
+            sim.run_until_op_completes(ClientId(1)).unwrap(),
+            RegResp::ReadValue(0b11)
+        );
+    }
+
+    #[test]
+    fn values_within_kept_bits_survive() {
+        let mut sim = cluster(3, 2);
+        sim.invoke(ClientId(0), RegInv::Write(0b10)).unwrap();
+        sim.run_until_op_completes(ClientId(0)).unwrap();
+        sim.invoke(ClientId(1), RegInv::Read).unwrap();
+        assert_eq!(
+            sim.run_until_op_completes(ClientId(1)).unwrap(),
+            RegResp::ReadValue(0b10)
+        );
+    }
+
+    #[test]
+    fn storage_undershoots_every_bound() {
+        let sim = cluster(3, 2);
+        let bits = sim.server_state_bits();
+        assert_eq!(bits, vec![2.0; 3]); // 2 bits/server vs log2|V| = 8
+    }
+}

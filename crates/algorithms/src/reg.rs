@@ -1,0 +1,42 @@
+//! The uniform register interface all algorithms expose to the environment.
+
+use crate::value::Value;
+
+/// An operation invocation at a client.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegInv {
+    /// `write(v)`.
+    Write(Value),
+    /// `read()`.
+    Read,
+}
+
+/// An operation response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegResp {
+    /// A write acknowledged.
+    WriteAck,
+    /// A read returning the register's value.
+    ReadValue(Value),
+}
+
+impl RegResp {
+    /// The value carried by a read response.
+    pub fn read_value(self) -> Option<Value> {
+        match self {
+            RegResp::ReadValue(v) => Some(v),
+            RegResp::WriteAck => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_value_projection() {
+        assert_eq!(RegResp::ReadValue(7).read_value(), Some(7));
+        assert_eq!(RegResp::WriteAck.read_value(), None);
+    }
+}

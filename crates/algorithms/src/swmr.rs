@@ -1,0 +1,269 @@
+//! Single-writer ABD: the classic SWMR atomic register construction.
+//!
+//! With one writer, no query phase is needed for writes — the writer keeps
+//! its sequence number locally and a write is a *single* `Store` round
+//! (one phase, value-dependent). Reads remain two-phase (query +
+//! write-back).
+//!
+//! This is the natural subject of the paper's SWSR theorems (B.1, 4.1,
+//! 5.1 are all stated for single-writer single-reader regular registers),
+//! and the extreme point of the phase-structure spectrum: its write
+//! profile is one burst, trivially satisfying Assumption 3.
+
+use crate::abd::AbdMsg;
+use crate::reg::{RegInv, RegResp};
+use crate::tag::Tag;
+use crate::value::{Value, ValueSpec};
+use shmem_sim::{hash_of, Ctx, Node, NodeId, Protocol};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Protocol marker for single-writer ABD. Reuses the ABD message
+/// repertoire and server ([`crate::abd::AbdServer`] adopts by tag, which
+/// is exactly what the single-writer protocol needs).
+pub struct SwmrAbd;
+
+impl Protocol for SwmrAbd {
+    type Msg = AbdMsg;
+    type Inv = RegInv;
+    type Resp = RegResp;
+    type Server = crate::abd::AbdServer;
+    type Client = SwmrClient;
+}
+
+/// A single-writer-ABD client. Client 0 is the designated writer; all
+/// other clients are readers.
+#[derive(Clone, Debug)]
+pub struct SwmrClient {
+    n: u32,
+    majority: u32,
+    me: u32,
+    /// The writer's local sequence number (single-writer: no query
+    /// needed).
+    seq: u64,
+    rid: u64,
+    phase: Phase,
+}
+
+#[derive(Clone, Debug)]
+enum Phase {
+    Idle,
+    /// Writer waiting for store acks.
+    WriteStore { acks: BTreeSet<u32> },
+    /// Reader collecting query responses.
+    ReadQuery { responses: BTreeMap<u32, (Tag, Value)> },
+    /// Reader writing back the chosen pair.
+    ReadBack { value: Value, acks: BTreeSet<u32> },
+}
+
+impl SwmrClient {
+    /// A client for an `n`-server cluster; `me == 0` is the writer.
+    pub fn new(n: u32, me: u32) -> SwmrClient {
+        SwmrClient {
+            n,
+            majority: n / 2 + 1,
+            me,
+            seq: 0,
+            rid: 0,
+            phase: Phase::Idle,
+        }
+    }
+}
+
+impl Node<SwmrAbd> for SwmrClient {
+    fn on_invoke(&mut self, inv: RegInv, ctx: &mut Ctx<SwmrAbd>) {
+        assert!(matches!(self.phase, Phase::Idle), "operation already open");
+        self.rid += 1;
+        match inv {
+            RegInv::Write(value) => {
+                assert_eq!(
+                    self.me, 0,
+                    "single-writer register: only client 0 may write"
+                );
+                // One phase: no query, the writer owns the tag sequence.
+                self.seq += 1;
+                self.phase = Phase::WriteStore { acks: BTreeSet::new() };
+                ctx.broadcast_to_servers(
+                    self.n,
+                    AbdMsg::Store {
+                        rid: self.rid,
+                        tag: Tag::new(self.seq, 0),
+                        value,
+                    },
+                );
+            }
+            RegInv::Read => {
+                self.phase = Phase::ReadQuery { responses: BTreeMap::new() };
+                ctx.broadcast_to_servers(self.n, AbdMsg::Query { rid: self.rid });
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: AbdMsg, ctx: &mut Ctx<SwmrAbd>) {
+        let server = match from.as_server() {
+            Some(s) => s.0,
+            None => return,
+        };
+        match (&mut self.phase, msg) {
+            (Phase::WriteStore { acks }, AbdMsg::StoreAck { rid }) if rid == self.rid => {
+                acks.insert(server);
+                if acks.len() as u32 == self.majority {
+                    self.phase = Phase::Idle;
+                    self.rid += 1;
+                    ctx.respond(RegResp::WriteAck);
+                }
+            }
+            (Phase::ReadQuery { responses }, AbdMsg::QueryResp { rid, tag, value })
+                if rid == self.rid =>
+            {
+                responses.insert(server, (tag, value));
+                if responses.len() as u32 == self.majority {
+                    let (&tag, &value) = responses
+                        .iter()
+                        .map(|(_, (t, v))| (t, v))
+                        .max_by_key(|(t, _)| **t)
+                        .expect("majority nonempty");
+                    self.rid += 1;
+                    self.phase = Phase::ReadBack { value, acks: BTreeSet::new() };
+                    ctx.broadcast_to_servers(
+                        self.n,
+                        AbdMsg::Store { rid: self.rid, tag, value },
+                    );
+                }
+            }
+            (Phase::ReadBack { value, acks }, AbdMsg::StoreAck { rid }) if rid == self.rid => {
+                acks.insert(server);
+                if acks.len() as u32 == self.majority {
+                    let value = *value;
+                    self.phase = Phase::Idle;
+                    self.rid += 1;
+                    ctx.respond(RegResp::ReadValue(value));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        let tag = match &self.phase {
+            Phase::Idle => 0u8,
+            Phase::WriteStore { .. } => 1,
+            Phase::ReadQuery { .. } => 2,
+            Phase::ReadBack { .. } => 3,
+        };
+        hash_of(&(self.me, self.seq, self.rid, tag, format!("{:?}", self.phase)))
+    }
+}
+
+/// Builds a fresh SWMR world: `n` servers, client 0 the writer, clients
+/// `1..clients` readers.
+pub fn swmr_world(n: u32, clients: u32, spec: ValueSpec) -> shmem_sim::Sim<SwmrAbd> {
+    shmem_sim::Sim::new(
+        shmem_sim::SimConfig::without_gossip(),
+        (0..n).map(|_| crate::abd::AbdServer::new(0, spec)).collect(),
+        (0..clients).map(|c| SwmrClient::new(n, c)).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmem_sim::{ClientId, Sim};
+
+    fn cluster(n: u32, clients: u32) -> Sim<SwmrAbd> {
+        swmr_world(n, clients, ValueSpec::from_bits(64.0))
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut sim = cluster(5, 2);
+        sim.invoke(ClientId(0), RegInv::Write(31)).unwrap();
+        sim.run_until_op_completes(ClientId(0)).unwrap();
+        sim.invoke(ClientId(1), RegInv::Read).unwrap();
+        assert_eq!(
+            sim.run_until_op_completes(ClientId(1)).unwrap(),
+            RegResp::ReadValue(31)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "only client 0 may write")]
+    fn non_writer_cannot_write() {
+        let mut sim = cluster(3, 2);
+        let _ = sim.invoke(ClientId(1), RegInv::Write(1));
+    }
+
+    #[test]
+    fn sequential_writes_are_ordered_without_queries() {
+        let mut sim = cluster(5, 2);
+        for v in [10u64, 20, 30] {
+            sim.invoke(ClientId(0), RegInv::Write(v)).unwrap();
+            sim.run_until_op_completes(ClientId(0)).unwrap();
+        }
+        sim.invoke(ClientId(1), RegInv::Read).unwrap();
+        assert_eq!(
+            sim.run_until_op_completes(ClientId(1)).unwrap(),
+            RegResp::ReadValue(30)
+        );
+    }
+
+    #[test]
+    fn tolerates_minority_failures() {
+        let mut sim = cluster(5, 2);
+        sim.fail_last_servers(2);
+        sim.invoke(ClientId(0), RegInv::Write(8)).unwrap();
+        sim.run_until_op_completes(ClientId(0)).unwrap();
+        sim.invoke(ClientId(1), RegInv::Read).unwrap();
+        assert_eq!(
+            sim.run_until_op_completes(ClientId(1)).unwrap(),
+            RegResp::ReadValue(8)
+        );
+    }
+
+    #[test]
+    fn histories_atomic_with_concurrent_readers() {
+        use shmem_spec::history::{History, OpKind};
+        use rand::{Rng, SeedableRng};
+        for seed in 0..8u64 {
+            let mut sim = cluster(5, 4);
+            sim.invoke(ClientId(0), RegInv::Write(1)).unwrap();
+            for r in 1..4 {
+                sim.invoke(ClientId(r), RegInv::Read).unwrap();
+            }
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            while (0..4).any(|c| sim.has_open_op(ClientId(c))) {
+                sim.step_with(|o| rng.gen_range(0..o.len())).expect("progress");
+            }
+            let mut h = History::new(0u64);
+            for op in sim.ops() {
+                let kind = match op.invocation {
+                    RegInv::Write(v) => OpKind::Write(v),
+                    RegInv::Read => OpKind::Read,
+                };
+                let id = h.begin(op.client.0, kind, op.invoked_at);
+                if let Some(t) = op.responded_at {
+                    h.complete(id, t, op.response.and_then(RegResp::read_value));
+                }
+            }
+            assert!(
+                shmem_spec::check_atomic(&h).is_ok(),
+                "seed {seed}: {h:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn write_is_single_phase() {
+        let mut sim = cluster(5, 1);
+        sim.record_sends(true);
+        sim.invoke(ClientId(0), RegInv::Write(3)).unwrap();
+        sim.run_until_op_completes(ClientId(0)).unwrap();
+        // Every writer send happened at the invocation step: one burst.
+        let steps: std::collections::BTreeSet<u64> = sim
+            .send_log()
+            .iter()
+            .filter(|r| r.from == NodeId::client(0))
+            .map(|r| r.step)
+            .collect();
+        assert_eq!(steps.len(), 1);
+    }
+}

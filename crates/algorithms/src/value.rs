@@ -1,0 +1,80 @@
+//! Register values and their information content.
+
+/// A register value. The emulated register stores elements of a finite set
+/// `V`; we represent them as integers `0 .. |V|` (the proofs only need
+/// distinctness, and workloads pick values below the domain cardinality).
+pub type Value = u64;
+
+/// Describes the value domain `V` for storage accounting: how many bits of
+/// information one value carries.
+///
+/// The simulator carries [`Value`]s as `u64` regardless of the domain; the
+/// *accounting* (`state_bits`) uses `bits`, so a tiny proof-machinery domain
+/// (`|V| = 4` ⇒ 2 bits) and a realistic one (`|V| = 2^64`) are both exact.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ValueSpec {
+    /// `log2 |V|`.
+    pub bits: f64,
+}
+
+impl ValueSpec {
+    /// A domain of `2^bits` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits <= 0`.
+    pub fn from_bits(bits: f64) -> ValueSpec {
+        assert!(bits > 0.0, "value domain must carry information");
+        ValueSpec { bits }
+    }
+
+    /// A domain of exactly `card` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `card < 2`.
+    pub fn from_cardinality(card: u64) -> ValueSpec {
+        assert!(card >= 2, "value domain needs at least two values");
+        ValueSpec {
+            bits: (card as f64).log2(),
+        }
+    }
+
+    /// Serializes a value to its canonical 8-byte representation (what the
+    /// erasure coder stripes).
+    pub fn to_bytes(value: Value) -> [u8; 8] {
+        value.to_be_bytes()
+    }
+
+    /// Deserializes the canonical representation.
+    pub fn from_bytes(bytes: &[u8]) -> Value {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&bytes[..8]);
+        Value::from_be_bytes(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_constructors() {
+        assert_eq!(ValueSpec::from_bits(64.0).bits, 64.0);
+        assert_eq!(ValueSpec::from_cardinality(4).bits, 2.0);
+        assert!((ValueSpec::from_cardinality(1000).bits - 1000f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_domain_rejected() {
+        let _ = ValueSpec::from_cardinality(1);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        for v in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            assert_eq!(ValueSpec::from_bytes(&ValueSpec::to_bytes(v)), v);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Workload generators: reproducible operation patterns for storage
+//! measurements and consistency sweeps.
+//!
+//! The paper's storage costs are driven by the number of *active writes*
+//! `ν`; these generators shape that number deliberately — steady
+//! concurrency, bursts, ramps, and a crash-prone writer whose abandoned
+//! writes stay active forever (the "failed write operations whose codeword
+//! symbols have not been propagated" scenario of the introduction).
+
+use crate::harness::Cluster;
+use crate::reg::{RegInv, RegResp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shmem_sim::{ClientId, NodeId, Protocol, RunError};
+
+/// Outcome of a workload run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkloadReport {
+    /// Operations invoked.
+    pub invoked: usize,
+    /// Operations completed.
+    pub completed: usize,
+    /// Steps executed.
+    pub steps: u64,
+    /// The measured `ν`: the maximum number of concurrently active writes
+    /// (per Section 2.3's definition, computed from the history).
+    pub measured_nu: usize,
+}
+
+fn drain<P: Protocol<Inv = RegInv, Resp = RegResp>>(
+    cluster: &mut Cluster<P>,
+    rng: &mut StdRng,
+    watch: &[u32],
+) -> Result<u64, RunError> {
+    let mut steps = 0u64;
+    let limit = cluster.sim.config().step_limit;
+    loop {
+        let open = watch
+            .iter()
+            .any(|&c| cluster.sim.has_open_op(ClientId(c)));
+        if !open {
+            return Ok(steps);
+        }
+        if cluster
+            .sim
+            .step_with(|opts| rng.gen_range(0..opts.len()))
+            .is_none()
+        {
+            return Err(RunError::Stuck {
+                client: ClientId(watch[0]),
+            });
+        }
+        steps += 1;
+        if steps > limit {
+            return Err(RunError::StepLimit { steps: limit });
+        }
+    }
+}
+
+fn report<P: Protocol<Inv = RegInv, Resp = RegResp>>(
+    cluster: &Cluster<P>,
+    steps: u64,
+) -> WorkloadReport {
+    let h = cluster.history();
+    WorkloadReport {
+        invoked: h.len(),
+        completed: h.ops().iter().filter(|o| o.is_complete()).count(),
+        steps,
+        measured_nu: h.max_active_writes(),
+    }
+}
+
+/// Bursts: all `writers` write simultaneously, the system drains, repeat.
+/// Produces `ν ≈ writers` during each burst and `ν = 0` between bursts.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_bursty<P: Protocol<Inv = RegInv, Resp = RegResp>>(
+    cluster: &mut Cluster<P>,
+    writers: u32,
+    bursts: u32,
+    seed: u64,
+) -> Result<WorkloadReport, RunError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next = 1u64;
+    let mut steps = 0;
+    let watch: Vec<u32> = (0..writers).collect();
+    for _ in 0..bursts {
+        for w in 0..writers {
+            cluster.begin(w, RegInv::Write(next))?;
+            next += 1;
+        }
+        steps += drain(cluster, &mut rng, &watch)?;
+    }
+    Ok(report(cluster, steps))
+}
+
+/// Ramp: round `r` has `r + 1` concurrent writers (up to `max_writers`),
+/// so the measured `ν` climbs the Figure 1 x-axis within one execution.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_ramp<P: Protocol<Inv = RegInv, Resp = RegResp>>(
+    cluster: &mut Cluster<P>,
+    max_writers: u32,
+    seed: u64,
+) -> Result<WorkloadReport, RunError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next = 1u64;
+    let mut steps = 0;
+    for round in 1..=max_writers {
+        let watch: Vec<u32> = (0..round).collect();
+        for w in 0..round {
+            cluster.begin(w, RegInv::Write(next))?;
+            next += 1;
+        }
+        steps += drain(cluster, &mut rng, &watch)?;
+    }
+    Ok(report(cluster, steps))
+}
+
+/// A crash-prone writer: in each of `rounds`, writer 0 begins a write and
+/// crashes after `partial_steps` steps, leaving the write active forever;
+/// a fresh writer then completes a write and a reader reads. Models the
+/// introduction's "failed write operations" that erasure-coded servers
+/// must keep symbols for.
+///
+/// Uses clients `0..rounds` as the crashing writers (a crashed client
+/// cannot be reused), client `rounds` as the surviving writer and client
+/// `rounds + 1` as the reader.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_crashy<P: Protocol<Inv = RegInv, Resp = RegResp>>(
+    cluster: &mut Cluster<P>,
+    rounds: u32,
+    partial_steps: u32,
+    seed: u64,
+) -> Result<WorkloadReport, RunError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut steps = 0;
+    let survivor = rounds;
+    let reader = rounds + 1;
+    for round in 0..rounds {
+        let next = u64::from(round) + 1;
+        cluster.begin(round, RegInv::Write(1000 + u64::from(round)))?;
+        for _ in 0..partial_steps {
+            if cluster
+                .sim
+                .step_with(|opts| rng.gen_range(0..opts.len()))
+                .is_none()
+            {
+                break;
+            }
+            steps += 1;
+        }
+        cluster.sim.fail(NodeId::client(round));
+        // A surviving writer and reader still make progress.
+        cluster.begin(survivor, RegInv::Write(next))?;
+        steps += drain(cluster, &mut rng, &[survivor])?;
+        cluster.begin(reader, RegInv::Read)?;
+        steps += drain(cluster, &mut rng, &[reader])?;
+    }
+    Ok(report(cluster, steps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{AbdCluster, CasCluster};
+    use crate::value::ValueSpec;
+    use shmem_spec::check_atomic;
+
+    fn spec64() -> ValueSpec {
+        ValueSpec::from_bits(64.0)
+    }
+
+    #[test]
+    fn bursty_measures_full_concurrency() {
+        let mut c = AbdCluster::new(5, 2, 3, spec64());
+        let r = run_bursty(&mut c, 3, 2, 1).unwrap();
+        assert_eq!(r.invoked, 6);
+        assert_eq!(r.completed, 6);
+        assert_eq!(r.measured_nu, 3);
+        assert!(check_atomic(&c.history()).is_ok());
+    }
+
+    #[test]
+    fn ramp_climbs_concurrency() {
+        let mut c = AbdCluster::new(7, 3, 4, spec64());
+        let r = run_ramp(&mut c, 4, 2).unwrap();
+        assert_eq!(r.invoked, 1 + 2 + 3 + 4);
+        assert_eq!(r.measured_nu, 4);
+        assert!(check_atomic(&c.history()).is_ok());
+    }
+
+    #[test]
+    fn crashy_leaves_writes_active_but_stays_atomic() {
+        let mut c = AbdCluster::new(5, 2, 5, spec64());
+        let r = run_crashy(&mut c, 3, 4, 3).unwrap();
+        // The 3 crashed writes never complete.
+        assert_eq!(r.invoked - r.completed, 3);
+        assert!(check_atomic(&c.history()).is_ok());
+    }
+
+    #[test]
+    fn crashy_cas_accumulates_orphan_versions() {
+        // Abandoned pre-writes leave orphan symbols at the servers (plain
+        // CAS has no GC): exactly the storage blow-up the paper's
+        // introduction describes.
+        let mut c = CasCluster::new(5, 1, 5, spec64());
+        let before = c.storage().peak_total_bits;
+        run_crashy(&mut c, 3, 20, 5).unwrap();
+        let after = c.storage().peak_total_bits;
+        assert!(after > before, "orphans must consume storage");
+        assert!(check_atomic(&c.history()).is_ok());
+    }
+
+    #[test]
+    fn workload_reports_are_deterministic() {
+        let run = || {
+            let mut c = AbdCluster::new(5, 2, 3, spec64());
+            run_bursty(&mut c, 3, 2, 11).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,42 @@
+//! Benchmarks for the analytic bound formulas (E1/E2 regeneration cost).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use shmem_bench::fig1::paper_figure1;
+use shmem_bounds::{catalogue, lower, SystemParams, ValueDomain};
+
+fn bench_bounds(c: &mut Criterion) {
+    let p = SystemParams::new(21, 10).unwrap();
+    let d = ValueDomain::from_bits(4096);
+
+    c.bench_function("bounds/figure1_full", |b| {
+        b.iter(|| black_box(paper_figure1()))
+    });
+
+    c.bench_function("bounds/catalogue_eval", |b| {
+        b.iter(|| black_box(catalogue::evaluate_all(p, black_box(6))))
+    });
+
+    c.bench_function("bounds/finite_v_corollaries", |b| {
+        b.iter(|| {
+            black_box((
+                lower::singleton_total_bits(p, d),
+                lower::no_gossip_total_bits(p, d),
+                lower::universal_total_bits(p, d),
+                lower::multi_version_total_bits(p, black_box(6), d),
+            ))
+        })
+    });
+
+    c.bench_function("bounds/multi_version_sweep_1000", |b| {
+        b.iter(|| {
+            let mut acc = 0f64;
+            for nu in 1..=1000u32 {
+                acc += lower::multi_version_total(p, nu).to_f64();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

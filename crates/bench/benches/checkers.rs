@@ -1,0 +1,62 @@
+//! Benchmarks for the consistency checkers: linearizability (memoized
+//! Wing–Gong) and the interval-based regularity checks on generated
+//! histories.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use shmem_spec::history::{History, OpKind};
+use shmem_spec::{check_atomic, check_regular, check_weak_regular};
+
+/// A layered history: `rounds` sequential batches, each with `width`
+/// overlapping writes followed by `width` overlapping reads of the last
+/// value.
+fn layered_history(rounds: u64, width: u64) -> History<u64> {
+    let mut h = History::new(0u64);
+    let mut t = 0u64;
+    let mut last = 0u64;
+    for r in 0..rounds {
+        let base = t;
+        let mut ids = Vec::new();
+        for w in 0..width {
+            ids.push(h.begin(w as u32, OpKind::Write(r * width + w + 1), base + w));
+        }
+        for (w, id) in ids.into_iter().enumerate() {
+            h.complete(id, base + width + w as u64, None);
+            last = r * width + w as u64 + 1;
+        }
+        t = base + 2 * width;
+        let mut rids = Vec::new();
+        for w in 0..width {
+            rids.push(h.begin((width + w) as u32, OpKind::Read, t + w));
+        }
+        for (w, id) in rids.into_iter().enumerate() {
+            h.complete(id, t + width + w as u64, Some(last));
+        }
+        t += 2 * width;
+    }
+    h
+}
+
+fn bench_checkers(c: &mut Criterion) {
+    let h = layered_history(5, 3); // 30 operations
+    assert!(check_atomic(&h).is_ok());
+
+    c.bench_function("spec/atomic_30ops", |b| {
+        b.iter(|| black_box(check_atomic(black_box(&h))))
+    });
+
+    c.bench_function("spec/regular_30ops", |b| {
+        b.iter(|| black_box(check_regular(black_box(&h))))
+    });
+
+    c.bench_function("spec/weak_regular_30ops", |b| {
+        b.iter(|| black_box(check_weak_regular(black_box(&h))))
+    });
+
+    let wide = layered_history(4, 6); // 48 ops, width-6 concurrency
+    c.bench_function("spec/atomic_48ops_wide", |b| {
+        b.iter(|| black_box(check_atomic(black_box(&wide))))
+    });
+}
+
+criterion_group!(benches, bench_checkers);
+criterion_main!(benches);

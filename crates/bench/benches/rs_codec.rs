@@ -1,0 +1,42 @@
+//! Benchmarks for the erasure-coding substrate (E10): Reed–Solomon
+//! encode/decode at the paper's `[21, 11]` geometry, plus field and matrix
+//! primitives.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use shmem_erasure::{Field, Gf256, Matrix, ReedSolomon};
+
+fn bench_rs(c: &mut Criterion) {
+    let code = ReedSolomon::<Gf256>::new(21, 11).unwrap();
+    let payload: Vec<u8> = (0..1024u32).map(|i| (i * 31 % 251) as u8).collect();
+    let shares = code.encode_bytes(&payload);
+    let picked: Vec<(usize, Vec<u8>)> = (10..21).map(|i| (i, shares[i].clone())).collect();
+
+    let mut group = c.benchmark_group("rs_codec");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("encode_1KiB_n21_k11", |b| {
+        b.iter(|| black_box(code.encode_bytes(black_box(&payload))))
+    });
+    group.bench_function("decode_1KiB_n21_k11", |b| {
+        b.iter(|| black_box(code.decode_bytes(black_box(&picked), payload.len()).unwrap()))
+    });
+    group.finish();
+
+    c.bench_function("gf256/mul_chain_4096", |b| {
+        b.iter(|| {
+            let mut acc = Gf256::ONE;
+            for i in 1..=4096u32 {
+                acc = acc.mul(Gf256::new((i % 255 + 1) as u8));
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("matrix/invert_11x11", |b| {
+        let xs: Vec<Gf256> = (1..=11u8).map(Gf256::new).collect();
+        let m = Matrix::vandermonde(&xs, 11);
+        b.iter(|| black_box(m.invert().unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_rs);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Benchmarks for the simulation substrate and the emulation algorithms:
+//! operation latency in simulator steps and wall-clock step throughput at
+//! the paper's `N = 21`, `f = 10` geometry.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use shmem_algorithms::harness::{AbdCluster, CasCluster};
+use shmem_algorithms::reg::RegInv;
+use shmem_algorithms::value::ValueSpec;
+
+fn bench_sim(c: &mut Criterion) {
+    let spec = ValueSpec::from_bits(64.0);
+
+    c.bench_function("abd/write_read_n21_f10", |b| {
+        b.iter(|| {
+            let mut cl = AbdCluster::new(21, 10, 2, spec);
+            cl.write(0, 7).unwrap();
+            black_box(cl.read(1).unwrap())
+        })
+    });
+
+    c.bench_function("cas/write_read_n21_f10", |b| {
+        b.iter(|| {
+            let mut cl = CasCluster::new(21, 10, 2, spec);
+            cl.write(0, 7).unwrap();
+            black_box(cl.read(1).unwrap())
+        })
+    });
+
+    c.bench_function("casgc/ten_writes_n21_f10_delta1", |b| {
+        b.iter(|| {
+            let mut cl = CasCluster::with_gc(21, 10, 1, 1, spec);
+            for v in 1..=10 {
+                cl.write(0, v).unwrap();
+            }
+            black_box(cl.storage().peak_total_bits)
+        })
+    });
+
+    c.bench_function("sim/fork_world_n21", |b| {
+        let mut cl = AbdCluster::new(21, 10, 2, spec);
+        cl.begin(0, RegInv::Write(3)).unwrap();
+        b.iter(|| black_box(cl.sim.clone()));
+    });
+
+    c.bench_function("sim/step_throughput_abd_write", |b| {
+        b.iter(|| {
+            let mut cl = AbdCluster::new(21, 10, 1, spec);
+            cl.begin(0, RegInv::Write(3)).unwrap();
+            let mut steps = 0u32;
+            while cl.sim.step_fair().is_some() {
+                steps += 1;
+            }
+            black_box(steps)
+        })
+    });
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

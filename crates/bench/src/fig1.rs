@@ -1,0 +1,137 @@
+//! Experiment E1: regenerate the paper's Figure 1.
+//!
+//! Figure 1 plots the normalized total-storage cost (`|V| → ∞`) against
+//! the number of active writes `ν` for `N = 21`, `f = 10`:
+//! three lower bounds (Theorems B.1, 5.1, 6.5) and two upper bounds (ABD
+//! `= f+1`, erasure-coding `= νN/(N−f)`).
+
+use crate::render::Table;
+use shmem_bounds::{lower, upper, SystemParams};
+
+/// One column of Figure 1 (one value of `ν`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fig1Row {
+    /// Number of active writes.
+    pub nu: u32,
+    /// Theorem B.1 lower bound: `N/(N−f)`.
+    pub thm_b1: f64,
+    /// Theorem 5.1 lower bound: `2N/(N−f+2)`.
+    pub thm_51: f64,
+    /// Theorem 6.5 lower bound: `ν*N/(N−f+ν*−1)`.
+    pub thm_65: f64,
+    /// ABD upper bound: `f+1`.
+    pub abd: f64,
+    /// Erasure-coding upper bound: `νN/(N−f)`.
+    pub coded: f64,
+}
+
+/// Generates the Figure 1 series for the given system over
+/// `ν = nu_min ..= nu_max`.
+pub fn figure1(p: SystemParams, nu_min: u32, nu_max: u32) -> Vec<Fig1Row> {
+    (nu_min..=nu_max)
+        .map(|nu| Fig1Row {
+            nu,
+            thm_b1: lower::singleton_total(p).to_f64(),
+            thm_51: lower::universal_total(p).to_f64(),
+            thm_65: lower::multi_version_total(p, nu).to_f64(),
+            abd: upper::replication_total(p).to_f64(),
+            coded: upper::coded_total(p, nu).to_f64(),
+        })
+        .collect()
+}
+
+/// The paper's exact Figure 1 configuration: `N = 21`, `f = 10`,
+/// `ν = 0..=16`.
+pub fn paper_figure1() -> Vec<Fig1Row> {
+    let p = SystemParams::new(21, 10).expect("paper parameters are valid");
+    figure1(p, 0, 16)
+}
+
+/// Renders a Figure 1 series as a table.
+pub fn as_table(p: SystemParams, rows: &[Fig1Row]) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Figure 1: normalized total-storage cost, {p} (|V| -> inf)"
+        ),
+        &[
+            "nu",
+            "Theorem B.1",
+            "Theorem 5.1",
+            "Theorem 6.5",
+            "ABD (f+1)",
+            "Erasure-coding",
+        ],
+    );
+    for r in rows {
+        t.push(vec![
+            r.nu.to_string(),
+            format!("{:.4}", r.thm_b1),
+            format!("{:.4}", r.thm_51),
+            format!("{:.4}", r.thm_65),
+            format!("{:.4}", r.abd),
+            format!("{:.4}", r.coded),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_at_key_points() {
+        let rows = paper_figure1();
+        assert_eq!(rows.len(), 17);
+        let at = |nu: u32| rows.iter().find(|r| r.nu == nu).unwrap();
+
+        // Flat series.
+        for r in &rows {
+            assert!((r.thm_b1 - 21.0 / 11.0).abs() < 1e-12);
+            assert!((r.thm_51 - 42.0 / 13.0).abs() < 1e-12);
+            assert!((r.abd - 11.0).abs() < 1e-12);
+        }
+        // Theorem 6.5 saturates at f+1 = 11 from nu = 11 on.
+        assert_eq!(at(0).thm_65, 0.0);
+        assert!((at(1).thm_65 - 21.0 / 11.0).abs() < 1e-12);
+        assert!((at(11).thm_65 - 11.0).abs() < 1e-12);
+        assert!((at(16).thm_65 - 11.0).abs() < 1e-12);
+        // Erasure coding grows linearly and crosses ABD at nu = 6.
+        assert!(at(5).coded < at(5).abd);
+        assert!(at(6).coded > at(6).abd);
+    }
+
+    #[test]
+    fn shape_lower_bounds_below_matching_uppers() {
+        // Who wins and where: the 6.5 lower bound never exceeds the coded
+        // upper bound, and caps at the ABD line.
+        for r in paper_figure1() {
+            if r.nu >= 1 {
+                assert!(r.thm_65 <= r.coded + 1e-12, "nu={}", r.nu);
+            }
+            assert!(r.thm_65 <= r.abd + 1e-12);
+            assert!(r.thm_b1 <= r.thm_51);
+        }
+    }
+
+    #[test]
+    fn table_rendering_has_all_series() {
+        let p = SystemParams::new(21, 10).unwrap();
+        let rows = figure1(p, 0, 4);
+        let t = as_table(p, &rows);
+        assert_eq!(t.rows.len(), 5);
+        assert_eq!(t.header.len(), 6);
+        let text = crate::render::render_text(&t);
+        assert!(text.contains("Theorem 6.5"));
+    }
+
+    #[test]
+    fn generalizes_to_other_systems() {
+        let p = SystemParams::new(7, 3).unwrap();
+        let rows = figure1(p, 1, 8);
+        for r in &rows {
+            assert!(r.thm_b1 > 1.0);
+            assert!(r.thm_51 > r.thm_b1);
+        }
+    }
+}

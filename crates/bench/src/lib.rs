@@ -1,0 +1,25 @@
+//! Figure and table generators reproducing the paper's evaluation.
+//!
+//! The paper's quantitative content is Figure 1 plus the corollaries'
+//! finite-`|V|` forms and the Section 2/7 comparisons. Each generator here
+//! returns typed rows (so tests can assert on them) and the
+//! `figures` binary renders them as aligned text and CSV.
+//!
+//! | Generator | Paper artifact | Experiment id (DESIGN.md) |
+//! |---|---|---|
+//! | [`fig1::figure1`] | Figure 1 | E1 |
+//! | [`tables::finite_v_table`] | Corollaries B.2/4.2/5.2/6.6 exact forms | E2 |
+//! | [`tables::ratio_table`] | §2.2 "twice as strong" | E3 |
+//! | [`tables::crossover_table`] | §2.3 coding/replication crossover | E4 |
+//! | [`measured::measured_table`] | measured ABD/CAS/CASGC vs bounds | E5, E6 |
+//! | [`measured::constraint_table`] | Thm B.1/4.1 counting verification | E7 |
+//! | [`measured::multiwrite_table`] | §6 staged construction | E8 |
+//! | [`tables::section7_table`] | §7 trichotomy | E9 |
+
+pub mod fig1;
+pub mod measured;
+pub mod render;
+pub mod tables;
+
+pub use fig1::{figure1, Fig1Row};
+pub use render::{render_csv, render_json, render_text, Table};

@@ -1,0 +1,144 @@
+//! Plain-text and CSV rendering for the generated tables.
+
+/// A generic table: header + string rows.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize)]
+pub struct Table {
+    /// Table title (also the CSV file stem).
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Rows of cells, each the same length as `header`.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and header.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+}
+
+/// Renders an aligned plain-text table.
+pub fn render_text(table: &Table) -> String {
+    let mut widths: Vec<usize> = table.header.iter().map(String::len).collect();
+    for row in &table.rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {} ==\n", table.title));
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(&table.header));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in &table.rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders RFC-4180-ish CSV (cells containing commas or quotes are
+/// quoted).
+pub fn render_csv(table: &Table) -> String {
+    let esc = |cell: &str| -> String {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    };
+    let mut out = String::new();
+    out.push_str(
+        &table
+            .header
+            .iter()
+            .map(|c| esc(c))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in &table.rows {
+        out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the table as a JSON object: `{title, header, rows}` — for
+/// machine consumption alongside the CSV.
+///
+/// # Panics
+///
+/// Never panics: the table is plain strings.
+pub fn render_json(table: &Table) -> String {
+    serde_json::to_string_pretty(table).expect("tables are plain data")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["a", "bb"]);
+        t.push(vec!["1".into(), "x,y".into()]);
+        t.push(vec!["22".into(), "z\"q".into()]);
+        t
+    }
+
+    #[test]
+    fn text_is_aligned() {
+        let text = render_text(&sample());
+        assert!(text.contains("== demo =="));
+        let lines: Vec<&str> = text.lines().collect();
+        // Header and rows share the same width.
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let csv = render_csv(&sample());
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"z\"\"q\""));
+        assert!(csv.starts_with("a,bb\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("bad", &["one"]);
+        t.push(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let t = sample();
+        let json = render_json(&t);
+        assert!(json.contains("\"title\": \"demo\""));
+        let back: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(back["rows"][0][1], "x,y");
+    }
+}

@@ -1,0 +1,201 @@
+//! Experiments E2–E4 and E9: analytic tables.
+
+use crate::render::Table;
+use shmem_bounds::{lower, upper, Ratio, SystemParams, ValueDomain};
+use shmem_core::section7::{classify_curve, KnownAlgorithm};
+
+/// E2: the corollaries' exact finite-`|V|` forms (total storage, bits) for
+/// several domain sizes, with the asymptotic slope for reference.
+pub fn finite_v_table(p: SystemParams, nu: u32, bits: &[u32]) -> Table {
+    let mut t = Table::new(
+        format!("Finite-|V| exact bounds (total bits), {p}, nu={nu}"),
+        &[
+            "log2|V|",
+            "Cor B.2",
+            "Cor 4.2",
+            "Cor 5.2",
+            "Cor 6.6",
+            "B.2/log2|V|",
+            "4.2/log2|V|",
+            "5.2/log2|V|",
+            "6.6/log2|V|",
+        ],
+    );
+    for &b in bits {
+        let d = ValueDomain::from_bits(b);
+        let l = d.log2_card();
+        let b2 = lower::singleton_total_bits(p, d);
+        let c42 = lower::no_gossip_total_bits(p, d);
+        let c52 = lower::universal_total_bits(p, d);
+        let c66 = lower::multi_version_total_bits(p, nu, d);
+        t.push(vec![
+            b.to_string(),
+            format!("{b2:.2}"),
+            format!("{c42:.2}"),
+            format!("{c52:.2}"),
+            format!("{c66:.2}"),
+            format!("{:.4}", b2 / l),
+            format!("{:.4}", c42 / l),
+            format!("{:.4}", c52 / l),
+            format!("{:.4}", c66 / l),
+        ]);
+    }
+    t
+}
+
+/// E3: Section 2.2's claim that the new bounds are about twice the old
+/// `N/(N−f)` bound — the ratio `Thm 5.1 / Thm B.1` as `N` grows with `f`
+/// fixed.
+pub fn ratio_table(f: u32, ns: &[u32]) -> Table {
+    let mut t = Table::new(
+        format!("Improvement ratio over Theorem B.1 (f={f} fixed)"),
+        &["N", "Thm B.1", "Thm 4.1", "Thm 5.1", "5.1/B.1", "4.1/B.1"],
+    );
+    for &n in ns {
+        let p = SystemParams::new(n, f).expect("valid parameter grid");
+        let b1 = lower::singleton_total(p);
+        let t41 = lower::no_gossip_total(p);
+        let t51 = lower::universal_total(p);
+        t.push(vec![
+            n.to_string(),
+            format!("{:.4}", b1.to_f64()),
+            format!("{:.4}", t41.to_f64()),
+            format!("{:.4}", t51.to_f64()),
+            format!("{:.4}", (t51 / b1).to_f64()),
+            format!("{:.4}", (t41 / b1).to_f64()),
+        ]);
+    }
+    t
+}
+
+/// E4: the replication-vs-erasure-coding crossover `ν = ⌈(f+1)(N−f)/N⌉`
+/// over a parameter grid (Section 2.3).
+pub fn crossover_table(grid: &[(u32, u32)]) -> Table {
+    let mut t = Table::new(
+        "Coding-vs-replication crossover (smallest nu where coding stops winning)",
+        &["N", "f", "crossover nu", "coded@nu-1", "coded@nu", "ABD"],
+    );
+    for &(n, f) in grid {
+        let p = SystemParams::new(n, f).expect("valid parameter grid");
+        let x = upper::coding_replication_crossover(p);
+        let before = if x > 1 {
+            format!("{:.3}", upper::coded_total(p, x - 1).to_f64())
+        } else {
+            "-".to_string()
+        };
+        t.push(vec![
+            n.to_string(),
+            f.to_string(),
+            x.to_string(),
+            before,
+            format!("{:.3}", upper::coded_total(p, x).to_f64()),
+            format!("{:.3}", upper::replication_total(p).to_f64()),
+        ]);
+    }
+    t
+}
+
+/// E9: the Section 7 trichotomy applied to known algorithms and to the
+/// hypothetical cost curves the concluding section discusses.
+pub fn section7_table(p: SystemParams, nu_max: u32) -> Table {
+    let mut t = Table::new(
+        format!("Section 7 trichotomy, {p}, curves sampled to nu={nu_max}"),
+        &[
+            "cost curve g(nu)",
+            "liveness",
+            "impossible",
+            "needs exotic writes",
+            "needs cross-version coding",
+        ],
+    );
+    type Curve = Box<dyn Fn(u32) -> Ratio>;
+    let entries: Vec<(&str, Curve, bool)> = vec![
+        (
+            "ABD: f+1",
+            Box::new(move |nu| KnownAlgorithm::AbdReplication.cost(p, nu)),
+            true,
+        ),
+        (
+            "coded: nu*N/(N-f)",
+            Box::new(move |nu| KnownAlgorithm::ErasureCoded.cost(p, nu)),
+            false,
+        ),
+        (
+            "old bound: N/(N-f)",
+            Box::new(move |_| lower::singleton_total(p)),
+            true,
+        ),
+        (
+            "flat f (open question)",
+            Box::new(move |_| Ratio::from(p.f())),
+            false,
+        ),
+    ];
+    for (name, curve, unconditional) in entries {
+        let v = classify_curve(p, nu_max, curve, unconditional);
+        t.push(vec![
+            name.to_string(),
+            if unconditional {
+                "unconditional"
+            } else {
+                "bounded-nu"
+            }
+            .to_string(),
+            v.impossible.to_string(),
+            v.requires_exotic_writes.to_string(),
+            v.requires_cross_version_coding.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1() -> SystemParams {
+        SystemParams::new(21, 10).unwrap()
+    }
+
+    #[test]
+    fn finite_v_converges_upward_to_slope() {
+        let t = finite_v_table(fig1(), 3, &[8, 16, 64, 1024]);
+        assert_eq!(t.rows.len(), 4);
+        // Normalized Cor 5.2 approaches 42/13 from below as |V| grows.
+        let parse = |s: &str| s.parse::<f64>().unwrap();
+        let first = parse(&t.rows[0][7]);
+        let last = parse(&t.rows[3][7]);
+        assert!(first < last);
+        assert!(last <= 42.0 / 13.0 + 1e-9);
+        assert!((last - 42.0 / 13.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn ratio_approaches_two() {
+        let t = ratio_table(10, &[21, 51, 101, 1001, 10001]);
+        let last_ratio: f64 = t.rows.last().unwrap()[4].parse().unwrap();
+        assert!((last_ratio - 2.0).abs() < 0.01, "ratio={last_ratio}");
+        // The ratio grows monotonically with N.
+        let ratios: Vec<f64> = t.rows.iter().map(|r| r[4].parse().unwrap()).collect();
+        assert!(ratios.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+    }
+
+    #[test]
+    fn crossover_for_paper_params_is_six() {
+        let t = crossover_table(&[(21, 10), (5, 2), (101, 50)]);
+        assert_eq!(t.rows[0][2], "6");
+    }
+
+    #[test]
+    fn section7_rows_match_expectations() {
+        let t = section7_table(fig1(), 16);
+        // ABD: clean.
+        assert_eq!(&t.rows[0][2..5], ["false", "false", "false"]);
+        // Coded: clean (conditional liveness).
+        assert_eq!(&t.rows[1][2..5], ["false", "false", "false"]);
+        // Old bound flat line: impossible under unconditional liveness.
+        assert_eq!(t.rows[2][2], "true");
+        // Flat f: needs exotic writes AND cross-version coding.
+        assert_eq!(&t.rows[3][2..5], ["false", "true", "true"]);
+    }
+}

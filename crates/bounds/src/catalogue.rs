@@ -1,0 +1,205 @@
+//! A uniform catalogue of every bound in the paper, used by the figure and
+//! table generators to enumerate series without hand-wiring each formula.
+
+use crate::params::SystemParams;
+use crate::ratio::Ratio;
+use crate::{lower, upper};
+use std::fmt;
+
+/// Whether a catalogue entry is a lower bound (impossibility) or an upper
+/// bound (achievable cost).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum BoundKind {
+    /// Impossibility result: no algorithm in the stated class does better.
+    Lower,
+    /// Achievability: a known algorithm attains this cost.
+    Upper,
+}
+
+/// Every bound series that appears in the paper's Figure 1 plus the
+/// auxiliary ones (Theorem 4.1, CAS with its native code dimension).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Bound {
+    /// Theorem B.1 / Corollary B.2: `N/(N−f)`.
+    SingletonB1,
+    /// Theorem 4.1 / Corollary 4.2: `2N/(N−f+1)`, no gossip, `f ≥ 2`.
+    NoGossip41,
+    /// Theorem 5.1 / Corollary 5.2: `2N/(N−f+2)`, universal.
+    Universal51,
+    /// Theorem 6.5 / Corollary 6.6: `ν*N/(N−f+ν*−1)`.
+    MultiVersion65,
+    /// ABD on a minimal replica set: `f+1`.
+    AbdReplication,
+    /// Erasure-coding based algorithms: `ν·N/(N−f)`.
+    ErasureCoded,
+}
+
+impl Bound {
+    /// All catalogue entries, in the order the paper's Figure 1 legend lists
+    /// them (lower bounds first).
+    pub const ALL: [Bound; 6] = [
+        Bound::SingletonB1,
+        Bound::NoGossip41,
+        Bound::Universal51,
+        Bound::MultiVersion65,
+        Bound::AbdReplication,
+        Bound::ErasureCoded,
+    ];
+
+    /// Lower or upper bound.
+    pub fn kind(self) -> BoundKind {
+        match self {
+            Bound::SingletonB1 | Bound::NoGossip41 | Bound::Universal51 | Bound::MultiVersion65 => {
+                BoundKind::Lower
+            }
+            Bound::AbdReplication | Bound::ErasureCoded => BoundKind::Upper,
+        }
+    }
+
+    /// Where the result appears in the paper.
+    pub fn paper_ref(self) -> &'static str {
+        match self {
+            Bound::SingletonB1 => "Theorem B.1 / Corollary B.2",
+            Bound::NoGossip41 => "Theorem 4.1 / Corollary 4.2",
+            Bound::Universal51 => "Theorem 5.1 / Corollary 5.2",
+            Bound::MultiVersion65 => "Theorem 6.5 / Corollary 6.6",
+            Bound::AbdReplication => "Attiya-Bar-Noy-Dolev [3]",
+            Bound::ErasureCoded => "CAS/CASGC [5,6], ORCAS [12], et al.",
+        }
+    }
+
+    /// The algorithm class the bound applies to (lower bounds) or the
+    /// liveness condition under which the cost is achieved (upper bounds).
+    pub fn scope(self) -> &'static str {
+        match self {
+            Bound::SingletonB1 => "any regular SWSR emulation",
+            Bound::NoGossip41 => "regular SWSR, no server-to-server messages, f >= 2",
+            Bound::Universal51 => "regular SWSR, fully universal",
+            Bound::MultiVersion65 => {
+                "weakly-regular MWSR, single-value-phase writes (Assumptions 1-3), \
+                 liveness under <= nu active writes"
+            }
+            Bound::AbdReplication => "atomic MWMR, unconditional liveness with f < N/2",
+            Bound::ErasureCoded => "atomic, liveness under <= nu active writes",
+        }
+    }
+
+    /// Whether the series varies with the active-write budget `ν`.
+    pub fn depends_on_nu(self) -> bool {
+        matches!(self, Bound::MultiVersion65 | Bound::ErasureCoded)
+    }
+
+    /// The normalized total-storage value at `(p, nu)`, or `None` when the
+    /// bound does not apply (Theorem 4.1 with `f < 2`).
+    pub fn normalized_total(self, p: SystemParams, nu: u32) -> Option<Ratio> {
+        match self {
+            Bound::SingletonB1 => Some(lower::singleton_total(p)),
+            Bound::NoGossip41 => p
+                .supports_no_gossip_bound()
+                .then(|| lower::no_gossip_total(p)),
+            Bound::Universal51 => Some(lower::universal_total(p)),
+            Bound::MultiVersion65 => Some(lower::multi_version_total(p, nu)),
+            Bound::AbdReplication => Some(upper::replication_total(p)),
+            Bound::ErasureCoded => Some(upper::coded_total(p, nu)),
+        }
+    }
+
+    /// Short label used in figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Bound::SingletonB1 => "Theorem B.1",
+            Bound::NoGossip41 => "Theorem 4.1",
+            Bound::Universal51 => "Theorem 5.1",
+            Bound::MultiVersion65 => "Theorem 6.5",
+            Bound::AbdReplication => "ABD algorithm",
+            Bound::ErasureCoded => "Erasure-coding",
+        }
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One evaluated point of a bound series: `(bound, nu, value)`.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+pub struct BoundValue {
+    /// Which bound.
+    pub bound: Bound,
+    /// Active-write budget the point was evaluated at.
+    pub nu: u32,
+    /// Normalized total-storage value (`None` if inapplicable).
+    pub normalized_total: Option<f64>,
+}
+
+/// Evaluates every catalogue bound at `(p, nu)` — one column of Figure 1.
+pub fn evaluate_all(p: SystemParams, nu: u32) -> Vec<BoundValue> {
+    Bound::ALL
+        .iter()
+        .map(|&b| BoundValue {
+            bound: b,
+            nu,
+            normalized_total: b.normalized_total(p, nu).map(Ratio::to_f64),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_covers_figure1_at_nu_6() {
+        let p = SystemParams::new(21, 10).unwrap();
+        let vals = evaluate_all(p, 6);
+        assert_eq!(vals.len(), 6);
+        let get = |b: Bound| {
+            vals.iter()
+                .find(|v| v.bound == b)
+                .unwrap()
+                .normalized_total
+                .unwrap()
+        };
+        assert!((get(Bound::SingletonB1) - 21.0 / 11.0).abs() < 1e-12);
+        assert!((get(Bound::Universal51) - 42.0 / 13.0).abs() < 1e-12);
+        assert!((get(Bound::MultiVersion65) - 6.0 * 21.0 / 16.0).abs() < 1e-12);
+        assert!((get(Bound::AbdReplication) - 11.0).abs() < 1e-12);
+        assert!((get(Bound::ErasureCoded) - 6.0 * 21.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_gossip_inapplicable_at_f1() {
+        let p = SystemParams::new(3, 1).unwrap();
+        assert_eq!(Bound::NoGossip41.normalized_total(p, 1), None);
+        let vals = evaluate_all(p, 1);
+        let ng = vals.iter().find(|v| v.bound == Bound::NoGossip41).unwrap();
+        assert_eq!(ng.normalized_total, None);
+    }
+
+    #[test]
+    fn kinds_and_metadata() {
+        assert_eq!(Bound::SingletonB1.kind(), BoundKind::Lower);
+        assert_eq!(Bound::ErasureCoded.kind(), BoundKind::Upper);
+        for b in Bound::ALL {
+            assert!(!b.paper_ref().is_empty());
+            assert!(!b.scope().is_empty());
+            assert!(!b.label().is_empty());
+        }
+        assert!(Bound::MultiVersion65.depends_on_nu());
+        assert!(!Bound::Universal51.depends_on_nu());
+    }
+
+    #[test]
+    fn lower_bounds_never_exceed_matching_uppers_in_catalogue() {
+        // Theorem 6.5 (lower) vs erasure coding (upper) apply to the same
+        // bounded-concurrency class; the lower must not exceed the upper.
+        let p = SystemParams::new(21, 10).unwrap();
+        for nu in 1..=16 {
+            let lo = Bound::MultiVersion65.normalized_total(p, nu).unwrap();
+            let hi = Bound::ErasureCoded.normalized_total(p, nu).unwrap();
+            assert!(lo <= hi, "nu={nu}");
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The value domain `V` that the emulated register stores.
+
+use std::fmt;
+
+/// The finite set `V` of values the register can hold, represented by its
+/// cardinality (possibly astronomically large, hence stored as `log2 |V|`).
+///
+/// The finite-`|V|` bound forms need `log2 |V|`, `log2(|V|−1)` and
+/// `log2 C(|V|−1, k)`; this type computes all three accurately for both tiny
+/// domains (where the `−1` matters) and huge ones (where it vanishes).
+///
+/// # Examples
+///
+/// ```
+/// use shmem_bounds::ValueDomain;
+///
+/// let tiny = ValueDomain::from_cardinality(4)?;
+/// assert_eq!(tiny.log2_card(), 2.0);
+/// assert!((tiny.log2_card_minus_one() - 3f64.log2()).abs() < 1e-12);
+///
+/// let huge = ValueDomain::from_bits(1024); // |V| = 2^1024
+/// assert_eq!(huge.log2_card(), 1024.0);
+/// // log2(|V| - 1) is indistinguishable from log2 |V| at this size.
+/// assert_eq!(huge.log2_card_minus_one(), 1024.0);
+/// # Ok::<(), shmem_bounds::domain::DomainError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ValueDomain {
+    log2_card: f64,
+    /// Exact cardinality when it fits in a `u128`.
+    exact_card: Option<u128>,
+}
+
+impl ValueDomain {
+    /// A domain with exactly `card` values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DomainError::TooSmall`] if `card < 2` — the paper's proofs
+    /// all need at least two distinct values to write.
+    pub fn from_cardinality(card: u128) -> Result<ValueDomain, DomainError> {
+        if card < 2 {
+            return Err(DomainError::TooSmall { card });
+        }
+        Ok(ValueDomain {
+            log2_card: (card as f64).log2(),
+            exact_card: Some(card),
+        })
+    }
+
+    /// A domain of `|V| = 2^bits` values (e.g. `from_bits(32)` for 32-bit
+    /// register values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0`.
+    pub fn from_bits(bits: u32) -> ValueDomain {
+        assert!(bits > 0, "value domain needs at least 1 bit");
+        ValueDomain {
+            log2_card: bits as f64,
+            exact_card: if bits < 128 { Some(1u128 << bits) } else { None },
+        }
+    }
+
+    /// `log2 |V|` — the information content of one value, in bits.
+    pub fn log2_card(self) -> f64 {
+        self.log2_card
+    }
+
+    /// The exact cardinality, when it fits in a `u128`.
+    pub fn cardinality(self) -> Option<u128> {
+        self.exact_card
+    }
+
+    /// `log2(|V| − 1)`, computed exactly for small domains and as
+    /// `log2 |V| + log2(1 − 2^(−log2|V|))` for huge ones.
+    pub fn log2_card_minus_one(self) -> f64 {
+        match self.exact_card {
+            Some(card) => ((card - 1) as f64).log2(),
+            None => {
+                // |V| ≥ 2^128 here: the correction log2(1 - 1/|V|) is far
+                // below f64 resolution, so log2(|V|-1) == log2 |V| exactly.
+                self.log2_card
+            }
+        }
+    }
+
+    /// `log2 C(|V| − 1, k)` — the log-cardinality of the set `V0` of distinct
+    /// value tuples in Theorem 6.5's counting argument.
+    ///
+    /// Computed as `Σ_{i=0}^{k−1} [log2(|V|−1−i) − log2(k−i)]`, which is
+    /// accurate both when `|V|` is tiny and when it dwarfs `k`.
+    ///
+    /// Returns `f64::NEG_INFINITY` if the binomial is zero (i.e. `k > |V|−1`
+    /// for an exactly-known domain).
+    pub fn log2_binomial_card_minus_one(self, k: u32) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        match self.exact_card {
+            Some(card) => {
+                let m = card - 1;
+                if (k as u128) > m {
+                    return f64::NEG_INFINITY;
+                }
+                let mut acc = 0.0;
+                for i in 0..k as u128 {
+                    acc += ((m - i) as f64).log2() - ((k as u128 - i) as f64).log2();
+                }
+                acc
+            }
+            None => {
+                // |V|−1−i ≈ |V| to f64 precision for all i ≤ k ≪ 2^128.
+                k as f64 * self.log2_card - crate::util::log2_factorial(k)
+            }
+        }
+    }
+}
+
+impl fmt::Display for ValueDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.exact_card {
+            Some(card) => write!(f, "|V|={card}"),
+            None => write!(f, "|V|=2^{}", self.log2_card),
+        }
+    }
+}
+
+/// Errors from [`ValueDomain`] constructors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DomainError {
+    /// Cardinality below 2: a register over fewer than two values stores no
+    /// information and the bounds are vacuous.
+    TooSmall {
+        /// The rejected cardinality.
+        card: u128,
+    },
+}
+
+impl fmt::Display for DomainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainError::TooSmall { card } => {
+                write!(f, "value domain must have at least 2 values, got {card}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DomainError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_domain_exact() {
+        let d = ValueDomain::from_cardinality(8).unwrap();
+        assert_eq!(d.log2_card(), 3.0);
+        assert_eq!(d.cardinality(), Some(8));
+        assert!((d.log2_card_minus_one() - 7f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_trivial_domain() {
+        assert!(ValueDomain::from_cardinality(0).is_err());
+        assert!(ValueDomain::from_cardinality(1).is_err());
+        assert!(ValueDomain::from_cardinality(2).is_ok());
+    }
+
+    #[test]
+    fn from_bits_matches_cardinality() {
+        let a = ValueDomain::from_bits(10);
+        let b = ValueDomain::from_cardinality(1024).unwrap();
+        assert_eq!(a.log2_card(), b.log2_card());
+        assert_eq!(a.cardinality(), b.cardinality());
+    }
+
+    #[test]
+    fn huge_domain_has_no_exact_cardinality() {
+        let d = ValueDomain::from_bits(4096);
+        assert_eq!(d.cardinality(), None);
+        assert_eq!(d.log2_card(), 4096.0);
+        assert_eq!(d.log2_card_minus_one(), 4096.0);
+    }
+
+    #[test]
+    fn binomial_small_exact() {
+        // C(7, 3) = 35.
+        let d = ValueDomain::from_cardinality(8).unwrap();
+        assert!((d.log2_binomial_card_minus_one(3) - 35f64.log2()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn binomial_k_zero_is_zero() {
+        let d = ValueDomain::from_cardinality(8).unwrap();
+        assert_eq!(d.log2_binomial_card_minus_one(0), 0.0);
+    }
+
+    #[test]
+    fn binomial_overflowing_k_is_neg_infinity() {
+        // C(3, 5) = 0 so its log is -inf.
+        let d = ValueDomain::from_cardinality(4).unwrap();
+        assert_eq!(d.log2_binomial_card_minus_one(5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn binomial_huge_domain_approximation() {
+        // log2 C(2^256 - 1, 4) ≈ 4*256 - log2(24).
+        let d = ValueDomain::from_bits(256);
+        let expected = 4.0 * 256.0 - 24f64.log2();
+        assert!((d.log2_binomial_card_minus_one(4) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            ValueDomain::from_cardinality(16).unwrap().to_string(),
+            "|V|=16"
+        );
+        assert_eq!(ValueDomain::from_bits(512).to_string(), "|V|=2^512");
+    }
+}

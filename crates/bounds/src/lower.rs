@@ -1,0 +1,446 @@
+//! The paper's storage-cost **lower bounds**.
+//!
+//! | Function family | Paper result | Scope |
+//! |---|---|---|
+//! | `singleton_*` | Theorem B.1 / Corollary B.2 | any regular SWSR algorithm |
+//! | `no_gossip_*` | Theorem 4.1 / Corollary 4.2 | regular SWSR, no server-to-server messages, `f ≥ 2` |
+//! | `universal_*` | Theorem 5.1 / Corollary 5.2 | regular SWSR, fully universal |
+//! | `multi_version_*` | Theorem 6.5 / Corollary 6.6 | weakly-regular MWSR, single-value-phase writes (Assumptions 1–3) |
+//!
+//! Each family provides a normalized asymptotic form (`*_total`, `*_max`,
+//! returning the exact [`Ratio`] coefficient of `log2 |V|`) and a
+//! finite-`|V|` form in bits (`*_total_bits`, `*_max_bits`).
+
+use crate::domain::ValueDomain;
+use crate::params::SystemParams;
+use crate::ratio::Ratio;
+use crate::util::log2_u32;
+
+// ---------------------------------------------------------------------------
+// Theorem B.1 / Corollary B.2 — the Singleton-style baseline bound.
+// ---------------------------------------------------------------------------
+
+/// Corollary B.2, normalized: `TotalStorage / log2|V| ≥ N / (N − f)`.
+///
+/// ```
+/// use shmem_bounds::{lower, Ratio, SystemParams};
+/// let p = SystemParams::new(21, 10)?;
+/// assert_eq!(lower::singleton_total(p), Ratio::new(21, 11));
+/// # Ok::<(), shmem_bounds::ParamError>(())
+/// ```
+pub fn singleton_total(p: SystemParams) -> Ratio {
+    Ratio::new(p.n() as i128, p.quorum() as i128)
+}
+
+/// Corollary B.2, normalized: `MaxStorage / log2|V| ≥ 1 / (N − f)`.
+pub fn singleton_max(p: SystemParams) -> Ratio {
+    Ratio::new(1, p.quorum() as i128)
+}
+
+/// Corollary B.2, exact bits: `TotalStorage ≥ N · log2|V| / (N − f)`.
+pub fn singleton_total_bits(p: SystemParams, d: ValueDomain) -> f64 {
+    p.n() as f64 * d.log2_card() / p.quorum() as f64
+}
+
+/// Corollary B.2, exact bits: `MaxStorage ≥ log2|V| / (N − f)`.
+pub fn singleton_max_bits(p: SystemParams, d: ValueDomain) -> f64 {
+    d.log2_card() / p.quorum() as f64
+}
+
+/// Theorem B.1, the subset constraint right-hand side: for every subset of
+/// `N − f` servers, `Σ log2|S_n| ≥ log2 |V|`.
+pub fn singleton_subset_rhs_bits(d: ValueDomain) -> f64 {
+    d.log2_card()
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4.1 / Corollary 4.2 — no server gossip.
+// ---------------------------------------------------------------------------
+
+/// Corollary 4.2, normalized: `TotalStorage / log2|V| ≥ 2N / (N − f + 1)`.
+///
+/// Requires no server-to-server channels and `f ≥ 2`
+/// ([`SystemParams::supports_no_gossip_bound`]).
+///
+/// ```
+/// use shmem_bounds::{lower, Ratio, SystemParams};
+/// let p = SystemParams::new(21, 10)?;
+/// assert_eq!(lower::no_gossip_total(p), Ratio::new(42, 12));
+/// # Ok::<(), shmem_bounds::ParamError>(())
+/// ```
+pub fn no_gossip_total(p: SystemParams) -> Ratio {
+    Ratio::new(2 * p.n() as i128, p.quorum() as i128 + 1)
+}
+
+/// Corollary 4.2, normalized: `MaxStorage / log2|V| ≥ 2 / (N − f + 1)`.
+pub fn no_gossip_max(p: SystemParams) -> Ratio {
+    Ratio::new(2, p.quorum() as i128 + 1)
+}
+
+/// Corollary 4.2, exact bits:
+/// `TotalStorage ≥ N (log2|V| + log2(|V|−1) − log2(N−f)) / (N − f + 1)`.
+///
+/// The result is clamped at zero: for very small `|V|` the correction terms
+/// can make the algebraic right-hand side negative, in which case the bound
+/// is vacuous.
+pub fn no_gossip_total_bits(p: SystemParams, d: ValueDomain) -> f64 {
+    (p.n() as f64 * no_gossip_rhs_numerator(p, d) / (p.quorum() as f64 + 1.0)).max(0.0)
+}
+
+/// Corollary 4.2, exact bits:
+/// `MaxStorage ≥ (log2|V| + log2(|V|−1) − log2(N−f)) / (N − f + 1)`, clamped
+/// at zero.
+pub fn no_gossip_max_bits(p: SystemParams, d: ValueDomain) -> f64 {
+    (no_gossip_rhs_numerator(p, d) / (p.quorum() as f64 + 1.0)).max(0.0)
+}
+
+/// Theorem 4.1, the subset constraint right-hand side: for every subset `𝒩`
+/// of `N − f` servers,
+/// `Σ_{n∈𝒩} log2|S_n| + max_{n∈𝒩} log2|S_n| ≥` this value.
+pub fn no_gossip_subset_rhs_bits(p: SystemParams, d: ValueDomain) -> f64 {
+    no_gossip_rhs_numerator(p, d)
+}
+
+fn no_gossip_rhs_numerator(p: SystemParams, d: ValueDomain) -> f64 {
+    d.log2_card() + d.log2_card_minus_one() - log2_u32(p.quorum())
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 5.1 / Corollary 5.2 — universal (gossip allowed).
+// ---------------------------------------------------------------------------
+
+/// Corollary 5.2, normalized: `TotalStorage / log2|V| ≥ 2N / (N − f + 2)`.
+///
+/// ```
+/// use shmem_bounds::{lower, Ratio, SystemParams};
+/// let p = SystemParams::new(21, 10)?;
+/// assert_eq!(lower::universal_total(p), Ratio::new(42, 13));
+/// # Ok::<(), shmem_bounds::ParamError>(())
+/// ```
+pub fn universal_total(p: SystemParams) -> Ratio {
+    Ratio::new(2 * p.n() as i128, p.quorum() as i128 + 2)
+}
+
+/// Corollary 5.2, normalized: `MaxStorage / log2|V| ≥ 2 / (N − f + 2)`.
+pub fn universal_max(p: SystemParams) -> Ratio {
+    Ratio::new(2, p.quorum() as i128 + 2)
+}
+
+/// Corollary 5.2, exact bits:
+/// `TotalStorage ≥ N (log2|V| + log2(|V|−1) − 2·log2(N−f)) / (N − f + 2)`,
+/// clamped at zero.
+pub fn universal_total_bits(p: SystemParams, d: ValueDomain) -> f64 {
+    (p.n() as f64 * universal_rhs_numerator(p, d) / (p.quorum() as f64 + 2.0)).max(0.0)
+}
+
+/// Corollary 5.2, exact bits:
+/// `MaxStorage ≥ (log2|V| + log2(|V|−1) − 2·log2(N−f)) / (N − f + 2)`,
+/// clamped at zero.
+pub fn universal_max_bits(p: SystemParams, d: ValueDomain) -> f64 {
+    (universal_rhs_numerator(p, d) / (p.quorum() as f64 + 2.0)).max(0.0)
+}
+
+/// Theorem 5.1, the subset constraint right-hand side: for every subset `𝒩`
+/// of `N − f` servers,
+/// `Σ_{n∈𝒩} log2|S_n| + 2·max_{n∈𝒩} log2|S_n| ≥` this value.
+pub fn universal_subset_rhs_bits(p: SystemParams, d: ValueDomain) -> f64 {
+    universal_rhs_numerator(p, d)
+}
+
+fn universal_rhs_numerator(p: SystemParams, d: ValueDomain) -> f64 {
+    d.log2_card() + d.log2_card_minus_one() - 2.0 * log2_u32(p.quorum())
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 6.5 / Corollary 6.6 — restricted write protocols, ν active writes.
+// ---------------------------------------------------------------------------
+
+/// Corollary 6.6, normalized:
+/// `TotalStorage / log2|V| ≥ ν* N / (N − f + ν* − 1)` with
+/// `ν* = min(ν, f + 1)`.
+///
+/// Returns [`Ratio::ZERO`] for `nu == 0` (no writes ⇒ vacuous bound).
+///
+/// ```
+/// use shmem_bounds::{lower, Ratio, SystemParams};
+/// let p = SystemParams::new(21, 10)?;
+/// // ν = 3: 3·21 / (21 − 10 + 2) = 63/13.
+/// assert_eq!(lower::multi_version_total(p, 3), Ratio::new(63, 13));
+/// // ν ≥ f + 1 saturates at the replication cost f + 1 = 11.
+/// assert_eq!(lower::multi_version_total(p, 11), Ratio::new(11, 1));
+/// assert_eq!(lower::multi_version_total(p, 100), Ratio::new(11, 1));
+/// # Ok::<(), shmem_bounds::ParamError>(())
+/// ```
+pub fn multi_version_total(p: SystemParams, nu: u32) -> Ratio {
+    let ns = p.nu_star(nu);
+    if ns == 0 {
+        return Ratio::ZERO;
+    }
+    Ratio::new(
+        ns as i128 * p.n() as i128,
+        p.quorum() as i128 + ns as i128 - 1,
+    )
+}
+
+/// Corollary 6.6, normalized:
+/// `MaxStorage / log2|V| ≥ ν* / (N − f + ν* − 1)`.
+pub fn multi_version_max(p: SystemParams, nu: u32) -> Ratio {
+    let ns = p.nu_star(nu);
+    if ns == 0 {
+        return Ratio::ZERO;
+    }
+    Ratio::new(ns as i128, p.quorum() as i128 + ns as i128 - 1)
+}
+
+/// Theorem 6.5, the subset constraint right-hand side: for the subset `𝒩` of
+/// the `min(N − f + ν − 1, N)` servers (see
+/// [`multi_version_subset_size`]),
+/// `Σ_{n∈𝒩} log2|S_n| ≥ log2 C(|V|−1, ν*) − ν*·log2(N−f+ν*−1) − log2(ν*!)`.
+///
+/// Clamped at zero (vacuous for tiny `|V|`).
+pub fn multi_version_subset_rhs_bits(p: SystemParams, nu: u32, d: ValueDomain) -> f64 {
+    let ns = p.nu_star(nu);
+    if ns == 0 {
+        return 0.0;
+    }
+    let denom_width = (p.quorum() + ns - 1) as f64;
+    (d.log2_binomial_card_minus_one(ns)
+        - ns as f64 * denom_width.log2()
+        - crate::util::log2_factorial(ns))
+    .max(0.0)
+}
+
+/// The size of the server subset Theorem 6.5's constraint applies to:
+/// `min(N − f + ν − 1, N)`.
+pub fn multi_version_subset_size(p: SystemParams, nu: u32) -> u32 {
+    (p.quorum() + nu.saturating_sub(1)).min(p.n())
+}
+
+/// Corollary 6.6, exact bits: total-storage form derived from the subset
+/// constraint by the paper's sorting argument (as in the proofs of
+/// Corollaries 4.2 and B.2):
+/// `TotalStorage ≥ N · RHS / (N − f + ν* − 1)`.
+pub fn multi_version_total_bits(p: SystemParams, nu: u32, d: ValueDomain) -> f64 {
+    let ns = p.nu_star(nu);
+    if ns == 0 {
+        return 0.0;
+    }
+    let width = (p.quorum() + ns - 1) as f64;
+    p.n() as f64 * multi_version_subset_rhs_bits(p, nu, d) / width
+}
+
+/// Corollary 6.6, exact bits: max-storage form,
+/// `MaxStorage ≥ RHS / (N − f + ν* − 1)`.
+pub fn multi_version_max_bits(p: SystemParams, nu: u32, d: ValueDomain) -> f64 {
+    let ns = p.nu_star(nu);
+    if ns == 0 {
+        return 0.0;
+    }
+    let width = (p.quorum() + ns - 1) as f64;
+    multi_version_subset_rhs_bits(p, nu, d) / width
+}
+
+/// The strongest normalized total-storage lower bound applicable to an
+/// algorithm class, given whether it gossips and (for restricted-write-
+/// protocol algorithms) the active-write budget:
+/// `max(B.1, 4.1-or-5.1, optionally 6.5)`.
+pub fn best_total(p: SystemParams, gossip: bool, restricted_writes: Option<u32>) -> Ratio {
+    let mut best = singleton_total(p);
+    let two_phase = if gossip || !p.supports_no_gossip_bound() {
+        universal_total(p)
+    } else {
+        no_gossip_total(p)
+    };
+    best = best.max(two_phase);
+    if let Some(nu) = restricted_writes {
+        best = best.max(multi_version_total(p, nu));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1() -> SystemParams {
+        SystemParams::new(21, 10).unwrap()
+    }
+
+    fn huge() -> ValueDomain {
+        ValueDomain::from_bits(4096)
+    }
+
+    #[test]
+    fn figure1_singleton_value() {
+        assert_eq!(singleton_total(fig1()), Ratio::new(21, 11));
+        assert_eq!(singleton_max(fig1()), Ratio::new(1, 11));
+    }
+
+    #[test]
+    fn figure1_no_gossip_value() {
+        assert_eq!(no_gossip_total(fig1()), Ratio::new(7, 2)); // 42/12
+        assert_eq!(no_gossip_max(fig1()), Ratio::new(1, 6)); // 2/12
+    }
+
+    #[test]
+    fn figure1_universal_value() {
+        assert_eq!(universal_total(fig1()), Ratio::new(42, 13));
+        assert_eq!(universal_max(fig1()), Ratio::new(2, 13));
+    }
+
+    #[test]
+    fn figure1_multi_version_series() {
+        let p = fig1();
+        // The Theorem 6.5 series from Figure 1: ν*N/(N−f+ν*−1).
+        let expect = [
+            (1, Ratio::new(21, 11)),
+            (2, Ratio::new(42, 12)),
+            (3, Ratio::new(63, 13)),
+            (5, Ratio::new(105, 15)), // = 7
+            (11, Ratio::new(11, 1)),
+            (16, Ratio::new(11, 1)), // saturated at f+1
+        ];
+        for (nu, want) in expect {
+            assert_eq!(multi_version_total(p, nu), want, "nu={nu}");
+        }
+    }
+
+    #[test]
+    fn multi_version_nu1_equals_singleton() {
+        // At ν = 1 Theorem 6.5 degenerates to N/(N−f), matching B.1.
+        for (n, f) in [(5, 2), (21, 10), (7, 3), (100, 49)] {
+            let p = SystemParams::new(n, f).unwrap();
+            assert_eq!(multi_version_total(p, 1), singleton_total(p));
+        }
+    }
+
+    #[test]
+    fn universal_is_about_twice_singleton_for_large_n() {
+        // Section 2.2: with f fixed and N → ∞ the new bound tends to twice
+        // the old one.
+        let f = 10;
+        let p = SystemParams::new(10_000, f).unwrap();
+        let ratio = (universal_total(p) / singleton_total(p)).to_f64();
+        assert!((ratio - 2.0).abs() < 0.01, "ratio={ratio}");
+    }
+
+    #[test]
+    fn no_gossip_dominates_universal() {
+        // N−f+1 < N−f+2 so the no-gossip bound is always at least the
+        // universal one (a smaller algorithm class gives a stronger bound).
+        for (n, f) in [(5, 2), (21, 10), (9, 4), (33, 16)] {
+            let p = SystemParams::new(n, f).unwrap();
+            assert!(no_gossip_total(p) > universal_total(p));
+        }
+    }
+
+    #[test]
+    fn multi_version_saturates_at_replication() {
+        let p = fig1();
+        // ν* = f+1 ⇒ denominator N−f+f+1−1 = N ⇒ bound = f+1.
+        assert_eq!(multi_version_total(p, p.f() + 1), Ratio::from(p.f() + 1));
+        assert_eq!(multi_version_total(p, 10 * p.n()), Ratio::from(p.f() + 1));
+    }
+
+    #[test]
+    fn multi_version_zero_writes_is_vacuous() {
+        assert_eq!(multi_version_total(fig1(), 0), Ratio::ZERO);
+        assert_eq!(multi_version_max(fig1(), 0), Ratio::ZERO);
+        assert_eq!(multi_version_total_bits(fig1(), 0, huge()), 0.0);
+    }
+
+    #[test]
+    fn finite_v_bits_converge_to_normalized() {
+        let p = fig1();
+        let d = huge();
+        let per_bit = |bits: f64| bits / d.log2_card();
+        assert!((per_bit(singleton_total_bits(p, d)) - singleton_total(p).to_f64()).abs() < 1e-2);
+        assert!((per_bit(no_gossip_total_bits(p, d)) - no_gossip_total(p).to_f64()).abs() < 1e-2);
+        assert!((per_bit(universal_total_bits(p, d)) - universal_total(p).to_f64()).abs() < 1e-2);
+        // The 6.5 correction terms are O(nu log nu + nu log N) bits, so use a
+        // wider domain for its convergence check.
+        let dw = ValueDomain::from_bits(1 << 16);
+        let per_bit_w = |bits: f64| bits / dw.log2_card();
+        for nu in 1..=16 {
+            assert!(
+                (per_bit_w(multi_version_total_bits(p, nu, dw))
+                    - multi_version_total(p, nu).to_f64())
+                .abs()
+                    < 2e-3,
+                "nu={nu}"
+            );
+        }
+    }
+
+    #[test]
+    fn finite_v_bits_never_exceed_normalized_times_log_v() {
+        // The finite-|V| forms subtract positive correction terms, so they
+        // must sit below the asymptotic slope.
+        let p = fig1();
+        for bits in [8u32, 16, 64, 512] {
+            let d = ValueDomain::from_bits(bits);
+            let l = d.log2_card();
+            assert!(no_gossip_total_bits(p, d) <= no_gossip_total(p).to_f64() * l + 1e-9);
+            assert!(universal_total_bits(p, d) <= universal_total(p).to_f64() * l + 1e-9);
+            for nu in 1..=13 {
+                assert!(
+                    multi_version_total_bits(p, nu, d)
+                        <= multi_version_total(p, nu).to_f64() * l + 1e-9
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_domain_bounds_clamped_nonnegative() {
+        let p = SystemParams::new(5, 2).unwrap();
+        let d = ValueDomain::from_cardinality(2).unwrap();
+        assert!(no_gossip_total_bits(p, d) >= 0.0);
+        assert!(universal_total_bits(p, d) >= 0.0);
+        assert!(multi_version_total_bits(p, 3, d) >= 0.0);
+    }
+
+    #[test]
+    fn subset_size_for_theorem_6_5() {
+        let p = fig1();
+        assert_eq!(multi_version_subset_size(p, 1), 11);
+        assert_eq!(multi_version_subset_size(p, 3), 13);
+        assert_eq!(multi_version_subset_size(p, 11), 21);
+        assert_eq!(multi_version_subset_size(p, 50), 21); // capped at N
+    }
+
+    #[test]
+    fn best_total_picks_strongest_applicable() {
+        let p = fig1();
+        // Gossiping two-phase algorithm: universal bound wins over B.1.
+        assert_eq!(best_total(p, true, None), universal_total(p));
+        // Non-gossiping: Theorem 4.1 applies and is stronger.
+        assert_eq!(best_total(p, false, None), no_gossip_total(p));
+        // Restricted writes with high concurrency: Theorem 6.5 dominates.
+        assert_eq!(best_total(p, true, Some(12)), Ratio::from(11u32));
+        // f = 1 excludes Theorem 4.1 even without gossip.
+        let p1 = SystemParams::new(5, 1).unwrap();
+        assert_eq!(best_total(p1, false, None), universal_total(p1));
+    }
+
+    #[test]
+    fn monotonicity_in_nu() {
+        let p = fig1();
+        let mut prev = Ratio::ZERO;
+        for nu in 0..=30 {
+            let b = multi_version_total(p, nu);
+            assert!(b >= prev, "bound must be nondecreasing in nu");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn max_bounds_scale_total_by_n() {
+        let p = fig1();
+        let n = Ratio::from(p.n());
+        assert_eq!(singleton_max(p) * n, singleton_total(p));
+        assert_eq!(no_gossip_max(p) * n, no_gossip_total(p));
+        assert_eq!(universal_max(p) * n, universal_total(p));
+        assert_eq!(multi_version_max(p, 4) * n, multi_version_total(p, 4));
+    }
+}

@@ -1,0 +1,180 @@
+//! System parameters `(N, f)` shared by every bound.
+
+use std::fmt;
+
+/// The system configuration every bound is parameterized by: `N` servers, at
+/// most `f` of which may crash while liveness must still hold.
+///
+/// # Examples
+///
+/// ```
+/// use shmem_bounds::SystemParams;
+///
+/// let p = SystemParams::new(21, 10)?;
+/// assert_eq!(p.n(), 21);
+/// assert_eq!(p.f(), 10);
+/// assert_eq!(p.quorum(), 11); // N - f
+/// # Ok::<(), shmem_bounds::ParamError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct SystemParams {
+    n: u32,
+    f: u32,
+}
+
+impl SystemParams {
+    /// Creates a validated parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `1 ≤ f < N`. (The theorems additionally
+    /// require `f ≥ 2` for Theorem 4.1; callers check that separately via
+    /// [`SystemParams::supports_no_gossip_bound`].)
+    pub fn new(n: u32, f: u32) -> Result<SystemParams, ParamError> {
+        if n == 0 {
+            return Err(ParamError::NoServers);
+        }
+        if f == 0 {
+            return Err(ParamError::NoFailures);
+        }
+        if f >= n {
+            return Err(ParamError::TooManyFailures { n, f });
+        }
+        Ok(SystemParams { n, f })
+    }
+
+    /// The number of servers `N`.
+    pub fn n(self) -> u32 {
+        self.n
+    }
+
+    /// The failure-tolerance parameter `f`.
+    pub fn f(self) -> u32 {
+        self.f
+    }
+
+    /// `N − f`: the number of servers guaranteed to survive, i.e. the size of
+    /// the server subsets the proofs quantify over.
+    pub fn quorum(self) -> u32 {
+        self.n - self.f
+    }
+
+    /// Whether Theorem 4.1 (which requires `f ≥ 2`) applies.
+    pub fn supports_no_gossip_bound(self) -> bool {
+        self.f >= 2
+    }
+
+    /// `ν* = min(ν, f + 1)` — the effective concurrency level in
+    /// Theorem 6.5 / Corollary 6.6.
+    pub fn nu_star(self, nu: u32) -> u32 {
+        nu.min(self.f + 1)
+    }
+
+    /// A majority quorum `⌊N/2⌋ + 1`, as used by ABD. Only meaningful when
+    /// `f < N/2`.
+    pub fn majority(self) -> u32 {
+        self.n / 2 + 1
+    }
+
+    /// Whether `f` is a strict minority (`2f < N`), the liveness condition
+    /// for majority-quorum algorithms such as ABD and CAS.
+    pub fn is_minority_failure(self) -> bool {
+        2 * self.f < self.n
+    }
+}
+
+impl fmt::Display for SystemParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N={}, f={}", self.n, self.f)
+    }
+}
+
+/// Errors from [`SystemParams::new`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParamError {
+    /// `N` was zero.
+    NoServers,
+    /// `f` was zero; every bound in the paper assumes at least one failure.
+    NoFailures,
+    /// `f ≥ N`: no subset of `N − f` servers exists.
+    TooManyFailures {
+        /// Requested number of servers.
+        n: u32,
+        /// Requested failure tolerance.
+        f: u32,
+    },
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::NoServers => write!(f, "system must have at least one server"),
+            ParamError::NoFailures => {
+                write!(f, "bounds assume failure tolerance f of at least 1")
+            }
+            ParamError::TooManyFailures { n, f: ff } => {
+                write!(f, "failure tolerance f={ff} must be smaller than N={n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_params() {
+        let p = SystemParams::new(21, 10).unwrap();
+        assert_eq!(p.quorum(), 11);
+        assert_eq!(p.majority(), 11);
+        assert!(p.is_minority_failure());
+        assert!(p.supports_no_gossip_bound());
+    }
+
+    #[test]
+    fn rejects_degenerate_params() {
+        assert_eq!(SystemParams::new(0, 1), Err(ParamError::NoServers));
+        assert_eq!(SystemParams::new(5, 0), Err(ParamError::NoFailures));
+        assert_eq!(
+            SystemParams::new(5, 5),
+            Err(ParamError::TooManyFailures { n: 5, f: 5 })
+        );
+        assert_eq!(
+            SystemParams::new(5, 7),
+            Err(ParamError::TooManyFailures { n: 5, f: 7 })
+        );
+    }
+
+    #[test]
+    fn nu_star_caps_at_f_plus_one() {
+        let p = SystemParams::new(21, 10).unwrap();
+        assert_eq!(p.nu_star(3), 3);
+        assert_eq!(p.nu_star(11), 11);
+        assert_eq!(p.nu_star(12), 11);
+        assert_eq!(p.nu_star(1000), 11);
+    }
+
+    #[test]
+    fn f_equal_one_excludes_no_gossip_theorem() {
+        let p = SystemParams::new(3, 1).unwrap();
+        assert!(!p.supports_no_gossip_bound());
+    }
+
+    #[test]
+    fn minority_detection() {
+        assert!(!SystemParams::new(4, 2).unwrap().is_minority_failure());
+        assert!(SystemParams::new(5, 2).unwrap().is_minority_failure());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SystemParams::new(21, 10).unwrap().to_string(), "N=21, f=10");
+        assert_eq!(
+            ParamError::TooManyFailures { n: 3, f: 4 }.to_string(),
+            "failure tolerance f=4 must be smaller than N=3"
+        );
+    }
+}

@@ -1,0 +1,296 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! The paper's normalized bounds (`|V| → ∞`) are ratios of small integers
+//! such as `2N/(N−f+2)`; representing them exactly avoids any floating-point
+//! ambiguity when comparing bounds or locating crossover points.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number `num/den` with `den > 0`, always fully reduced.
+///
+/// # Examples
+///
+/// ```
+/// use shmem_bounds::Ratio;
+///
+/// let a = Ratio::new(21, 11);
+/// let b = Ratio::new(42, 22);
+/// assert_eq!(a, b); // reduced representation is canonical
+/// assert_eq!((a + b).to_string(), "42/11");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: i128,
+    den: i128,
+}
+
+impl Ratio {
+    /// Zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Creates a reduced rational `num/den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Ratio {
+        assert!(den != 0, "ratio denominator must be nonzero");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num.unsigned_abs(), den.unsigned_abs()) as i128;
+        Ratio {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// The numerator of the reduced representation.
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// The denominator of the reduced representation (always positive).
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// Converts to the nearest `f64`.
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Returns `true` if the value is an integer.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// The reciprocal `den/num`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(self) -> Ratio {
+        Ratio::new(self.den, self.num)
+    }
+
+    /// The minimum of two ratios.
+    pub fn min(self, other: Ratio) -> Ratio {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The maximum of two ratios.
+    pub fn max(self, other: Ratio) -> Ratio {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The absolute value.
+    pub fn abs(self) -> Ratio {
+        Ratio {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Floor as an integer.
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Ceiling as an integer.
+    pub fn ceil(self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    if a == 0 {
+        return b.max(1);
+    }
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl From<i128> for Ratio {
+    fn from(value: i128) -> Ratio {
+        Ratio { num: value, den: 1 }
+    }
+}
+
+impl From<u32> for Ratio {
+    fn from(value: u32) -> Ratio {
+        Ratio {
+            num: value as i128,
+            den: 1,
+        }
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        Ratio::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: Ratio) -> Ratio {
+        Ratio::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: Ratio) -> Ratio {
+        Ratio::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+impl Div for Ratio {
+    type Output = Ratio;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: Ratio) -> Ratio {
+        assert!(rhs.num != 0, "division of ratio by zero");
+        Ratio::new(self.num * rhs.den, self.den * rhs.num)
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Ratio) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Ratio) -> Ordering {
+        // Denominators are positive, so cross-multiplication preserves order.
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ratio({self})")
+    }
+}
+
+impl Default for Ratio {
+    fn default() -> Ratio {
+        Ratio::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_on_construction() {
+        let r = Ratio::new(42, 22);
+        assert_eq!(r.numer(), 21);
+        assert_eq!(r.denom(), 11);
+    }
+
+    #[test]
+    fn normalizes_sign_to_denominator() {
+        let r = Ratio::new(3, -6);
+        assert_eq!(r.numer(), -1);
+        assert_eq!(r.denom(), 2);
+        assert_eq!(Ratio::new(-3, -6), Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn zero_numerator_is_canonical() {
+        assert_eq!(Ratio::new(0, 7), Ratio::ZERO);
+        assert_eq!(Ratio::new(0, -7), Ratio::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be nonzero")]
+    fn zero_denominator_panics() {
+        let _ = Ratio::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Ratio::new(1, 3);
+        let b = Ratio::new(1, 6);
+        assert_eq!(a + b, Ratio::new(1, 2));
+        assert_eq!(a - b, Ratio::new(1, 6));
+        assert_eq!(a * b, Ratio::new(1, 18));
+        assert_eq!(a / b, Ratio::new(2, 1));
+        assert_eq!(-a, Ratio::new(-1, 3));
+    }
+
+    #[test]
+    fn ordering_is_by_value() {
+        assert!(Ratio::new(2, 3) < Ratio::new(3, 4));
+        assert!(Ratio::new(-1, 2) < Ratio::ZERO);
+        assert!(Ratio::new(7, 7) == Ratio::ONE);
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        assert_eq!(Ratio::new(7, 2).floor(), 3);
+        assert_eq!(Ratio::new(7, 2).ceil(), 4);
+        assert_eq!(Ratio::new(-7, 2).floor(), -4);
+        assert_eq!(Ratio::new(-7, 2).ceil(), -3);
+        assert_eq!(Ratio::new(6, 2).floor(), 3);
+        assert_eq!(Ratio::new(6, 2).ceil(), 3);
+    }
+
+    #[test]
+    fn display_integer_without_denominator() {
+        assert_eq!(Ratio::new(4, 2).to_string(), "2");
+        assert_eq!(Ratio::new(21, 11).to_string(), "21/11");
+    }
+
+    #[test]
+    fn recip_and_min_max() {
+        assert_eq!(Ratio::new(2, 3).recip(), Ratio::new(3, 2));
+        assert_eq!(Ratio::new(1, 2).min(Ratio::new(1, 3)), Ratio::new(1, 3));
+        assert_eq!(Ratio::new(1, 2).max(Ratio::new(1, 3)), Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn to_f64_matches() {
+        assert!((Ratio::new(21, 11).to_f64() - 21.0 / 11.0).abs() < 1e-15);
+    }
+}

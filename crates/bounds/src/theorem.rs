@@ -1,0 +1,308 @@
+//! The theorems' raw *cardinality constraints* on per-server state spaces.
+//!
+//! Each theorem in the paper is, at heart, an inequality of the form
+//! "for every subset `𝒩` of a given size, some combination of
+//! `Σ_{n∈𝒩} log2|S_n|` and `max_{n∈𝒩} log2|S_n|` is at least RHS".
+//! [`CardinalityConstraint`] evaluates the *binding* (smallest-LHS) subset of
+//! a concrete per-server state-space profile, so an algorithm's measured
+//! state spaces can be checked against each theorem directly. This is what
+//! `shmem-core`'s audit machinery uses to confront real algorithms with the
+//! bounds.
+
+use crate::domain::ValueDomain;
+use crate::lower;
+use crate::params::SystemParams;
+use std::fmt;
+
+/// Which theorem a constraint instantiates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum TheoremId {
+    /// Theorem B.1 — Singleton-style baseline.
+    SingletonB1,
+    /// Theorem 4.1 — no server gossip, `f ≥ 2`.
+    NoGossip41,
+    /// Theorem 5.1 — universal.
+    Universal51,
+    /// Theorem 6.5 — restricted write protocols with `ν` active writes.
+    MultiVersion65 {
+        /// Active-write budget `ν`.
+        nu: u32,
+    },
+}
+
+impl fmt::Display for TheoremId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TheoremId::SingletonB1 => write!(f, "Theorem B.1"),
+            TheoremId::NoGossip41 => write!(f, "Theorem 4.1"),
+            TheoremId::Universal51 => write!(f, "Theorem 5.1"),
+            TheoremId::MultiVersion65 { nu } => write!(f, "Theorem 6.5 (nu={nu})"),
+        }
+    }
+}
+
+/// An instantiated theorem constraint: the binding left-hand side computed
+/// from a per-server state-space profile, and the theorem's right-hand side.
+///
+/// # Examples
+///
+/// ```
+/// use shmem_bounds::{CardinalityConstraint, SystemParams, ValueDomain};
+///
+/// let p = SystemParams::new(5, 2)?;
+/// let d = ValueDomain::from_cardinality(16)?;
+/// // Five servers each with 2^10 possible states:
+/// let profile = [10.0; 5];
+/// let c = CardinalityConstraint::singleton(p, d, &profile);
+/// assert!(c.holds()); // 3 servers * 10 bits = 30 >= log2 16 = 4
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CardinalityConstraint {
+    theorem: TheoremId,
+    lhs_bits: f64,
+    rhs_bits: f64,
+    subset_size: u32,
+}
+
+impl CardinalityConstraint {
+    /// Theorem B.1: for every subset of `N−f` servers, `Σ log2|S_n| ≥
+    /// log2|V|`. The binding subset is the `N−f` smallest state spaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `per_server_bits.len() == p.n()`.
+    pub fn singleton(p: SystemParams, d: ValueDomain, per_server_bits: &[f64]) -> Self {
+        let smallest = smallest_k(per_server_bits, p.n(), p.quorum());
+        CardinalityConstraint {
+            theorem: TheoremId::SingletonB1,
+            lhs_bits: smallest.iter().sum(),
+            rhs_bits: lower::singleton_subset_rhs_bits(d),
+            subset_size: p.quorum(),
+        }
+    }
+
+    /// Theorem 4.1: for every subset `𝒩` of `N−f` servers,
+    /// `Σ_{n∈𝒩} log2|S_n| + max_{n∈𝒩} log2|S_n| ≥ log2|V| + log2(|V|−1) −
+    /// log2(N−f)`. Binding subset: the `N−f` smallest state spaces (this
+    /// simultaneously minimizes both the sum and the max).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `per_server_bits.len() == p.n()`, or if `f < 2` (the
+    /// theorem requires `f ≥ 2`).
+    pub fn no_gossip(p: SystemParams, d: ValueDomain, per_server_bits: &[f64]) -> Self {
+        assert!(
+            p.supports_no_gossip_bound(),
+            "Theorem 4.1 requires f >= 2, got {p}"
+        );
+        let smallest = smallest_k(per_server_bits, p.n(), p.quorum());
+        let max = smallest.last().copied().unwrap_or(0.0);
+        CardinalityConstraint {
+            theorem: TheoremId::NoGossip41,
+            lhs_bits: smallest.iter().sum::<f64>() + max,
+            rhs_bits: lower::no_gossip_subset_rhs_bits(p, d),
+            subset_size: p.quorum(),
+        }
+    }
+
+    /// Theorem 5.1: for every subset `𝒩` of `N−f` servers,
+    /// `Σ_{n∈𝒩} log2|S_n| + 2·max_{n∈𝒩} log2|S_n| ≥ log2|V| + log2(|V|−1) −
+    /// 2·log2(N−f)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `per_server_bits.len() == p.n()`.
+    pub fn universal(p: SystemParams, d: ValueDomain, per_server_bits: &[f64]) -> Self {
+        let smallest = smallest_k(per_server_bits, p.n(), p.quorum());
+        let max = smallest.last().copied().unwrap_or(0.0);
+        CardinalityConstraint {
+            theorem: TheoremId::Universal51,
+            lhs_bits: smallest.iter().sum::<f64>() + 2.0 * max,
+            rhs_bits: lower::universal_subset_rhs_bits(p, d),
+            subset_size: p.quorum(),
+        }
+    }
+
+    /// Theorem 6.5: for the subset `𝒩` of `min(N−f+ν−1, N)` servers,
+    /// `Σ_{n∈𝒩} log2|S_n| ≥ log2 C(|V|−1, ν*) − ν*·log2(N−f+ν*−1) −
+    /// log2(ν*!)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `per_server_bits.len() == p.n()`.
+    pub fn multi_version(
+        p: SystemParams,
+        nu: u32,
+        d: ValueDomain,
+        per_server_bits: &[f64],
+    ) -> Self {
+        let size = lower::multi_version_subset_size(p, nu);
+        let smallest = smallest_k(per_server_bits, p.n(), size);
+        CardinalityConstraint {
+            theorem: TheoremId::MultiVersion65 { nu },
+            lhs_bits: smallest.iter().sum(),
+            rhs_bits: lower::multi_version_subset_rhs_bits(p, nu, d),
+            subset_size: size,
+        }
+    }
+
+    /// Which theorem this constraint instantiates.
+    pub fn theorem(&self) -> TheoremId {
+        self.theorem
+    }
+
+    /// The binding left-hand side, in bits.
+    pub fn lhs_bits(&self) -> f64 {
+        self.lhs_bits
+    }
+
+    /// The theorem's right-hand side, in bits.
+    pub fn rhs_bits(&self) -> f64 {
+        self.rhs_bits
+    }
+
+    /// The subset size the constraint quantifies over.
+    pub fn subset_size(&self) -> u32 {
+        self.subset_size
+    }
+
+    /// Whether the constraint is satisfied (with a hair of floating-point
+    /// tolerance — the theorems are non-strict inequalities).
+    pub fn holds(&self) -> bool {
+        self.lhs_bits >= self.rhs_bits - 1e-9
+    }
+
+    /// `lhs − rhs` in bits: how much headroom the profile has above the
+    /// bound (negative ⇒ violation, i.e. the algorithm would contradict the
+    /// theorem).
+    pub fn slack_bits(&self) -> f64 {
+        self.lhs_bits - self.rhs_bits
+    }
+}
+
+impl fmt::Display for CardinalityConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: lhs={:.3} bits >= rhs={:.3} bits over {} servers ({})",
+            self.theorem,
+            self.lhs_bits,
+            self.rhs_bits,
+            self.subset_size,
+            if self.holds() { "holds" } else { "VIOLATED" }
+        )
+    }
+}
+
+/// Returns the `k` smallest entries of `bits` in ascending order.
+///
+/// # Panics
+///
+/// Panics unless `bits.len() == n as usize` and `k <= n`.
+fn smallest_k(bits: &[f64], n: u32, k: u32) -> Vec<f64> {
+    assert_eq!(
+        bits.len(),
+        n as usize,
+        "profile must list one state-space size per server"
+    );
+    assert!(k <= n);
+    let mut sorted = bits.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("state-space bits must not be NaN"));
+    sorted.truncate(k as usize);
+    sorted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p5() -> SystemParams {
+        SystemParams::new(5, 2).unwrap()
+    }
+
+    fn v16() -> ValueDomain {
+        ValueDomain::from_cardinality(16).unwrap()
+    }
+
+    #[test]
+    fn singleton_binding_subset_is_smallest() {
+        // Profile [1, 1, 1, 100, 100]: binding subset = three 1-bit servers.
+        let c = CardinalityConstraint::singleton(p5(), v16(), &[1.0, 100.0, 1.0, 100.0, 1.0]);
+        assert_eq!(c.lhs_bits(), 3.0);
+        assert_eq!(c.rhs_bits(), 4.0);
+        assert!(!c.holds());
+        assert!(c.slack_bits() < 0.0);
+    }
+
+    #[test]
+    fn singleton_holds_for_replication() {
+        // Replication: every server stores a full 4-bit value.
+        let c = CardinalityConstraint::singleton(p5(), v16(), &[4.0; 5]);
+        assert!(c.holds());
+        assert_eq!(c.lhs_bits(), 12.0);
+    }
+
+    #[test]
+    fn no_gossip_includes_max_term() {
+        let p = p5();
+        let d = v16();
+        let c = CardinalityConstraint::no_gossip(p, d, &[2.0, 3.0, 4.0, 9.0, 9.0]);
+        // Smallest 3: [2,3,4]; lhs = 9 + max 4 = 13.
+        assert_eq!(c.lhs_bits(), 13.0);
+        let rhs = 4.0 + 15f64.log2() - 3f64.log2();
+        assert!((c.rhs_bits() - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires f >= 2")]
+    fn no_gossip_rejects_f1() {
+        let p = SystemParams::new(3, 1).unwrap();
+        let _ = CardinalityConstraint::no_gossip(p, v16(), &[4.0; 3]);
+    }
+
+    #[test]
+    fn universal_doubles_max_term() {
+        let c = CardinalityConstraint::universal(p5(), v16(), &[2.0, 3.0, 4.0, 9.0, 9.0]);
+        assert_eq!(c.lhs_bits(), 9.0 + 8.0);
+        let rhs = 4.0 + 15f64.log2() - 2.0 * 3f64.log2();
+        assert!((c.rhs_bits() - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_version_subset_grows_with_nu() {
+        let p = p5();
+        let d = v16();
+        let c1 = CardinalityConstraint::multi_version(p, 1, d, &[4.0; 5]);
+        let c3 = CardinalityConstraint::multi_version(p, 3, d, &[4.0; 5]);
+        assert_eq!(c1.subset_size(), 3);
+        assert_eq!(c3.subset_size(), 5);
+        assert!(c3.lhs_bits() > c1.lhs_bits());
+    }
+
+    #[test]
+    fn constraint_satisfaction_boundary() {
+        // Exactly-at-bound profiles hold (non-strict inequality).
+        let p = p5();
+        let d = v16();
+        let rhs = lower::singleton_subset_rhs_bits(d);
+        let per = rhs / p.quorum() as f64;
+        let c = CardinalityConstraint::singleton(p, d, &[per; 5]);
+        assert!(c.holds());
+        assert!(c.slack_bits().abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one state-space size per server")]
+    fn profile_length_must_match_n() {
+        let _ = CardinalityConstraint::singleton(p5(), v16(), &[4.0; 3]);
+    }
+
+    #[test]
+    fn display_mentions_verdict() {
+        let c = CardinalityConstraint::singleton(p5(), v16(), &[4.0; 5]);
+        assert!(c.to_string().contains("holds"));
+        let bad = CardinalityConstraint::singleton(p5(), v16(), &[0.5; 5]);
+        assert!(bad.to_string().contains("VIOLATED"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Storage-cost **upper bounds** achieved by known algorithms — the
+//! comparison series of the paper's Figure 1 and Section 2.3.
+
+use crate::params::SystemParams;
+use crate::ratio::Ratio;
+
+/// Replication (ABD \[3\] on a minimal replica set), normalized:
+/// `TotalStorage / log2|V| = f + 1`.
+///
+/// Replication needs `f + 1` copies to survive `f` crashes; the cost is
+/// independent of the number of active writes. This is the "ABD algorithm"
+/// horizontal line in Figure 1.
+pub fn replication_total(p: SystemParams) -> Ratio {
+    Ratio::from(p.f() + 1)
+}
+
+/// Full-replication ABD as usually deployed (every one of the `N` servers
+/// keeps a copy), normalized: `TotalStorage / log2|V| = N`.
+pub fn abd_full_total(p: SystemParams) -> Ratio {
+    Ratio::from(p.n())
+}
+
+/// Replication, per-server: one value per server.
+pub fn replication_max(_p: SystemParams) -> Ratio {
+    Ratio::ONE
+}
+
+/// Erasure-coding based algorithms (CAS/CASGC \[5,6\], ORCAS \[12\], …) in
+/// executions with at most `nu` active writes, normalized:
+/// `TotalStorage / log2|V| = ν · N / (N − f)`.
+///
+/// Each of `N` servers holds up to `ν` codeword symbols of `log2|V|/(N−f)`
+/// bits. This is the "erasure-coding based algorithms" line in Figure 1.
+///
+/// ```
+/// use shmem_bounds::{upper, Ratio, SystemParams};
+/// let p = SystemParams::new(21, 10)?;
+/// assert_eq!(upper::coded_total(p, 1), Ratio::new(21, 11));
+/// assert_eq!(upper::coded_total(p, 6), Ratio::new(126, 11));
+/// # Ok::<(), shmem_bounds::ParamError>(())
+/// ```
+pub fn coded_total(p: SystemParams, nu: u32) -> Ratio {
+    Ratio::new(nu as i128 * p.n() as i128, p.quorum() as i128)
+}
+
+/// Erasure coding, per-server: `ν / (N − f)`.
+pub fn coded_max(p: SystemParams, nu: u32) -> Ratio {
+    Ratio::new(nu as i128, p.quorum() as i128)
+}
+
+/// CASGC \[5,6\] with garbage-collection depth `delta`: servers retain at most
+/// `δ + 1` coded versions regardless of concurrency, so the worst-case cost
+/// is `(δ + 1) · N / (N − f)` — but liveness then only holds when the number
+/// of writes concurrent with a read is at most `δ`.
+pub fn casgc_total(p: SystemParams, delta: u32) -> Ratio {
+    coded_total(p, delta + 1)
+}
+
+/// The CAS code dimension `k = N − 2f`: CAS encodes over `k` so that any
+/// `⌈(N+k)/2⌉` quorum overlaps any other in ≥ `k` servers. Per-server cost is
+/// `1/k` per version. Requires `2f < N`.
+pub fn cas_code_dimension(p: SystemParams) -> Option<u32> {
+    if p.is_minority_failure() {
+        Some(p.n() - 2 * p.f())
+    } else {
+        None
+    }
+}
+
+/// CAS total storage with its native `k = N − 2f` code and `nu` retained
+/// versions: `ν · N / (N − 2f)`. `None` when `2f ≥ N` (CAS needs a minority
+/// of failures).
+pub fn cas_total(p: SystemParams, nu: u32) -> Option<Ratio> {
+    cas_code_dimension(p).map(|k| Ratio::new(nu as i128 * p.n() as i128, k as i128))
+}
+
+/// The smallest number of active writes `ν` at which erasure coding stops
+/// being cheaper than replication: the least integer `ν` with
+/// `ν·N/(N−f) ≥ f+1`, i.e. `ν = ⌈(f+1)(N−f)/N⌉`.
+///
+/// Section 2.3's observation that "the storage cost benefits of erasure
+/// coding vanish as the number of active writes increases" — for `N = 21`,
+/// `f = 10` the crossover is at `ν = 6`.
+///
+/// ```
+/// use shmem_bounds::{upper, SystemParams};
+/// let p = SystemParams::new(21, 10)?;
+/// assert_eq!(upper::coding_replication_crossover(p), 6);
+/// # Ok::<(), shmem_bounds::ParamError>(())
+/// ```
+pub fn coding_replication_crossover(p: SystemParams) -> u32 {
+    let target = Ratio::from(p.f() + 1);
+    let per_write = coded_total(p, 1);
+    (target / per_write).ceil() as u32
+}
+
+/// Whether erasure coding is strictly cheaper than replication at `nu`
+/// active writes.
+pub fn coding_beats_replication(p: SystemParams, nu: u32) -> bool {
+    coded_total(p, nu) < replication_total(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1() -> SystemParams {
+        SystemParams::new(21, 10).unwrap()
+    }
+
+    #[test]
+    fn figure1_replication_line() {
+        assert_eq!(replication_total(fig1()), Ratio::from(11u32));
+        assert_eq!(replication_max(fig1()), Ratio::ONE);
+        assert_eq!(abd_full_total(fig1()), Ratio::from(21u32));
+    }
+
+    #[test]
+    fn figure1_coded_series() {
+        let p = fig1();
+        assert_eq!(coded_total(p, 1), Ratio::new(21, 11));
+        assert_eq!(coded_total(p, 2), Ratio::new(42, 11));
+        assert_eq!(coded_total(p, 11), Ratio::new(21, 1));
+        assert_eq!(coded_max(p, 3), Ratio::new(3, 11));
+    }
+
+    #[test]
+    fn crossover_at_figure1_params() {
+        let p = fig1();
+        assert_eq!(coding_replication_crossover(p), 6);
+        assert!(coding_beats_replication(p, 5));
+        assert!(!coding_beats_replication(p, 6));
+    }
+
+    #[test]
+    fn crossover_definition_holds_generally() {
+        for (n, f) in [(5, 2), (7, 3), (21, 10), (101, 50), (30, 7)] {
+            let p = SystemParams::new(n, f).unwrap();
+            let x = coding_replication_crossover(p);
+            assert!(x >= 1);
+            assert!(!coding_beats_replication(p, x), "{p} at {x}");
+            if x > 1 {
+                assert!(coding_beats_replication(p, x - 1), "{p} at {}", x - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn coded_upper_meets_singleton_lower_at_nu1() {
+        // At ν = 1 erasure coding achieves the Theorem B.1 bound exactly:
+        // the baseline bound is tight (Appendix B discussion).
+        for (n, f) in [(5, 2), (21, 10), (9, 4)] {
+            let p = SystemParams::new(n, f).unwrap();
+            assert_eq!(coded_total(p, 1), crate::lower::singleton_total(p));
+        }
+    }
+
+    #[test]
+    fn coded_upper_meets_theorem65_lower_when_saturated() {
+        // For ν ≥ f+1 the Theorem 6.5 bound equals f+1, matched by
+        // replication: replication is optimal in that regime (Section 2.3).
+        let p = fig1();
+        assert_eq!(
+            crate::lower::multi_version_total(p, 20),
+            replication_total(p)
+        );
+    }
+
+    #[test]
+    fn cas_dimension_and_cost() {
+        let p = fig1();
+        assert_eq!(cas_code_dimension(p), Some(1));
+        assert_eq!(cas_total(p, 2), Some(Ratio::from(42u32)));
+        let p2 = SystemParams::new(9, 2).unwrap();
+        assert_eq!(cas_code_dimension(p2), Some(5));
+        assert_eq!(cas_total(p2, 1), Some(Ratio::new(9, 5)));
+        let majority = SystemParams::new(4, 2).unwrap();
+        assert_eq!(cas_code_dimension(majority), None);
+        assert_eq!(cas_total(majority, 1), None);
+    }
+
+    #[test]
+    fn casgc_matches_coded_at_depth() {
+        let p = fig1();
+        assert_eq!(casgc_total(p, 0), coded_total(p, 1));
+        assert_eq!(casgc_total(p, 4), coded_total(p, 5));
+    }
+
+    #[test]
+    fn upper_bounds_dominate_lower_bounds_for_matching_classes() {
+        // Each achievable cost must sit above every lower bound that applies
+        // to its algorithm class. Replication (ABD) has unconditional
+        // liveness, so Theorems B.1, 4.1 and 5.1 all apply to it. The coded
+        // algorithms only guarantee liveness with ≤ ν active writes — a
+        // *weaker* liveness property that escapes Theorem 5.1 (this is why
+        // Figure 1's erasure-coding line may dip below the Theorem 5.1 line
+        // at small ν) — but Theorems B.1 and 6.5 do apply to them.
+        use crate::lower;
+        for (n, f) in [(5, 2), (21, 10), (15, 7), (9, 2)] {
+            let p = SystemParams::new(n, f).unwrap();
+            let repl = replication_total(p);
+            assert!(repl >= lower::singleton_total(p), "{p}");
+            assert!(repl >= lower::universal_total(p), "{p}");
+            if p.supports_no_gossip_bound() {
+                assert!(repl >= lower::no_gossip_total(p), "{p}");
+            }
+            for nu in 1..=2 * f {
+                let coded = coded_total(p, nu);
+                assert!(coded >= lower::singleton_total(p), "{p} nu={nu}");
+                assert!(coded >= lower::multi_version_total(p, nu), "{p} nu={nu}");
+            }
+        }
+    }
+}

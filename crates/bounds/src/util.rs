@@ -1,0 +1,89 @@
+//! Small numeric helpers shared by the bound formulas.
+
+/// `log2(k!)` computed by direct summation (exact to `f64` accumulation
+/// error; `k` is at most `f + 1` in every use, i.e. small).
+///
+/// # Examples
+///
+/// ```
+/// use shmem_bounds::util::log2_factorial;
+///
+/// assert_eq!(log2_factorial(0), 0.0);
+/// assert_eq!(log2_factorial(1), 0.0);
+/// assert!((log2_factorial(4) - 24f64.log2()).abs() < 1e-12);
+/// ```
+pub fn log2_factorial(k: u32) -> f64 {
+    (2..=k as u64).map(|i| (i as f64).log2()).sum()
+}
+
+/// `log2 C(m, k)` for exactly-known `m`, by the telescoping product
+/// `Π (m−i)/(k−i)`.
+///
+/// Returns `f64::NEG_INFINITY` when `k > m` (binomial is zero).
+pub fn log2_binomial(m: u128, k: u32) -> f64 {
+    if (k as u128) > m {
+        return f64::NEG_INFINITY;
+    }
+    let mut acc = 0.0;
+    for i in 0..k as u128 {
+        acc += ((m - i) as f64).log2() - ((k as u128 - i) as f64).log2();
+    }
+    acc
+}
+
+/// `log2 x` for a positive integer, panicking on zero — used for the
+/// `log2(N − f)` correction terms where the argument is structurally ≥ 1.
+///
+/// # Panics
+///
+/// Panics if `x == 0`.
+pub fn log2_u32(x: u32) -> f64 {
+    assert!(x > 0, "log2 of zero");
+    (x as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorial_values() {
+        assert_eq!(log2_factorial(0), 0.0);
+        assert_eq!(log2_factorial(1), 0.0);
+        assert!((log2_factorial(2) - 1.0).abs() < 1e-12);
+        assert!((log2_factorial(5) - 120f64.log2()).abs() < 1e-12);
+        assert!((log2_factorial(10) - 3_628_800f64.log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert!((log2_binomial(5, 2) - 10f64.log2()).abs() < 1e-12);
+        assert!((log2_binomial(10, 5) - 252f64.log2()).abs() < 1e-10);
+        assert_eq!(log2_binomial(5, 0), 0.0);
+        assert_eq!(log2_binomial(5, 5), 0.0);
+        assert_eq!(log2_binomial(3, 4), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn binomial_symmetry() {
+        for m in 1u128..=20 {
+            for k in 0..=m as u32 {
+                let a = log2_binomial(m, k);
+                let b = log2_binomial(m, m as u32 - k);
+                assert!((a - b).abs() < 1e-9, "C({m},{k}) symmetry");
+            }
+        }
+    }
+
+    #[test]
+    fn log2_u32_values() {
+        assert_eq!(log2_u32(1), 0.0);
+        assert_eq!(log2_u32(8), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "log2 of zero")]
+    fn log2_u32_zero_panics() {
+        let _ = log2_u32(0);
+    }
+}

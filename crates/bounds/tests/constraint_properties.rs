@@ -1,0 +1,96 @@
+//! Property tests for the cardinality-constraint module: the "binding
+//! subset" shortcut (take the `N−f` smallest state spaces) must agree with
+//! exhaustive subset enumeration.
+
+use proptest::prelude::*;
+use shmem_bounds::{CardinalityConstraint, SystemParams, ValueDomain};
+
+/// All size-k subsets of 0..n (n small).
+fn subsets(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    fn rec(start: usize, n: usize, k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..n {
+            cur.push(i);
+            rec(i + 1, n, k, cur, out);
+            cur.pop();
+        }
+    }
+    rec(0, n, k, &mut cur, &mut out);
+    out
+}
+
+proptest! {
+    #[test]
+    fn singleton_binding_subset_is_minimal(
+        profile in proptest::collection::vec(0.0f64..32.0, 7),
+    ) {
+        let p = SystemParams::new(7, 3).unwrap();
+        let d = ValueDomain::from_bits(16);
+        let c = CardinalityConstraint::singleton(p, d, &profile);
+        // Exhaustive: the minimum over all (N-f)-subsets of the sum.
+        let min_sum = subsets(7, 4)
+            .into_iter()
+            .map(|s| s.iter().map(|&i| profile[i]).sum::<f64>())
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((c.lhs_bits() - min_sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_gossip_binding_subset_is_minimal(
+        profile in proptest::collection::vec(0.0f64..32.0, 6),
+    ) {
+        let p = SystemParams::new(6, 2).unwrap();
+        let d = ValueDomain::from_bits(16);
+        let c = CardinalityConstraint::no_gossip(p, d, &profile);
+        // Exhaustive: min over subsets of (sum + max).
+        let min_lhs = subsets(6, 4)
+            .into_iter()
+            .map(|s| {
+                let sum: f64 = s.iter().map(|&i| profile[i]).sum();
+                let max = s.iter().map(|&i| profile[i]).fold(0.0f64, f64::max);
+                sum + max
+            })
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((c.lhs_bits() - min_lhs).abs() < 1e-9, "{} vs {}", c.lhs_bits(), min_lhs);
+    }
+
+    #[test]
+    fn universal_binding_subset_is_minimal(
+        profile in proptest::collection::vec(0.0f64..32.0, 6),
+    ) {
+        let p = SystemParams::new(6, 2).unwrap();
+        let d = ValueDomain::from_bits(16);
+        let c = CardinalityConstraint::universal(p, d, &profile);
+        let min_lhs = subsets(6, 4)
+            .into_iter()
+            .map(|s| {
+                let sum: f64 = s.iter().map(|&i| profile[i]).sum();
+                let max = s.iter().map(|&i| profile[i]).fold(0.0f64, f64::max);
+                sum + 2.0 * max
+            })
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((c.lhs_bits() - min_lhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constraints_monotone_in_profile(
+        profile in proptest::collection::vec(0.0f64..32.0, 5),
+        bump in 0.0f64..8.0,
+        idx in 0usize..5,
+    ) {
+        // Growing any server's state space can only increase (or keep) the
+        // binding LHS.
+        let p = SystemParams::new(5, 2).unwrap();
+        let d = ValueDomain::from_bits(16);
+        let before = CardinalityConstraint::universal(p, d, &profile);
+        let mut bigger = profile.clone();
+        bigger[idx] += bump;
+        let after = CardinalityConstraint::universal(p, d, &bigger);
+        prop_assert!(after.lhs_bits() >= before.lhs_bits() - 1e-9);
+    }
+}

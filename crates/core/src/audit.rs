@@ -1,0 +1,443 @@
+//! Storage audits: confront a measured execution with every applicable
+//! bound.
+//!
+//! An audit takes the storage peaks of a real execution (per-server peak
+//! bits — a lower estimate of `log2 |S_i|` over the reachable state spaces
+//! the theorems constrain), normalizes by `log2|V|`, and tabulates the
+//! result against the full bound catalogue. This produces the
+//! paper-vs-measured rows of `EXPERIMENTS.md`.
+
+use shmem_bounds::{lower, Bound, BoundKind, CardinalityConstraint, SystemParams, ValueDomain};
+use shmem_sim::StorageSnapshot;
+use std::fmt;
+
+/// A MaxStorage comparison row: the per-server corollary forms
+/// (`MaxStorage ≥ …`) against the measured per-server peak.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MaxRow {
+    /// Which corollary the row instantiates.
+    pub name: &'static str,
+    /// The bound's normalized per-server value.
+    pub bound_value: f64,
+    /// Whether the measured max respects it.
+    pub consistent: bool,
+}
+
+/// Where an algorithm stands relative to one bound.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AuditRow {
+    /// The bound compared against.
+    pub bound: Bound,
+    /// The bound's normalized total-storage value at the audit's `(N, f,
+    /// ν)`; `None` if inapplicable (e.g. Theorem 4.1 with `f < 2`).
+    pub bound_value: Option<f64>,
+    /// `measured / bound` (total storage, normalized); `None` if the bound
+    /// is inapplicable or zero.
+    pub ratio: Option<f64>,
+    /// For lower bounds: `measured ≥ bound` (must hold for algorithms in
+    /// the bound's class). For upper bounds: `measured ≤ bound` (the
+    /// algorithm achieves the class cost).
+    pub consistent: Option<bool>,
+}
+
+/// The audit configuration: which system, domain and concurrency level the
+/// measured execution represents, and which bound classes apply to the
+/// measured algorithm.
+#[derive(Clone, Debug)]
+pub struct StorageAudit {
+    name: String,
+    params: SystemParams,
+    domain: ValueDomain,
+    nu: u32,
+    /// Whether the algorithm uses server gossip (selects Theorem 4.1 vs
+    /// 5.1 as the binding two-write bound).
+    gossips: bool,
+    /// Whether the algorithm satisfies Section 6's Assumptions 1–3 (single
+    /// value-dependent phase, black-box actions, value/metadata-separated
+    /// state), making Theorem 6.5 applicable.
+    single_value_phase: bool,
+    /// Whether the algorithm's liveness is unconditional in concurrency
+    /// (required for Theorems B.1/4.1/5.1 to apply).
+    unconditional_liveness: bool,
+}
+
+impl StorageAudit {
+    /// An audit for algorithm `name` on an `(N, f)` system over `domain`,
+    /// at `nu` active writes. Defaults: no gossip, single value phase,
+    /// unconditional liveness (ABD's profile).
+    pub fn new(
+        name: impl Into<String>,
+        params: SystemParams,
+        domain: ValueDomain,
+        nu: u32,
+    ) -> StorageAudit {
+        StorageAudit {
+            name: name.into(),
+            params,
+            domain,
+            nu,
+            gossips: false,
+            single_value_phase: true,
+            unconditional_liveness: true,
+        }
+    }
+
+    /// Marks the algorithm as gossiping.
+    pub fn gossips(mut self, yes: bool) -> StorageAudit {
+        self.gossips = yes;
+        self
+    }
+
+    /// Marks the write protocol as multi-value-phase (Theorem 6.5
+    /// inapplicable).
+    pub fn single_value_phase(mut self, yes: bool) -> StorageAudit {
+        self.single_value_phase = yes;
+        self
+    }
+
+    /// Marks liveness as conditional on bounded concurrency (CASGC's
+    /// profile): Theorems B.1/4.1/5.1 use unconditional liveness and do
+    /// not constrain such algorithms; Theorem 6.5 still does.
+    pub fn unconditional_liveness(mut self, yes: bool) -> StorageAudit {
+        self.unconditional_liveness = yes;
+        self
+    }
+
+    /// Evaluates the audit against a measured execution.
+    pub fn assess(&self, snapshot: &StorageSnapshot) -> AuditReport {
+        let log2_v = self.domain.log2_card();
+        let measured_total = snapshot.normalized_total(log2_v);
+        let measured_max = snapshot.normalized_max(log2_v);
+
+        let rows = Bound::ALL
+            .iter()
+            .map(|&bound| {
+                let applicable = self.bound_applies(bound);
+                let value = if applicable {
+                    bound
+                        .normalized_total(self.params, self.nu)
+                        .map(|r| r.to_f64())
+                } else {
+                    None
+                };
+                let ratio = value.and_then(|b| (b > 0.0).then(|| measured_total / b));
+                let consistent = value.map(|b| match bound.kind() {
+                    BoundKind::Lower => measured_total >= b - 1e-9,
+                    BoundKind::Upper => measured_total <= b + 1e-9,
+                });
+                AuditRow {
+                    bound,
+                    bound_value: value,
+                    ratio,
+                    consistent,
+                }
+            })
+            .collect();
+
+        let constraints = vec![
+            CardinalityConstraint::singleton(
+                self.params,
+                self.domain,
+                &snapshot.per_server_peak_bits,
+            ),
+            CardinalityConstraint::universal(
+                self.params,
+                self.domain,
+                &snapshot.per_server_peak_bits,
+            ),
+            CardinalityConstraint::multi_version(
+                self.params,
+                self.nu,
+                self.domain,
+                &snapshot.per_server_peak_bits,
+            ),
+        ];
+
+        // MaxStorage corollary forms (Corollaries B.2 / 5.2 / 6.6),
+        // applicable under the same liveness/structure conditions as their
+        // total-storage counterparts.
+        let mut max_rows = Vec::new();
+        if self.unconditional_liveness {
+            max_rows.push(MaxRow {
+                name: "Cor B.2 (max)",
+                bound_value: lower::singleton_max(self.params).to_f64(),
+                consistent: measured_max
+                    >= lower::singleton_max(self.params).to_f64() - 1e-9,
+            });
+            max_rows.push(MaxRow {
+                name: "Cor 5.2 (max)",
+                bound_value: lower::universal_max(self.params).to_f64(),
+                consistent: measured_max
+                    >= lower::universal_max(self.params).to_f64() - 1e-9,
+            });
+        }
+        if self.single_value_phase {
+            max_rows.push(MaxRow {
+                name: "Cor 6.6 (max)",
+                bound_value: lower::multi_version_max(self.params, self.nu).to_f64(),
+                consistent: measured_max
+                    >= lower::multi_version_max(self.params, self.nu).to_f64() - 1e-9,
+            });
+        }
+
+        AuditReport {
+            algorithm: self.name.clone(),
+            params: self.params,
+            nu: self.nu,
+            measured_total_normalized: measured_total,
+            measured_max_normalized: measured_max,
+            rows,
+            max_rows,
+            constraints,
+        }
+    }
+
+    fn bound_applies(&self, bound: Bound) -> bool {
+        match bound {
+            Bound::SingletonB1 | Bound::Universal51 => self.unconditional_liveness,
+            Bound::NoGossip41 => {
+                self.unconditional_liveness
+                    && !self.gossips
+                    && self.params.supports_no_gossip_bound()
+            }
+            Bound::MultiVersion65 => self.single_value_phase,
+            Bound::AbdReplication | Bound::ErasureCoded => true,
+        }
+    }
+}
+
+/// The outcome of one audit.
+#[derive(Clone, Debug)]
+pub struct AuditReport {
+    /// The audited algorithm's name.
+    pub algorithm: String,
+    /// System parameters.
+    pub params: SystemParams,
+    /// Active-write budget of the measured workload.
+    pub nu: u32,
+    /// Measured `TotalStorage / log2|V|` (sum of per-server peaks).
+    pub measured_total_normalized: f64,
+    /// Measured `MaxStorage / log2|V|`.
+    pub measured_max_normalized: f64,
+    /// One row per catalogue bound.
+    pub rows: Vec<AuditRow>,
+    /// MaxStorage corollary rows (per-server bounds vs measured max).
+    pub max_rows: Vec<MaxRow>,
+    /// The raw Theorem B.1 / 5.1 / 6.5 cardinality constraints evaluated
+    /// on the per-server profile.
+    pub constraints: Vec<CardinalityConstraint>,
+}
+
+impl AuditReport {
+    /// Whether every applicable lower bound is respected — `false` would
+    /// refute either the measurement or the theorem.
+    pub fn lower_bounds_respected(&self) -> bool {
+        self.rows
+            .iter()
+            .filter(|r| r.bound.kind() == BoundKind::Lower)
+            .all(|r| r.consistent != Some(false))
+            && self.max_rows.iter().all(|r| r.consistent)
+    }
+
+    /// The row for a specific bound.
+    pub fn row(&self, bound: Bound) -> &AuditRow {
+        self.rows
+            .iter()
+            .find(|r| r.bound == bound)
+            .expect("catalogue rows cover every bound")
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "audit[{}] {} nu={} measured total={:.3} max={:.3} (normalized)",
+            self.algorithm,
+            self.params,
+            self.nu,
+            self.measured_total_normalized,
+            self.measured_max_normalized
+        )?;
+        for row in &self.max_rows {
+            writeln!(
+                f,
+                "  {:<14} {:>8.3}  (per-server)  {}",
+                row.name,
+                row.bound_value,
+                if row.consistent { "ok" } else { "VIOLATED" }
+            )?;
+        }
+        for row in &self.rows {
+            match row.bound_value {
+                Some(v) => writeln!(
+                    f,
+                    "  {:<14} {:>8.3}  ratio={:.3}  {}",
+                    row.bound.label(),
+                    v,
+                    row.ratio.unwrap_or(f64::NAN),
+                    match (row.bound.kind(), row.consistent) {
+                        (shmem_bounds::BoundKind::Lower, Some(true)) => "ok",
+                        (shmem_bounds::BoundKind::Lower, Some(false)) => "VIOLATED",
+                        (shmem_bounds::BoundKind::Upper, Some(true)) => "within",
+                        (shmem_bounds::BoundKind::Upper, Some(false)) => "above",
+                        (_, None) => "-",
+                    }
+                )?,
+                None => writeln!(f, "  {:<14} not applicable", row.bound.label())?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmem_algorithms::harness::{run_concurrent_workload, AbdCluster, CasCluster};
+    use shmem_algorithms::value::ValueSpec;
+
+    fn params() -> SystemParams {
+        SystemParams::new(5, 2).unwrap()
+    }
+
+    fn domain() -> ValueDomain {
+        ValueDomain::from_bits(64)
+    }
+
+    #[test]
+    fn abd_respects_every_lower_bound() {
+        let mut c = AbdCluster::new(5, 2, 4, ValueSpec::from_bits(64.0));
+        run_concurrent_workload(&mut c, 2, 2, 2, 3).unwrap();
+        let report = StorageAudit::new("abd", params(), domain(), 2).assess(&c.storage());
+        assert!(report.lower_bounds_respected(), "{report}");
+        // ABD measured total = N = 5 normalized.
+        assert!((report.measured_total_normalized - 5.0).abs() < 1e-9);
+        // ABD full replication exceeds even the minimal-replication line.
+        assert_eq!(report.row(Bound::AbdReplication).consistent, Some(false));
+        // All three raw constraints hold.
+        assert!(report.constraints.iter().all(|c| c.holds()), "{report}");
+    }
+
+    #[test]
+    fn cas_respects_lower_bounds_and_beats_replication_at_nu_1() {
+        // CAS codes over k = N - 2f, and its peak holds two versions
+        // (initial + in-flight) before GC, so beating replication's f+1
+        // needs f large relative to N: N=21, f=5 => k=11,
+        // peak ~ 2*21/11 = 3.8 < f+1 = 6.
+        let p = SystemParams::new(21, 5).unwrap();
+        let mut c = CasCluster::with_gc(21, 5, 0, 1, ValueSpec::from_bits(64.0));
+        c.write(0, 77).unwrap();
+        c.run_fair().unwrap();
+        let report = StorageAudit::new("casgc", p, domain(), 1)
+            .unconditional_liveness(false)
+            .assess(&c.storage());
+        assert!(report.lower_bounds_respected(), "{report}");
+        assert!(
+            report.measured_total_normalized < (p.f() + 1) as f64,
+            "{report}"
+        );
+        // Theorems B.1/5.1 rows are marked inapplicable for conditional
+        // liveness.
+        assert_eq!(report.row(Bound::SingletonB1).bound_value, None);
+        assert_eq!(report.row(Bound::Universal51).bound_value, None);
+        // Theorem 6.5 applies and is respected.
+        let row65 = report.row(Bound::MultiVersion65);
+        assert_eq!(row65.consistent, Some(true));
+    }
+
+    #[test]
+    fn cas_storage_grows_with_concurrency_as_theorem65_predicts() {
+        let p = SystemParams::new(5, 1).unwrap();
+        let mut totals = Vec::new();
+        for nu in 1..=3u32 {
+            let mut c = CasCluster::new(5, 1, nu + 1, ValueSpec::from_bits(64.0));
+            run_concurrent_workload(&mut c, nu, 1, 1, 11).unwrap();
+            let report = StorageAudit::new("cas", p, domain(), nu)
+                .unconditional_liveness(false)
+                .assess(&c.storage());
+            assert!(report.lower_bounds_respected(), "nu={nu}: {report}");
+            totals.push(report.measured_total_normalized);
+        }
+        // More concurrent writers => strictly more coded versions
+        // somewhere along the execution.
+        assert!(totals[0] < totals[2], "{totals:?}");
+    }
+
+    #[test]
+    fn audit_flags_a_cheating_profile() {
+        // A fabricated sub-bound profile must be flagged.
+        let snapshot = StorageSnapshot {
+            per_server_peak_bits: vec![4.0; 5], // far below 64-bit values
+            per_server_peak_metadata_bits: vec![0.0; 5],
+            peak_total_bits: 20.0,
+            peak_total_metadata_bits: 0.0,
+            peak_max_bits: 4.0,
+            points_observed: 1,
+        };
+        let report = StorageAudit::new("cheat", params(), domain(), 1).assess(&snapshot);
+        assert!(!report.lower_bounds_respected());
+        assert!(report.constraints.iter().any(|c| !c.holds()));
+    }
+
+    #[test]
+    fn no_gossip_row_respects_f_constraint() {
+        let p = SystemParams::new(3, 1).unwrap();
+        let snapshot = StorageSnapshot {
+            per_server_peak_bits: vec![64.0; 3],
+            per_server_peak_metadata_bits: vec![0.0; 3],
+            peak_total_bits: 192.0,
+            peak_total_metadata_bits: 0.0,
+            peak_max_bits: 64.0,
+            points_observed: 1,
+        };
+        let report = StorageAudit::new("abd", p, domain(), 1).assess(&snapshot);
+        // f = 1: Theorem 4.1 requires f >= 2, so the row is inapplicable.
+        assert_eq!(report.row(Bound::NoGossip41).bound_value, None);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let mut c = AbdCluster::new(5, 2, 2, ValueSpec::from_bits(64.0));
+        c.write(0, 1).unwrap();
+        let report = StorageAudit::new("abd", params(), domain(), 1).assess(&c.storage());
+        let text = report.to_string();
+        for b in Bound::ALL {
+            assert!(text.contains(b.label()), "missing {b}");
+        }
+    }
+
+    #[test]
+    fn max_storage_rows_checked() {
+        let mut c = AbdCluster::new(5, 2, 2, ValueSpec::from_bits(64.0));
+        c.write(0, 1).unwrap();
+        let report = StorageAudit::new("abd", params(), domain(), 1).assess(&c.storage());
+        // ABD per-server max = 1 normalized >= all per-server bounds.
+        assert_eq!(report.max_rows.len(), 3);
+        assert!(report.max_rows.iter().all(|r| r.consistent), "{report}");
+        // A cheating max profile is flagged.
+        let snapshot = StorageSnapshot {
+            per_server_peak_bits: vec![64.0, 64.0, 64.0, 64.0, 1.0],
+            per_server_peak_metadata_bits: vec![0.0; 5],
+            peak_total_bits: 257.0,
+            peak_total_metadata_bits: 0.0,
+            peak_max_bits: 64.0,
+            points_observed: 1,
+        };
+        // Max is still fine here (64 bits = 1.0 normalized), so this passes:
+        let ok = StorageAudit::new("x", params(), domain(), 1).assess(&snapshot);
+        assert!(ok.max_rows.iter().all(|r| r.consistent));
+        // But a uniformly tiny profile fails the per-server form too.
+        let tiny = StorageSnapshot {
+            per_server_peak_bits: vec![1.0; 5],
+            per_server_peak_metadata_bits: vec![0.0; 5],
+            peak_total_bits: 5.0,
+            peak_total_metadata_bits: 0.0,
+            peak_max_bits: 1.0,
+            points_observed: 1,
+        };
+        let bad = StorageAudit::new("y", params(), domain(), 1).assess(&tiny);
+        assert!(bad.max_rows.iter().any(|r| !r.consistent));
+        assert!(!bad.lower_bounds_respected());
+    }
+}

@@ -1,0 +1,279 @@
+//! The concluding trichotomy of Section 7, as a decision procedure.
+//!
+//! Suppose an algorithm's storage cost is `g(ν, N, f)·log2|V| + o(log2|V|)`.
+//! The paper's results pin down what such an algorithm must look like:
+//!
+//! 1. `g ≥ 2N/(N−f+2)` always (Theorem 5.1, for unconditional-liveness
+//!    regular algorithms) — anything lower is **impossible**.
+//! 2. If `g < νN/(N−f+ν−1)` for some `ν`, the algorithm must escape
+//!    Theorem 6.5's hypotheses: multi-phase value sending, a
+//!    non-value/metadata-separated writer state, or non-black-box write
+//!    actions.
+//! 3. If `g < f+1` for *all* ν, then (by \[23\] + Theorem 6.5) in some
+//!    executions the servers must jointly encode values **across
+//!    versions**.
+//!
+//! Bullets 2 and 3 are separate implications — a single cost curve can
+//! trigger both — so [`classify_curve`] reports a [`CurveVerdict`] of
+//! independent flags, while the pointwise [`classify_cost`] returns the
+//! dominant [`CostClass`].
+
+use shmem_bounds::{lower, Ratio, SystemParams};
+use std::fmt;
+
+/// What a proposed storage cost `g` implies about any algorithm achieving
+/// it at one concurrency level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CostClass {
+    /// Below the universal Theorem 5.1 bound: no regular
+    /// unconditional-liveness algorithm exists.
+    Impossible,
+    /// Below the Theorem 6.5 bound for this `ν`: the write protocol must
+    /// violate at least one of the listed assumptions.
+    RequiresExoticWrites(Vec<ExoticFeature>),
+    /// Consistent with all known bounds at this point.
+    Achievable,
+}
+
+/// Structural escape hatches from Theorem 6.5 (Section 7's second bullet).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExoticFeature {
+    /// The writer sends value-dependent messages in more than one phase
+    /// (violates Assumption 3(b); e.g. the hash-then-code protocols of
+    /// \[2, 15\]).
+    MultiPhaseValueSending,
+    /// The writer's state does not separate value and metadata (violates
+    /// Assumption 1).
+    UnseparatedWriterState,
+    /// Write-client actions inspect the value (violate black-box
+    /// Assumption 3(a)).
+    NonBlackBoxActions,
+}
+
+impl ExoticFeature {
+    /// All escape hatches Section 7 lists.
+    pub const ALL: [ExoticFeature; 3] = [
+        ExoticFeature::MultiPhaseValueSending,
+        ExoticFeature::UnseparatedWriterState,
+        ExoticFeature::NonBlackBoxActions,
+    ];
+}
+
+impl fmt::Display for ExoticFeature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExoticFeature::MultiPhaseValueSending => {
+                write!(f, "value-dependent messages in more than one phase")
+            }
+            ExoticFeature::UnseparatedWriterState => {
+                write!(f, "writer state not separated into (value, metadata)")
+            }
+            ExoticFeature::NonBlackBoxActions => write!(f, "non-black-box write actions"),
+        }
+    }
+}
+
+/// Classifies a proposed normalized storage cost `g` at concurrency `nu`.
+///
+/// `unconditional_liveness` says whether the hypothetical algorithm
+/// guarantees termination regardless of write concurrency (Theorem 5.1's
+/// hypothesis). Bounded-concurrency algorithms (CASGC-style) escape
+/// bullet 1 but not bullet 2.
+pub fn classify_cost(
+    params: SystemParams,
+    nu: u32,
+    g: Ratio,
+    unconditional_liveness: bool,
+) -> CostClass {
+    if unconditional_liveness && g < lower::universal_total(params) {
+        return CostClass::Impossible;
+    }
+    if nu >= 1 && g < lower::multi_version_total(params, nu) {
+        return CostClass::RequiresExoticWrites(ExoticFeature::ALL.to_vec());
+    }
+    CostClass::Achievable
+}
+
+/// The Section 7 implications a cost curve triggers — independent flags,
+/// since bullets 2 and 3 can hold simultaneously.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CurveVerdict {
+    /// Bullet 1: the curve dips below the universal Theorem 5.1 bound
+    /// (only set under unconditional liveness) — no such algorithm exists.
+    pub impossible: bool,
+    /// Bullet 2: the curve dips below the Theorem 6.5 line at some sampled
+    /// `ν` — the write protocol must be exotic.
+    pub requires_exotic_writes: bool,
+    /// Bullet 3: the curve stays below `f + 1` through the saturation
+    /// point `ν = f + 1` — the servers must jointly encode across
+    /// versions in some executions.
+    pub requires_cross_version_coding: bool,
+}
+
+impl CurveVerdict {
+    /// Whether the curve is consistent with all known results without any
+    /// structural concession.
+    pub fn is_plainly_achievable(&self) -> bool {
+        !self.impossible && !self.requires_exotic_writes && !self.requires_cross_version_coding
+    }
+}
+
+/// Classifies a cost *function* `g(ν)` sampled at `1..=nu_max` against all
+/// three Section 7 bullets.
+pub fn classify_curve(
+    params: SystemParams,
+    nu_max: u32,
+    g: impl Fn(u32) -> Ratio,
+    unconditional_liveness: bool,
+) -> CurveVerdict {
+    let mut verdict = CurveVerdict::default();
+    let mut uniformly_below_replication = true;
+    for nu in 1..=nu_max {
+        let gv = g(nu);
+        if unconditional_liveness && gv < lower::universal_total(params) {
+            verdict.impossible = true;
+        }
+        if gv < lower::multi_version_total(params, nu) {
+            verdict.requires_exotic_writes = true;
+        }
+        if gv >= Ratio::from(params.f() + 1) {
+            uniformly_below_replication = false;
+        }
+    }
+    // Bullet 3 is only meaningful once the curve has been sampled past the
+    // saturation point ν* = f + 1.
+    verdict.requires_cross_version_coding =
+        uniformly_below_replication && nu_max > params.f();
+    verdict
+}
+
+/// Known algorithm profiles for the trichotomy's "achievable" side.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KnownAlgorithm {
+    /// ABD replication \[3\]: `g = f + 1`, flat in `ν`.
+    AbdReplication,
+    /// Erasure-coded with `k = N − f` accounting: `g = νN/(N−f)`.
+    ErasureCoded,
+}
+
+impl KnownAlgorithm {
+    /// The algorithm's normalized cost at concurrency `nu`.
+    pub fn cost(self, params: SystemParams, nu: u32) -> Ratio {
+        match self {
+            KnownAlgorithm::AbdReplication => shmem_bounds::upper::replication_total(params),
+            KnownAlgorithm::ErasureCoded => shmem_bounds::upper::coded_total(params, nu),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1() -> SystemParams {
+        SystemParams::new(21, 10).unwrap()
+    }
+
+    #[test]
+    fn below_universal_is_impossible() {
+        // g = N/(N-f) (the old Singleton bound) is now known impossible
+        // for unconditional-liveness algorithms — the paper's headline.
+        let g = lower::singleton_total(fig1());
+        assert_eq!(classify_cost(fig1(), 1, g, true), CostClass::Impossible);
+        // Bounded-concurrency algorithms escape bullet 1 — erasure coding
+        // does achieve N/(N-f) at nu = 1 with conditional liveness.
+        assert_eq!(classify_cost(fig1(), 1, g, false), CostClass::Achievable);
+    }
+
+    #[test]
+    fn between_universal_and_theorem65_needs_exotic_writes() {
+        let p = fig1();
+        // g = 4 at nu = 6: above 2N/(N-f+2) = 3.23, below 6*21/16 = 7.875.
+        match classify_cost(p, 6, Ratio::from(4u32), true) {
+            CostClass::RequiresExoticWrites(features) => assert_eq!(features.len(), 3),
+            other => panic!("expected exotic-writes class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn known_algorithms_are_achievable_pointwise() {
+        let p = fig1();
+        for nu in 1..=16 {
+            let abd = KnownAlgorithm::AbdReplication;
+            assert_eq!(
+                classify_cost(p, nu, abd.cost(p, nu), true),
+                CostClass::Achievable,
+                "abd at nu={nu}"
+            );
+            let ec = KnownAlgorithm::ErasureCoded;
+            assert_eq!(
+                classify_cost(p, nu, ec.cost(p, nu), false),
+                CostClass::Achievable,
+                "coded at nu={nu}"
+            );
+        }
+    }
+
+    #[test]
+    fn abd_curve_is_plainly_achievable() {
+        let p = fig1();
+        let curve = |nu: u32| KnownAlgorithm::AbdReplication.cost(p, nu);
+        let v = classify_curve(p, 16, curve, true);
+        assert!(v.is_plainly_achievable(), "{v:?}");
+    }
+
+    #[test]
+    fn flat_sub_replication_curve_triggers_bullets_2_and_3() {
+        let p = fig1();
+        // The open-question target of Section 7: g = f, flat in nu, with
+        // conditional liveness. Such an algorithm would need BOTH exotic
+        // writes (it dips below the 6.5 line at nu >= f+1) AND
+        // cross-version coding (it stays below f+1 uniformly).
+        let curve = |_nu: u32| Ratio::from(p.f());
+        let v = classify_curve(p, 16, curve, false);
+        assert!(!v.impossible);
+        assert!(v.requires_exotic_writes);
+        assert!(v.requires_cross_version_coding);
+    }
+
+    #[test]
+    fn sub_universal_curve_is_impossible_and_more() {
+        let p = fig1();
+        let curve = |_nu: u32| Ratio::ONE;
+        let v = classify_curve(p, 16, curve, true);
+        assert!(v.impossible);
+        assert!(v.requires_exotic_writes);
+        assert!(v.requires_cross_version_coding);
+    }
+
+    #[test]
+    fn bullet3_needs_samples_past_saturation() {
+        let p = fig1();
+        let curve = |_nu: u32| Ratio::from(p.f());
+        // Sampled only at low concurrency: bullet 3 cannot be concluded,
+        // and bullet 2 does not fire (the 6.5 line is still below f).
+        let v = classify_curve(p, 3, curve, false);
+        assert!(!v.requires_cross_version_coding);
+        assert!(!v.requires_exotic_writes);
+    }
+
+    #[test]
+    fn coded_curve_with_conditional_liveness_is_clean_at_low_nu() {
+        let p = fig1();
+        let curve = |nu: u32| KnownAlgorithm::ErasureCoded.cost(p, nu);
+        let v = classify_curve(p, 5, curve, false);
+        assert!(v.is_plainly_achievable(), "{v:?}");
+        // Past the crossover the coded curve exceeds f+1, so bullet 3's
+        // flag never engages even over a long horizon.
+        let v16 = classify_curve(p, 16, curve, false);
+        assert!(!v16.requires_cross_version_coding);
+        assert!(!v16.requires_exotic_writes);
+    }
+
+    #[test]
+    fn exotic_features_display() {
+        for f in ExoticFeature::ALL {
+            assert!(!f.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! The SWSR theorems on the single-writer algorithm they are stated for.
+//!
+//! Theorems B.1, 4.1 and 5.1 address *single-writer single-reader regular*
+//! registers; `SwmrAbd` (one-phase writes, writer-owned tags) is the
+//! canonical such algorithm. These tests run the full proof machinery
+//! against it, including the phase-structure check (its write is a single
+//! value-dependent phase — the minimal element of the Assumption 3
+//! spectrum).
+
+use shmem_algorithms::abd;
+use shmem_algorithms::swmr::{swmr_world, SwmrAbd};
+use shmem_algorithms::value::ValueSpec;
+use shmem_core::assumptions::write_phase_profile;
+use shmem_core::counting::{pairwise_counting, singleton_counting};
+use shmem_core::critical::find_critical_pair;
+use shmem_core::execution::AlphaExecution;
+use shmem_core::valency::{probe_read, ReadOutcome};
+use shmem_sim::{ClientId, Sim};
+
+fn world() -> Sim<SwmrAbd> {
+    swmr_world(5, 2, ValueSpec::from_cardinality(8))
+}
+
+#[test]
+fn swsr_write_is_one_value_dependent_phase() {
+    let profile =
+        write_phase_profile(world(), ClientId(0), 3, abd::is_value_dependent_upstream).unwrap();
+    assert_eq!(profile.phases(), 1, "{profile:?}");
+    assert_eq!(profile.value_dependent_phases(), 1);
+    assert!(profile.satisfies_assumption_3b());
+}
+
+#[test]
+fn swsr_alpha_and_critical_pair() {
+    let alpha = AlphaExecution::build(world(), ClientId(0), 2, 1, 2).expect("alpha builds");
+    // One-phase writes make for shorter executions than MWMR ABD.
+    assert!(alpha.len() < 30, "len={}", alpha.len());
+    assert_eq!(
+        probe_read(alpha.point(0), ClientId(0), ClientId(1), false),
+        ReadOutcome::Returns(1)
+    );
+    let pair = find_critical_pair(&alpha, ClientId(1), false, 4).expect("critical pair");
+    assert_eq!(pair.states_q1.len(), 3);
+    assert!(pair.changed_server.is_some());
+}
+
+#[test]
+fn swsr_singleton_counting_injective() {
+    let report = singleton_counting(world, ClientId(0), 2, &[1, 2, 3, 4, 5, 6, 7]);
+    assert!(report.injective, "{report:?}");
+    assert!(report.inequality_holds());
+}
+
+#[test]
+fn swsr_pairwise_counting_injective() {
+    let report = pairwise_counting(world, ClientId(0), ClientId(1), 2, &[1, 2, 3], false, 2);
+    assert_eq!(report.pairs, 6);
+    assert!(
+        report.injective,
+        "collisions={:?} failures={:?}",
+        report.collisions, report.failures
+    );
+    assert!(report.inequality_holds());
+}
+
+#[test]
+fn swsr_history_is_regular_and_atomic() {
+    use shmem_algorithms::reg::{RegInv, RegResp};
+    use shmem_spec::history::{History, OpKind};
+    let mut sim = world();
+    sim.invoke(ClientId(0), RegInv::Write(4)).unwrap();
+    sim.run_until_op_completes(ClientId(0)).unwrap();
+    sim.invoke(ClientId(1), RegInv::Read).unwrap();
+    sim.run_until_op_completes(ClientId(1)).unwrap();
+    let mut h = History::new(0u64);
+    for op in sim.ops() {
+        let kind = match op.invocation {
+            RegInv::Write(v) => OpKind::Write(v),
+            RegInv::Read => OpKind::Read,
+        };
+        let id = h.begin(op.client.0, kind, op.invoked_at);
+        if let Some(t) = op.responded_at {
+            h.complete(id, t, op.response.and_then(RegResp::read_value));
+        }
+    }
+    assert!(shmem_spec::check_regular(&h).is_ok());
+    assert!(shmem_spec::check_atomic(&h).is_ok());
+    assert!(shmem_spec::check_safe(&h).is_ok());
+}

@@ -1,0 +1,131 @@
+//! The [`Field`] abstraction all codes are generic over.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A finite field.
+///
+/// Implementations must satisfy the field axioms; the crate's property tests
+/// (`tests` in [`crate::gf256`] / [`crate::gf2p16`]) exercise associativity,
+/// commutativity, distributivity, identities and inverses on random
+/// elements.
+pub trait Field: Copy + Eq + Hash + Debug + Send + Sync + 'static {
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+
+    /// Number of elements in the field.
+    fn order() -> u64;
+
+    /// The element canonically numbered `i` (row index into the field's
+    /// element enumeration). `from_index(0) == ZERO`, `from_index(1) == ONE`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= Self::order()`.
+    fn from_index(i: u64) -> Self;
+
+    /// The canonical number of this element (inverse of [`Field::from_index`]).
+    fn to_index(self) -> u64;
+
+    /// Field addition. In characteristic-2 fields this is XOR, so it is also
+    /// subtraction.
+    fn add(self, rhs: Self) -> Self;
+
+    /// Field subtraction.
+    fn sub(self, rhs: Self) -> Self;
+
+    /// Field multiplication.
+    fn mul(self, rhs: Self) -> Self;
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is [`Field::ZERO`].
+    fn inv(self) -> Self;
+
+    /// Field division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is [`Field::ZERO`].
+    fn div(self, rhs: Self) -> Self {
+        self.mul(rhs.inv())
+    }
+
+    /// Exponentiation by squaring.
+    fn pow(self, mut e: u64) -> Self {
+        let mut base = self;
+        let mut acc = Self::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mul(base);
+            }
+            base = base.mul(base);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// A fixed generator of the multiplicative group.
+    fn generator() -> Self;
+}
+
+/// Checks the field axioms on a triple of elements; used by the per-field
+/// property tests.
+pub fn check_axioms<F: Field>(a: F, b: F, c: F) {
+    assert_eq!(a.add(b), b.add(a), "addition commutes");
+    assert_eq!(a.mul(b), b.mul(a), "multiplication commutes");
+    assert_eq!(a.add(b).add(c), a.add(b.add(c)), "addition associates");
+    assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)), "multiplication associates");
+    assert_eq!(
+        a.mul(b.add(c)),
+        a.mul(b).add(a.mul(c)),
+        "multiplication distributes"
+    );
+    assert_eq!(a.add(F::ZERO), a, "additive identity");
+    assert_eq!(a.mul(F::ONE), a, "multiplicative identity");
+    assert_eq!(a.sub(a), F::ZERO, "additive inverse");
+    assert_eq!(a.mul(F::ZERO), F::ZERO, "zero annihilates");
+    if a != F::ZERO {
+        assert_eq!(a.mul(a.inv()), F::ONE, "multiplicative inverse");
+        assert_eq!(a.div(a), F::ONE, "self-division");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gf256::Gf256;
+
+    #[test]
+    fn pow_zero_is_one() {
+        assert_eq!(Gf256::from_index(7).pow(0), Gf256::ONE);
+        assert_eq!(Gf256::ZERO.pow(0), Gf256::ONE);
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let x = Gf256::from_index(9);
+        let mut acc = Gf256::ONE;
+        for e in 0..20 {
+            assert_eq!(x.pow(e), acc, "e={e}");
+            acc = acc.mul(x);
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // The generator's powers must enumerate all 255 nonzero elements.
+        let g = Gf256::generator();
+        let mut seen = std::collections::HashSet::new();
+        let mut x = Gf256::ONE;
+        for _ in 0..255 {
+            assert!(seen.insert(x), "generator order divides 255 prematurely");
+            x = x.mul(g);
+        }
+        assert_eq!(x, Gf256::ONE, "g^255 = 1");
+    }
+}

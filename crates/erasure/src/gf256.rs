@@ -1,0 +1,204 @@
+//! GF(2⁸) with the standard Reed–Solomon reduction polynomial
+//! `x⁸ + x⁴ + x³ + x² + 1` (0x11D) and generator `x` (0x02).
+//!
+//! Log/exp tables are computed at compile time, so multiplication and
+//! inversion are two table lookups.
+
+use crate::field::Field;
+
+const POLY: u16 = 0x11D;
+
+const fn build_tables() -> ([u8; 512], [u8; 256]) {
+    // exp is doubled so `exp[log a + log b]` needs no modular reduction.
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLY;
+        }
+        i += 1;
+    }
+    // Duplicate the cycle for overflow-free indexing.
+    let mut j = 255;
+    while j < 512 {
+        exp[j] = exp[j - 255];
+        j += 1;
+    }
+    (exp, log)
+}
+
+const TABLES: ([u8; 512], [u8; 256]) = build_tables();
+const EXP: [u8; 512] = TABLES.0;
+const LOG: [u8; 256] = TABLES.1;
+
+/// An element of GF(2⁸).
+///
+/// ```
+/// use shmem_erasure::{Field, Gf256};
+///
+/// let a = Gf256::new(0x53);
+/// let b = Gf256::new(0xCA);
+/// assert_eq!(a.add(b), Gf256::new(0x99)); // addition is XOR
+/// assert_eq!(a.mul(a.inv()), Gf256::ONE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Gf256(u8);
+
+impl Gf256 {
+    /// Wraps a byte as a field element.
+    pub const fn new(x: u8) -> Gf256 {
+        Gf256(x)
+    }
+
+    /// The underlying byte.
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+}
+
+impl Field for Gf256 {
+    const ZERO: Gf256 = Gf256(0);
+    const ONE: Gf256 = Gf256(1);
+
+    fn order() -> u64 {
+        256
+    }
+
+    fn from_index(i: u64) -> Gf256 {
+        assert!(i < 256, "GF(256) index out of range: {i}");
+        Gf256(i as u8)
+    }
+
+    fn to_index(self) -> u64 {
+        self.0 as u64
+    }
+
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+
+    fn sub(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf256(0);
+        }
+        Gf256(EXP[LOG[self.0 as usize] as usize + LOG[rhs.0 as usize] as usize])
+    }
+
+    fn inv(self) -> Gf256 {
+        assert!(self.0 != 0, "inverse of zero in GF(256)");
+        Gf256(EXP[255 - LOG[self.0 as usize] as usize])
+    }
+
+    fn generator() -> Gf256 {
+        Gf256(2)
+    }
+}
+
+impl std::fmt::Debug for Gf256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gf256({:#04x})", self.0)
+    }
+}
+
+impl std::fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:02x}", self.0)
+    }
+}
+
+impl From<u8> for Gf256 {
+    fn from(x: u8) -> Gf256 {
+        Gf256(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::check_axioms;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tables_are_consistent() {
+        for x in 1..=255u8 {
+            assert_eq!(EXP[LOG[x as usize] as usize], x, "exp(log({x})) = {x}");
+        }
+        // exp duplication property.
+        for i in 0..255 {
+            assert_eq!(EXP[i], EXP[i + 255]);
+        }
+    }
+
+    #[test]
+    fn known_products() {
+        // Worked example from standard RS references.
+        assert_eq!(Gf256::new(0x02).mul(Gf256::new(0x02)), Gf256::new(0x04));
+        assert_eq!(Gf256::new(0x80).mul(Gf256::new(0x02)), Gf256::new(0x1D));
+        assert_eq!(Gf256::new(0xFF).mul(Gf256::ONE), Gf256::new(0xFF));
+    }
+
+    #[test]
+    fn exhaustive_inverse() {
+        for x in 1..=255u8 {
+            let e = Gf256::new(x);
+            assert_eq!(e.mul(e.inv()), Gf256::ONE, "x={x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse of zero")]
+    fn zero_has_no_inverse() {
+        let _ = Gf256::ZERO.inv();
+    }
+
+    #[test]
+    fn addition_is_characteristic_two() {
+        for x in 0..=255u8 {
+            let e = Gf256::new(x);
+            assert_eq!(e.add(e), Gf256::ZERO);
+        }
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for i in 0..256u64 {
+            assert_eq!(Gf256::from_index(i).to_index(), i);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn axioms_hold(a in 0u8..=255, b in 0u8..=255, c in 0u8..=255) {
+            check_axioms(Gf256::new(a), Gf256::new(b), Gf256::new(c));
+        }
+
+        #[test]
+        fn mul_matches_carryless_reference(a in 0u8..=255, b in 0u8..=255) {
+            // Bit-by-bit carryless multiply + reduction, independent of the
+            // log/exp tables.
+            let mut acc: u16 = 0;
+            let mut aa = a as u16;
+            let mut bb = b as u16;
+            while bb != 0 {
+                if bb & 1 == 1 {
+                    acc ^= aa;
+                }
+                aa <<= 1;
+                if aa & 0x100 != 0 {
+                    aa ^= POLY;
+                }
+                bb >>= 1;
+            }
+            prop_assert_eq!(Gf256::new(a).mul(Gf256::new(b)), Gf256::new(acc as u8));
+        }
+    }
+}

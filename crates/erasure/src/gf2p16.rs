@@ -1,0 +1,186 @@
+//! GF(2¹⁶) with reduction polynomial `x¹⁶ + x¹² + x³ + x + 1` (0x1100B) —
+//! for emulations over more than 255 servers (Reed–Solomon over GF(2⁸) is
+//! limited to `n ≤ 255`).
+//!
+//! The 65536-entry log/exp tables are built lazily on first use.
+
+use crate::field::Field;
+use std::sync::OnceLock;
+
+const POLY: u32 = 0x1100B;
+
+struct Tables {
+    exp: Vec<u16>, // length 2*65535 for overflow-free addition of logs
+    log: Vec<u16>, // length 65536
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = vec![0u16; 2 * 65535];
+        let mut log = vec![0u16; 65536];
+        let mut x: u32 = 1;
+        for (i, slot) in exp.iter_mut().enumerate().take(65535) {
+            *slot = x as u16;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & 0x10000 != 0 {
+                x ^= POLY;
+            }
+        }
+        for i in 65535..2 * 65535 {
+            exp[i] = exp[i - 65535];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// An element of GF(2¹⁶).
+///
+/// ```
+/// use shmem_erasure::{Field, Gf2p16};
+///
+/// let a = Gf2p16::new(0x1234);
+/// assert_eq!(a.mul(a.inv()), Gf2p16::ONE);
+/// assert_eq!(a.add(a), Gf2p16::ZERO); // characteristic 2
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Gf2p16(u16);
+
+impl Gf2p16 {
+    /// Wraps a 16-bit word as a field element.
+    pub const fn new(x: u16) -> Gf2p16 {
+        Gf2p16(x)
+    }
+
+    /// The underlying 16-bit word.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl Field for Gf2p16 {
+    const ZERO: Gf2p16 = Gf2p16(0);
+    const ONE: Gf2p16 = Gf2p16(1);
+
+    fn order() -> u64 {
+        65536
+    }
+
+    fn from_index(i: u64) -> Gf2p16 {
+        assert!(i < 65536, "GF(2^16) index out of range: {i}");
+        Gf2p16(i as u16)
+    }
+
+    fn to_index(self) -> u64 {
+        self.0 as u64
+    }
+
+    fn add(self, rhs: Gf2p16) -> Gf2p16 {
+        Gf2p16(self.0 ^ rhs.0)
+    }
+
+    fn sub(self, rhs: Gf2p16) -> Gf2p16 {
+        Gf2p16(self.0 ^ rhs.0)
+    }
+
+    fn mul(self, rhs: Gf2p16) -> Gf2p16 {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf2p16(0);
+        }
+        let t = tables();
+        Gf2p16(t.exp[t.log[self.0 as usize] as usize + t.log[rhs.0 as usize] as usize])
+    }
+
+    fn inv(self) -> Gf2p16 {
+        assert!(self.0 != 0, "inverse of zero in GF(2^16)");
+        let t = tables();
+        Gf2p16(t.exp[65535 - t.log[self.0 as usize] as usize])
+    }
+
+    fn generator() -> Gf2p16 {
+        Gf2p16(2)
+    }
+}
+
+impl std::fmt::Debug for Gf2p16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gf2p16({:#06x})", self.0)
+    }
+}
+
+impl std::fmt::Display for Gf2p16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:04x}", self.0)
+    }
+}
+
+impl From<u16> for Gf2p16 {
+    fn from(x: u16) -> Gf2p16 {
+        Gf2p16(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::check_axioms;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identities() {
+        let x = Gf2p16::new(0xBEEF);
+        assert_eq!(x.add(Gf2p16::ZERO), x);
+        assert_eq!(x.mul(Gf2p16::ONE), x);
+        assert_eq!(x.mul(Gf2p16::ZERO), Gf2p16::ZERO);
+    }
+
+    #[test]
+    fn sampled_inverses() {
+        for x in (1u32..=65535).step_by(251) {
+            let e = Gf2p16::new(x as u16);
+            assert_eq!(e.mul(e.inv()), Gf2p16::ONE, "x={x}");
+        }
+    }
+
+    #[test]
+    fn generator_is_primitive_on_samples() {
+        // g^65535 = 1 and g^k != 1 for k in the proper divisors of 65535.
+        let g = Gf2p16::generator();
+        assert_eq!(g.pow(65535), Gf2p16::ONE);
+        for d in [3u64, 5, 17, 257, 65535 / 3, 65535 / 5, 65535 / 17, 65535 / 257] {
+            assert_ne!(g.pow(d), Gf2p16::ONE, "divisor {d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse of zero")]
+    fn zero_has_no_inverse() {
+        let _ = Gf2p16::ZERO.inv();
+    }
+
+    proptest! {
+        #[test]
+        fn axioms_hold(a in 0u16..=65535, b in 0u16..=65535, c in 0u16..=65535) {
+            check_axioms(Gf2p16::new(a), Gf2p16::new(b), Gf2p16::new(c));
+        }
+
+        #[test]
+        fn mul_matches_carryless_reference(a in 0u16..=65535, b in 0u16..=65535) {
+            let mut acc: u32 = 0;
+            let mut aa = a as u32;
+            let mut bb = b as u32;
+            while bb != 0 {
+                if bb & 1 == 1 {
+                    acc ^= aa;
+                }
+                aa <<= 1;
+                if aa & 0x10000 != 0 {
+                    aa ^= POLY;
+                }
+                bb >>= 1;
+            }
+            prop_assert_eq!(Gf2p16::new(a).mul(Gf2p16::new(b)), Gf2p16::new(acc as u16));
+        }
+    }
+}

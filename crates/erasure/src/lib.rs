@@ -1,0 +1,42 @@
+//! Finite-field arithmetic and Reed–Solomon MDS erasure codes.
+//!
+//! This crate is the coding-theory substrate of the reproduction: the
+//! paper's upper-bound comparison algorithms (CAS, CASGC, and every
+//! erasure-coding based emulation in its reference list) store *codeword
+//! symbols* rather than full values, and the baseline Theorem B.1 bound is
+//! exactly the classical Singleton bound these codes meet with equality.
+//!
+//! * [`field`] — the [`field::Field`] trait and its laws.
+//! * [`gf256`] — GF(2⁸) with compile-time log/exp tables.
+//! * [`gf2p16`] — GF(2¹⁶) for systems with more than 255 servers.
+//! * [`matrix`] — dense matrices over any field, with Gauss–Jordan
+//!   inversion.
+//! * [`rs`] — `[n, k]` Reed–Solomon codes: encode, decode from any `k` of
+//!   `n` symbols, byte-stream striping.
+//!
+//! # Example: store a value across 5 servers, survive any 2 erasures
+//!
+//! ```
+//! use shmem_erasure::gf256::Gf256;
+//! use shmem_erasure::rs::ReedSolomon;
+//!
+//! let code = ReedSolomon::<Gf256>::new(5, 3)?;
+//! let shares = code.encode_bytes(b"atomic register value!");
+//! // Any 3 of the 5 shares reconstruct the value:
+//! let picked = [(0, shares[0].clone()), (3, shares[3].clone()), (4, shares[4].clone())];
+//! let restored = code.decode_bytes(&picked, 22)?;
+//! assert_eq!(restored, b"atomic register value!");
+//! # Ok::<(), shmem_erasure::rs::CodeError>(())
+//! ```
+
+pub mod field;
+pub mod gf256;
+pub mod gf2p16;
+pub mod matrix;
+pub mod rs;
+
+pub use field::Field;
+pub use gf256::Gf256;
+pub use gf2p16::Gf2p16;
+pub use matrix::Matrix;
+pub use rs::{CodeError, ReedSolomon};

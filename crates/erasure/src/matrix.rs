@@ -1,0 +1,333 @@
+//! Dense matrices over an arbitrary [`Field`], with the Gauss–Jordan
+//! inversion the Reed–Solomon decoder relies on.
+
+use crate::field::Field;
+use std::fmt;
+
+/// A dense row-major matrix over a field `F`.
+///
+/// ```
+/// use shmem_erasure::{Gf256, Matrix, Field};
+///
+/// let m = Matrix::<Gf256>::identity(3);
+/// assert_eq!(m.mul(&m), m);
+/// assert_eq!(m.invert().unwrap(), m);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Matrix<F> {
+    rows: usize,
+    cols: usize,
+    data: Vec<F>,
+}
+
+impl<F: Field> Matrix<F> {
+    /// A `rows × cols` zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> Matrix<F> {
+        Matrix {
+            rows,
+            cols,
+            data: vec![F::ZERO; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Matrix<F> {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, F::ONE);
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major element vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `data.len() == rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<F>) -> Matrix<F> {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// The `rows × cols` Vandermonde matrix on evaluation points `xs`:
+    /// entry `(i, j) = xs[i]^j`.
+    ///
+    /// Any square submatrix formed by selecting `cols` rows with *distinct*
+    /// evaluation points is invertible — the MDS property Reed–Solomon
+    /// decoding rests on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() != rows`.
+    pub fn vandermonde(xs: &[F], cols: usize) -> Matrix<F> {
+        let rows = xs.len();
+        let mut m = Matrix::zero(rows, cols);
+        for (i, &x) in xs.iter().enumerate() {
+            let mut p = F::ONE;
+            for j in 0..cols {
+                m.set(i, j, p);
+                p = p.mul(x);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, r: usize, c: usize) -> F {
+        assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, r: usize, c: usize, v: F) {
+        assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[F] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self.cols == rhs.rows`.
+    pub fn mul(&self, rhs: &Matrix<F>) -> Matrix<F> {
+        assert_eq!(self.cols, rhs.rows, "matrix dimension mismatch in mul");
+        let mut out: Matrix<F> = Matrix::zero(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == F::ZERO {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let cur = out.get(i, j);
+                    out.set(i, j, cur.add(a.mul(rhs.get(k, j))));
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `v.len() == self.cols`.
+    pub fn mul_vec(&self, v: &[F]) -> Vec<F> {
+        assert_eq!(v.len(), self.cols, "vector length mismatch in mul_vec");
+        (0..self.rows)
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .zip(v)
+                    .fold(F::ZERO, |acc, (&a, &b)| acc.add(a.mul(b)))
+            })
+            .collect()
+    }
+
+    /// The submatrix formed by the given rows (in the given order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn select_rows(&self, rows: &[usize]) -> Matrix<F> {
+        let mut out = Matrix::zero(rows.len(), self.cols);
+        for (i, &r) in rows.iter().enumerate() {
+            for c in 0..self.cols {
+                out.set(i, c, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Gauss–Jordan inverse. Returns `None` for singular matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the matrix is square.
+    pub fn invert(&self) -> Option<Matrix<F>> {
+        assert_eq!(self.rows, self.cols, "only square matrices invert");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Find a pivot at or below the diagonal.
+            let pivot = (col..n).find(|&r| a.get(r, col) != F::ZERO)?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            let pinv = a.get(col, col).inv();
+            a.scale_row(col, pinv);
+            inv.scale_row(col, pinv);
+            for r in 0..n {
+                if r != col {
+                    let factor = a.get(r, col);
+                    if factor != F::ZERO {
+                        a.add_scaled_row(r, col, factor);
+                        inv.add_scaled_row(r, col, factor);
+                    }
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        for c in 0..self.cols {
+            let (x, y) = (self.get(a, c), self.get(b, c));
+            self.set(a, c, y);
+            self.set(b, c, x);
+        }
+    }
+
+    fn scale_row(&mut self, r: usize, by: F) {
+        for c in 0..self.cols {
+            let v = self.get(r, c);
+            self.set(r, c, v.mul(by));
+        }
+    }
+
+    /// `row[target] -= factor * row[source]` (characteristic 2 makes the
+    /// subtraction an addition).
+    fn add_scaled_row(&mut self, target: usize, source: usize, factor: F) {
+        for c in 0..self.cols {
+            let v = self.get(target, c).sub(factor.mul(self.get(source, c)));
+            self.set(target, c, v);
+        }
+    }
+}
+
+impl<F: Field> fmt::Debug for Matrix<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            writeln!(f, "  {:?}", self.row(r))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gf256::Gf256;
+    use proptest::prelude::*;
+
+    fn g(x: u8) -> Gf256 {
+        Gf256::new(x)
+    }
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let m = Matrix::from_rows(2, 2, vec![g(3), g(7), g(11), g(13)]);
+        let id = Matrix::identity(2);
+        assert_eq!(m.mul(&id), m);
+        assert_eq!(id.mul(&m), m);
+    }
+
+    #[test]
+    fn invert_known_matrix() {
+        let m = Matrix::from_rows(2, 2, vec![g(1), g(2), g(3), g(4)]);
+        let inv = m.invert().expect("invertible");
+        assert_eq!(m.mul(&inv), Matrix::identity(2));
+        assert_eq!(inv.mul(&m), Matrix::identity(2));
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        // Two identical rows.
+        let m = Matrix::from_rows(2, 2, vec![g(5), g(6), g(5), g(6)]);
+        assert!(m.invert().is_none());
+        let z = Matrix::<Gf256>::zero(3, 3);
+        assert!(z.invert().is_none());
+    }
+
+    #[test]
+    fn vandermonde_square_with_distinct_points_is_invertible() {
+        let xs: Vec<Gf256> = (1..=6u8).map(g).collect();
+        let m = Matrix::vandermonde(&xs, 6);
+        assert!(m.invert().is_some());
+    }
+
+    #[test]
+    fn vandermonde_row_selection_stays_invertible() {
+        // The MDS property: any k rows of an n x k Vandermonde matrix with
+        // distinct points form an invertible matrix.
+        let xs: Vec<Gf256> = (1..=7u8).map(g).collect();
+        let m = Matrix::vandermonde(&xs, 3);
+        for a in 0..7 {
+            for b in (a + 1)..7 {
+                for c in (b + 1)..7 {
+                    let sub = m.select_rows(&[a, b, c]);
+                    assert!(sub.invert().is_some(), "rows {a},{b},{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let m = Matrix::from_rows(2, 3, vec![g(1), g(2), g(3), g(4), g(5), g(6)]);
+        let v = vec![g(7), g(8), g(9)];
+        let as_col = Matrix::from_rows(3, 1, v.clone());
+        let prod = m.mul(&as_col);
+        let direct = m.mul_vec(&v);
+        assert_eq!(direct, vec![prod.get(0, 0), prod.get(1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_rejects_mismatched_dims() {
+        let a = Matrix::<Gf256>::zero(2, 3);
+        let b = Matrix::<Gf256>::zero(2, 3);
+        let _ = a.mul(&b);
+    }
+
+    proptest! {
+        #[test]
+        fn random_square_matrices_invert_or_are_singular(
+            data in proptest::collection::vec(0u8..=255, 16)
+        ) {
+            let m = Matrix::from_rows(4, 4, data.into_iter().map(g).collect());
+            if let Some(inv) = m.invert() {
+                prop_assert_eq!(m.mul(&inv), Matrix::identity(4));
+                prop_assert_eq!(inv.mul(&m), Matrix::identity(4));
+            }
+        }
+
+        #[test]
+        fn matrix_mul_associates(
+            a in proptest::collection::vec(0u8..=255, 9),
+            b in proptest::collection::vec(0u8..=255, 9),
+            c in proptest::collection::vec(0u8..=255, 9),
+        ) {
+            let a = Matrix::from_rows(3, 3, a.into_iter().map(g).collect());
+            let b = Matrix::from_rows(3, 3, b.into_iter().map(g).collect());
+            let c = Matrix::from_rows(3, 3, c.into_iter().map(g).collect());
+            prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        }
+    }
+}

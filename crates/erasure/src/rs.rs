@@ -1,0 +1,534 @@
+//! `[n, k]` Reed–Solomon codes: MDS erasure codes meeting the Singleton
+//! bound with equality.
+//!
+//! Encoding evaluates the degree-`< k` data polynomial at `n` distinct
+//! nonzero field points (a Vandermonde generator); decoding from any `k`
+//! symbols inverts the corresponding Vandermonde submatrix.
+
+use crate::field::Field;
+use crate::gf256::Gf256;
+use crate::matrix::Matrix;
+use std::fmt;
+
+/// An `[n, k]` Reed–Solomon code over field `F`.
+///
+/// * Any `k` of the `n` codeword symbols recover the data — i.e. the code
+///   tolerates `n − k` erasures, exactly the `f = n − k` server-crash budget
+///   of the shared-memory algorithms.
+/// * Each symbol carries `1/k` of the data: the total storage for one
+///   version is `n/k` times the value size, the Singleton-optimal cost that
+///   Theorem B.1 generalizes to shared memory emulation.
+///
+/// # Examples
+///
+/// ```
+/// use shmem_erasure::{Field, Gf256, ReedSolomon};
+///
+/// let code = ReedSolomon::<Gf256>::new(7, 3)?;
+/// let data = [Gf256::new(10), Gf256::new(20), Gf256::new(30)];
+/// let shares = code.encode(&data);
+/// // Lose any 4 shares; the remaining 3 decode.
+/// let subset = [(1, shares[1]), (4, shares[4]), (6, shares[6])];
+/// assert_eq!(code.decode(&subset)?, data);
+/// # Ok::<(), shmem_erasure::CodeError>(())
+/// ```
+#[derive(Clone)]
+pub struct ReedSolomon<F> {
+    n: usize,
+    k: usize,
+    generator: Matrix<F>,
+}
+
+impl<F: Field> ReedSolomon<F> {
+    /// Creates an `[n, k]` code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParams`] unless `1 ≤ k ≤ n ≤ |F| − 1`
+    /// (the evaluation points must be distinct and nonzero).
+    pub fn new(n: usize, k: usize) -> Result<ReedSolomon<F>, CodeError> {
+        if k == 0 || k > n || n as u64 > F::order() - 1 {
+            return Err(CodeError::InvalidParams {
+                n,
+                k,
+                field_order: F::order(),
+            });
+        }
+        let xs: Vec<F> = (1..=n as u64).map(F::from_index).collect();
+        Ok(ReedSolomon {
+            n,
+            k,
+            generator: Matrix::vandermonde(&xs, k),
+        })
+    }
+
+    /// Codeword length `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Data dimension `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of erasures tolerated, `n − k`.
+    pub fn erasure_budget(&self) -> usize {
+        self.n - self.k
+    }
+
+    /// The per-symbol share of the value, as a fraction of `log2 |V|` bits:
+    /// `1/k` — the storage cost of one coded version at one server.
+    pub fn symbol_fraction(&self) -> f64 {
+        1.0 / self.k as f64
+    }
+
+    /// Encodes `k` data symbols into `n` codeword symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `data.len() == k`.
+    pub fn encode(&self, data: &[F]) -> Vec<F> {
+        assert_eq!(data.len(), self.k, "encode expects exactly k data symbols");
+        self.generator.mul_vec(data)
+    }
+
+    /// Decodes the `k` data symbols from any `k` codeword symbols given as
+    /// `(index, symbol)` pairs with distinct indices in `0..n`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodeError::NotEnoughShares`] if fewer than `k` pairs are given
+    ///   (extras beyond `k` are ignored).
+    /// * [`CodeError::IndexOutOfRange`] / [`CodeError::DuplicateIndex`] for
+    ///   malformed indices.
+    pub fn decode(&self, shares: &[(usize, F)]) -> Result<Vec<F>, CodeError> {
+        if shares.len() < self.k {
+            return Err(CodeError::NotEnoughShares {
+                have: shares.len(),
+                need: self.k,
+            });
+        }
+        let used = &shares[..self.k];
+        let mut seen = vec![false; self.n];
+        for &(idx, _) in used {
+            if idx >= self.n {
+                return Err(CodeError::IndexOutOfRange { index: idx, n: self.n });
+            }
+            if seen[idx] {
+                return Err(CodeError::DuplicateIndex { index: idx });
+            }
+            seen[idx] = true;
+        }
+        let rows: Vec<usize> = used.iter().map(|&(i, _)| i).collect();
+        let sub = self.generator.select_rows(&rows);
+        let inv = sub
+            .invert()
+            .expect("Vandermonde submatrix with distinct points is invertible");
+        let symbols: Vec<F> = used.iter().map(|&(_, s)| s).collect();
+        Ok(inv.mul_vec(&symbols))
+    }
+}
+
+impl ReedSolomon<Gf256> {
+    /// Encodes an arbitrary byte string into `n` per-server byte shares by
+    /// striping: stripe `t` holds bytes `t·k .. t·k+k` (zero-padded), and
+    /// share `i` is the concatenation of symbol `i` of every stripe.
+    ///
+    /// Each share is `⌈len/k⌉` bytes — the `1/k` storage fraction.
+    pub fn encode_bytes(&self, data: &[u8]) -> Vec<Vec<u8>> {
+        let stripes = data.len().div_ceil(self.k).max(1);
+        let mut shares = vec![Vec::with_capacity(stripes); self.n];
+        let mut buf = vec![Gf256::ZERO; self.k];
+        for t in 0..stripes {
+            for (j, slot) in buf.iter_mut().enumerate() {
+                *slot = Gf256::new(data.get(t * self.k + j).copied().unwrap_or(0));
+            }
+            for (i, sym) in self.encode(&buf).into_iter().enumerate() {
+                shares[i].push(sym.raw());
+            }
+        }
+        shares
+    }
+
+    /// Decodes byte shares produced by [`ReedSolomon::encode_bytes`],
+    /// trimming to `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReedSolomon::decode`], plus
+    /// [`CodeError::LengthMismatch`] if the shares disagree in length or are
+    /// too short for `len`.
+    pub fn decode_bytes(
+        &self,
+        shares: &[(usize, Vec<u8>)],
+        len: usize,
+    ) -> Result<Vec<u8>, CodeError> {
+        if shares.len() < self.k {
+            return Err(CodeError::NotEnoughShares {
+                have: shares.len(),
+                need: self.k,
+            });
+        }
+        let stripes = shares[0].1.len();
+        if shares.iter().any(|(_, s)| s.len() != stripes) || stripes * self.k < len {
+            return Err(CodeError::LengthMismatch);
+        }
+        let mut out = Vec::with_capacity(stripes * self.k);
+        for t in 0..stripes {
+            let column: Vec<(usize, Gf256)> = shares
+                .iter()
+                .take(self.k)
+                .map(|&(i, ref s)| (i, Gf256::new(s[t])))
+                .collect();
+            out.extend(self.decode(&column)?.into_iter().map(Gf256::raw));
+        }
+        out.truncate(len);
+        Ok(out)
+    }
+}
+
+impl ReedSolomon<crate::gf2p16::Gf2p16> {
+    /// Byte-stream striping over GF(2¹⁶): each symbol covers two bytes, so
+    /// codes of length up to 65535 are available — wide-cluster geometries
+    /// (`N` in the hundreds) that GF(2⁸) cannot reach.
+    pub fn encode_bytes(&self, data: &[u8]) -> Vec<Vec<u8>> {
+        use crate::gf2p16::Gf2p16;
+        let stripes = data.len().div_ceil(2 * self.k).max(1);
+        let mut shares = vec![Vec::with_capacity(2 * stripes); self.n];
+        let mut buf = vec![Gf2p16::ZERO; self.k];
+        for t in 0..stripes {
+            for (j, slot) in buf.iter_mut().enumerate() {
+                let base = 2 * (t * self.k + j);
+                let hi = data.get(base).copied().unwrap_or(0);
+                let lo = data.get(base + 1).copied().unwrap_or(0);
+                *slot = Gf2p16::new(u16::from_be_bytes([hi, lo]));
+            }
+            for (i, sym) in self.encode(&buf).into_iter().enumerate() {
+                shares[i].extend_from_slice(&sym.raw().to_be_bytes());
+            }
+        }
+        shares
+    }
+
+    /// Decodes byte shares produced by the GF(2¹⁶)
+    /// [`ReedSolomon::encode_bytes`], trimming to `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReedSolomon::decode`], plus
+    /// [`CodeError::LengthMismatch`] for inconsistent share lengths.
+    pub fn decode_bytes(
+        &self,
+        shares: &[(usize, Vec<u8>)],
+        len: usize,
+    ) -> Result<Vec<u8>, CodeError> {
+        use crate::gf2p16::Gf2p16;
+        if shares.len() < self.k {
+            return Err(CodeError::NotEnoughShares {
+                have: shares.len(),
+                need: self.k,
+            });
+        }
+        let bytes_per_share = shares[0].1.len();
+        if shares.iter().any(|(_, s)| s.len() != bytes_per_share)
+            || !bytes_per_share.is_multiple_of(2)
+            || bytes_per_share / 2 * self.k * 2 < len
+        {
+            return Err(CodeError::LengthMismatch);
+        }
+        let stripes = bytes_per_share / 2;
+        let mut out = Vec::with_capacity(stripes * self.k * 2);
+        for t in 0..stripes {
+            let column: Vec<(usize, Gf2p16)> = shares
+                .iter()
+                .take(self.k)
+                .map(|&(i, ref s)| {
+                    (i, Gf2p16::new(u16::from_be_bytes([s[2 * t], s[2 * t + 1]])))
+                })
+                .collect();
+            for sym in self.decode(&column)? {
+                out.extend_from_slice(&sym.raw().to_be_bytes());
+            }
+        }
+        out.truncate(len);
+        Ok(out)
+    }
+}
+
+impl<F: Field> fmt::Debug for ReedSolomon<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ReedSolomon[n={}, k={}]", self.n, self.k)
+    }
+}
+
+/// Errors from Reed–Solomon construction and decoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodeError {
+    /// Parameters violate `1 ≤ k ≤ n ≤ |F| − 1`.
+    InvalidParams {
+        /// Requested length.
+        n: usize,
+        /// Requested dimension.
+        k: usize,
+        /// Field order.
+        field_order: u64,
+    },
+    /// Fewer than `k` shares supplied.
+    NotEnoughShares {
+        /// Shares supplied.
+        have: usize,
+        /// Shares required (`k`).
+        need: usize,
+    },
+    /// A share index was `≥ n`.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Code length.
+        n: usize,
+    },
+    /// The same share index appeared twice.
+    DuplicateIndex {
+        /// The repeated index.
+        index: usize,
+    },
+    /// Byte shares of unequal length, or too short for the requested size.
+    LengthMismatch,
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::InvalidParams { n, k, field_order } => write!(
+                f,
+                "invalid code parameters n={n}, k={k} (need 1 <= k <= n <= {})",
+                field_order - 1
+            ),
+            CodeError::NotEnoughShares { have, need } => {
+                write!(f, "need {need} shares to decode, got {have}")
+            }
+            CodeError::IndexOutOfRange { index, n } => {
+                write!(f, "share index {index} out of range for code length {n}")
+            }
+            CodeError::DuplicateIndex { index } => {
+                write!(f, "share index {index} supplied more than once")
+            }
+            CodeError::LengthMismatch => write!(f, "byte shares have inconsistent lengths"),
+        }
+    }
+}
+
+impl std::error::Error for CodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gf2p16::Gf2p16;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_all_k_subsets() {
+        let code = ReedSolomon::<Gf256>::new(5, 3).unwrap();
+        let data = [Gf256::new(17), Gf256::new(91), Gf256::new(204)];
+        let shares = code.encode(&data);
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                for c in (b + 1)..5 {
+                    let subset = [(a, shares[a]), (b, shares[b]), (c, shares[c])];
+                    assert_eq!(code.decode(&subset).unwrap(), data, "{a},{b},{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_equals_n_is_identity_like() {
+        let code = ReedSolomon::<Gf256>::new(3, 3).unwrap();
+        let data = [Gf256::new(1), Gf256::new(2), Gf256::new(3)];
+        let shares = code.encode(&data);
+        let all: Vec<(usize, Gf256)> = shares.iter().copied().enumerate().collect();
+        assert_eq!(code.decode(&all).unwrap(), data);
+        assert_eq!(code.erasure_budget(), 0);
+    }
+
+    #[test]
+    fn k_equals_one_is_replication() {
+        // [n, 1] RS replicates the single symbol scaled by distinct points;
+        // every single share decodes.
+        let code = ReedSolomon::<Gf256>::new(4, 1).unwrap();
+        let data = [Gf256::new(99)];
+        let shares = code.encode(&data);
+        for (i, &s) in shares.iter().enumerate() {
+            assert_eq!(code.decode(&[(i, s)]).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(matches!(
+            ReedSolomon::<Gf256>::new(3, 0),
+            Err(CodeError::InvalidParams { .. })
+        ));
+        assert!(matches!(
+            ReedSolomon::<Gf256>::new(3, 4),
+            Err(CodeError::InvalidParams { .. })
+        ));
+        assert!(matches!(
+            ReedSolomon::<Gf256>::new(256, 2),
+            Err(CodeError::InvalidParams { .. })
+        ));
+        // GF(2^16) supports much longer codes.
+        assert!(ReedSolomon::<Gf2p16>::new(256, 2).is_ok());
+        assert!(ReedSolomon::<Gf2p16>::new(65535, 21).is_ok());
+    }
+
+    #[test]
+    fn decode_error_paths() {
+        let code = ReedSolomon::<Gf256>::new(5, 3).unwrap();
+        let data = [Gf256::new(1), Gf256::new(2), Gf256::new(3)];
+        let shares = code.encode(&data);
+        assert_eq!(
+            code.decode(&[(0, shares[0])]),
+            Err(CodeError::NotEnoughShares { have: 1, need: 3 })
+        );
+        assert_eq!(
+            code.decode(&[(0, shares[0]), (0, shares[0]), (1, shares[1])]),
+            Err(CodeError::DuplicateIndex { index: 0 })
+        );
+        assert_eq!(
+            code.decode(&[(9, shares[0]), (1, shares[1]), (2, shares[2])]),
+            Err(CodeError::IndexOutOfRange { index: 9, n: 5 })
+        );
+    }
+
+    #[test]
+    fn extra_shares_are_ignored() {
+        let code = ReedSolomon::<Gf256>::new(5, 2).unwrap();
+        let data = [Gf256::new(7), Gf256::new(8)];
+        let shares = code.encode(&data);
+        let all: Vec<(usize, Gf256)> = shares.iter().copied().enumerate().collect();
+        assert_eq!(code.decode(&all).unwrap(), data);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let code = ReedSolomon::<Gf256>::new(7, 4).unwrap();
+        let msg = b"the storage cost of shared memory emulation";
+        let shares = code.encode_bytes(msg);
+        assert!(shares.iter().all(|s| s.len() == msg.len().div_ceil(4)));
+        let picked: Vec<(usize, Vec<u8>)> = [6, 2, 0, 5]
+            .iter()
+            .map(|&i| (i, shares[i].clone()))
+            .collect();
+        assert_eq!(code.decode_bytes(&picked, msg.len()).unwrap(), msg);
+    }
+
+    #[test]
+    fn empty_message_encodes() {
+        let code = ReedSolomon::<Gf256>::new(4, 2).unwrap();
+        let shares = code.encode_bytes(b"");
+        assert_eq!(shares.len(), 4);
+        let picked = [(0, shares[0].clone()), (2, shares[2].clone())];
+        assert_eq!(code.decode_bytes(&picked, 0).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn byte_length_mismatch_detected() {
+        let code = ReedSolomon::<Gf256>::new(4, 2).unwrap();
+        let shares = code.encode_bytes(b"abcdef");
+        let mut bad = shares[1].clone();
+        bad.pop();
+        assert_eq!(
+            code.decode_bytes(&[(0, shares[0].clone()), (1, bad)], 6),
+            Err(CodeError::LengthMismatch)
+        );
+        // Claiming more bytes than the shares carry is also rejected.
+        assert_eq!(
+            code.decode_bytes(&[(0, shares[0].clone()), (1, shares[1].clone())], 100),
+            Err(CodeError::LengthMismatch)
+        );
+    }
+
+    #[test]
+    fn storage_matches_singleton_bound() {
+        // Total storage across n servers for one value = n/k value-sizes,
+        // i.e. exactly N/(N-f) with f = n-k: the code meets Theorem B.1.
+        let n = 21;
+        let f = 10;
+        let code = ReedSolomon::<Gf256>::new(n, n - f).unwrap();
+        let total_fraction = code.symbol_fraction() * n as f64;
+        assert!((total_fraction - n as f64 / (n - f) as f64).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn random_round_trip(
+            data in proptest::collection::vec(0u8..=255, 4),
+        ) {
+            let code = ReedSolomon::<Gf256>::new(9, 4).unwrap();
+            let syms: Vec<Gf256> = data.iter().map(|&b| Gf256::new(b)).collect();
+            let shares = code.encode(&syms);
+            // Use the last 4 shares (a nontrivial subset).
+            let subset: Vec<(usize, Gf256)> =
+                (5..9).map(|i| (i, shares[i])).collect();
+            prop_assert_eq!(code.decode(&subset).unwrap(), syms);
+        }
+
+        #[test]
+        fn random_bytes_round_trip_any_subset(
+            msg in proptest::collection::vec(0u8..=255, 0..200),
+            seed in 0u64..1000,
+        ) {
+            let code = ReedSolomon::<Gf256>::new(7, 3).unwrap();
+            let shares = code.encode_bytes(&msg);
+            // Pseudo-randomly pick 3 distinct indices from the seed.
+            let mut idx: Vec<usize> = (0..7).collect();
+            let mut s = seed;
+            for i in (1..7).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                idx.swap(i, (s % (i as u64 + 1)) as usize);
+            }
+            let picked: Vec<(usize, Vec<u8>)> =
+                idx[..3].iter().map(|&i| (i, shares[i].clone())).collect();
+            prop_assert_eq!(code.decode_bytes(&picked, msg.len()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn wide_field_byte_round_trip() {
+        let code = ReedSolomon::<Gf2p16>::new(300, 150).unwrap();
+        let msg: Vec<u8> = (0..1000u32).map(|i| (i * 7 % 251) as u8).collect();
+        let shares = code.encode_bytes(&msg);
+        assert_eq!(shares.len(), 300);
+        // Decode from the last 150 shares (any 150 suffice).
+        let picked: Vec<(usize, Vec<u8>)> =
+            (150..300).map(|i| (i, shares[i].clone())).collect();
+        assert_eq!(code.decode_bytes(&picked, msg.len()).unwrap(), msg);
+    }
+
+    #[test]
+    fn wide_field_survives_arbitrary_erasures() {
+        let code = ReedSolomon::<Gf2p16>::new(21, 11).unwrap();
+        let msg = b"storage cost of shared memory emulation at scale";
+        let shares = code.encode_bytes(msg);
+        // Erase 10 shares (the f = 10 budget of the paper's Figure 1).
+        let picked: Vec<(usize, Vec<u8>)> = [0usize, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20]
+            .iter()
+            .map(|&i| (i, shares[i].clone()))
+            .collect();
+        assert_eq!(code.decode_bytes(&picked, msg.len()).unwrap(), msg);
+    }
+
+    #[test]
+    fn wide_field_length_mismatch_detected() {
+        let code = ReedSolomon::<Gf2p16>::new(4, 2).unwrap();
+        let shares = code.encode_bytes(b"abcdef");
+        let mut bad = shares[1].clone();
+        bad.pop();
+        assert_eq!(
+            code.decode_bytes(&[(0, shares[0].clone()), (1, bad)], 6),
+            Err(CodeError::LengthMismatch)
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Simulation configuration.
+
+/// Static configuration of a simulated world.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Whether server-to-server channels exist. Theorem 4.1's model
+    /// restriction ("every message is sent from a server to a client, or
+    /// from a client to a server") corresponds to `false`; sends between
+    /// servers then panic, surfacing model violations immediately.
+    pub server_gossip: bool,
+    /// Per-channel delivery order. The paper's channels are asynchronous
+    /// and need not be FIFO; [`ChannelOrder::Any`] lets schedulers deliver
+    /// any in-flight message of a channel (via
+    /// [`crate::world::Sim::deliver_nth`]), while [`ChannelOrder::Fifo`]
+    /// restricts delivery to queue heads.
+    pub channel_order: ChannelOrder,
+    /// Upper bound on steps for the `run_*` convenience loops, after which
+    /// they report [`crate::world::RunError::StepLimit`] instead of spinning
+    /// forever on a livelocked protocol.
+    pub step_limit: u64,
+}
+
+impl SimConfig {
+    /// Configuration with gossip enabled (the general model of Theorem 5.1).
+    pub fn with_gossip() -> SimConfig {
+        SimConfig {
+            server_gossip: true,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Configuration without server gossip (the Theorem 4.1 model).
+    pub fn without_gossip() -> SimConfig {
+        SimConfig {
+            server_gossip: false,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Overrides the run-loop step limit.
+    pub fn step_limit(mut self, limit: u64) -> SimConfig {
+        self.step_limit = limit;
+        self
+    }
+}
+
+/// Per-channel delivery discipline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ChannelOrder {
+    /// Deliver in send order (the default; what most deployments provide).
+    #[default]
+    Fifo,
+    /// Any in-flight message may be delivered next — the weakest (and the
+    /// paper's) channel model.
+    Any,
+}
+
+impl SimConfig {
+    /// Switches the channel model to arbitrary-order delivery.
+    pub fn reordering(mut self) -> SimConfig {
+        self.channel_order = ChannelOrder::Any;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            server_gossip: true,
+            channel_order: ChannelOrder::Fifo,
+            step_limit: 1_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert!(SimConfig::with_gossip().server_gossip);
+        assert!(!SimConfig::without_gossip().server_gossip);
+        assert_eq!(SimConfig::default().step_limit, 1_000_000);
+        assert_eq!(SimConfig::default().step_limit(42).step_limit, 42);
+        assert_eq!(SimConfig::default().channel_order, ChannelOrder::Fifo);
+        assert_eq!(
+            SimConfig::default().reordering().channel_order,
+            ChannelOrder::Any
+        );
+    }
+}

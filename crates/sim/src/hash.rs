@@ -1,0 +1,55 @@
+//! State digesting.
+
+use std::hash::{Hash, Hasher};
+
+/// A 64-bit digest of any hashable state, used by the proof machinery to
+/// compare server/world states across forked executions.
+///
+/// Uses a fixed-key SipHash-like construction via `DefaultHasher` seeded
+/// identically on every call, so digests are stable within a process run
+/// (which is all the counting arguments need).
+///
+/// ```
+/// use shmem_sim::hash_of;
+///
+/// assert_eq!(hash_of(&(1u32, "x")), hash_of(&(1u32, "x")));
+/// assert_ne!(hash_of(&1u32), hash_of(&2u32));
+/// ```
+pub fn hash_of<T: Hash>(value: &T) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Combines a sequence of digests order-sensitively into one.
+pub fn combine(digests: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for d in digests {
+        d.hash(&mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_within_process() {
+        let a = hash_of(&vec![1u8, 2, 3]);
+        let b = hash_of(&vec![1u8, 2, 3]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        assert_ne!(combine([1, 2, 3]), combine([3, 2, 1]));
+        assert_eq!(combine([1, 2, 3]), combine([1, 2, 3]));
+    }
+
+    #[test]
+    fn combine_distinguishes_length() {
+        assert_ne!(combine([]), combine([0]));
+        assert_ne!(combine([1]), combine([1, 1]));
+    }
+}

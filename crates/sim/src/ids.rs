@@ -1,0 +1,141 @@
+//! Node identities.
+
+use std::fmt;
+
+/// Identifies one of the `N` server nodes, numbered `0..N`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServerId(pub u32);
+
+/// Identifies a client node (writer or reader), numbered `0..`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClientId(pub u32);
+
+/// A node in the system: server or client.
+///
+/// The `Ord` impl (servers before clients, then by index) gives every
+/// container in the simulator a deterministic iteration order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NodeId {
+    /// A server node.
+    Server(ServerId),
+    /// A client node.
+    Client(ClientId),
+}
+
+impl NodeId {
+    /// Convenience constructor for a server node id.
+    pub fn server(i: u32) -> NodeId {
+        NodeId::Server(ServerId(i))
+    }
+
+    /// Convenience constructor for a client node id.
+    pub fn client(i: u32) -> NodeId {
+        NodeId::Client(ClientId(i))
+    }
+
+    /// Whether this is a server node.
+    pub fn is_server(self) -> bool {
+        matches!(self, NodeId::Server(_))
+    }
+
+    /// Whether this is a client node.
+    pub fn is_client(self) -> bool {
+        matches!(self, NodeId::Client(_))
+    }
+
+    /// The server id, if a server.
+    pub fn as_server(self) -> Option<ServerId> {
+        match self {
+            NodeId::Server(s) => Some(s),
+            NodeId::Client(_) => None,
+        }
+    }
+
+    /// The client id, if a client.
+    pub fn as_client(self) -> Option<ClientId> {
+        match self {
+            NodeId::Client(c) => Some(c),
+            NodeId::Server(_) => None,
+        }
+    }
+}
+
+impl From<ServerId> for NodeId {
+    fn from(s: ServerId) -> NodeId {
+        NodeId::Server(s)
+    }
+}
+
+impl From<ClientId> for NodeId {
+    fn from(c: ClientId) -> NodeId {
+        NodeId::Client(c)
+    }
+}
+
+impl fmt::Debug for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Debug for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Server(s) => write!(f, "{s}"),
+            NodeId::Client(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_servers_before_clients() {
+        assert!(NodeId::server(999) < NodeId::client(0));
+        assert!(NodeId::server(0) < NodeId::server(1));
+        assert!(NodeId::client(0) < NodeId::client(1));
+    }
+
+    #[test]
+    fn projections() {
+        let s = NodeId::server(3);
+        assert!(s.is_server() && !s.is_client());
+        assert_eq!(s.as_server(), Some(ServerId(3)));
+        assert_eq!(s.as_client(), None);
+        let c = NodeId::client(7);
+        assert!(c.is_client());
+        assert_eq!(c.as_client(), Some(ClientId(7)));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(NodeId::server(2).to_string(), "s2");
+        assert_eq!(NodeId::client(5).to_string(), "c5");
+    }
+}

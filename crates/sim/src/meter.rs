@@ -1,0 +1,156 @@
+//! Storage-cost metering, following the paper's definitions:
+//! `MaxStorage = max_i log2 |S_i|` and `TotalStorage = Σ_i log2 |S_i|`,
+//! evaluated over the states actually reached in an execution.
+
+/// Tracks per-server storage high-water marks over an execution.
+///
+/// At every point of the execution the simulator reports each server's
+/// value-bearing storage (`state_bits`) and metadata (`metadata_bits`);
+/// the meter keeps per-server peaks, the peak of the per-point total, and
+/// the peak of the per-point maximum.
+#[derive(Clone, Debug)]
+pub struct StorageMeter {
+    per_server_peak: Vec<f64>,
+    per_server_peak_meta: Vec<f64>,
+    peak_total: f64,
+    peak_total_meta: f64,
+    peak_max: f64,
+    samples: u64,
+}
+
+impl StorageMeter {
+    /// A meter for `n` servers, all peaks zero.
+    pub fn new(n: usize) -> StorageMeter {
+        StorageMeter {
+            per_server_peak: vec![0.0; n],
+            per_server_peak_meta: vec![0.0; n],
+            peak_total: 0.0,
+            peak_total_meta: 0.0,
+            peak_max: 0.0,
+            samples: 0,
+        }
+    }
+
+    /// Records one point's per-server `(state_bits, metadata_bits)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices don't match the server count.
+    pub fn observe(&mut self, state_bits: &[f64], metadata_bits: &[f64]) {
+        assert_eq!(state_bits.len(), self.per_server_peak.len());
+        assert_eq!(metadata_bits.len(), self.per_server_peak.len());
+        let mut total = 0.0;
+        let mut total_meta = 0.0;
+        let mut max = 0.0f64;
+        for (i, (&b, &m)) in state_bits.iter().zip(metadata_bits).enumerate() {
+            self.per_server_peak[i] = self.per_server_peak[i].max(b);
+            self.per_server_peak_meta[i] = self.per_server_peak_meta[i].max(m);
+            total += b;
+            total_meta += m;
+            max = max.max(b);
+        }
+        self.peak_total = self.peak_total.max(total);
+        self.peak_total_meta = self.peak_total_meta.max(total_meta);
+        self.peak_max = self.peak_max.max(max);
+        self.samples += 1;
+    }
+
+    /// The current snapshot of all peaks.
+    pub fn snapshot(&self) -> StorageSnapshot {
+        StorageSnapshot {
+            per_server_peak_bits: self.per_server_peak.clone(),
+            per_server_peak_metadata_bits: self.per_server_peak_meta.clone(),
+            peak_total_bits: self.peak_total,
+            peak_total_metadata_bits: self.peak_total_meta,
+            peak_max_bits: self.peak_max,
+            points_observed: self.samples,
+        }
+    }
+}
+
+/// Measured storage peaks of one execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StorageSnapshot {
+    /// Per-server peak of value-bearing storage, in bits.
+    pub per_server_peak_bits: Vec<f64>,
+    /// Per-server peak of metadata storage, in bits.
+    pub per_server_peak_metadata_bits: Vec<f64>,
+    /// Peak over points of the per-point total value-bearing storage —
+    /// the measured `TotalStorage`.
+    pub peak_total_bits: f64,
+    /// Peak over points of the per-point total metadata.
+    pub peak_total_metadata_bits: f64,
+    /// Peak over points of the per-point maximum per-server storage —
+    /// the measured `MaxStorage`.
+    pub peak_max_bits: f64,
+    /// How many points were sampled.
+    pub points_observed: u64,
+}
+
+impl StorageSnapshot {
+    /// Sum of per-server peaks — an upper estimate of `TotalStorage` that
+    /// treats each server's state space as its own peak (this is the
+    /// quantity the theorems constrain: `Σ_i log2 |S_i|` over the reachable
+    /// state spaces `S_i`).
+    pub fn sum_of_server_peaks_bits(&self) -> f64 {
+        self.per_server_peak_bits.iter().sum()
+    }
+
+    /// `TotalStorage` normalized by `log2 |V|`.
+    pub fn normalized_total(&self, log2_v: f64) -> f64 {
+        self.sum_of_server_peaks_bits() / log2_v
+    }
+
+    /// `MaxStorage` normalized by `log2 |V|`.
+    pub fn normalized_max(&self, log2_v: f64) -> f64 {
+        self.per_server_peak_bits
+            .iter()
+            .fold(0.0f64, |a, &b| a.max(b))
+            / log2_v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_peaks_not_currents() {
+        let mut m = StorageMeter::new(2);
+        m.observe(&[4.0, 0.0], &[1.0, 1.0]);
+        m.observe(&[0.0, 3.0], &[0.5, 2.0]);
+        let s = m.snapshot();
+        assert_eq!(s.per_server_peak_bits, vec![4.0, 3.0]);
+        assert_eq!(s.per_server_peak_metadata_bits, vec![1.0, 2.0]);
+        // Per-point totals were 4 then 3; peak total is 4, not 7.
+        assert_eq!(s.peak_total_bits, 4.0);
+        assert_eq!(s.peak_max_bits, 4.0);
+        assert_eq!(s.points_observed, 2);
+        // Sum of per-server peaks is the state-space total: 7.
+        assert_eq!(s.sum_of_server_peaks_bits(), 7.0);
+    }
+
+    #[test]
+    fn normalization() {
+        let mut m = StorageMeter::new(3);
+        m.observe(&[8.0, 8.0, 8.0], &[0.0; 3]);
+        let s = m.snapshot();
+        assert_eq!(s.normalized_total(8.0), 3.0);
+        assert_eq!(s.normalized_max(8.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_width_panics() {
+        let mut m = StorageMeter::new(2);
+        m.observe(&[1.0], &[1.0]);
+    }
+
+    #[test]
+    fn empty_meter_snapshot() {
+        let s = StorageMeter::new(4).snapshot();
+        assert_eq!(s.peak_total_bits, 0.0);
+        assert_eq!(s.points_observed, 0);
+        assert_eq!(s.sum_of_server_peaks_bits(), 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! The [`Protocol`] and [`Node`] abstractions: what an algorithm must
+//! provide to run on the simulator.
+
+use crate::ids::NodeId;
+use std::fmt;
+
+/// The type bundle defining one emulation algorithm.
+///
+/// An implementation picks its wire message type, its invocation/response
+/// types (the register interface: `write(v)` / `read()` returning values),
+/// and its server and client automata.
+pub trait Protocol: Sized + 'static {
+    /// Wire messages exchanged between nodes.
+    type Msg: Clone + fmt::Debug;
+    /// Operation invocations arriving at clients from the environment.
+    type Inv: Clone + fmt::Debug;
+    /// Operation responses returned by clients to the environment.
+    type Resp: Clone + fmt::Debug;
+    /// The server automaton.
+    type Server: Node<Self> + Clone;
+    /// The client automaton.
+    type Client: Node<Self> + Clone;
+}
+
+/// One automaton (server or client).
+///
+/// A node reacts to message deliveries and (clients only) operation
+/// invocations; all its outputs go through the [`Ctx`]. A node must be
+/// passive between events — the simulator owns the step relation.
+pub trait Node<P: Protocol> {
+    /// Called once when the world starts, before any step.
+    fn on_start(&mut self, ctx: &mut Ctx<P>) {
+        let _ = ctx;
+    }
+
+    /// A message from `from` is delivered to this node.
+    fn on_message(&mut self, from: NodeId, msg: P::Msg, ctx: &mut Ctx<P>);
+
+    /// An operation is invoked at this node (clients only).
+    ///
+    /// # Panics
+    ///
+    /// The default implementation panics: servers never receive
+    /// invocations.
+    fn on_invoke(&mut self, inv: P::Inv, ctx: &mut Ctx<P>) {
+        let _ = (inv, ctx);
+        panic!("invocation delivered to a node that does not accept operations");
+    }
+
+    /// The storage cost of this node's current state in bits, as the paper
+    /// defines it: `log2` of the number of states the node's *value-bearing*
+    /// storage component can range over. Metadata (tags, counters, phase
+    /// flags) is `o(log |V|)` in the theorems and reported separately via
+    /// [`Node::metadata_bits`].
+    ///
+    /// Only meaningful for servers; the default is 0.
+    fn state_bits(&self) -> f64 {
+        0.0
+    }
+
+    /// Storage consumed by metadata, in bits (the `o(log|V|)` term).
+    fn metadata_bits(&self) -> f64 {
+        0.0
+    }
+
+    /// A digest of the node's full state, used to compare states across
+    /// forked executions (the proofs' "same state at point Q" arguments).
+    /// Implementations usually call [`crate::hash::hash_of`] on their state.
+    fn digest(&self) -> u64;
+}
+
+/// The buffered sends of one event: `(destination, message)` pairs.
+pub type Outbox<P> = Vec<(NodeId, <P as Protocol>::Msg)>;
+
+/// The output interface a node sees while handling one event.
+///
+/// Sends are buffered and applied to the channels after the handler
+/// returns, so a handler observes the pre-step world consistently.
+pub struct Ctx<P: Protocol> {
+    me: NodeId,
+    now: u64,
+    outbox: Vec<(NodeId, P::Msg)>,
+    responses: Vec<P::Resp>,
+}
+
+impl<P: Protocol> Ctx<P> {
+    /// Creates a detached context. Primarily used by the simulator itself;
+    /// also the hook for *protocol adapters* that embed one protocol's
+    /// node inside another's (run the inner node against a fresh context,
+    /// then translate its effects with [`Ctx::into_effects`]).
+    pub fn new(me: NodeId, now: u64) -> Ctx<P> {
+        Ctx {
+            me,
+            now,
+            outbox: Vec::new(),
+            responses: Vec::new(),
+        }
+    }
+
+    /// This node's identity.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The current step index (the point number of the execution).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Sends `msg` to `to` over the (asynchronous, reliable) channel.
+    pub fn send(&mut self, to: NodeId, msg: P::Msg) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Sends `msg` to every server in `0..n`.
+    pub fn broadcast_to_servers(&mut self, n: u32, msg: P::Msg)
+    where
+        P::Msg: Clone,
+    {
+        for i in 0..n {
+            self.send(NodeId::server(i), msg.clone());
+        }
+    }
+
+    /// Completes the client's pending operation with `resp`.
+    pub fn respond(&mut self, resp: P::Resp) {
+        self.responses.push(resp);
+    }
+
+    /// Consumes the context, yielding the buffered `(to, msg)` sends and
+    /// operation responses — the adapter-side counterpart of [`Ctx::new`].
+    pub fn into_effects(self) -> (Outbox<P>, Vec<P::Resp>) {
+        (self.outbox, self.responses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    #[derive(Clone, Debug)]
+    struct NoMsg;
+    impl Protocol for Echo {
+        type Msg = NoMsg;
+        type Inv = ();
+        type Resp = ();
+        type Server = EchoNode;
+        type Client = EchoNode;
+    }
+    #[derive(Clone)]
+    struct EchoNode;
+    impl Node<Echo> for EchoNode {
+        fn on_message(&mut self, _f: NodeId, _m: NoMsg, _c: &mut Ctx<Echo>) {}
+        fn digest(&self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn ctx_buffers_sends_and_responses() {
+        let mut ctx: Ctx<Echo> = Ctx::new(NodeId::client(0), 5);
+        assert_eq!(ctx.me(), NodeId::client(0));
+        assert_eq!(ctx.now(), 5);
+        ctx.send(NodeId::server(1), NoMsg);
+        ctx.broadcast_to_servers(3, NoMsg);
+        ctx.respond(());
+        let (out, resp) = ctx.into_effects();
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[1].0, NodeId::server(0));
+        assert_eq!(resp.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not accept operations")]
+    fn default_on_invoke_panics() {
+        let mut n = EchoNode;
+        let mut ctx: Ctx<Echo> = Ctx::new(NodeId::server(0), 0);
+        n.on_invoke((), &mut ctx);
+    }
+
+    #[test]
+    fn default_costs_are_zero() {
+        let n = EchoNode;
+        assert_eq!(n.state_bits(), 0.0);
+        assert_eq!(n.metadata_bits(), 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Execution traces: step records and operation (invoke/response) records.
+
+use crate::ids::{ClientId, NodeId};
+use std::fmt;
+
+/// What one simulator step did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepInfo {
+    /// A message was delivered from `from` to `to`.
+    Delivered {
+        /// Sender of the delivered message.
+        from: NodeId,
+        /// Receiver whose `on_message` ran.
+        to: NodeId,
+    },
+    /// An operation was invoked at a client.
+    Invoked {
+        /// The invoked client.
+        client: ClientId,
+    },
+}
+
+impl fmt::Display for StepInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepInfo::Delivered { from, to } => write!(f, "deliver {from}->{to}"),
+            StepInfo::Invoked { client } => write!(f, "invoke @{client}"),
+        }
+    }
+}
+
+/// Running totals of delivered messages by channel category — the
+/// communication-cost counterpart of the storage meter (the paper's
+/// comparison algorithms differ in communication cost as well as
+/// storage; see Section 2.3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficCounters {
+    /// Client-to-server deliveries.
+    pub client_to_server: u64,
+    /// Server-to-client deliveries.
+    pub server_to_client: u64,
+    /// Server-to-server (gossip) deliveries.
+    pub server_to_server: u64,
+}
+
+impl TrafficCounters {
+    /// Total deliveries across all categories.
+    pub fn total(&self) -> u64 {
+        self.client_to_server + self.server_to_client + self.server_to_server
+    }
+}
+
+/// One operation's lifetime in the execution, as recorded by the simulator:
+/// invocation step, response step, and the typed payloads.
+///
+/// The consistency checkers in `shmem-spec` consume these (converted to
+/// their own history type by the algorithm crates).
+#[derive(Clone, Debug)]
+pub struct OpRecord<I, R> {
+    /// Client the operation ran at.
+    pub client: ClientId,
+    /// Step index at which the operation was invoked.
+    pub invoked_at: u64,
+    /// Step index at which the response was produced, if it completed.
+    pub responded_at: Option<u64>,
+    /// The invocation payload.
+    pub invocation: I,
+    /// The response payload, if the operation completed.
+    pub response: Option<R>,
+}
+
+impl<I, R> OpRecord<I, R> {
+    /// Whether the operation completed within the recorded execution.
+    pub fn is_complete(&self) -> bool {
+        self.responded_at.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completeness() {
+        let open: OpRecord<&str, &str> = OpRecord {
+            client: ClientId(0),
+            invoked_at: 3,
+            responded_at: None,
+            invocation: "write",
+            response: None,
+        };
+        assert!(!open.is_complete());
+        let done = OpRecord {
+            responded_at: Some(9),
+            response: Some("ack"),
+            ..open
+        };
+        assert!(done.is_complete());
+    }
+
+    #[test]
+    fn step_info_display() {
+        let s = StepInfo::Delivered {
+            from: NodeId::client(1),
+            to: NodeId::server(2),
+        };
+        assert_eq!(s.to_string(), "deliver c1->s2");
+        assert_eq!(
+            StepInfo::Invoked { client: ClientId(4) }.to_string(),
+            "invoke @c4"
+        );
+    }
+
+    #[test]
+    fn traffic_totals() {
+        let t = TrafficCounters {
+            client_to_server: 3,
+            server_to_client: 4,
+            server_to_server: 5,
+        };
+        assert_eq!(t.total(), 12);
+        assert_eq!(TrafficCounters::default().total(), 0);
+    }
+}

@@ -1,0 +1,1022 @@
+//! The simulated world: nodes, channels, the step relation, failures and
+//! the adversary controls the lower-bound proofs need.
+
+use crate::config::SimConfig;
+use crate::hash::{combine, hash_of};
+use crate::ids::{ClientId, NodeId, ServerId};
+use crate::meter::{StorageMeter, StorageSnapshot};
+use crate::node::{Ctx, Node, Protocol};
+use crate::trace::{OpRecord, StepInfo, TrafficCounters};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// A complete simulated system at a point of an execution.
+///
+/// `Sim` is cheaply forkable (`Clone`): the proof machinery clones the world
+/// at a point `P` and extends the copy — exactly the paper's "extension of
+/// `α_i`" constructions.
+///
+/// # Examples
+///
+/// A two-node ping-pong (see the crate tests for full protocols):
+///
+/// ```
+/// use shmem_sim::{Ctx, Node, NodeId, Protocol, Sim, SimConfig, hash_of};
+///
+/// struct Ping;
+/// impl Protocol for Ping {
+///     type Msg = u32;
+///     type Inv = ();
+///     type Resp = u32;
+///     type Server = Counter;
+///     type Client = Asker;
+/// }
+/// #[derive(Clone, Default)]
+/// struct Counter(u32);
+/// impl Node<Ping> for Counter {
+///     fn on_message(&mut self, from: NodeId, m: u32, ctx: &mut Ctx<Ping>) {
+///         self.0 += m;
+///         ctx.send(from, self.0);
+///     }
+///     fn digest(&self) -> u64 { hash_of(&self.0) }
+/// }
+/// #[derive(Clone, Default)]
+/// struct Asker;
+/// impl Node<Ping> for Asker {
+///     fn on_invoke(&mut self, _: (), ctx: &mut Ctx<Ping>) {
+///         ctx.send(NodeId::server(0), 7);
+///     }
+///     fn on_message(&mut self, _: NodeId, m: u32, ctx: &mut Ctx<Ping>) {
+///         ctx.respond(m);
+///     }
+///     fn digest(&self) -> u64 { 0 }
+/// }
+///
+/// let mut sim = Sim::<Ping>::new(
+///     SimConfig::default(),
+///     vec![Counter::default()],
+///     vec![Asker::default()],
+/// );
+/// sim.invoke(shmem_sim::ClientId(0), ()).unwrap();
+/// let resp = sim.run_until_op_completes(shmem_sim::ClientId(0)).unwrap();
+/// assert_eq!(resp, 7);
+/// ```
+pub struct Sim<P: Protocol> {
+    config: SimConfig,
+    servers: Vec<P::Server>,
+    clients: Vec<P::Client>,
+    channels: BTreeMap<(NodeId, NodeId), VecDeque<P::Msg>>,
+    failed: BTreeSet<NodeId>,
+    frozen: BTreeSet<NodeId>,
+    now: u64,
+    rr_cursor: u64,
+    open_ops: BTreeMap<ClientId, usize>,
+    ops: Vec<OpRecord<P::Inv, P::Resp>>,
+    meter: StorageMeter,
+    send_log: Option<Vec<SendRecord<P::Msg>>>,
+    traffic: TrafficCounters,
+}
+
+impl<P: Protocol> Clone for Sim<P> {
+    fn clone(&self) -> Self {
+        Sim {
+            config: self.config,
+            servers: self.servers.clone(),
+            clients: self.clients.clone(),
+            channels: self.channels.clone(),
+            failed: self.failed.clone(),
+            frozen: self.frozen.clone(),
+            now: self.now,
+            rr_cursor: self.rr_cursor,
+            open_ops: self.open_ops.clone(),
+            ops: self.ops.clone(),
+            meter: self.meter.clone(),
+            send_log: self.send_log.clone(),
+            traffic: self.traffic,
+        }
+    }
+}
+
+impl<P: Protocol> Sim<P> {
+    /// Builds a world and runs every node's `on_start`.
+    pub fn new(config: SimConfig, servers: Vec<P::Server>, clients: Vec<P::Client>) -> Sim<P> {
+        let n = servers.len();
+        let mut sim = Sim {
+            config,
+            servers,
+            clients,
+            channels: BTreeMap::new(),
+            failed: BTreeSet::new(),
+            frozen: BTreeSet::new(),
+            now: 0,
+            rr_cursor: 0,
+            open_ops: BTreeMap::new(),
+            ops: Vec::new(),
+            meter: StorageMeter::new(n),
+            send_log: None,
+            traffic: TrafficCounters::default(),
+        };
+        for i in 0..sim.servers.len() {
+            let id = NodeId::server(i as u32);
+            let mut ctx: Ctx<P> = Ctx::new(id, 0);
+            <P::Server as Node<P>>::on_start(&mut sim.servers[i], &mut ctx);
+            sim.apply_effects(id, ctx);
+        }
+        for i in 0..sim.clients.len() {
+            let id = NodeId::client(i as u32);
+            let mut ctx: Ctx<P> = Ctx::new(id, 0);
+            <P::Client as Node<P>>::on_start(&mut sim.clients[i], &mut ctx);
+            sim.apply_effects(id, ctx);
+        }
+        sim.sample_meter();
+        sim
+    }
+
+    /// The configuration the world was built with.
+    pub fn config(&self) -> SimConfig {
+        self.config
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Number of clients.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The current step index — the "point" number of the execution.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    // -- adversary controls -------------------------------------------------
+
+    /// Crashes a node: it stops taking steps permanently and messages to or
+    /// from it are never delivered.
+    pub fn fail(&mut self, node: NodeId) {
+        self.failed.insert(node);
+    }
+
+    /// Crashes the last `f` servers — the proofs' canonical failure pattern
+    /// ("the servers in `{1,…,N} − 𝒩` fail at the beginning").
+    pub fn fail_last_servers(&mut self, f: u32) {
+        let n = self.servers.len() as u32;
+        assert!(f <= n, "cannot fail more servers than exist");
+        for i in (n - f)..n {
+            self.fail(NodeId::server(i));
+        }
+    }
+
+    /// Delays all messages from and to `node` indefinitely (the proofs'
+    /// freeze of the writer). Unlike [`Sim::fail`], this is reversible.
+    pub fn freeze(&mut self, node: NodeId) {
+        self.frozen.insert(node);
+    }
+
+    /// Lifts a [`Sim::freeze`].
+    pub fn unfreeze(&mut self, node: NodeId) {
+        self.frozen.remove(&node);
+    }
+
+    /// Whether `node` is crashed.
+    pub fn is_failed(&self, node: NodeId) -> bool {
+        self.failed.contains(&node)
+    }
+
+    /// Whether `node` is frozen.
+    pub fn is_frozen(&self, node: NodeId) -> bool {
+        self.frozen.contains(&node)
+    }
+
+    fn is_blocked(&self, node: NodeId) -> bool {
+        self.failed.contains(&node) || self.frozen.contains(&node)
+    }
+
+    // -- invocations ---------------------------------------------------------
+
+    /// Invokes an operation at a client. The invocation action itself is one
+    /// step of the execution.
+    ///
+    /// # Errors
+    ///
+    /// * [`RunError::NodeUnavailable`] if the client crashed or is frozen.
+    /// * [`RunError::OperationPending`] if the client already has an open
+    ///   operation (the model requires well-formed clients).
+    pub fn invoke(&mut self, client: ClientId, inv: P::Inv) -> Result<(), RunError> {
+        let id = NodeId::Client(client);
+        if self.is_blocked(id) {
+            return Err(RunError::NodeUnavailable { node: id });
+        }
+        if self.open_ops.contains_key(&client) {
+            return Err(RunError::OperationPending { client });
+        }
+        let idx = client.0 as usize;
+        assert!(idx < self.clients.len(), "unknown client {client}");
+        self.now += 1;
+        self.open_ops.insert(client, self.ops.len());
+        self.ops.push(OpRecord {
+            client,
+            invoked_at: self.now,
+            responded_at: None,
+            invocation: inv.clone(),
+            response: None,
+        });
+        let mut ctx: Ctx<P> = Ctx::new(id, self.now);
+        <P::Client as Node<P>>::on_invoke(&mut self.clients[idx], inv, &mut ctx);
+        self.apply_effects(id, ctx);
+        self.sample_meter();
+        Ok(())
+    }
+
+    // -- the step relation ----------------------------------------------------
+
+    /// The deliverable channels at this point: non-empty queues whose
+    /// endpoints are neither crashed nor frozen, in deterministic order.
+    pub fn step_options(&self) -> Vec<(NodeId, NodeId)> {
+        self.channels
+            .iter()
+            .filter(|((from, to), q)| {
+                !q.is_empty() && !self.is_blocked(*from) && !self.is_blocked(*to)
+            })
+            .map(|(&key, _)| key)
+            .collect()
+    }
+
+    /// Delivers the head message of the `from → to` channel: the receiver's
+    /// `on_message` runs and its effects are applied. One step.
+    ///
+    /// # Errors
+    ///
+    /// * [`RunError::NoSuchMessage`] if the channel is empty or absent.
+    /// * [`RunError::NodeUnavailable`] if either endpoint is crashed or
+    ///   frozen.
+    pub fn deliver_one(&mut self, from: NodeId, to: NodeId) -> Result<StepInfo, RunError> {
+        if self.is_blocked(from) || self.is_blocked(to) {
+            let node = if self.is_blocked(from) { from } else { to };
+            return Err(RunError::NodeUnavailable { node });
+        }
+        let msg = self
+            .channels
+            .get_mut(&(from, to))
+            .and_then(VecDeque::pop_front)
+            .ok_or(RunError::NoSuchMessage { from, to })?;
+        self.now += 1;
+        match (from.is_server(), to.is_server()) {
+            (false, true) => self.traffic.client_to_server += 1,
+            (true, false) => self.traffic.server_to_client += 1,
+            (true, true) => self.traffic.server_to_server += 1,
+            (false, false) => {}
+        }
+        let mut ctx: Ctx<P> = Ctx::new(to, self.now);
+        match to {
+            NodeId::Server(s) => <P::Server as Node<P>>::on_message(&mut self.servers[s.0 as usize], from, msg, &mut ctx),
+            NodeId::Client(c) => <P::Client as Node<P>>::on_message(&mut self.clients[c.0 as usize], from, msg, &mut ctx),
+        }
+        self.apply_effects(to, ctx);
+        self.sample_meter();
+        Ok(StepInfo::Delivered { from, to })
+    }
+
+    /// Takes one fair step: delivers from the next schedulable channel in
+    /// round-robin order. Returns `None` when no channel is deliverable
+    /// (quiescence among unblocked nodes).
+    pub fn step_fair(&mut self) -> Option<StepInfo> {
+        let options = self.step_options();
+        if options.is_empty() {
+            return None;
+        }
+        let pick = options[(self.rr_cursor % options.len() as u64) as usize];
+        self.rr_cursor += 1;
+        Some(
+            self.deliver_one(pick.0, pick.1)
+                .expect("step option is deliverable by construction"),
+        )
+    }
+
+    /// Delivers the `idx`-th queued message of the `from → to` channel
+    /// (0 = head) by rotating it to the front first — the adversarial
+    /// reorder primitive. Only permitted when the configuration's
+    /// [`crate::config::ChannelOrder`] is `Any`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Sim::deliver_one`], plus
+    /// [`RunError::NoSuchMessage`] when `idx` is out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the FIFO channel model with `idx > 0`.
+    pub fn deliver_nth(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        idx: usize,
+    ) -> Result<StepInfo, RunError> {
+        if idx > 0 {
+            assert_eq!(
+                self.config.channel_order,
+                crate::config::ChannelOrder::Any,
+                "out-of-order delivery requires ChannelOrder::Any"
+            );
+        }
+        let queue = self
+            .channels
+            .get_mut(&(from, to))
+            .ok_or(RunError::NoSuchMessage { from, to })?;
+        if idx >= queue.len() {
+            return Err(RunError::NoSuchMessage { from, to });
+        }
+        // Rotate the chosen message to the head; FIFO order of the rest is
+        // irrelevant under ChannelOrder::Any.
+        let msg = queue.remove(idx).expect("index checked");
+        queue.push_front(msg);
+        self.deliver_one(from, to)
+    }
+
+    /// Takes one step chosen by the caller: the closure picks among
+    /// `(channel, queue_len)` options and returns `(option index, message
+    /// index)`. Under FIFO configurations the message index must be 0.
+    ///
+    /// Returns `None` when no step is available.
+    pub fn step_with_reorder(
+        &mut self,
+        choose: impl FnOnce(&[((NodeId, NodeId), usize)]) -> (usize, usize),
+    ) -> Option<StepInfo> {
+        let options: Vec<((NodeId, NodeId), usize)> = self
+            .step_options()
+            .into_iter()
+            .map(|ch| {
+                let len = self.in_flight(ch.0, ch.1);
+                (ch, len)
+            })
+            .collect();
+        if options.is_empty() {
+            return None;
+        }
+        let (oi, mi) = choose(&options);
+        let ((from, to), len) = options[oi % options.len()];
+        Some(
+            self.deliver_nth(from, to, mi % len)
+                .expect("validated option is deliverable"),
+        )
+    }
+
+    /// Takes one step chosen by the caller from [`Sim::step_options`] —
+    /// used by seeded/adversarial schedulers.
+    ///
+    /// Returns `None` when no step is available.
+    pub fn step_with(
+        &mut self,
+        choose: impl FnOnce(&[(NodeId, NodeId)]) -> usize,
+    ) -> Option<StepInfo> {
+        let options = self.step_options();
+        if options.is_empty() {
+            return None;
+        }
+        let idx = choose(&options) % options.len();
+        let pick = options[idx];
+        Some(
+            self.deliver_one(pick.0, pick.1)
+                .expect("step option is deliverable by construction"),
+        )
+    }
+
+    /// Steps fairly until no message is deliverable.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::StepLimit`] if the configured step budget runs out first.
+    pub fn run_to_quiescence(&mut self) -> Result<u64, RunError> {
+        let mut steps = 0;
+        while self.step_fair().is_some() {
+            steps += 1;
+            if steps > self.config.step_limit {
+                return Err(RunError::StepLimit {
+                    steps: self.config.step_limit,
+                });
+            }
+        }
+        Ok(steps)
+    }
+
+    /// Steps fairly until the open operation at `client` completes, and
+    /// returns its response.
+    ///
+    /// # Errors
+    ///
+    /// * [`RunError::NoOpenOperation`] if the client has no open operation.
+    /// * [`RunError::Stuck`] if the system quiesces without the operation
+    ///   completing (liveness failure — e.g. too many servers crashed).
+    /// * [`RunError::StepLimit`] if the step budget runs out.
+    pub fn run_until_op_completes(&mut self, client: ClientId) -> Result<P::Resp, RunError> {
+        let op_idx = *self
+            .open_ops
+            .get(&client)
+            .ok_or(RunError::NoOpenOperation { client })?;
+        let mut steps = 0;
+        while self.ops[op_idx].responded_at.is_none() {
+            if self.step_fair().is_none() {
+                return Err(RunError::Stuck { client });
+            }
+            steps += 1;
+            if steps > self.config.step_limit {
+                return Err(RunError::StepLimit {
+                    steps: self.config.step_limit,
+                });
+            }
+        }
+        Ok(self.ops[op_idx]
+            .response
+            .clone()
+            .expect("completed op has a response"))
+    }
+
+    /// Delivers every message currently queued on server-to-server channels
+    /// (and any gossip those deliveries enqueue), until the gossip channels
+    /// drain — the "channels between the servers act, delivering all their
+    /// messages" prelude of Theorem 5.1's valency definition.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::StepLimit`] if gossip cascades past the step budget.
+    pub fn flush_server_channels(&mut self) -> Result<u64, RunError> {
+        let mut steps = 0;
+        loop {
+            let next = self.step_options().into_iter().find(|(from, to)| {
+                from.is_server() && to.is_server()
+            });
+            match next {
+                Some((from, to)) => {
+                    self.deliver_one(from, to)
+                        .expect("step option is deliverable");
+                    steps += 1;
+                    if steps > self.config.step_limit {
+                        return Err(RunError::StepLimit {
+                            steps: self.config.step_limit,
+                        });
+                    }
+                }
+                None => return Ok(steps),
+            }
+        }
+    }
+
+    // -- effects --------------------------------------------------------------
+
+    fn apply_effects(&mut self, origin: NodeId, ctx: Ctx<P>) {
+        let (outbox, responses) = ctx.into_effects();
+        for (to, msg) in outbox {
+            if origin.is_server() && to.is_server() && !self.config.server_gossip {
+                panic!(
+                    "protocol violated the no-gossip model: {origin} sent a message to {to} \
+                     but server_gossip is disabled"
+                );
+            }
+            self.validate_target(to);
+            if let Some(log) = &mut self.send_log {
+                log.push(SendRecord {
+                    step: self.now,
+                    from: origin,
+                    to,
+                    msg: msg.clone(),
+                });
+            }
+            self.channels.entry((origin, to)).or_default().push_back(msg);
+        }
+        if !responses.is_empty() {
+            let client = origin
+                .as_client()
+                .expect("only clients produce operation responses");
+            for resp in responses {
+                let idx = self
+                    .open_ops
+                    .remove(&client)
+                    .expect("response produced with no open operation");
+                self.ops[idx].responded_at = Some(self.now);
+                self.ops[idx].response = Some(resp);
+            }
+        }
+    }
+
+    fn validate_target(&self, to: NodeId) {
+        let ok = match to {
+            NodeId::Server(s) => (s.0 as usize) < self.servers.len(),
+            NodeId::Client(c) => (c.0 as usize) < self.clients.len(),
+        };
+        assert!(ok, "message sent to unknown node {to}");
+    }
+
+    fn sample_meter(&mut self) {
+        let bits: Vec<f64> = self.servers.iter().map(|s| <P::Server as Node<P>>::state_bits(s)).collect();
+        let meta: Vec<f64> = self.servers.iter().map(|s| <P::Server as Node<P>>::metadata_bits(s)).collect();
+        self.meter.observe(&bits, &meta);
+    }
+
+    // -- observation ----------------------------------------------------------
+
+    /// A server's automaton, for white-box inspection in tests and audits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    pub fn server(&self, id: ServerId) -> &P::Server {
+        &self.servers[id.0 as usize]
+    }
+
+    /// A client's automaton.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    pub fn client(&self, id: ClientId) -> &P::Client {
+        &self.clients[id.0 as usize]
+    }
+
+    /// Per-server state digests at this point, in server order.
+    pub fn server_digests(&self) -> Vec<u64> {
+        self.servers.iter().map(|s| <P::Server as Node<P>>::digest(s)).collect()
+    }
+
+    /// Per-server value-bearing storage at this point, in bits.
+    pub fn server_state_bits(&self) -> Vec<f64> {
+        self.servers.iter().map(|s| <P::Server as Node<P>>::state_bits(s)).collect()
+    }
+
+    /// A digest of the full world state (nodes and channels), used to
+    /// confirm indistinguishability of forked executions.
+    pub fn digest(&self) -> u64 {
+        let nodes = self
+            .servers
+            .iter()
+            .map(|s| <P::Server as Node<P>>::digest(s))
+            .chain(self.clients.iter().map(|c| <P::Client as Node<P>>::digest(c)));
+        let channels = self.channels.iter().map(|(&(from, to), q)| {
+            hash_of(&(
+                from,
+                to,
+                q.iter().map(|m| format!("{m:?}")).collect::<Vec<_>>(),
+            ))
+        });
+        let blocked = self
+            .failed
+            .iter()
+            .chain(self.frozen.iter())
+            .map(hash_of);
+        combine(nodes.chain(channels).chain(blocked))
+    }
+
+    /// All operation records, in invocation order.
+    pub fn ops(&self) -> &[OpRecord<P::Inv, P::Resp>] {
+        &self.ops
+    }
+
+    /// Whether `client` has an operation open at this point.
+    pub fn has_open_op(&self, client: ClientId) -> bool {
+        self.open_ops.contains_key(&client)
+    }
+
+    /// The message at the head of the `from → to` channel, if any — what
+    /// the next [`Sim::deliver_one`] on that channel would deliver. Used by
+    /// adversaries that withhold messages by content (e.g. the Section 6
+    /// construction withholding value-dependent messages).
+    pub fn peek_head(&self, from: NodeId, to: NodeId) -> Option<&P::Msg> {
+        self.channels.get(&(from, to)).and_then(VecDeque::front)
+    }
+
+    /// Enables or disables the send log. While enabled, every message
+    /// enqueued onto a channel is recorded with the step at which it was
+    /// sent — the raw material for protocol-structure analyses such as the
+    /// Assumption 3(b) phase check in `shmem-core`.
+    pub fn record_sends(&mut self, on: bool) {
+        if on {
+            self.send_log.get_or_insert_with(Vec::new);
+        } else {
+            self.send_log = None;
+        }
+    }
+
+    /// The recorded sends (empty unless [`Sim::record_sends`] is on).
+    pub fn send_log(&self) -> &[SendRecord<P::Msg>] {
+        self.send_log.as_deref().unwrap_or(&[])
+    }
+
+    /// Messages currently queued from `from` to `to`.
+    pub fn in_flight(&self, from: NodeId, to: NodeId) -> usize {
+        self.channels.get(&(from, to)).map_or(0, VecDeque::len)
+    }
+
+    /// Total messages in flight anywhere.
+    pub fn total_in_flight(&self) -> usize {
+        self.channels.values().map(VecDeque::len).sum()
+    }
+
+    /// Delivered-message totals by channel category.
+    pub fn traffic(&self) -> TrafficCounters {
+        self.traffic
+    }
+
+    /// The storage peaks observed so far.
+    pub fn storage(&self) -> StorageSnapshot {
+        self.meter.snapshot()
+    }
+}
+
+impl<P: Protocol> fmt::Debug for Sim<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Sim {{ step {}, {} servers, {} clients, {} in flight, {} failed, {} frozen }}",
+            self.now,
+            self.servers.len(),
+            self.clients.len(),
+            self.total_in_flight(),
+            self.failed.len(),
+            self.frozen.len()
+        )
+    }
+}
+
+/// One recorded send: at `step`, `from` enqueued `msg` toward `to`.
+#[derive(Clone, Debug)]
+pub struct SendRecord<M> {
+    /// The step (point index) at which the send happened.
+    pub step: u64,
+    /// The sender.
+    pub from: NodeId,
+    /// The destination.
+    pub to: NodeId,
+    /// The message.
+    pub msg: M,
+}
+
+/// Errors from driving a [`Sim`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// The step budget ran out.
+    StepLimit {
+        /// The exhausted budget.
+        steps: u64,
+    },
+    /// The target node is crashed or frozen.
+    NodeUnavailable {
+        /// The unavailable node.
+        node: NodeId,
+    },
+    /// The client already has an operation in flight.
+    OperationPending {
+        /// The busy client.
+        client: ClientId,
+    },
+    /// The client has no operation in flight.
+    NoOpenOperation {
+        /// The idle client.
+        client: ClientId,
+    },
+    /// No channel `from → to` has a pending message.
+    NoSuchMessage {
+        /// Requested source.
+        from: NodeId,
+        /// Requested destination.
+        to: NodeId,
+    },
+    /// The system quiesced with the operation still pending (liveness
+    /// failure).
+    Stuck {
+        /// The client whose operation cannot complete.
+        client: ClientId,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::StepLimit { steps } => write!(f, "step limit of {steps} exhausted"),
+            RunError::NodeUnavailable { node } => {
+                write!(f, "node {node} is crashed or frozen")
+            }
+            RunError::OperationPending { client } => {
+                write!(f, "client {client} already has an operation in flight")
+            }
+            RunError::NoOpenOperation { client } => {
+                write!(f, "client {client} has no operation in flight")
+            }
+            RunError::NoSuchMessage { from, to } => {
+                write!(f, "no pending message on channel {from} -> {to}")
+            }
+            RunError::Stuck { client } => write!(
+                f,
+                "system quiesced while the operation at {client} is still pending"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash_of;
+
+    /// A toy majority-ack register: the client broadcasts `Store(v)` and
+    /// responds once a majority acks; servers remember the last value.
+    struct Toy;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Store(u32),
+        Ack(u32),
+        Gossip,
+    }
+
+    impl Protocol for Toy {
+        type Msg = Msg;
+        type Inv = u32;
+        type Resp = u32;
+        type Server = ToyServer;
+        type Client = ToyClient;
+    }
+
+    #[derive(Clone, Default)]
+    struct ToyServer {
+        value: u32,
+        gossip_on_store: bool,
+        peers: u32,
+    }
+
+    impl Node<Toy> for ToyServer {
+        fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<Toy>) {
+            match msg {
+                Msg::Store(v) => {
+                    self.value = v;
+                    if self.gossip_on_store {
+                        for i in 0..self.peers {
+                            if NodeId::server(i) != ctx.me() {
+                                ctx.send(NodeId::server(i), Msg::Gossip);
+                            }
+                        }
+                    }
+                    ctx.send(from, Msg::Ack(v));
+                }
+                Msg::Ack(_) | Msg::Gossip => {}
+            }
+        }
+        fn state_bits(&self) -> f64 {
+            32.0
+        }
+        fn metadata_bits(&self) -> f64 {
+            1.0
+        }
+        fn digest(&self) -> u64 {
+            hash_of(&self.value)
+        }
+    }
+
+    #[derive(Clone, Default)]
+    struct ToyClient {
+        n: u32,
+        acks: u32,
+        need: u32,
+        pending: Option<u32>,
+    }
+
+    impl Node<Toy> for ToyClient {
+        fn on_invoke(&mut self, v: u32, ctx: &mut Ctx<Toy>) {
+            self.acks = 0;
+            self.pending = Some(v);
+            ctx.broadcast_to_servers(self.n, Msg::Store(v));
+        }
+        fn on_message(&mut self, _from: NodeId, msg: Msg, ctx: &mut Ctx<Toy>) {
+            if let (Msg::Ack(v), Some(p)) = (&msg, self.pending) {
+                if *v == p {
+                    self.acks += 1;
+                    if self.acks == self.need {
+                        self.pending = None;
+                        ctx.respond(p);
+                    }
+                }
+            }
+        }
+        fn digest(&self) -> u64 {
+            hash_of(&(self.acks, self.need, self.pending))
+        }
+    }
+
+    fn world(n: u32, need: u32) -> Sim<Toy> {
+        Sim::new(
+            SimConfig::default(),
+            (0..n).map(|_| ToyServer { peers: n, ..ToyServer::default() }).collect(),
+            vec![ToyClient { n, need, ..ToyClient::default() }],
+        )
+    }
+
+    #[test]
+    fn op_completes_with_majority() {
+        let mut sim = world(5, 3);
+        sim.invoke(ClientId(0), 42).unwrap();
+        assert!(sim.has_open_op(ClientId(0)));
+        let resp = sim.run_until_op_completes(ClientId(0)).unwrap();
+        assert_eq!(resp, 42);
+        assert!(!sim.has_open_op(ClientId(0)));
+        let ops = sim.ops();
+        assert_eq!(ops.len(), 1);
+        assert!(ops[0].is_complete());
+        assert!(ops[0].invoked_at < ops[0].responded_at.unwrap());
+    }
+
+    #[test]
+    fn op_survives_f_failures() {
+        let mut sim = world(5, 3);
+        sim.fail_last_servers(2);
+        sim.invoke(ClientId(0), 7).unwrap();
+        assert_eq!(sim.run_until_op_completes(ClientId(0)).unwrap(), 7);
+    }
+
+    #[test]
+    fn op_stuck_when_too_many_failures() {
+        let mut sim = world(5, 3);
+        sim.fail_last_servers(3);
+        sim.invoke(ClientId(0), 7).unwrap();
+        assert_eq!(
+            sim.run_until_op_completes(ClientId(0)),
+            Err(RunError::Stuck { client: ClientId(0) })
+        );
+    }
+
+    #[test]
+    fn frozen_client_messages_are_delayed_but_kept() {
+        let mut sim = world(3, 3);
+        sim.invoke(ClientId(0), 9).unwrap();
+        sim.freeze(NodeId::client(0));
+        // Client messages can't be delivered: quiescence without response.
+        sim.run_to_quiescence().unwrap();
+        assert!(sim.has_open_op(ClientId(0)));
+        assert_eq!(sim.in_flight(NodeId::client(0), NodeId::server(0)), 1);
+        // Unfreeze: the delayed messages flow and the op completes.
+        sim.unfreeze(NodeId::client(0));
+        assert_eq!(sim.run_until_op_completes(ClientId(0)).unwrap(), 9);
+    }
+
+    #[test]
+    fn double_invocation_rejected() {
+        let mut sim = world(3, 2);
+        sim.invoke(ClientId(0), 1).unwrap();
+        assert_eq!(
+            sim.invoke(ClientId(0), 2),
+            Err(RunError::OperationPending { client: ClientId(0) })
+        );
+    }
+
+    #[test]
+    fn invoke_at_failed_client_rejected() {
+        let mut sim = world(3, 2);
+        sim.fail(NodeId::client(0));
+        assert_eq!(
+            sim.invoke(ClientId(0), 1),
+            Err(RunError::NodeUnavailable { node: NodeId::client(0) })
+        );
+    }
+
+    #[test]
+    fn fork_and_diverge() {
+        let mut sim = world(3, 2);
+        sim.invoke(ClientId(0), 5).unwrap();
+        let fork = sim.clone();
+        assert_eq!(sim.digest(), fork.digest());
+        // Advance only the original.
+        sim.step_fair().unwrap();
+        assert_ne!(sim.digest(), fork.digest());
+        // Both copies independently complete the operation.
+        let mut fork = fork;
+        assert_eq!(sim.run_until_op_completes(ClientId(0)).unwrap(), 5);
+        assert_eq!(fork.run_until_op_completes(ClientId(0)).unwrap(), 5);
+    }
+
+    #[test]
+    fn deterministic_execution() {
+        let run = || {
+            let mut sim = world(5, 3);
+            sim.invoke(ClientId(0), 11).unwrap();
+            sim.run_to_quiescence().unwrap();
+            (sim.digest(), sim.now())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn scripted_delivery() {
+        let mut sim = world(3, 2);
+        sim.invoke(ClientId(0), 6).unwrap();
+        // Deliver only to server 2 first, by hand.
+        sim.deliver_one(NodeId::client(0), NodeId::server(2)).unwrap();
+        assert_eq!(sim.server(ServerId(2)).value, 6);
+        assert_eq!(sim.server(ServerId(0)).value, 0);
+        // Nonexistent message errors.
+        assert_eq!(
+            sim.deliver_one(NodeId::server(0), NodeId::server(1)),
+            Err(RunError::NoSuchMessage {
+                from: NodeId::server(0),
+                to: NodeId::server(1)
+            })
+        );
+    }
+
+    #[test]
+    fn step_options_exclude_blocked_endpoints() {
+        let mut sim = world(3, 3);
+        sim.invoke(ClientId(0), 1).unwrap();
+        assert_eq!(sim.step_options().len(), 3);
+        sim.fail(NodeId::server(1));
+        assert_eq!(sim.step_options().len(), 2);
+        sim.freeze(NodeId::server(0));
+        assert_eq!(sim.step_options().len(), 1);
+    }
+
+    #[test]
+    fn gossip_flush() {
+        let mut sim = Sim::<Toy>::new(
+            SimConfig::with_gossip(),
+            (0..3)
+                .map(|_| ToyServer { peers: 3, gossip_on_store: true, ..ToyServer::default() })
+                .collect(),
+            vec![ToyClient { n: 3, need: 3, ..ToyClient::default() }],
+        );
+        sim.invoke(ClientId(0), 2).unwrap();
+        sim.deliver_one(NodeId::client(0), NodeId::server(0)).unwrap();
+        // Server 0 gossiped to servers 1 and 2.
+        assert_eq!(sim.in_flight(NodeId::server(0), NodeId::server(1)), 1);
+        let flushed = sim.flush_server_channels().unwrap();
+        assert_eq!(flushed, 2);
+        assert_eq!(sim.in_flight(NodeId::server(0), NodeId::server(1)), 0);
+        // Client->server messages are untouched by the flush.
+        assert_eq!(sim.in_flight(NodeId::client(0), NodeId::server(1)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no-gossip model")]
+    fn gossip_panics_when_disabled() {
+        let mut sim = Sim::<Toy>::new(
+            SimConfig::without_gossip(),
+            (0..3)
+                .map(|_| ToyServer { peers: 3, gossip_on_store: true, ..ToyServer::default() })
+                .collect(),
+            vec![ToyClient { n: 3, need: 3, ..ToyClient::default() }],
+        );
+        sim.invoke(ClientId(0), 2).unwrap();
+        let _ = sim.deliver_one(NodeId::client(0), NodeId::server(0));
+    }
+
+    #[test]
+    fn meter_tracks_server_bits() {
+        let mut sim = world(4, 2);
+        sim.invoke(ClientId(0), 3).unwrap();
+        sim.run_to_quiescence().unwrap();
+        let snap = sim.storage();
+        assert_eq!(snap.per_server_peak_bits, vec![32.0; 4]);
+        assert_eq!(snap.peak_total_bits, 4.0 * 32.0);
+        assert_eq!(snap.peak_max_bits, 32.0);
+        assert_eq!(snap.per_server_peak_metadata_bits, vec![1.0; 4]);
+        assert!(snap.points_observed > 1);
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        // A need that can never be met keeps no messages flowing after
+        // quiescence, so force the limit with a tiny budget instead.
+        let mut sim = Sim::<Toy>::new(
+            SimConfig::default().step_limit(2),
+            (0..5).map(|_| ToyServer { peers: 5, ..ToyServer::default() }).collect(),
+            vec![ToyClient { n: 5, need: 5, ..ToyClient::default() }],
+        );
+        sim.invoke(ClientId(0), 1).unwrap();
+        assert_eq!(
+            sim.run_until_op_completes(ClientId(0)),
+            Err(RunError::StepLimit { steps: 2 })
+        );
+    }
+
+    #[test]
+    fn run_until_requires_open_op() {
+        let mut sim = world(3, 2);
+        assert_eq!(
+            sim.run_until_op_completes(ClientId(0)),
+            Err(RunError::NoOpenOperation { client: ClientId(0) })
+        );
+    }
+
+    #[test]
+    fn step_with_caller_choice() {
+        let mut sim = world(3, 3);
+        sim.invoke(ClientId(0), 8).unwrap();
+        // Always pick the last option: server 2 gets the first delivery.
+        let info = sim.step_with(|opts| opts.len() - 1).unwrap();
+        assert_eq!(
+            info,
+            StepInfo::Delivered { from: NodeId::client(0), to: NodeId::server(2) }
+        );
+        assert_eq!(sim.server(ServerId(2)).value, 8);
+    }
+}

@@ -1,0 +1,352 @@
+//! Atomicity (linearizability) checking for a single read/write register.
+//!
+//! A memoized Wing–Gong search specialized to registers: the search state is
+//! the pair *(set of decided operations, current register value)* — for a
+//! register, nothing else about a prefix of a linearization matters, so the
+//! memo collapses the factorial search space drastically. Incomplete
+//! operations may either take effect (be linearized) or be dropped.
+
+use crate::history::{History, OpId, OpKind};
+use crate::verdict::{Verdict, Violation, Witness};
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Checks that `history` is atomic (linearizable as a register).
+///
+/// Supports up to 128 operations (the decided-set is a bitmask).
+///
+/// # Errors
+///
+/// Returns [`Violation::Malformed`] for non-well-formed histories and
+/// [`Violation::NotLinearizable`] when no linearization exists.
+///
+/// # Panics
+///
+/// Panics if the history has more than 128 operations.
+///
+/// # Examples
+///
+/// A classic non-atomic history — new-old inversion between two reads:
+///
+/// ```
+/// use shmem_spec::history::{History, OpKind};
+/// use shmem_spec::atomic::check_atomic;
+///
+/// let mut h = History::new(0u32);
+/// let w = h.begin(0, OpKind::Write(1), 0);
+/// h.complete(w, 10, None); // write(1) over [0,10]
+/// let r1 = h.begin(1, OpKind::Read, 1);
+/// h.complete(r1, 2, Some(1)); // read -> 1 (new)
+/// let r2 = h.begin(2, OpKind::Read, 3);
+/// h.complete(r2, 4, Some(0)); // read -> 0 (old) AFTER seeing new: violation
+/// assert!(check_atomic(&h).is_err());
+/// ```
+pub fn check_atomic<V: Clone + Eq + Hash>(history: &History<V>) -> Verdict {
+    assert!(
+        history.len() <= 128,
+        "atomicity checker supports at most 128 operations"
+    );
+    if !history.is_well_formed() {
+        return Err(Violation::Malformed);
+    }
+    let n = history.len();
+    if n == 0 {
+        return Ok(Witness { order: vec![] });
+    }
+
+    // Value universe: initial + written values, indexed densely.
+    let mut values: Vec<&V> = vec![history.initial()];
+    let index_of = |v: &V, values: &[&V]| values.iter().position(|&u| u == v);
+    for op in history.ops() {
+        if let OpKind::Write(v) = &op.kind {
+            if index_of(v, &values).is_none() {
+                values.push(v);
+            }
+        }
+    }
+
+    let ops = history.ops();
+    // Precompute real-time predecessors as bitmasks.
+    let mut preds = vec![0u128; n];
+    for (i, a) in ops.iter().enumerate() {
+        for (j, b) in ops.iter().enumerate() {
+            if i != j && b.precedes(a) {
+                preds[i] |= 1 << j;
+            }
+        }
+    }
+
+    let full: u128 = if n == 128 { u128::MAX } else { (1 << n) - 1 };
+    let seen: HashSet<(u128, usize)> = HashSet::new();
+    let order: Vec<OpId> = Vec::new();
+
+    struct Search<'a, V> {
+        full: u128,
+        ops: &'a [crate::history::Operation<V>],
+        values: &'a [&'a V],
+        preds: &'a [u128],
+        seen: HashSet<(u128, usize)>,
+        order: Vec<OpId>,
+    }
+
+    fn dfs<V: Clone + Eq + Hash>(s: &mut Search<'_, V>, decided: u128, value: usize) -> bool {
+        let (full, ops, values, preds) = (s.full, s.ops, s.values, s.preds);
+        let (seen, order) = (&mut s.seen, &mut s.order);
+        return dfs_inner(decided, value, full, ops, values, preds, seen, order);
+
+        #[allow(clippy::too_many_arguments)]
+        fn dfs_inner<V: Clone + Eq + Hash>(
+            decided: u128,
+            value: usize,
+            full: u128,
+            ops: &[crate::history::Operation<V>],
+            values: &[&V],
+            preds: &[u128],
+            seen: &mut HashSet<(u128, usize)>,
+            order: &mut Vec<OpId>,
+        ) -> bool {
+            if decided == full {
+                return true;
+            }
+            if !seen.insert((decided, value)) {
+                return false;
+            }
+            for i in 0..ops.len() {
+                let bit = 1u128 << i;
+                if decided & bit != 0 || preds[i] & !decided != 0 {
+                    continue;
+                }
+                let op = &ops[i];
+                // Option A: linearize op i here.
+                let next_value = match &op.kind {
+                    OpKind::Write(v) => Some(
+                        values
+                            .iter()
+                            .position(|&u| u == v)
+                            .expect("written value is in the universe"),
+                    ),
+                    OpKind::Read => {
+                        let legal = match (&op.returned, op.responded) {
+                            // A completed read must have returned the current value.
+                            (Some(r), _) => values[value] == r,
+                            // An incomplete read can be linearized with any value.
+                            (None, None) => true,
+                            (None, Some(_)) => false,
+                        };
+                        if legal {
+                            Some(value)
+                        } else {
+                            None
+                        }
+                    }
+                };
+                if let Some(nv) = next_value {
+                    order.push(OpId(i));
+                    if dfs_inner(decided | bit, nv, full, ops, values, preds, seen, order) {
+                        return true;
+                    }
+                    order.pop();
+                }
+                // Option B: drop op i (only if it never completed).
+                if op.responded.is_none()
+                    && dfs_inner(decided | bit, value, full, ops, values, preds, seen, order)
+                {
+                    return true;
+                }
+            }
+            false
+        }
+    }
+
+    let mut search = Search {
+        full,
+        ops,
+        values: &values,
+        preds: &preds,
+        seen,
+        order,
+    };
+    if dfs(&mut search, 0, 0) {
+        let order = search.order;
+        // Dropped ops are in `decided` but not in `order`; the witness lists
+        // only the effective linearization.
+        Ok(Witness { order })
+    } else {
+        Err(Violation::NotLinearizable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(h: &mut History<u32>, c: u32, v: u32, t0: u64, t1: u64) -> OpId {
+        let id = h.begin(c, OpKind::Write(v), t0);
+        h.complete(id, t1, None);
+        id
+    }
+
+    fn r(h: &mut History<u32>, c: u32, got: u32, t0: u64, t1: u64) -> OpId {
+        let id = h.begin(c, OpKind::Read, t0);
+        h.complete(id, t1, Some(got));
+        id
+    }
+
+    #[test]
+    fn empty_history_is_atomic() {
+        assert!(check_atomic(&History::new(0u32)).is_ok());
+    }
+
+    #[test]
+    fn sequential_history_atomic() {
+        let mut h = History::new(0u32);
+        w(&mut h, 0, 1, 0, 1);
+        r(&mut h, 1, 1, 2, 3);
+        w(&mut h, 0, 2, 4, 5);
+        r(&mut h, 1, 2, 6, 7);
+        let v = check_atomic(&h).unwrap();
+        assert_eq!(v.order.len(), 4);
+    }
+
+    #[test]
+    fn read_of_initial_value() {
+        let mut h = History::new(0u32);
+        r(&mut h, 1, 0, 0, 1);
+        assert!(check_atomic(&h).is_ok());
+    }
+
+    #[test]
+    fn stale_read_rejected() {
+        let mut h = History::new(0u32);
+        w(&mut h, 0, 1, 0, 1);
+        r(&mut h, 1, 0, 2, 3); // returns initial after write(1) completed
+        assert_eq!(check_atomic(&h), Err(Violation::NotLinearizable));
+    }
+
+    #[test]
+    fn overlapping_read_may_return_old_or_new() {
+        for got in [0u32, 1] {
+            let mut h = History::new(0u32);
+            let wid = h.begin(0, OpKind::Write(1), 0);
+            h.complete(wid, 10, None);
+            r(&mut h, 1, got, 2, 3); // overlaps the write
+            assert!(check_atomic(&h).is_ok(), "got={got}");
+        }
+    }
+
+    #[test]
+    fn new_old_inversion_rejected() {
+        let mut h = History::new(0u32);
+        let wid = h.begin(0, OpKind::Write(1), 0);
+        h.complete(wid, 10, None);
+        r(&mut h, 1, 1, 1, 2); // sees new value
+        r(&mut h, 2, 0, 3, 4); // then old value: not atomic
+        assert_eq!(check_atomic(&h), Err(Violation::NotLinearizable));
+    }
+
+    #[test]
+    fn old_new_order_accepted() {
+        let mut h = History::new(0u32);
+        let wid = h.begin(0, OpKind::Write(1), 0);
+        h.complete(wid, 10, None);
+        r(&mut h, 1, 0, 1, 2);
+        r(&mut h, 2, 1, 3, 4);
+        assert!(check_atomic(&h).is_ok());
+    }
+
+    #[test]
+    fn incomplete_write_may_take_effect() {
+        let mut h = History::new(0u32);
+        h.begin(0, OpKind::Write(1), 0); // never completes
+        r(&mut h, 1, 1, 5, 6); // reads it: fine, the write linearizes first
+        assert!(check_atomic(&h).is_ok());
+    }
+
+    #[test]
+    fn incomplete_write_may_be_dropped() {
+        let mut h = History::new(0u32);
+        h.begin(0, OpKind::Write(1), 0); // never completes
+        r(&mut h, 1, 0, 5, 6); // reads initial: fine, the write is dropped
+        assert!(check_atomic(&h).is_ok());
+    }
+
+    #[test]
+    fn incomplete_write_cannot_flipflop() {
+        // Once read as taken-effect, a later read can't see the older value.
+        let mut h = History::new(0u32);
+        h.begin(0, OpKind::Write(1), 0); // never completes
+        r(&mut h, 1, 1, 5, 6);
+        r(&mut h, 2, 0, 7, 8);
+        assert_eq!(check_atomic(&h), Err(Violation::NotLinearizable));
+    }
+
+    #[test]
+    fn concurrent_writes_any_order() {
+        // Two overlapping writes; readers may see either final value.
+        for final_v in [1u32, 2] {
+            let mut h = History::new(0u32);
+            let w1 = h.begin(0, OpKind::Write(1), 0);
+            let w2 = h.begin(1, OpKind::Write(2), 1);
+            h.complete(w1, 10, None);
+            h.complete(w2, 11, None);
+            r(&mut h, 2, final_v, 20, 21);
+            assert!(check_atomic(&h).is_ok(), "final={final_v}");
+        }
+    }
+
+    #[test]
+    fn read_must_respect_write_order() {
+        // w(1) then w(2) sequentially; a later read of 1 is stale.
+        let mut h = History::new(0u32);
+        w(&mut h, 0, 1, 0, 1);
+        w(&mut h, 0, 2, 2, 3);
+        r(&mut h, 1, 1, 4, 5);
+        assert_eq!(check_atomic(&h), Err(Violation::NotLinearizable));
+    }
+
+    #[test]
+    fn malformed_history_rejected() {
+        let mut h = History::new(0u32);
+        h.begin(0, OpKind::Write(1), 0);
+        h.begin(0, OpKind::Write(2), 1); // same client, first op still open
+        assert_eq!(check_atomic(&h), Err(Violation::Malformed));
+    }
+
+    #[test]
+    fn witness_is_a_legal_linearization() {
+        let mut h = History::new(0u32);
+        let w1 = w(&mut h, 0, 1, 0, 1);
+        let r1 = r(&mut h, 1, 1, 2, 3);
+        let wit = check_atomic(&h).unwrap();
+        assert_eq!(wit.order, vec![w1, r1]);
+    }
+
+    #[test]
+    fn duplicate_write_values_supported() {
+        // The memoized search does not require unique write values.
+        let mut h = History::new(0u32);
+        w(&mut h, 0, 5, 0, 1);
+        w(&mut h, 0, 5, 2, 3);
+        r(&mut h, 1, 5, 4, 5);
+        assert!(check_atomic(&h).is_ok());
+    }
+
+    #[test]
+    fn larger_concurrent_history() {
+        // 3 writers, 3 readers, interleaved; all reads justified.
+        let mut h = History::new(0u32);
+        let w1 = h.begin(0, OpKind::Write(1), 0);
+        let w2 = h.begin(1, OpKind::Write(2), 2);
+        h.complete(w1, 5, None);
+        let r1 = h.begin(3, OpKind::Read, 6);
+        h.complete(r1, 7, Some(1));
+        h.complete(w2, 9, None);
+        let r2 = h.begin(4, OpKind::Read, 10);
+        h.complete(r2, 12, Some(2));
+        let w3 = h.begin(2, OpKind::Write(3), 11);
+        h.complete(w3, 14, None);
+        let r3 = h.begin(5, OpKind::Read, 15);
+        h.complete(r3, 16, Some(3));
+        assert!(check_atomic(&h).is_ok());
+    }
+}

@@ -1,0 +1,319 @@
+//! Operation histories of a single read/write register.
+
+use std::fmt;
+
+/// Index of an operation within a [`History`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub usize);
+
+impl fmt::Debug for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// What an operation does.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind<V> {
+    /// A read of the register.
+    Read,
+    /// A write of the given value.
+    Write(V),
+}
+
+/// One operation's interval and payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Operation<V> {
+    /// The client the operation ran at.
+    pub client: u32,
+    /// Read or write.
+    pub kind: OpKind<V>,
+    /// Invocation time (step index; only the order matters).
+    pub invoked: u64,
+    /// Response time, `None` if the operation never completed.
+    pub responded: Option<u64>,
+    /// The value a completed read returned.
+    pub returned: Option<V>,
+}
+
+impl<V> Operation<V> {
+    /// Whether the operation completed.
+    pub fn is_complete(&self) -> bool {
+        self.responded.is_some()
+    }
+
+    /// Whether this is a write.
+    pub fn is_write(&self) -> bool {
+        matches!(self.kind, OpKind::Write(_))
+    }
+
+    /// The written value, if a write.
+    pub fn written(&self) -> Option<&V> {
+        match &self.kind {
+            OpKind::Write(v) => Some(v),
+            OpKind::Read => None,
+        }
+    }
+
+    /// Whether this operation's response precedes `other`'s invocation
+    /// (strict real-time order).
+    pub fn precedes(&self, other: &Operation<V>) -> bool {
+        match self.responded {
+            Some(r) => r < other.invoked,
+            None => false,
+        }
+    }
+}
+
+/// A history of operations on one register with initial value `initial`.
+///
+/// Built incrementally with [`History::begin`] / [`History::complete`], or
+/// all at once with [`History::from_ops`].
+#[derive(Clone, Debug)]
+pub struct History<V> {
+    initial: V,
+    ops: Vec<Operation<V>>,
+}
+
+impl<V: Clone + Eq> History<V> {
+    /// An empty history over a register initialized to `initial`.
+    pub fn new(initial: V) -> History<V> {
+        History {
+            initial,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Builds a history from pre-assembled operations.
+    pub fn from_ops(initial: V, ops: Vec<Operation<V>>) -> History<V> {
+        History { initial, ops }
+    }
+
+    /// The register's initial value.
+    pub fn initial(&self) -> &V {
+        &self.initial
+    }
+
+    /// Starts an operation; returns its id.
+    pub fn begin(&mut self, client: u32, kind: OpKind<V>, invoked: u64) -> OpId {
+        self.ops.push(Operation {
+            client,
+            kind,
+            invoked,
+            responded: None,
+            returned: None,
+        });
+        OpId(self.ops.len() - 1)
+    }
+
+    /// Completes an operation. `returned` carries a read's result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown, the operation already completed, or
+    /// `responded` does not come after the invocation.
+    pub fn complete(&mut self, id: OpId, responded: u64, returned: Option<V>) {
+        let op = &mut self.ops[id.0];
+        assert!(op.responded.is_none(), "operation completed twice");
+        assert!(
+            responded >= op.invoked,
+            "response must not precede invocation"
+        );
+        op.responded = Some(responded);
+        op.returned = returned;
+    }
+
+    /// All operations, in the order they were begun.
+    pub fn ops(&self) -> &[Operation<V>] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the history has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Operation by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    pub fn op(&self, id: OpId) -> &Operation<V> {
+        &self.ops[id.0]
+    }
+
+    /// Ids of all writes.
+    pub fn writes(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_write())
+            .map(|(i, _)| OpId(i))
+    }
+
+    /// Ids of all reads.
+    pub fn reads(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| !o.is_write())
+            .map(|(i, _)| OpId(i))
+    }
+
+    /// Whether all write values are pairwise distinct and differ from the
+    /// initial value — the precondition under which the register checkers
+    /// are exact.
+    pub fn has_unique_write_values(&self) -> bool {
+        let mut seen: Vec<&V> = vec![&self.initial];
+        for op in &self.ops {
+            if let Some(v) = op.written() {
+                if seen.contains(&v) {
+                    return false;
+                }
+                seen.push(v);
+            }
+        }
+        true
+    }
+
+    /// The number of *active* write operations at point `t`: writes
+    /// invoked at or before `t` and not yet responded (Section 2.3's
+    /// definition, evaluated at one point).
+    pub fn active_writes_at(&self, t: u64) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| o.is_write() && o.invoked <= t && o.responded.is_none_or(|r| r > t))
+            .count()
+    }
+
+    /// The number of active write operations *of the execution*: the
+    /// supremum over all points of the number of concurrently active
+    /// writes — the `ν` every Section 6 statement is parameterized by.
+    pub fn max_active_writes(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| o.is_write())
+            .map(|o| self.active_writes_at(o.invoked))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Checks interval well-formedness: per-client operations must be
+    /// sequential (a client invokes only after its previous response).
+    pub fn is_well_formed(&self) -> bool {
+        let mut per_client: std::collections::BTreeMap<u32, Vec<&Operation<V>>> =
+            std::collections::BTreeMap::new();
+        for op in &self.ops {
+            per_client.entry(op.client).or_default().push(op);
+        }
+        for ops in per_client.values() {
+            for w in ops.windows(2) {
+                match w[0].responded {
+                    Some(r) if r <= w[1].invoked => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut h = History::new(0u32);
+        let w = h.begin(0, OpKind::Write(5), 1);
+        assert!(!h.op(w).is_complete());
+        h.complete(w, 4, None);
+        let r = h.begin(1, OpKind::Read, 5);
+        h.complete(r, 8, Some(5));
+        assert_eq!(h.len(), 2);
+        assert!(h.op(w).precedes(h.op(r)));
+        assert!(!h.op(r).precedes(h.op(w)));
+        assert_eq!(h.writes().collect::<Vec<_>>(), vec![w]);
+        assert_eq!(h.reads().collect::<Vec<_>>(), vec![r]);
+        assert_eq!(h.op(w).written(), Some(&5));
+        assert!(h.is_well_formed());
+    }
+
+    #[test]
+    fn incomplete_ops_never_precede() {
+        let mut h = History::new(0u32);
+        let a = h.begin(0, OpKind::Write(1), 1);
+        let b = h.begin(1, OpKind::Write(2), 100);
+        assert!(!h.op(a).precedes(h.op(b)));
+    }
+
+    #[test]
+    fn unique_write_values_detects_duplicates() {
+        let mut h = History::new(0u32);
+        h.begin(0, OpKind::Write(1), 1);
+        assert!(h.has_unique_write_values());
+        h.begin(0, OpKind::Write(0), 10); // collides with initial
+        assert!(!h.has_unique_write_values());
+    }
+
+    #[test]
+    fn active_writes_measured() {
+        let mut h = History::new(0u32);
+        let w1 = h.begin(0, OpKind::Write(1), 0); // [0, 10]
+        let w2 = h.begin(1, OpKind::Write(2), 5); // [5, 20]
+        let w3 = h.begin(2, OpKind::Write(3), 6); // [6, 7]
+        h.complete(w1, 10, None);
+        h.complete(w2, 20, None);
+        h.complete(w3, 7, None);
+        h.begin(3, OpKind::Read, 6); // reads don't count
+        assert_eq!(h.active_writes_at(0), 1);
+        assert_eq!(h.active_writes_at(6), 3);
+        assert_eq!(h.active_writes_at(15), 1);
+        assert_eq!(h.active_writes_at(25), 0);
+        assert_eq!(h.max_active_writes(), 3);
+    }
+
+    #[test]
+    fn never_terminating_write_stays_active() {
+        let mut h = History::new(0u32);
+        h.begin(0, OpKind::Write(1), 0); // never completes
+        assert_eq!(h.active_writes_at(1_000_000), 1);
+        assert_eq!(h.max_active_writes(), 1);
+    }
+
+    #[test]
+    fn empty_history_has_zero_active_writes() {
+        let h = History::new(0u32);
+        assert_eq!(h.max_active_writes(), 0);
+    }
+
+    #[test]
+    fn well_formedness_rejects_overlapping_client_ops() {
+        let mut h = History::new(0u32);
+        h.begin(0, OpKind::Write(1), 1);
+        h.begin(0, OpKind::Write(2), 2); // same client, previous op still open
+        assert!(!h.is_well_formed());
+    }
+
+    #[test]
+    #[should_panic(expected = "completed twice")]
+    fn double_completion_panics() {
+        let mut h = History::new(0u32);
+        let w = h.begin(0, OpKind::Write(1), 1);
+        h.complete(w, 2, None);
+        h.complete(w, 3, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not precede")]
+    fn response_before_invocation_panics() {
+        let mut h = History::new(0u32);
+        let w = h.begin(0, OpKind::Write(1), 10);
+        h.complete(w, 3, None);
+    }
+}

@@ -1,0 +1,151 @@
+//! Lamport's *safe* register semantics — the weakest of the classical
+//! register conditions, included to complete the safe ⊂ regular ⊂ atomic
+//! hierarchy the paper's consistency landscape sits in.
+//!
+//! A safe register only constrains reads that do **not** overlap any
+//! write: such a read must return the value of the latest write that
+//! completed before it (or the initial value if none). Reads concurrent
+//! with a write may return anything.
+
+use crate::history::{History, OpId};
+use crate::verdict::{Verdict, Violation, Witness};
+
+/// Checks safety (Lamport's *safe* condition).
+///
+/// # Errors
+///
+/// [`Violation`] for the first non-overlapping read that returns something
+/// other than the latest preceding write's value.
+pub fn check_safe<V: Clone + Eq>(history: &History<V>) -> Verdict {
+    if !history.is_well_formed() {
+        return Err(Violation::Malformed);
+    }
+    let ops = history.ops();
+    let mut witness = Vec::new();
+    for (ri, read) in ops.iter().enumerate() {
+        if read.is_write() {
+            continue;
+        }
+        let Some(read_end) = read.responded else {
+            continue;
+        };
+        // Overlapping any write => unconstrained. Overlap = neither
+        // strictly precedes the other (consistent with
+        // `Operation::precedes`, which the atomicity checker also uses).
+        let _ = read_end;
+        let overlaps = ops
+            .iter()
+            .any(|w| w.is_write() && !w.precedes(read) && !read.precedes(w));
+        if overlaps {
+            continue;
+        }
+        let returned = read
+            .returned
+            .as_ref()
+            .expect("completed read must carry a value");
+        // The *maximal* preceding writes: completed before the read began
+        // and not superseded by another such write. (With concurrent
+        // writes, "the latest preceding write" is a set — any maximal one
+        // is a legal serialization's last write.)
+        let preceding: Vec<usize> = (0..ops.len())
+            .filter(|&i| ops[i].is_write() && ops[i].responded.is_some_and(|t| t < read.invoked))
+            .collect();
+        if preceding.is_empty() {
+            if returned != history.initial() {
+                return Err(Violation::UnjustifiedRead { read: OpId(ri) });
+            }
+            continue;
+        }
+        let maximal: Vec<usize> = preceding
+            .iter()
+            .copied()
+            .filter(|&i| !preceding.iter().any(|&j| ops[i].precedes(&ops[j])))
+            .collect();
+        match maximal
+            .iter()
+            .find(|&&i| ops[i].written() == Some(returned))
+        {
+            Some(&wi) => witness.push(OpId(wi)),
+            None => {
+                let last = *maximal.last().expect("nonempty");
+                return Err(Violation::StaleRead {
+                    read: OpId(ri),
+                    write: OpId(last),
+                    superseded_by: OpId(last),
+                });
+            }
+        }
+    }
+    Ok(Witness { order: witness })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::OpKind;
+
+    fn w(h: &mut History<u32>, c: u32, v: u32, t0: u64, t1: u64) -> OpId {
+        let id = h.begin(c, OpKind::Write(v), t0);
+        h.complete(id, t1, None);
+        id
+    }
+
+    fn r(h: &mut History<u32>, c: u32, got: u32, t0: u64, t1: u64) -> OpId {
+        let id = h.begin(c, OpKind::Read, t0);
+        h.complete(id, t1, Some(got));
+        id
+    }
+
+    #[test]
+    fn non_overlapping_read_must_see_latest() {
+        let mut h = History::new(0u32);
+        w(&mut h, 0, 1, 0, 1);
+        r(&mut h, 1, 1, 2, 3);
+        assert!(check_safe(&h).is_ok());
+
+        let mut bad = History::new(0u32);
+        w(&mut bad, 0, 1, 0, 1);
+        r(&mut bad, 1, 0, 2, 3);
+        assert!(check_safe(&bad).is_err());
+    }
+
+    #[test]
+    fn overlapping_read_may_return_garbage() {
+        // This is what distinguishes safe from regular: a read overlapping
+        // a write may return a value never written.
+        let mut h = History::new(0u32);
+        let wid = h.begin(0, OpKind::Write(1), 0);
+        h.complete(wid, 10, None);
+        r(&mut h, 1, 99, 2, 3); // arbitrary value, overlaps the write
+        assert!(check_safe(&h).is_ok());
+        assert!(crate::regular::check_regular(&h).is_err());
+    }
+
+    #[test]
+    fn initial_value_before_any_write() {
+        let mut h = History::new(7u32);
+        r(&mut h, 1, 7, 0, 1);
+        assert!(check_safe(&h).is_ok());
+        let mut bad = History::new(7u32);
+        r(&mut bad, 1, 3, 0, 1);
+        assert!(check_safe(&bad).is_err());
+    }
+
+    #[test]
+    fn regular_implies_safe_on_samples() {
+        let mut h = History::new(0u32);
+        w(&mut h, 0, 1, 0, 1);
+        w(&mut h, 0, 2, 2, 3);
+        r(&mut h, 1, 2, 4, 5);
+        assert!(crate::regular::check_regular(&h).is_ok());
+        assert!(check_safe(&h).is_ok());
+    }
+
+    #[test]
+    fn incomplete_write_unconstrains_later_reads() {
+        let mut h = History::new(0u32);
+        h.begin(0, OpKind::Write(5), 0); // never completes: overlaps forever
+        r(&mut h, 1, 123, 10, 11);
+        assert!(check_safe(&h).is_ok());
+    }
+}

@@ -1,0 +1,100 @@
+//! Checker verdicts with diagnostics.
+
+use crate::history::OpId;
+use std::fmt;
+
+/// Successful checker outcome with its witness, or a violation.
+pub type Verdict = Result<Witness, Violation>;
+
+/// Evidence that a history satisfies the checked condition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Witness {
+    /// For atomicity: a legal linearization order over the operations that
+    /// took effect (dropped incomplete operations are absent). For the
+    /// interval-based checkers: the per-read justifying writes, in read
+    /// order (`None` = justified by the initial value).
+    pub order: Vec<OpId>,
+}
+
+/// Why a history fails the checked condition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// No linearization of the operations exists.
+    NotLinearizable,
+    /// A read returned a value that no write (and not the initial value)
+    /// can justify.
+    UnjustifiedRead {
+        /// The offending read.
+        read: OpId,
+    },
+    /// A read returned the value of a write that was already superseded by
+    /// a later completed write before the read began.
+    StaleRead {
+        /// The offending read.
+        read: OpId,
+        /// The superseded write whose value the read returned.
+        write: OpId,
+        /// A completed write that supersedes it.
+        superseded_by: OpId,
+    },
+    /// A read returned the initial value although a write had already
+    /// completed before the read began.
+    InitialAfterWrite {
+        /// The offending read.
+        read: OpId,
+        /// A write completed before the read's invocation.
+        completed_write: OpId,
+    },
+    /// The history is malformed (client invoked before its previous
+    /// response).
+    Malformed,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::NotLinearizable => write!(f, "no legal linearization exists"),
+            Violation::UnjustifiedRead { read } => {
+                write!(f, "{read:?} returned a value no write justifies")
+            }
+            Violation::StaleRead {
+                read,
+                write,
+                superseded_by,
+            } => write!(
+                f,
+                "{read:?} returned the value of {write:?}, which {superseded_by:?} superseded \
+                 before the read began"
+            ),
+            Violation::InitialAfterWrite {
+                read,
+                completed_write,
+            } => write!(
+                f,
+                "{read:?} returned the initial value although {completed_write:?} had completed"
+            ),
+            Violation::Malformed => write!(f, "history is not well-formed"),
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violations_display() {
+        let v = Violation::StaleRead {
+            read: OpId(2),
+            write: OpId(0),
+            superseded_by: OpId(1),
+        };
+        let s = v.to_string();
+        assert!(s.contains("op2") && s.contains("op0") && s.contains("op1"));
+        assert!(Violation::NotLinearizable
+            .to_string()
+            .contains("linearization"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Cross-validation of the memoized atomicity checker against a
+//! brute-force reference on randomized small histories, plus the
+//! safe ⊆ regular ⊆ atomic inclusion hierarchy.
+
+use proptest::prelude::*;
+use shmem_spec::history::{History, OpKind, Operation};
+use shmem_spec::{check_atomic, check_regular, check_safe};
+
+/// Brute-force linearizability for a register: try every permutation of
+/// every subset choice for incomplete operations. Exponential — only for
+/// tiny histories.
+fn brute_force_atomic(h: &History<u8>) -> bool {
+    if !h.is_well_formed() {
+        return false;
+    }
+    let ops = h.ops();
+    let n = ops.len();
+    // Each incomplete op can be included or dropped.
+    let incomplete: Vec<usize> = (0..n).filter(|&i| !ops[i].is_complete()).collect();
+    let masks = 1usize << incomplete.len();
+    for mask in 0..masks {
+        let mut included: Vec<usize> = (0..n).filter(|&i| ops[i].is_complete()).collect();
+        for (bit, &i) in incomplete.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                included.push(i);
+            }
+        }
+        included.sort_unstable();
+        if permutations_ok(&included, ops, h.initial()) {
+            return true;
+        }
+    }
+    false
+}
+
+fn permutations_ok(included: &[usize], ops: &[Operation<u8>], initial: &u8) -> bool {
+    let mut perm = included.to_vec();
+    permute(&mut perm, 0, &mut |order: &[usize]| {
+        // Respect real time.
+        for (pos_a, &a) in order.iter().enumerate() {
+            for &b in &order[pos_a + 1..] {
+                if ops[b].precedes(&ops[a]) {
+                    return false;
+                }
+            }
+        }
+        // Register semantics.
+        let mut value = *initial;
+        for &i in order {
+            match &ops[i].kind {
+                OpKind::Write(v) => value = *v,
+                OpKind::Read => {
+                    if let Some(r) = &ops[i].returned {
+                        if *r != value {
+                            return false;
+                        }
+                    } else if ops[i].is_complete() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    })
+}
+
+fn permute(items: &mut Vec<usize>, k: usize, check: &mut impl FnMut(&[usize]) -> bool) -> bool {
+    if k == items.len() {
+        return check(items);
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        if permute(items, k + 1, check) {
+            items.swap(k, i);
+            return true;
+        }
+        items.swap(k, i);
+    }
+    false
+}
+
+/// A strategy for random small well-formed histories: each client runs
+/// sequential ops with random intervals; values 0..4; some ops left open.
+fn arb_history() -> impl Strategy<Value = History<u8>> {
+    proptest::collection::vec(
+        (
+            0u32..3,                    // client
+            0u8..2,                     // kind: 0 = read, 1 = write
+            0u8..4,                     // value (write) or returned (read)
+            1u64..20,                   // duration
+            prop::bool::weighted(0.85), // completes?
+        ),
+        0..6,
+    )
+    .prop_map(|specs| {
+        let mut h = History::new(0u8);
+        let mut clock: std::collections::BTreeMap<u32, u64> = Default::default();
+        for (client, kind, value, dur, completes) in specs {
+            let start = clock.get(&client).copied().unwrap_or(0) + 1;
+            let end = start + dur;
+            let id = match kind {
+                1 => h.begin(client, OpKind::Write(value), start),
+                _ => h.begin(client, OpKind::Read, start),
+            };
+            if completes {
+                h.complete(id, end, if kind == 0 { Some(value) } else { None });
+                clock.insert(client, end);
+            } else {
+                // Client blocks forever: no further ops for it.
+                clock.insert(client, u64::MAX / 2);
+            }
+        }
+        h
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn memoized_checker_agrees_with_brute_force(h in arb_history()) {
+        let fast = check_atomic(&h).is_ok();
+        let slow = brute_force_atomic(&h);
+        prop_assert_eq!(fast, slow, "history: {:?}", h);
+    }
+
+    #[test]
+    fn atomic_implies_regular_implies_safe(h in arb_history()) {
+        if check_atomic(&h).is_ok() {
+            prop_assert!(check_regular(&h).is_ok(), "atomic but not regular: {:?}", h);
+        }
+        if check_regular(&h).is_ok() {
+            prop_assert!(check_safe(&h).is_ok(), "regular but not safe: {:?}", h);
+        }
+    }
+}
+
+#[test]
+fn brute_force_sanity() {
+    // The reference itself behaves on the canonical examples.
+    let mut good = History::new(0u8);
+    let w = good.begin(0, OpKind::Write(1), 0);
+    good.complete(w, 1, None);
+    let r = good.begin(1, OpKind::Read, 2);
+    good.complete(r, 3, Some(1));
+    assert!(brute_force_atomic(&good));
+
+    let mut bad = History::new(0u8);
+    let w = bad.begin(0, OpKind::Write(1), 0);
+    bad.complete(w, 1, None);
+    let r = bad.begin(1, OpKind::Read, 2);
+    bad.complete(r, 3, Some(0));
+    assert!(!brute_force_atomic(&bad));
+}

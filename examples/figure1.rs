@@ -1,0 +1,63 @@
+//! Regenerates the paper's Figure 1 (storage cost upper and lower bounds
+//! for N = 21 servers and f = 10 failures, normalized by log2|V| as
+//! |V| → ∞) and prints it both as a table and as an ASCII plot.
+//!
+//! ```text
+//! cargo run --example figure1
+//! ```
+
+use shmem_emulation::bounds::{lower, upper, SystemParams};
+
+fn main() {
+    let p = SystemParams::new(21, 10).expect("paper parameters");
+    let nu_max = 16u32;
+
+    println!("Figure 1: normalized total-storage cost, {p}, |V| -> inf\n");
+    println!(
+        "{:>3}  {:>11}  {:>11}  {:>11}  {:>9}  {:>14}",
+        "nu", "Theorem B.1", "Theorem 5.1", "Theorem 6.5", "ABD (f+1)", "Erasure-coding"
+    );
+    for nu in 0..=nu_max {
+        println!(
+            "{:>3}  {:>11.4}  {:>11.4}  {:>11.4}  {:>9.4}  {:>14.4}",
+            nu,
+            lower::singleton_total(p).to_f64(),
+            lower::universal_total(p).to_f64(),
+            lower::multi_version_total(p, nu).to_f64(),
+            upper::replication_total(p).to_f64(),
+            upper::coded_total(p, nu).to_f64(),
+        );
+    }
+
+    // ASCII rendition of the plot (y = normalized cost 0..16, x = nu).
+    println!("\n  y: normalized total-storage cost (clipped at 16)");
+    let height = 16;
+    type Series = Box<dyn Fn(u32) -> f64>;
+    let series: Vec<(char, Series)> = vec![
+        ('b', Box::new(move |_| lower::singleton_total(p).to_f64())),
+        ('u', Box::new(move |_| lower::universal_total(p).to_f64())),
+        ('m', Box::new(move |nu| lower::multi_version_total(p, nu).to_f64())),
+        ('A', Box::new(move |_| upper::replication_total(p).to_f64())),
+        ('E', Box::new(move |nu| upper::coded_total(p, nu).to_f64())),
+    ];
+    for y in (0..=height).rev() {
+        let mut line = format!("{y:>4} |");
+        for nu in 0..=nu_max {
+            let mut cell = ' ';
+            for (ch, f) in &series {
+                if f(nu).round() as i64 == y as i64 {
+                    cell = *ch;
+                }
+            }
+            line.push(cell);
+        }
+        println!("{line}");
+    }
+    println!("     +{}", "-".repeat(nu_max as usize + 1));
+    println!("      0 .. {nu_max}  (nu = number of active writes)");
+    println!("\n  b = Thm B.1, u = Thm 5.1, m = Thm 6.5, A = ABD, E = erasure-coding");
+    println!(
+        "  crossover where coding stops beating replication: nu = {}",
+        upper::coding_replication_crossover(p)
+    );
+}

@@ -1,0 +1,85 @@
+//! Sweep audits: measured storage of every algorithm, across geometries
+//! and concurrency levels, must respect every applicable lower bound.
+
+use shmem_emulation::algorithms::harness::{run_concurrent_workload, AbdCluster, CasCluster};
+use shmem_emulation::algorithms::value::ValueSpec;
+use shmem_emulation::bounds::{Bound, SystemParams, ValueDomain};
+use shmem_emulation::core::audit::StorageAudit;
+
+#[test]
+fn abd_audit_sweep() {
+    for (n, f) in [(3u32, 1u32), (5, 2), (7, 3), (9, 4)] {
+        for nu in 1..=3u32 {
+            let p = SystemParams::new(n, f).unwrap();
+            let mut c = AbdCluster::new(n, f, nu + 1, ValueSpec::from_bits(64.0));
+            run_concurrent_workload(&mut c, nu, 1, 2, 17).expect("workload");
+            let r = StorageAudit::new("abd", p, ValueDomain::from_bits(64), nu)
+                .assess(&c.storage());
+            assert!(r.lower_bounds_respected(), "N={n} f={f} nu={nu}: {r}");
+            // ABD's total is exactly N values.
+            assert!((r.measured_total_normalized - n as f64).abs() < 1e-9);
+            // All raw constraints hold.
+            assert!(r.constraints.iter().all(|k| k.holds()), "{r}");
+        }
+    }
+}
+
+#[test]
+fn cas_audit_sweep() {
+    for (n, f) in [(5u32, 1u32), (7, 2), (9, 3), (9, 2)] {
+        for nu in 1..=3u32 {
+            let p = SystemParams::new(n, f).unwrap();
+            let mut c = CasCluster::new(n, f, nu + 1, ValueSpec::from_bits(64.0));
+            run_concurrent_workload(&mut c, nu, 1, 2, 23).expect("workload");
+            let r = StorageAudit::new("cas", p, ValueDomain::from_bits(64), nu)
+                .unconditional_liveness(false)
+                .assess(&c.storage());
+            assert!(r.lower_bounds_respected(), "N={n} f={f} nu={nu}: {r}");
+            // Theorem 6.5 is the binding applicable bound for CAS.
+            let row = r.row(Bound::MultiVersion65);
+            assert_eq!(row.consistent, Some(true), "N={n} f={f} nu={nu}");
+        }
+    }
+}
+
+#[test]
+fn casgc_storage_bounded_but_above_theorem65() {
+    // CASGC caps storage via GC; even so, Theorem 6.5's bound (which
+    // applies thanks to its single value-dependent phase) must hold.
+    for delta in 0..=2u32 {
+        let p = SystemParams::new(7, 2).unwrap();
+        let mut c = CasCluster::with_gc(7, 2, delta, 3, ValueSpec::from_bits(64.0));
+        run_concurrent_workload(&mut c, 2, 1, 3, 31).expect("workload");
+        let r = StorageAudit::new("casgc", p, ValueDomain::from_bits(64), 2)
+            .unconditional_liveness(false)
+            .assess(&c.storage());
+        assert!(r.lower_bounds_respected(), "delta={delta}: {r}");
+    }
+}
+
+#[test]
+fn measured_shape_matches_figure1_story() {
+    // The qualitative Figure 1 shape on a real system: the coded cost
+    // grows with nu while the replication cost does not, and the measured
+    // coded line eventually crosses the measured ABD line.
+    let spec = ValueSpec::from_bits(64.0);
+    let mut abd_totals = Vec::new();
+    let mut cas_totals = Vec::new();
+    for nu in 1..=5u32 {
+        let mut abd = AbdCluster::new(21, 5, nu + 1, spec);
+        run_concurrent_workload(&mut abd, nu, 1, 1, 3).expect("abd");
+        abd_totals.push(abd.storage().peak_total_bits / 64.0);
+
+        let mut cas = CasCluster::new(21, 5, nu + 1, spec);
+        run_concurrent_workload(&mut cas, nu, 1, 1, 3).expect("cas");
+        cas_totals.push(cas.storage().peak_total_bits / 64.0);
+    }
+    // ABD flat.
+    assert!(abd_totals.iter().all(|&t| (t - abd_totals[0]).abs() < 1e-9));
+    // CAS nondecreasing, strictly increasing overall.
+    assert!(cas_totals.windows(2).all(|w| w[1] >= w[0] - 1e-9));
+    assert!(cas_totals[4] > cas_totals[0]);
+    // Coding wins at nu = 1, replication wins by nu = 5 on this geometry
+    // (k = 11, so ~6 versions x 21/11 ~ 11.5 > ... ABD flat at 21).
+    assert!(cas_totals[0] < abd_totals[0]);
+}

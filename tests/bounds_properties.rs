@@ -1,0 +1,140 @@
+//! Property-based tests on the bound formulas: ordering relations,
+//! monotonicity, convergence and crossover laws over randomized
+//! parameters.
+
+use proptest::prelude::*;
+use shmem_emulation::bounds::{lower, upper, Ratio, SystemParams, ValueDomain};
+
+fn arb_params() -> impl Strategy<Value = SystemParams> {
+    (2u32..200).prop_flat_map(|n| {
+        (Just(n), 1u32..n).prop_map(|(n, f)| SystemParams::new(n, f).expect("valid by range"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn hierarchy_of_lower_bounds(p in arb_params()) {
+        // 5.1 <= 4.1 always: restricting to no-gossip strengthens the
+        // bound.
+        if p.supports_no_gossip_bound() {
+            prop_assert!(lower::universal_total(p) <= lower::no_gossip_total(p));
+        }
+        // B.1 <= 5.1 exactly when N - f >= 2 (2N/(N-f+2) >= N/(N-f) iff
+        // N-f >= 2); at N - f = 1 the old bound is the stronger one.
+        if p.quorum() >= 2 {
+            prop_assert!(lower::singleton_total(p) <= lower::universal_total(p));
+        } else {
+            prop_assert!(lower::singleton_total(p) >= lower::universal_total(p));
+        }
+    }
+
+    #[test]
+    fn theorem65_between_b1_and_replication(p in arb_params(), nu in 1u32..300) {
+        let b = lower::multi_version_total(p, nu);
+        prop_assert!(b >= lower::singleton_total(p));
+        prop_assert!(b <= upper::replication_total(p));
+    }
+
+    #[test]
+    fn theorem65_monotone_and_saturating(p in arb_params(), nu in 0u32..300) {
+        let here = lower::multi_version_total(p, nu);
+        let next = lower::multi_version_total(p, nu + 1);
+        prop_assert!(next >= here);
+        // Saturation at nu >= f+1.
+        if nu > p.f() {
+            prop_assert_eq!(here, Ratio::from(p.f() + 1));
+        }
+    }
+
+    #[test]
+    fn theorem65_below_coded_upper(p in arb_params(), nu in 1u32..300) {
+        prop_assert!(lower::multi_version_total(p, nu) <= upper::coded_total(p, nu));
+    }
+
+    #[test]
+    fn crossover_is_exact(p in arb_params()) {
+        let x = upper::coding_replication_crossover(p);
+        prop_assert!(x >= 1);
+        prop_assert!(!upper::coding_beats_replication(p, x));
+        if x > 1 {
+            prop_assert!(upper::coding_beats_replication(p, x - 1));
+        }
+    }
+
+    #[test]
+    fn finite_v_below_asymptote(p in arb_params(), bits in 2u32..512, nu in 1u32..40) {
+        let d = ValueDomain::from_bits(bits);
+        let l = d.log2_card();
+        prop_assert!(
+            lower::singleton_total_bits(p, d) <= lower::singleton_total(p).to_f64() * l + 1e-6
+        );
+        prop_assert!(
+            lower::universal_total_bits(p, d) <= lower::universal_total(p).to_f64() * l + 1e-6
+        );
+        prop_assert!(
+            lower::multi_version_total_bits(p, nu, d)
+                <= lower::multi_version_total(p, nu).to_f64() * l + 1e-6
+        );
+        // And all are nonnegative (clamped).
+        prop_assert!(lower::universal_total_bits(p, d) >= 0.0);
+        prop_assert!(lower::multi_version_total_bits(p, nu, d) >= 0.0);
+    }
+
+    #[test]
+    fn max_bounds_are_total_over_n(p in arb_params(), nu in 1u32..100) {
+        let n = Ratio::from(p.n());
+        prop_assert_eq!(lower::singleton_max(p) * n, lower::singleton_total(p));
+        prop_assert_eq!(lower::universal_max(p) * n, lower::universal_total(p));
+        prop_assert_eq!(
+            lower::multi_version_max(p, nu) * n,
+            lower::multi_version_total(p, nu)
+        );
+    }
+
+    #[test]
+    fn best_total_dominates_components(p in arb_params(), nu in 1u32..60, gossip: bool) {
+        let best = lower::best_total(p, gossip, Some(nu));
+        prop_assert!(best >= lower::singleton_total(p));
+        prop_assert!(best >= lower::universal_total(p));
+        prop_assert!(best >= lower::multi_version_total(p, nu));
+    }
+
+    #[test]
+    fn ratio_arithmetic_laws(
+        a in -1000i128..1000, b in 1i128..1000,
+        c in -1000i128..1000, d in 1i128..1000,
+    ) {
+        let x = Ratio::new(a, b);
+        let y = Ratio::new(c, d);
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!(x * y, y * x);
+        prop_assert_eq!((x + y) - y, x);
+        if y != Ratio::ZERO {
+            prop_assert_eq!((x / y) * y, x);
+        }
+        prop_assert_eq!(x * (y + y), x * y + x * y);
+    }
+
+    #[test]
+    fn universal_vs_singleton_ratio_approaches_two(f in 1u32..20) {
+        let big = SystemParams::new(100_000 + f, f).unwrap();
+        let r = (lower::universal_total(big) / lower::singleton_total(big)).to_f64();
+        prop_assert!((r - 2.0).abs() < 0.001, "ratio={r}");
+    }
+}
+
+#[test]
+fn domain_binomial_matches_exact_for_small_cards() {
+    for card in 3u128..=30 {
+        let d = ValueDomain::from_cardinality(card).unwrap();
+        for k in 0..=4u32 {
+            let exact = shmem_emulation::bounds::util::log2_binomial(card - 1, k);
+            let got = d.log2_binomial_card_minus_one(k);
+            if exact.is_finite() {
+                assert!((exact - got).abs() < 1e-9, "card={card} k={k}");
+            } else {
+                assert_eq!(got, f64::NEG_INFINITY);
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! End-to-end integration: algorithms over the simulator, with crashes and
+//! random schedules, validated by the consistency checkers.
+
+use shmem_emulation::algorithms::harness::{
+    run_concurrent_workload, AbdCluster, CasCluster, LossyCluster,
+};
+use shmem_emulation::algorithms::reg::RegInv;
+use shmem_emulation::algorithms::value::ValueSpec;
+use shmem_emulation::sim::NodeId;
+use shmem_emulation::spec::{check_atomic, check_regular, check_weak_regular};
+
+fn spec64() -> ValueSpec {
+    ValueSpec::from_bits(64.0)
+}
+
+#[test]
+fn abd_atomic_under_many_seeds_and_failures() {
+    for seed in 0..12u64 {
+        let mut c = AbdCluster::new(5, 2, 4, spec64());
+        // Crash up to f servers mid-workload, deterministically per seed.
+        if seed % 3 == 1 {
+            c.sim.fail(NodeId::server(4));
+        }
+        if seed % 3 == 2 {
+            c.sim.fail(NodeId::server(4));
+            c.sim.fail(NodeId::server(0));
+        }
+        run_concurrent_workload(&mut c, 2, 2, 3, seed).expect("workload completes");
+        let h = c.history();
+        assert!(h.has_unique_write_values());
+        check_atomic(&h).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        check_regular(&h).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        check_weak_regular(&h).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn cas_atomic_under_many_seeds_and_failures() {
+    for seed in 0..12u64 {
+        let mut c = CasCluster::new(7, 2, 4, spec64());
+        if seed % 2 == 0 {
+            c.sim.fail(NodeId::server(6));
+        }
+        if seed % 4 == 0 {
+            c.sim.fail(NodeId::server(5));
+        }
+        run_concurrent_workload(&mut c, 2, 2, 2, seed).expect("workload completes");
+        check_atomic(&c.history()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn casgc_atomic_and_bounded_storage() {
+    for seed in 0..6u64 {
+        let mut c = CasCluster::with_gc(5, 1, 3, 4, spec64());
+        run_concurrent_workload(&mut c, 2, 2, 4, seed).expect("workload completes");
+        check_atomic(&c.history()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        // GC depth 3 bounds retained versions at 4 + in-flight headroom:
+        // the peak can never reach the 9 versions an uncollected run of 8
+        // writes + initial would show.
+        let peak_versions = c.storage().peak_total_bits / (5.0 * 64.0 / 3.0);
+        assert!(peak_versions < 9.0, "seed {seed}: {peak_versions}");
+    }
+}
+
+#[test]
+fn mixed_clusters_agree_on_final_value() {
+    // The same sequential program on ABD and CAS ends in the same state.
+    let mut abd = AbdCluster::new(5, 2, 2, spec64());
+    let mut cas = CasCluster::new(5, 1, 2, spec64());
+    for v in [3u64, 9, 27] {
+        abd.write(0, v).unwrap();
+        cas.write(0, v).unwrap();
+    }
+    assert_eq!(abd.read(1).unwrap(), 27);
+    assert_eq!(cas.read(1).unwrap(), 27);
+}
+
+#[test]
+fn abd_blocks_beyond_f_failures_but_recovers_reads() {
+    let mut c = AbdCluster::new(5, 2, 2, spec64());
+    c.write(0, 5).unwrap();
+    c.sim.fail_last_servers(3); // beyond the design point
+    c.begin(1, RegInv::Read).unwrap();
+    assert!(c.sim.run_until_op_completes(shmem_emulation::sim::ClientId(1)).is_err());
+}
+
+#[test]
+fn lossy_cluster_flagged_by_all_checkers() {
+    let mut c = LossyCluster::new(3, 1, 2, 2, ValueSpec::from_bits(16.0));
+    c.write(0, 0xBEEF).unwrap();
+    let _ = c.read(1).unwrap();
+    let h = c.history();
+    assert!(check_atomic(&h).is_err());
+    assert!(check_regular(&h).is_err());
+    assert!(check_weak_regular(&h).is_err());
+}
+
+#[test]
+fn histories_are_deterministic_given_seed() {
+    let run = |seed: u64| {
+        let mut c = AbdCluster::new(5, 2, 4, spec64());
+        run_concurrent_workload(&mut c, 2, 2, 2, seed).unwrap();
+        format!("{:?}", c.history())
+    };
+    assert_eq!(run(9), run(9));
+    assert_ne!(run(9), run(10));
+}
+
+#[test]
+fn storage_meter_consistent_between_runs() {
+    let run = || {
+        let mut c = CasCluster::new(5, 1, 3, spec64());
+        run_concurrent_workload(&mut c, 2, 1, 2, 5).unwrap();
+        c.storage()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn abd_atomic_under_message_reordering() {
+    // The paper's channels are asynchronous, not FIFO: ABD must stay
+    // atomic when messages within a channel are delivered out of order.
+    use shmem_emulation::algorithms::reg::RegInv;
+    for seed in 0..10u64 {
+        let mut c = AbdCluster::reordering(5, 2, 4, spec64());
+        c.begin(0, RegInv::Write(1)).unwrap();
+        c.begin(1, RegInv::Write(2)).unwrap();
+        c.begin(2, RegInv::Read).unwrap();
+        c.begin(3, RegInv::Read).unwrap();
+        c.run_seeded_reorder(seed).unwrap();
+        let h = c.history();
+        assert!(
+            h.ops().iter().all(|o| o.is_complete()),
+            "seed {seed}: ops must complete"
+        );
+        check_atomic(&h).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn cas_atomic_under_message_reordering() {
+    use shmem_emulation::algorithms::reg::RegInv;
+    for seed in 0..10u64 {
+        let mut c = CasCluster::reordering(5, 1, 3, spec64());
+        c.begin(0, RegInv::Write(7)).unwrap();
+        c.begin(1, RegInv::Write(8)).unwrap();
+        c.begin(2, RegInv::Read).unwrap();
+        c.run_seeded_reorder(seed).unwrap();
+        check_atomic(&c.history()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn fifo_cluster_rejects_out_of_order_delivery() {
+    use shmem_emulation::algorithms::reg::RegInv;
+    use shmem_emulation::sim::NodeId;
+    let mut c = AbdCluster::new(3, 1, 1, spec64());
+    c.begin(0, RegInv::Write(1)).unwrap();
+    // Head delivery is always fine...
+    c.sim.deliver_nth(NodeId::client(0), NodeId::server(0), 0).unwrap();
+    // ...but a FIFO world must refuse index > 0.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = c.sim.deliver_nth(NodeId::client(0), NodeId::server(1), 1);
+    }));
+    assert!(result.is_err(), "FIFO config must panic on reorder");
+}

@@ -1,0 +1,88 @@
+//! Snapshot tests pinning the regenerated evaluation artifacts to the
+//! paper's values.
+
+use shmem_emulation::bounds::{lower, upper, SystemParams};
+
+/// Figure 1's five series at N = 21, f = 10, sampled at every nu the
+/// paper plots. Values are exact rationals; we pin their reduced forms.
+#[test]
+fn figure1_series_snapshot() {
+    let p = SystemParams::new(21, 10).unwrap();
+
+    // Flat series.
+    assert_eq!(lower::singleton_total(p).to_string(), "21/11");
+    assert_eq!(lower::universal_total(p).to_string(), "42/13");
+    assert_eq!(lower::no_gossip_total(p).to_string(), "7/2");
+    assert_eq!(upper::replication_total(p).to_string(), "11");
+
+    // Theorem 6.5 series.
+    let expected_65 = [
+        (0, "0"),
+        (1, "21/11"),
+        (2, "7/2"),
+        (3, "63/13"),
+        (4, "6"),
+        (5, "7"),
+        (6, "63/8"),
+        (7, "147/17"),
+        (8, "28/3"),
+        (9, "189/19"),
+        (10, "21/2"),
+        (11, "11"),
+        (12, "11"),
+        (16, "11"),
+    ];
+    for (nu, want) in expected_65 {
+        assert_eq!(
+            lower::multi_version_total(p, nu).to_string(),
+            want,
+            "Thm 6.5 at nu={nu}"
+        );
+    }
+
+    // Erasure-coding series.
+    let expected_coded = [(1, "21/11"), (2, "42/11"), (6, "126/11"), (11, "21")];
+    for (nu, want) in expected_coded {
+        assert_eq!(
+            upper::coded_total(p, nu).to_string(),
+            want,
+            "coded at nu={nu}"
+        );
+    }
+}
+
+#[test]
+fn headline_claims_snapshot() {
+    let p = SystemParams::new(21, 10).unwrap();
+    // "Our first and second lower bounds are approximately twice as strong
+    // as the previously known bound of N/(N-f)":
+    let improvement = (lower::universal_total(p) / lower::singleton_total(p)).to_f64();
+    assert!(improvement > 1.69, "{improvement}");
+    // The no-gossip variant is even stronger.
+    let ng = (lower::no_gossip_total(p) / lower::singleton_total(p)).to_f64();
+    assert!(ng > improvement);
+    // "If the number of active write operations exceeds f+1, our bound
+    // equals (f+1) log2|V|": replication is optimal in that class.
+    assert_eq!(
+        lower::multi_version_total(p, p.f() + 2),
+        upper::replication_total(p)
+    );
+    // Section 2.3's crossover for the Figure 1 geometry.
+    assert_eq!(upper::coding_replication_crossover(p), 6);
+}
+
+#[test]
+fn bench_tables_regenerate() {
+    use shmem_bench::{fig1, tables};
+    let p = SystemParams::new(21, 10).unwrap();
+    let rows = fig1::paper_figure1();
+    assert_eq!(rows.len(), 17);
+    let t = fig1::as_table(p, &rows);
+    let text = shmem_bench::render_text(&t);
+    assert!(text.contains("1.9091"));
+    assert!(text.contains("3.2308"));
+    assert!(text.contains("11.0000"));
+
+    let csv = shmem_bench::render_csv(&tables::crossover_table(&[(21, 10)]));
+    assert!(csv.lines().nth(1).unwrap().starts_with("21,10,6"));
+}
