@@ -227,9 +227,7 @@ where
                         .max_by_key(|(t, _)| **t)
                         .expect("majority is nonempty");
                     let (tag, value, reply) = match *op {
-                        RegInv::Write(v) => {
-                            (max_tag.successor(self.me), v, RegResp::WriteAck)
-                        }
+                        RegInv::Write(v) => (max_tag.successor(self.me), v, RegResp::WriteAck),
                         RegInv::Read => (max_tag, max_value, RegResp::ReadValue(max_value)),
                     };
                     self.rid += 1;
@@ -361,10 +359,13 @@ mod tests {
         // Deliver the write's query round fully, then its store to server 0
         // only; then freeze the writer mid-write.
         for s in 0..3 {
-            sim.deliver_one(NodeId::client(0), NodeId::server(s)).unwrap();
-            sim.deliver_one(NodeId::server(s), NodeId::client(0)).unwrap();
+            sim.deliver_one(NodeId::client(0), NodeId::server(s))
+                .unwrap();
+            sim.deliver_one(NodeId::server(s), NodeId::client(0))
+                .unwrap();
         }
-        sim.deliver_one(NodeId::client(0), NodeId::server(0)).unwrap();
+        sim.deliver_one(NodeId::client(0), NodeId::server(0))
+            .unwrap();
         sim.freeze(NodeId::client(0));
         // A read must find v=5 (server 0) and write it back before
         // returning; a subsequent read then also returns 5 (atomicity).

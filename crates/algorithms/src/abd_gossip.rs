@@ -136,9 +136,7 @@ mod tests {
         let spec = ValueSpec::from_bits(64.0);
         Sim::new(
             SimConfig::with_gossip(),
-            (0..n)
-                .map(|i| GossipServer::new(i, n, 0, spec))
-                .collect(),
+            (0..n).map(|i| GossipServer::new(i, n, 0, spec)).collect(),
             (0..clients).map(|c| AbdClient::new(n, c)).collect(),
         )
     }
@@ -162,10 +160,13 @@ mod tests {
         // Deliver the query round, then the store to server 0 ONLY; then
         // freeze the writer and let gossip drain.
         for s in 0..5 {
-            sim.deliver_one(NodeId::client(0), NodeId::server(s)).unwrap();
-            sim.deliver_one(NodeId::server(s), NodeId::client(0)).unwrap();
+            sim.deliver_one(NodeId::client(0), NodeId::server(s))
+                .unwrap();
+            sim.deliver_one(NodeId::server(s), NodeId::client(0))
+                .unwrap();
         }
-        sim.deliver_one(NodeId::client(0), NodeId::server(0)).unwrap();
+        sim.deliver_one(NodeId::client(0), NodeId::server(0))
+            .unwrap();
         sim.freeze(NodeId::client(0));
         sim.flush_server_channels().unwrap();
         for s in 0..5 {
@@ -204,10 +205,10 @@ mod tests {
             sim.invoke(ClientId(0), RegInv::Write(1)).unwrap();
             sim.invoke(ClientId(1), RegInv::Write(2)).unwrap();
             sim.invoke(ClientId(2), RegInv::Read).unwrap();
-            use rand::{Rng, SeedableRng};
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut rng = shmem_util::DetRng::seed_from_u64(seed);
             while (0..3).any(|c| sim.has_open_op(ClientId(c))) {
-                sim.step_with(|o| rng.gen_range(0..o.len())).expect("progress");
+                sim.step_with(|o| rng.gen_range(0..o.len()))
+                    .expect("progress");
             }
             let mut h = History::new(0u64);
             for op in sim.ops() {

@@ -214,7 +214,11 @@ impl CasServer {
 
     /// Highest finalized tag.
     pub fn max_finalized(&self) -> Tag {
-        self.finalized.iter().next_back().copied().unwrap_or(Tag::ZERO)
+        self.finalized
+            .iter()
+            .next_back()
+            .copied()
+            .unwrap_or(Tag::ZERO)
     }
 
     fn garbage_collect(&mut self) {
@@ -223,12 +227,7 @@ impl CasServer {
         };
         // Keep symbols for the δ+1 newest finalized tags and anything newer
         // (still-unfinalized in-flight versions).
-        let keep_from = self
-            .finalized
-            .iter()
-            .rev()
-            .nth(delta as usize)
-            .copied();
+        let keep_from = self.finalized.iter().rev().nth(delta as usize).copied();
         if let Some(cutoff) = keep_from {
             self.shares.retain(|&t, _| t >= cutoff);
         }
@@ -390,10 +389,7 @@ impl Node<Cas> for CasClient {
                     let max = tags.values().max().copied().unwrap_or(Tag::ZERO);
                     let tag = max.successor(self.me);
                     let value = *value;
-                    let shares = self
-                        .cfg
-                        .code()
-                        .encode_bytes(&ValueSpec::to_bytes(value));
+                    let shares = self.cfg.code().encode_bytes(&ValueSpec::to_bytes(value));
                     self.rid += 1;
                     for (i, share) in shares.into_iter().enumerate() {
                         ctx.send(
@@ -416,13 +412,7 @@ impl Node<Cas> for CasClient {
                 if acks.len() as u32 == q {
                     let tag = *tag;
                     self.rid += 1;
-                    ctx.broadcast_to_servers(
-                        self.cfg.n,
-                        CasMsg::Finalize {
-                            rid: self.rid,
-                            tag,
-                        },
-                    );
+                    ctx.broadcast_to_servers(self.cfg.n, CasMsg::Finalize { rid: self.rid, tag });
                     self.phase = Phase::Finalize {
                         acks: BTreeSet::new(),
                     };

@@ -6,10 +6,9 @@ use crate::cas::{Cas, CasClient, CasConfig, CasServer};
 use crate::lossy::{Lossy, LossyServer};
 use crate::reg::{RegInv, RegResp};
 use crate::value::{Value, ValueSpec};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use shmem_sim::{ClientId, Protocol, RunError, ServerId, Sim, SimConfig, StorageSnapshot};
 use shmem_spec::history::{History, OpKind};
+use shmem_util::DetRng;
 
 /// A running register cluster of any protocol with the uniform
 /// [`RegInv`]/[`RegResp`] interface.
@@ -90,7 +89,7 @@ impl<P: Protocol<Inv = RegInv, Resp = RegResp>> Cluster<P> {
     ///
     /// [`RunError::StepLimit`] if the protocol livelocks.
     pub fn run_seeded(&mut self, seed: u64) -> Result<u64, RunError> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         let mut steps = 0u64;
         let limit = self.sim.config().step_limit;
         while self
@@ -114,7 +113,7 @@ impl<P: Protocol<Inv = RegInv, Resp = RegResp>> Cluster<P> {
     ///
     /// [`RunError::StepLimit`] if the protocol livelocks.
     pub fn run_seeded_reorder(&mut self, seed: u64) -> Result<u64, RunError> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         let mut steps = 0u64;
         let limit = self.sim.config().step_limit;
         while self
@@ -334,7 +333,7 @@ pub fn run_concurrent_workload<P: Protocol<Inv = RegInv, Resp = RegResp>>(
     rounds: u32,
     seed: u64,
 ) -> Result<(), RunError> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut next_value = 1u64;
     for _ in 0..rounds {
         for w in 0..writers {
@@ -356,7 +355,9 @@ pub fn run_concurrent_workload<P: Protocol<Inv = RegInv, Resp = RegResp>>(
                 .step_with(|opts| rng.gen_range(0..opts.len()))
                 .is_none()
             {
-                return Err(RunError::Stuck { client: ClientId(0) });
+                return Err(RunError::Stuck {
+                    client: ClientId(0),
+                });
             }
             budget -= 1;
             if budget == 0 {

@@ -132,12 +132,30 @@ impl Node<HashedCas> for HashedServer {
 #[derive(Clone, Debug)]
 enum Phase {
     Idle,
-    WriteQuery { value: Value, tags: BTreeMap<u32, Tag> },
-    Announce { value: Value, tag: Tag, acks: BTreeSet<u32> },
-    PreWrite { tag: Tag, acks: BTreeSet<u32> },
-    Finalize { acks: BTreeSet<u32> },
-    ReadQuery { tags: BTreeMap<u32, Tag> },
-    ReadGet { tag: Tag, responses: BTreeSet<u32>, shares: BTreeMap<u32, Vec<u8>> },
+    WriteQuery {
+        value: Value,
+        tags: BTreeMap<u32, Tag>,
+    },
+    Announce {
+        value: Value,
+        tag: Tag,
+        acks: BTreeSet<u32>,
+    },
+    PreWrite {
+        tag: Tag,
+        acks: BTreeSet<u32>,
+    },
+    Finalize {
+        acks: BTreeSet<u32>,
+    },
+    ReadQuery {
+        tags: BTreeMap<u32, Tag>,
+    },
+    ReadGet {
+        tag: Tag,
+        responses: BTreeSet<u32>,
+        shares: BTreeMap<u32, Vec<u8>>,
+    },
 }
 
 /// A hashed-CAS client.
@@ -180,7 +198,9 @@ impl Node<HashedCas> for HashedClient {
                 self.broadcast_cas(ctx, CasMsg::QueryTag { rid: self.rid });
             }
             RegInv::Read => {
-                self.phase = Phase::ReadQuery { tags: BTreeMap::new() };
+                self.phase = Phase::ReadQuery {
+                    tags: BTreeMap::new(),
+                };
                 self.broadcast_cas(ctx, CasMsg::QueryTag { rid: self.rid });
             }
         }
@@ -254,7 +274,9 @@ impl Node<HashedCas> for HashedClient {
                     let tag = *tag;
                     self.rid += 1;
                     self.broadcast_cas(ctx, CasMsg::Finalize { rid: self.rid, tag });
-                    self.phase = Phase::Finalize { acks: BTreeSet::new() };
+                    self.phase = Phase::Finalize {
+                        acks: BTreeSet::new(),
+                    };
                 }
             }
             (Phase::Finalize { acks }, HashedMsg::Cas(CasMsg::FinAck { rid }))
@@ -274,7 +296,13 @@ impl Node<HashedCas> for HashedClient {
                 if tags.len() as u32 == q {
                     let t = tags.values().max().copied().unwrap_or(Tag::ZERO);
                     self.rid += 1;
-                    self.broadcast_cas(ctx, CasMsg::ReadGet { rid: self.rid, tag: t });
+                    self.broadcast_cas(
+                        ctx,
+                        CasMsg::ReadGet {
+                            rid: self.rid,
+                            tag: t,
+                        },
+                    );
                     self.phase = Phase::ReadGet {
                         tag: t,
                         responses: BTreeSet::new(),
@@ -283,7 +311,11 @@ impl Node<HashedCas> for HashedClient {
                 }
             }
             (
-                Phase::ReadGet { tag, responses, shares },
+                Phase::ReadGet {
+                    tag,
+                    responses,
+                    shares,
+                },
                 HashedMsg::Cas(CasMsg::ReadResp { rid, share }),
             ) if rid == self.rid => {
                 responses.insert(server);

@@ -101,7 +101,9 @@ mod tests {
         let spec = ValueSpec::from_bits(8.0);
         Sim::new(
             SimConfig::without_gossip(),
-            (0..n).map(|_| LossyServer::new(0, kept_bits, spec)).collect(),
+            (0..n)
+                .map(|_| LossyServer::new(0, kept_bits, spec))
+                .collect(),
             (0..2).map(|c| AbdClient::new(n, c)).collect(),
         )
     }

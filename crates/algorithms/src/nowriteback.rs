@@ -193,26 +193,33 @@ mod tests {
         sim.invoke(ClientId(0), RegInv::Write(9)).unwrap();
         // Complete the writer's query phase.
         for s in 0..3 {
-            sim.deliver_one(NodeId::client(0), NodeId::server(s)).unwrap();
-            sim.deliver_one(NodeId::server(s), NodeId::client(0)).unwrap();
+            sim.deliver_one(NodeId::client(0), NodeId::server(s))
+                .unwrap();
+            sim.deliver_one(NodeId::server(s), NodeId::client(0))
+                .unwrap();
         }
         // Deliver the store to server 0 only, then freeze the writer.
-        sim.deliver_one(NodeId::client(0), NodeId::server(0)).unwrap();
+        sim.deliver_one(NodeId::client(0), NodeId::server(0))
+            .unwrap();
         sim.freeze(NodeId::client(0));
 
         // Reader A: majority {0, 1} -> sees tag 1, returns 9.
         sim.invoke(ClientId(1), RegInv::Read).unwrap();
         for s in [0u32, 1] {
-            sim.deliver_one(NodeId::client(1), NodeId::server(s)).unwrap();
-            sim.deliver_one(NodeId::server(s), NodeId::client(1)).unwrap();
+            sim.deliver_one(NodeId::client(1), NodeId::server(s))
+                .unwrap();
+            sim.deliver_one(NodeId::server(s), NodeId::client(1))
+                .unwrap();
         }
         assert!(!sim.has_open_op(ClientId(1)));
 
         // Reader B (later): majority {1, 2} -> sees tag 0, returns 0.
         sim.invoke(ClientId(2), RegInv::Read).unwrap();
         for s in [1u32, 2] {
-            sim.deliver_one(NodeId::client(2), NodeId::server(s)).unwrap();
-            sim.deliver_one(NodeId::server(s), NodeId::client(2)).unwrap();
+            sim.deliver_one(NodeId::client(2), NodeId::server(s))
+                .unwrap();
+            sim.deliver_one(NodeId::server(s), NodeId::client(2))
+                .unwrap();
         }
         assert!(!sim.has_open_op(ClientId(2)));
 
@@ -236,10 +243,16 @@ mod tests {
         let mut c = AbdCluster::new(3, 1, 3, spec);
         c.begin(0, RegInv::Write(9)).unwrap();
         for s in 0..3 {
-            c.sim.deliver_one(NodeId::client(0), NodeId::server(s)).unwrap();
-            c.sim.deliver_one(NodeId::server(s), NodeId::client(0)).unwrap();
+            c.sim
+                .deliver_one(NodeId::client(0), NodeId::server(s))
+                .unwrap();
+            c.sim
+                .deliver_one(NodeId::server(s), NodeId::client(0))
+                .unwrap();
         }
-        c.sim.deliver_one(NodeId::client(0), NodeId::server(0)).unwrap();
+        c.sim
+            .deliver_one(NodeId::client(0), NodeId::server(0))
+            .unwrap();
         c.sim.freeze(NodeId::client(0));
         // Reader A runs to completion fairly (write-back included).
         let a = c.read(1).unwrap();

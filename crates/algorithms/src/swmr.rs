@@ -48,11 +48,18 @@ pub struct SwmrClient {
 enum Phase {
     Idle,
     /// Writer waiting for store acks.
-    WriteStore { acks: BTreeSet<u32> },
+    WriteStore {
+        acks: BTreeSet<u32>,
+    },
     /// Reader collecting query responses.
-    ReadQuery { responses: BTreeMap<u32, (Tag, Value)> },
+    ReadQuery {
+        responses: BTreeMap<u32, (Tag, Value)>,
+    },
     /// Reader writing back the chosen pair.
-    ReadBack { value: Value, acks: BTreeSet<u32> },
+    ReadBack {
+        value: Value,
+        acks: BTreeSet<u32>,
+    },
 }
 
 impl SwmrClient {
@@ -81,7 +88,9 @@ impl Node<SwmrAbd> for SwmrClient {
                 );
                 // One phase: no query, the writer owns the tag sequence.
                 self.seq += 1;
-                self.phase = Phase::WriteStore { acks: BTreeSet::new() };
+                self.phase = Phase::WriteStore {
+                    acks: BTreeSet::new(),
+                };
                 ctx.broadcast_to_servers(
                     self.n,
                     AbdMsg::Store {
@@ -92,7 +101,9 @@ impl Node<SwmrAbd> for SwmrClient {
                 );
             }
             RegInv::Read => {
-                self.phase = Phase::ReadQuery { responses: BTreeMap::new() };
+                self.phase = Phase::ReadQuery {
+                    responses: BTreeMap::new(),
+                };
                 ctx.broadcast_to_servers(self.n, AbdMsg::Query { rid: self.rid });
             }
         }
@@ -123,10 +134,17 @@ impl Node<SwmrAbd> for SwmrClient {
                         .max_by_key(|(t, _)| **t)
                         .expect("majority nonempty");
                     self.rid += 1;
-                    self.phase = Phase::ReadBack { value, acks: BTreeSet::new() };
+                    self.phase = Phase::ReadBack {
+                        value,
+                        acks: BTreeSet::new(),
+                    };
                     ctx.broadcast_to_servers(
                         self.n,
-                        AbdMsg::Store { rid: self.rid, tag, value },
+                        AbdMsg::Store {
+                            rid: self.rid,
+                            tag,
+                            value,
+                        },
                     );
                 }
             }
@@ -150,7 +168,13 @@ impl Node<SwmrAbd> for SwmrClient {
             Phase::ReadQuery { .. } => 2,
             Phase::ReadBack { .. } => 3,
         };
-        hash_of(&(self.me, self.seq, self.rid, tag, format!("{:?}", self.phase)))
+        hash_of(&(
+            self.me,
+            self.seq,
+            self.rid,
+            tag,
+            format!("{:?}", self.phase),
+        ))
     }
 }
 
@@ -159,7 +183,9 @@ impl Node<SwmrAbd> for SwmrClient {
 pub fn swmr_world(n: u32, clients: u32, spec: ValueSpec) -> shmem_sim::Sim<SwmrAbd> {
     shmem_sim::Sim::new(
         shmem_sim::SimConfig::without_gossip(),
-        (0..n).map(|_| crate::abd::AbdServer::new(0, spec)).collect(),
+        (0..n)
+            .map(|_| crate::abd::AbdServer::new(0, spec))
+            .collect(),
         (0..clients).map(|c| SwmrClient::new(n, c)).collect(),
     )
 }
@@ -222,16 +248,16 @@ mod tests {
     #[test]
     fn histories_atomic_with_concurrent_readers() {
         use shmem_spec::history::{History, OpKind};
-        use rand::{Rng, SeedableRng};
         for seed in 0..8u64 {
             let mut sim = cluster(5, 4);
             sim.invoke(ClientId(0), RegInv::Write(1)).unwrap();
             for r in 1..4 {
                 sim.invoke(ClientId(r), RegInv::Read).unwrap();
             }
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut rng = shmem_util::DetRng::seed_from_u64(seed);
             while (0..4).any(|c| sim.has_open_op(ClientId(c))) {
-                sim.step_with(|o| rng.gen_range(0..o.len())).expect("progress");
+                sim.step_with(|o| rng.gen_range(0..o.len()))
+                    .expect("progress");
             }
             let mut h = History::new(0u64);
             for op in sim.ops() {
@@ -244,10 +270,7 @@ mod tests {
                     h.complete(id, t, op.response.and_then(RegResp::read_value));
                 }
             }
-            assert!(
-                shmem_spec::check_atomic(&h).is_ok(),
-                "seed {seed}: {h:?}"
-            );
+            assert!(shmem_spec::check_atomic(&h).is_ok(), "seed {seed}: {h:?}");
         }
     }
 

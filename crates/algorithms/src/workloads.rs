@@ -9,9 +9,8 @@
 
 use crate::harness::Cluster;
 use crate::reg::{RegInv, RegResp};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use shmem_sim::{ClientId, NodeId, Protocol, RunError};
+use shmem_util::DetRng;
 
 /// Outcome of a workload run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -29,15 +28,13 @@ pub struct WorkloadReport {
 
 fn drain<P: Protocol<Inv = RegInv, Resp = RegResp>>(
     cluster: &mut Cluster<P>,
-    rng: &mut StdRng,
+    rng: &mut DetRng,
     watch: &[u32],
 ) -> Result<u64, RunError> {
     let mut steps = 0u64;
     let limit = cluster.sim.config().step_limit;
     loop {
-        let open = watch
-            .iter()
-            .any(|&c| cluster.sim.has_open_op(ClientId(c)));
+        let open = watch.iter().any(|&c| cluster.sim.has_open_op(ClientId(c)));
         if !open {
             return Ok(steps);
         }
@@ -82,7 +79,7 @@ pub fn run_bursty<P: Protocol<Inv = RegInv, Resp = RegResp>>(
     bursts: u32,
     seed: u64,
 ) -> Result<WorkloadReport, RunError> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut next = 1u64;
     let mut steps = 0;
     let watch: Vec<u32> = (0..writers).collect();
@@ -107,7 +104,7 @@ pub fn run_ramp<P: Protocol<Inv = RegInv, Resp = RegResp>>(
     max_writers: u32,
     seed: u64,
 ) -> Result<WorkloadReport, RunError> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut next = 1u64;
     let mut steps = 0;
     for round in 1..=max_writers {
@@ -140,7 +137,7 @@ pub fn run_crashy<P: Protocol<Inv = RegInv, Resp = RegResp>>(
     partial_steps: u32,
     seed: u64,
 ) -> Result<WorkloadReport, RunError> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut steps = 0;
     let survivor = rounds;
     let reader = rounds + 1;

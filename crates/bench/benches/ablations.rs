@@ -5,7 +5,6 @@
 //! * Reed–Solomon code dimension `k` (per-symbol work vs share size);
 //! * CASGC garbage-collection depth (steady-state write cost).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use shmem_algorithms::abd::{Abd, AbdClient, AbdServer};
 use shmem_algorithms::harness::CasCluster;
 use shmem_algorithms::value::ValueSpec;
@@ -13,6 +12,8 @@ use shmem_core::execution::AlphaExecution;
 use shmem_core::valency::observed_values;
 use shmem_erasure::{Gf256, ReedSolomon};
 use shmem_sim::{ClientId, Sim, SimConfig};
+use shmem_util::bench::{black_box, BenchmarkId, Criterion};
+use shmem_util::{criterion_group, criterion_main};
 
 fn abd_world() -> Sim<Abd> {
     let spec = ValueSpec::from_cardinality(8);

@@ -1,8 +1,9 @@
 //! Benchmarks for the analytic bound formulas (E1/E2 regeneration cost).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use shmem_bench::fig1::paper_figure1;
 use shmem_bounds::{catalogue, lower, SystemParams, ValueDomain};
+use shmem_util::bench::{black_box, Criterion};
+use shmem_util::{criterion_group, criterion_main};
 
 fn bench_bounds(c: &mut Criterion) {
     let p = SystemParams::new(21, 10).unwrap();

@@ -2,9 +2,10 @@
 //! Wing–Gong) and the interval-based regularity checks on generated
 //! histories.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use shmem_spec::history::{History, OpKind};
 use shmem_spec::{check_atomic, check_regular, check_weak_regular};
+use shmem_util::bench::{black_box, Criterion};
+use shmem_util::{criterion_group, criterion_main};
 
 /// A layered history: `rounds` sequential batches, each with `width`
 /// overlapping writes followed by `width` overlapping reads of the last

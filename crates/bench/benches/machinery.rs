@@ -2,7 +2,6 @@
 //! construction, valency probes, critical-pair search, and the staged
 //! Section 6 search.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use shmem_algorithms::abd::{self, Abd, AbdClient, AbdServer};
 use shmem_algorithms::value::ValueSpec;
 use shmem_core::critical::find_critical_pair;
@@ -10,6 +9,8 @@ use shmem_core::execution::AlphaExecution;
 use shmem_core::multiwrite::{staged_search, MultiWriteSetup};
 use shmem_core::valency::probe_read;
 use shmem_sim::{ClientId, Sim, SimConfig};
+use shmem_util::bench::{black_box, Criterion};
+use shmem_util::{criterion_group, criterion_main};
 
 fn abd_world(clients: u32) -> Sim<Abd> {
     let spec = ValueSpec::from_cardinality(8);
@@ -25,9 +26,7 @@ fn bench_machinery(c: &mut Criterion) {
     group.sample_size(20);
 
     group.bench_function("alpha_build_abd_n5", |b| {
-        b.iter(|| {
-            black_box(AlphaExecution::build(abd_world(2), ClientId(0), 2, 1, 2).unwrap())
-        })
+        b.iter(|| black_box(AlphaExecution::build(abd_world(2), ClientId(0), 2, 1, 2).unwrap()))
     });
 
     let alpha = AlphaExecution::build(abd_world(2), ClientId(0), 2, 1, 2).unwrap();

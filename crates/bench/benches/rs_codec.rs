@@ -2,8 +2,9 @@
 //! encode/decode at the paper's `[21, 11]` geometry, plus field and matrix
 //! primitives.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use shmem_erasure::{Field, Gf256, Matrix, ReedSolomon};
+use shmem_util::bench::{black_box, Criterion, Throughput};
+use shmem_util::{criterion_group, criterion_main};
 
 fn bench_rs(c: &mut Criterion) {
     let code = ReedSolomon::<Gf256>::new(21, 11).unwrap();
@@ -17,7 +18,12 @@ fn bench_rs(c: &mut Criterion) {
         b.iter(|| black_box(code.encode_bytes(black_box(&payload))))
     });
     group.bench_function("decode_1KiB_n21_k11", |b| {
-        b.iter(|| black_box(code.decode_bytes(black_box(&picked), payload.len()).unwrap()))
+        b.iter(|| {
+            black_box(
+                code.decode_bytes(black_box(&picked), payload.len())
+                    .unwrap(),
+            )
+        })
     });
     group.finish();
 

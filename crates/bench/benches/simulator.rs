@@ -2,10 +2,11 @@
 //! operation latency in simulator steps and wall-clock step throughput at
 //! the paper's `N = 21`, `f = 10` geometry.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use shmem_algorithms::harness::{AbdCluster, CasCluster};
 use shmem_algorithms::reg::RegInv;
 use shmem_algorithms::value::ValueSpec;
+use shmem_util::bench::{black_box, Criterion};
+use shmem_util::{criterion_group, criterion_main};
 
 fn bench_sim(c: &mut Criterion) {
     let spec = ValueSpec::from_bits(64.0);

@@ -219,11 +219,10 @@ fn cmd_alpha(flags: BTreeMap<String, String>) {
     println!(
         "building alpha^(v1={v1}, v2={v2}) against ABD, {p}, probing with          {seeds} random schedules per point...\n"
     );
-    let alpha = AlphaExecution::build(sim, ClientId(0), p.f(), v1, v2)
-        .unwrap_or_else(|e| {
-            eprintln!("alpha failed: {e} (is f within the algorithm's tolerance?)");
-            exit(1);
-        });
+    let alpha = AlphaExecution::build(sim, ClientId(0), p.f(), v1, v2).unwrap_or_else(|e| {
+        eprintln!("alpha failed: {e} (is f within the algorithm's tolerance?)");
+        exit(1);
+    });
     let profile = valency_profile(&alpha, ClientId(1), false, seeds);
     print!("valency profile over {} points: ", alpha.len());
     for vals in &profile {

@@ -46,6 +46,7 @@ fn main() {
             "tab-phases",
             "tab-workloads",
             "tab-traffic",
+            "tab-probe-cache",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -76,6 +77,7 @@ fn main() {
             "tab-phases" => measured::phases_table(),
             "tab-workloads" => measured::workloads_table(7),
             "tab-traffic" => measured::traffic_table(),
+            "tab-probe-cache" => measured::probe_cache_table(5, 2, 4, 2),
             other => {
                 eprintln!("unknown table id: {other}");
                 std::process::exit(2);

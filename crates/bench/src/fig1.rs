@@ -50,9 +50,7 @@ pub fn paper_figure1() -> Vec<Fig1Row> {
 /// Renders a Figure 1 series as a table.
 pub fn as_table(p: SystemParams, rows: &[Fig1Row]) -> Table {
     let mut t = Table::new(
-        format!(
-            "Figure 1: normalized total-storage cost, {p} (|V| -> inf)"
-        ),
+        format!("Figure 1: normalized total-storage cost, {p} (|V| -> inf)"),
         &[
             "nu",
             "Theorem B.1",

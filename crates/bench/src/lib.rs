@@ -14,6 +14,7 @@
 //! | [`measured::measured_table`] | measured ABD/CAS/CASGC vs bounds | E5, E6 |
 //! | [`measured::constraint_table`] | Thm B.1/4.1 counting verification | E7 |
 //! | [`measured::multiwrite_table`] | §6 staged construction | E8 |
+//! | [`measured::probe_cache_table`] | probe-engine cost on E7/E8 verifiers | — |
 //! | [`tables::section7_table`] | §7 trichotomy | E9 |
 
 pub mod fig1;

@@ -102,7 +102,9 @@ fn cas_world(n: u32, f: u32, card: u64) -> Sim<Cas> {
     let cfg = CasConfig::native(n, f, ValueSpec::from_cardinality(card));
     Sim::new(
         SimConfig::without_gossip(),
-        (0..n).map(|i| CasServer::new(cfg, ServerId(i), 0)).collect(),
+        (0..n)
+            .map(|i| CasServer::new(cfg, ServerId(i), 0))
+            .collect(),
         (0..2).map(|c| CasClient::new(cfg, c)).collect(),
     )
 }
@@ -186,6 +188,95 @@ pub fn constraint_table(n: u32, f: u32, card: u64, seeds: u64) -> Table {
     t
 }
 
+/// Probe-engine instrumentation: probes issued, verdict-cache hits, and
+/// wall-clock for the counting verifiers, per worker count. The verdicts
+/// themselves are bit-identical across the worker grid (asserted by
+/// `crates/core/tests/engine_parity.rs`); this table reports the cost side.
+pub fn probe_cache_table(n: u32, f: u32, card: u64, seeds: u64) -> Table {
+    use shmem_core::counting::pairwise_counting_with;
+    use shmem_core::multiwrite::vector_counting_with;
+    use shmem_core::probe::ProbeEngine;
+    use std::time::Instant;
+
+    let mut t = Table::new(
+        format!("Probe engine on the counting verifiers, N={n}, f={f}, |V|={card}"),
+        &[
+            "verifier",
+            "workers",
+            "probes",
+            "cache hits",
+            "hit rate",
+            "injective",
+            "wall-clock",
+        ],
+    );
+    let domain: Vec<u64> = (1..card).collect();
+    let cas_f = cas_f_for(n, f);
+
+    let mut row = |name: &str, workers: usize, run: &dyn Fn(&ProbeEngine) -> bool| {
+        let engine = ProbeEngine::with_workers(workers);
+        let start = Instant::now();
+        let injective = run(&engine);
+        let elapsed = start.elapsed();
+        let stats = engine.stats();
+        t.push(vec![
+            name.into(),
+            workers.to_string(),
+            stats.probes.to_string(),
+            stats.hits.to_string(),
+            format!("{:.2}", stats.hit_rate()),
+            injective.to_string(),
+            format!("{:.1} ms", elapsed.as_secs_f64() * 1e3),
+        ]);
+    };
+
+    for workers in [1, 4] {
+        row("Thm 4.1 pairwise (ABD)", workers, &|engine| {
+            pairwise_counting_with(
+                engine,
+                || abd_world(n, card),
+                ClientId(0),
+                ClientId(1),
+                f,
+                &domain,
+                false,
+                seeds,
+            )
+            .injective
+        });
+        row("Thm 4.1 pairwise (CAS)", workers, &|engine| {
+            pairwise_counting_with(
+                engine,
+                || cas_world(n, cas_f, card),
+                ClientId(0),
+                ClientId(1),
+                cas_f,
+                &domain,
+                false,
+                seeds,
+            )
+            .injective
+        });
+        row("Lemma 6.10 vectors (ABD)", workers, &|engine| {
+            let setup = MultiWriteSetup::<Abd> {
+                nu: 2,
+                f: 2,
+                is_value_dependent: abd::is_value_dependent_upstream,
+            };
+            let make = || {
+                let spec = ValueSpec::from_cardinality(card);
+                Sim::<Abd>::new(
+                    SimConfig::without_gossip(),
+                    (0..n).map(|_| AbdServer::new(0, spec)).collect(),
+                    (0..3).map(|c| AbdClient::new(n, c)).collect(),
+                )
+            };
+            vector_counting_with(engine, make, &setup, &domain, seeds).injective
+        });
+    }
+    t
+}
+
 /// E8: the Section 6 staged-construction table — Lemma 6.10 profiles and
 /// the Section 6.4.4 injectivity over value-vectors, for ν = 2 writers.
 pub fn multiwrite_table(card: u64, seeds: u64) -> Table {
@@ -227,7 +318,9 @@ pub fn multiwrite_table(card: u64, seeds: u64) -> Table {
         let cfg = CasConfig::native(5, 1, ValueSpec::from_cardinality(card));
         Sim::<Cas>::new(
             SimConfig::without_gossip(),
-            (0..5).map(|i| CasServer::new(cfg, ServerId(i), 0)).collect(),
+            (0..5)
+                .map(|i| CasServer::new(cfg, ServerId(i), 0))
+                .collect(),
             (0..3).map(|c| CasClient::new(cfg, c)).collect(),
         )
     };
@@ -254,8 +347,7 @@ mod tests {
         // Every row's "lower bounds ok" column is true.
         assert!(t.rows.iter().all(|r| r[7] == "true"), "{t:?}");
         // ABD's measured total is flat: same at nu=1 and nu=3.
-        let abd_rows: Vec<&Vec<String>> =
-            t.rows.iter().filter(|r| r[1] == "ABD").collect();
+        let abd_rows: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[1] == "ABD").collect();
         assert_eq!(abd_rows[0][2], abd_rows[1][2]);
         // CAS's measured total grows with nu.
         let cas_rows: Vec<f64> = t
@@ -281,6 +373,29 @@ mod tests {
         assert_eq!(t.rows.len(), 2);
         assert!(t.rows.iter().all(|r| r[4] == "true"), "{t:?}");
         assert!(t.rows.iter().all(|r| r[5] == "0"), "{t:?}");
+    }
+
+    #[test]
+    fn probe_cache_table_reports_probes_and_identical_verdicts() {
+        let t = probe_cache_table(5, 2, 4, 2);
+        // 3 verifiers x 2 worker counts.
+        assert_eq!(t.rows.len(), 6);
+        // Every run issues probes and stays injective.
+        assert!(
+            t.rows.iter().all(|r| r[2].parse::<u64>().unwrap() > 0),
+            "{t:?}"
+        );
+        assert!(t.rows.iter().all(|r| r[5] == "true"), "{t:?}");
+        // Probe counts are deterministic: the 1-worker and 4-worker runs
+        // of the same verifier issue exactly the same probes. Hit counts
+        // can only shrink under parallelism (two workers racing on the
+        // same fresh key may both miss before either inserts).
+        for v in 0..3 {
+            assert_eq!(t.rows[v][2], t.rows[v + 3][2], "{t:?}");
+            let seq_hits: u64 = t.rows[v][3].parse().unwrap();
+            let par_hits: u64 = t.rows[v + 3][3].parse().unwrap();
+            assert!(par_hits <= seq_hits, "{t:?}");
+        }
     }
 }
 
@@ -364,8 +479,7 @@ pub fn phases_table() -> Table {
     let swmr_sim: Sim<SwmrAbd> = swmr_world(5, 1, spec);
     push(
         "ABD (SWMR)",
-        write_phase_profile(swmr_sim, ClientId(0), 7, abd::is_value_dependent_upstream)
-            .unwrap(),
+        write_phase_profile(swmr_sim, ClientId(0), 7, abd::is_value_dependent_upstream).unwrap(),
     );
 
     let gossip_sim: Sim<AbdGossip> = Sim::new(
@@ -375,14 +489,15 @@ pub fn phases_table() -> Table {
     );
     push(
         "ABD (gossip)",
-        write_phase_profile(gossip_sim, ClientId(0), 7, abd::is_value_dependent_upstream)
-            .unwrap(),
+        write_phase_profile(gossip_sim, ClientId(0), 7, abd::is_value_dependent_upstream).unwrap(),
     );
 
     let cfg = CasConfig::native(5, 1, spec);
     let cas_sim: Sim<Cas> = Sim::new(
         SimConfig::without_gossip(),
-        (0..5).map(|i| CasServer::new(cfg, ServerId(i), 0)).collect(),
+        (0..5)
+            .map(|i| CasServer::new(cfg, ServerId(i), 0))
+            .collect(),
         vec![CasClient::new(cfg, 0)],
     );
     push(
@@ -399,8 +514,13 @@ pub fn phases_table() -> Table {
     );
     push(
         "Hashed CAS [2,15]",
-        write_phase_profile(hashed_sim, ClientId(0), 7, hashed::is_value_dependent_upstream)
-            .unwrap(),
+        write_phase_profile(
+            hashed_sim,
+            ClientId(0),
+            7,
+            hashed::is_value_dependent_upstream,
+        )
+        .unwrap(),
     );
     t
 }
@@ -483,7 +603,14 @@ pub fn traffic_table() -> Table {
 
     let mut t = Table::new(
         "Communication cost per operation (N=5): delivered messages",
-        &["algorithm", "op", "client->server", "server->client", "gossip", "total"],
+        &[
+            "algorithm",
+            "op",
+            "client->server",
+            "server->client",
+            "gossip",
+            "total",
+        ],
     );
     let spec = ValueSpec::from_bits(64.0);
 
@@ -494,7 +621,8 @@ pub fn traffic_table() -> Table {
     {
         let before = sim.traffic();
         sim.invoke(ClientId(client), inv).expect("invoke");
-        sim.run_until_op_completes(ClientId(client)).expect("completes");
+        sim.run_until_op_completes(ClientId(client))
+            .expect("completes");
         sim.run_to_quiescence().expect("drains");
         let after = sim.traffic();
         TrafficCounters {
@@ -543,14 +671,18 @@ pub fn traffic_table() -> Table {
     let cfg = CasConfig::native(5, 1, spec);
     let mut cas: Sim<Cas> = Sim::new(
         SimConfig::without_gossip(),
-        (0..5).map(|i| CasServer::new(cfg, ServerId(i), 0)).collect(),
+        (0..5)
+            .map(|i| CasServer::new(cfg, ServerId(i), 0))
+            .collect(),
         (0..2).map(|c| CasClient::new(cfg, c)).collect(),
     );
     rows(&mut t, "CAS", &mut cas);
 
     let mut hashed: Sim<HashedCas> = Sim::new(
         SimConfig::without_gossip(),
-        (0..5).map(|i| HashedServer::new(cfg, ServerId(i), 0)).collect(),
+        (0..5)
+            .map(|i| HashedServer::new(cfg, ServerId(i), 0))
+            .collect(),
         (0..2).map(|c| HashedClient::new(cfg, c)).collect(),
     );
     rows(&mut t, "Hashed CAS", &mut hashed);

@@ -1,7 +1,7 @@
 //! Plain-text and CSV rendering for the generated tables.
 
 /// A generic table: header + string rows.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Table {
     /// Table title (also the CSV file stem).
     pub title: String,
@@ -95,7 +95,25 @@ pub fn render_csv(table: &Table) -> String {
 ///
 /// Never panics: the table is plain strings.
 pub fn render_json(table: &Table) -> String {
-    serde_json::to_string_pretty(table).expect("tables are plain data")
+    use shmem_util::json::Json;
+    Json::Obj(vec![
+        ("title".into(), Json::str(&table.title)),
+        (
+            "header".into(),
+            Json::str_array(table.header.iter().cloned()),
+        ),
+        (
+            "rows".into(),
+            Json::Arr(
+                table
+                    .rows
+                    .iter()
+                    .map(|row| Json::str_array(row.iter().cloned()))
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_pretty()
 }
 
 #[cfg(test)]
@@ -134,11 +152,14 @@ mod tests {
     }
 
     #[test]
-    fn json_round_trips() {
-        let t = sample();
-        let json = render_json(&t);
+    fn json_has_title_header_and_escaped_rows() {
+        let json = render_json(&sample());
         assert!(json.contains("\"title\": \"demo\""));
-        let back: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(back["rows"][0][1], "x,y");
+        assert!(json.contains("\"header\": [\n    \"a\",\n    \"bb\"\n  ]"));
+        assert!(json.contains("\"x,y\""));
+        assert!(
+            json.contains("\"z\\\"q\""),
+            "quotes must be escaped: {json}"
+        );
     }
 }

@@ -8,7 +8,7 @@ use std::fmt;
 
 /// Whether a catalogue entry is a lower bound (impossibility) or an upper
 /// bound (achievable cost).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BoundKind {
     /// Impossibility result: no algorithm in the stated class does better.
     Lower,
@@ -18,7 +18,7 @@ pub enum BoundKind {
 
 /// Every bound series that appears in the paper's Figure 1 plus the
 /// auxiliary ones (Theorem 4.1, CAS with its native code dimension).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Bound {
     /// Theorem B.1 / Corollary B.2: `N/(N−f)`.
     SingletonB1,
@@ -124,7 +124,7 @@ impl fmt::Display for Bound {
 }
 
 /// One evaluated point of a bound series: `(bound, nu, value)`.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BoundValue {
     /// Which bound.
     pub bound: Bound,

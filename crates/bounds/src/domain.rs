@@ -24,7 +24,7 @@ use std::fmt;
 /// assert_eq!(huge.log2_card_minus_one(), 1024.0);
 /// # Ok::<(), shmem_bounds::domain::DomainError>(())
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ValueDomain {
     log2_card: f64,
     /// Exact cardinality when it fits in a `u128`.
@@ -58,7 +58,11 @@ impl ValueDomain {
         assert!(bits > 0, "value domain needs at least 1 bit");
         ValueDomain {
             log2_card: bits as f64,
-            exact_card: if bits < 128 { Some(1u128 << bits) } else { None },
+            exact_card: if bits < 128 {
+                Some(1u128 << bits)
+            } else {
+                None
+            },
         }
     }
 

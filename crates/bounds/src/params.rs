@@ -16,7 +16,7 @@ use std::fmt;
 /// assert_eq!(p.quorum(), 11); // N - f
 /// # Ok::<(), shmem_bounds::ParamError>(())
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct SystemParams {
     n: u32,
     f: u32,

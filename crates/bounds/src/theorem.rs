@@ -15,7 +15,7 @@ use crate::params::SystemParams;
 use std::fmt;
 
 /// Which theorem a constraint instantiates.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum TheoremId {
     /// Theorem B.1 — Singleton-style baseline.
     SingletonB1,
@@ -57,7 +57,7 @@ impl fmt::Display for TheoremId {
 /// assert!(c.holds()); // 3 servers * 10 bits = 30 >= log2 16 = 4
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CardinalityConstraint {
     theorem: TheoremId,
     lhs_bits: f64,

@@ -2,8 +2,8 @@
 //! subset" shortcut (take the `N−f` smallest state spaces) must agree with
 //! exhaustive subset enumeration.
 
-use proptest::prelude::*;
 use shmem_bounds::{CardinalityConstraint, SystemParams, ValueDomain};
+use shmem_util::prop::prelude::*;
 
 /// All size-k subsets of 0..n (n small).
 fn subsets(n: usize, k: usize) -> Vec<Vec<usize>> {

@@ -131,7 +131,9 @@ mod tests {
         let cfg = CasConfig::native(5, 1, ValueSpec::from_bits(64.0));
         let sim: Sim<Cas> = Sim::new(
             SimConfig::without_gossip(),
-            (0..5).map(|i| CasServer::new(cfg, ServerId(i), 0)).collect(),
+            (0..5)
+                .map(|i| CasServer::new(cfg, ServerId(i), 0))
+                .collect(),
             vec![CasClient::new(cfg, 0)],
         );
         let profile =
@@ -152,8 +154,7 @@ mod tests {
             vec![HashedClient::new(cfg, 0)],
         );
         let profile =
-            write_phase_profile(sim, ClientId(0), 7, hashed::is_value_dependent_upstream)
-                .unwrap();
+            write_phase_profile(sim, ClientId(0), 7, hashed::is_value_dependent_upstream).unwrap();
         // query, hash-announce, prewrite, finalize.
         assert_eq!(profile.phases(), 4, "{profile:?}");
         assert_eq!(profile.value_dependent_phases(), 2);
@@ -166,16 +167,36 @@ mod tests {
         // independent-then-dependent-then-dependent is not.
         let ok = PhaseProfile {
             bursts: vec![
-                Burst { step: 1, sends: 3, value_dependent: 0 },
-                Burst { step: 5, sends: 3, value_dependent: 3 },
-                Burst { step: 9, sends: 3, value_dependent: 0 },
+                Burst {
+                    step: 1,
+                    sends: 3,
+                    value_dependent: 0,
+                },
+                Burst {
+                    step: 5,
+                    sends: 3,
+                    value_dependent: 3,
+                },
+                Burst {
+                    step: 9,
+                    sends: 3,
+                    value_dependent: 0,
+                },
             ],
         };
         assert!(ok.satisfies_assumption_3b());
         let bad = PhaseProfile {
             bursts: vec![
-                Burst { step: 1, sends: 3, value_dependent: 2 },
-                Burst { step: 5, sends: 3, value_dependent: 1 },
+                Burst {
+                    step: 1,
+                    sends: 3,
+                    value_dependent: 2,
+                },
+                Burst {
+                    step: 5,
+                    sends: 3,
+                    value_dependent: 1,
+                },
             ],
         };
         assert!(!bad.satisfies_assumption_3b());

@@ -161,14 +161,12 @@ impl StorageAudit {
             max_rows.push(MaxRow {
                 name: "Cor B.2 (max)",
                 bound_value: lower::singleton_max(self.params).to_f64(),
-                consistent: measured_max
-                    >= lower::singleton_max(self.params).to_f64() - 1e-9,
+                consistent: measured_max >= lower::singleton_max(self.params).to_f64() - 1e-9,
             });
             max_rows.push(MaxRow {
                 name: "Cor 5.2 (max)",
                 bound_value: lower::universal_max(self.params).to_f64(),
-                consistent: measured_max
-                    >= lower::universal_max(self.params).to_f64() - 1e-9,
+                consistent: measured_max >= lower::universal_max(self.params).to_f64() - 1e-9,
             });
         }
         if self.single_value_phase {

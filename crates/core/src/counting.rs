@@ -15,15 +15,16 @@
 //! correct algorithms) and *measures* the per-server state-space footprint
 //! the theorems bound.
 
-use crate::critical::{find_critical_pair, CriticalError};
+use crate::critical::{find_critical_pair_with, CriticalError, CriticalPair};
 use crate::execution::AlphaExecution;
+use crate::probe::ProbeEngine;
 use shmem_algorithms::reg::{RegInv, RegResp};
 use shmem_algorithms::value::Value;
 use shmem_sim::{ClientId, Protocol, Sim};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Result of the Appendix B (Theorem B.1) enumeration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SingletonReport {
     /// The enumerated domain.
     pub domain: Vec<Value>,
@@ -73,14 +74,30 @@ pub fn singleton_counting<P, F>(
 ) -> SingletonReport
 where
     P: Protocol<Inv = RegInv, Resp = RegResp>,
-    F: Fn() -> Sim<P>,
+    F: Fn() -> Sim<P> + Sync,
+{
+    singleton_counting_with(&ProbeEngine::sequential(), make_sim, writer, f, domain)
+}
+
+/// [`singleton_counting`] through a [`ProbeEngine`]: the per-value solo
+/// executions are independent, so they fan out over the engine's workers;
+/// the injectivity fold then walks the collected state vectors in domain
+/// order, making the report identical to the sequential one for any worker
+/// count.
+pub fn singleton_counting_with<P, F>(
+    engine: &ProbeEngine,
+    make_sim: F,
+    writer: ClientId,
+    f: u32,
+    domain: &[Value],
+) -> SingletonReport
+where
+    P: Protocol<Inv = RegInv, Resp = RegResp>,
+    F: Fn() -> Sim<P> + Sync,
 {
     assert!(domain.len() >= 2, "need at least two values to count");
-    let mut vectors: BTreeMap<Vec<u64>, Value> = BTreeMap::new();
-    let mut collisions = Vec::new();
-    let mut per_position: Vec<BTreeSet<u64>> = Vec::new();
-
-    for &v in domain {
+    let states: Vec<Vec<u64>> = engine.map(domain.len(), |i| {
+        let v = domain[i];
         let mut sim = make_sim();
         sim.fail_last_servers(f);
         sim.invoke(writer, RegInv::Write(v))
@@ -91,23 +108,27 @@ where
         // their messages" (Appendix B).
         sim.run_to_quiescence().expect("delivery terminates");
 
-        let surviving: Vec<u64> = {
-            let all = sim.server_digests();
-            (0..sim.server_count())
-                .filter(|&s| !sim.is_failed(shmem_sim::NodeId::server(s as u32)))
-                .map(|s| all[s])
-                .collect()
-        };
+        let all = sim.server_digests();
+        (0..sim.server_count())
+            .filter(|&s| !sim.is_failed(shmem_sim::NodeId::server(s as u32)))
+            .map(|s| all[s])
+            .collect()
+    });
+
+    let mut vectors: BTreeMap<Vec<u64>, Value> = BTreeMap::new();
+    let mut collisions = Vec::new();
+    let mut per_position: Vec<BTreeSet<u64>> = Vec::new();
+    for (&v, surviving) in domain.iter().zip(&states) {
         if per_position.is_empty() {
             per_position = vec![BTreeSet::new(); surviving.len()];
         }
-        for (slot, &d) in per_position.iter_mut().zip(&surviving) {
+        for (slot, &d) in per_position.iter_mut().zip(surviving) {
             slot.insert(d);
         }
-        if let Some(&prev) = vectors.get(&surviving) {
+        if let Some(&prev) = vectors.get(surviving) {
             collisions.push((prev, v));
         } else {
-            vectors.insert(surviving, v);
+            vectors.insert(surviving.clone(), v);
         }
     }
 
@@ -120,7 +141,7 @@ where
 }
 
 /// Result of the Theorem 4.1 / 5.1 pairwise enumeration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CountingReport {
     /// Number of ordered pairs enumerated: `|V|·(|V|−1)`.
     pub pairs: usize,
@@ -181,42 +202,89 @@ pub fn pairwise_counting<P, F>(
 ) -> CountingReport
 where
     P: Protocol<Inv = RegInv, Resp = RegResp>,
-    F: Fn() -> Sim<P>,
+    F: Fn() -> Sim<P> + Sync,
+    Sim<P>: Send + Sync,
+{
+    pairwise_counting_with(
+        &ProbeEngine::sequential(),
+        make_sim,
+        writer,
+        reader,
+        f,
+        domain,
+        flush_gossip,
+        seeds,
+    )
+}
+
+/// [`pairwise_counting`] through a [`ProbeEngine`]: the `|V|·(|V|−1)`
+/// ordered pairs fan out over the engine's workers — each worker builds
+/// its pair's `α^{(v1,v2)}` and runs the critical-pair search inline
+/// through a cache-sharing sequential view — and the injectivity fold then
+/// walks the results in pair-enumeration order. The report is identical
+/// to the sequential one for any worker count (asserted by the
+/// `engine_parity` integration tests); this fan-out is where the small-|V|
+/// counting verifiers get their multi-core speedup.
+#[allow(clippy::too_many_arguments)]
+pub fn pairwise_counting_with<P, F>(
+    engine: &ProbeEngine,
+    make_sim: F,
+    writer: ClientId,
+    reader: ClientId,
+    f: u32,
+    domain: &[Value],
+    flush_gossip: bool,
+    seeds: u64,
+) -> CountingReport
+where
+    P: Protocol<Inv = RegInv, Resp = RegResp>,
+    F: Fn() -> Sim<P> + Sync,
+    Sim<P>: Send + Sync,
 {
     assert!(domain.len() >= 2, "need at least two values to count");
+    let ordered: Vec<(Value, Value)> = domain
+        .iter()
+        .flat_map(|&v1| domain.iter().map(move |&v2| (v1, v2)))
+        .filter(|&(v1, v2)| v1 != v2)
+        .collect();
+    let results: Vec<Result<CriticalPair, CriticalError>> = engine.map(ordered.len(), |i| {
+        let (v1, v2) = ordered[i];
+        let alpha = AlphaExecution::build(make_sim(), writer, f, v1, v2)
+            .expect("alpha execution must complete under <= f failures");
+        find_critical_pair_with(
+            &engine.sequential_view(),
+            &alpha,
+            reader,
+            flush_gossip,
+            seeds,
+        )
+    });
+
     let mut vectors: BTreeMap<(Vec<u64>, usize, u64), (Value, Value)> = BTreeMap::new();
     let mut collisions = Vec::new();
     let mut failures = Vec::new();
     let mut per_position: Vec<BTreeSet<u64>> = Vec::new();
     let mut change_records: BTreeSet<(usize, u64)> = BTreeSet::new();
-    let mut pairs = 0usize;
+    let pairs = ordered.len();
 
-    for &v1 in domain {
-        for &v2 in domain {
-            if v1 == v2 {
-                continue;
-            }
-            pairs += 1;
-            let alpha = AlphaExecution::build(make_sim(), writer, f, v1, v2)
-                .expect("alpha execution must complete under <= f failures");
-            match find_critical_pair(&alpha, reader, flush_gossip, seeds) {
-                Ok(pair) => {
-                    if per_position.is_empty() {
-                        per_position = vec![BTreeSet::new(); pair.states_q1.len()];
-                    }
-                    for (slot, &d) in per_position.iter_mut().zip(&pair.states_q1) {
-                        slot.insert(d);
-                    }
-                    change_records.insert((pair.changed_server.unwrap_or(0), pair.state_q2));
-                    let key = pair.state_vector();
-                    if let Some(&prev) = vectors.get(&key) {
-                        collisions.push((prev, (v1, v2)));
-                    } else {
-                        vectors.insert(key, (v1, v2));
-                    }
+    for (&(v1, v2), result) in ordered.iter().zip(results) {
+        match result {
+            Ok(pair) => {
+                if per_position.is_empty() {
+                    per_position = vec![BTreeSet::new(); pair.states_q1.len()];
                 }
-                Err(e) => failures.push(((v1, v2), e)),
+                for (slot, &d) in per_position.iter_mut().zip(&pair.states_q1) {
+                    slot.insert(d);
+                }
+                change_records.insert((pair.changed_server.unwrap_or(0), pair.state_q2));
+                let key = pair.state_vector();
+                if let Some(&prev) = vectors.get(&key) {
+                    collisions.push((prev, (v1, v2)));
+                } else {
+                    vectors.insert(key, (v1, v2));
+                }
             }
+            Err(e) => failures.push(((v1, v2), e)),
         }
     }
 
@@ -252,7 +320,9 @@ mod tests {
         let cfg = CasConfig::native(5, 1, ValueSpec::from_cardinality(8));
         Sim::new(
             SimConfig::without_gossip(),
-            (0..5).map(|i| CasServer::new(cfg, ServerId(i), 0)).collect(),
+            (0..5)
+                .map(|i| CasServer::new(cfg, ServerId(i), 0))
+                .collect(),
             (0..2).map(|c| CasClient::new(cfg, c)).collect(),
         )
     }
@@ -314,8 +384,7 @@ mod tests {
     #[test]
     fn abd_pairwise_map_is_injective() {
         let domain = [1, 2, 3];
-        let report =
-            pairwise_counting(abd_world, ClientId(0), ClientId(1), 2, &domain, false, 2);
+        let report = pairwise_counting(abd_world, ClientId(0), ClientId(1), 2, &domain, false, 2);
         assert_eq!(report.pairs, 6);
         assert!(
             report.injective,
@@ -328,8 +397,7 @@ mod tests {
     #[test]
     fn cas_pairwise_map_is_injective() {
         let domain = [1, 2, 3];
-        let report =
-            pairwise_counting(cas_world, ClientId(0), ClientId(1), 1, &domain, false, 2);
+        let report = pairwise_counting(cas_world, ClientId(0), ClientId(1), 1, &domain, false, 2);
         assert_eq!(report.pairs, 6);
         assert!(
             report.injective,

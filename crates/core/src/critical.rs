@@ -9,9 +9,10 @@
 //! `Q₂`.
 
 use crate::execution::AlphaExecution;
-use crate::valency::{observed_values, probe_read};
+use crate::probe::ProbeEngine;
+use crate::valency::observed_values_at;
 use shmem_algorithms::reg::{RegInv, RegResp};
-use shmem_sim::{ClientId, Protocol};
+use shmem_sim::{ClientId, Protocol, Sim};
 use std::collections::BTreeSet;
 
 /// A located critical pair with the data the counting argument needs.
@@ -88,40 +89,80 @@ impl std::error::Error for CriticalError {}
 ///
 /// [`CriticalError`] if the execution has no transition — which means the
 /// probed algorithm is not regular.
-pub fn find_critical_pair<P: Protocol<Inv = RegInv, Resp = RegResp>>(
+pub fn find_critical_pair<P>(
     alpha: &AlphaExecution<P>,
     reader: ClientId,
     flush_gossip: bool,
     seeds: u64,
-) -> Result<CriticalPair, CriticalError> {
-    let one_valent = |i: usize| -> bool {
-        if seeds == 0 {
-            probe_read(alpha.point(i), alpha.writer, reader, flush_gossip)
-                .value()
-                .is_some_and(|v| v == alpha.v1)
-        } else {
-            observed_values(alpha.point(i), alpha.writer, reader, flush_gossip, seeds)
-                .contains(&alpha.v1)
-        }
+) -> Result<CriticalPair, CriticalError>
+where
+    P: Protocol<Inv = RegInv, Resp = RegResp>,
+    Sim<P>: Send + Sync,
+{
+    find_critical_pair_with(
+        &ProbeEngine::sequential(),
+        alpha,
+        reader,
+        flush_gossip,
+        seeds,
+    )
+}
+
+/// [`find_critical_pair`] through a [`ProbeEngine`]: the reverse scan for
+/// the largest 1-valent point proceeds in chunks whose valency probes fan
+/// out over the engine's workers, and every probe verdict is memoized.
+///
+/// The verdict is *bit-identical* to the sequential scan for any worker
+/// count: a chunk may probe a few more points than the early-exiting
+/// sequential loop, but the chosen index — the largest 1-valent one — and
+/// everything derived from it are the same (asserted by the
+/// `engine_parity` integration tests).
+pub fn find_critical_pair_with<P>(
+    engine: &ProbeEngine,
+    alpha: &AlphaExecution<P>,
+    reader: ClientId,
+    flush_gossip: bool,
+    seeds: u64,
+) -> Result<CriticalPair, CriticalError>
+where
+    P: Protocol<Inv = RegInv, Resp = RegResp>,
+    Sim<P>: Send + Sync,
+{
+    // Chunk jobs run one point's whole schedule sample inline on their
+    // worker (through a cache-sharing sequential view), so fan-out happens
+    // across points, never nested within one.
+    let seq = engine.sequential_view();
+    let observed = |i: usize| {
+        observed_values_at(
+            &seq,
+            alpha.snapshot(i),
+            alpha.writer,
+            reader,
+            flush_gossip,
+            seeds,
+        )
     };
+    let one_valent = |i: usize| observed(i).contains(&alpha.v1);
 
     if !one_valent(0) {
-        let observed: Vec<u64> =
-            observed_values(alpha.point(0), alpha.writer, reader, flush_gossip, seeds)
-                .into_iter()
-                .collect();
-        return Err(CriticalError::P0NotOneValent { observed });
+        return Err(CriticalError::P0NotOneValent {
+            observed: observed(0).into_iter().collect(),
+        });
     }
 
-    // Largest 1-valent index. Scan from the end; P_M must not be 1-valent
-    // for a regular algorithm.
+    // Largest 1-valent index. Scan from the end — P_M must not be 1-valent
+    // for a regular algorithm — in chunks of points whose probes run
+    // concurrently; within a chunk the verdicts are merged in point order,
+    // so the chosen index is schedule-independent.
     let m = alpha.len() - 1;
+    let chunk = (engine.workers() * 2).max(1);
     let mut i = None;
-    for idx in (0..=m).rev() {
-        if one_valent(idx) {
-            i = Some(idx);
-            break;
-        }
+    let mut hi = m + 1;
+    while hi > 0 && i.is_none() {
+        let lo = hi.saturating_sub(chunk);
+        let flags = engine.map(hi - lo, |off| one_valent(lo + off));
+        i = flags.iter().rposition(|&b| b).map(|off| lo + off);
+        hi = lo;
     }
     let i = i.expect("P0 is 1-valent, so a largest 1-valent index exists");
     if i == m {
@@ -161,21 +202,58 @@ pub fn find_critical_pair<P: Protocol<Inv = RegInv, Resp = RegResp>>(
 
 /// Convenience: the set of values observable at each point of `alpha` —
 /// useful for visualizing the 1-valent → 2-valent transition.
-pub fn valency_profile<P: Protocol<Inv = RegInv, Resp = RegResp>>(
+pub fn valency_profile<P>(
     alpha: &AlphaExecution<P>,
     reader: ClientId,
     flush_gossip: bool,
     seeds: u64,
-) -> Vec<BTreeSet<u64>> {
-    (0..alpha.len())
-        .map(|i| observed_values(alpha.point(i), alpha.writer, reader, flush_gossip, seeds))
-        .collect()
+) -> Vec<BTreeSet<u64>>
+where
+    P: Protocol<Inv = RegInv, Resp = RegResp>,
+    Sim<P>: Send + Sync,
+{
+    valency_profile_with(
+        &ProbeEngine::sequential(),
+        alpha,
+        reader,
+        flush_gossip,
+        seeds,
+    )
+}
+
+/// [`valency_profile`] through a [`ProbeEngine`]: points fan out over the
+/// engine's workers; each point's schedules are sampled inline on its
+/// worker with memoized verdicts. A profile computed after a critical-pair
+/// search on the same engine is answered almost entirely from the cache.
+pub fn valency_profile_with<P>(
+    engine: &ProbeEngine,
+    alpha: &AlphaExecution<P>,
+    reader: ClientId,
+    flush_gossip: bool,
+    seeds: u64,
+) -> Vec<BTreeSet<u64>>
+where
+    P: Protocol<Inv = RegInv, Resp = RegResp>,
+    Sim<P>: Send + Sync,
+{
+    let seq = engine.sequential_view();
+    engine.map(alpha.len(), |i| {
+        observed_values_at(
+            &seq,
+            alpha.snapshot(i),
+            alpha.writer,
+            reader,
+            flush_gossip,
+            seeds,
+        )
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::execution::AlphaExecution;
+    use crate::valency::probe_read;
     use shmem_algorithms::abd::{Abd, AbdClient, AbdServer};
     use shmem_algorithms::cas::{Cas, CasClient, CasConfig, CasServer};
     use shmem_algorithms::value::ValueSpec;
@@ -195,7 +273,9 @@ mod tests {
         let cfg = CasConfig::native(5, 1, ValueSpec::from_cardinality(8));
         let sim: Sim<Cas> = Sim::new(
             SimConfig::without_gossip(),
-            (0..5).map(|i| CasServer::new(cfg, ServerId(i), 0)).collect(),
+            (0..5)
+                .map(|i| CasServer::new(cfg, ServerId(i), 0))
+                .collect(),
             (0..2).map(|c| CasClient::new(cfg, c)).collect(),
         );
         AlphaExecution::build(sim, ClientId(0), 1, v1, v2).unwrap()
@@ -207,7 +287,7 @@ mod tests {
         let pair = find_critical_pair(&alpha, ClientId(1), false, 4).unwrap();
         assert!(pair.index < alpha.len() - 1);
         assert_eq!(pair.states_q1.len(), 3); // 5 servers, 2 failed
-        // After the critical step the fair probe flips to v2.
+                                             // After the critical step the fair probe flips to v2.
         assert_eq!(
             probe_read(alpha.point(pair.index + 1), ClientId(0), ClientId(1), false),
             crate::valency::ReadOutcome::Returns(2)

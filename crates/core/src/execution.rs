@@ -10,15 +10,19 @@
 
 use shmem_algorithms::reg::{RegInv, RegResp};
 use shmem_algorithms::value::Value;
-use shmem_sim::{ClientId, Protocol, RunError, Sim};
+use shmem_sim::{ClientId, Point, Protocol, RunError, Sim};
 
 /// A fully recorded `α^{(v1,v2)}` execution: a snapshot of the world at
 /// every point from `P₀` (after `π₁` terminates, before `π₂` is invoked)
 /// to `P_M` (after `π₂` terminates).
+///
+/// Points are stored as [`Point`]s (immutable, digest-cached snapshots):
+/// recording one costs a structural-sharing fork, and the probe engine's
+/// verdict cache keys off the memoized point digests.
 pub struct AlphaExecution<P: Protocol<Inv = RegInv, Resp = RegResp>> {
     /// World snapshots at points `P₀ … P_M`. `points[0]` is `P₀`;
     /// the last entry is a point after `π₂`'s termination.
-    pub points: Vec<Sim<P>>,
+    pub points: Vec<Point<P>>,
     /// The first written value.
     pub v1: Value,
     /// The second written value.
@@ -77,18 +81,18 @@ impl<P: Protocol<Inv = RegInv, Resp = RegResp>> AlphaExecution<P> {
         sim.run_until_op_completes(writer)?;
 
         // P₀: an arbitrary point after π₁'s termination, before π₂.
-        let mut points = vec![sim.clone()];
+        let mut points = vec![sim.snapshot()];
 
         // π₂ = write(v2): record a snapshot after every step.
         sim.invoke(writer, RegInv::Write(v2))?;
-        points.push(sim.clone());
+        points.push(sim.snapshot());
         let limit = sim.config().step_limit;
         let mut steps = 0u64;
         while sim.has_open_op(writer) {
             if sim.step_fair().is_none() {
                 return Err(RunError::Stuck { client: writer });
             }
-            points.push(sim.clone());
+            points.push(sim.snapshot());
             steps += 1;
             if steps > limit {
                 return Err(RunError::StepLimit { steps: limit });
@@ -114,12 +118,22 @@ impl<P: Protocol<Inv = RegInv, Resp = RegResp>> AlphaExecution<P> {
         self.points.is_empty()
     }
 
-    /// The point `P_i`.
+    /// The point `P_i` as a plain world reference.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
     pub fn point(&self, i: usize) -> &Sim<P> {
+        self.points[i].sim()
+    }
+
+    /// The point `P_i` as a digest-cached [`Point`] handle — what the
+    /// probe engine's memoization wants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn snapshot(&self, i: usize) -> &Point<P> {
         &self.points[i]
     }
 

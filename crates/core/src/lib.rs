@@ -22,6 +22,11 @@
 //!   halted at their value-dependent phase, value-dependent messages
 //!   released to growing server prefixes, `(j, C₀)`-valency probes, and the
 //!   Lemma 6.10 profile search.
+//! * [`probe`] — the memoized, parallel probe engine the valency, critical,
+//!   counting, and multiwrite machinery runs on: verdicts cached by
+//!   `(point digest, probe config)`, independent probes fanned over scoped
+//!   worker threads with a deterministic merge, so parallel runs are
+//!   bit-identical to sequential ones.
 //! * [`audit`] — storage audits: measure an algorithm's storage under a
 //!   workload and confront it with every applicable bound from
 //!   [`shmem_bounds`].
@@ -31,16 +36,18 @@
 pub mod assumptions;
 pub mod audit;
 pub mod counting;
-pub mod multiwrite;
-pub mod section7;
 pub mod critical;
 pub mod execution;
+pub mod multiwrite;
+pub mod probe;
+pub mod section7;
 pub mod valency;
 
 pub use assumptions::{write_phase_profile, PhaseProfile};
 pub use audit::{AuditReport, AuditRow, StorageAudit};
 pub use counting::{CountingReport, SingletonReport};
-pub use multiwrite::{staged_search, vector_counting, MultiWriteSetup, StagedProfile};
-pub use critical::{find_critical_pair, CriticalPair};
+pub use critical::{find_critical_pair, find_critical_pair_with, CriticalPair};
 pub use execution::AlphaExecution;
-pub use valency::{observed_values, probe_read, ReadOutcome};
+pub use multiwrite::{staged_search, vector_counting, MultiWriteSetup, StagedProfile};
+pub use probe::{ProbeEngine, ProbeStats, Schedule};
+pub use valency::{observed_values, observed_values_at, probe_read, ReadOutcome};

@@ -20,11 +20,11 @@
 //! [`staged_search`] runs the Lemma 6.10 search. [`vector_counting`]
 //! enumerates value-vectors over a small domain and verifies injectivity.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::probe::{ProbeEngine, Schedule};
 use shmem_algorithms::reg::{RegInv, RegResp};
 use shmem_algorithms::value::Value;
-use shmem_sim::{ClientId, NodeId, Protocol, RunError, Sim};
+use shmem_sim::{hash_of, ClientId, NodeId, Point, Protocol, RunError, Sim};
+use shmem_util::DetRng;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -179,7 +179,7 @@ pub fn deliver_value_dependent<P: Protocol<Inv = RegInv, Resp = RegResp>>(
     servers: std::ops::Range<u32>,
 ) -> Result<(), MultiWriteError> {
     for &w in writers {
-        for s in servers.clone() {
+        for s in servers.start..servers.end {
             let from = NodeId::Client(w);
             let to = NodeId::server(s);
             if sim.is_failed(to) {
@@ -201,36 +201,108 @@ pub fn deliver_value_dependent<P: Protocol<Inv = RegInv, Resp = RegResp>>(
 /// random) in which clients in `restricted` never deliver upstream
 /// value-dependent messages. Returns every value some schedule's read
 /// returned.
-pub fn probe_restricted<P: Protocol<Inv = RegInv, Resp = RegResp>>(
+pub fn probe_restricted<P>(
     point: &Sim<P>,
     setup: &MultiWriteSetup<P>,
     restricted: &BTreeSet<ClientId>,
     seeds: u64,
-) -> BTreeSet<Value> {
-    let mut out = BTreeSet::new();
-    let fair = |_opts: usize, cursor: &mut u64| {
-        let c = *cursor as usize;
-        *cursor += 1;
-        c
-    };
-    let _ = fair;
-    // Schedule 0 = fair round-robin; schedules 1..=seeds are random.
-    for schedule in 0..=seeds {
-        let mut rng = StdRng::seed_from_u64(schedule);
-        let mut cursor = 0u64;
-        if let Some(v) = probe_once(point, setup, restricted, |len| {
-            if schedule == 0 {
+) -> BTreeSet<Value>
+where
+    P: Protocol<Inv = RegInv, Resp = RegResp>,
+    Sim<P>: Send + Sync,
+{
+    probe_restricted_with(
+        &ProbeEngine::sequential(),
+        &point.snapshot(),
+        setup,
+        restricted,
+        seeds,
+    )
+}
+
+/// The schedule of the `i`-th restricted probe: fair round-robin first,
+/// then random schedules seeded `1..=seeds` (matching the legacy sampling
+/// loop, whose seed 0 *was* the fair schedule).
+fn nth_restricted_schedule(i: usize) -> Schedule {
+    if i == 0 {
+        Schedule::Fair
+    } else {
+        Schedule::Seeded(i as u64)
+    }
+}
+
+/// Runs one restricted probe under an explicit [`Schedule`].
+fn probe_once_schedule<P: Protocol<Inv = RegInv, Resp = RegResp>>(
+    point: &Sim<P>,
+    setup: &MultiWriteSetup<P>,
+    restricted: &BTreeSet<ClientId>,
+    schedule: Schedule,
+) -> Option<Value> {
+    match schedule {
+        Schedule::Fair => {
+            let mut cursor = 0u64;
+            probe_once(point, setup, restricted, move |len| {
                 let c = cursor as usize % len;
                 cursor += 1;
                 c
-            } else {
-                rng.gen_range(0..len)
-            }
-        }) {
-            out.insert(v);
+            })
+        }
+        Schedule::Seeded(seed) => {
+            let mut rng = DetRng::seed_from_u64(seed);
+            probe_once(point, setup, restricted, move |len| rng.gen_range(0..len))
         }
     }
-    out
+}
+
+/// [`probe_restricted`] through a [`ProbeEngine`]: the `seeds + 1`
+/// schedules fan out over the engine's workers and every verdict is
+/// memoized under the point digest plus a digest of the probe
+/// configuration (the restriction set, the schedule, and the setup — the
+/// classifier enters as a function-pointer address, which is stable for
+/// the lifetime of the process the cache lives in).
+pub fn probe_restricted_with<P>(
+    engine: &ProbeEngine,
+    point: &Point<P>,
+    setup: &MultiWriteSetup<P>,
+    restricted: &BTreeSet<ClientId>,
+    seeds: u64,
+) -> BTreeSet<Value>
+where
+    P: Protocol<Inv = RegInv, Resp = RegResp>,
+    Sim<P>: Send + Sync,
+{
+    engine
+        .map(seeds as usize + 1, |i| {
+            restricted_verdict(engine, point, setup, restricted, nth_restricted_schedule(i))
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// One memoized restricted-probe verdict — the cache-facing primitive both
+/// [`probe_restricted_with`] and [`staged_search_with`] fan out over.
+fn restricted_verdict<P>(
+    engine: &ProbeEngine,
+    point: &Point<P>,
+    setup: &MultiWriteSetup<P>,
+    restricted: &BTreeSet<ClientId>,
+    schedule: Schedule,
+) -> Option<Value>
+where
+    P: Protocol<Inv = RegInv, Resp = RegResp>,
+{
+    let config = hash_of(&(
+        "restricted",
+        setup.nu,
+        setup.f,
+        setup.is_value_dependent as usize,
+        restricted,
+        schedule,
+    ));
+    engine.probe(point.digest(), config, || {
+        probe_once_schedule(point.sim(), setup, restricted, schedule)
+    })
 }
 
 fn probe_once<P: Protocol<Inv = RegInv, Resp = RegResp>>(
@@ -239,7 +311,7 @@ fn probe_once<P: Protocol<Inv = RegInv, Resp = RegResp>>(
     restricted: &BTreeSet<ClientId>,
     mut choose: impl FnMut(usize) -> usize,
 ) -> Option<Value> {
-    let mut sim = point.clone();
+    let mut sim = point.fork();
     let reader = setup.reader();
     sim.invoke(reader, RegInv::Read).ok()?;
     let limit = sim.config().step_limit;
@@ -287,7 +359,11 @@ pub type ProfileKey = (Vec<u32>, Vec<u32>, Vec<u64>);
 impl StagedProfile {
     /// The injectivity key of Section 6.4.4: `(σ, ~a, ~S)`.
     pub fn key(&self) -> ProfileKey {
-        (self.sigma.clone(), self.a.clone(), self.final_states.clone())
+        (
+            self.sigma.clone(),
+            self.a.clone(),
+            self.final_states.clone(),
+        )
     }
 }
 
@@ -315,6 +391,28 @@ pub fn staged_search<P, F>(
 where
     P: Protocol<Inv = RegInv, Resp = RegResp>,
     F: Fn() -> Sim<P>,
+    Sim<P>: Send + Sync,
+{
+    staged_search_with(&ProbeEngine::sequential(), make_sim, setup, values, seeds)
+}
+
+/// [`staged_search`] through a [`ProbeEngine`]: each candidate prefix is
+/// forked once and snapshotted, and the `(j, C₀)`-valency probes of every
+/// unchosen writer fan out over the engine's workers with memoized
+/// verdicts. The stage loop itself stays sequential — stage `i+1` extends
+/// the world stage `i` committed — so the extracted profile is identical
+/// to the sequential search for any worker count.
+pub fn staged_search_with<P, F>(
+    engine: &ProbeEngine,
+    make_sim: F,
+    setup: &MultiWriteSetup<P>,
+    values: &[Value],
+    seeds: u64,
+) -> Result<StagedProfile, MultiWriteError>
+where
+    P: Protocol<Inv = RegInv, Resp = RegResp>,
+    F: Fn() -> Sim<P>,
+    Sim<P>: Send + Sync,
 {
     let mut sim = build_alpha0(make_sim(), setup, values)?;
     let n = sim.server_count() as u32;
@@ -327,20 +425,45 @@ where
 
     for stage in 1..=nu {
         let a_prev = a.last().copied().unwrap_or(0);
-        let unchosen: Vec<u32> = (0..nu).filter(|w| !chosen.contains(&ClientId(*w))).collect();
+        let unchosen: Vec<u32> = (0..nu)
+            .filter(|w| !chosen.contains(&ClientId(*w)))
+            .collect();
         let senders: Vec<ClientId> = unchosen.iter().map(|&w| ClientId(w)).collect();
         // Candidate prefix sizes: a_prev < a <= N - f + stage - 1.
         let max_a = (n - setup.f + stage - 1).min(n);
         let mut found: Option<(u32, u32)> = None;
         'outer: for cand in (a_prev + 1)..=max_a {
-            let mut fork = sim.clone();
+            let mut fork = sim.fork();
             deliver_value_dependent(&mut fork, setup, &senders, a_prev..cand)?;
+            let point = fork.into_snapshot();
+            // All (writer, schedule) probes of this candidate prefix fan
+            // out together; verdicts fold back per writer in job order.
+            let schedules = seeds as usize + 1;
+            let restrictions: Vec<BTreeSet<ClientId>> = unchosen
+                .iter()
+                .map(|&j| {
+                    let mut restricted = chosen.clone();
+                    restricted.insert(ClientId(j));
+                    restricted
+                })
+                .collect();
+            let verdicts = engine.map(unchosen.len() * schedules, |idx| {
+                restricted_verdict(
+                    engine,
+                    &point,
+                    setup,
+                    &restrictions[idx / schedules],
+                    nth_restricted_schedule(idx % schedules),
+                )
+            });
             // Tie-break by value order among j's valent at this prefix.
             let mut best: Option<(Value, u32)> = None;
-            for &j in &unchosen {
-                let mut restricted = chosen.clone();
-                restricted.insert(ClientId(j));
-                let observed = probe_restricted(&fork, setup, &restricted, seeds);
+            for (ji, &j) in unchosen.iter().enumerate() {
+                let observed: BTreeSet<Value> = verdicts[ji * schedules..(ji + 1) * schedules]
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .collect();
                 if observed.contains(&values[j as usize]) {
                     let vj = values[j as usize];
                     if best.is_none_or(|(bv, _)| vj < bv) {
@@ -371,7 +494,7 @@ where
 }
 
 /// Result of the Section 6.4.4 enumeration over value-vectors.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct VectorCountingReport {
     /// Number of value-vectors enumerated.
     pub vectors: usize,
@@ -394,15 +517,45 @@ pub fn vector_counting<P, F>(
 ) -> VectorCountingReport
 where
     P: Protocol<Inv = RegInv, Resp = RegResp>,
-    F: Fn() -> Sim<P> + Copy,
+    F: Fn() -> Sim<P> + Copy + Sync,
+    Sim<P>: Send + Sync,
+{
+    vector_counting_with(&ProbeEngine::sequential(), make_sim, setup, domain, seeds)
+}
+
+/// [`vector_counting`] through a [`ProbeEngine`]: the value-vectors fan
+/// out over the engine's workers — each worker runs its vector's staged
+/// search inline through a cache-sharing sequential view — and the
+/// injectivity fold walks the profiles in enumeration order, so the
+/// report is identical to the sequential one for any worker count.
+pub fn vector_counting_with<P, F>(
+    engine: &ProbeEngine,
+    make_sim: F,
+    setup: &MultiWriteSetup<P>,
+    domain: &[Value],
+    seeds: u64,
+) -> VectorCountingReport
+where
+    P: Protocol<Inv = RegInv, Resp = RegResp>,
+    F: Fn() -> Sim<P> + Copy + Sync,
+    Sim<P>: Send + Sync,
 {
     let mut tuples: Vec<Vec<Value>> = Vec::new();
     enumerate_tuples(domain, setup.nu as usize, &mut Vec::new(), &mut tuples);
+    let results: Vec<Result<StagedProfile, MultiWriteError>> = engine.map(tuples.len(), |i| {
+        staged_search_with(
+            &engine.sequential_view(),
+            make_sim,
+            setup,
+            &tuples[i],
+            seeds,
+        )
+    });
     let mut seen: BTreeMap<ProfileKey, Vec<Value>> = BTreeMap::new();
     let mut collisions = Vec::new();
     let mut failures = Vec::new();
-    for tuple in &tuples {
-        match staged_search(make_sim, setup, tuple, seeds) {
+    for (tuple, result) in tuples.iter().zip(results) {
+        match result {
             Ok(profile) => {
                 let key = profile.key();
                 if let Some(prev) = seen.get(&key) {
@@ -470,7 +623,9 @@ mod tests {
         let cfg = CasConfig::native(5, 1, ValueSpec::from_cardinality(8));
         Sim::new(
             SimConfig::without_gossip(),
-            (0..5).map(|i| CasServer::new(cfg, ServerId(i), 0)).collect(),
+            (0..5)
+                .map(|i| CasServer::new(cfg, ServerId(i), 0))
+                .collect(),
             (0..3).map(|c| CasClient::new(cfg, c)).collect(),
         )
     }

@@ -142,8 +142,7 @@ pub fn classify_curve(
     }
     // Bullet 3 is only meaningful once the curve has been sampled past the
     // saturation point ν* = f + 1.
-    verdict.requires_cross_version_coding =
-        uniformly_below_replication && nu_max > params.f();
+    verdict.requires_cross_version_coding = uniformly_below_replication && nu_max > params.f();
     verdict
 }
 

@@ -11,11 +11,11 @@
 //! under-approximates valency; [`observed_values`] samples many schedules
 //! (fair + seeded random) and returns every value some extension produced.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::probe::{ProbeEngine, Schedule};
 use shmem_algorithms::reg::{RegInv, RegResp};
 use shmem_algorithms::value::Value;
-use shmem_sim::{ClientId, NodeId, Protocol, Sim};
+use shmem_sim::{hash_of, ClientId, NodeId, Point, Protocol, Sim};
+use shmem_util::DetRng;
 use std::collections::BTreeSet;
 
 /// What a probe extension observed.
@@ -87,10 +87,79 @@ pub fn probe_read_seeded<P: Protocol<Inv = RegInv, Resp = RegResp>>(
     flush_gossip: bool,
     seed: u64,
 ) -> ReadOutcome {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     probe_with(point, writer, reader, flush_gossip, move |sim| {
         sim.step_with(|opts| rng.gen_range(0..opts.len())).is_some()
     })
+}
+
+/// Probes the point under an explicit [`Schedule`] — the primitive the
+/// [`ProbeEngine`] memoizes.
+pub fn probe_schedule<P: Protocol<Inv = RegInv, Resp = RegResp>>(
+    point: &Sim<P>,
+    writer: ClientId,
+    reader: ClientId,
+    flush_gossip: bool,
+    schedule: Schedule,
+) -> ReadOutcome {
+    match schedule {
+        Schedule::Fair => probe_read(point, writer, reader, flush_gossip),
+        Schedule::Seeded(seed) => probe_read_seeded(point, writer, reader, flush_gossip, seed),
+    }
+}
+
+/// The schedule of the `i`-th valency probe: the fair one first, then the
+/// seeded ones in seed order (matching [`observed_values`]'s legacy
+/// sampling loop exactly, so engine and direct paths observe identical
+/// sets).
+fn nth_schedule(i: usize) -> Schedule {
+    if i == 0 {
+        Schedule::Fair
+    } else {
+        Schedule::Seeded(i as u64 - 1)
+    }
+}
+
+/// Digest of everything a valency-probe verdict depends on besides the
+/// point itself — the cache key's second half.
+fn probe_config_digest(
+    writer: ClientId,
+    reader: ClientId,
+    flush_gossip: bool,
+    schedule: Schedule,
+) -> u64 {
+    hash_of(&("valency", writer, reader, flush_gossip, schedule))
+}
+
+/// [`observed_values`] through a [`ProbeEngine`]: the `seeds + 1` schedules
+/// fan out over the engine's workers and every verdict is memoized under
+/// `(point digest, probe config)`. Bit-identical to [`observed_values`]
+/// for any worker count — the result is a set union of per-schedule
+/// verdicts, each of which is deterministic.
+pub fn observed_values_at<P>(
+    engine: &ProbeEngine,
+    point: &Point<P>,
+    writer: ClientId,
+    reader: ClientId,
+    flush_gossip: bool,
+    seeds: u64,
+) -> BTreeSet<Value>
+where
+    P: Protocol<Inv = RegInv, Resp = RegResp>,
+    Sim<P>: Send + Sync,
+{
+    let point_digest = point.digest();
+    engine
+        .map(seeds as usize + 1, |i| {
+            let schedule = nth_schedule(i);
+            let config = probe_config_digest(writer, reader, flush_gossip, schedule);
+            engine.probe(point_digest, config, || {
+                probe_schedule(point.sim(), writer, reader, flush_gossip, schedule).value()
+            })
+        })
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 fn probe_with<P: Protocol<Inv = RegInv, Resp = RegResp>>(
@@ -100,7 +169,7 @@ fn probe_with<P: Protocol<Inv = RegInv, Resp = RegResp>>(
     flush_gossip: bool,
     mut step: impl FnMut(&mut Sim<P>) -> bool,
 ) -> ReadOutcome {
-    let mut sim = point.clone();
+    let mut sim = point.fork();
     if flush_gossip {
         // Definition 5.3: the channels between servers act first,
         // delivering all their messages.
@@ -139,6 +208,11 @@ fn probe_with<P: Protocol<Inv = RegInv, Resp = RegResp>>(
 /// Samples many extension schedules (the fair one plus `seeds` random ones)
 /// and returns the set of values some extension's read returned — an
 /// under-approximation of the set of `k` for which the point is `k`-valent.
+///
+/// This is the plain reference path: every schedule runs, inline, every
+/// time. The proof machinery goes through [`observed_values_at`] instead,
+/// which computes the *same set* (asserted by the `engine_parity` tests)
+/// with memoization and fan-out.
 pub fn observed_values<P: Protocol<Inv = RegInv, Resp = RegResp>>(
     point: &Sim<P>,
     writer: ClientId,
@@ -146,18 +220,11 @@ pub fn observed_values<P: Protocol<Inv = RegInv, Resp = RegResp>>(
     flush_gossip: bool,
     seeds: u64,
 ) -> BTreeSet<Value> {
-    let mut out = BTreeSet::new();
-    if let ReadOutcome::Returns(v) = probe_read(point, writer, reader, flush_gossip) {
-        out.insert(v);
-    }
-    for seed in 0..seeds {
-        if let ReadOutcome::Returns(v) =
-            probe_read_seeded(point, writer, reader, flush_gossip, seed)
-        {
-            out.insert(v);
-        }
-    }
-    out
+    (0..seeds as usize + 1)
+        .filter_map(|i| {
+            probe_schedule(point, writer, reader, flush_gossip, nth_schedule(i)).value()
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -231,6 +298,27 @@ mod tests {
     fn outcome_projection() {
         assert_eq!(ReadOutcome::Returns(5).value(), Some(5));
         assert_eq!(ReadOutcome::Stuck.value(), None);
+    }
+
+    #[test]
+    fn engine_path_matches_reference_path() {
+        let a = alpha();
+        let engine = ProbeEngine::with_workers(4);
+        for i in 0..a.len() {
+            let reference = observed_values(a.point(i), ClientId(0), ClientId(1), false, 6);
+            let engined =
+                observed_values_at(&engine, a.snapshot(i), ClientId(0), ClientId(1), false, 6);
+            assert_eq!(reference, engined, "point {i}");
+        }
+        // Every probe of a repeat pass is answered from the cache.
+        let before = engine.stats();
+        assert_eq!(before.hits, 0);
+        for i in 0..a.len() {
+            let _ = observed_values_at(&engine, a.snapshot(i), ClientId(0), ClientId(1), false, 6);
+        }
+        let after = engine.stats();
+        assert_eq!(after.probes, 2 * before.probes);
+        assert_eq!(after.hits, before.probes);
     }
 
     #[test]

@@ -79,7 +79,11 @@ pub fn check_axioms<F: Field>(a: F, b: F, c: F) {
     assert_eq!(a.add(b), b.add(a), "addition commutes");
     assert_eq!(a.mul(b), b.mul(a), "multiplication commutes");
     assert_eq!(a.add(b).add(c), a.add(b.add(c)), "addition associates");
-    assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)), "multiplication associates");
+    assert_eq!(
+        a.mul(b).mul(c),
+        a.mul(b.mul(c)),
+        "multiplication associates"
+    );
     assert_eq!(
         a.mul(b.add(c)),
         a.mul(b).add(a.mul(c)),

@@ -125,7 +125,7 @@ impl From<u8> for Gf256 {
 mod tests {
     use super::*;
     use crate::field::check_axioms;
-    use proptest::prelude::*;
+    use shmem_util::prop::prelude::*;
 
     #[test]
     fn tables_are_consistent() {

@@ -125,7 +125,7 @@ impl From<u16> for Gf2p16 {
 mod tests {
     use super::*;
     use crate::field::check_axioms;
-    use proptest::prelude::*;
+    use shmem_util::prop::prelude::*;
 
     #[test]
     fn identities() {
@@ -148,7 +148,16 @@ mod tests {
         // g^65535 = 1 and g^k != 1 for k in the proper divisors of 65535.
         let g = Gf2p16::generator();
         assert_eq!(g.pow(65535), Gf2p16::ONE);
-        for d in [3u64, 5, 17, 257, 65535 / 3, 65535 / 5, 65535 / 17, 65535 / 257] {
+        for d in [
+            3u64,
+            5,
+            17,
+            257,
+            65535 / 3,
+            65535 / 5,
+            65535 / 17,
+            65535 / 257,
+        ] {
             assert_ne!(g.pow(d), Gf2p16::ONE, "divisor {d}");
         }
     }

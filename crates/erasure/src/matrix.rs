@@ -234,7 +234,7 @@ impl<F: Field> fmt::Debug for Matrix<F> {
 mod tests {
     use super::*;
     use crate::gf256::Gf256;
-    use proptest::prelude::*;
+    use shmem_util::prop::prelude::*;
 
     fn g(x: u8) -> Gf256 {
         Gf256::new(x)

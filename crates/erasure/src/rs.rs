@@ -113,7 +113,10 @@ impl<F: Field> ReedSolomon<F> {
         let mut seen = vec![false; self.n];
         for &(idx, _) in used {
             if idx >= self.n {
-                return Err(CodeError::IndexOutOfRange { index: idx, n: self.n });
+                return Err(CodeError::IndexOutOfRange {
+                    index: idx,
+                    n: self.n,
+                });
             }
             if seen[idx] {
                 return Err(CodeError::DuplicateIndex { index: idx });
@@ -243,9 +246,7 @@ impl ReedSolomon<crate::gf2p16::Gf2p16> {
             let column: Vec<(usize, Gf2p16)> = shares
                 .iter()
                 .take(self.k)
-                .map(|&(i, ref s)| {
-                    (i, Gf2p16::new(u16::from_be_bytes([s[2 * t], s[2 * t + 1]])))
-                })
+                .map(|&(i, ref s)| (i, Gf2p16::new(u16::from_be_bytes([s[2 * t], s[2 * t + 1]]))))
                 .collect();
             for sym in self.decode(&column)? {
                 out.extend_from_slice(&sym.raw().to_be_bytes());
@@ -325,7 +326,7 @@ impl std::error::Error for CodeError {}
 mod tests {
     use super::*;
     use crate::gf2p16::Gf2p16;
-    use proptest::prelude::*;
+    use shmem_util::prop::prelude::*;
 
     #[test]
     fn round_trip_all_k_subsets() {
@@ -502,8 +503,7 @@ mod tests {
         let shares = code.encode_bytes(&msg);
         assert_eq!(shares.len(), 300);
         // Decode from the last 150 shares (any 150 suffice).
-        let picked: Vec<(usize, Vec<u8>)> =
-            (150..300).map(|i| (i, shares[i].clone())).collect();
+        let picked: Vec<(usize, Vec<u8>)> = (150..300).map(|i| (i, shares[i].clone())).collect();
         assert_eq!(code.decode_bytes(&picked, msg.len()).unwrap(), msg);
     }
 

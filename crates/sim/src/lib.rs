@@ -19,8 +19,11 @@
 //!
 //! 1. **Determinism** — all containers iterate in fixed order; a fair
 //!    round-robin step policy yields a reproducible execution.
-//! 2. **Forkability** — [`world::Sim`] is `Clone`, so an execution can be
-//!    branched at any point (the α → β extensions of Sections 4–6).
+//! 2. **Forkability** — [`world::Sim`] is `Clone` with structural sharing
+//!    (copy-on-write behind `Arc`), so an execution can be branched at any
+//!    point (the α → β extensions of Sections 4–6) for a handful of
+//!    reference-count bumps, and [`world::Snapshot`] freezes a point with
+//!    a memoized digest.
 //! 3. **Adversary control** — crash failures ([`world::Sim::fail`]),
 //!    indefinite message delay ([`world::Sim::freeze`]), and hand-scripted
 //!    delivery ([`world::Sim::deliver_one`]) implement the executions the
@@ -44,4 +47,4 @@ pub use ids::{ClientId, NodeId, ServerId};
 pub use meter::{StorageMeter, StorageSnapshot};
 pub use node::{Ctx, Node, Protocol};
 pub use trace::{OpRecord, StepInfo, TrafficCounters};
-pub use world::{RunError, SendRecord, Sim};
+pub use world::{Point, RunError, SendRecord, Sim, Snapshot};

@@ -106,7 +106,10 @@ mod tests {
         };
         assert_eq!(s.to_string(), "deliver c1->s2");
         assert_eq!(
-            StepInfo::Invoked { client: ClientId(4) }.to_string(),
+            StepInfo::Invoked {
+                client: ClientId(4)
+            }
+            .to_string(),
             "invoke @c4"
         );
     }

@@ -1,0 +1,57 @@
+//! Adversary controls: crashes and (reversible) freezes.
+//!
+//! The paper's lower-bound arguments are driven entirely by what an
+//! adversary may do: fail up to `f` servers outright, and delay ("freeze")
+//! all traffic of a chosen node for an arbitrary but finite time. Both
+//! controls live here, separate from the step relation that respects them.
+
+use super::Sim;
+use crate::ids::NodeId;
+use crate::node::Protocol;
+
+impl<P: Protocol> Sim<P> {
+    /// Crashes a node: it stops taking steps permanently and messages to or
+    /// from it are never delivered.
+    pub fn fail(&mut self, node: NodeId) {
+        self.failed.insert(node);
+    }
+
+    /// Crashes the last `f` servers — the proofs' canonical failure pattern
+    /// ("the servers in `{1,…,N} − 𝒩` fail at the beginning").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` exceeds the server count.
+    pub fn fail_last_servers(&mut self, f: u32) {
+        let n = self.servers.len() as u32;
+        assert!(f <= n, "cannot fail more servers than exist");
+        for i in (n - f)..n {
+            self.fail(NodeId::server(i));
+        }
+    }
+
+    /// Delays all messages from and to `node` indefinitely (the proofs'
+    /// freeze of the writer). Unlike [`Sim::fail`], this is reversible.
+    pub fn freeze(&mut self, node: NodeId) {
+        self.frozen.insert(node);
+    }
+
+    /// Lifts a [`Sim::freeze`].
+    pub fn unfreeze(&mut self, node: NodeId) {
+        self.frozen.remove(&node);
+    }
+
+    /// Whether `node` is crashed.
+    pub fn is_failed(&self, node: NodeId) -> bool {
+        self.failed.contains(&node)
+    }
+
+    /// Whether `node` is frozen.
+    pub fn is_frozen(&self, node: NodeId) -> bool {
+        self.frozen.contains(&node)
+    }
+
+    pub(super) fn is_blocked(&self, node: NodeId) -> bool {
+        self.failed.contains(&node) || self.frozen.contains(&node)
+    }
+}

@@ -1,0 +1,370 @@
+//! The step relation: invocations, message delivery, scheduling.
+//!
+//! Channel queues are `Arc`-shared between forks; every mutation goes
+//! through [`Arc::make_mut`], so only the queue actually touched by a step
+//! is copied, and only when another fork still shares it.
+
+use super::{RunError, SendRecord, Sim};
+use crate::ids::{ClientId, NodeId};
+use crate::node::{Ctx, Node, Protocol};
+use crate::trace::{OpRecord, StepInfo};
+use std::sync::Arc;
+
+impl<P: Protocol> Sim<P> {
+    /// Invokes an operation at a client. The invocation action itself is one
+    /// step of the execution.
+    ///
+    /// # Errors
+    ///
+    /// * [`RunError::NodeUnavailable`] if the client crashed or is frozen.
+    /// * [`RunError::OperationPending`] if the client already has an open
+    ///   operation (the model requires well-formed clients).
+    pub fn invoke(&mut self, client: ClientId, inv: P::Inv) -> Result<(), RunError> {
+        let id = NodeId::Client(client);
+        if self.is_blocked(id) {
+            return Err(RunError::NodeUnavailable { node: id });
+        }
+        if self.open_ops.contains_key(&client) {
+            return Err(RunError::OperationPending { client });
+        }
+        let idx = client.0 as usize;
+        assert!(idx < self.clients.len(), "unknown client {client}");
+        self.now += 1;
+        self.open_ops.insert(client, self.ops.len());
+        Arc::make_mut(&mut self.ops).push(OpRecord {
+            client,
+            invoked_at: self.now,
+            responded_at: None,
+            invocation: inv.clone(),
+            response: None,
+        });
+        let mut ctx: Ctx<P> = Ctx::new(id, self.now);
+        <P::Client as Node<P>>::on_invoke(Arc::make_mut(&mut self.clients[idx]), inv, &mut ctx);
+        self.apply_effects(id, ctx);
+        self.sample_meter();
+        Ok(())
+    }
+
+    /// The deliverable channels at this point: non-empty queues whose
+    /// endpoints are neither crashed nor frozen, in deterministic order.
+    pub fn step_options(&self) -> Vec<(NodeId, NodeId)> {
+        self.channels
+            .iter()
+            .filter(|((from, to), q)| {
+                !q.is_empty() && !self.is_blocked(*from) && !self.is_blocked(*to)
+            })
+            .map(|(&key, _)| key)
+            .collect()
+    }
+
+    /// Delivers the head message of the `from → to` channel: the receiver's
+    /// `on_message` runs and its effects are applied. One step.
+    ///
+    /// # Errors
+    ///
+    /// * [`RunError::NoSuchMessage`] if the channel is empty or absent.
+    /// * [`RunError::NodeUnavailable`] if either endpoint is crashed or
+    ///   frozen.
+    pub fn deliver_one(&mut self, from: NodeId, to: NodeId) -> Result<StepInfo, RunError> {
+        if self.is_blocked(from) || self.is_blocked(to) {
+            let node = if self.is_blocked(from) { from } else { to };
+            return Err(RunError::NodeUnavailable { node });
+        }
+        let msg = match self.channels.get_mut(&(from, to)) {
+            Some(q) if !q.is_empty() => Arc::make_mut(q).pop_front().expect("non-empty"),
+            _ => return Err(RunError::NoSuchMessage { from, to }),
+        };
+        self.now += 1;
+        match (from.is_server(), to.is_server()) {
+            (false, true) => self.traffic.client_to_server += 1,
+            (true, false) => self.traffic.server_to_client += 1,
+            (true, true) => self.traffic.server_to_server += 1,
+            (false, false) => {}
+        }
+        let mut ctx: Ctx<P> = Ctx::new(to, self.now);
+        match to {
+            NodeId::Server(s) => <P::Server as Node<P>>::on_message(
+                Arc::make_mut(&mut self.servers[s.0 as usize]),
+                from,
+                msg,
+                &mut ctx,
+            ),
+            NodeId::Client(c) => <P::Client as Node<P>>::on_message(
+                Arc::make_mut(&mut self.clients[c.0 as usize]),
+                from,
+                msg,
+                &mut ctx,
+            ),
+        }
+        self.apply_effects(to, ctx);
+        self.sample_meter();
+        Ok(StepInfo::Delivered { from, to })
+    }
+
+    /// Takes one fair step: delivers from the next schedulable channel in
+    /// round-robin order. Returns `None` when no channel is deliverable
+    /// (quiescence among unblocked nodes).
+    pub fn step_fair(&mut self) -> Option<StepInfo> {
+        let options = self.step_options();
+        if options.is_empty() {
+            return None;
+        }
+        let pick = options[(self.rr_cursor % options.len() as u64) as usize];
+        self.rr_cursor += 1;
+        Some(
+            self.deliver_one(pick.0, pick.1)
+                .expect("step option is deliverable by construction"),
+        )
+    }
+
+    /// Delivers the `idx`-th queued message of the `from → to` channel
+    /// (0 = head) by rotating it to the front first — the adversarial
+    /// reorder primitive. Only permitted when the configuration's
+    /// [`crate::config::ChannelOrder`] is `Any`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Sim::deliver_one`], plus
+    /// [`RunError::NoSuchMessage`] when `idx` is out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the FIFO channel model with `idx > 0`.
+    pub fn deliver_nth(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        idx: usize,
+    ) -> Result<StepInfo, RunError> {
+        if idx > 0 {
+            assert_eq!(
+                self.config.channel_order,
+                crate::config::ChannelOrder::Any,
+                "out-of-order delivery requires ChannelOrder::Any"
+            );
+        }
+        let queue = self
+            .channels
+            .get_mut(&(from, to))
+            .ok_or(RunError::NoSuchMessage { from, to })?;
+        if idx >= queue.len() {
+            return Err(RunError::NoSuchMessage { from, to });
+        }
+        if idx > 0 {
+            // Rotate the chosen message to the head; FIFO order of the rest
+            // is irrelevant under ChannelOrder::Any.
+            let queue = Arc::make_mut(queue);
+            let msg = queue.remove(idx).expect("index checked");
+            queue.push_front(msg);
+        }
+        self.deliver_one(from, to)
+    }
+
+    /// Takes one step chosen by the caller: the closure picks among
+    /// `(channel, queue_len)` options and returns `(option index, message
+    /// index)`. Under FIFO configurations the message index must be 0.
+    ///
+    /// Returns `None` when no step is available.
+    pub fn step_with_reorder(
+        &mut self,
+        choose: impl FnOnce(&[((NodeId, NodeId), usize)]) -> (usize, usize),
+    ) -> Option<StepInfo> {
+        let options: Vec<((NodeId, NodeId), usize)> = self
+            .step_options()
+            .into_iter()
+            .map(|ch| {
+                let len = self.in_flight(ch.0, ch.1);
+                (ch, len)
+            })
+            .collect();
+        if options.is_empty() {
+            return None;
+        }
+        let (oi, mi) = choose(&options);
+        let ((from, to), len) = options[oi % options.len()];
+        Some(
+            self.deliver_nth(from, to, mi % len)
+                .expect("validated option is deliverable"),
+        )
+    }
+
+    /// Takes one step chosen by the caller from [`Sim::step_options`] —
+    /// used by seeded/adversarial schedulers.
+    ///
+    /// Returns `None` when no step is available.
+    pub fn step_with(
+        &mut self,
+        choose: impl FnOnce(&[(NodeId, NodeId)]) -> usize,
+    ) -> Option<StepInfo> {
+        let options = self.step_options();
+        if options.is_empty() {
+            return None;
+        }
+        let idx = choose(&options) % options.len();
+        let pick = options[idx];
+        Some(
+            self.deliver_one(pick.0, pick.1)
+                .expect("step option is deliverable by construction"),
+        )
+    }
+
+    /// Steps fairly until no message is deliverable.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::StepLimit`] if the configured step budget runs out first.
+    pub fn run_to_quiescence(&mut self) -> Result<u64, RunError> {
+        let mut steps = 0;
+        while self.step_fair().is_some() {
+            steps += 1;
+            if steps > self.config.step_limit {
+                return Err(RunError::StepLimit {
+                    steps: self.config.step_limit,
+                });
+            }
+        }
+        Ok(steps)
+    }
+
+    /// Steps fairly until the open operation at `client` completes, and
+    /// returns its response.
+    ///
+    /// # Errors
+    ///
+    /// * [`RunError::NoOpenOperation`] if the client has no open operation.
+    /// * [`RunError::Stuck`] if the system quiesces without the operation
+    ///   completing (liveness failure — e.g. too many servers crashed).
+    /// * [`RunError::StepLimit`] if the step budget runs out.
+    pub fn run_until_op_completes(&mut self, client: ClientId) -> Result<P::Resp, RunError> {
+        let op_idx = *self
+            .open_ops
+            .get(&client)
+            .ok_or(RunError::NoOpenOperation { client })?;
+        let mut steps = 0;
+        while self.ops[op_idx].responded_at.is_none() {
+            if self.step_fair().is_none() {
+                return Err(RunError::Stuck { client });
+            }
+            steps += 1;
+            if steps > self.config.step_limit {
+                return Err(RunError::StepLimit {
+                    steps: self.config.step_limit,
+                });
+            }
+        }
+        Ok(self.ops[op_idx]
+            .response
+            .clone()
+            .expect("completed op has a response"))
+    }
+
+    /// Delivers every message currently queued on server-to-server channels
+    /// (and any gossip those deliveries enqueue), until the gossip channels
+    /// drain — the "channels between the servers act, delivering all their
+    /// messages" prelude of Theorem 5.1's valency definition.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::StepLimit`] if gossip cascades past the step budget.
+    pub fn flush_server_channels(&mut self) -> Result<u64, RunError> {
+        let mut steps = 0;
+        loop {
+            let next = self
+                .step_options()
+                .into_iter()
+                .find(|(from, to)| from.is_server() && to.is_server());
+            match next {
+                Some((from, to)) => {
+                    self.deliver_one(from, to)
+                        .expect("step option is deliverable");
+                    steps += 1;
+                    if steps > self.config.step_limit {
+                        return Err(RunError::StepLimit {
+                            steps: self.config.step_limit,
+                        });
+                    }
+                }
+                None => return Ok(steps),
+            }
+        }
+    }
+
+    pub(super) fn apply_effects(&mut self, origin: NodeId, ctx: Ctx<P>) {
+        let (outbox, responses) = ctx.into_effects();
+        for (to, msg) in outbox {
+            if origin.is_server() && to.is_server() && !self.config.server_gossip {
+                panic!(
+                    "protocol violated the no-gossip model: {origin} sent a message to {to} \
+                     but server_gossip is disabled"
+                );
+            }
+            self.validate_target(to);
+            if let Some(log) = &mut self.send_log {
+                Arc::make_mut(log).push(SendRecord {
+                    step: self.now,
+                    from: origin,
+                    to,
+                    msg: msg.clone(),
+                });
+            }
+            Arc::make_mut(self.channels.entry((origin, to)).or_default()).push_back(msg);
+        }
+        if !responses.is_empty() {
+            let client = origin
+                .as_client()
+                .expect("only clients produce operation responses");
+            for resp in responses {
+                let idx = self
+                    .open_ops
+                    .remove(&client)
+                    .expect("response produced with no open operation");
+                let ops = Arc::make_mut(&mut self.ops);
+                ops[idx].responded_at = Some(self.now);
+                ops[idx].response = Some(resp);
+            }
+        }
+    }
+
+    fn validate_target(&self, to: NodeId) {
+        let ok = match to {
+            NodeId::Server(s) => (s.0 as usize) < self.servers.len(),
+            NodeId::Client(c) => (c.0 as usize) < self.clients.len(),
+        };
+        assert!(ok, "message sent to unknown node {to}");
+    }
+
+    /// The message at the head of the `from → to` channel, if any — what
+    /// the next [`Sim::deliver_one`] on that channel would deliver. Used by
+    /// adversaries that withhold messages by content (e.g. the Section 6
+    /// construction withholding value-dependent messages).
+    pub fn peek_head(&self, from: NodeId, to: NodeId) -> Option<&P::Msg> {
+        self.channels.get(&(from, to)).and_then(|q| q.front())
+    }
+
+    /// Enables or disables the send log. While enabled, every message
+    /// enqueued onto a channel is recorded with the step at which it was
+    /// sent — the raw material for protocol-structure analyses such as the
+    /// Assumption 3(b) phase check in `shmem-core`.
+    pub fn record_sends(&mut self, on: bool) {
+        if on {
+            self.send_log.get_or_insert_with(Default::default);
+        } else {
+            self.send_log = None;
+        }
+    }
+
+    /// The recorded sends (empty unless [`Sim::record_sends`] is on).
+    pub fn send_log(&self) -> &[SendRecord<P::Msg>] {
+        self.send_log.as_deref().map_or(&[], Vec::as_slice)
+    }
+
+    /// Messages currently queued from `from` to `to`.
+    pub fn in_flight(&self, from: NodeId, to: NodeId) -> usize {
+        self.channels.get(&(from, to)).map_or(0, |q| q.len())
+    }
+
+    /// Total messages in flight anywhere.
+    pub fn total_in_flight(&self) -> usize {
+        self.channels.values().map(|q| q.len()).sum()
+    }
+}

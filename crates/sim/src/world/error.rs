@@ -1,0 +1,81 @@
+//! Errors from driving a [`Sim`](super::Sim), and the send-log record.
+
+use crate::ids::{ClientId, NodeId};
+use std::fmt;
+
+/// One recorded send: at `step`, `from` enqueued `msg` toward `to`.
+#[derive(Clone, Debug)]
+pub struct SendRecord<M> {
+    /// The step (point index) at which the send happened.
+    pub step: u64,
+    /// The sender.
+    pub from: NodeId,
+    /// The destination.
+    pub to: NodeId,
+    /// The message.
+    pub msg: M,
+}
+
+/// Errors from driving a [`Sim`](super::Sim).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// The step budget ran out.
+    StepLimit {
+        /// The exhausted budget.
+        steps: u64,
+    },
+    /// The target node is crashed or frozen.
+    NodeUnavailable {
+        /// The unavailable node.
+        node: NodeId,
+    },
+    /// The client already has an operation in flight.
+    OperationPending {
+        /// The busy client.
+        client: ClientId,
+    },
+    /// The client has no operation in flight.
+    NoOpenOperation {
+        /// The idle client.
+        client: ClientId,
+    },
+    /// No channel `from → to` has a pending message.
+    NoSuchMessage {
+        /// Requested source.
+        from: NodeId,
+        /// Requested destination.
+        to: NodeId,
+    },
+    /// The system quiesced with the operation still pending (liveness
+    /// failure).
+    Stuck {
+        /// The client whose operation cannot complete.
+        client: ClientId,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::StepLimit { steps } => write!(f, "step limit of {steps} exhausted"),
+            RunError::NodeUnavailable { node } => {
+                write!(f, "node {node} is crashed or frozen")
+            }
+            RunError::OperationPending { client } => {
+                write!(f, "client {client} already has an operation in flight")
+            }
+            RunError::NoOpenOperation { client } => {
+                write!(f, "client {client} has no operation in flight")
+            }
+            RunError::NoSuchMessage { from, to } => {
+                write!(f, "no pending message on channel {from} -> {to}")
+            }
+            RunError::Stuck { client } => write!(
+                f,
+                "system quiesced while the operation at {client} is still pending"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}

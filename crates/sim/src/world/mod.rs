@@ -1,0 +1,183 @@
+//! The simulated world: nodes, channels, the step relation, failures and
+//! the adversary controls the lower-bound proofs need.
+//!
+//! The module is layered:
+//!
+//! * [`mod@self`] — the [`Sim`] type, construction, and world-level docs;
+//! * `state` — node state access, storage metering, digests, observation;
+//! * `channels` — the step relation: delivery, scheduling, invocations;
+//! * `adversary` — crash and freeze controls;
+//! * `fork` — cheap structural-sharing clones and the [`Snapshot`] /
+//!   [`Point`] handle API;
+//! * `error` — [`RunError`] and [`SendRecord`].
+//!
+//! # Forking
+//!
+//! Every bulky field of [`Sim`] (per-node automata, per-channel queues,
+//! operation history, send log, storage meter) sits behind an [`Arc`], so
+//! `Sim::clone` is a handful of reference-count bumps regardless of world
+//! size. Mutation goes through [`Arc::make_mut`], which clones only the
+//! touched node/queue — and only when it is actually shared with another
+//! fork (copy-on-write). The proof machinery forks the world at every
+//! point of an `α^{(v1,v2)}` execution, so this is the difference between
+//! `O(points · world)` and `O(points + touched-state)` for a whole search.
+
+mod adversary;
+mod channels;
+mod error;
+mod fork;
+mod state;
+
+pub use error::{RunError, SendRecord};
+pub use fork::{Point, Snapshot};
+
+use crate::config::SimConfig;
+use crate::ids::{ClientId, NodeId};
+use crate::meter::StorageMeter;
+use crate::node::{Ctx, Node, Protocol};
+use crate::trace::{OpRecord, TrafficCounters};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+/// A complete simulated system at a point of an execution.
+///
+/// `Sim` is cheaply forkable (`Clone`): the proof machinery clones the world
+/// at a point `P` and extends the copy — exactly the paper's "extension of
+/// `α_i`" constructions. Clones share state structurally and copy on first
+/// write (see the [module docs](self)).
+///
+/// # Examples
+///
+/// A two-node ping-pong (see the crate tests for full protocols):
+///
+/// ```
+/// use shmem_sim::{Ctx, Node, NodeId, Protocol, Sim, SimConfig, hash_of};
+///
+/// struct Ping;
+/// impl Protocol for Ping {
+///     type Msg = u32;
+///     type Inv = ();
+///     type Resp = u32;
+///     type Server = Counter;
+///     type Client = Asker;
+/// }
+/// #[derive(Clone, Default)]
+/// struct Counter(u32);
+/// impl Node<Ping> for Counter {
+///     fn on_message(&mut self, from: NodeId, m: u32, ctx: &mut Ctx<Ping>) {
+///         self.0 += m;
+///         ctx.send(from, self.0);
+///     }
+///     fn digest(&self) -> u64 { hash_of(&self.0) }
+/// }
+/// #[derive(Clone, Default)]
+/// struct Asker;
+/// impl Node<Ping> for Asker {
+///     fn on_invoke(&mut self, _: (), ctx: &mut Ctx<Ping>) {
+///         ctx.send(NodeId::server(0), 7);
+///     }
+///     fn on_message(&mut self, _: NodeId, m: u32, ctx: &mut Ctx<Ping>) {
+///         ctx.respond(m);
+///     }
+///     fn digest(&self) -> u64 { 0 }
+/// }
+///
+/// let mut sim = Sim::<Ping>::new(
+///     SimConfig::default(),
+///     vec![Counter::default()],
+///     vec![Asker::default()],
+/// );
+/// sim.invoke(shmem_sim::ClientId(0), ()).unwrap();
+/// let resp = sim.run_until_op_completes(shmem_sim::ClientId(0)).unwrap();
+/// assert_eq!(resp, 7);
+/// ```
+pub struct Sim<P: Protocol> {
+    pub(super) config: SimConfig,
+    pub(super) servers: Vec<Arc<P::Server>>,
+    pub(super) clients: Vec<Arc<P::Client>>,
+    pub(super) channels: BTreeMap<(NodeId, NodeId), Arc<VecDeque<P::Msg>>>,
+    pub(super) failed: BTreeSet<NodeId>,
+    pub(super) frozen: BTreeSet<NodeId>,
+    pub(super) now: u64,
+    pub(super) rr_cursor: u64,
+    pub(super) open_ops: BTreeMap<ClientId, usize>,
+    pub(super) ops: Arc<Vec<OpRecord<P::Inv, P::Resp>>>,
+    pub(super) meter: Arc<StorageMeter>,
+    pub(super) send_log: Option<Arc<Vec<SendRecord<P::Msg>>>>,
+    pub(super) traffic: TrafficCounters,
+}
+
+impl<P: Protocol> Sim<P> {
+    /// Builds a world and runs every node's `on_start`.
+    pub fn new(config: SimConfig, servers: Vec<P::Server>, clients: Vec<P::Client>) -> Sim<P> {
+        let n = servers.len();
+        let mut sim = Sim {
+            config,
+            servers: servers.into_iter().map(Arc::new).collect(),
+            clients: clients.into_iter().map(Arc::new).collect(),
+            channels: BTreeMap::new(),
+            failed: BTreeSet::new(),
+            frozen: BTreeSet::new(),
+            now: 0,
+            rr_cursor: 0,
+            open_ops: BTreeMap::new(),
+            ops: Arc::new(Vec::new()),
+            meter: Arc::new(StorageMeter::new(n)),
+            send_log: None,
+            traffic: TrafficCounters::default(),
+        };
+        for i in 0..sim.servers.len() {
+            let id = NodeId::server(i as u32);
+            let mut ctx: Ctx<P> = Ctx::new(id, 0);
+            <P::Server as Node<P>>::on_start(Arc::make_mut(&mut sim.servers[i]), &mut ctx);
+            sim.apply_effects(id, ctx);
+        }
+        for i in 0..sim.clients.len() {
+            let id = NodeId::client(i as u32);
+            let mut ctx: Ctx<P> = Ctx::new(id, 0);
+            <P::Client as Node<P>>::on_start(Arc::make_mut(&mut sim.clients[i]), &mut ctx);
+            sim.apply_effects(id, ctx);
+        }
+        sim.sample_meter();
+        sim
+    }
+
+    /// The configuration the world was built with.
+    pub fn config(&self) -> SimConfig {
+        self.config
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Number of clients.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The current step index — the "point" number of the execution.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+}
+
+impl<P: Protocol> fmt::Debug for Sim<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Sim {{ step {}, {} servers, {} clients, {} in flight, {} failed, {} frozen }}",
+            self.now,
+            self.servers.len(),
+            self.clients.len(),
+            self.total_in_flight(),
+            self.failed.len(),
+            self.frozen.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests;

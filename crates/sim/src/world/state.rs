@@ -1,0 +1,106 @@
+//! Node state access, storage metering, digests, and observation.
+
+use super::Sim;
+use crate::hash::{combine, hash_of};
+use crate::ids::{ClientId, ServerId};
+use crate::meter::StorageSnapshot;
+use crate::node::{Node, Protocol};
+use crate::trace::{OpRecord, TrafficCounters};
+use std::sync::Arc;
+
+impl<P: Protocol> Sim<P> {
+    /// A server's automaton, for white-box inspection in tests and audits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    pub fn server(&self, id: ServerId) -> &P::Server {
+        &self.servers[id.0 as usize]
+    }
+
+    /// A client's automaton.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    pub fn client(&self, id: ClientId) -> &P::Client {
+        &self.clients[id.0 as usize]
+    }
+
+    /// Per-server state digests at this point, in server order.
+    pub fn server_digests(&self) -> Vec<u64> {
+        self.servers
+            .iter()
+            .map(|s| <P::Server as Node<P>>::digest(s))
+            .collect()
+    }
+
+    /// Per-server value-bearing storage at this point, in bits.
+    pub fn server_state_bits(&self) -> Vec<f64> {
+        self.servers
+            .iter()
+            .map(|s| <P::Server as Node<P>>::state_bits(s))
+            .collect()
+    }
+
+    /// A digest of the full world state (nodes and channels), used to
+    /// confirm indistinguishability of forked executions.
+    ///
+    /// Forks share state structurally, so two forks that have not diverged
+    /// digest identically by construction; the digest is how divergence is
+    /// *detected*. [`super::Snapshot`] caches this per point.
+    pub fn digest(&self) -> u64 {
+        let nodes = self
+            .servers
+            .iter()
+            .map(|s| <P::Server as Node<P>>::digest(s))
+            .chain(
+                self.clients
+                    .iter()
+                    .map(|c| <P::Client as Node<P>>::digest(c)),
+            );
+        let channels = self.channels.iter().map(|(&(from, to), q)| {
+            hash_of(&(
+                from,
+                to,
+                q.iter().map(|m| format!("{m:?}")).collect::<Vec<_>>(),
+            ))
+        });
+        let blocked = self.failed.iter().chain(self.frozen.iter()).map(hash_of);
+        combine(nodes.chain(channels).chain(blocked))
+    }
+
+    /// All operation records, in invocation order.
+    pub fn ops(&self) -> &[OpRecord<P::Inv, P::Resp>] {
+        &self.ops
+    }
+
+    /// Whether `client` has an operation open at this point.
+    pub fn has_open_op(&self, client: ClientId) -> bool {
+        self.open_ops.contains_key(&client)
+    }
+
+    /// Delivered-message totals by channel category.
+    pub fn traffic(&self) -> TrafficCounters {
+        self.traffic
+    }
+
+    /// The storage peaks observed so far.
+    pub fn storage(&self) -> StorageSnapshot {
+        self.meter.snapshot()
+    }
+
+    pub(super) fn sample_meter(&mut self) {
+        let bits: Vec<f64> = self
+            .servers
+            .iter()
+            .map(|s| <P::Server as Node<P>>::state_bits(s))
+            .collect();
+        let meta: Vec<f64> = self
+            .servers
+            .iter()
+            .map(|s| <P::Server as Node<P>>::metadata_bits(s))
+            .collect();
+        Arc::make_mut(&mut self.meter).observe(&bits, &meta);
+    }
+}

@@ -1,8 +1,8 @@
 //! Property tests on the simulation substrate: determinism, channel
 //! reliability/FIFO, fairness, and fork independence.
 
-use proptest::prelude::*;
 use shmem_sim::{hash_of, ClientId, Ctx, Node, NodeId, Protocol, Sim, SimConfig};
+use shmem_util::prop::prelude::*;
 
 /// A protocol whose server appends every received byte and echoes a
 /// running checksum — enough structure to observe ordering and loss.
@@ -147,8 +147,7 @@ proptest! {
         bytes in proptest::collection::vec(0u8..=255, 1..16),
         seed in 0u64..500,
     ) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = shmem_util::DetRng::seed_from_u64(seed);
         let mut sim = world();
         sim.invoke(ClientId(0), bytes.clone()).unwrap();
         while sim.step_with(|opts| rng.gen_range(0..opts.len())).is_some() {}

@@ -72,8 +72,7 @@ fn check_interval<V: Clone + Eq>(history: &History<V>, strict: Strictness) -> Ve
         let _ = read_end;
         let candidates: Vec<usize> = (0..ops.len())
             .filter(|&i| {
-                matches!(&ops[i].kind, OpKind::Write(v) if v == returned)
-                    && !read.precedes(&ops[i])
+                matches!(&ops[i].kind, OpKind::Write(v) if v == returned) && !read.precedes(&ops[i])
             })
             .collect();
 

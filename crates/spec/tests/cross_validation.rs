@@ -2,9 +2,9 @@
 //! brute-force reference on randomized small histories, plus the
 //! safe ⊆ regular ⊆ atomic inclusion hierarchy.
 
-use proptest::prelude::*;
 use shmem_spec::history::{History, OpKind, Operation};
 use shmem_spec::{check_atomic, check_regular, check_safe};
+use shmem_util::prop::prelude::*;
 
 /// Brute-force linearizability for a register: try every permutation of
 /// every subset choice for incomplete operations. Exponential — only for

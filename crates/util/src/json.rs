@@ -1,0 +1,188 @@
+//! A tiny JSON emitter.
+//!
+//! The figure/table exporters need to *write* JSON (they never parse it),
+//! so this is an escape function plus a small value builder — enough to
+//! replace `serde_json::to_string_pretty` for the table types in
+//! `shmem-bench` without an external dependency.
+
+use std::fmt::Write as _;
+
+/// A JSON value under construction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A finite number (rendered via `f64`; non-finite renders as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An array of strings.
+    pub fn str_array<I, S>(items: I) -> Json
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Json::Arr(items.into_iter().map(Json::str).collect())
+    }
+
+    /// Renders compactly (no whitespace).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders with two-space indentation, like `serde_json::to_string_pretty`.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    if *n == n.trunc() && n.abs() < 1e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                write_seq(out, indent, depth, '[', ']', items.iter(), |out, v, d| {
+                    v.write(out, indent, d);
+                })
+            }
+            Json::Obj(entries) => write_seq(
+                out,
+                indent,
+                depth,
+                '{',
+                '}',
+                entries.iter(),
+                |out, (k, v), d| {
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, d);
+                },
+            ),
+        }
+    }
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    items: impl ExactSizeIterator<Item = T>,
+    mut write_item: impl FnMut(&mut String, T, usize),
+) {
+    out.push(open);
+    let len = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(out, item, depth + 1);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if len > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut out = String::new();
+        write_escaped(&mut out, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn compact_object() {
+        let v = Json::Obj(vec![
+            ("title".into(), Json::str("t")),
+            ("n".into(), Json::Num(3.0)),
+            ("rows".into(), Json::str_array(["a", "b"])),
+        ]);
+        assert_eq!(v.to_compact(), r#"{"title":"t","n":3,"rows":["a","b"]}"#);
+    }
+
+    #[test]
+    fn pretty_nests_with_two_spaces() {
+        let v = Json::Obj(vec![(
+            "rows".into(),
+            Json::Arr(vec![Json::str_array(["x"])]),
+        )]);
+        let expected = "{\n  \"rows\": [\n    [\n      \"x\"\n    ]\n  ]\n}";
+        assert_eq!(v.to_pretty(), expected);
+    }
+
+    #[test]
+    fn empty_containers_stay_flat() {
+        assert_eq!(Json::Arr(vec![]).to_pretty(), "[]");
+        assert_eq!(Json::Obj(vec![]).to_pretty(), "{}");
+    }
+
+    #[test]
+    fn numbers_render_plainly() {
+        assert_eq!(Json::Num(0.5).to_compact(), "0.5");
+        assert_eq!(Json::Num(-7.0).to_compact(), "-7");
+        assert_eq!(Json::Num(f64::NAN).to_compact(), "null");
+    }
+}

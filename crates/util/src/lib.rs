@@ -1,0 +1,23 @@
+//! Dependency-free utility substrate for the workspace.
+//!
+//! The build environment is fully offline, so everything the repo needs
+//! beyond the standard library lives here:
+//!
+//! * [`rng`] — a small, fast, seedable deterministic PRNG ([`rng::DetRng`],
+//!   SplitMix64) used for seeded adversarial schedules and randomized
+//!   tests. Determinism across platforms and runs is a hard requirement for
+//!   the proof machinery (probe verdicts are memoized by digest).
+//! * [`prop`] — a miniature property-testing harness with a
+//!   `proptest!`-compatible macro surface (strategies over ranges, vectors,
+//!   tuples, `prop_map`/`prop_flat_map`, `Just`, weighted booleans).
+//! * [`bench`] — a miniature benchmarking harness with a
+//!   criterion-compatible macro surface (`criterion_group!`,
+//!   `criterion_main!`, `Criterion::bench_function`, groups, throughput).
+//! * [`json`] — a tiny JSON string emitter for the table/figure exporters.
+
+pub mod bench;
+pub mod json;
+pub mod prop;
+pub mod rng;
+
+pub use rng::DetRng;

@@ -1,0 +1,230 @@
+//! A deterministic, seedable PRNG.
+//!
+//! SplitMix64 (Steele–Lea–Flood): tiny state, excellent statistical
+//! quality for simulation scheduling, and — crucially for this repo —
+//! bit-identical output on every platform and every run. The proof
+//! machinery memoizes probe verdicts by world digest, so schedule
+//! generation must be a pure function of the seed.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A deterministic random number generator (SplitMix64).
+///
+/// ```
+/// use shmem_util::rng::DetRng;
+///
+/// let mut a = DetRng::seed_from_u64(7);
+/// let mut b = DetRng::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let i = a.gen_range(0..10usize);
+/// assert!(i < 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed. Equal seeds give equal
+    /// streams, on every platform.
+    pub fn seed_from_u64(seed: u64) -> DetRng {
+        // Pre-mix so small consecutive seeds don't start in nearby states.
+        let mut rng = DetRng { state: seed };
+        rng.next_u64();
+        rng
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform f64 in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A Bernoulli draw with success probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.gen_f64() < p
+    }
+
+    /// A uniform draw from a range, like `rand`'s `gen_range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+}
+
+/// Ranges [`DetRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut DetRng) -> Self::Output;
+}
+
+// Lemire-style unbiased bounded draw on the full u64 stream.
+fn bounded_u64(rng: &mut DetRng, bound: u64) -> u64 {
+    assert!(bound > 0, "cannot sample from an empty range");
+    // Rejection sampling over the largest multiple of `bound`.
+    let zone = u64::MAX - (u64::MAX % bound);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut DetRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + bounded_u64(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut DetRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Only reachable for the full u64/i128-width ranges.
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + bounded_u64(rng, span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for Range<i128> {
+    type Output = i128;
+    fn sample(self, rng: &mut DetRng) -> i128 {
+        assert!(self.start < self.end, "empty range");
+        let span = (self.end - self.start) as u128;
+        if span <= u64::MAX as u128 {
+            self.start + bounded_u64(rng, span as u64) as i128
+        } else {
+            // Wide spans: two draws; bias is negligible and determinism is
+            // what matters here.
+            let v = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+            self.start + v as i128
+        }
+    }
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut DetRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = DetRng::seed_from_u64(42);
+        let mut b = DetRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::seed_from_u64(1);
+        let mut b = DetRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = DetRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17u32);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5..=5i64);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(1.5..2.5f64);
+            assert!((1.5..2.5).contains(&f));
+            let u = rng.gen_range(0..10usize);
+            assert!(u < 10);
+        }
+    }
+
+    #[test]
+    fn full_width_inclusive_range() {
+        let mut rng = DetRng::seed_from_u64(4);
+        // Must not panic or loop forever.
+        let _ = rng.gen_range(0u64..=u64::MAX);
+        let _ = rng.gen_range(u8::MIN..=u8::MAX);
+    }
+
+    #[test]
+    fn bool_probabilities_are_sane() {
+        let mut rng = DetRng::seed_from_u64(5);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.85)).count();
+        assert!((8_200..8_800).contains(&heads), "heads={heads}");
+    }
+
+    #[test]
+    fn range_distribution_covers_all_values() {
+        let mut rng = DetRng::seed_from_u64(6);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..7usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = DetRng::seed_from_u64(7);
+        let mut v: Vec<u32> = (0..20).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "20 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = DetRng::seed_from_u64(8);
+        let _ = rng.gen_range(5..5u32);
+    }
+}

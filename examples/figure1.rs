@@ -36,7 +36,10 @@ fn main() {
     let series: Vec<(char, Series)> = vec![
         ('b', Box::new(move |_| lower::singleton_total(p).to_f64())),
         ('u', Box::new(move |_| lower::universal_total(p).to_f64())),
-        ('m', Box::new(move |nu| lower::multi_version_total(p, nu).to_f64())),
+        (
+            'm',
+            Box::new(move |nu| lower::multi_version_total(p, nu).to_f64()),
+        ),
         ('A', Box::new(move |_| upper::replication_total(p).to_f64())),
         ('E', Box::new(move |nu| upper::coded_total(p, nu).to_f64())),
     ];

@@ -42,7 +42,11 @@ fn main() {
     // --- The Section 4 construction on ABD (N=5, f=2, |V|=8) ------------
     println!("building alpha^(v1=1, v2=2) against ABD (N=5, f=2)...");
     let alpha = AlphaExecution::build(abd_world(), writer, 2, 1, 2).expect("alpha builds");
-    println!("recorded {} points (P0 .. P{})", alpha.len(), alpha.len() - 1);
+    println!(
+        "recorded {} points (P0 .. P{})",
+        alpha.len(),
+        alpha.len() - 1
+    );
 
     let profile = valency_profile(&alpha, reader, false, 4);
     print!("valency profile: ");

@@ -41,8 +41,8 @@ fn main() {
 
     // Confront the measured storage with the paper's bounds.
     let params = SystemParams::new(n, f).expect("valid parameters");
-    let report = StorageAudit::new("ABD", params, ValueDomain::from_bits(64), 1)
-        .assess(&cluster.storage());
+    let report =
+        StorageAudit::new("ABD", params, ValueDomain::from_bits(64), 1).assess(&cluster.storage());
     println!("\n{report}");
     assert!(report.lower_bounds_respected());
     println!(

@@ -28,7 +28,9 @@ fn cas_world() -> Sim<Cas> {
     let cfg = CasConfig::native(5, 1, ValueSpec::from_cardinality(8));
     Sim::new(
         SimConfig::without_gossip(),
-        (0..5).map(|i| CasServer::new(cfg, ServerId(i), 0)).collect(),
+        (0..5)
+            .map(|i| CasServer::new(cfg, ServerId(i), 0))
+            .collect(),
         (0..3).map(|c| CasClient::new(cfg, c)).collect(),
     )
 }
@@ -47,8 +49,7 @@ fn main() {
 
     println!("Section 6 staged adversary, nu = 2 writers, values (v1, v2) = (1, 2)\n");
 
-    let abd_profile =
-        staged_search(abd_world, &abd_setup, &[1, 2], 8).expect("ABD profile exists");
+    let abd_profile = staged_search(abd_world, &abd_setup, &[1, 2], 8).expect("ABD profile exists");
     println!(
         "ABD  (N=5, f=2): sigma = {:?}, thresholds a = {:?}",
         abd_profile.sigma, abd_profile.a
@@ -59,8 +60,7 @@ fn main() {
         abd_profile.a[0], abd_profile.a[0]
     );
 
-    let cas_profile =
-        staged_search(cas_world, &cas_setup, &[1, 2], 8).expect("CAS profile exists");
+    let cas_profile = staged_search(cas_world, &cas_setup, &[1, 2], 8).expect("CAS profile exists");
     println!(
         "CAS  (N=5, f=1): sigma = {:?}, thresholds a = {:?}",
         cas_profile.sigma, cas_profile.a

@@ -13,8 +13,8 @@ fn abd_audit_sweep() {
             let p = SystemParams::new(n, f).unwrap();
             let mut c = AbdCluster::new(n, f, nu + 1, ValueSpec::from_bits(64.0));
             run_concurrent_workload(&mut c, nu, 1, 2, 17).expect("workload");
-            let r = StorageAudit::new("abd", p, ValueDomain::from_bits(64), nu)
-                .assess(&c.storage());
+            let r =
+                StorageAudit::new("abd", p, ValueDomain::from_bits(64), nu).assess(&c.storage());
             assert!(r.lower_bounds_respected(), "N={n} f={f} nu={nu}: {r}");
             // ABD's total is exactly N values.
             assert!((r.measured_total_normalized - n as f64).abs() < 1e-9);

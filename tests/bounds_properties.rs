@@ -2,8 +2,8 @@
 //! monotonicity, convergence and crossover laws over randomized
 //! parameters.
 
-use proptest::prelude::*;
 use shmem_emulation::bounds::{lower, upper, Ratio, SystemParams, ValueDomain};
+use shmem_util::prop::prelude::*;
 
 fn arb_params() -> impl Strategy<Value = SystemParams> {
     (2u32..200).prop_flat_map(|n| {

@@ -82,7 +82,10 @@ fn abd_blocks_beyond_f_failures_but_recovers_reads() {
     c.write(0, 5).unwrap();
     c.sim.fail_last_servers(3); // beyond the design point
     c.begin(1, RegInv::Read).unwrap();
-    assert!(c.sim.run_until_op_completes(shmem_emulation::sim::ClientId(1)).is_err());
+    assert!(c
+        .sim
+        .run_until_op_completes(shmem_emulation::sim::ClientId(1))
+        .is_err());
 }
 
 #[test]
@@ -158,7 +161,9 @@ fn fifo_cluster_rejects_out_of_order_delivery() {
     let mut c = AbdCluster::new(3, 1, 1, spec64());
     c.begin(0, RegInv::Write(1)).unwrap();
     // Head delivery is always fine...
-    c.sim.deliver_nth(NodeId::client(0), NodeId::server(0), 0).unwrap();
+    c.sim
+        .deliver_nth(NodeId::client(0), NodeId::server(0), 0)
+        .unwrap();
     // ...but a FIFO world must refuse index > 0.
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let _ = c.sim.deliver_nth(NodeId::client(0), NodeId::server(1), 1);

@@ -28,7 +28,9 @@ fn cas_world(n: u32, f: u32, card: u64) -> Sim<Cas> {
     let cfg = CasConfig::native(n, f, ValueSpec::from_cardinality(card));
     Sim::new(
         SimConfig::without_gossip(),
-        (0..n).map(|i| CasServer::new(cfg, ServerId(i), 0)).collect(),
+        (0..n)
+            .map(|i| CasServer::new(cfg, ServerId(i), 0))
+            .collect(),
         (0..3).map(|c| CasClient::new(cfg, c)).collect(),
     )
 }
@@ -36,8 +38,7 @@ fn cas_world(n: u32, f: u32, card: u64) -> Sim<Cas> {
 #[test]
 fn full_theorem_41_pipeline_on_abd_7_servers() {
     // A bigger geometry than the unit tests: N=7, f=3.
-    let alpha =
-        AlphaExecution::build(abd_world(7, 8), ClientId(0), 3, 2, 5).expect("alpha builds");
+    let alpha = AlphaExecution::build(abd_world(7, 8), ClientId(0), 3, 2, 5).expect("alpha builds");
     assert_eq!(
         probe_read(alpha.point(0), ClientId(0), ClientId(1), false),
         ReadOutcome::Returns(2)

@@ -34,7 +34,10 @@ fn cas_wide_code_geometry() {
     // Peak storage: at most (2 writers + initial + in-flight) versions of
     // 21/13 value-sizes each — far below replication.
     let total = c.storage().peak_total_bits / 64.0;
-    assert!(total < 21.0, "coded at wide k must beat full replication: {total}");
+    assert!(
+        total < 21.0,
+        "coded at wide k must beat full replication: {total}"
+    );
 }
 
 #[test]
