@@ -24,9 +24,10 @@
 use crate::reg::{RegInv, RegResp};
 use crate::tag::Tag;
 use crate::value::{Value, ValueSpec};
-use shmem_erasure::{Gf256, ReedSolomon};
+use shmem_erasure::{Codec, Gf256};
 use shmem_sim::{hash_of, Ctx, Node, NodeId, Protocol, ServerId};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Protocol marker for CAS/CASGC.
 pub struct Cas;
@@ -97,13 +98,16 @@ impl CasConfig {
         (self.n + self.k).div_ceil(2)
     }
 
-    /// The `[N, k]` Reed–Solomon code this configuration uses.
+    /// The `[N, k]` slab codec this configuration uses. The handle is
+    /// memoized process-wide by `(N, k)`: the generator, encode plan and
+    /// decode-plan cache are built once and shared across every server,
+    /// client and operation of the geometry.
     ///
     /// # Panics
     ///
     /// Never panics for a validated configuration.
-    pub fn code(&self) -> ReedSolomon<Gf256> {
-        ReedSolomon::new(self.n as usize, self.k as usize)
+    pub fn code(&self) -> Arc<Codec<Gf256>> {
+        Codec::shared(self.n as usize, self.k as usize)
             .expect("validated CAS parameters form a legal code")
     }
 
@@ -470,16 +474,19 @@ impl Node<Cas> for CasClient {
                         .take(self.cfg.k as usize)
                         .map(|(&i, s)| (i as usize, s.clone()))
                         .collect();
-                    let bytes = self
+                    let decoded = self
                         .cfg
                         .code()
-                        .decode_bytes(&picked, 8)
-                        .expect("k distinct symbols decode");
-                    let value = ValueSpec::from_bytes(&bytes);
+                        .decode_bytes(&picked, ValueSpec::VALUE_BYTES);
                     let _ = tag;
                     self.phase = Phase::Idle;
                     self.rid += 1;
-                    ctx.respond(RegResp::ReadValue(value));
+                    match decoded {
+                        Ok(bytes) => ctx.respond(RegResp::ReadValue(ValueSpec::from_bytes(&bytes))),
+                        // Corrupted or inconsistent symbols: fail the read
+                        // rather than panic the client automaton.
+                        Err(e) => ctx.respond(RegResp::ReadFailed(e)),
+                    }
                 } else if responses.len() as u32 == self.cfg.n && !decodable {
                     // Every server answered but the symbols were garbage
                     // collected under us: restart the read (CASGC's
@@ -618,6 +625,53 @@ mod tests {
             sim.run_until_op_completes(ClientId(0)).unwrap(),
             RegResp::ReadValue(6)
         );
+    }
+
+    #[test]
+    fn codec_handle_is_memoized_per_geometry() {
+        let cfg = CasConfig::native(5, 1, ValueSpec::from_bits(64.0));
+        assert!(Arc::ptr_eq(&cfg.code(), &cfg.code()));
+        // A different geometry gets its own codec.
+        let other = CasConfig::native(7, 2, ValueSpec::from_bits(64.0));
+        assert!(!Arc::ptr_eq(&cfg.code(), &other.code()));
+    }
+
+    #[test]
+    fn corrupted_share_fails_read_without_panicking() {
+        use shmem_erasure::CodeError;
+        let mut sim = cluster(5, 1, None, 1);
+        // Truncate one stored symbol of the initial value: the reader's
+        // picked set becomes ragged and must fail to decode.
+        sim.server_mut(ServerId(0))
+            .shares
+            .get_mut(&Tag::ZERO)
+            .expect("initial share present")
+            .pop();
+        sim.invoke(ClientId(0), RegInv::Read).unwrap();
+        assert_eq!(
+            sim.run_until_op_completes(ClientId(0)).unwrap(),
+            RegResp::ReadFailed(CodeError::LengthMismatch)
+        );
+    }
+
+    #[test]
+    fn corrupted_share_surfaces_as_operation_failed_in_harness() {
+        use crate::harness::CasCluster;
+        use shmem_sim::RunError;
+        let mut c = CasCluster::new(5, 1, 1, ValueSpec::from_bits(64.0));
+        c.sim
+            .server_mut(ServerId(0))
+            .shares
+            .get_mut(&Tag::ZERO)
+            .expect("initial share present")
+            .pop();
+        match c.read(0) {
+            Err(RunError::OperationFailed { client, detail }) => {
+                assert_eq!(client, ClientId(0));
+                assert!(detail.contains("length"), "unexpected detail: {detail}");
+            }
+            other => panic!("expected OperationFailed, got {other:?}"),
+        }
     }
 
     #[test]

@@ -61,7 +61,9 @@ impl<P: Protocol<Inv = RegInv, Resp = RegResp>> Cluster<P> {
     ///
     /// # Errors
     ///
-    /// Propagates simulator errors.
+    /// Propagates simulator errors; a protocol-level read failure (e.g.
+    /// codeword symbols that did not decode) surfaces as
+    /// [`RunError::OperationFailed`].
     ///
     /// # Panics
     ///
@@ -69,8 +71,14 @@ impl<P: Protocol<Inv = RegInv, Resp = RegResp>> Cluster<P> {
     /// bug).
     pub fn read(&mut self, client: u32) -> Result<Value, RunError> {
         self.sim.invoke(ClientId(client), RegInv::Read)?;
-        let resp = self.sim.run_until_op_completes(ClientId(client))?;
-        Ok(resp.read_value().expect("read must return a value"))
+        match self.sim.run_until_op_completes(ClientId(client))? {
+            RegResp::ReadValue(v) => Ok(v),
+            RegResp::ReadFailed(e) => Err(RunError::OperationFailed {
+                client: ClientId(client),
+                detail: e.to_string(),
+            }),
+            RegResp::WriteAck => panic!("read must not be answered with a write-ack"),
+        }
     }
 
     /// Starts an operation without running it — for concurrent workloads.

@@ -328,16 +328,17 @@ impl Node<HashedCas> for HashedClient {
                         .take(self.cfg.k as usize)
                         .map(|(&i, s)| (i as usize, s.clone()))
                         .collect();
-                    let bytes = self
+                    let decoded = self
                         .cfg
                         .code()
-                        .decode_bytes(&picked, 8)
-                        .expect("k distinct symbols decode");
-                    let value = ValueSpec::from_bytes(&bytes);
+                        .decode_bytes(&picked, ValueSpec::VALUE_BYTES);
                     let _ = tag;
                     self.phase = Phase::Idle;
                     self.rid += 1;
-                    ctx.respond(RegResp::ReadValue(value));
+                    match decoded {
+                        Ok(bytes) => ctx.respond(RegResp::ReadValue(ValueSpec::from_bytes(&bytes))),
+                        Err(e) => ctx.respond(RegResp::ReadFailed(e)),
+                    }
                 }
             }
             _ => {}

@@ -1,6 +1,7 @@
 //! The uniform register interface all algorithms expose to the environment.
 
 use crate::value::Value;
+use shmem_erasure::CodeError;
 
 /// An operation invocation at a client.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -18,6 +19,10 @@ pub enum RegResp {
     WriteAck,
     /// A read returning the register's value.
     ReadValue(Value),
+    /// A read that terminated without a value because the collected
+    /// codeword symbols did not decode (corrupted or inconsistent server
+    /// state). Surfaced instead of panicking so harnesses can report it.
+    ReadFailed(CodeError),
 }
 
 impl RegResp {
@@ -25,7 +30,7 @@ impl RegResp {
     pub fn read_value(self) -> Option<Value> {
         match self {
             RegResp::ReadValue(v) => Some(v),
-            RegResp::WriteAck => None,
+            RegResp::WriteAck | RegResp::ReadFailed(_) => None,
         }
     }
 }

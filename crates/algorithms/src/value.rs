@@ -18,6 +18,11 @@ pub struct ValueSpec {
 }
 
 impl ValueSpec {
+    /// Bytes in the canonical wire representation of a [`Value`] — the
+    /// length [`ValueSpec::to_bytes`] produces, and therefore the length
+    /// erasure decoders must reconstruct.
+    pub const VALUE_BYTES: usize = 8;
+
     /// A domain of `2^bits` values.
     ///
     /// # Panics
@@ -40,16 +45,17 @@ impl ValueSpec {
         }
     }
 
-    /// Serializes a value to its canonical 8-byte representation (what the
-    /// erasure coder stripes).
-    pub fn to_bytes(value: Value) -> [u8; 8] {
+    /// Serializes a value to its canonical
+    /// [`VALUE_BYTES`](ValueSpec::VALUE_BYTES)-byte representation (what
+    /// the erasure coder stripes).
+    pub fn to_bytes(value: Value) -> [u8; Self::VALUE_BYTES] {
         value.to_be_bytes()
     }
 
     /// Deserializes the canonical representation.
     pub fn from_bytes(bytes: &[u8]) -> Value {
-        let mut b = [0u8; 8];
-        b.copy_from_slice(&bytes[..8]);
+        let mut b = [0u8; Self::VALUE_BYTES];
+        b.copy_from_slice(&bytes[..Self::VALUE_BYTES]);
         Value::from_be_bytes(b)
     }
 }

@@ -1,32 +1,52 @@
-//! Benchmarks for the erasure-coding substrate (E10): Reed–Solomon
-//! encode/decode at the paper's `[21, 11]` geometry, plus field and matrix
-//! primitives.
+//! Benchmarks for the erasure-coding substrate: the legacy
+//! symbol-at-a-time Reed–Solomon path against the slab fast path across a
+//! 1 KiB → 1 MiB payload sweep at the paper's `[21, 11]` geometry, plus
+//! field, kernel and matrix primitives.
+//!
+//! The two paths produce byte-identical output (see
+//! `crates/erasure/tests/slab_parity.rs`); these benches measure the cost
+//! side. `figures tab-codec` distills the same comparison into
+//! `results/tab-codec.{csv,json}`.
 
-use shmem_erasure::{Field, Gf256, Matrix, ReedSolomon};
-use shmem_util::bench::{black_box, Criterion, Throughput};
+use shmem_erasure::{Codec, Field, Gf256, Matrix, ReedSolomon, SlabKernel};
+use shmem_util::bench::{black_box, BenchmarkId, Criterion, Throughput};
 use shmem_util::{criterion_group, criterion_main};
 
-fn bench_rs(c: &mut Criterion) {
-    let code = ReedSolomon::<Gf256>::new(21, 11).unwrap();
-    let payload: Vec<u8> = (0..1024u32).map(|i| (i * 31 % 251) as u8).collect();
-    let shares = code.encode_bytes(&payload);
-    let picked: Vec<(usize, Vec<u8>)> = (10..21).map(|i| (i, shares[i].clone())).collect();
+/// 1 KiB → 1 MiB in 4× steps.
+const SIZES: &[usize] = &[1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20];
+
+fn bench_sweep(c: &mut Criterion) {
+    let legacy = ReedSolomon::<Gf256>::new(21, 11).unwrap();
+    let codec = Codec::<Gf256>::new(21, 11).unwrap();
 
     let mut group = c.benchmark_group("rs_codec");
-    group.throughput(Throughput::Bytes(payload.len() as u64));
-    group.bench_function("encode_1KiB_n21_k11", |b| {
-        b.iter(|| black_box(code.encode_bytes(black_box(&payload))))
-    });
-    group.bench_function("decode_1KiB_n21_k11", |b| {
-        b.iter(|| {
-            black_box(
-                code.decode_bytes(black_box(&picked), payload.len())
-                    .unwrap(),
-            )
-        })
-    });
-    group.finish();
+    // The legacy decode inverts a Vandermonde submatrix per stripe; at
+    // 1 MiB a single run is long enough that big sample counts would make
+    // the sweep take minutes.
+    group.sample_size(10);
+    for &size in SIZES {
+        let payload: Vec<u8> = (0..size).map(|i| (i * 31 % 251) as u8).collect();
+        let shares = legacy.encode_bytes(&payload);
+        let picked: Vec<(usize, Vec<u8>)> = (10..21).map(|i| (i, shares[i].clone())).collect();
 
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("legacy_encode", size), &payload, |b, p| {
+            b.iter(|| black_box(legacy.encode_bytes(black_box(p))))
+        });
+        group.bench_with_input(BenchmarkId::new("slab_encode", size), &payload, |b, p| {
+            b.iter(|| black_box(codec.encode_bytes(black_box(p))))
+        });
+        group.bench_with_input(BenchmarkId::new("legacy_decode", size), &picked, |b, p| {
+            b.iter(|| black_box(legacy.decode_bytes(black_box(p), size).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("slab_decode", size), &picked, |b, p| {
+            b.iter(|| black_box(codec.decode_bytes(black_box(p), size).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
     c.bench_function("gf256/mul_chain_4096", |b| {
         b.iter(|| {
             let mut acc = Gf256::ONE;
@@ -37,6 +57,15 @@ fn bench_rs(c: &mut Criterion) {
         })
     });
 
+    c.bench_function("gf256/mul_slab_xor_64KiB", |b| {
+        let table = Gf256::new(0x1D).mul_table();
+        let src = vec![0xA5u8; 64 * 1024];
+        let mut dst = vec![0u8; 64 * 1024];
+        b.iter(|| {
+            Gf256::mul_slab_xor(&table, black_box(&src), black_box(&mut dst));
+        })
+    });
+
     c.bench_function("matrix/invert_11x11", |b| {
         let xs: Vec<Gf256> = (1..=11u8).map(Gf256::new).collect();
         let m = Matrix::vandermonde(&xs, 11);
@@ -44,5 +73,5 @@ fn bench_rs(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_rs);
+criterion_group!(benches, bench_sweep, bench_primitives);
 criterion_main!(benches);

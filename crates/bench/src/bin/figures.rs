@@ -47,6 +47,7 @@ fn main() {
             "tab-workloads",
             "tab-traffic",
             "tab-probe-cache",
+            "tab-codec",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -78,6 +79,7 @@ fn main() {
             "tab-workloads" => measured::workloads_table(7),
             "tab-traffic" => measured::traffic_table(),
             "tab-probe-cache" => measured::probe_cache_table(5, 2, 4, 2),
+            "tab-codec" => measured::codec_table(21, 11, &[1 << 10, 1 << 14, 1 << 16, 1 << 20]),
             other => {
                 eprintln!("unknown table id: {other}");
                 std::process::exit(2);

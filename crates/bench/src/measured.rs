@@ -730,6 +730,23 @@ mod shape_tests {
     }
 
     #[test]
+    fn codec_table_shows_slab_speedup() {
+        // Small sizes keep the test fast; the real gate (>= 5x at 64 KiB)
+        // is demonstrated by `figures tab-codec` into results/.
+        let t = codec_table(21, 11, &[1 << 14]);
+        assert_eq!(t.rows.len(), 1);
+        let row = &t.rows[0];
+        assert_eq!(row[0], "16 KiB");
+        let enc_speedup: f64 = row[3].trim_end_matches('x').parse().unwrap();
+        let dec_speedup: f64 = row[6].trim_end_matches('x').parse().unwrap();
+        assert!(enc_speedup > 1.5, "encode speedup {enc_speedup}");
+        assert!(dec_speedup > 1.5, "decode speedup {dec_speedup}");
+        // The repeated decodes of one erasure pattern hit the plan cache.
+        let hit_rate: f64 = row[7].parse().unwrap();
+        assert!(hit_rate > 0.9, "hit rate {hit_rate}");
+    }
+
+    #[test]
     fn traffic_table_shapes() {
         let t = traffic_table();
         assert_eq!(t.rows.len(), 10);
@@ -751,4 +768,92 @@ mod shape_tests {
         // No plain algorithm gossips.
         assert_eq!(row("CAS", "read")[4], "0");
     }
+}
+
+/// `tab-codec`: slab codec vs the legacy symbol-at-a-time Reed–Solomon path at
+/// one geometry, across a payload size sweep — MB/s for encode and
+/// decode on both paths, the resulting speedups, and the slab codec's
+/// decode-plan cache hit rate. The two paths produce byte-identical
+/// output (asserted by `crates/erasure/tests/slab_parity.rs`); this
+/// table reports the cost side.
+pub fn codec_table(n: usize, k: usize, sizes: &[usize]) -> Table {
+    use shmem_erasure::{Codec, Gf256, ReedSolomon};
+    use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    /// Mean throughput of `op` over enough repetitions to fill a 20 ms
+    /// measurement window (one warm-up run first).
+    fn throughput_mbs(bytes: usize, mut op: impl FnMut()) -> f64 {
+        op();
+        let mut reps: u32 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..reps {
+                op();
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(20) || reps >= 1 << 14 {
+                return bytes as f64 * f64::from(reps) / elapsed.as_secs_f64() / 1e6;
+            }
+            reps *= 4;
+        }
+    }
+
+    fn format_size(bytes: usize) -> String {
+        if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
+            format!("{} MiB", bytes >> 20)
+        } else if bytes >= 1 << 10 && bytes.is_multiple_of(1 << 10) {
+            format!("{} KiB", bytes >> 10)
+        } else {
+            format!("{bytes} B")
+        }
+    }
+
+    let legacy = ReedSolomon::<Gf256>::new(n, k).expect("legal geometry");
+    let codec = Codec::<Gf256>::new(n, k).expect("legal geometry");
+    let mut t = Table::new(
+        format!("Slab codec vs legacy symbol path, RS[{n},{k}] over GF(256)"),
+        &[
+            "payload",
+            "legacy enc MB/s",
+            "slab enc MB/s",
+            "enc speedup",
+            "legacy dec MB/s",
+            "slab dec MB/s",
+            "dec speedup",
+            "plan hit rate",
+        ],
+    );
+    for &size in sizes {
+        let data: Vec<u8> = (0..size).map(|i| (i * 31 % 251) as u8).collect();
+        let shares = legacy.encode_bytes(&data);
+        // Decode from the worst-case pattern for the reference: the last
+        // k shares (a dense Vandermonde submatrix, no identity rows).
+        let picked: Vec<(usize, Vec<u8>)> = (n - k..n).map(|i| (i, shares[i].clone())).collect();
+
+        let legacy_enc = throughput_mbs(size, || {
+            black_box(legacy.encode_bytes(black_box(&data)));
+        });
+        let slab_enc = throughput_mbs(size, || {
+            black_box(codec.encode_bytes(black_box(&data)));
+        });
+        let legacy_dec = throughput_mbs(size, || {
+            black_box(legacy.decode_bytes(black_box(&picked), size).unwrap());
+        });
+        let slab_dec = throughput_mbs(size, || {
+            black_box(codec.decode_bytes(black_box(&picked), size).unwrap());
+        });
+
+        t.push(vec![
+            format_size(size),
+            format!("{legacy_enc:.1}"),
+            format!("{slab_enc:.1}"),
+            format!("{:.1}x", slab_enc / legacy_enc),
+            format!("{legacy_dec:.1}"),
+            format!("{slab_dec:.1}"),
+            format!("{:.1}x", slab_dec / legacy_dec),
+            format!("{:.3}", codec.stats().hit_rate()),
+        ]);
+    }
+    t
 }

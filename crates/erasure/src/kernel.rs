@@ -1,0 +1,389 @@
+//! Slab multiply kernels: precomputed per-coefficient nibble tables and
+//! branch-free routines over contiguous byte slabs.
+//!
+//! The [`Field`] trait multiplies one symbol at a time through log/exp
+//! lookups — three dependent loads and a data-dependent zero branch per
+//! product. Erasure-coding a payload multiplies *every* symbol of a lane
+//! by the *same* generator coefficient, so a production codec hoists the
+//! coefficient out of the loop: build a tiny multiply table for the
+//! coefficient once, then sweep it across the lane.
+//!
+//! The tables are split by nibble. For a coefficient `c` over GF(2⁸),
+//! `lo[v] = c·v` and `hi[v] = c·(v«4)` (16 bytes each); linearity of the
+//! field over GF(2) gives `c·x = lo[x & 0xF] ⊕ hi[x » 4]` — two loads
+//! from 32 bytes of table that live in registers or L1 for the whole
+//! sweep, no branches, no log/exp traffic. GF(2¹⁶) uses the same split
+//! with four 16-entry tables, one per nibble position. This is the
+//! scalar shape of the SSSE3 `PSHUFB` kernels in ISA-L-class codecs —
+//! and on x86-64 the GF(2⁸) sweeps dispatch (at runtime, via
+//! `is_x86_feature_detected!`) to exactly those kernels: the 16-byte
+//! `lo`/`hi` tables double as shuffle masks, so one `PSHUFB` per nibble
+//! multiplies 16 (SSSE3) or 32 (AVX2) symbols at once. The scalar loop
+//! remains as the tail and the portable fallback, and both paths produce
+//! identical bytes.
+//!
+//! [`SlabKernel`] is the shared trait: both [`Gf256`] and [`Gf2p16`]
+//! implement it, so the [`plan`](crate::plan) layer is written once and
+//! works for both fields. Slabs are plain `&[u8]` in the same byte
+//! layout [`ReedSolomon::encode_bytes`](crate::ReedSolomon::encode_bytes)
+//! uses (one byte per GF(2⁸) symbol, big-endian pairs per GF(2¹⁶)
+//! symbol), which is what makes the fast path bit-identical to the
+//! legacy symbol-at-a-time reference.
+
+use crate::field::Field;
+use crate::gf256::Gf256;
+use crate::gf2p16::Gf2p16;
+
+/// A field with a slab fast path: per-coefficient multiply tables and
+/// contiguous-slab multiply/multiply-accumulate kernels.
+pub trait SlabKernel: Field {
+    /// Bytes one symbol occupies in the slab byte layout.
+    const SYMBOL_BYTES: usize;
+
+    /// The precomputed multiply table for one coefficient.
+    type Table: Copy + Send + Sync;
+
+    /// Builds the multiply table for `self` as the coefficient.
+    fn mul_table(self) -> Self::Table;
+
+    /// `dst = c · src`, symbol-wise over slabs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `src.len() == dst.len()` and both are
+    /// symbol-aligned.
+    fn mul_slab(table: &Self::Table, src: &[u8], dst: &mut [u8]);
+
+    /// `dst ⊕= c · src`, symbol-wise over slabs (the characteristic-2
+    /// multiply-accumulate).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `src.len() == dst.len()` and both are
+    /// symbol-aligned.
+    fn mul_slab_xor(table: &Self::Table, src: &[u8], dst: &mut [u8]);
+
+    /// Reads the symbol whose bytes start at `at`, zero-padding reads
+    /// past the end of `data` (the striping pad).
+    fn read_symbol_padded(data: &[u8], at: usize) -> Self;
+
+    /// Appends this symbol's slab bytes to `out`.
+    fn append_symbol(self, out: &mut Vec<u8>);
+}
+
+/// Split low/high-nibble multiply table for one GF(2⁸) coefficient:
+/// `lo[v] = c·v`, `hi[v] = c·(v«4)`.
+#[derive(Clone, Copy)]
+pub struct NibbleTable8 {
+    lo: [u8; 16],
+    hi: [u8; 16],
+}
+
+impl SlabKernel for Gf256 {
+    const SYMBOL_BYTES: usize = 1;
+    type Table = NibbleTable8;
+
+    fn mul_table(self) -> NibbleTable8 {
+        let mut lo = [0u8; 16];
+        let mut hi = [0u8; 16];
+        for v in 0..16u8 {
+            lo[v as usize] = self.mul(Gf256::new(v)).raw();
+            hi[v as usize] = self.mul(Gf256::new(v << 4)).raw();
+        }
+        NibbleTable8 { lo, hi }
+    }
+
+    fn mul_slab(table: &NibbleTable8, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "slab length mismatch");
+        let done = vector_sweep::<false>(table, src, dst);
+        for (d, &s) in dst[done..].iter_mut().zip(&src[done..]) {
+            *d = table.lo[(s & 0x0F) as usize] ^ table.hi[(s >> 4) as usize];
+        }
+    }
+
+    fn mul_slab_xor(table: &NibbleTable8, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "slab length mismatch");
+        let done = vector_sweep::<true>(table, src, dst);
+        for (d, &s) in dst[done..].iter_mut().zip(&src[done..]) {
+            *d ^= table.lo[(s & 0x0F) as usize] ^ table.hi[(s >> 4) as usize];
+        }
+    }
+
+    fn read_symbol_padded(data: &[u8], at: usize) -> Gf256 {
+        Gf256::new(data.get(at).copied().unwrap_or(0))
+    }
+
+    fn append_symbol(self, out: &mut Vec<u8>) {
+        out.push(self.raw());
+    }
+}
+
+/// Runs the widest available byte-shuffle sweep over a prefix of the
+/// slabs and returns how many bytes it covered; the caller finishes the
+/// tail with the scalar loop. `XOR` selects multiply-accumulate.
+///
+/// Feature detection is a cached atomic load, so dispatching per sweep
+/// (rather than per byte) costs nothing measurable.
+#[inline]
+fn vector_sweep<const XOR: bool>(table: &NibbleTable8, src: &[u8], dst: &mut [u8]) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            return unsafe { x86::sweep_avx2::<XOR>(table, src, dst) };
+        }
+        if std::arch::is_x86_feature_detected!("ssse3") {
+            // SAFETY: SSSE3 support was just verified at runtime.
+            return unsafe { x86::sweep_ssse3::<XOR>(table, src, dst) };
+        }
+    }
+    let _ = (table, src, dst);
+    0
+}
+
+/// `PSHUFB` nibble kernels: each 16-entry nibble table is loaded once as
+/// a shuffle mask, and a single byte-shuffle instruction then evaluates
+/// it at 16 (or 32, in the AVX2 lane-doubled form) positions at once.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::NibbleTable8;
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    ///
+    /// Callers must verify AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sweep_avx2<const XOR: bool>(
+        table: &NibbleTable8,
+        src: &[u8],
+        dst: &mut [u8],
+    ) -> usize {
+        let lo = _mm256_broadcastsi128_si256(_mm_loadu_si128(table.lo.as_ptr().cast()));
+        let hi = _mm256_broadcastsi128_si256(_mm_loadu_si128(table.hi.as_ptr().cast()));
+        let mask = _mm256_set1_epi8(0x0F);
+        let chunks = src.len() / 32;
+        for i in 0..chunks {
+            let s = _mm256_loadu_si256(src.as_ptr().add(i * 32).cast());
+            // `srli_epi16` drags bits across byte lanes, so re-mask.
+            let lo_idx = _mm256_and_si256(s, mask);
+            let hi_idx = _mm256_and_si256(_mm256_srli_epi16(s, 4), mask);
+            let mut r = _mm256_xor_si256(
+                _mm256_shuffle_epi8(lo, lo_idx),
+                _mm256_shuffle_epi8(hi, hi_idx),
+            );
+            let d = dst.as_mut_ptr().add(i * 32);
+            if XOR {
+                r = _mm256_xor_si256(r, _mm256_loadu_si256(d.cast()));
+            }
+            _mm256_storeu_si256(d.cast(), r);
+        }
+        chunks * 32
+    }
+
+    /// # Safety
+    ///
+    /// Callers must verify SSSE3 support at runtime.
+    #[target_feature(enable = "ssse3")]
+    pub unsafe fn sweep_ssse3<const XOR: bool>(
+        table: &NibbleTable8,
+        src: &[u8],
+        dst: &mut [u8],
+    ) -> usize {
+        let lo = _mm_loadu_si128(table.lo.as_ptr().cast());
+        let hi = _mm_loadu_si128(table.hi.as_ptr().cast());
+        let mask = _mm_set1_epi8(0x0F);
+        let chunks = src.len() / 16;
+        for i in 0..chunks {
+            let s = _mm_loadu_si128(src.as_ptr().add(i * 16).cast());
+            let lo_idx = _mm_and_si128(s, mask);
+            let hi_idx = _mm_and_si128(_mm_srli_epi16(s, 4), mask);
+            let mut r = _mm_xor_si128(_mm_shuffle_epi8(lo, lo_idx), _mm_shuffle_epi8(hi, hi_idx));
+            let d = dst.as_mut_ptr().add(i * 16);
+            if XOR {
+                r = _mm_xor_si128(r, _mm_loadu_si128(d.cast()));
+            }
+            _mm_storeu_si128(d.cast(), r);
+        }
+        chunks * 16
+    }
+}
+
+/// Per-nibble-position multiply tables for one GF(2¹⁶) coefficient:
+/// `t[p][v] = c·(v « 4p)`.
+#[derive(Clone, Copy)]
+pub struct NibbleTable16 {
+    t: [[u16; 16]; 4],
+}
+
+impl SlabKernel for Gf2p16 {
+    const SYMBOL_BYTES: usize = 2;
+    type Table = NibbleTable16;
+
+    fn mul_table(self) -> NibbleTable16 {
+        let mut t = [[0u16; 16]; 4];
+        for (p, table) in t.iter_mut().enumerate() {
+            for (v, slot) in table.iter_mut().enumerate() {
+                *slot = self.mul(Gf2p16::new((v as u16) << (4 * p))).raw();
+            }
+        }
+        NibbleTable16 { t }
+    }
+
+    fn mul_slab(table: &NibbleTable16, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "slab length mismatch");
+        assert!(
+            src.len().is_multiple_of(2),
+            "GF(2^16) slabs are u16-aligned"
+        );
+        for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
+            let x = u16::from_be_bytes([s[0], s[1]]) as usize;
+            let y = table.t[0][x & 0xF]
+                ^ table.t[1][(x >> 4) & 0xF]
+                ^ table.t[2][(x >> 8) & 0xF]
+                ^ table.t[3][x >> 12];
+            d.copy_from_slice(&y.to_be_bytes());
+        }
+    }
+
+    fn mul_slab_xor(table: &NibbleTable16, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "slab length mismatch");
+        assert!(
+            src.len().is_multiple_of(2),
+            "GF(2^16) slabs are u16-aligned"
+        );
+        for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
+            let x = u16::from_be_bytes([s[0], s[1]]) as usize;
+            let y = table.t[0][x & 0xF]
+                ^ table.t[1][(x >> 4) & 0xF]
+                ^ table.t[2][(x >> 8) & 0xF]
+                ^ table.t[3][x >> 12];
+            let cur = u16::from_be_bytes([d[0], d[1]]);
+            d.copy_from_slice(&(cur ^ y).to_be_bytes());
+        }
+    }
+
+    fn read_symbol_padded(data: &[u8], at: usize) -> Gf2p16 {
+        let hi = data.get(at).copied().unwrap_or(0);
+        let lo = data.get(at + 1).copied().unwrap_or(0);
+        Gf2p16::new(u16::from_be_bytes([hi, lo]))
+    }
+
+    fn append_symbol(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.raw().to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gf256_table_matches_field_mul_exhaustively() {
+        for c in 0..=255u8 {
+            let table = Gf256::new(c).mul_table();
+            let src: Vec<u8> = (0..=255).collect();
+            let mut dst = vec![0u8; 256];
+            Gf256::mul_slab(&table, &src, &mut dst);
+            for (x, &got) in src.iter().zip(&dst) {
+                assert_eq!(got, Gf256::new(c).mul(Gf256::new(*x)).raw(), "c={c}, x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn gf256_xor_accumulates() {
+        let table = Gf256::new(0x1D).mul_table();
+        let src = [7u8, 0, 255, 16];
+        let mut dst = [1u8, 2, 3, 4];
+        let before = dst;
+        Gf256::mul_slab_xor(&table, &src, &mut dst);
+        for i in 0..4 {
+            let prod = Gf256::new(0x1D).mul(Gf256::new(src[i])).raw();
+            assert_eq!(dst[i], before[i] ^ prod);
+        }
+    }
+
+    #[test]
+    fn gf256_vector_sweep_and_scalar_tail_agree_at_all_alignments() {
+        // Lengths straddling the SSSE3 (16) and AVX2 (32) chunk widths so
+        // every split between the vector body and the scalar tail is hit.
+        let src: Vec<u8> = (0..200u32).map(|i| (i * 37 % 256) as u8).collect();
+        for c in [0u8, 1, 2, 0x1D, 0x8E, 255] {
+            let table = Gf256::new(c).mul_table();
+            for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 63, 64, 65, 100, 200] {
+                let mut dst = vec![0u8; len];
+                Gf256::mul_slab(&table, &src[..len], &mut dst);
+                let mut acc: Vec<u8> = (0..len as u32).map(|i| (i % 256) as u8).collect();
+                let before = acc.clone();
+                Gf256::mul_slab_xor(&table, &src[..len], &mut acc);
+                for i in 0..len {
+                    let prod = Gf256::new(c).mul(Gf256::new(src[i])).raw();
+                    assert_eq!(dst[i], prod, "c={c}, len={len}, i={i}");
+                    assert_eq!(acc[i], before[i] ^ prod, "xor c={c}, len={len}, i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gf2p16_table_matches_field_mul_on_samples() {
+        for c in [0u16, 1, 2, 0x1D, 0xBEEF, 0xFFFF, 0x8000, 257] {
+            let table = Gf2p16::new(c).mul_table();
+            for x in (0u32..=65535).step_by(97) {
+                let src = (x as u16).to_be_bytes();
+                let mut dst = [0u8; 2];
+                Gf2p16::mul_slab(&table, &src, &mut dst);
+                let want = Gf2p16::new(c).mul(Gf2p16::new(x as u16)).raw();
+                assert_eq!(u16::from_be_bytes(dst), want, "c={c}, x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn gf2p16_xor_accumulates() {
+        let c = Gf2p16::new(0x1234);
+        let table = c.mul_table();
+        let src = 0xABCDu16.to_be_bytes();
+        let mut dst = 0x00FFu16.to_be_bytes();
+        Gf2p16::mul_slab_xor(&table, &src, &mut dst);
+        let want = 0x00FF ^ c.mul(Gf2p16::new(0xABCD)).raw();
+        assert_eq!(u16::from_be_bytes(dst), want);
+    }
+
+    #[test]
+    fn zero_coefficient_tables_annihilate() {
+        let t8 = Gf256::ZERO.mul_table();
+        let mut dst = [0xAAu8; 8];
+        Gf256::mul_slab(&t8, &[0xFF; 8], &mut dst);
+        assert_eq!(dst, [0u8; 8]);
+
+        let t16 = Gf2p16::ZERO.mul_table();
+        let mut dst = [0xAAu8; 8];
+        Gf2p16::mul_slab(&t16, &[0xFF; 8], &mut dst);
+        assert_eq!(dst, [0u8; 8]);
+    }
+
+    #[test]
+    fn padded_reads_and_appends_round_trip() {
+        assert_eq!(Gf256::read_symbol_padded(&[9], 0), Gf256::new(9));
+        assert_eq!(Gf256::read_symbol_padded(&[9], 5), Gf256::ZERO);
+        assert_eq!(
+            Gf2p16::read_symbol_padded(&[0xAB, 0xCD], 0),
+            Gf2p16::new(0xABCD)
+        );
+        // One byte in range, one padded.
+        assert_eq!(Gf2p16::read_symbol_padded(&[0xAB], 0), Gf2p16::new(0xAB00));
+        let mut out = Vec::new();
+        Gf256::new(7).append_symbol(&mut out);
+        Gf2p16::new(0x1234).append_symbol(&mut out);
+        assert_eq!(out, [7, 0x12, 0x34]);
+    }
+
+    #[test]
+    #[should_panic(expected = "slab length mismatch")]
+    fn mismatched_slabs_rejected() {
+        let t = Gf256::ONE.mul_table();
+        let mut dst = [0u8; 3];
+        Gf256::mul_slab(&t, &[0u8; 4], &mut dst);
+    }
+}

@@ -12,7 +12,14 @@
 //! * [`matrix`] — dense matrices over any field, with Gauss–Jordan
 //!   inversion.
 //! * [`rs`] — `[n, k]` Reed–Solomon codes: encode, decode from any `k` of
-//!   `n` symbols, byte-stream striping.
+//!   `n` symbols, byte-stream striping (the symbol-at-a-time reference).
+//! * [`kernel`] — per-coefficient nibble multiply tables and branch-free
+//!   slab routines shared by both fields.
+//! * [`plan`] — precomputed encode/decode plans over those kernels, with
+//!   deterministic parallel striping for large payloads.
+//! * [`codec`] — the operational [`codec::Codec`] handle: encode plan +
+//!   decode-plan LRU + `(n, k)`-memoized registry, byte-identical to the
+//!   reference path but table-driven throughout.
 //!
 //! # Example: store a value across 5 servers, survive any 2 erasures
 //!
@@ -29,14 +36,20 @@
 //! # Ok::<(), shmem_erasure::rs::CodeError>(())
 //! ```
 
+pub mod codec;
 pub mod field;
 pub mod gf256;
 pub mod gf2p16;
+pub mod kernel;
 pub mod matrix;
+pub mod plan;
 pub mod rs;
 
+pub use codec::{Codec, CodecStats};
 pub use field::Field;
 pub use gf256::Gf256;
 pub use gf2p16::Gf2p16;
+pub use kernel::SlabKernel;
 pub use matrix::Matrix;
+pub use plan::{DecodePlan, EncodePlan};
 pub use rs::{CodeError, ReedSolomon};

@@ -1,0 +1,461 @@
+//! Precomputed encode/decode plans over slab kernels.
+//!
+//! A *plan* turns a generator (or inverse) matrix into a grid of
+//! [`SlabKernel`] multiply tables once, then streams payload bytes
+//! through them:
+//!
+//! * [`EncodePlan`] — the `n × k` Vandermonde generator as `n·k` nibble
+//!   tables. Encoding gathers the payload into `k` contiguous lanes
+//!   (lane `j` holds symbol `j` of every stripe) and writes each share
+//!   as **one contiguous slab**: `share_i = Σ_j G[i][j] · lane_j`, a
+//!   `mul_slab` plus `k − 1` `mul_slab_xor` sweeps. No per-stripe
+//!   allocation, no per-symbol dispatch.
+//! * [`DecodePlan`] — the inverted `k × k` Vandermonde submatrix for one
+//!   surviving-index set, inverted **once** and reusable for every
+//!   payload decoded from that erasure pattern (the
+//!   [`Codec`](crate::codec::Codec) caches these in a small LRU).
+//!
+//! Both plans produce bytes identical to the symbol-at-a-time
+//! [`ReedSolomon`] reference: the slab layout *is* the legacy striping
+//! layout, only traversed lane-wise instead of stripe-wise.
+//!
+//! # Parallel striping
+//!
+//! For large payloads the stripe range is cut into fixed-size chunks and
+//! fanned across `std::thread::scope` workers that pull chunk indices
+//! from a shared atomic counter and deposit results into index-addressed
+//! slots — the same deterministic merge pattern as `shmem-core`'s probe
+//! engine. Every output byte depends only on its own stripe's input
+//! bytes, and the merge is by chunk index, so the parallel path is
+//! bit-identical to the sequential one by construction (and asserted by
+//! the `slab_parity` test suite).
+
+use crate::kernel::SlabKernel;
+use crate::rs::{CodeError, ReedSolomon};
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Payload bytes per parallel chunk: big enough to amortize thread
+/// hand-off, small enough to spread a 1 MiB payload over several workers.
+const CHUNK_PAYLOAD_BYTES: usize = 64 * 1024;
+
+/// Workers for slab work sized to the machine (capped at 8; the kernels
+/// are memory-bound and wider fan-out rarely pays).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, NonZeroUsize::get)
+        .min(8)
+}
+
+/// Probe-engine-style deterministic fan-out: `jobs` indexed jobs run on
+/// scoped workers pulling from a shared counter; results are merged into
+/// their index slot, so the output order is independent of scheduling.
+/// With one worker the jobs run inline on the caller.
+fn map_indexed<T, J>(workers: usize, jobs: usize, job: J) -> Vec<T>
+where
+    T: Send,
+    J: Fn(usize) -> T + Sync,
+{
+    let workers = workers.min(jobs);
+    if workers <= 1 {
+        return (0..jobs).map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        local.push((i, job(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+    for (i, v) in parts.into_iter().flatten() {
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job index filled exactly once"))
+        .collect()
+}
+
+/// Gathers lane `j` of the striped payload for stripes
+/// `stripe_lo .. stripe_lo + lane.len()/sb`, zero-padding past the end
+/// of `data` — the transpose that makes every subsequent multiply a
+/// contiguous sweep.
+fn gather_lane(data: &[u8], lane: &mut [u8], stripe_lo: usize, j: usize, k: usize, sb: usize) {
+    // Single-byte symbols gather with a branch-free strided iterator: the
+    // per-symbol bounds branch below costs more than the copy itself, and
+    // this is the transpose's hot path for GF(2⁸).
+    if sb == 1 {
+        let start = stripe_lo * k + j;
+        let full = if data.len() > start {
+            (data.len() - start).div_ceil(k).min(lane.len())
+        } else {
+            0
+        };
+        let tail = data.get(start..).unwrap_or(&[]);
+        for (slot, &b) in lane[..full].iter_mut().zip(tail.iter().step_by(k)) {
+            *slot = b;
+        }
+        lane[full..].fill(0);
+        return;
+    }
+    for (t, chunk) in lane.chunks_exact_mut(sb).enumerate() {
+        let base = ((stripe_lo + t) * k + j) * sb;
+        if base + sb <= data.len() {
+            chunk.copy_from_slice(&data[base..base + sb]);
+        } else {
+            for (b, slot) in chunk.iter_mut().enumerate() {
+                *slot = data.get(base + b).copied().unwrap_or(0);
+            }
+        }
+    }
+}
+
+/// The `n × k` generator of an `[n, k]` code, precomputed as slab
+/// multiply tables.
+pub struct EncodePlan<F: SlabKernel> {
+    n: usize,
+    k: usize,
+    tables: Vec<F::Table>, // row-major n × k
+}
+
+impl<F: SlabKernel> EncodePlan<F> {
+    /// Builds the plan from a code's generator (one table per generator
+    /// entry).
+    pub fn new(code: &ReedSolomon<F>) -> EncodePlan<F> {
+        let (n, k) = (code.n(), code.k());
+        let mut tables = Vec::with_capacity(n * k);
+        for i in 0..n {
+            for j in 0..k {
+                tables.push(code.generator_entry(i, j).mul_table());
+            }
+        }
+        EncodePlan { n, k, tables }
+    }
+
+    /// Codeword length `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Data dimension `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of stripes an encoding of `len` payload bytes spans.
+    pub fn stripes_for(&self, len: usize) -> usize {
+        len.div_ceil(self.k * F::SYMBOL_BYTES).max(1)
+    }
+
+    /// Encodes stripes `lo..hi` of the payload, returning each share's
+    /// contiguous slab for that range.
+    fn encode_range(&self, data: &[u8], lo: usize, hi: usize) -> Vec<Vec<u8>> {
+        let sb = F::SYMBOL_BYTES;
+        let lane_bytes = (hi - lo) * sb;
+        let mut lanes = vec![0u8; self.k * lane_bytes];
+        for j in 0..self.k {
+            gather_lane(
+                data,
+                &mut lanes[j * lane_bytes..(j + 1) * lane_bytes],
+                lo,
+                j,
+                self.k,
+                sb,
+            );
+        }
+        let mut shares = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let mut slab = vec![0u8; lane_bytes];
+            for j in 0..self.k {
+                let lane = &lanes[j * lane_bytes..(j + 1) * lane_bytes];
+                let table = &self.tables[i * self.k + j];
+                if j == 0 {
+                    F::mul_slab(table, lane, &mut slab);
+                } else {
+                    F::mul_slab_xor(table, lane, &mut slab);
+                }
+            }
+            shares.push(slab);
+        }
+        shares
+    }
+
+    /// Encodes a byte payload into `n` share slabs — the slab fast path
+    /// for [`ReedSolomon::encode_bytes`], byte-identical to it.
+    pub fn encode(&self, data: &[u8]) -> Vec<Vec<u8>> {
+        self.encode_range(data, 0, self.stripes_for(data.len()))
+    }
+
+    /// Like [`EncodePlan::encode`], fanning stripe chunks across up to
+    /// `workers` scoped threads with a deterministic index-addressed
+    /// merge. Bit-identical to the sequential path.
+    pub fn encode_with_workers(&self, data: &[u8], workers: usize) -> Vec<Vec<u8>> {
+        let stripes = self.stripes_for(data.len());
+        let chunk = (CHUNK_PAYLOAD_BYTES / (self.k * F::SYMBOL_BYTES)).max(1);
+        let jobs = stripes.div_ceil(chunk);
+        if workers <= 1 || jobs <= 1 {
+            return self.encode(data);
+        }
+        let parts = map_indexed(workers, jobs, |c| {
+            let lo = c * chunk;
+            let hi = ((c + 1) * chunk).min(stripes);
+            self.encode_range(data, lo, hi)
+        });
+        let mut shares: Vec<Vec<u8>> = vec![Vec::with_capacity(stripes * F::SYMBOL_BYTES); self.n];
+        for part in parts {
+            for (share, piece) in shares.iter_mut().zip(part) {
+                share.extend_from_slice(&piece);
+            }
+        }
+        shares
+    }
+}
+
+impl<F: SlabKernel> fmt::Debug for EncodePlan<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EncodePlan[n={}, k={}]", self.n, self.k)
+    }
+}
+
+/// The inverted `k × k` Vandermonde submatrix for one surviving-index
+/// set, precomputed as slab multiply tables.
+pub struct DecodePlan<F: SlabKernel> {
+    k: usize,
+    rows: Vec<usize>,
+    tables: Vec<F::Table>, // row-major k × k: lane_j = Σ_i T[j][i] · share_i
+}
+
+impl<F: SlabKernel> DecodePlan<F> {
+    /// Builds the plan for decoding from the shares at `rows` (distinct
+    /// indices in `0..n`, in the order share slabs will be supplied).
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::NotEnoughShares`], [`CodeError::IndexOutOfRange`] or
+    /// [`CodeError::DuplicateIndex`] on a malformed index set.
+    pub fn new(code: &ReedSolomon<F>, rows: &[usize]) -> Result<DecodePlan<F>, CodeError> {
+        let (n, k) = (code.n(), code.k());
+        if rows.len() < k {
+            return Err(CodeError::NotEnoughShares {
+                have: rows.len(),
+                need: k,
+            });
+        }
+        let rows = &rows[..k];
+        let mut seen = vec![false; n];
+        for &r in rows {
+            if r >= n {
+                return Err(CodeError::IndexOutOfRange { index: r, n });
+            }
+            if seen[r] {
+                return Err(CodeError::DuplicateIndex { index: r });
+            }
+            seen[r] = true;
+        }
+        let inv = code
+            .generator_rows(rows)
+            .invert()
+            .expect("Vandermonde submatrix with distinct points is invertible");
+        let mut tables = Vec::with_capacity(k * k);
+        for j in 0..k {
+            for i in 0..k {
+                tables.push(inv.get(j, i).mul_table());
+            }
+        }
+        Ok(DecodePlan {
+            k,
+            rows: rows.to_vec(),
+            tables,
+        })
+    }
+
+    /// The surviving indices this plan decodes from, in supply order.
+    pub fn rows(&self) -> &[usize] {
+        &self.rows
+    }
+
+    /// Decodes stripes `lo..hi`, returning that range's interleaved
+    /// payload bytes.
+    fn decode_range(&self, shares: &[&[u8]], lo: usize, hi: usize) -> Vec<u8> {
+        let sb = F::SYMBOL_BYTES;
+        let lane_bytes = (hi - lo) * sb;
+        let mut lane = vec![0u8; lane_bytes];
+        let mut out = vec![0u8; self.k * lane_bytes];
+        for j in 0..self.k {
+            for (i, share) in shares.iter().enumerate().take(self.k) {
+                let src = &share[lo * sb..hi * sb];
+                let table = &self.tables[j * self.k + i];
+                if i == 0 {
+                    F::mul_slab(table, src, &mut lane);
+                } else {
+                    F::mul_slab_xor(table, src, &mut lane);
+                }
+            }
+            // Scatter lane j back into the interleaved stripe layout.
+            for (t, chunk) in lane.chunks_exact(sb).enumerate() {
+                let base = (t * self.k + j) * sb;
+                out[base..base + sb].copy_from_slice(chunk);
+            }
+        }
+        out
+    }
+
+    /// Decodes share slabs (one per plan row, in row order, equal
+    /// lengths) into the first `len` payload bytes — the slab fast path
+    /// for [`ReedSolomon::decode_bytes`], byte-identical to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slab count or lengths disagree with the plan; the
+    /// [`Codec`](crate::codec::Codec) validates before calling.
+    pub fn decode(&self, shares: &[&[u8]], len: usize) -> Vec<u8> {
+        self.decode_with_workers(shares, len, 1)
+    }
+
+    /// Like [`DecodePlan::decode`], fanning stripe chunks across up to
+    /// `workers` scoped threads. Bit-identical to the sequential path.
+    pub fn decode_with_workers(&self, shares: &[&[u8]], len: usize, workers: usize) -> Vec<u8> {
+        let sb = F::SYMBOL_BYTES;
+        assert_eq!(shares.len(), self.k, "one slab per plan row");
+        let share_bytes = shares[0].len();
+        assert!(
+            shares.iter().all(|s| s.len() == share_bytes),
+            "equal-length slabs"
+        );
+        assert!(share_bytes.is_multiple_of(sb), "symbol-aligned slabs");
+        let stripes = share_bytes / sb;
+        let chunk = (CHUNK_PAYLOAD_BYTES / (self.k * sb)).max(1);
+        let jobs = stripes.div_ceil(chunk).max(1);
+        let mut out = if workers <= 1 || jobs <= 1 {
+            self.decode_range(shares, 0, stripes)
+        } else {
+            let parts = map_indexed(workers, jobs, |c| {
+                let lo = c * chunk;
+                let hi = ((c + 1) * chunk).min(stripes);
+                self.decode_range(shares, lo, hi)
+            });
+            let mut out = Vec::with_capacity(stripes * self.k * sb);
+            for part in parts {
+                out.extend_from_slice(&part);
+            }
+            out
+        };
+        out.truncate(len);
+        out
+    }
+}
+
+impl<F: SlabKernel> fmt::Debug for DecodePlan<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DecodePlan[k={}, rows={:?}]", self.k, self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gf256::Gf256;
+    use crate::gf2p16::Gf2p16;
+
+    fn payload(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 31 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn encode_plan_matches_reference_gf256() {
+        let code = ReedSolomon::<Gf256>::new(7, 3).unwrap();
+        let plan = EncodePlan::new(&code);
+        for len in [0, 1, 2, 3, 10, 64, 100] {
+            let data = payload(len);
+            assert_eq!(plan.encode(&data), code.encode_bytes(&data), "len={len}");
+        }
+    }
+
+    #[test]
+    fn encode_plan_matches_reference_gf2p16() {
+        let code = ReedSolomon::<Gf2p16>::new(9, 4).unwrap();
+        let plan = EncodePlan::new(&code);
+        for len in [0, 1, 2, 7, 8, 63, 200] {
+            let data = payload(len);
+            assert_eq!(plan.encode(&data), code.encode_bytes(&data), "len={len}");
+        }
+    }
+
+    #[test]
+    fn parallel_encode_is_bit_identical() {
+        let code = ReedSolomon::<Gf256>::new(21, 11).unwrap();
+        let plan = EncodePlan::new(&code);
+        // Spans several 64 KiB chunks so the fan-out genuinely splits.
+        let data = payload(300_000);
+        let sequential = plan.encode(&data);
+        for workers in [2, 3, 4] {
+            assert_eq!(
+                plan.encode_with_workers(&data, workers),
+                sequential,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_plan_round_trips_and_parallel_matches() {
+        let code = ReedSolomon::<Gf256>::new(21, 11).unwrap();
+        let plan = EncodePlan::new(&code);
+        let data = payload(300_000);
+        let shares = plan.encode(&data);
+        let rows: Vec<usize> = (10..21).collect();
+        let dplan = DecodePlan::new(&code, &rows).unwrap();
+        let slabs: Vec<&[u8]> = rows.iter().map(|&i| shares[i].as_slice()).collect();
+        let sequential = dplan.decode(&slabs, data.len());
+        assert_eq!(sequential, data);
+        for workers in [2, 4] {
+            assert_eq!(
+                dplan.decode_with_workers(&slabs, data.len(), workers),
+                sequential,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_plan_rejects_malformed_rows() {
+        let code = ReedSolomon::<Gf256>::new(5, 3).unwrap();
+        assert_eq!(
+            DecodePlan::new(&code, &[0, 1]).unwrap_err(),
+            CodeError::NotEnoughShares { have: 2, need: 3 }
+        );
+        assert_eq!(
+            DecodePlan::new(&code, &[0, 1, 9]).unwrap_err(),
+            CodeError::IndexOutOfRange { index: 9, n: 5 }
+        );
+        assert_eq!(
+            DecodePlan::new(&code, &[0, 1, 1]).unwrap_err(),
+            CodeError::DuplicateIndex { index: 1 }
+        );
+    }
+
+    #[test]
+    fn map_indexed_is_order_preserving() {
+        let doubled = map_indexed(4, 100, |i| i * 2);
+        assert_eq!(doubled, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        let inline = map_indexed(1, 5, |i| i + 1);
+        assert_eq!(inline, vec![1, 2, 3, 4, 5]);
+    }
+}

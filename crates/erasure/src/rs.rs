@@ -6,7 +6,7 @@
 //! symbols inverts the corresponding Vandermonde submatrix.
 
 use crate::field::Field;
-use crate::gf256::Gf256;
+use crate::kernel::SlabKernel;
 use crate::matrix::Matrix;
 use std::fmt;
 
@@ -131,24 +131,47 @@ impl<F: Field> ReedSolomon<F> {
         let symbols: Vec<F> = used.iter().map(|&(_, s)| s).collect();
         Ok(inv.mul_vec(&symbols))
     }
+
+    /// Generator entry `G[i][j]`: the coefficient share `i` applies to
+    /// data symbol `j`. The [`plan`](crate::plan) layer turns these into
+    /// slab multiply tables.
+    pub fn generator_entry(&self, i: usize, j: usize) -> F {
+        self.generator.get(i, j)
+    }
+
+    /// The generator submatrix formed by the given rows, in order —
+    /// what a decoder inverts for one surviving-index set.
+    pub fn generator_rows(&self, rows: &[usize]) -> Matrix<F> {
+        self.generator.select_rows(rows)
+    }
 }
 
-impl ReedSolomon<Gf256> {
+impl<F: SlabKernel> ReedSolomon<F> {
     /// Encodes an arbitrary byte string into `n` per-server byte shares by
-    /// striping: stripe `t` holds bytes `t·k .. t·k+k` (zero-padded), and
-    /// share `i` is the concatenation of symbol `i` of every stripe.
+    /// striping: stripe `t` holds the `k` symbols whose bytes start at
+    /// `t·k·SYMBOL_BYTES` (zero-padded), and share `i` is the
+    /// concatenation of symbol `i` of every stripe.
     ///
-    /// Each share is `⌈len/k⌉` bytes — the `1/k` storage fraction.
+    /// Each share is `⌈len/(k·SYMBOL_BYTES)⌉·SYMBOL_BYTES` bytes — the
+    /// `1/k` storage fraction. Over GF(2⁸) a symbol is one byte; over
+    /// GF(2¹⁶) a big-endian byte pair, giving codes of length up to
+    /// 65535 — wide-cluster geometries (`N` in the hundreds) that GF(2⁸)
+    /// cannot reach.
+    ///
+    /// This is the symbol-at-a-time *reference* path; the slab fast path
+    /// ([`EncodePlan`](crate::plan::EncodePlan), reachable through
+    /// [`Codec`](crate::codec::Codec)) produces byte-identical output.
     pub fn encode_bytes(&self, data: &[u8]) -> Vec<Vec<u8>> {
-        let stripes = data.len().div_ceil(self.k).max(1);
-        let mut shares = vec![Vec::with_capacity(stripes); self.n];
-        let mut buf = vec![Gf256::ZERO; self.k];
+        let sb = F::SYMBOL_BYTES;
+        let stripes = data.len().div_ceil(self.k * sb).max(1);
+        let mut shares = vec![Vec::with_capacity(stripes * sb); self.n];
+        let mut buf = vec![F::ZERO; self.k];
         for t in 0..stripes {
             for (j, slot) in buf.iter_mut().enumerate() {
-                *slot = Gf256::new(data.get(t * self.k + j).copied().unwrap_or(0));
+                *slot = F::read_symbol_padded(data, (t * self.k + j) * sb);
             }
             for (i, sym) in self.encode(&buf).into_iter().enumerate() {
-                shares[i].push(sym.raw());
+                sym.append_symbol(&mut shares[i]);
             }
         }
         shares
@@ -160,96 +183,37 @@ impl ReedSolomon<Gf256> {
     /// # Errors
     ///
     /// Same conditions as [`ReedSolomon::decode`], plus
-    /// [`CodeError::LengthMismatch`] if the shares disagree in length or are
-    /// too short for `len`.
+    /// [`CodeError::LengthMismatch`] if the shares disagree in length, are
+    /// not symbol-aligned, or are too short for `len`.
     pub fn decode_bytes(
         &self,
         shares: &[(usize, Vec<u8>)],
         len: usize,
     ) -> Result<Vec<u8>, CodeError> {
+        let sb = F::SYMBOL_BYTES;
         if shares.len() < self.k {
             return Err(CodeError::NotEnoughShares {
                 have: shares.len(),
                 need: self.k,
             });
         }
-        let stripes = shares[0].1.len();
-        if shares.iter().any(|(_, s)| s.len() != stripes) || stripes * self.k < len {
-            return Err(CodeError::LengthMismatch);
-        }
-        let mut out = Vec::with_capacity(stripes * self.k);
-        for t in 0..stripes {
-            let column: Vec<(usize, Gf256)> = shares
-                .iter()
-                .take(self.k)
-                .map(|&(i, ref s)| (i, Gf256::new(s[t])))
-                .collect();
-            out.extend(self.decode(&column)?.into_iter().map(Gf256::raw));
-        }
-        out.truncate(len);
-        Ok(out)
-    }
-}
-
-impl ReedSolomon<crate::gf2p16::Gf2p16> {
-    /// Byte-stream striping over GF(2¹⁶): each symbol covers two bytes, so
-    /// codes of length up to 65535 are available — wide-cluster geometries
-    /// (`N` in the hundreds) that GF(2⁸) cannot reach.
-    pub fn encode_bytes(&self, data: &[u8]) -> Vec<Vec<u8>> {
-        use crate::gf2p16::Gf2p16;
-        let stripes = data.len().div_ceil(2 * self.k).max(1);
-        let mut shares = vec![Vec::with_capacity(2 * stripes); self.n];
-        let mut buf = vec![Gf2p16::ZERO; self.k];
-        for t in 0..stripes {
-            for (j, slot) in buf.iter_mut().enumerate() {
-                let base = 2 * (t * self.k + j);
-                let hi = data.get(base).copied().unwrap_or(0);
-                let lo = data.get(base + 1).copied().unwrap_or(0);
-                *slot = Gf2p16::new(u16::from_be_bytes([hi, lo]));
-            }
-            for (i, sym) in self.encode(&buf).into_iter().enumerate() {
-                shares[i].extend_from_slice(&sym.raw().to_be_bytes());
-            }
-        }
-        shares
-    }
-
-    /// Decodes byte shares produced by the GF(2¹⁶)
-    /// [`ReedSolomon::encode_bytes`], trimming to `len` bytes.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`ReedSolomon::decode`], plus
-    /// [`CodeError::LengthMismatch`] for inconsistent share lengths.
-    pub fn decode_bytes(
-        &self,
-        shares: &[(usize, Vec<u8>)],
-        len: usize,
-    ) -> Result<Vec<u8>, CodeError> {
-        use crate::gf2p16::Gf2p16;
-        if shares.len() < self.k {
-            return Err(CodeError::NotEnoughShares {
-                have: shares.len(),
-                need: self.k,
-            });
-        }
-        let bytes_per_share = shares[0].1.len();
-        if shares.iter().any(|(_, s)| s.len() != bytes_per_share)
-            || !bytes_per_share.is_multiple_of(2)
-            || bytes_per_share / 2 * self.k * 2 < len
+        let share_bytes = shares[0].1.len();
+        if shares.iter().any(|(_, s)| s.len() != share_bytes)
+            || !share_bytes.is_multiple_of(sb)
+            || (share_bytes / sb) * self.k * sb < len
         {
             return Err(CodeError::LengthMismatch);
         }
-        let stripes = bytes_per_share / 2;
-        let mut out = Vec::with_capacity(stripes * self.k * 2);
+        let stripes = share_bytes / sb;
+        let mut out = Vec::with_capacity(stripes * self.k * sb);
         for t in 0..stripes {
-            let column: Vec<(usize, Gf2p16)> = shares
+            let column: Vec<(usize, F)> = shares
                 .iter()
                 .take(self.k)
-                .map(|&(i, ref s)| (i, Gf2p16::new(u16::from_be_bytes([s[2 * t], s[2 * t + 1]]))))
+                .map(|&(i, ref s)| (i, F::read_symbol_padded(s, t * sb)))
                 .collect();
             for sym in self.decode(&column)? {
-                out.extend_from_slice(&sym.raw().to_be_bytes());
+                sym.append_symbol(&mut out);
             }
         }
         out.truncate(len);
@@ -264,7 +228,7 @@ impl<F: Field> fmt::Debug for ReedSolomon<F> {
 }
 
 /// Errors from Reed–Solomon construction and decoding.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CodeError {
     /// Parameters violate `1 ≤ k ≤ n ≤ |F| − 1`.
     InvalidParams {
@@ -325,6 +289,7 @@ impl std::error::Error for CodeError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gf256::Gf256;
     use crate::gf2p16::Gf2p16;
     use shmem_util::prop::prelude::*;
 

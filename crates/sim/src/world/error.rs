@@ -52,6 +52,14 @@ pub enum RunError {
         /// The client whose operation cannot complete.
         client: ClientId,
     },
+    /// The operation completed but reported a protocol-level failure
+    /// (e.g. collected codeword symbols that did not decode).
+    OperationFailed {
+        /// The client whose operation failed.
+        client: ClientId,
+        /// Human-readable failure description.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -74,6 +82,9 @@ impl fmt::Display for RunError {
                 f,
                 "system quiesced while the operation at {client} is still pending"
             ),
+            RunError::OperationFailed { client, detail } => {
+                write!(f, "operation at {client} failed: {detail}")
+            }
         }
     }
 }

@@ -18,6 +18,18 @@ impl<P: Protocol> Sim<P> {
         &self.servers[id.0 as usize]
     }
 
+    /// Mutable access to a server's automaton — the fault-injection hook
+    /// for tests that corrupt server state (e.g. truncating a stored
+    /// codeword symbol) to exercise failure paths. Unshares the node if a
+    /// snapshot fork still references it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    pub fn server_mut(&mut self, id: ServerId) -> &mut P::Server {
+        Arc::make_mut(&mut self.servers[id.0 as usize])
+    }
+
     /// A client's automaton.
     ///
     /// # Panics

@@ -13,4 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> cargo bench --no-run"
+cargo bench --no-run -q
+
+echo "==> cargo build --examples"
+cargo build --examples -q
+
 echo "All checks passed."
