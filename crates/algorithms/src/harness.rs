@@ -3,7 +3,9 @@
 use crate::abd::{Abd, AbdClient, AbdServer};
 use crate::abd_gossip::{AbdGossip, GossipServer};
 use crate::cas::{Cas, CasClient, CasConfig, CasServer};
+use crate::hashed::{HashedCas, HashedClient, HashedServer};
 use crate::lossy::{Lossy, LossyServer};
+use crate::nowriteback::{NoWriteBack, NwbClient};
 use crate::reg::{RegInv, RegResp};
 use crate::value::{Value, ValueSpec};
 use shmem_sim::{ClientId, Protocol, RunError, ServerId, Sim, SimConfig, StorageSnapshot};
@@ -39,11 +41,20 @@ pub type CasCluster = Cluster<Cas>;
 pub type LossyCluster = Cluster<Lossy>;
 /// Gossiping-ABD cluster alias.
 pub type GossipCluster = Cluster<AbdGossip>;
+/// Write-back-less (broken) ABD cluster alias.
+pub type NwbCluster = Cluster<NoWriteBack>;
+/// Hash-commitment CAS cluster alias.
+pub type HashedCluster = Cluster<HashedCas>;
 
 impl<P: Protocol<Inv = RegInv, Resp = RegResp>> Cluster<P> {
     /// The failure budget the cluster was built for.
     pub fn f(&self) -> u32 {
         self.f
+    }
+
+    /// The register's initial value.
+    pub fn initial(&self) -> Value {
+        self.initial
     }
 
     /// Completes a full write at `client`, running the world fairly.
@@ -318,6 +329,50 @@ impl LossyCluster {
                     .map(|_| LossyServer::new(0, kept_bits, spec))
                     .collect(),
                 (0..clients).map(|c| AbdClient::new(n, c)).collect(),
+            ),
+            initial: 0,
+            f,
+        }
+    }
+}
+
+impl NwbCluster {
+    /// The broken write-back-less ABD cluster — ABD servers, clients whose
+    /// reads return straight after the query phase. Regular but not
+    /// atomic; the nemesis explorer's positive control.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2f < n`.
+    pub fn new(n: u32, f: u32, clients: u32, spec: ValueSpec) -> NwbCluster {
+        assert!(2 * f < n, "ABD requires a failure minority (2f < N)");
+        Cluster {
+            sim: Sim::new(
+                SimConfig::without_gossip(),
+                (0..n).map(|_| AbdServer::new(0, spec)).collect(),
+                (0..clients).map(|c| NwbClient::new(n, c)).collect(),
+            ),
+            initial: 0,
+            f,
+        }
+    }
+}
+
+impl HashedCluster {
+    /// A hash-commitment CAS cluster with the native `k = N − 2f` code.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2f < n`.
+    pub fn new(n: u32, f: u32, clients: u32, spec: ValueSpec) -> HashedCluster {
+        let cfg = CasConfig::native(n, f, spec);
+        Cluster {
+            sim: Sim::new(
+                SimConfig::without_gossip(),
+                (0..cfg.n)
+                    .map(|i| HashedServer::new(cfg, ServerId(i), 0))
+                    .collect(),
+                (0..clients).map(|c| HashedClient::new(cfg, c)).collect(),
             ),
             initial: 0,
             f,

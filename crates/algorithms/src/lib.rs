@@ -27,6 +27,7 @@ pub mod cas;
 pub mod harness;
 pub mod hashed;
 pub mod lossy;
+pub mod nemesis;
 pub mod nowriteback;
 pub mod reg;
 pub mod swmr;
@@ -34,7 +35,7 @@ pub mod tag;
 pub mod value;
 pub mod workloads;
 
-pub use harness::{AbdCluster, CasCluster, GossipCluster, LossyCluster};
+pub use harness::{AbdCluster, CasCluster, GossipCluster, HashedCluster, LossyCluster, NwbCluster};
 pub use reg::{RegInv, RegResp};
 pub use tag::Tag;
 pub use value::{Value, ValueSpec};

@@ -1,0 +1,342 @@
+//! The nemesis driver: executes one `(seed, FaultPlan)` against a cluster
+//! and returns the trace and history.
+//!
+//! Determinism contract: the entire run is a pure function of the cluster
+//! construction, the seed, and the plan. Every choice — which client
+//! invokes when, which channel delivers, which head is dropped, duplicated
+//! or delayed, when each timed event fires — is drawn from one
+//! [`DetRng`] stream or taken from the plan, and every action is recorded
+//! as a [`StepInfo`] in the returned trace. Two runs with equal inputs
+//! produce byte-identical traces, equal world digests, and equal storage
+//! snapshots; the counterexample corpus relies on this to replay.
+//!
+//! A run has two phases:
+//!
+//! 1. **Fault-active window** (`plan.horizon` ticks): timed events fire,
+//!    per-tick drop/dup/delay decisions hit random deliverable channels,
+//!    idle clients invoke their next operations, and one seeded scheduler
+//!    step runs per tick.
+//! 2. **Fault-free drain**: freezes and link cuts are lifted (crashed
+//!    servers stay down — they are within the `f` budget the algorithm
+//!    claims to tolerate) and the world runs a fair schedule to
+//!    quiescence, completing every operation that still can. Draining
+//!    makes the oracle stronger: completed operations constrain
+//!    linearizability far more than open ones.
+
+use crate::harness::Cluster;
+use crate::nemesis::plan::{FaultEvent, FaultPlan};
+use crate::reg::{RegInv, RegResp};
+use crate::value::Value;
+use shmem_sim::{ClientId, NodeId, Protocol, StepInfo, StorageSnapshot};
+use shmem_spec::history::{History, OpKind};
+use shmem_util::DetRng;
+
+/// Write values carry a high marker bit so that bit-truncating storage
+/// (the lossy strawman) visibly corrupts them, while staying unique.
+pub const VALUE_BASE: Value = 1 << 32;
+
+/// The outcome of one nemesis run.
+#[derive(Clone, Debug)]
+pub struct NemesisRun {
+    /// Every step and fault action, in execution order — the replayable
+    /// record of what happened.
+    pub trace: Vec<StepInfo>,
+    /// The operation history, ready for the consistency oracles. Reads
+    /// that completed with a protocol-level failure are recorded as
+    /// *incomplete* (a failed read constrains nothing).
+    pub history: History<Value>,
+    /// World digest at the end of the run.
+    pub final_digest: u64,
+    /// Storage peaks observed over the run.
+    pub storage: StorageSnapshot,
+}
+
+/// Runs `plan` against `cluster` under `seed`. See the module docs for
+/// the two-phase structure and the determinism contract.
+pub fn run_plan<P: Protocol<Inv = RegInv, Resp = RegResp>>(
+    cluster: &mut Cluster<P>,
+    seed: u64,
+    plan: &FaultPlan,
+) -> NemesisRun {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut trace: Vec<StepInfo> = Vec::new();
+    let clients = plan.clients();
+    let mut remaining: Vec<u32> = vec![plan.ops_per_client; clients as usize];
+    let mut next_value: Value = VALUE_BASE;
+
+    // Expand windowed events into point actions, stably ordered by tick.
+    let mut actions: Vec<(u64, Action)> = Vec::new();
+    for e in &plan.events {
+        match *e {
+            FaultEvent::Crash { at, server } => actions.push((at, Action::Crash(server))),
+            FaultEvent::Recover { at, server } => actions.push((at, Action::Recover(server))),
+            FaultEvent::Freeze { at, until, node } => {
+                actions.push((at, Action::Freeze(node)));
+                actions.push((until, Action::Unfreeze(node)));
+            }
+            FaultEvent::Cut {
+                at,
+                until,
+                from,
+                to,
+            } => {
+                actions.push((at, Action::Cut(from, to)));
+                actions.push((until, Action::Heal(from, to)));
+            }
+        }
+    }
+    actions.sort_by_key(|&(tick, _)| tick);
+    let mut next_action = 0usize;
+
+    for tick in 0..plan.horizon {
+        // 1. Timed adversary events due at this tick.
+        while next_action < actions.len() && actions[next_action].0 <= tick {
+            let (_, action) = actions[next_action];
+            next_action += 1;
+            trace.push(apply(cluster, action));
+        }
+        // 2. Invocations: an idle, unblocked client with work left starts
+        // its next operation (usually — skipping some ticks varies the
+        // overlap structure across seeds).
+        let eligible: Vec<u32> = (0..clients)
+            .filter(|&c| {
+                remaining[c as usize] > 0
+                    && !cluster.sim.has_open_op(ClientId(c))
+                    && !cluster.sim.is_failed(NodeId::client(c))
+                    && !cluster.sim.is_frozen(NodeId::client(c))
+            })
+            .collect();
+        if !eligible.is_empty() && rng.gen_range(0..4) < 3 {
+            let c = eligible[rng.gen_range(0..eligible.len())];
+            let inv = if c < plan.writers {
+                let v = next_value;
+                next_value += 1;
+                RegInv::Write(v)
+            } else {
+                RegInv::Read
+            };
+            cluster
+                .sim
+                .invoke(ClientId(c), inv)
+                .expect("eligible client is idle and unblocked");
+            remaining[c as usize] -= 1;
+            trace.push(StepInfo::Invoked {
+                client: ClientId(c),
+            });
+        }
+        // 3. Network faults against a random deliverable head.
+        let roll = rng.gen_range(0..1000u32);
+        if roll < plan.drop_per_mille + plan.dup_per_mille + plan.delay_per_mille {
+            let options = cluster.sim.step_options();
+            if !options.is_empty() {
+                let (from, to) = options[rng.gen_range(0..options.len())];
+                let info = if roll < plan.drop_per_mille {
+                    Some(cluster.sim.drop_head(from, to))
+                } else if roll < plan.drop_per_mille + plan.dup_per_mille {
+                    Some(cluster.sim.duplicate_head(from, to))
+                } else if cluster.sim.config().channel_order == shmem_sim::ChannelOrder::Any {
+                    Some(cluster.sim.delay_head(from, to))
+                } else {
+                    None // a delay is a reorder; meaningless on FIFO channels
+                };
+                if let Some(info) = info {
+                    trace.push(info.expect("step option has a deliverable head"));
+                }
+            }
+        }
+        // 4. One seeded scheduler step.
+        if let Some(info) = cluster.sim.step_with(|opts| rng.gen_range(0..opts.len())) {
+            trace.push(info);
+        } else if next_action >= actions.len()
+            && remaining.iter().all(|&r| r == 0)
+            && (0..clients).all(|c| !cluster.sim.has_open_op(ClientId(c)))
+        {
+            break; // Nothing queued, nothing open, nothing still to come.
+        }
+    }
+
+    // Fault-free drain: lift every reversible disturbance, then let any
+    // remaining invocations and deliveries run out fairly. Crashed servers
+    // stay crashed — they are inside the claimed failure budget.
+    for info in cluster.sim.heal_all_links() {
+        trace.push(info);
+    }
+    for c in 0..clients {
+        let node = NodeId::client(c);
+        if cluster.sim.is_frozen(node) {
+            trace.push(cluster.sim.unfreeze(node));
+        }
+    }
+    for s in 0..cluster.sim.server_count() as u32 {
+        let node = NodeId::server(s);
+        if cluster.sim.is_frozen(node) {
+            trace.push(cluster.sim.unfreeze(node));
+        }
+    }
+    let limit = cluster.sim.config().step_limit;
+    let mut steps = 0u64;
+    loop {
+        // Finish leftover invocations as their clients become idle.
+        let mut invoked = false;
+        for c in 0..clients {
+            if remaining[c as usize] > 0 && !cluster.sim.has_open_op(ClientId(c)) {
+                let inv = if c < plan.writers {
+                    let v = next_value;
+                    next_value += 1;
+                    RegInv::Write(v)
+                } else {
+                    RegInv::Read
+                };
+                if cluster.sim.invoke(ClientId(c), inv).is_ok() {
+                    remaining[c as usize] -= 1;
+                    trace.push(StepInfo::Invoked {
+                        client: ClientId(c),
+                    });
+                    invoked = true;
+                }
+            }
+        }
+        match cluster.sim.step_fair() {
+            Some(info) => trace.push(info),
+            None if !invoked => break,
+            None => {}
+        }
+        steps += 1;
+        if steps > limit {
+            break; // Livelock under faults: keep what we have.
+        }
+    }
+
+    NemesisRun {
+        history: nemesis_history(cluster),
+        final_digest: cluster.sim.digest(),
+        storage: cluster.sim.storage(),
+        trace,
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Action {
+    Crash(u32),
+    Recover(u32),
+    Freeze(NodeId),
+    Unfreeze(NodeId),
+    Cut(NodeId, NodeId),
+    Heal(NodeId, NodeId),
+}
+
+fn apply<P: Protocol<Inv = RegInv, Resp = RegResp>>(
+    cluster: &mut Cluster<P>,
+    action: Action,
+) -> StepInfo {
+    match action {
+        Action::Crash(s) => cluster.sim.fail(NodeId::server(s)),
+        Action::Recover(s) => cluster.sim.recover(NodeId::server(s)),
+        Action::Freeze(n) => cluster.sim.freeze(n),
+        Action::Unfreeze(n) => cluster.sim.unfreeze(n),
+        Action::Cut(f, t) => cluster.sim.cut_link(f, t),
+        Action::Heal(f, t) => cluster.sim.heal_link(f, t),
+    }
+}
+
+/// The run's history for the consistency oracles. Unlike
+/// [`Cluster::history`], a read that completed with a protocol-level
+/// failure ([`RegResp::ReadFailed`]) is recorded as *incomplete*: a failed
+/// read returned nothing, so it must constrain the checkers like an open
+/// operation, not like a read of `None` (which the regular/safe checkers
+/// reject as malformed).
+pub fn nemesis_history<P: Protocol<Inv = RegInv, Resp = RegResp>>(
+    cluster: &Cluster<P>,
+) -> History<Value> {
+    let mut h = History::new(cluster.initial());
+    for op in cluster.sim.ops() {
+        let kind = match op.invocation {
+            RegInv::Write(v) => OpKind::Write(v),
+            RegInv::Read => OpKind::Read,
+        };
+        let id = h.begin(op.client.0, kind, op.invoked_at);
+        match (&op.invocation, op.responded_at, &op.response) {
+            (RegInv::Read, Some(_), Some(RegResp::ReadFailed(_))) => {}
+            (_, Some(t), resp) => {
+                h.complete(id, t, (*resp).and_then(RegResp::read_value));
+            }
+            _ => {}
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{AbdCluster, NwbCluster};
+    use crate::nemesis::plan::ClusterShape;
+    use crate::value::ValueSpec;
+
+    fn shape() -> ClusterShape {
+        ClusterShape {
+            servers: 3,
+            f: 1,
+            clients: 3,
+            reordering: false,
+        }
+    }
+
+    #[test]
+    fn identical_inputs_give_identical_runs() {
+        for seed in 0..12 {
+            let plan = FaultPlan::sample(&mut DetRng::seed_from_u64(seed ^ 0xD1CE), shape());
+            let run = |()| {
+                let mut c = AbdCluster::new(3, 1, 3, ValueSpec::from_bits(64.0));
+                run_plan(&mut c, seed, &plan)
+            };
+            let (a, b) = (run(()), run(()));
+            assert_eq!(a.trace, b.trace, "seed {seed}: traces diverge");
+            assert_eq!(a.final_digest, b.final_digest, "seed {seed}");
+            assert_eq!(a.storage, b.storage, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn drain_completes_ops_within_budget() {
+        // Fault-free plan: everything completes and the history is full.
+        let plan = FaultPlan {
+            writers: 1,
+            readers: 2,
+            ops_per_client: 2,
+            horizon: 100,
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+            delay_per_mille: 0,
+            events: vec![],
+        };
+        let mut c = AbdCluster::new(3, 1, 3, ValueSpec::from_bits(64.0));
+        let run = run_plan(&mut c, 7, &plan);
+        assert_eq!(run.history.len(), 6);
+        assert!(run.history.ops().iter().all(|o| o.is_complete()));
+        assert!(run.history.is_well_formed());
+    }
+
+    #[test]
+    fn crashed_server_stays_down_through_drain() {
+        let plan = FaultPlan {
+            writers: 1,
+            readers: 1,
+            ops_per_client: 1,
+            horizon: 50,
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+            delay_per_mille: 0,
+            events: vec![FaultEvent::Crash { at: 0, server: 2 }],
+        };
+        let mut c = NwbCluster::new(3, 1, 2, ValueSpec::from_bits(64.0));
+        let run = run_plan(&mut c, 3, &plan);
+        assert!(c.sim.is_failed(NodeId::server(2)));
+        assert!(run
+            .trace
+            .iter()
+            .any(|s| matches!(s, StepInfo::Crashed { .. })));
+        // f = 1 of 3: majorities still form, ops complete.
+        assert!(run.history.ops().iter().all(|o| o.is_complete()));
+    }
+}

@@ -1,0 +1,38 @@
+//! Nemesis: a deterministic fault-injection schedule explorer with a
+//! consistency oracle and counterexample shrinking.
+//!
+//! The paper's lower bounds say what storage an algorithm *must* pay to
+//! stay atomic (or regular) under `f` failures; this module is the
+//! falsification engine for the other direction — it hunts for executions
+//! where an algorithm *fails* its claimed consistency under faults:
+//!
+//! * [`plan`] — [`plan::FaultPlan`]: sampled, shrinkable, JSON-exact fault
+//!   schedules (crashes within the `f` budget, freeze windows, directed
+//!   link cuts, per-tick drop/duplicate/delay rates) plus workload knobs;
+//! * [`driver`] — [`driver::run_plan`]: executes one `(seed, plan)` pair
+//!   deterministically, records every action as a trace, and extracts the
+//!   history (fault-active window, then a fault-free drain);
+//! * [`explorer`] — [`explorer::explore`] / [`explorer::sweep`]: fan seeds
+//!   across workers with a deterministic merge, check each history against
+//!   an [`explorer::Oracle`];
+//! * [`shrink`] — [`shrink::shrink_plan`]: ddmin + scalar descent to a
+//!   minimal plan that still violates;
+//! * [`artifact`] — [`artifact::Counterexample`]: the JSON artifact the
+//!   regression corpus stores and replays.
+//!
+//! The broken algorithms ([`crate::nowriteback`], [`crate::lossy`]) are
+//! the positive controls: the explorer must find and shrink their
+//! violations. The real algorithms (ABD, gossip-ABD, CAS, hashed-CAS) are
+//! the negative controls: clean over the same seed budgets.
+
+pub mod artifact;
+pub mod driver;
+pub mod explorer;
+pub mod plan;
+pub mod shrink;
+
+pub use artifact::{pretty_history, Counterexample};
+pub use driver::{nemesis_history, run_plan, NemesisRun};
+pub use explorer::{explore, observe_shape, plan_for_seed, run_seed, sweep, Oracle, Violation};
+pub use plan::{ClusterShape, FaultEvent, FaultPlan};
+pub use shrink::{shrink_plan, ShrinkStats};

@@ -1,0 +1,407 @@
+//! Fault plans: the sampled, shrinkable, JSON-serializable description of
+//! everything a nemesis run does besides the seed-driven schedule.
+//!
+//! A plan is deliberately *data*, not code: integer workload knobs plus a
+//! list of timed [`FaultEvent`]s. That makes it shrinkable (ddmin over the
+//! event list, scalar descent over the knobs) and exactly reproducible
+//! from its JSON artifact — the counterexample corpus stores
+//! `(seed, FaultPlan)` pairs and nothing else.
+
+use shmem_sim::NodeId;
+use shmem_util::json::Json;
+use shmem_util::DetRng;
+
+/// The shape of the cluster a plan is sampled for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClusterShape {
+    /// Server count.
+    pub servers: u32,
+    /// Crash budget (at most `f` servers are ever crashed).
+    pub f: u32,
+    /// Client count (bounds `writers + readers`).
+    pub clients: u32,
+    /// Whether channels allow reordering (enables delay faults).
+    pub reordering: bool,
+}
+
+/// One timed adversary action. `at` is in scheduler ticks of the
+/// fault-active window; windowed faults carry an `until` tick at which the
+/// driver lifts them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Crash `server` at tick `at` (counts against the `f` budget).
+    Crash {
+        /// Tick at which the crash is injected.
+        at: u64,
+        /// Server index.
+        server: u32,
+    },
+    /// Recover a crashed `server` at tick `at`.
+    Recover {
+        /// Tick at which the recovery happens.
+        at: u64,
+        /// Server index.
+        server: u32,
+    },
+    /// Freeze `node` (delay all its traffic) over `[at, until)`.
+    Freeze {
+        /// Tick at which the freeze starts.
+        at: u64,
+        /// Tick at which the driver unfreezes the node.
+        until: u64,
+        /// The frozen node.
+        node: NodeId,
+    },
+    /// Cut the directed link `from → to` over `[at, until)`.
+    Cut {
+        /// Tick at which the link is cut.
+        at: u64,
+        /// Tick at which the driver heals the link.
+        until: u64,
+        /// Source endpoint.
+        from: NodeId,
+        /// Destination endpoint.
+        to: NodeId,
+    },
+}
+
+/// A complete nemesis fault plan: workload knobs, per-tick network fault
+/// rates (per mille), and timed adversary events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Writer clients (client ids `0..writers`).
+    pub writers: u32,
+    /// Reader clients (client ids `writers..writers + readers`).
+    pub readers: u32,
+    /// Operations each client performs.
+    pub ops_per_client: u32,
+    /// Fault-active scheduler ticks before the fault-free drain.
+    pub horizon: u64,
+    /// Per-tick probability (‰) of dropping a random deliverable head.
+    pub drop_per_mille: u32,
+    /// Per-tick probability (‰) of duplicating a random deliverable head.
+    pub dup_per_mille: u32,
+    /// Per-tick probability (‰) of delaying a random deliverable head
+    /// (applied only on reordering channels).
+    pub delay_per_mille: u32,
+    /// Timed adversary events.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultEvent {
+    /// The tick at which the event fires.
+    pub fn at(&self) -> u64 {
+        match self {
+            FaultEvent::Crash { at, .. }
+            | FaultEvent::Recover { at, .. }
+            | FaultEvent::Freeze { at, .. }
+            | FaultEvent::Cut { at, .. } => *at,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Total clients the plan drives.
+    pub fn clients(&self) -> u32 {
+        self.writers + self.readers
+    }
+
+    /// Samples a random plan within `shape`'s budgets: at most `f` crash
+    /// events on distinct servers, freezes and cuts confined to nodes that
+    /// exist, `writers + readers ≤ clients`, and delays only when the
+    /// shape reorders. Deterministic in `rng`.
+    pub fn sample(rng: &mut DetRng, shape: ClusterShape) -> FaultPlan {
+        let max_writers = shape.clients.clamp(1, 2);
+        let writers = rng.gen_range(1..=u64::from(max_writers)) as u32;
+        let max_readers = (shape.clients - writers).min(2);
+        let readers = if max_readers == 0 {
+            0
+        } else {
+            rng.gen_range(1..=u64::from(max_readers)) as u32
+        };
+        let ops_per_client = rng.gen_range(1..=3) as u32;
+        let horizon = rng.gen_range(60u64..=360);
+        // Rates: often zero (half the plans are pure-schedule exploration),
+        // otherwise mild — heavy loss just stalls every op.
+        let rate = |rng: &mut DetRng, cap: u64| {
+            if rng.gen_range(0..2) == 0 {
+                0
+            } else {
+                rng.gen_range(0..=cap) as u32
+            }
+        };
+        let drop_per_mille = rate(rng, 120);
+        let dup_per_mille = rate(rng, 120);
+        let delay_per_mille = if shape.reordering { rate(rng, 120) } else { 0 };
+
+        let mut events = Vec::new();
+        // Crashes: up to f distinct servers, each optionally recovering.
+        let crashes = if shape.f == 0 {
+            0
+        } else {
+            rng.gen_range(0..=u64::from(shape.f))
+        };
+        let mut crashed: Vec<u32> = Vec::new();
+        for _ in 0..crashes {
+            let server = rng.gen_range(0..u64::from(shape.servers)) as u32;
+            if crashed.contains(&server) {
+                continue;
+            }
+            crashed.push(server);
+            let at = rng.gen_range(0..horizon);
+            events.push(FaultEvent::Crash { at, server });
+            if rng.gen_range(0..2) == 0 {
+                let back = rng.gen_range(at..=horizon);
+                events.push(FaultEvent::Recover { at: back, server });
+            }
+        }
+        // Freeze windows: clients stall mid-operation, servers go quiet
+        // reversibly. Biased toward clients — a frozen writer mid-store is
+        // the canonical trigger for read anomalies.
+        for _ in 0..rng.gen_range(0..=2) {
+            let node = if rng.gen_range(0..3) < 2 {
+                NodeId::client(rng.gen_range(0..u64::from(writers + readers)) as u32)
+            } else {
+                NodeId::server(rng.gen_range(0..u64::from(shape.servers)) as u32)
+            };
+            let at = rng.gen_range(0..horizon);
+            let until = rng.gen_range(at..=horizon);
+            events.push(FaultEvent::Freeze { at, until, node });
+        }
+        // Directed link-cut windows between a client and a server.
+        for _ in 0..rng.gen_range(0..=2) {
+            let c = NodeId::client(rng.gen_range(0..u64::from(writers + readers)) as u32);
+            let s = NodeId::server(rng.gen_range(0..u64::from(shape.servers)) as u32);
+            let (from, to) = if rng.gen_range(0..2) == 0 {
+                (c, s)
+            } else {
+                (s, c)
+            };
+            let at = rng.gen_range(0..horizon);
+            let until = rng.gen_range(at..=horizon);
+            events.push(FaultEvent::Cut {
+                at,
+                until,
+                from,
+                to,
+            });
+        }
+        events.sort_by_key(FaultEvent::at);
+        FaultPlan {
+            writers,
+            readers,
+            ops_per_client,
+            horizon,
+            drop_per_mille,
+            dup_per_mille,
+            delay_per_mille,
+            events,
+        }
+    }
+
+    /// The plan as a JSON value (inverse of [`FaultPlan::from_json`]).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("writers".into(), Json::Num(f64::from(self.writers))),
+            ("readers".into(), Json::Num(f64::from(self.readers))),
+            (
+                "ops_per_client".into(),
+                Json::Num(f64::from(self.ops_per_client)),
+            ),
+            ("horizon".into(), Json::Num(self.horizon as f64)),
+            (
+                "drop_per_mille".into(),
+                Json::Num(f64::from(self.drop_per_mille)),
+            ),
+            (
+                "dup_per_mille".into(),
+                Json::Num(f64::from(self.dup_per_mille)),
+            ),
+            (
+                "delay_per_mille".into(),
+                Json::Num(f64::from(self.delay_per_mille)),
+            ),
+            (
+                "events".into(),
+                Json::Arr(self.events.iter().map(event_to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Decodes a plan from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on missing fields or malformed values.
+    pub fn from_json(v: &Json) -> Result<FaultPlan, String> {
+        let field = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("plan: missing or invalid field `{name}`"))
+        };
+        let events = v
+            .get("events")
+            .and_then(Json::as_arr)
+            .ok_or("plan: missing `events` array")?
+            .iter()
+            .map(event_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FaultPlan {
+            writers: field("writers")? as u32,
+            readers: field("readers")? as u32,
+            ops_per_client: field("ops_per_client")? as u32,
+            horizon: field("horizon")?,
+            drop_per_mille: field("drop_per_mille")? as u32,
+            dup_per_mille: field("dup_per_mille")? as u32,
+            delay_per_mille: field("delay_per_mille")? as u32,
+            events,
+        })
+    }
+}
+
+/// Encodes a node as its display form (`"c0"` / `"s1"`).
+pub(crate) fn node_to_str(node: NodeId) -> String {
+    node.to_string()
+}
+
+/// Decodes a node from its display form.
+pub(crate) fn node_from_str(s: &str) -> Result<NodeId, String> {
+    let idx: u32 = s[1..]
+        .parse()
+        .map_err(|_| format!("bad node index in {s:?}"))?;
+    match s.as_bytes().first() {
+        Some(b'c') => Ok(NodeId::client(idx)),
+        Some(b's') => Ok(NodeId::server(idx)),
+        _ => Err(format!("bad node {s:?} (want c<i> or s<i>)")),
+    }
+}
+
+fn event_to_json(e: &FaultEvent) -> Json {
+    match e {
+        FaultEvent::Crash { at, server } => Json::Obj(vec![
+            ("kind".into(), Json::str("crash")),
+            ("at".into(), Json::Num(*at as f64)),
+            ("server".into(), Json::Num(f64::from(*server))),
+        ]),
+        FaultEvent::Recover { at, server } => Json::Obj(vec![
+            ("kind".into(), Json::str("recover")),
+            ("at".into(), Json::Num(*at as f64)),
+            ("server".into(), Json::Num(f64::from(*server))),
+        ]),
+        FaultEvent::Freeze { at, until, node } => Json::Obj(vec![
+            ("kind".into(), Json::str("freeze")),
+            ("at".into(), Json::Num(*at as f64)),
+            ("until".into(), Json::Num(*until as f64)),
+            ("node".into(), Json::str(node_to_str(*node))),
+        ]),
+        FaultEvent::Cut {
+            at,
+            until,
+            from,
+            to,
+        } => Json::Obj(vec![
+            ("kind".into(), Json::str("cut")),
+            ("at".into(), Json::Num(*at as f64)),
+            ("until".into(), Json::Num(*until as f64)),
+            ("from".into(), Json::str(node_to_str(*from))),
+            ("to".into(), Json::str(node_to_str(*to))),
+        ]),
+    }
+}
+
+fn event_from_json(v: &Json) -> Result<FaultEvent, String> {
+    let num = |name: &str| -> Result<u64, String> {
+        v.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event: missing or invalid `{name}`"))
+    };
+    let node = |name: &str| -> Result<NodeId, String> {
+        node_from_str(
+            v.get(name)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("event: missing `{name}`"))?,
+        )
+    };
+    match v.get("kind").and_then(Json::as_str) {
+        Some("crash") => Ok(FaultEvent::Crash {
+            at: num("at")?,
+            server: num("server")? as u32,
+        }),
+        Some("recover") => Ok(FaultEvent::Recover {
+            at: num("at")?,
+            server: num("server")? as u32,
+        }),
+        Some("freeze") => Ok(FaultEvent::Freeze {
+            at: num("at")?,
+            until: num("until")?,
+            node: node("node")?,
+        }),
+        Some("cut") => Ok(FaultEvent::Cut {
+            at: num("at")?,
+            until: num("until")?,
+            from: node("from")?,
+            to: node("to")?,
+        }),
+        other => Err(format!("event: unknown kind {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> ClusterShape {
+        ClusterShape {
+            servers: 5,
+            f: 2,
+            clients: 4,
+            reordering: false,
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_within_budget() {
+        for seed in 0..50 {
+            let a = FaultPlan::sample(&mut DetRng::seed_from_u64(seed), shape());
+            let b = FaultPlan::sample(&mut DetRng::seed_from_u64(seed), shape());
+            assert_eq!(a, b, "seed {seed}");
+            assert!(a.clients() <= 4);
+            assert!(a.writers >= 1);
+            let crashes = a
+                .events
+                .iter()
+                .filter(|e| matches!(e, FaultEvent::Crash { .. }))
+                .count();
+            assert!(crashes <= 2, "crash budget exceeded: {a:?}");
+            assert_eq!(a.delay_per_mille, 0, "FIFO shape must not delay");
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_exact() {
+        for seed in 0..50 {
+            let plan = FaultPlan::sample(&mut DetRng::seed_from_u64(seed), shape());
+            let back =
+                FaultPlan::from_json(&Json::parse(&plan.to_json().to_pretty()).unwrap()).unwrap();
+            assert_eq!(plan, back, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn node_codec() {
+        assert_eq!(node_from_str("c3").unwrap(), NodeId::client(3));
+        assert_eq!(node_from_str("s0").unwrap(), NodeId::server(0));
+        assert_eq!(node_to_str(NodeId::server(7)), "s7");
+        assert!(node_from_str("x1").is_err());
+        assert!(node_from_str("c").is_err());
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        assert!(FaultPlan::from_json(&Json::parse("{}").unwrap()).is_err());
+        let bad_event = r#"{"writers":1,"readers":1,"ops_per_client":1,"horizon":10,
+            "drop_per_mille":0,"dup_per_mille":0,"delay_per_mille":0,
+            "events":[{"kind":"melt","at":1}]}"#;
+        assert!(FaultPlan::from_json(&Json::parse(bad_event).unwrap()).is_err());
+    }
+}

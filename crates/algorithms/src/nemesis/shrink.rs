@@ -1,0 +1,163 @@
+//! Counterexample shrinking: reduce a violating `(seed, FaultPlan)` to a
+//! minimal plan that still violates the oracle.
+//!
+//! The schedule is a function of the seed, so the seed is *not* shrunk —
+//! what shrinks is the plan: ddmin over the event list (which crash,
+//! freeze and cut windows are actually load-bearing?), then greedy scalar
+//! descent over the workload knobs and fault rates, iterated to a
+//! fixpoint. Every candidate is validated by a full fresh re-run, so the
+//! returned plan is guaranteed to still reproduce the violation, and
+//! every reduction the shrinker reports was actually tested.
+
+use crate::harness::Cluster;
+use crate::nemesis::driver::run_plan;
+use crate::nemesis::explorer::Oracle;
+use crate::nemesis::plan::{FaultEvent, FaultPlan};
+use crate::reg::{RegInv, RegResp};
+use shmem_sim::Protocol;
+use shmem_util::shrink::{ddmin, shrink_scalar};
+
+/// Statistics from one shrink.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Candidate plans executed.
+    pub candidates: u64,
+    /// Fixpoint rounds taken.
+    pub rounds: u32,
+}
+
+/// Shrinks `plan` to a smaller plan that still makes `seed` violate
+/// `oracle` on a fresh cluster from `factory`. Returns the minimal plan
+/// found and the work it took.
+///
+/// # Panics
+///
+/// Panics if `(seed, plan)` does not violate the oracle in the first
+/// place — shrinking a non-failure is a caller bug.
+pub fn shrink_plan<P, F>(
+    factory: &F,
+    oracle: Oracle,
+    seed: u64,
+    plan: &FaultPlan,
+) -> (FaultPlan, ShrinkStats)
+where
+    P: Protocol<Inv = RegInv, Resp = RegResp>,
+    F: Fn() -> Cluster<P>,
+{
+    let mut stats = ShrinkStats::default();
+    let mut fails = |candidate: &FaultPlan| -> bool {
+        stats.candidates += 1;
+        let mut cluster = factory();
+        let run = run_plan(&mut cluster, seed, candidate);
+        oracle.check(&run.history).is_err()
+    };
+    assert!(fails(plan), "shrink_plan requires a violating (seed, plan)");
+
+    let mut current = plan.clone();
+    loop {
+        stats.rounds += 1;
+        let before = current.clone();
+
+        // 1. Which events are load-bearing?
+        let events: Vec<FaultEvent> = ddmin(&current.events, |evs| {
+            fails(&FaultPlan {
+                events: evs.to_vec(),
+                ..current.clone()
+            })
+        });
+        current.events = events;
+
+        // 2. Scalar knobs, each toward its floor. Order matters only for
+        // speed; the fixpoint loop makes the result order-insensitive.
+        current.ops_per_client = shrink_scalar(u64::from(current.ops_per_client), 1, |v| {
+            fails(&FaultPlan {
+                ops_per_client: v as u32,
+                ..current.clone()
+            })
+        }) as u32;
+        current.readers = shrink_scalar(u64::from(current.readers), 0, |v| {
+            fails(&FaultPlan {
+                readers: v as u32,
+                ..current.clone()
+            })
+        }) as u32;
+        current.writers = shrink_scalar(u64::from(current.writers), 0, |v| {
+            fails(&FaultPlan {
+                writers: v as u32,
+                ..current.clone()
+            })
+        }) as u32;
+        current.horizon = shrink_scalar(current.horizon, 1, |v| {
+            fails(&FaultPlan {
+                horizon: v,
+                ..current.clone()
+            })
+        });
+        for rate in ["drop", "dup", "delay"] {
+            let get = |p: &FaultPlan| match rate {
+                "drop" => p.drop_per_mille,
+                "dup" => p.dup_per_mille,
+                _ => p.delay_per_mille,
+            };
+            let with = |p: &FaultPlan, v: u32| -> FaultPlan {
+                let mut p = p.clone();
+                match rate {
+                    "drop" => p.drop_per_mille = v,
+                    "dup" => p.dup_per_mille = v,
+                    _ => p.delay_per_mille = v,
+                }
+                p
+            };
+            let shrunk = shrink_scalar(u64::from(get(&current)), 0, |v| {
+                fails(&with(&current, v as u32))
+            }) as u32;
+            current = with(&current, shrunk);
+        }
+
+        if current == before {
+            return (current, stats);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::LossyCluster;
+    use crate::nemesis::explorer::{explore, run_seed};
+    use crate::value::ValueSpec;
+
+    #[test]
+    fn lossy_counterexample_shrinks_to_a_minimal_plan() {
+        let factory = || LossyCluster::new(3, 1, 3, 8, ValueSpec::from_bits(64.0));
+        let v = explore(&factory, Oracle::Regular, 50, 2).expect("lossy must violate");
+        let (small, stats) = shrink_plan(&factory, Oracle::Regular, v.seed, &v.plan);
+        assert!(stats.candidates > 0);
+        // The shrunk plan still fails, and is no larger than the original.
+        let mut c = factory();
+        let run = run_plan(&mut c, v.seed, &small);
+        assert!(Oracle::Regular.check(&run.history).is_err());
+        assert!(small.events.len() <= v.plan.events.len());
+        assert!(small.ops_per_client <= v.plan.ops_per_client);
+        // Lossy truncation needs a write (to corrupt) and a read (to see
+        // it) — neither can shrink away entirely.
+        assert!(small.writers >= 1);
+        assert!(small.readers >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a violating")]
+    fn shrinking_a_passing_pair_is_a_bug() {
+        use crate::harness::AbdCluster;
+        let factory = || AbdCluster::new(3, 1, 2, ValueSpec::from_bits(64.0));
+        // Seed 0's plan passes on ABD (asserted by the clean sweep test);
+        // shrinking it must panic.
+        let v = run_seed(&factory, Oracle::Atomic, 0);
+        assert!(v.is_none());
+        let plan = crate::nemesis::explorer::plan_for_seed(
+            0,
+            crate::nemesis::explorer::observe_shape(&factory()),
+        );
+        let _ = shrink_plan(&factory, Oracle::Atomic, 0, &plan);
+    }
+}

@@ -14,7 +14,7 @@ use crate::reg::{RegInv, RegResp};
 use crate::tag::Tag;
 use crate::value::Value;
 use shmem_sim::{hash_of, Ctx, Node, NodeId, Protocol};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Protocol marker: ABD servers, write-back-less clients.
 pub struct NoWriteBack;
@@ -46,7 +46,9 @@ enum Phase {
         responses: BTreeMap<u32, (Tag, Value)>,
     },
     Store {
-        acks: u32,
+        // Keyed by server so duplicated acks don't double-count: this
+        // client's only deliberate bug is the missing read write-back.
+        acks: BTreeSet<u32>,
     },
 }
 
@@ -93,7 +95,9 @@ impl Node<NoWriteBack> for NwbClient {
                     match *op {
                         RegInv::Write(v) => {
                             self.rid += 1;
-                            self.phase = Phase::Store { acks: 0 };
+                            self.phase = Phase::Store {
+                                acks: BTreeSet::new(),
+                            };
                             ctx.broadcast_to_servers(
                                 self.n,
                                 AbdMsg::Store {
@@ -113,8 +117,8 @@ impl Node<NoWriteBack> for NwbClient {
                 }
             }
             (Phase::Store { acks }, AbdMsg::StoreAck { rid }) if rid == self.rid => {
-                *acks += 1;
-                if *acks == self.majority {
+                acks.insert(server);
+                if acks.len() as u32 == self.majority {
                     self.phase = Phase::Idle;
                     self.rid += 1;
                     ctx.respond(RegResp::WriteAck);

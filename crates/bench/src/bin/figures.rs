@@ -48,6 +48,7 @@ fn main() {
             "tab-traffic",
             "tab-probe-cache",
             "tab-codec",
+            "tab-nemesis",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -80,6 +81,10 @@ fn main() {
             "tab-traffic" => measured::traffic_table(),
             "tab-probe-cache" => measured::probe_cache_table(5, 2, 4, 2),
             "tab-codec" => measured::codec_table(21, 11, &[1 << 10, 1 << 14, 1 << 16, 1 << 20]),
+            "tab-nemesis" => measured::nemesis_table(
+                1000,
+                std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
+            ),
             other => {
                 eprintln!("unknown table id: {other}");
                 std::process::exit(2);

@@ -18,6 +18,68 @@ pub enum StepInfo {
         /// The invoked client.
         client: ClientId,
     },
+    /// The head message of `from → to` was discarded (message loss).
+    Dropped {
+        /// Sender of the dropped message.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+    },
+    /// The head message of `from → to` was re-enqueued at the tail
+    /// (message duplication).
+    Duplicated {
+        /// Sender of the duplicated message.
+        from: NodeId,
+        /// Receiver of both copies.
+        to: NodeId,
+    },
+    /// The head message of `from → to` was rotated to the tail (bounded
+    /// delay past the rest of the queue).
+    Delayed {
+        /// Sender of the delayed message.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+    },
+    /// The directed link `from → to` was cut.
+    LinkCut {
+        /// Source endpoint of the cut link.
+        from: NodeId,
+        /// Destination endpoint.
+        to: NodeId,
+    },
+    /// The directed link `from → to` was restored.
+    LinkHealed {
+        /// Source endpoint of the healed link.
+        from: NodeId,
+        /// Destination endpoint.
+        to: NodeId,
+    },
+    /// A node crashed.
+    Crashed {
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A crashed node recovered.
+    Recovered {
+        /// The recovered node.
+        node: NodeId,
+    },
+    /// A node was frozen (all its traffic delayed indefinitely).
+    Frozen {
+        /// The frozen node.
+        node: NodeId,
+    },
+    /// A frozen node was unfrozen.
+    Unfrozen {
+        /// The unfrozen node.
+        node: NodeId,
+    },
+    /// A node's freeze and every cut link touching it were lifted at once.
+    Healed {
+        /// The healed node.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for StepInfo {
@@ -25,6 +87,16 @@ impl fmt::Display for StepInfo {
         match self {
             StepInfo::Delivered { from, to } => write!(f, "deliver {from}->{to}"),
             StepInfo::Invoked { client } => write!(f, "invoke @{client}"),
+            StepInfo::Dropped { from, to } => write!(f, "drop {from}->{to}"),
+            StepInfo::Duplicated { from, to } => write!(f, "dup {from}->{to}"),
+            StepInfo::Delayed { from, to } => write!(f, "delay {from}->{to}"),
+            StepInfo::LinkCut { from, to } => write!(f, "cut {from}->{to}"),
+            StepInfo::LinkHealed { from, to } => write!(f, "heal-link {from}->{to}"),
+            StepInfo::Crashed { node } => write!(f, "crash {node}"),
+            StepInfo::Recovered { node } => write!(f, "recover {node}"),
+            StepInfo::Frozen { node } => write!(f, "freeze {node}"),
+            StepInfo::Unfrozen { node } => write!(f, "unfreeze {node}"),
+            StepInfo::Healed { node } => write!(f, "heal {node}"),
         }
     }
 }

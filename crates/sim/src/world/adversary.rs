@@ -4,16 +4,30 @@
 //! adversary may do: fail up to `f` servers outright, and delay ("freeze")
 //! all traffic of a chosen node for an arbitrary but finite time. Both
 //! controls live here, separate from the step relation that respects them.
+//! The nemesis layer additionally needs the reverse directions —
+//! [`Sim::recover`] and [`Sim::heal`] — so a fault schedule can inject a
+//! crash or a freeze window and later lift it.
 
 use super::Sim;
 use crate::ids::NodeId;
 use crate::node::Protocol;
+use crate::trace::StepInfo;
 
 impl<P: Protocol> Sim<P> {
-    /// Crashes a node: it stops taking steps permanently and messages to or
-    /// from it are never delivered.
-    pub fn fail(&mut self, node: NodeId) {
+    /// Crashes a node: it stops taking steps and messages to or from it
+    /// are never delivered. All messages currently queued to or from the
+    /// node are discarded — they were undeliverable anyway (the step
+    /// relation blocks both endpoints), and purging them here means a
+    /// crash mid-delivery leaves no orphaned channel state behind for
+    /// [`Sim::recover`] to resurrect as ghosts.
+    ///
+    /// Reversible via [`Sim::recover`] (crash-recovery with stable node
+    /// state; in-flight traffic at crash time is lost).
+    pub fn fail(&mut self, node: NodeId) -> StepInfo {
         self.failed.insert(node);
+        self.channels
+            .retain(|&(from, to), _| from != node && to != node);
+        StepInfo::Crashed { node }
     }
 
     /// Crashes the last `f` servers — the proofs' canonical failure pattern
@@ -30,15 +44,39 @@ impl<P: Protocol> Sim<P> {
         }
     }
 
+    /// Lifts a [`Sim::fail`]: the node resumes taking steps from its state
+    /// at crash time (crash-recovery with stable storage). Messages that
+    /// were in flight when the crash happened are gone — [`Sim::fail`]
+    /// discarded them — so the recovered node starts with clean channels.
+    pub fn recover(&mut self, node: NodeId) -> StepInfo {
+        self.failed.remove(&node);
+        StepInfo::Recovered { node }
+    }
+
     /// Delays all messages from and to `node` indefinitely (the proofs'
-    /// freeze of the writer). Unlike [`Sim::fail`], this is reversible.
-    pub fn freeze(&mut self, node: NodeId) {
+    /// freeze of the writer). Unlike [`Sim::fail`], this is reversible and
+    /// queued traffic survives: after [`Sim::unfreeze`], delivery resumes
+    /// where it left off.
+    pub fn freeze(&mut self, node: NodeId) -> StepInfo {
         self.frozen.insert(node);
+        StepInfo::Frozen { node }
     }
 
     /// Lifts a [`Sim::freeze`].
-    pub fn unfreeze(&mut self, node: NodeId) {
+    pub fn unfreeze(&mut self, node: NodeId) -> StepInfo {
         self.frozen.remove(&node);
+        StepInfo::Unfrozen { node }
+    }
+
+    /// Lifts every adversarial condition on `node` short of a crash: the
+    /// freeze (if any) and every cut link touching the node. The heal
+    /// counterpart of `freeze` + `cut_link` combined, used by fault
+    /// schedules to end a disturbance window in one step.
+    pub fn heal(&mut self, node: NodeId) -> StepInfo {
+        self.frozen.remove(&node);
+        self.cut_links
+            .retain(|&(from, to)| from != node && to != node);
+        StepInfo::Healed { node }
     }
 
     /// Whether `node` is crashed.

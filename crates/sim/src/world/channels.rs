@@ -46,12 +46,16 @@ impl<P: Protocol> Sim<P> {
     }
 
     /// The deliverable channels at this point: non-empty queues whose
-    /// endpoints are neither crashed nor frozen, in deterministic order.
+    /// endpoints are neither crashed nor frozen and whose link is not cut,
+    /// in deterministic order.
     pub fn step_options(&self) -> Vec<(NodeId, NodeId)> {
         self.channels
             .iter()
-            .filter(|((from, to), q)| {
-                !q.is_empty() && !self.is_blocked(*from) && !self.is_blocked(*to)
+            .filter(|(&(from, to), q)| {
+                !q.is_empty()
+                    && !self.is_blocked(from)
+                    && !self.is_blocked(to)
+                    && !self.is_cut(from, to)
             })
             .map(|(&key, _)| key)
             .collect()
@@ -65,10 +69,14 @@ impl<P: Protocol> Sim<P> {
     /// * [`RunError::NoSuchMessage`] if the channel is empty or absent.
     /// * [`RunError::NodeUnavailable`] if either endpoint is crashed or
     ///   frozen.
+    /// * [`RunError::LinkDown`] if the `from → to` link is cut.
     pub fn deliver_one(&mut self, from: NodeId, to: NodeId) -> Result<StepInfo, RunError> {
         if self.is_blocked(from) || self.is_blocked(to) {
             let node = if self.is_blocked(from) { from } else { to };
             return Err(RunError::NodeUnavailable { node });
+        }
+        if self.is_cut(from, to) {
+            return Err(RunError::LinkDown { from, to });
         }
         let msg = match self.channels.get_mut(&(from, to)) {
             Some(q) if !q.is_empty() => Arc::make_mut(q).pop_front().expect("non-empty"),

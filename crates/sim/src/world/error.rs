@@ -39,6 +39,13 @@ pub enum RunError {
         /// The idle client.
         client: ClientId,
     },
+    /// The directed link `from → to` is cut.
+    LinkDown {
+        /// Source endpoint of the cut link.
+        from: NodeId,
+        /// Destination endpoint.
+        to: NodeId,
+    },
     /// No channel `from → to` has a pending message.
     NoSuchMessage {
         /// Requested source.
@@ -74,6 +81,9 @@ impl fmt::Display for RunError {
             }
             RunError::NoOpenOperation { client } => {
                 write!(f, "client {client} has no operation in flight")
+            }
+            RunError::LinkDown { from, to } => {
+                write!(f, "link {from} -> {to} is cut")
             }
             RunError::NoSuchMessage { from, to } => {
                 write!(f, "no pending message on channel {from} -> {to}")

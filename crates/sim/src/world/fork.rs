@@ -27,6 +27,7 @@ impl<P: Protocol> Clone for Sim<P> {
             channels: self.channels.clone(),
             failed: self.failed.clone(),
             frozen: self.frozen.clone(),
+            cut_links: self.cut_links.clone(),
             now: self.now,
             rr_cursor: self.rr_cursor,
             open_ops: self.open_ops.clone(),

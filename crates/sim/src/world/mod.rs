@@ -6,7 +6,9 @@
 //! * [`mod@self`] — the [`Sim`] type, construction, and world-level docs;
 //! * `state` — node state access, storage metering, digests, observation;
 //! * `channels` — the step relation: delivery, scheduling, invocations;
-//! * `adversary` — crash and freeze controls;
+//! * `adversary` — crash/recover and freeze/unfreeze controls;
+//! * `faults` — nemesis primitives: message drop, duplication, delay,
+//!   directed link cuts and partitions with heal;
 //! * `fork` — cheap structural-sharing clones and the [`Snapshot`] /
 //!   [`Point`] handle API;
 //! * `error` — [`RunError`] and [`SendRecord`].
@@ -25,6 +27,7 @@
 mod adversary;
 mod channels;
 mod error;
+mod faults;
 mod fork;
 mod state;
 
@@ -99,6 +102,7 @@ pub struct Sim<P: Protocol> {
     pub(super) channels: BTreeMap<(NodeId, NodeId), Arc<VecDeque<P::Msg>>>,
     pub(super) failed: BTreeSet<NodeId>,
     pub(super) frozen: BTreeSet<NodeId>,
+    pub(super) cut_links: BTreeSet<(NodeId, NodeId)>,
     pub(super) now: u64,
     pub(super) rr_cursor: u64,
     pub(super) open_ops: BTreeMap<ClientId, usize>,
@@ -119,6 +123,7 @@ impl<P: Protocol> Sim<P> {
             channels: BTreeMap::new(),
             failed: BTreeSet::new(),
             frozen: BTreeSet::new(),
+            cut_links: BTreeSet::new(),
             now: 0,
             rr_cursor: 0,
             open_ops: BTreeMap::new(),
@@ -168,13 +173,15 @@ impl<P: Protocol> fmt::Debug for Sim<P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "Sim {{ step {}, {} servers, {} clients, {} in flight, {} failed, {} frozen }}",
+            "Sim {{ step {}, {} servers, {} clients, {} in flight, {} failed, {} frozen, {} cut \
+             links }}",
             self.now,
             self.servers.len(),
             self.clients.len(),
             self.total_in_flight(),
             self.failed.len(),
-            self.frozen.len()
+            self.frozen.len(),
+            self.cut_links.len()
         )
     }
 }

@@ -79,7 +79,8 @@ impl<P: Protocol> Sim<P> {
             ))
         });
         let blocked = self.failed.iter().chain(self.frozen.iter()).map(hash_of);
-        combine(nodes.chain(channels).chain(blocked))
+        let cuts = self.cut_links.iter().map(hash_of);
+        combine(nodes.chain(channels).chain(blocked).chain(cuts))
     }
 
     /// All operation records, in invocation order.

@@ -1,0 +1,179 @@
+//! Mutation tests for the consistency checkers: corrupt known-good
+//! histories in targeted ways and assert the checkers reject the result.
+//!
+//! The nemesis explorer in `shmem-algorithms` trusts these checkers as its
+//! oracle — a checker that silently accepts a corrupted history would turn
+//! the whole falsification engine into a rubber stamp. Each test here is a
+//! "mutant" in the mutation-testing sense: a minimal, named corruption
+//! (stale read, lost update, real-time inversion, torn register) that a
+//! sound checker must kill.
+
+use shmem_spec::history::{History, OpKind};
+use shmem_spec::{check_atomic, check_regular, check_safe};
+use shmem_util::rng::DetRng;
+
+fn write(h: &mut History<u64>, client: u32, v: u64, t0: u64, t1: u64) {
+    let id = h.begin(client, OpKind::Write(v), t0);
+    h.complete(id, t1, None);
+}
+
+fn read(h: &mut History<u64>, client: u32, got: u64, t0: u64, t1: u64) {
+    let id = h.begin(client, OpKind::Read, t0);
+    h.complete(id, t1, Some(got));
+}
+
+fn all_accept(h: &History<u64>) {
+    assert!(check_atomic(h).is_ok(), "atomic rejected a good history");
+    assert!(check_regular(h).is_ok(), "regular rejected a good history");
+    assert!(check_safe(h).is_ok(), "safe rejected a good history");
+}
+
+fn all_reject(h: &History<u64>, what: &str) {
+    assert!(check_atomic(h).is_err(), "atomic accepted {what}");
+    assert!(check_regular(h).is_err(), "regular accepted {what}");
+    assert!(check_safe(h).is_err(), "safe accepted {what}");
+}
+
+/// A read returns the value of a write that a later write had already
+/// superseded before the read began.
+#[test]
+fn stale_read_is_killed() {
+    let mut good = History::new(0u64);
+    write(&mut good, 0, 1, 0, 1);
+    write(&mut good, 0, 2, 2, 3);
+    read(&mut good, 1, 2, 4, 5);
+    all_accept(&good);
+
+    let mut bad = History::new(0u64);
+    write(&mut bad, 0, 1, 0, 1);
+    write(&mut bad, 0, 2, 2, 3);
+    read(&mut bad, 1, 1, 4, 5); // value 1 was overwritten before t=4
+    all_reject(&bad, "a stale read");
+}
+
+/// A completed write is lost: a later, non-concurrent read still returns
+/// the initial value.
+#[test]
+fn lost_update_is_killed() {
+    let mut good = History::new(0u64);
+    read(&mut good, 1, 0, 0, 1);
+    write(&mut good, 0, 7, 2, 3);
+    read(&mut good, 1, 7, 4, 5);
+    all_accept(&good);
+
+    let mut bad = History::new(0u64);
+    read(&mut bad, 1, 0, 0, 1);
+    write(&mut bad, 0, 7, 2, 3);
+    read(&mut bad, 1, 0, 4, 5); // the write vanished
+    all_reject(&bad, "a lost update");
+}
+
+/// A read completes strictly before the write whose value it returns is
+/// even invoked — a real-time order inversion ("reading from the future").
+#[test]
+fn real_time_inversion_is_killed() {
+    let mut good = History::new(0u64);
+    read(&mut good, 1, 0, 0, 1);
+    write(&mut good, 0, 9, 2, 3);
+    all_accept(&good);
+
+    let mut bad = History::new(0u64);
+    read(&mut bad, 1, 9, 0, 1);
+    write(&mut bad, 0, 9, 2, 3);
+    all_reject(&bad, "a future read");
+}
+
+/// A read not overlapping any write returns a value nobody ever wrote —
+/// the shape a torn/truncated register produces (this is exactly how the
+/// lossy strawman fails: stored bits are a strict subset of written bits).
+#[test]
+fn torn_register_is_killed() {
+    let mut bad = History::new(0u64);
+    write(&mut bad, 0, 0xFF00, 0, 1);
+    read(&mut bad, 1, 0x0000_FF00 & 0xFF, 2, 3); // truncated to low bits
+    all_reject(&bad, "a torn register value");
+}
+
+/// Atomicity is strictly stronger than regularity: a read concurrent with
+/// nothing that skips *backwards* between two sequential reads violates
+/// atomicity even when each read individually sees a legal write.
+#[test]
+fn new_old_inversion_is_killed_by_atomic() {
+    // w(1) then w(2) concurrent with two sequential reads by one client:
+    // first read sees 2, second read sees 1 — regular allows it, atomic
+    // must not.
+    let mut h = History::new(0u64);
+    write(&mut h, 0, 1, 0, 1);
+    let w2 = h.begin(0, OpKind::Write(2), 2);
+    read(&mut h, 1, 2, 3, 4);
+    read(&mut h, 1, 1, 5, 6);
+    h.complete(w2, 7, None);
+    assert!(
+        check_regular(&h).is_ok(),
+        "regular should allow the inversion"
+    );
+    assert!(
+        check_atomic(&h).is_err(),
+        "atomic accepted a new/old inversion"
+    );
+}
+
+/// Randomized mutation sweep: generate sequential histories (where every
+/// read has exactly one justified return value), then flip one read's
+/// returned value to anything else. Every checker must kill every mutant.
+#[test]
+fn random_sequential_mutants_are_killed() {
+    let mut killed = 0u32;
+    for seed in 0..200u64 {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut h = History::new(0u64);
+        let mut current = 0u64;
+        let mut next_value = 1u64;
+        let mut reads: Vec<usize> = Vec::new();
+        let mut t = 0u64;
+        let ops = rng.gen_range(2usize..=8);
+        for _ in 0..ops {
+            let client = rng.gen_range(0u32..3);
+            if rng.gen_bool(0.5) {
+                write(&mut h, client, next_value, t, t + 1);
+                current = next_value;
+                next_value += 1;
+            } else {
+                reads.push(h.len());
+                read(&mut h, client, current, t, t + 1);
+            }
+            t += 2;
+        }
+        all_accept(&h);
+        let Some(&victim) = reads.get(rng.gen_range(0usize..reads.len().max(1))) else {
+            continue; // no reads drawn this seed
+        };
+        // Rebuild with the victim read returning a wrong value: another
+        // written value, the initial value, or garbage never written.
+        let correct = h.ops()[victim].returned.unwrap();
+        let wrong = match rng.gen_range(0u32..3) {
+            0 => (correct + 1) % next_value, // some other (or initial) value
+            1 => 0,                          // initial
+            _ => 0xDEAD_BEEF,                // never written
+        };
+        if wrong == correct {
+            continue;
+        }
+        let mut ops = h.ops().to_vec();
+        ops[victim].returned = Some(wrong);
+        let mutant = History::from_ops(0u64, ops);
+        all_reject(&mutant, &format!("mutant seed {seed}"));
+        killed += 1;
+    }
+    assert!(killed > 100, "mutation sweep barely exercised: {killed}");
+}
+
+/// Malformed histories (client overlaps itself) are rejected outright, not
+/// silently linearized around.
+#[test]
+fn malformed_history_is_rejected() {
+    let mut h = History::new(0u64);
+    h.begin(0, OpKind::Write(1), 0); // never completes...
+    write(&mut h, 0, 2, 1, 2); // ...but the same client invokes again
+    all_reject(&h, "a malformed history");
+}

@@ -13,11 +13,16 @@
 //! * [`bench`] — a miniature benchmarking harness with a
 //!   criterion-compatible macro surface (`criterion_group!`,
 //!   `criterion_main!`, `Criterion::bench_function`, groups, throughput).
-//! * [`json`] — a tiny JSON string emitter for the table/figure exporters.
+//! * [`json`] — a tiny JSON emitter and parser for the table/figure
+//!   exporters and the nemesis counterexample corpus.
+//! * [`shrink`] — counterexample minimization (ddmin delta debugging and
+//!   scalar shrinking), the shrinking hook the property harness itself
+//!   omits.
 
 pub mod bench;
 pub mod json;
 pub mod prop;
 pub mod rng;
+pub mod shrink;
 
 pub use rng::DetRng;

@@ -13,9 +13,12 @@
 //!   [`collection::vec`], [`bool::weighted`],
 //! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
 //!
-//! No shrinking: cases are generated from a seed derived
+//! No built-in shrinking: cases are generated from a seed derived
 //! deterministically from the test name, so every failure reproduces
-//! exactly by re-running the test.
+//! exactly by re-running the test. Tests that want a *minimal* failing
+//! input hook in [`crate::shrink`] (ddmin / scalar shrinking) on top of
+//! the reproduced case — that is how the nemesis explorer minimizes its
+//! fault-plan counterexamples.
 
 use crate::rng::DetRng;
 use std::ops::{Range, RangeInclusive};

@@ -1,0 +1,158 @@
+//! Counterexample minimization: delta debugging over lists and greedy
+//! scalar shrinking.
+//!
+//! The property harness in [`crate::prop`] deliberately does no shrinking
+//! of its own — cases replay from deterministic seeds instead. When a
+//! *structured* counterexample needs minimizing (the nemesis explorer's
+//! fault plans, a failing schedule prefix), these functions are the hook:
+//! the caller re-runs its predicate on candidate reductions and keeps the
+//! smallest input that still fails.
+//!
+//! Conventions: the predicate returns `true` when the candidate is still
+//! "interesting" (still reproduces the failure). Predicates must be
+//! deterministic; the minimizers guarantee the returned input was itself
+//! tested and found interesting.
+
+/// Minimizes a list to a 1-minimal sublist that still satisfies `test`,
+/// using Zeller–Hildebrandt delta debugging (`ddmin`).
+///
+/// "1-minimal" means removing any *single* remaining element makes the
+/// failure disappear; it is a local minimum, not necessarily the global
+/// one. The input itself must be interesting (`test(items) == true`) —
+/// otherwise the input is returned unchanged.
+///
+/// The predicate is invoked O(n²) times in the worst case, but typically
+/// O(n log n) when failure-inducing elements cluster.
+pub fn ddmin<T: Clone>(items: &[T], mut test: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut current: Vec<T> = items.to_vec();
+    if current.len() < 2 || !test(&current) {
+        return current;
+    }
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        // Try each complement (the list with one chunk removed): removing
+        // a chunk while staying interesting means the chunk was irrelevant.
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let complement: Vec<T> = current[..start]
+                .iter()
+                .chain(&current[end..])
+                .cloned()
+                .collect();
+            if !complement.is_empty() && test(&complement) {
+                current = complement;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk <= 1 {
+                break; // 1-minimal: no single element can be removed.
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    current
+}
+
+/// Shrinks an interesting scalar toward `min`: returns the smallest value
+/// found (≥ `min`) for which `test` still returns `true`.
+///
+/// `value` itself must be interesting. Tries `min` outright first, then
+/// walks candidates halfway between the best known failure and the known
+/// boundary — a binary descent that is exact for monotone predicates and
+/// a good local minimum otherwise. O(log(value − min)) predicate calls.
+pub fn shrink_scalar(value: u64, min: u64, mut test: impl FnMut(u64) -> bool) -> u64 {
+    if value <= min {
+        return value;
+    }
+    if test(min) {
+        return min;
+    }
+    let mut lo = min; // known boring (or boundary)
+    let mut best = value; // known interesting
+    while best - lo > 1 {
+        let mid = lo + (best - lo) / 2;
+        if test(mid) {
+            best = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddmin_finds_single_culprit() {
+        let items: Vec<u32> = (0..32).collect();
+        let mut calls = 0;
+        let out = ddmin(&items, |cand| {
+            calls += 1;
+            cand.contains(&17)
+        });
+        assert_eq!(out, vec![17]);
+        assert!(calls < 200, "ddmin should not degenerate: {calls} calls");
+    }
+
+    #[test]
+    fn ddmin_keeps_interacting_pair() {
+        let items: Vec<u32> = (0..20).collect();
+        let out = ddmin(&items, |cand| cand.contains(&3) && cand.contains(&15));
+        assert_eq!(out, vec![3, 15]);
+    }
+
+    #[test]
+    fn ddmin_result_is_one_minimal() {
+        // Failure needs at least 3 elements of {2,5,8,11} present.
+        let items: Vec<u32> = (0..12).collect();
+        let culprits = [2u32, 5, 8, 11];
+        let out = ddmin(&items, |cand| {
+            culprits.iter().filter(|c| cand.contains(c)).count() >= 3
+        });
+        assert_eq!(out.len(), 3);
+        for i in 0..out.len() {
+            let mut without: Vec<u32> = out.clone();
+            without.remove(i);
+            assert!(
+                culprits.iter().filter(|c| without.contains(c)).count() < 3,
+                "removing any single element must break the failure"
+            );
+        }
+    }
+
+    #[test]
+    fn ddmin_uninteresting_input_unchanged() {
+        let items = vec![1, 2, 3];
+        assert_eq!(ddmin(&items, |_| false), items);
+    }
+
+    #[test]
+    fn ddmin_empty_and_singleton() {
+        assert_eq!(ddmin::<u32>(&[], |_| true), vec![]);
+        assert_eq!(ddmin(&[9], |_| true), vec![9]);
+    }
+
+    #[test]
+    fn shrink_scalar_monotone_is_exact() {
+        // Interesting iff >= 37.
+        assert_eq!(shrink_scalar(1000, 0, |v| v >= 37), 37);
+        assert_eq!(shrink_scalar(37, 0, |v| v >= 37), 37);
+        assert_eq!(shrink_scalar(1000, 100, |v| v >= 37), 100);
+    }
+
+    #[test]
+    fn shrink_scalar_respects_min_and_identity() {
+        assert_eq!(shrink_scalar(5, 5, |_| true), 5);
+        assert_eq!(shrink_scalar(4, 5, |_| true), 4); // already below min
+        assert_eq!(shrink_scalar(100, 0, |v| v == 100), 100); // nothing smaller fails
+    }
+}

@@ -1,0 +1,95 @@
+//! Regenerates the regression corpus under `tests/corpus/`.
+//!
+//! For each broken algorithm (the nemesis explorer's positive controls)
+//! this explores seeds until a violation is found, shrinks the fault plan
+//! to a minimum that still reproduces it, and writes the replayable
+//! [`Counterexample`] artifact. `tests/corpus_replay.rs` replays these
+//! files on every test run, so the corpus is also a regression gate: if a
+//! checker or simulator change makes a stored violation stop reproducing,
+//! the replay test fails.
+//!
+//! ```sh
+//! cargo run --release --example gen_corpus
+//! ```
+
+use shmem_algorithms::nemesis::{explore, pretty_history, shrink_plan, Counterexample, Oracle};
+use shmem_algorithms::{LossyCluster, NwbCluster, ValueSpec};
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let dir = Path::new("tests/corpus");
+    fs::create_dir_all(dir).expect("create tests/corpus");
+
+    // No-write-back: reads skip the write-back phase, so a read can see a
+    // new value while a later read sees the old one — an atomicity
+    // violation (new/old inversion) under message delay or partition.
+    {
+        let factory = || NwbCluster::new(3, 1, 3, ValueSpec::from_bits(64.0));
+        generate(dir, "nowriteback", Oracle::Atomic, &factory, 1000, |cx| {
+            cx.package("nowriteback", 3, 1, 3, 0)
+        });
+    }
+
+    // Lossy strawman: servers keep only 8 of 64 value bits, so reads
+    // return truncated values nobody wrote — a regularity violation.
+    {
+        let factory = || LossyCluster::new(3, 1, 3, 8, ValueSpec::from_bits(64.0));
+        generate(dir, "lossy", Oracle::Regular, &factory, 1000, |cx| {
+            cx.package("lossy", 3, 1, 3, 8)
+        });
+    }
+}
+
+struct Packager<'a>(&'a shmem_algorithms::nemesis::Violation);
+
+impl Packager<'_> {
+    fn package(
+        &self,
+        algorithm: &str,
+        n: u32,
+        f: u32,
+        clients: u32,
+        kept_bits: u32,
+    ) -> Counterexample {
+        Counterexample::package(algorithm, n, f, clients, kept_bits, self.0)
+    }
+}
+
+fn generate<P, F>(
+    dir: &Path,
+    name: &str,
+    oracle: Oracle,
+    factory: &F,
+    seeds: u64,
+    pack: impl Fn(&Packager) -> Counterexample,
+) where
+    P: shmem_sim::Protocol<Inv = shmem_algorithms::RegInv, Resp = shmem_algorithms::RegResp>,
+    F: Fn() -> shmem_algorithms::harness::Cluster<P> + Sync,
+{
+    let workers = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    let mut v = explore(factory, oracle, seeds, workers)
+        .unwrap_or_else(|| panic!("{name}: no violation within {seeds} seeds"));
+    println!("== {name}: seed {} violates {:?}", v.seed, oracle);
+    let (plan, stats) = shrink_plan(factory, oracle, v.seed, &v.plan);
+    println!(
+        "   shrunk: {} events -> {}, {} candidates, {} rounds",
+        v.plan.events.len(),
+        plan.events.len(),
+        stats.candidates,
+        stats.rounds
+    );
+    v.plan = plan;
+    // Re-run the shrunk plan so the stored violation text matches it.
+    let mut cluster = factory();
+    let run = shmem_algorithms::nemesis::run_plan(&mut cluster, v.seed, &v.plan);
+    let violation = oracle
+        .check(&run.history)
+        .expect_err("shrunk plan must still violate");
+    v.violation = violation;
+    println!("{}", pretty_history(&run.history));
+    let cx = pack(&Packager(&v));
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, cx.to_json().to_pretty()).expect("write corpus file");
+    println!("   wrote {}", path.display());
+}

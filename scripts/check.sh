@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> corpus replay (nemesis counterexamples)"
+cargo test -q --test corpus_replay
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run -q
 
