@@ -57,6 +57,26 @@ impl<P: Protocol<Inv = RegInv, Resp = RegResp>> Cluster<P> {
         self.initial
     }
 
+    /// Turns on full metering ([`shmem_sim::MetricsLevel::Full`]) and
+    /// returns the cluster — chainable after any constructor:
+    /// `AbdCluster::new(5, 2, 2, spec).metered()`.
+    #[must_use]
+    pub fn metered(mut self) -> Self {
+        self.sim.set_metrics(shmem_sim::MetricsLevel::Full);
+        self
+    }
+
+    /// The cluster's metrics registry (empty unless [`Cluster::metered`]
+    /// or `sim.set_metrics` enabled metering).
+    pub fn metrics(&self) -> &shmem_sim::MetricsRegistry {
+        self.sim.metrics()
+    }
+
+    /// Deterministic JSON export of the metrics registry plus live gauges.
+    pub fn metrics_json(&self) -> shmem_util::json::Json {
+        self.sim.metrics_json()
+    }
+
     /// Completes a full write at `client`, running the world fairly.
     ///
     /// # Errors

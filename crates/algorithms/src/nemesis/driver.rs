@@ -27,7 +27,9 @@ use crate::harness::Cluster;
 use crate::nemesis::plan::{FaultEvent, FaultPlan};
 use crate::reg::{RegInv, RegResp};
 use crate::value::Value;
-use shmem_sim::{ClientId, NodeId, Protocol, StepInfo, StorageSnapshot};
+use shmem_sim::{
+    ClientId, MetricsLevel, MetricsRegistry, NodeId, Protocol, StepInfo, StorageSnapshot,
+};
 use shmem_spec::history::{History, OpKind};
 use shmem_util::DetRng;
 
@@ -49,6 +51,12 @@ pub struct NemesisRun {
     pub final_digest: u64,
     /// Storage peaks observed over the run.
     pub storage: StorageSnapshot,
+    /// The run's message/operation accounting. [`run_plan`] force-enables
+    /// full metering on an unmetered cluster, so this is always populated;
+    /// the conservation audit has already passed on it at drain end. If the
+    /// cluster was metered before the run (or reused across runs), the
+    /// ledgers accumulate — fresh-cluster-per-run gives per-run metrics.
+    pub metrics: MetricsRegistry,
 }
 
 /// Runs `plan` against `cluster` under `seed`. See the module docs for
@@ -58,6 +66,13 @@ pub fn run_plan<P: Protocol<Inv = RegInv, Resp = RegResp>>(
     seed: u64,
     plan: &FaultPlan,
 ) -> NemesisRun {
+    // Nemesis runs are always metered: the fault schedule exercises every
+    // ledger movement (drop, dup, purge, hold), which makes each run a free
+    // conservation-law check. Enabling here (not in the constructors) keeps
+    // plain clusters and benchmarks at `MetricsLevel::Off`.
+    if cluster.sim.metrics_level() == MetricsLevel::Off {
+        cluster.sim.set_metrics(MetricsLevel::Full);
+    }
     let mut rng = DetRng::seed_from_u64(seed);
     let mut trace: Vec<StepInfo> = Vec::new();
     let clients = plan.clients();
@@ -207,10 +222,18 @@ pub fn run_plan<P: Protocol<Inv = RegInv, Resp = RegResp>>(
         }
     }
 
+    // Always-on audit: the ledgers must balance after the drain, whatever
+    // the plan did. A failure here is a simulator accounting bug, never a
+    // legitimate execution.
+    if let Err(e) = cluster.sim.audit_conservation() {
+        panic!("conservation audit failed after nemesis drain (seed {seed}): {e}");
+    }
+
     NemesisRun {
         history: nemesis_history(cluster),
         final_digest: cluster.sim.digest(),
         storage: cluster.sim.storage(),
+        metrics: cluster.sim.metrics().clone(),
         trace,
     }
 }

@@ -33,6 +33,8 @@ pub mod shrink;
 
 pub use artifact::{pretty_history, Counterexample};
 pub use driver::{nemesis_history, run_plan, NemesisRun};
-pub use explorer::{explore, observe_shape, plan_for_seed, run_seed, sweep, Oracle, Violation};
+pub use explorer::{
+    aggregate_metrics, explore, observe_shape, plan_for_seed, run_seed, sweep, Oracle, Violation,
+};
 pub use plan::{ClusterShape, FaultEvent, FaultPlan};
 pub use shrink::{shrink_plan, ShrinkStats};

@@ -54,6 +54,21 @@ fn bench_sim(c: &mut Criterion) {
             black_box(steps)
         })
     });
+
+    // Same workload with full metering — the pair quantifies the metrics
+    // layer's overhead (the `Off` variant above must stay within noise of
+    // its pre-metrics baseline; `Full` shows what opting in costs).
+    c.bench_function("sim/step_throughput_abd_write_metered", |b| {
+        b.iter(|| {
+            let mut cl = AbdCluster::new(21, 10, 1, spec).metered();
+            cl.begin(0, RegInv::Write(3)).unwrap();
+            let mut steps = 0u32;
+            while cl.sim.step_fair().is_some() {
+                steps += 1;
+            }
+            black_box(steps)
+        })
+    });
 }
 
 criterion_group!(benches, bench_sim);

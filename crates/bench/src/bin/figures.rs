@@ -49,6 +49,7 @@ fn main() {
             "tab-probe-cache",
             "tab-codec",
             "tab-nemesis",
+            "tab-metrics",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -85,6 +86,7 @@ fn main() {
                 1000,
                 std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
             ),
+            "tab-metrics" => measured::metrics_table(5, 1, &[1, 2, 3], 42),
             other => {
                 eprintln!("unknown table id: {other}");
                 std::process::exit(2);

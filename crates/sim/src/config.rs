@@ -1,5 +1,7 @@
 //! Simulation configuration.
 
+use crate::metrics::MetricsLevel;
+
 /// Static configuration of a simulated world.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SimConfig {
@@ -18,6 +20,11 @@ pub struct SimConfig {
     /// they report [`crate::world::RunError::StepLimit`] instead of spinning
     /// forever on a livelocked protocol.
     pub step_limit: u64,
+    /// How much the world meters (messages, latencies, queue depths). The
+    /// default is [`MetricsLevel::Off`]: every metrics hook reduces to one
+    /// branch on this enum, so unmetered worlds pay nothing. Also
+    /// switchable at runtime via [`crate::world::Sim::set_metrics`].
+    pub metrics: MetricsLevel,
 }
 
 impl SimConfig {
@@ -40,6 +47,12 @@ impl SimConfig {
     /// Overrides the run-loop step limit.
     pub fn step_limit(mut self, limit: u64) -> SimConfig {
         self.step_limit = limit;
+        self
+    }
+
+    /// Overrides the metering level.
+    pub fn metrics(mut self, level: MetricsLevel) -> SimConfig {
+        self.metrics = level;
         self
     }
 }
@@ -69,6 +82,7 @@ impl Default for SimConfig {
             server_gossip: true,
             channel_order: ChannelOrder::Fifo,
             step_limit: 1_000_000,
+            metrics: MetricsLevel::Off,
         }
     }
 }
@@ -87,6 +101,11 @@ mod tests {
         assert_eq!(
             SimConfig::default().reordering().channel_order,
             ChannelOrder::Any
+        );
+        assert_eq!(SimConfig::default().metrics, MetricsLevel::Off);
+        assert_eq!(
+            SimConfig::default().metrics(MetricsLevel::Full).metrics,
+            MetricsLevel::Full
         );
     }
 }

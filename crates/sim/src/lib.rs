@@ -31,12 +31,16 @@
 //!
 //! Storage cost is metered as the paper defines it: servers report
 //! `state_bits()` (the log-cardinality of their reachable state space) and
-//! the [`meter::StorageMeter`] tracks per-point maxima.
+//! the [`meter::StorageMeter`] tracks per-point maxima. Everything else an
+//! execution does — messages, operation latencies, fault effects — is
+//! metered by the opt-in [`metrics::MetricsRegistry`], whose ledgers obey
+//! an exact conservation law the simulator audits at quiescence.
 
 pub mod config;
 pub mod hash;
 pub mod ids;
 pub mod meter;
+pub mod metrics;
 pub mod node;
 pub mod trace;
 pub mod world;
@@ -45,6 +49,7 @@ pub use config::{ChannelOrder, SimConfig};
 pub use hash::hash_of;
 pub use ids::{ClientId, NodeId, ServerId};
 pub use meter::{StorageMeter, StorageSnapshot};
+pub use metrics::{ChannelLedger, ConservationError, Histogram, MetricsLevel, MetricsRegistry};
 pub use node::{Ctx, Node, Protocol};
 pub use trace::{OpRecord, StepInfo, TrafficCounters};
 pub use world::{Point, RunError, SendRecord, Sim, Snapshot};

@@ -25,6 +25,21 @@ impl<P: Protocol> Sim<P> {
     /// state; in-flight traffic at crash time is lost).
     pub fn fail(&mut self, node: NodeId) -> StepInfo {
         self.failed.insert(node);
+        // Account the purge before the retain drops the queues: the ledger
+        // must book every discarded message for the conservation law.
+        if self.metrics_level() != crate::metrics::MetricsLevel::Off {
+            let purged: Vec<((NodeId, NodeId), u64)> = self
+                .channels
+                .iter()
+                .filter(|(&(from, to), q)| (from == node || to == node) && !q.is_empty())
+                .map(|(&key, q)| (key, q.len() as u64))
+                .collect();
+            if let Some(m) = self.metrics_mut() {
+                for ((from, to), count) in purged {
+                    m.on_purged(from, to, count);
+                }
+            }
+        }
         self.channels
             .retain(|&(from, to), _| from != node && to != node);
         StepInfo::Crashed { node }

@@ -38,6 +38,9 @@ impl<P: Protocol> Sim<P> {
             invocation: inv.clone(),
             response: None,
         });
+        if let Some(m) = self.metrics_mut() {
+            m.on_op_started();
+        }
         let mut ctx: Ctx<P> = Ctx::new(id, self.now);
         <P::Client as Node<P>>::on_invoke(Arc::make_mut(&mut self.clients[idx]), inv, &mut ctx);
         self.apply_effects(id, ctx);
@@ -88,6 +91,9 @@ impl<P: Protocol> Sim<P> {
             (true, false) => self.traffic.server_to_client += 1,
             (true, true) => self.traffic.server_to_server += 1,
             (false, false) => {}
+        }
+        if let Some(m) = self.metrics_mut() {
+            m.on_delivered(from, to);
         }
         let mut ctx: Ctx<P> = Ctx::new(to, self.now);
         match to {
@@ -216,11 +222,18 @@ impl<P: Protocol> Sim<P> {
         )
     }
 
-    /// Steps fairly until no message is deliverable.
+    /// Steps fairly until no message is deliverable. When metering is on,
+    /// the conservation audit runs at the quiescent point — the always-on
+    /// self-check for the metrics wiring.
     ///
     /// # Errors
     ///
     /// [`RunError::StepLimit`] if the configured step budget runs out first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metered message accounting fails its conservation law
+    /// at quiescence (a simulator bug, never a legitimate execution).
     pub fn run_to_quiescence(&mut self) -> Result<u64, RunError> {
         let mut steps = 0;
         while self.step_fair().is_some() {
@@ -230,6 +243,9 @@ impl<P: Protocol> Sim<P> {
                     steps: self.config.step_limit,
                 });
             }
+        }
+        if let Err(e) = self.audit_conservation() {
+            panic!("conservation audit failed at quiescence: {e}");
         }
         Ok(steps)
     }
@@ -315,7 +331,12 @@ impl<P: Protocol> Sim<P> {
                     msg: msg.clone(),
                 });
             }
-            Arc::make_mut(self.channels.entry((origin, to)).or_default()).push_back(msg);
+            let q = Arc::make_mut(self.channels.entry((origin, to)).or_default());
+            q.push_back(msg);
+            let depth = q.len() as u64;
+            if let Some(m) = self.metrics_mut() {
+                m.on_sent(origin, to, std::mem::size_of::<P::Msg>() as u64, depth);
+            }
         }
         if !responses.is_empty() {
             let client = origin
@@ -329,6 +350,10 @@ impl<P: Protocol> Sim<P> {
                 let ops = Arc::make_mut(&mut self.ops);
                 ops[idx].responded_at = Some(self.now);
                 ops[idx].response = Some(resp);
+                let latency = self.now - self.ops[idx].invoked_at;
+                if let Some(m) = self.metrics_mut() {
+                    m.on_op_completed(latency);
+                }
             }
         }
     }

@@ -82,10 +82,13 @@ impl<P: Protocol> Sim<P> {
         match self.channels.get_mut(&(from, to)) {
             Some(q) if !q.is_empty() => {
                 Arc::make_mut(q).pop_front();
-                Ok(StepInfo::Dropped { from, to })
             }
-            _ => Err(super::RunError::NoSuchMessage { from, to }),
+            _ => return Err(super::RunError::NoSuchMessage { from, to }),
         }
+        if let Some(m) = self.metrics_mut() {
+            m.on_dropped(from, to);
+        }
+        Ok(StepInfo::Dropped { from, to })
     }
 
     /// Re-enqueues a copy of the head message of `from → to` at the tail —
@@ -107,10 +110,13 @@ impl<P: Protocol> Sim<P> {
                 let q = Arc::make_mut(q);
                 let copy = q.front().expect("non-empty").clone();
                 q.push_back(copy);
-                Ok(StepInfo::Duplicated { from, to })
             }
-            _ => Err(super::RunError::NoSuchMessage { from, to }),
+            _ => return Err(super::RunError::NoSuchMessage { from, to }),
         }
+        if let Some(m) = self.metrics_mut() {
+            m.on_duplicated(from, to);
+        }
+        Ok(StepInfo::Duplicated { from, to })
     }
 
     /// Rotates the head message of `from → to` to the tail — a bounded

@@ -33,6 +33,8 @@ impl<P: Protocol> Clone for Sim<P> {
             open_ops: self.open_ops.clone(),
             ops: self.ops.clone(),
             meter: self.meter.clone(),
+            metrics: self.metrics.clone(),
+            metrics_level: self.metrics_level,
             send_log: self.send_log.clone(),
             traffic: self.traffic,
         }

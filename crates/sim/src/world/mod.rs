@@ -25,6 +25,7 @@
 //! `O(points · world)` and `O(points + touched-state)` for a whole search.
 
 mod adversary;
+mod audit;
 mod channels;
 mod error;
 mod faults;
@@ -37,6 +38,7 @@ pub use fork::{Point, Snapshot};
 use crate::config::SimConfig;
 use crate::ids::{ClientId, NodeId};
 use crate::meter::StorageMeter;
+use crate::metrics::{MetricsLevel, MetricsRegistry};
 use crate::node::{Ctx, Node, Protocol};
 use crate::trace::{OpRecord, TrafficCounters};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -108,6 +110,13 @@ pub struct Sim<P: Protocol> {
     pub(super) open_ops: BTreeMap<ClientId, usize>,
     pub(super) ops: Arc<Vec<OpRecord<P::Inv, P::Resp>>>,
     pub(super) meter: Arc<StorageMeter>,
+    /// `None` at [`MetricsLevel::Off`], so unmetered worlds pay nothing —
+    /// not even a refcount bump on fork.
+    pub(super) metrics: Option<Arc<MetricsRegistry>>,
+    /// The registry's level cached inline so the hot-path hooks branch on
+    /// a local byte instead of dereferencing the `Arc`. Kept in sync by
+    /// construction and [`Sim::set_metrics`].
+    pub(super) metrics_level: MetricsLevel,
     pub(super) send_log: Option<Arc<Vec<SendRecord<P::Msg>>>>,
     pub(super) traffic: TrafficCounters,
 }
@@ -129,6 +138,9 @@ impl<P: Protocol> Sim<P> {
             open_ops: BTreeMap::new(),
             ops: Arc::new(Vec::new()),
             meter: Arc::new(StorageMeter::new(n)),
+            metrics: (config.metrics != MetricsLevel::Off)
+                .then(|| Arc::new(MetricsRegistry::new(config.metrics, n))),
+            metrics_level: config.metrics,
             send_log: None,
             traffic: TrafficCounters::default(),
         };

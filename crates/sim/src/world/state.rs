@@ -61,6 +61,14 @@ impl<P: Protocol> Sim<P> {
     /// Forks share state structurally, so two forks that have not diverged
     /// digest identically by construction; the digest is how divergence is
     /// *detected*. [`super::Snapshot`] caches this per point.
+    ///
+    /// The metrics registry is deliberately **excluded**: metrics observe
+    /// the *history* of an execution, while the digest certifies
+    /// indistinguishability of world *states* — two executions that reach
+    /// the same state through different histories (say, one with a
+    /// duplicate-then-drop the other never saw) must digest identically
+    /// even though their ledgers differ. The operation log, storage meter,
+    /// and send log are excluded for the same reason.
     pub fn digest(&self) -> u64 {
         let nodes = self
             .servers

@@ -839,3 +839,259 @@ mod fault_determinism {
         }
     }
 }
+
+mod conservation {
+    use super::*;
+    use crate::metrics::MetricsLevel;
+    use shmem_util::prop::prelude::*;
+    use shmem_util::DetRng;
+
+    /// A fully metered reordering world with two clients — the same shape
+    /// as `fault_determinism::fault_world`, plus the registry.
+    fn metered_world(n: u32) -> Sim<Toy> {
+        Sim::new(
+            SimConfig::default()
+                .reordering()
+                .metrics(MetricsLevel::Full),
+            (0..n)
+                .map(|_| ToyServer {
+                    peers: n,
+                    ..ToyServer::default()
+                })
+                .collect(),
+            (0..2)
+                .map(|_| ToyClient {
+                    n,
+                    need: n.min(2),
+                    ..ToyClient::default()
+                })
+                .collect(),
+        )
+    }
+
+    /// Drives a seeded schedule mixing invocations, every fault primitive
+    /// (drop, duplicate, delay, cut/heal, crash/recover, freeze/unfreeze)
+    /// and deliveries, auditing the conservation law after *every* tick —
+    /// the ledgers must balance at each point, not just at quiescence.
+    fn drive_and_audit(sim: &mut Sim<Toy>, seed: u64, ticks: u32) {
+        let n = sim.server_count() as u32;
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut next = 1u32;
+        for tick in 0..ticks {
+            if rng.gen_bool(0.4) {
+                let c = ClientId(rng.gen_range(0u32..2));
+                if sim.invoke(c, next).is_ok() {
+                    next += 1;
+                }
+            }
+            match rng.gen_range(0u32..12) {
+                0 => {
+                    let s = NodeId::server(rng.gen_range(0u32..n));
+                    if !sim.is_failed(s) {
+                        sim.fail(s);
+                    } else {
+                        sim.recover(s);
+                    }
+                }
+                1 => {
+                    let from = NodeId::client(rng.gen_range(0u32..2));
+                    let to = NodeId::server(rng.gen_range(0u32..n));
+                    if sim.is_cut(from, to) {
+                        sim.heal_link(from, to);
+                    } else {
+                        sim.cut_link(from, to);
+                    }
+                }
+                2 => {
+                    let s = NodeId::server(rng.gen_range(0u32..n));
+                    if !sim.is_frozen(s) {
+                        sim.freeze(s);
+                    } else {
+                        sim.unfreeze(s);
+                    }
+                }
+                3..=5 => {
+                    let options = sim.step_options();
+                    if !options.is_empty() {
+                        let (from, to) = options[rng.gen_range(0usize..options.len())];
+                        match rng.gen_range(0u32..3) {
+                            0 => sim.drop_head(from, to),
+                            1 => sim.duplicate_head(from, to),
+                            _ => sim.delay_head(from, to),
+                        }
+                        .expect("head exists: channel was steppable");
+                    }
+                }
+                _ => {}
+            }
+            sim.step_with(|opts| rng.gen_range(0usize..opts.len()));
+            sim.audit_conservation()
+                .unwrap_or_else(|e| panic!("tick {tick}: {e}"));
+        }
+    }
+
+    #[test]
+    fn metered_quiescent_run_balances_and_counts() {
+        let mut sim = metered_world(4);
+        sim.invoke(ClientId(0), 42).unwrap();
+        assert_eq!(sim.run_until_op_completes(ClientId(0)).unwrap(), 42);
+        sim.run_to_quiescence().unwrap(); // also runs the audit
+        let m = sim.metrics();
+        let g = m.global();
+        // Fault-free run: everything sent was delivered.
+        assert_eq!(g.sent, g.delivered);
+        assert_eq!(
+            (g.dropped, g.duplicated, g.purged, g.baseline),
+            (0, 0, 0, 0)
+        );
+        // 4 stores out, 4 acks back.
+        assert_eq!(g.sent, 8);
+        assert_eq!(m.server_recv(), &[1, 1, 1, 1]);
+        assert_eq!(m.server_sent(), &[1, 1, 1, 1]);
+        assert_eq!(m.wire_bytes(), 8 * std::mem::size_of::<Msg>() as u64);
+        assert_eq!((m.ops_started(), m.ops_completed()), (1, 1));
+        assert_eq!(m.op_latency().count(), 1);
+        let lat = sim.ops()[0].responded_at.unwrap() - sim.ops()[0].invoked_at;
+        let (lo, hi) = m.op_latency().quantile_bounds(0.5).unwrap();
+        assert!(lo <= lat && lat <= hi);
+    }
+
+    #[test]
+    fn metrics_do_not_perturb_digest_or_schedule() {
+        // The same execution with metering off and fully on: identical
+        // digests (metrics are excluded from world state) and identical
+        // step counts (metering never changes scheduling).
+        let run = |level: MetricsLevel| {
+            let mut sim = Sim::<Toy>::new(
+                SimConfig::default().metrics(level),
+                (0..3)
+                    .map(|_| ToyServer {
+                        peers: 3,
+                        ..ToyServer::default()
+                    })
+                    .collect(),
+                vec![ToyClient {
+                    n: 3,
+                    need: 2,
+                    ..ToyClient::default()
+                }],
+            );
+            sim.invoke(ClientId(0), 5).unwrap();
+            let steps = sim.run_to_quiescence().unwrap();
+            (sim.digest(), steps, sim.now())
+        };
+        assert_eq!(run(MetricsLevel::Off), run(MetricsLevel::Full));
+    }
+
+    #[test]
+    fn set_metrics_mid_run_baselines_in_flight() {
+        let mut sim = world(5, 3); // metrics off
+        sim.invoke(ClientId(0), 3).unwrap();
+        sim.step_fair().unwrap(); // one store delivered, an ack in flight
+        assert!(sim.metrics().global() == Default::default());
+        sim.set_metrics(MetricsLevel::Full);
+        // The 5 queued messages (4 stores + 1 ack) become the baseline, so
+        // the law holds immediately and through quiescence.
+        assert_eq!(sim.metrics().global().baseline, 5);
+        sim.audit_conservation().unwrap();
+        sim.run_to_quiescence().unwrap();
+        let g = sim.metrics().global();
+        assert_eq!(g.delivered, g.baseline + g.sent);
+    }
+
+    #[test]
+    fn held_and_deliverable_gauges_split_the_queue() {
+        let mut sim = metered_world(3);
+        sim.invoke(ClientId(0), 1).unwrap(); // 3 stores in flight
+        sim.cut_link(NodeId::client(0), NodeId::server(0));
+        sim.freeze(NodeId::server(1));
+        assert_eq!(sim.total_in_flight(), 3);
+        assert_eq!(sim.held_messages(), 2); // cut + frozen destinations
+        assert_eq!(sim.deliverable_in_flight(), 1);
+        sim.audit_conservation().unwrap();
+    }
+
+    #[test]
+    fn export_includes_gauges_and_parses() {
+        let mut sim = metered_world(3);
+        sim.invoke(ClientId(0), 2).unwrap();
+        let doc = sim.metrics_json();
+        let text = doc.to_pretty();
+        let back = shmem_util::json::Json::parse(&text).unwrap();
+        assert_eq!(
+            back.get("gauges")
+                .unwrap()
+                .get("in_flight")
+                .unwrap()
+                .as_u64(),
+            Some(3)
+        );
+        assert_eq!(
+            back.get("gauges").unwrap().get("held").unwrap().as_u64(),
+            Some(0)
+        );
+        assert_eq!(back.get("level").unwrap().as_str(), Some("full"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The headline conservation property: across random fault-laced
+        /// schedules the accounting balances at every point, per channel
+        /// and globally, and again at quiescence after healing.
+        #[test]
+        fn prop_conservation_holds_under_random_faults(
+            n in 3u32..6,
+            seed in 0u64..1_000_000,
+        ) {
+            let mut sim = metered_world(n);
+            drive_and_audit(&mut sim, seed, 60);
+            // Heal and drain: the audit also runs inside run_to_quiescence.
+            sim.heal_all_links();
+            for s in 0..n {
+                let node = NodeId::server(s);
+                if sim.is_frozen(node) {
+                    sim.unfreeze(node);
+                }
+            }
+            sim.run_to_quiescence().unwrap();
+            prop_assert!(sim.audit_conservation().is_ok());
+            // At quiescence every queued message sits on a channel whose
+            // endpoint crashed (blocked), i.e. nothing deliverable remains.
+            prop_assert_eq!(sim.deliverable_in_flight(), 0);
+        }
+
+        /// Metered and unmetered replays of the same schedule agree on the
+        /// world digest — the registry observes and never interferes.
+        #[test]
+        fn prop_metering_is_an_observer(
+            n in 3u32..5,
+            seed in 0u64..1_000_000,
+        ) {
+            let run = |level: MetricsLevel| {
+                let mut sim = Sim::<Toy>::new(
+                    SimConfig::default().reordering().metrics(level),
+                    (0..n)
+                        .map(|_| ToyServer { peers: n, ..ToyServer::default() })
+                        .collect(),
+                    (0..2)
+                        .map(|_| ToyClient { n, need: n.min(2), ..ToyClient::default() })
+                        .collect(),
+                );
+                let mut rng = DetRng::seed_from_u64(seed);
+                let mut next = 1u32;
+                for _ in 0..40 {
+                    if rng.gen_bool(0.4) {
+                        let c = ClientId(rng.gen_range(0u32..2));
+                        if sim.invoke(c, next).is_ok() {
+                            next += 1;
+                        }
+                    }
+                    sim.step_with(|opts| rng.gen_range(0usize..opts.len()));
+                }
+                sim.digest()
+            };
+            prop_assert_eq!(run(MetricsLevel::Off), run(MetricsLevel::Full));
+        }
+    }
+}

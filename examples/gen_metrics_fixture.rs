@@ -1,0 +1,45 @@
+//! Regenerates the metrics-export schema fixture under `tests/fixtures/`.
+//!
+//! The fixture pins the JSON schema (`shmem-metrics/v1`) byte for byte:
+//! `tests/metrics_schema.rs` re-runs the same scenario and compares
+//! against the stored file, so any change to the export format — key
+//! order, bucket encoding, a renamed counter — fails the test until this
+//! regenerator is deliberately re-run:
+//!
+//! ```sh
+//! cargo run --release --example gen_metrics_fixture
+//! ```
+
+use shmem_algorithms::{AbdCluster, RegInv, ValueSpec};
+use shmem_sim::{ClientId, NodeId};
+use std::fs;
+use std::path::Path;
+
+/// The fixture scenario: one metered ABD write that sees every ledger
+/// movement — a duplicate, a drop, and a crash-purge — then drains.
+/// Keep in sync with the copy in `tests/metrics_schema.rs`.
+fn fixture_export() -> String {
+    let mut c = AbdCluster::new(3, 1, 2, ValueSpec::from_bits(64.0)).metered();
+    c.begin(0, RegInv::Write(7)).expect("begin write");
+    c.sim
+        .duplicate_head(NodeId::client(0), NodeId::server(1))
+        .expect("duplicate");
+    c.sim
+        .drop_head(NodeId::client(0), NodeId::server(1))
+        .expect("drop");
+    c.sim.fail(NodeId::server(2)); // purges the queued message to s2
+    c.sim
+        .run_until_op_completes(ClientId(0))
+        .expect("write completes on the surviving quorum");
+    c.sim.run_to_quiescence().expect("drains and audits");
+    c.read(1).expect("read");
+    c.metrics_json().to_pretty()
+}
+
+fn main() {
+    let dir = Path::new("tests/fixtures");
+    fs::create_dir_all(dir).expect("create tests/fixtures");
+    let path = dir.join("metrics_schema.json");
+    fs::write(&path, fixture_export()).expect("write fixture");
+    println!("wrote {}", path.display());
+}

@@ -16,6 +16,10 @@ cargo test -q --workspace
 echo "==> corpus replay (nemesis counterexamples)"
 cargo test -q --test corpus_replay
 
+echo "==> metrics gate: conservation + determinism + schema (release)"
+cargo test --release -q --test metrics_conservation --test metrics_determinism \
+  --test metrics_schema
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run -q
 

@@ -1,0 +1,66 @@
+//! Conservation-law sweep: random nemesis fault plans over every correct
+//! algorithm, with the message accounting audited at drain.
+//!
+//! `run_plan` force-enables full metering and panics if the ledgers do not
+//! balance after the drain, so simply executing the sweep is the check;
+//! the assertions below make the law explicit at the call site too. The
+//! default sweep is sized for the normal test run; the `#[ignore]`d
+//! variant is the 1000-seeds-per-algorithm acceptance sweep CI runs in
+//! release mode.
+
+use shmem_algorithms::harness::Cluster;
+use shmem_algorithms::nemesis::{observe_shape, plan_for_seed, run_plan};
+use shmem_algorithms::{AbdCluster, CasCluster, GossipCluster, HashedCluster};
+use shmem_algorithms::{RegInv, RegResp, ValueSpec};
+use shmem_sim::Protocol;
+
+fn sweep_balances<P, F>(name: &str, factory: F, seeds: u64)
+where
+    P: Protocol<Inv = RegInv, Resp = RegResp>,
+    F: Fn() -> Cluster<P>,
+{
+    for seed in 0..seeds {
+        let mut cluster = factory();
+        let plan = plan_for_seed(seed, observe_shape(&cluster));
+        let run = run_plan(&mut cluster, seed, &plan);
+        // The audit already ran (and would have panicked) inside run_plan;
+        // re-check through the public API so a regression points here.
+        cluster
+            .sim
+            .audit_conservation()
+            .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
+        let g = run.metrics.global();
+        assert!(
+            g.balances_with(cluster.sim.total_in_flight() as u64),
+            "{name} seed {seed}: global ledger does not balance: {g:?}"
+        );
+        // Whatever is still queued at drain end is held behind a crashed
+        // server (inside the f budget) — never silently undelivered.
+        assert_eq!(
+            cluster.sim.deliverable_in_flight(),
+            0,
+            "{name} seed {seed}: deliverable messages left at quiescence"
+        );
+    }
+}
+
+fn all_algorithms(seeds: u64) {
+    let spec = ValueSpec::from_bits(64.0);
+    sweep_balances("abd", || AbdCluster::new(3, 1, 3, spec), seeds);
+    sweep_balances("abd-gossip", || GossipCluster::new(3, 1, 3, spec), seeds);
+    sweep_balances("cas", || CasCluster::new(3, 1, 3, spec), seeds);
+    sweep_balances("hashed-cas", || HashedCluster::new(3, 1, 3, spec), seeds);
+}
+
+#[test]
+fn conservation_holds_over_random_fault_plans() {
+    all_algorithms(40);
+}
+
+/// The acceptance-criteria sweep: 1000 nemesis seeds per algorithm.
+/// Run with `cargo test --release -- --ignored conservation_full_sweep`.
+#[test]
+#[ignore = "1000-seed release-mode sweep; run explicitly (CI does)"]
+fn conservation_full_sweep_1000_seeds_per_algorithm() {
+    all_algorithms(1000);
+}

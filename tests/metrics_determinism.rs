@@ -1,0 +1,53 @@
+//! Determinism of the metrics layer: identical `(seed, plan, workload)`
+//! inputs must produce byte-identical metrics exports, and aggregation
+//! across workers must not depend on the worker count.
+
+use shmem_algorithms::harness::run_concurrent_workload;
+use shmem_algorithms::nemesis::{aggregate_metrics, observe_shape, plan_for_seed, run_plan};
+use shmem_algorithms::{AbdCluster, CasCluster, ValueSpec};
+
+/// Two fresh clusters driven by the same nemesis `(seed, plan)` export
+/// byte-identical metrics JSON — counters, histograms, and gauges.
+#[test]
+fn nemesis_metrics_export_is_byte_identical_across_reruns() {
+    let spec = ValueSpec::from_bits(64.0);
+    for seed in [0u64, 3, 11] {
+        let export = |_: ()| {
+            let mut cluster = AbdCluster::new(3, 1, 3, spec);
+            let plan = plan_for_seed(seed, observe_shape(&cluster));
+            run_plan(&mut cluster, seed, &plan);
+            cluster.sim.metrics_json().to_pretty()
+        };
+        let a = export(());
+        let b = export(());
+        assert_eq!(a, b, "seed {seed}: reruns disagree");
+    }
+}
+
+/// The same seeded concurrent workload on a metered cluster exports
+/// identically across reruns — the non-nemesis path is deterministic too.
+#[test]
+fn workload_metrics_export_is_byte_identical_across_reruns() {
+    let spec = ValueSpec::from_bits(64.0);
+    let export = |_: ()| {
+        let mut c = CasCluster::new(5, 1, 3, spec).metered();
+        run_concurrent_workload(&mut c, 2, 1, 2, 7).expect("workload");
+        c.sim.run_to_quiescence().expect("drains");
+        c.metrics_json().to_pretty()
+    };
+    assert_eq!(export(()), export(()));
+}
+
+/// Aggregated metrics are invariant under the worker count: 1, 2 and 4
+/// workers merge the same per-seed registries to byte-identical exports.
+#[test]
+fn aggregation_is_worker_count_invariant() {
+    let spec = ValueSpec::from_bits(64.0);
+    let factory = || CasCluster::new(3, 1, 3, spec);
+    let exports: Vec<String> = [1usize, 2, 4]
+        .iter()
+        .map(|&w| aggregate_metrics(&factory, 10, w).to_json().to_pretty())
+        .collect();
+    assert_eq!(exports[0], exports[1], "1 vs 2 workers");
+    assert_eq!(exports[0], exports[2], "1 vs 4 workers");
+}

@@ -1,0 +1,103 @@
+//! Golden-file test for the metrics JSON export schema
+//! (`shmem-metrics/v1`).
+//!
+//! The fixture under `tests/fixtures/` is written by
+//! `cargo run --release --example gen_metrics_fixture`; this test re-runs
+//! the identical scenario and demands byte equality, so any schema drift
+//! (key order, renamed counter, bucket encoding) is caught and must be
+//! accompanied by a deliberate fixture regeneration.
+
+use shmem_algorithms::{AbdCluster, RegInv, ValueSpec};
+use shmem_sim::{ClientId, NodeId};
+use shmem_util::json::Json;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn fixture_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/metrics_schema.json")
+}
+
+/// The fixture scenario. Keep in sync with the copy in
+/// `examples/gen_metrics_fixture.rs`.
+fn fixture_export() -> String {
+    let mut c = AbdCluster::new(3, 1, 2, ValueSpec::from_bits(64.0)).metered();
+    c.begin(0, RegInv::Write(7)).expect("begin write");
+    c.sim
+        .duplicate_head(NodeId::client(0), NodeId::server(1))
+        .expect("duplicate");
+    c.sim
+        .drop_head(NodeId::client(0), NodeId::server(1))
+        .expect("drop");
+    c.sim.fail(NodeId::server(2)); // purges the queued message to s2
+    c.sim
+        .run_until_op_completes(ClientId(0))
+        .expect("write completes on the surviving quorum");
+    c.sim.run_to_quiescence().expect("drains and audits");
+    c.read(1).expect("read");
+    c.metrics_json().to_pretty()
+}
+
+#[test]
+fn export_matches_golden_fixture() {
+    let path = fixture_path();
+    let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e}\nregenerate with `cargo run --release --example gen_metrics_fixture`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        fixture_export(),
+        golden,
+        "metrics export schema drifted; if intentional, regenerate the \
+         fixture with `cargo run --release --example gen_metrics_fixture`"
+    );
+}
+
+/// Structural checks on the stored fixture itself, so the golden file
+/// stays a valid, complete `shmem-metrics/v1` document.
+#[test]
+fn golden_fixture_has_the_v1_shape() {
+    let doc = Json::parse(&fs::read_to_string(fixture_path()).expect("read fixture"))
+        .expect("fixture parses");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("shmem-metrics/v1")
+    );
+    assert_eq!(doc.get("level").and_then(Json::as_str), Some("full"));
+    let counters = doc.get("counters").expect("counters object");
+    for key in [
+        "baseline",
+        "sent",
+        "delivered",
+        "dropped",
+        "duplicated",
+        "purged",
+        "wire_bytes",
+        "ops_started",
+        "ops_completed",
+    ] {
+        assert!(counters.get(key).is_some(), "missing counters.{key}");
+    }
+    // The scenario exercised every ledger movement.
+    assert_eq!(counters.get("dropped").and_then(Json::as_u64), Some(1));
+    assert_eq!(counters.get("duplicated").and_then(Json::as_u64), Some(1));
+    assert_eq!(counters.get("purged").and_then(Json::as_u64), Some(1));
+    for key in ["per_server", "per_channel", "histograms", "gauges"] {
+        assert!(doc.get(key).is_some(), "missing {key}");
+    }
+    let hist = doc.get("histograms").expect("histograms");
+    for key in ["op_latency_steps", "queue_depth"] {
+        let h = hist
+            .get(key)
+            .unwrap_or_else(|| panic!("missing histograms.{key}"));
+        for field in ["count", "sum", "min", "max", "buckets"] {
+            assert!(h.get(field).is_some(), "missing histograms.{key}.{field}");
+        }
+    }
+    // Quiescent fixture: nothing deliverable remains, but the messages
+    // addressed to the crashed server after its purge are still held.
+    let gauges = doc.get("gauges").expect("gauges");
+    assert_eq!(gauges.get("in_flight").and_then(Json::as_u64), Some(0));
+    assert_eq!(gauges.get("held").and_then(Json::as_u64), Some(3));
+}
