@@ -356,6 +356,39 @@ impl LossyCluster {
     }
 }
 
+impl LossyCluster {
+    /// The *subtly* broken cheap cluster: only the first `rotten` servers
+    /// truncate to `kept_bits`; the rest keep (effectively) everything.
+    ///
+    /// Unlike [`LossyCluster::new`], whose corruption surfaces on almost
+    /// any completed read, a single bit-rotted replica only corrupts a
+    /// read when faults carve a quorum in which the rotted server holds
+    /// the highest tag alone — a rare, fault-timing-dependent event, which
+    /// makes this the sparse falsification target for guided search.
+    pub fn with_bit_rot(
+        n: u32,
+        f: u32,
+        clients: u32,
+        rotten: u32,
+        kept_bits: u32,
+        spec: ValueSpec,
+    ) -> LossyCluster {
+        Cluster {
+            sim: Sim::new(
+                SimConfig::without_gossip(),
+                (0..n)
+                    // 63 kept bits is lossless for every value the nemesis
+                    // driver writes; the server type stays uniform.
+                    .map(|i| LossyServer::new(0, if i < rotten { kept_bits } else { 63 }, spec))
+                    .collect(),
+                (0..clients).map(|c| AbdClient::new(n, c)).collect(),
+            ),
+            initial: 0,
+            f,
+        }
+    }
+}
+
 impl NwbCluster {
     /// The broken write-back-less ABD cluster — ABD servers, clients whose
     /// reads return straight after the query phase. Regular but not

@@ -18,7 +18,12 @@
 //! * [`shrink`] — [`shrink::shrink_plan`]: ddmin + scalar descent to a
 //!   minimal plan that still violates;
 //! * [`artifact`] — [`artifact::Counterexample`]: the JSON artifact the
-//!   regression corpus stores and replays.
+//!   regression corpus stores and replays;
+//! * [`mutate`] — [`mutate::Mutator`]: budget-preserving plan variation
+//!   operators (resample, splice, window-shift, rate-perturb);
+//! * [`fuzz`] — [`fuzz::fuzz`]: the coverage-guided exploration loop that
+//!   keeps a deduplicated corpus of plans which discovered new simulator
+//!   coverage and mutates them in preference to blind resampling.
 //!
 //! The broken algorithms ([`crate::nowriteback`], [`crate::lossy`]) are
 //! the positive controls: the explorer must find and shrink their
@@ -28,6 +33,8 @@
 pub mod artifact;
 pub mod driver;
 pub mod explorer;
+pub mod fuzz;
+pub mod mutate;
 pub mod plan;
 pub mod shrink;
 
@@ -36,5 +43,7 @@ pub use driver::{nemesis_history, run_plan, NemesisRun};
 pub use explorer::{
     aggregate_metrics, explore, observe_shape, plan_for_seed, run_seed, sweep, Oracle, Violation,
 };
+pub use fuzz::{fuzz, Corpus, CorpusEntry, FuzzConfig, FuzzOutcome};
+pub use mutate::{normalize, Mutator, MUTATORS};
 pub use plan::{ClusterShape, FaultEvent, FaultPlan};
 pub use shrink::{shrink_plan, ShrinkStats};

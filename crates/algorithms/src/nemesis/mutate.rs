@@ -1,0 +1,321 @@
+//! Fault-plan mutators: the variation operators of the coverage-guided
+//! fuzzer.
+//!
+//! Every mutator is a pure function of `(parent plan, rng, shape)` and
+//! pipes its raw output through [`normalize`], which re-establishes every
+//! invariant [`FaultPlan::validate`] checks — in particular the crash
+//! budget (≤ `f` distinct servers, so mutated schedules stay within the
+//! fault tolerance the algorithm claims to mask), window containment in
+//! the horizon, and node-index range. A mutator can therefore be applied
+//! to *any* valid plan and yields a valid plan, which is what lets the
+//! fuzzer splice corpus entries freely without re-checking anything at
+//! run time.
+
+use super::plan::{ClusterShape, FaultEvent, FaultPlan};
+use shmem_sim::NodeId;
+use shmem_util::DetRng;
+
+/// The plan variation operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutator {
+    /// Ignore the parent and sample a fresh plan — the exploration arm
+    /// (also the whole story when mutation is disabled, which is what
+    /// makes the fuzzer's no-mutation mode coincide with plain sweep).
+    Resample,
+    /// Keep the parent's workload, splice its event prefix onto a fresh
+    /// donor's event suffix around a random pivot tick.
+    Splice,
+    /// Shift one event window in time (both edges, saturating).
+    WindowShift,
+    /// Multiply or nudge the per-mille network fault rates.
+    RatePerturb,
+}
+
+/// All mutators, in the fixed order the fuzzer's weighted choice indexes.
+pub const MUTATORS: [Mutator; 4] = [
+    Mutator::Resample,
+    Mutator::Splice,
+    Mutator::WindowShift,
+    Mutator::RatePerturb,
+];
+
+impl Mutator {
+    /// Short stable name (for tables and corpus entries).
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutator::Resample => "resample",
+            Mutator::Splice => "splice",
+            Mutator::WindowShift => "window-shift",
+            Mutator::RatePerturb => "rate-perturb",
+        }
+    }
+
+    /// Applies the mutator. The result is always [`normalize`]d, hence
+    /// valid for `shape`.
+    pub fn apply(self, parent: &FaultPlan, rng: &mut DetRng, shape: ClusterShape) -> FaultPlan {
+        let raw = match self {
+            Mutator::Resample => FaultPlan::sample(rng, shape),
+            Mutator::Splice => splice(parent, rng, shape),
+            Mutator::WindowShift => window_shift(parent, rng),
+            Mutator::RatePerturb => rate_perturb(parent, rng),
+        };
+        normalize(raw, shape)
+    }
+}
+
+fn splice(parent: &FaultPlan, rng: &mut DetRng, shape: ClusterShape) -> FaultPlan {
+    let donor = FaultPlan::sample(rng, shape);
+    let pivot = rng.gen_range(0..=parent.horizon);
+    let mut events: Vec<FaultEvent> = parent
+        .events
+        .iter()
+        .filter(|e| e.at() < pivot)
+        .cloned()
+        .collect();
+    events.extend(donor.events.iter().filter(|e| e.at() >= pivot).cloned());
+    FaultPlan {
+        events,
+        // The donor occasionally contributes its network rates too, so
+        // splicing explores rate × schedule combinations.
+        drop_per_mille: if rng.gen_bool(0.5) {
+            parent.drop_per_mille
+        } else {
+            donor.drop_per_mille
+        },
+        dup_per_mille: if rng.gen_bool(0.5) {
+            parent.dup_per_mille
+        } else {
+            donor.dup_per_mille
+        },
+        ..parent.clone()
+    }
+}
+
+fn window_shift(parent: &FaultPlan, rng: &mut DetRng) -> FaultPlan {
+    let mut plan = parent.clone();
+    if plan.events.is_empty() {
+        // Nothing to shift: perturb the horizon instead, which changes
+        // when the fault-free drain starts.
+        let delta = rng.gen_range(1..=60u64);
+        plan.horizon = if rng.gen_bool(0.5) {
+            plan.horizon.saturating_add(delta)
+        } else {
+            plan.horizon.saturating_sub(delta).max(1)
+        };
+        return plan;
+    }
+    let idx = rng.gen_range(0..plan.events.len());
+    let delta = rng.gen_range(1..=plan.horizon.max(2) / 2);
+    let forward = rng.gen_bool(0.5);
+    let shift = |t: u64| {
+        if forward {
+            t.saturating_add(delta)
+        } else {
+            t.saturating_sub(delta)
+        }
+    };
+    match &mut plan.events[idx] {
+        FaultEvent::Crash { at, .. } | FaultEvent::Recover { at, .. } => *at = shift(*at),
+        FaultEvent::Freeze { at, until, .. } | FaultEvent::Cut { at, until, .. } => {
+            *at = shift(*at);
+            *until = shift(*until);
+        }
+    }
+    plan
+}
+
+fn rate_perturb(parent: &FaultPlan, rng: &mut DetRng) -> FaultPlan {
+    let mut plan = parent.clone();
+    let nudge = |rng: &mut DetRng, rate: u32| -> u32 {
+        match rng.gen_range(0..4u32) {
+            0 => 0, // switch the fault off
+            1 => rate.saturating_add(rng.gen_range(1..=40u64) as u32),
+            2 => rate.saturating_sub(rng.gen_range(1..=40u64) as u32),
+            _ => rate.saturating_mul(2).max(5), // escalate
+        }
+    };
+    match rng.gen_range(0..3u32) {
+        0 => plan.drop_per_mille = nudge(rng, plan.drop_per_mille),
+        1 => plan.dup_per_mille = nudge(rng, plan.dup_per_mille),
+        _ => plan.delay_per_mille = nudge(rng, plan.delay_per_mille),
+    }
+    plan
+}
+
+/// Re-establishes every [`FaultPlan::validate`] invariant on a raw mutated
+/// plan: clamps the workload into the client budget, caps rates (and zeros
+/// delays on FIFO shapes), wraps node indices into range, clamps event
+/// windows into the horizon, enforces the crash/recover protocol, and
+/// drops crash events past the `f` budget. Deterministic and idempotent.
+pub fn normalize(mut plan: FaultPlan, shape: ClusterShape) -> FaultPlan {
+    plan.writers = plan.writers.clamp(1, shape.clients.max(1));
+    plan.readers = plan.readers.min(shape.clients - plan.writers);
+    plan.ops_per_client = plan.ops_per_client.max(1);
+    plan.horizon = plan.horizon.max(1);
+    plan.drop_per_mille = plan.drop_per_mille.min(1000);
+    plan.dup_per_mille = plan.dup_per_mille.min(1000);
+    plan.delay_per_mille = if shape.reordering {
+        plan.delay_per_mille.min(1000)
+    } else {
+        0
+    };
+
+    let clients = plan.clients();
+    let fix_node = |node: NodeId| match node {
+        NodeId::Server(s) => NodeId::server(s.0 % shape.servers.max(1)),
+        NodeId::Client(c) => NodeId::client(c.0 % clients.max(1)),
+    };
+    let horizon = plan.horizon;
+    for e in &mut plan.events {
+        match e {
+            FaultEvent::Crash { at, server } => {
+                *at = (*at).min(horizon - 1);
+                *server %= shape.servers.max(1);
+            }
+            FaultEvent::Recover { at, server } => {
+                *at = (*at).min(horizon);
+                *server %= shape.servers.max(1);
+            }
+            FaultEvent::Freeze { at, until, node } => {
+                *at = (*at).min(horizon - 1);
+                *until = (*until).clamp(*at, horizon);
+                *node = fix_node(*node);
+            }
+            FaultEvent::Cut {
+                at,
+                until,
+                from,
+                to,
+            } => {
+                *at = (*at).min(horizon - 1);
+                *until = (*until).clamp(*at, horizon);
+                *from = fix_node(*from);
+                *to = fix_node(*to);
+            }
+        }
+    }
+    plan.events.sort_by_key(FaultEvent::at);
+
+    // Crash/recover protocol and budget, in one ordered pass: a crash of a
+    // currently-crashed server, a recovery of a live one, and any crash
+    // that would push the distinct-server count past `f` are dropped.
+    let mut crashed: Vec<u32> = Vec::new();
+    let mut ever: Vec<u32> = Vec::new();
+    plan.events.retain(|e| match *e {
+        FaultEvent::Crash { server, .. } => {
+            if crashed.contains(&server) {
+                return false;
+            }
+            if !ever.contains(&server) {
+                if ever.len() as u32 >= shape.f {
+                    return false;
+                }
+                ever.push(server);
+            }
+            crashed.push(server);
+            true
+        }
+        FaultEvent::Recover { server, .. } => {
+            if crashed.contains(&server) {
+                crashed.retain(|&s| s != server);
+                true
+            } else {
+                false
+            }
+        }
+        _ => true,
+    });
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> ClusterShape {
+        ClusterShape {
+            servers: 5,
+            f: 2,
+            clients: 4,
+            reordering: false,
+        }
+    }
+
+    #[test]
+    fn mutators_are_deterministic() {
+        let parent = FaultPlan::sample(&mut DetRng::seed_from_u64(1), shape());
+        for m in MUTATORS {
+            let a = m.apply(&parent, &mut DetRng::seed_from_u64(99), shape());
+            let b = m.apply(&parent, &mut DetRng::seed_from_u64(99), shape());
+            assert_eq!(a, b, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn mutated_plans_always_validate() {
+        for seed in 0..100u64 {
+            let mut rng = DetRng::seed_from_u64(seed);
+            let mut plan = FaultPlan::sample(&mut rng, shape());
+            // Chains of mutations stay valid, not just single steps.
+            for step in 0..6 {
+                let m = MUTATORS[rng.gen_range(0..MUTATORS.len())];
+                plan = m.apply(&plan, &mut rng, shape());
+                plan.validate(shape()).unwrap_or_else(|e| {
+                    panic!("seed {seed} step {step} ({}): {e}\n{plan:?}", m.name())
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_is_idempotent() {
+        for seed in 0..50u64 {
+            let mut rng = DetRng::seed_from_u64(seed);
+            let plan = FaultPlan::sample(&mut rng, shape());
+            let m = MUTATORS[rng.gen_range(0..MUTATORS.len())];
+            let once = m.apply(&plan, &mut rng, shape());
+            assert_eq!(once.clone(), normalize(once, shape()));
+        }
+    }
+
+    #[test]
+    fn normalize_repairs_hostile_plans() {
+        let hostile = FaultPlan {
+            writers: 9,
+            readers: 9,
+            ops_per_client: 0,
+            horizon: 0,
+            drop_per_mille: 5_000,
+            dup_per_mille: 2_000,
+            delay_per_mille: 700,
+            events: vec![
+                FaultEvent::Recover { at: 3, server: 0 },
+                FaultEvent::Crash { at: 90, server: 7 },
+                FaultEvent::Crash { at: 10, server: 1 },
+                FaultEvent::Crash { at: 11, server: 2 },
+                FaultEvent::Crash { at: 12, server: 3 },
+                FaultEvent::Freeze {
+                    at: 500,
+                    until: 2,
+                    node: NodeId::client(40),
+                },
+                FaultEvent::Cut {
+                    at: 7,
+                    until: 900,
+                    from: NodeId::server(30),
+                    to: NodeId::client(30),
+                },
+            ],
+        };
+        let fixed = normalize(hostile, shape());
+        fixed.validate(shape()).expect("normalized plan validates");
+    }
+
+    #[test]
+    fn splice_mixes_parent_and_donor() {
+        let parent = FaultPlan::sample(&mut DetRng::seed_from_u64(12), shape());
+        let child = Mutator::Splice.apply(&parent, &mut DetRng::seed_from_u64(13), shape());
+        assert_eq!(child.writers, parent.writers, "workload knobs kept");
+        assert_eq!(child.horizon, parent.horizon);
+    }
+}

@@ -199,6 +199,115 @@ impl FaultPlan {
         }
     }
 
+    /// Checks the shape invariants [`FaultPlan::sample`] guarantees and the
+    /// plan mutators must preserve: a non-empty workload within the client
+    /// budget, sane per-mille rates (delays only on reordering shapes),
+    /// event windows inside the horizon, node indices that exist, crash
+    /// events on at most `f` distinct servers, recoveries only for crashed
+    /// servers, and events sorted by firing tick.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the first violated invariant.
+    pub fn validate(&self, shape: ClusterShape) -> Result<(), String> {
+        if self.writers == 0 {
+            return Err("plan has no writers".into());
+        }
+        if self.clients() > shape.clients {
+            return Err(format!(
+                "plan drives {} clients but the shape has {}",
+                self.clients(),
+                shape.clients
+            ));
+        }
+        if self.ops_per_client == 0 {
+            return Err("plan has no operations".into());
+        }
+        if self.horizon == 0 {
+            return Err("plan has a zero horizon".into());
+        }
+        for (name, rate) in [
+            ("drop", self.drop_per_mille),
+            ("dup", self.dup_per_mille),
+            ("delay", self.delay_per_mille),
+        ] {
+            if rate > 1000 {
+                return Err(format!("{name}_per_mille {rate} exceeds 1000"));
+            }
+        }
+        if self.delay_per_mille > 0 && !shape.reordering {
+            return Err("delay rate on a FIFO shape".into());
+        }
+        let node_ok = |node: NodeId| match node {
+            NodeId::Server(s) => s.0 < shape.servers,
+            NodeId::Client(c) => c.0 < self.clients(),
+        };
+        let mut crashed: Vec<u32> = Vec::new();
+        let mut ever_crashed: Vec<u32> = Vec::new();
+        let mut prev_at = 0u64;
+        for e in &self.events {
+            if e.at() < prev_at {
+                return Err("events are not sorted by tick".into());
+            }
+            prev_at = e.at();
+            match *e {
+                FaultEvent::Crash { at, server } => {
+                    if server >= shape.servers {
+                        return Err(format!("crash of unknown server {server}"));
+                    }
+                    if at >= self.horizon {
+                        return Err("crash outside the horizon".into());
+                    }
+                    if crashed.contains(&server) {
+                        return Err(format!("server {server} crashed twice"));
+                    }
+                    crashed.push(server);
+                    if !ever_crashed.contains(&server) {
+                        ever_crashed.push(server);
+                    }
+                    if ever_crashed.len() as u32 > shape.f {
+                        return Err(format!(
+                            "{} crashed servers exceed the f = {} budget",
+                            ever_crashed.len(),
+                            shape.f
+                        ));
+                    }
+                }
+                FaultEvent::Recover { at, server } => {
+                    if !crashed.contains(&server) {
+                        return Err(format!("recovery of non-crashed server {server}"));
+                    }
+                    if at > self.horizon {
+                        return Err("recovery outside the horizon".into());
+                    }
+                    crashed.retain(|&s| s != server);
+                }
+                FaultEvent::Freeze { at, until, node } => {
+                    if !node_ok(node) {
+                        return Err(format!("freeze of unknown node {node}"));
+                    }
+                    if at >= self.horizon || until > self.horizon || until < at {
+                        return Err("freeze window outside the horizon".into());
+                    }
+                }
+                FaultEvent::Cut {
+                    at,
+                    until,
+                    from,
+                    to,
+                } => {
+                    if !node_ok(from) || !node_ok(to) {
+                        return Err(format!("cut of unknown link {from} → {to}"));
+                    }
+                    if at >= self.horizon || until > self.horizon || until < at {
+                        return Err("cut window outside the horizon".into());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// The plan as a JSON value (inverse of [`FaultPlan::from_json`]).
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
@@ -375,6 +484,74 @@ mod tests {
             assert!(crashes <= 2, "crash budget exceeded: {a:?}");
             assert_eq!(a.delay_per_mille, 0, "FIFO shape must not delay");
         }
+    }
+
+    #[test]
+    fn sampled_plans_validate() {
+        for seed in 0..200 {
+            let plan = FaultPlan::sample(&mut DetRng::seed_from_u64(seed), shape());
+            plan.validate(shape()).unwrap_or_else(|e| {
+                panic!("seed {seed}: sampled plan fails validation: {e}\n{plan:?}")
+            });
+        }
+    }
+
+    #[test]
+    fn validate_rejects_broken_plans() {
+        let good = FaultPlan::sample(&mut DetRng::seed_from_u64(3), shape());
+        assert!(good.validate(shape()).is_ok());
+
+        let mut no_writers = good.clone();
+        no_writers.writers = 0;
+        assert!(no_writers.validate(shape()).is_err());
+
+        let mut too_many = good.clone();
+        too_many.readers = 10;
+        assert!(too_many.validate(shape()).is_err());
+
+        let mut hot = good.clone();
+        hot.drop_per_mille = 1001;
+        assert!(hot.validate(shape()).is_err());
+
+        let mut fifo_delay = good.clone();
+        fifo_delay.delay_per_mille = 5;
+        assert!(fifo_delay.validate(shape()).is_err());
+
+        let mut over_budget = good.clone();
+        over_budget.events = vec![
+            FaultEvent::Crash { at: 1, server: 0 },
+            FaultEvent::Crash { at: 2, server: 1 },
+            FaultEvent::Crash { at: 3, server: 2 },
+        ];
+        assert!(over_budget.validate(shape()).is_err());
+
+        let mut ghost_recover = good.clone();
+        ghost_recover.events = vec![FaultEvent::Recover { at: 1, server: 0 }];
+        assert!(ghost_recover.validate(shape()).is_err());
+
+        let mut late_freeze = good.clone();
+        late_freeze.events = vec![FaultEvent::Freeze {
+            at: late_freeze.horizon + 1,
+            until: late_freeze.horizon + 2,
+            node: NodeId::client(0),
+        }];
+        assert!(late_freeze.validate(shape()).is_err());
+
+        let mut unsorted = good.clone();
+        unsorted.events = vec![
+            FaultEvent::Crash { at: 5, server: 0 },
+            FaultEvent::Crash { at: 1, server: 1 },
+        ];
+        assert!(unsorted.validate(shape()).is_err());
+
+        let mut bad_node = good.clone();
+        bad_node.events = vec![FaultEvent::Cut {
+            at: 0,
+            until: 1,
+            from: NodeId::client(0),
+            to: NodeId::server(99),
+        }];
+        assert!(bad_node.validate(shape()).is_err());
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Property tests for the fuzzer's fault-plan mutators: every mutator
+//! output re-validates the plan shape invariants (crash budget ≤ f,
+//! windows within the horizon, per-mille rates in range) and round-trips
+//! through the JSON codec byte-identically.
+
+use shmem_algorithms::nemesis::mutate::{normalize, MUTATORS};
+use shmem_algorithms::nemesis::plan::{ClusterShape, FaultPlan};
+use shmem_util::json::Json;
+use shmem_util::prop::prelude::*;
+use shmem_util::DetRng;
+
+fn shape_of(servers: u32, f: u32, clients: u32, reordering: bool) -> ClusterShape {
+    ClusterShape {
+        servers,
+        f,
+        clients,
+        reordering,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any chain of mutators applied to a sampled plan yields a plan that
+    /// passes every [`FaultPlan::validate`] invariant — in particular the
+    /// crash budget stays ≤ f, so the fuzzer never drives a cluster past
+    /// the failure tolerance the algorithm claims to mask.
+    #[test]
+    fn mutated_plans_validate(
+        seed in 0u64..1_000_000,
+        servers in 3u32..6,
+        f_budget in 0u32..3,
+        clients in 2u32..5,
+        reordering: bool,
+        chain_len in 1usize..8,
+    ) {
+        let shape = shape_of(servers, f_budget.min(servers - 1), clients, reordering);
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::sample(&mut rng, shape);
+        prop_assert!(plan.validate(shape).is_ok());
+        for _ in 0..chain_len {
+            let m = MUTATORS[rng.gen_range(0..MUTATORS.len())];
+            plan = m.apply(&plan, &mut rng, shape);
+            if let Err(e) = plan.validate(shape) {
+                panic!("{} broke plan invariants: {e}\n{plan:?}", m.name());
+            }
+        }
+    }
+
+    /// Mutator outputs round-trip through `to_json`/`from_json` with
+    /// byte-identical JSON — the corpus stores plans as JSON, so any codec
+    /// drift would silently corrupt replayed entries.
+    #[test]
+    fn mutated_plans_roundtrip_json_exactly(
+        seed in 0u64..1_000_000,
+        reordering: bool,
+    ) {
+        let shape = shape_of(5, 2, 4, reordering);
+        let mut rng = DetRng::seed_from_u64(seed);
+        let parent = FaultPlan::sample(&mut rng, shape);
+        for m in MUTATORS {
+            let plan = m.apply(&parent, &mut rng, shape);
+            let json = plan.to_json().to_pretty();
+            let back = FaultPlan::from_json(&Json::parse(&json).unwrap()).unwrap();
+            prop_assert_eq!(&plan, &back);
+            prop_assert_eq!(json, back.to_json().to_pretty());
+        }
+    }
+
+    /// Normalize is idempotent: a normalized plan re-normalizes to itself.
+    #[test]
+    fn normalize_is_idempotent(
+        seed in 0u64..1_000_000,
+        reordering: bool,
+    ) {
+        let shape = shape_of(4, 1, 3, reordering);
+        let mut rng = DetRng::seed_from_u64(seed);
+        let parent = FaultPlan::sample(&mut rng, shape);
+        let m = MUTATORS[rng.gen_range(0..MUTATORS.len())];
+        let once = m.apply(&parent, &mut rng, shape);
+        prop_assert_eq!(once.clone(), normalize(once, shape));
+    }
+
+    /// Mutators are pure functions of (parent, rng seed, shape).
+    #[test]
+    fn mutators_are_deterministic(
+        seed in 0u64..1_000_000,
+        mseed in 0u64..1_000_000,
+    ) {
+        let shape = shape_of(5, 2, 4, false);
+        let parent = FaultPlan::sample(&mut DetRng::seed_from_u64(seed), shape);
+        for m in MUTATORS {
+            let a = m.apply(&parent, &mut DetRng::seed_from_u64(mseed), shape);
+            let b = m.apply(&parent, &mut DetRng::seed_from_u64(mseed), shape);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -69,6 +69,22 @@ fn bench_sim(c: &mut Criterion) {
             black_box(steps)
         })
     });
+
+    // And with the fuzzer's coverage map recording edge slots. The plain
+    // variant above is the parity gate: coverage is off by default and must
+    // not tax callers who never fuzz.
+    c.bench_function("sim/step_throughput_abd_write_covered", |b| {
+        b.iter(|| {
+            let mut cl = AbdCluster::new(21, 10, 1, spec);
+            cl.sim.set_coverage(true);
+            cl.begin(0, RegInv::Write(3)).unwrap();
+            let mut steps = 0u32;
+            while cl.sim.step_fair().is_some() {
+                steps += 1;
+            }
+            black_box(steps)
+        })
+    });
 }
 
 criterion_group!(benches, bench_sim);

@@ -50,6 +50,7 @@ fn main() {
             "tab-codec",
             "tab-nemesis",
             "tab-metrics",
+            "tab-fuzz",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -87,6 +88,11 @@ fn main() {
                 std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
             ),
             "tab-metrics" => measured::metrics_table(5, 1, &[1, 2, 3], 42),
+            "tab-fuzz" => measured::fuzz_table(
+                21,
+                2048,
+                std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
+            ),
             other => {
                 eprintln!("unknown table id: {other}");
                 std::process::exit(2);

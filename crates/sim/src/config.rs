@@ -25,6 +25,12 @@ pub struct SimConfig {
     /// branch on this enum, so unmetered worlds pay nothing. Also
     /// switchable at runtime via [`crate::world::Sim::set_metrics`].
     pub metrics: MetricsLevel,
+    /// Whether the world records execution coverage
+    /// ([`crate::coverage::CoverageMap`]) — the feedback signal for the
+    /// coverage-guided nemesis fuzzer. Off by default: every coverage hook
+    /// reduces to one branch on this bool, exactly like `metrics`. Also
+    /// switchable at runtime via [`crate::world::Sim::set_coverage`].
+    pub coverage: bool,
 }
 
 impl SimConfig {
@@ -55,6 +61,12 @@ impl SimConfig {
         self.metrics = level;
         self
     }
+
+    /// Enables or disables coverage recording.
+    pub fn coverage(mut self, on: bool) -> SimConfig {
+        self.coverage = on;
+        self
+    }
 }
 
 /// Per-channel delivery discipline.
@@ -83,6 +95,7 @@ impl Default for SimConfig {
             channel_order: ChannelOrder::Fifo,
             step_limit: 1_000_000,
             metrics: MetricsLevel::Off,
+            coverage: false,
         }
     }
 }
@@ -107,5 +120,7 @@ mod tests {
             SimConfig::default().metrics(MetricsLevel::Full).metrics,
             MetricsLevel::Full
         );
+        assert!(!SimConfig::default().coverage);
+        assert!(SimConfig::default().coverage(true).coverage);
     }
 }

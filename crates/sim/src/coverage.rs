@@ -1,0 +1,280 @@
+//! Deterministic execution coverage: the feedback signal for
+//! coverage-guided nemesis fuzzing.
+//!
+//! A [`CoverageMap`] is a fixed 64k-slot bitmap fed from cheap, fully
+//! deterministic signals of the execution (AFL-style edge coverage, but
+//! over simulator events instead of basic blocks):
+//!
+//! * **state-transition edges** — every delivery and invocation hashes the
+//!   event's location (kind, endpoints, low bits of the *receiving node's*
+//!   post-step digest — the only [`crate::world::Sim::digest`] component a
+//!   single step can change) against the previous event's location;
+//! * **fault-variant edges** — every nemesis primitive (drop, duplicate,
+//!   delay, cut, heal, crash, recover, freeze, unfreeze) contributes its
+//!   own location, so a schedule that injects a fault between two
+//!   deliveries covers different edges than one that does not;
+//! * **end-of-run signatures** — the fuzz driver folds metrics-ledger
+//!   buckets (peak queue depth, dropped/duplicated/purged counts) and the
+//!   final world digest in via [`CoverageMap::record_signature`].
+//!
+//! Two executions with equal inputs produce identical maps (every signal
+//! is a pure function of the execution), so coverage is usable as a corpus
+//! admission criterion without breaking the nemesis determinism contract:
+//! the fuzzer's reducer merges per-run maps in a fixed order and the
+//! result is byte-identical across reruns and worker counts.
+//!
+//! Like [`crate::metrics::MetricsLevel`], coverage is **off by default**:
+//! the world carries `None` and every hook reduces to one branch on an
+//! inline `bool`, so unmetered simulations (proof machinery, benchmarks)
+//! pay nothing.
+
+use shmem_util::json::Json;
+
+/// Number of coverage slots (64k, AFL's classic map size).
+pub const COVERAGE_SLOTS: usize = 1 << 16;
+
+const WORDS: usize = COVERAGE_SLOTS / 64;
+
+/// SplitMix64 finalizer — the same mixer [`shmem_util::DetRng`] uses, so
+/// slot assignment is bit-identical on every platform.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A 64k-slot edge-coverage bitmap over simulator events.
+///
+/// ```
+/// use shmem_sim::coverage::CoverageMap;
+///
+/// let mut a = CoverageMap::new();
+/// a.record_event(1, 0, 3, 7);
+/// a.record_event(2, 3, 0, 9);
+/// let mut b = CoverageMap::new();
+/// b.record_event(1, 0, 3, 7);
+/// b.record_event(2, 3, 0, 9);
+/// assert_eq!(a.occupied(), b.occupied());
+/// assert_eq!(a.covered(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoverageMap {
+    bits: Vec<u64>,
+    covered: u32,
+    /// The previous event's location hash (AFL's `prev_loc`), shifted so
+    /// that A→B and B→A cover different edges.
+    prev_loc: u64,
+}
+
+impl Default for CoverageMap {
+    fn default() -> CoverageMap {
+        CoverageMap::new()
+    }
+}
+
+impl CoverageMap {
+    /// An empty map.
+    pub fn new() -> CoverageMap {
+        CoverageMap {
+            bits: vec![0u64; WORDS],
+            covered: 0,
+            prev_loc: 0,
+        }
+    }
+
+    /// The slot a raw key lands in.
+    #[inline]
+    pub fn slot_of(key: u64) -> u32 {
+        (mix64(key) & (COVERAGE_SLOTS as u64 - 1)) as u32
+    }
+
+    #[inline]
+    fn set(&mut self, slot: u32) -> bool {
+        let (word, bit) = ((slot / 64) as usize, slot % 64);
+        let mask = 1u64 << bit;
+        if self.bits[word] & mask == 0 {
+            self.bits[word] |= mask;
+            self.covered += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `slot` is covered.
+    pub fn contains(&self, slot: u32) -> bool {
+        let (word, bit) = ((slot as usize / 64) % WORDS, slot % 64);
+        self.bits[word] & (1u64 << bit) != 0
+    }
+
+    /// Records one simulator event as an edge from the previous event:
+    /// `kind` tags the event variant, `a`/`b` encode its endpoints, and
+    /// `extra` carries event-specific state (e.g. the receiver's post-step
+    /// digest bits). Returns whether the edge's slot was new.
+    pub fn record_event(&mut self, kind: u64, a: u64, b: u64, extra: u64) -> bool {
+        let loc = mix64(
+            kind.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (a << 40)
+                ^ (b << 20)
+                ^ extra.rotate_left(13),
+        );
+        let slot = ((loc ^ self.prev_loc) & (COVERAGE_SLOTS as u64 - 1)) as u32;
+        self.prev_loc = loc >> 1;
+        self.set(slot)
+    }
+
+    /// Records an end-of-run signature (metrics buckets, final digest) as
+    /// its own slot, independent of the edge chain. Returns whether the
+    /// slot was new.
+    pub fn record_signature(&mut self, key: u64) -> bool {
+        let slot = CoverageMap::slot_of(key);
+        self.set(slot)
+    }
+
+    /// Number of covered slots.
+    pub fn covered(&self) -> usize {
+        self.covered as usize
+    }
+
+    /// The covered slots, sorted ascending — the per-run harvest the fuzz
+    /// driver feeds to its reducer.
+    pub fn occupied(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.covered as usize);
+        for (w, &bits) in self.bits.iter().enumerate() {
+            let mut rest = bits;
+            while rest != 0 {
+                let bit = rest.trailing_zeros();
+                out.push((w as u32) * 64 + bit);
+                rest &= rest - 1;
+            }
+        }
+        out
+    }
+
+    /// Marks `slots` covered; returns how many were new. This is the
+    /// reducer's merge primitive — bitwise-or semantics, so folding
+    /// per-run slot sets in any fixed order yields the same map (the fuzz
+    /// reducer folds in candidate-index order to make *admission decisions*
+    /// order-independent of thread scheduling too).
+    pub fn admit_slots(&mut self, slots: &[u32]) -> u64 {
+        let mut novel = 0;
+        for &slot in slots {
+            if self.set(slot % COVERAGE_SLOTS as u32) {
+                novel += 1;
+            }
+        }
+        novel
+    }
+
+    /// Order-insensitive signature of a slot set — the corpus dedup key.
+    /// Commutative fold (sum/xor of per-slot mixes), so equal sets give
+    /// equal signatures regardless of slot order.
+    pub fn signature_of(slots: &[u32]) -> u64 {
+        let mut sum = 0u64;
+        let mut xor = 0u64;
+        for &s in slots {
+            let m = mix64(u64::from(s).wrapping_add(0xA076_1D64_78BD_642F));
+            sum = sum.wrapping_add(m);
+            xor ^= m.rotate_left(17);
+        }
+        mix64(sum ^ xor ^ (slots.len() as u64) << 48)
+    }
+
+    /// Byte-stable JSON export: covered-slot count plus the slot list.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("covered".to_string(), Json::Num(self.covered as f64)),
+            (
+                "slots".to_string(),
+                Json::Arr(
+                    self.occupied()
+                        .into_iter()
+                        .map(|s| Json::Num(f64::from(s)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_map_is_empty() {
+        let m = CoverageMap::new();
+        assert_eq!(m.covered(), 0);
+        assert!(m.occupied().is_empty());
+        assert!(!m.contains(0));
+    }
+
+    #[test]
+    fn events_are_deterministic_and_order_sensitive() {
+        let mut a = CoverageMap::new();
+        a.record_event(1, 2, 3, 4);
+        a.record_event(5, 6, 7, 8);
+        let mut b = CoverageMap::new();
+        b.record_event(1, 2, 3, 4);
+        b.record_event(5, 6, 7, 8);
+        assert_eq!(a, b);
+        // Swapped order covers different edges (the chain matters).
+        let mut c = CoverageMap::new();
+        c.record_event(5, 6, 7, 8);
+        c.record_event(1, 2, 3, 4);
+        assert_ne!(a.occupied(), c.occupied());
+    }
+
+    #[test]
+    fn admit_counts_only_new_slots() {
+        let mut m = CoverageMap::new();
+        assert_eq!(m.admit_slots(&[3, 9, 3]), 2);
+        assert_eq!(m.admit_slots(&[9, 11]), 1);
+        assert_eq!(m.covered(), 3);
+        assert!(m.contains(3) && m.contains(9) && m.contains(11));
+    }
+
+    #[test]
+    fn occupied_roundtrips_through_admit() {
+        let mut m = CoverageMap::new();
+        for i in 0..100u64 {
+            m.record_event(i, i * 3, i * 7, i * 11);
+        }
+        let slots = m.occupied();
+        assert_eq!(slots.len(), m.covered());
+        let mut copy = CoverageMap::new();
+        assert_eq!(copy.admit_slots(&slots), slots.len() as u64);
+        assert_eq!(copy.occupied(), slots);
+    }
+
+    #[test]
+    fn signature_is_order_insensitive_and_set_sensitive() {
+        let a = CoverageMap::signature_of(&[1, 2, 3]);
+        let b = CoverageMap::signature_of(&[3, 1, 2]);
+        let c = CoverageMap::signature_of(&[1, 2, 4]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(CoverageMap::signature_of(&[]), a);
+    }
+
+    #[test]
+    fn signatures_feed_slots_outside_the_edge_chain() {
+        let mut m = CoverageMap::new();
+        m.record_event(1, 2, 3, 4);
+        let before = m.prev_loc;
+        m.record_signature(42);
+        assert_eq!(m.prev_loc, before, "signatures must not disturb the chain");
+        assert_eq!(m.covered(), 2);
+    }
+
+    #[test]
+    fn json_export_is_stable() {
+        let mut m = CoverageMap::new();
+        m.admit_slots(&[5, 1]);
+        assert_eq!(
+            m.to_json().to_compact(),
+            r#"{"covered":2,"slots":[1,5]}"#.to_string()
+        );
+    }
+}

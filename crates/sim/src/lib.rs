@@ -37,6 +37,7 @@
 //! an exact conservation law the simulator audits at quiescence.
 
 pub mod config;
+pub mod coverage;
 pub mod hash;
 pub mod ids;
 pub mod meter;
@@ -46,6 +47,7 @@ pub mod trace;
 pub mod world;
 
 pub use config::{ChannelOrder, SimConfig};
+pub use coverage::{CoverageMap, COVERAGE_SLOTS};
 pub use hash::hash_of;
 pub use ids::{ClientId, NodeId, ServerId};
 pub use meter::{StorageMeter, StorageSnapshot};

@@ -42,6 +42,7 @@ impl<P: Protocol> Sim<P> {
         }
         self.channels
             .retain(|&(from, to), _| from != node && to != node);
+        self.cover(super::cover::kind::CRASH, node, node, 0);
         StepInfo::Crashed { node }
     }
 
@@ -65,6 +66,7 @@ impl<P: Protocol> Sim<P> {
     /// discarded them — so the recovered node starts with clean channels.
     pub fn recover(&mut self, node: NodeId) -> StepInfo {
         self.failed.remove(&node);
+        self.cover(super::cover::kind::RECOVER, node, node, 0);
         StepInfo::Recovered { node }
     }
 
@@ -74,12 +76,14 @@ impl<P: Protocol> Sim<P> {
     /// where it left off.
     pub fn freeze(&mut self, node: NodeId) -> StepInfo {
         self.frozen.insert(node);
+        self.cover(super::cover::kind::FREEZE, node, node, 0);
         StepInfo::Frozen { node }
     }
 
     /// Lifts a [`Sim::freeze`].
     pub fn unfreeze(&mut self, node: NodeId) -> StepInfo {
         self.frozen.remove(&node);
+        self.cover(super::cover::kind::UNFREEZE, node, node, 0);
         StepInfo::Unfrozen { node }
     }
 
@@ -91,6 +95,7 @@ impl<P: Protocol> Sim<P> {
         self.frozen.remove(&node);
         self.cut_links
             .retain(|&(from, to)| from != node && to != node);
+        self.cover(super::cover::kind::HEAL, node, node, 0);
         StepInfo::Healed { node }
     }
 

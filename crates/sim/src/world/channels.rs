@@ -45,6 +45,7 @@ impl<P: Protocol> Sim<P> {
         <P::Client as Node<P>>::on_invoke(Arc::make_mut(&mut self.clients[idx]), inv, &mut ctx);
         self.apply_effects(id, ctx);
         self.sample_meter();
+        self.cover_step(super::cover::kind::INVOKE, id, id);
         Ok(())
     }
 
@@ -112,6 +113,7 @@ impl<P: Protocol> Sim<P> {
         }
         self.apply_effects(to, ctx);
         self.sample_meter();
+        self.cover_step(super::cover::kind::DELIVER, from, to);
         Ok(StepInfo::Delivered { from, to })
     }
 

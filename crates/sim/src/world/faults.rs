@@ -33,6 +33,7 @@ impl<P: Protocol> Sim<P> {
     /// it are held (not lost) until [`Sim::heal_link`]. Idempotent.
     pub fn cut_link(&mut self, from: NodeId, to: NodeId) -> StepInfo {
         self.cut_links.insert((from, to));
+        self.cover(super::cover::kind::CUT, from, to, 0);
         StepInfo::LinkCut { from, to }
     }
 
@@ -40,6 +41,7 @@ impl<P: Protocol> Sim<P> {
     /// their original order. Idempotent.
     pub fn heal_link(&mut self, from: NodeId, to: NodeId) -> StepInfo {
         self.cut_links.remove(&(from, to));
+        self.cover(super::cover::kind::HEAL_LINK, from, to, 0);
         StepInfo::LinkHealed { from, to }
     }
 
@@ -88,6 +90,7 @@ impl<P: Protocol> Sim<P> {
         if let Some(m) = self.metrics_mut() {
             m.on_dropped(from, to);
         }
+        self.cover(super::cover::kind::DROP, from, to, 0);
         Ok(StepInfo::Dropped { from, to })
     }
 
@@ -116,6 +119,7 @@ impl<P: Protocol> Sim<P> {
         if let Some(m) = self.metrics_mut() {
             m.on_duplicated(from, to);
         }
+        self.cover(super::cover::kind::DUPLICATE, from, to, 0);
         Ok(StepInfo::Duplicated { from, to })
     }
 
@@ -146,6 +150,7 @@ impl<P: Protocol> Sim<P> {
                     let head = q.pop_front().expect("non-empty");
                     q.push_back(head);
                 }
+                self.cover(super::cover::kind::DELAY, from, to, 0);
                 Ok(StepInfo::Delayed { from, to })
             }
             _ => Err(super::RunError::NoSuchMessage { from, to }),

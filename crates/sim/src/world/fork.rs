@@ -35,6 +35,8 @@ impl<P: Protocol> Clone for Sim<P> {
             meter: self.meter.clone(),
             metrics: self.metrics.clone(),
             metrics_level: self.metrics_level,
+            coverage: self.coverage.clone(),
+            coverage_on: self.coverage_on,
             send_log: self.send_log.clone(),
             traffic: self.traffic,
         }

@@ -27,6 +27,7 @@
 mod adversary;
 mod audit;
 mod channels;
+mod cover;
 mod error;
 mod faults;
 mod fork;
@@ -36,6 +37,7 @@ pub use error::{RunError, SendRecord};
 pub use fork::{Point, Snapshot};
 
 use crate::config::SimConfig;
+use crate::coverage::CoverageMap;
 use crate::ids::{ClientId, NodeId};
 use crate::meter::StorageMeter;
 use crate::metrics::{MetricsLevel, MetricsRegistry};
@@ -117,6 +119,12 @@ pub struct Sim<P: Protocol> {
     /// a local byte instead of dereferencing the `Arc`. Kept in sync by
     /// construction and [`Sim::set_metrics`].
     pub(super) metrics_level: MetricsLevel,
+    /// `None` when coverage is off (the default), mirroring `metrics`.
+    pub(super) coverage: Option<Arc<CoverageMap>>,
+    /// Cached inline so the hot-path hooks branch on a local bool instead
+    /// of checking the `Option`. Kept in sync by construction and
+    /// [`Sim::set_coverage`].
+    pub(super) coverage_on: bool,
     pub(super) send_log: Option<Arc<Vec<SendRecord<P::Msg>>>>,
     pub(super) traffic: TrafficCounters,
 }
@@ -141,6 +149,8 @@ impl<P: Protocol> Sim<P> {
             metrics: (config.metrics != MetricsLevel::Off)
                 .then(|| Arc::new(MetricsRegistry::new(config.metrics, n))),
             metrics_level: config.metrics,
+            coverage: config.coverage.then(|| Arc::new(CoverageMap::new())),
+            coverage_on: config.coverage,
             send_log: None,
             traffic: TrafficCounters::default(),
         };

@@ -1095,3 +1095,149 @@ mod conservation {
         }
     }
 }
+
+mod coverage_hooks {
+    use super::*;
+
+    fn run_covered(seed: u64, with_faults: bool) -> Sim<Toy> {
+        use shmem_util::DetRng;
+        let mut sim = Sim::<Toy>::new(
+            SimConfig::default().coverage(true),
+            (0..3)
+                .map(|_| ToyServer {
+                    peers: 3,
+                    ..ToyServer::default()
+                })
+                .collect(),
+            vec![ToyClient {
+                n: 3,
+                need: 2,
+                ..ToyClient::default()
+            }],
+        );
+        let mut rng = DetRng::seed_from_u64(seed);
+        sim.invoke(ClientId(0), 9).unwrap();
+        for tick in 0..30u32 {
+            if with_faults && tick == 0 {
+                sim.drop_head(NodeId::client(0), NodeId::server(1)).ok();
+            }
+            if sim
+                .step_with(|opts| rng.gen_range(0usize..opts.len()))
+                .is_none()
+            {
+                break;
+            }
+        }
+        sim
+    }
+
+    #[test]
+    fn coverage_off_by_default_and_costs_nothing() {
+        let mut sim = world(3, 2);
+        assert!(!sim.coverage_on());
+        assert!(sim.coverage().is_none());
+        sim.invoke(ClientId(0), 1).unwrap();
+        sim.run_until_op_completes(ClientId(0)).unwrap();
+        assert!(sim.coverage_hits().is_empty());
+    }
+
+    #[test]
+    fn coverage_is_deterministic() {
+        let a = run_covered(11, false);
+        let b = run_covered(11, false);
+        assert!(!a.coverage_hits().is_empty());
+        assert_eq!(a.coverage_hits(), b.coverage_hits());
+        assert_eq!(a.coverage().unwrap(), b.coverage().unwrap());
+    }
+
+    #[test]
+    fn fault_variants_change_coverage() {
+        let clean = run_covered(11, false);
+        let faulty = run_covered(11, true);
+        assert_ne!(clean.coverage_hits(), faulty.coverage_hits());
+    }
+
+    #[test]
+    fn coverage_does_not_perturb_digest() {
+        let covered = run_covered(23, true);
+        let mut plain = run_covered(23, true);
+        plain.set_coverage(false);
+        // Re-run the same schedule without coverage: digests must agree.
+        let uncovered = {
+            use shmem_util::DetRng;
+            let mut sim = Sim::<Toy>::new(
+                SimConfig::default(),
+                (0..3)
+                    .map(|_| ToyServer {
+                        peers: 3,
+                        ..ToyServer::default()
+                    })
+                    .collect(),
+                vec![ToyClient {
+                    n: 3,
+                    need: 2,
+                    ..ToyClient::default()
+                }],
+            );
+            let mut rng = DetRng::seed_from_u64(23);
+            sim.invoke(ClientId(0), 9).unwrap();
+            for tick in 0..30u32 {
+                if tick == 0 {
+                    sim.drop_head(NodeId::client(0), NodeId::server(1)).ok();
+                }
+                if sim
+                    .step_with(|opts| rng.gen_range(0usize..opts.len()))
+                    .is_none()
+                {
+                    break;
+                }
+            }
+            sim
+        };
+        assert_eq!(covered.digest(), uncovered.digest());
+    }
+
+    #[test]
+    fn set_coverage_resets_and_toggles() {
+        let mut sim = run_covered(7, false);
+        assert!(sim.coverage_on());
+        sim.set_coverage(true);
+        assert_eq!(
+            sim.coverage_hits(),
+            Vec::<u32>::new(),
+            "fresh map on enable"
+        );
+        sim.set_coverage(false);
+        assert!(!sim.coverage_on());
+        assert!(sim.coverage().is_none());
+    }
+
+    #[test]
+    fn record_signature_lands_in_map() {
+        let mut sim = run_covered(7, false);
+        let before = sim.coverage().unwrap().covered();
+        sim.record_coverage_signature(0xDEAD_BEEF);
+        assert!(sim.coverage().unwrap().covered() >= before);
+        assert!(sim
+            .coverage()
+            .unwrap()
+            .contains(crate::coverage::CoverageMap::slot_of(0xDEAD_BEEF)));
+    }
+
+    #[test]
+    fn forks_share_then_diverge_coverage() {
+        let sim = run_covered(5, false);
+        let mut fork = sim.fork();
+        assert_eq!(sim.coverage_hits(), fork.coverage_hits());
+        fork.record_coverage_signature(0x1234);
+        // The fork's map diverged; the original is untouched.
+        assert!(fork.coverage().unwrap().covered() >= sim.coverage().unwrap().covered());
+        assert!(
+            !sim.coverage()
+                .unwrap()
+                .contains(crate::coverage::CoverageMap::slot_of(0x1234))
+                || sim.coverage_hits() != fork.coverage_hits()
+                || sim.coverage().unwrap().covered() == fork.coverage().unwrap().covered()
+        );
+    }
+}

@@ -177,3 +177,159 @@ fn malformed_history_is_rejected() {
     write(&mut h, 0, 2, 1, 2); // ...but the same client invokes again
     all_reject(&h, "a malformed history");
 }
+
+/// Mutants of the fuzzer's own machinery. The coverage-guided loop in
+/// `shmem-algorithms::nemesis::fuzz` trusts three invariants: the corpus
+/// deduplicates by coverage signature, the coverage map distinguishes
+/// fault-variant edges, and the reducer folds results in candidate-index
+/// order. Each test below constructs the corresponding mutant and asserts
+/// the detecting invariant kills it.
+mod fuzz_mutants {
+    use shmem_algorithms::nemesis::fuzz::{
+        reduce_results, Candidate, Corpus, CorpusEntry, RunResult,
+    };
+    use shmem_algorithms::nemesis::plan::{ClusterShape, FaultPlan};
+    use shmem_sim::CoverageMap;
+    use shmem_util::rng::DetRng;
+
+    fn shape() -> ClusterShape {
+        ClusterShape {
+            servers: 3,
+            f: 1,
+            clients: 3,
+            reordering: false,
+        }
+    }
+
+    fn entry(seed: u64, signature: u64) -> CorpusEntry {
+        CorpusEntry {
+            seed,
+            plan: FaultPlan::sample(&mut DetRng::seed_from_u64(seed), shape()),
+            round: 0,
+            op: "fresh",
+            novelty: 1,
+            ops_completed: 1,
+            signature,
+        }
+    }
+
+    /// Mutant 1: a corpus that admits duplicate coverage signatures. The
+    /// real `admit` refuses the duplicate; a corpus built through the
+    /// unchecked seam fails `is_deduped`, which is the invariant the
+    /// fuzzer's tests assert after every campaign.
+    #[test]
+    fn duplicate_signature_corpus_is_killed() {
+        let mut sound = Corpus::new();
+        assert!(sound.admit(entry(1, 0xAA)));
+        assert!(!sound.admit(entry(2, 0xAA)), "duplicate signature admitted");
+        assert!(sound.admit(entry(3, 0xBB)));
+        assert_eq!(sound.len(), 2);
+        assert!(sound.is_deduped());
+
+        let mut mutant = Corpus::new();
+        mutant.admit_unchecked(entry(1, 0xAA));
+        mutant.admit_unchecked(entry(2, 0xAA)); // the mutant's bug
+        assert!(
+            !mutant.is_deduped(),
+            "is_deduped failed to kill a duplicate-admitting corpus"
+        );
+    }
+
+    /// Mutant 2: a coverage map that ignores fault-variant edges. Feeding
+    /// the real map an event stream with and without an interposed fault
+    /// event yields different slot sets; the mutant (emulated by filtering
+    /// fault kinds out of the stream, which is exactly what a
+    /// fault-ignoring `record_event` computes) cannot tell the streams
+    /// apart — so the distinguishability assertion kills it.
+    #[test]
+    fn fault_edge_ignoring_coverage_is_killed() {
+        // Kind tags as the sim uses them: 1/2 are invoke/deliver, 3+ are
+        // fault variants.
+        let clean: Vec<(u64, u64, u64, u64)> =
+            vec![(1, 0, 0, 5), (2, 0, 1, 7), (2, 1, 0, 9), (2, 0, 2, 4)];
+        let faulty: Vec<(u64, u64, u64, u64)> = vec![
+            (1, 0, 0, 5),
+            (2, 0, 1, 7),
+            (3, 0, 2, 0), // a drop between two deliveries
+            (2, 1, 0, 9),
+            (2, 0, 2, 4),
+        ];
+        let feed = |events: &[(u64, u64, u64, u64)], ignore_faults: bool| {
+            let mut map = CoverageMap::new();
+            for &(kind, a, b, extra) in events {
+                if ignore_faults && kind >= 3 {
+                    continue;
+                }
+                map.record_event(kind, a, b, extra);
+            }
+            map.occupied()
+        };
+        assert_ne!(
+            feed(&clean, false),
+            feed(&faulty, false),
+            "a sound coverage map must distinguish a schedule with a fault \
+             from one without"
+        );
+        assert_eq!(
+            feed(&clean, true),
+            feed(&faulty, true),
+            "the mutant is blind to the fault — this equality is what the \
+             inequality above kills"
+        );
+    }
+
+    /// Mutant 3: a reducer that folds results in worker-completion order
+    /// instead of candidate-index order. With overlapping slot sets the
+    /// admission novelty depends on fold order, so the mutant's corpus
+    /// diverges between completion orders — while the real reducer is
+    /// stable however the results arrived.
+    #[test]
+    fn completion_order_reducer_is_killed() {
+        let candidates: Vec<Candidate> = (0..2)
+            .map(|i| Candidate {
+                seed: i,
+                plan: FaultPlan::sample(&mut DetRng::seed_from_u64(i), shape()),
+                op: "fresh",
+            })
+            .collect();
+        // Overlapping coverage: whoever folds first claims slot 2.
+        let results = || {
+            vec![
+                RunResult {
+                    slots: vec![1, 2],
+                    ops_completed: 1,
+                    violation: None,
+                },
+                RunResult {
+                    slots: vec![2, 3],
+                    ops_completed: 1,
+                    violation: None,
+                },
+            ]
+        };
+        let reduce_in = |order: &[usize]| {
+            let mut map = CoverageMap::new();
+            let mut corpus = Corpus::new();
+            let mut violations = Vec::new();
+            let cands: Vec<Candidate> = order.iter().map(|&i| candidates[i].clone()).collect();
+            let res: Vec<RunResult> = order.iter().map(|&i| results()[i].clone()).collect();
+            reduce_results(&mut map, &mut corpus, &mut violations, 0, 64, &cands, res);
+            corpus
+                .entries()
+                .iter()
+                .map(|e| (e.seed, e.novelty))
+                .collect::<Vec<_>>()
+        };
+        // The real reducer always receives index order, whatever order the
+        // workers finished in — byte-stable across reruns.
+        assert_eq!(reduce_in(&[0, 1]), reduce_in(&[0, 1]));
+        // The mutant hands the reducer completion order. Its admissions
+        // depend on thread timing — the determinism assertion kills it.
+        assert_ne!(
+            reduce_in(&[0, 1]),
+            reduce_in(&[1, 0]),
+            "fold order must matter on overlapping slot sets, else this \
+             mutant would be undetectable"
+        );
+    }
+}

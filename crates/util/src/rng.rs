@@ -75,6 +75,29 @@ impl DetRng {
             items.swap(i, j);
         }
     }
+
+    /// Draws an index with probability proportional to its weight —
+    /// `rand_distr`'s `WeightedIndex`, deterministically. Zero-weight
+    /// entries are never chosen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, all-zero, or its sum overflows `u64`.
+    pub fn weighted_index(&mut self, weights: &[u64]) -> usize {
+        let total = weights
+            .iter()
+            .try_fold(0u64, |acc, &w| acc.checked_add(w))
+            .expect("weight sum overflows u64");
+        assert!(total > 0, "cannot sample from empty or all-zero weights");
+        let mut draw = bounded_u64(self, total);
+        for (i, &w) in weights.iter().enumerate() {
+            if draw < w {
+                return i;
+            }
+            draw -= w;
+        }
+        unreachable!("draw < total by construction")
+    }
 }
 
 /// Ranges [`DetRng::gen_range`] can sample from.
@@ -226,5 +249,38 @@ mod tests {
     fn empty_range_panics() {
         let mut rng = DetRng::seed_from_u64(8);
         let _ = rng.gen_range(5..5u32);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = DetRng::seed_from_u64(9);
+        let weights = [0u64, 3, 1, 0, 6];
+        let mut counts = [0usize; 5];
+        for _ in 0..10_000 {
+            counts[rng.weighted_index(&weights)] += 1;
+        }
+        assert_eq!(counts[0], 0, "zero weight never drawn");
+        assert_eq!(counts[3], 0, "zero weight never drawn");
+        // 3:1:6 ratios within loose statistical bounds.
+        assert!((2_700..3_300).contains(&counts[1]), "counts={counts:?}");
+        assert!((800..1_200).contains(&counts[2]), "counts={counts:?}");
+        assert!((5_600..6_400).contains(&counts[4]), "counts={counts:?}");
+    }
+
+    #[test]
+    fn weighted_index_is_deterministic() {
+        let weights = [5u64, 2, 9];
+        let mut a = DetRng::seed_from_u64(10);
+        let mut b = DetRng::seed_from_u64(10);
+        for _ in 0..100 {
+            assert_eq!(a.weighted_index(&weights), b.weighted_index(&weights));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero weights")]
+    fn weighted_index_rejects_all_zero() {
+        let mut rng = DetRng::seed_from_u64(11);
+        let _ = rng.weighted_index(&[0, 0]);
     }
 }

@@ -1,0 +1,102 @@
+//! Regenerates the fuzzer-found half of the regression corpus under
+//! `tests/corpus/`.
+//!
+//! Where `gen_corpus` sweeps seeds sequentially, this drives the
+//! coverage-guided fuzzer ([`shmem_algorithms::nemesis::fuzz`]) against the
+//! same broken controls, takes the first violation its mutated fault plans
+//! hit, shrinks that plan, re-verifies it, and stores the replayable
+//! [`Counterexample`]. `tests/corpus_replay.rs::whole_corpus_replays`
+//! picks the artifacts up automatically, so they are regression gates for
+//! the fuzzer's mutation pipeline as well as for the checkers: a stored
+//! fuzz counterexample that stops reproducing means either a simulator
+//! determinism break or a checker change.
+//!
+//! ```sh
+//! cargo run --release --example gen_fuzz_corpus
+//! ```
+
+use shmem_algorithms::nemesis::{
+    fuzz, pretty_history, run_plan, shrink_plan, Counterexample, FuzzConfig, Oracle,
+};
+use shmem_algorithms::{LossyCluster, NwbCluster, ValueSpec};
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let dir = Path::new("tests/corpus");
+    fs::create_dir_all(dir).expect("create tests/corpus");
+
+    // Same positive controls as gen_corpus, found by the guided loop
+    // instead of the sweep so the stored plans exercise mutated fault
+    // schedules (spliced event lists, shifted windows) rather than raw
+    // samples.
+    {
+        let factory = || NwbCluster::new(3, 1, 3, ValueSpec::from_bits(64.0));
+        generate(dir, "nowriteback-fuzz", Oracle::Atomic, &factory, |v| {
+            Counterexample::package("nowriteback", 3, 1, 3, 0, v)
+        });
+    }
+    {
+        let factory = || LossyCluster::new(3, 1, 3, 8, ValueSpec::from_bits(64.0));
+        generate(dir, "lossy-fuzz", Oracle::Regular, &factory, |v| {
+            Counterexample::package("lossy", 3, 1, 3, 8, v)
+        });
+    }
+}
+
+fn generate<P, F>(
+    dir: &Path,
+    name: &str,
+    oracle: Oracle,
+    factory: &F,
+    pack: impl Fn(&shmem_algorithms::nemesis::Violation) -> Counterexample,
+) where
+    P: shmem_sim::Protocol<Inv = shmem_algorithms::RegInv, Resp = shmem_algorithms::RegResp>,
+    F: Fn() -> shmem_algorithms::harness::Cluster<P> + Sync,
+{
+    let workers = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    let out = fuzz(
+        factory,
+        oracle,
+        FuzzConfig {
+            seed: 5,
+            rounds: 256,
+            batch: 16,
+            workers,
+            stop_on_violation: true,
+            ..FuzzConfig::default()
+        },
+    );
+    let mut v = out
+        .violations
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| panic!("{name}: fuzzer found no violation"));
+    println!(
+        "== {name}: seed {} violates {:?} after {} executions",
+        v.seed,
+        oracle,
+        out.executions_to_first_violation.expect("violation count")
+    );
+    let (plan, stats) = shrink_plan(factory, oracle, v.seed, &v.plan);
+    println!(
+        "   shrunk: {} events -> {}, {} candidates, {} rounds",
+        v.plan.events.len(),
+        plan.events.len(),
+        stats.candidates,
+        stats.rounds
+    );
+    v.plan = plan;
+    // Re-run the shrunk plan so the stored violation text matches it.
+    let mut cluster = factory();
+    let run = run_plan(&mut cluster, v.seed, &v.plan);
+    let violation = oracle
+        .check(&run.history)
+        .expect_err("shrunk plan must still violate");
+    v.violation = violation;
+    println!("{}", pretty_history(&run.history));
+    let cx = pack(&v);
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, cx.to_json().to_pretty()).expect("write corpus file");
+    println!("   wrote {}", path.display());
+}

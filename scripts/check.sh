@@ -20,6 +20,10 @@ echo "==> metrics gate: conservation + determinism + schema (release)"
 cargo test --release -q --test metrics_conservation --test metrics_determinism \
   --test metrics_schema
 
+echo "==> fuzz gate: differential + mutator properties (release)"
+cargo test --release -q --test fuzz_differential
+cargo test --release -q -p shmem-algorithms --test mutator_properties
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run -q
 
