@@ -19,7 +19,6 @@ use crate::reg::{RegInv, RegResp};
 use crate::tag::Tag;
 use crate::value::{Value, ValueSpec};
 use shmem_sim::{hash_of, Ctx, Node, NodeId, Protocol};
-use std::collections::{BTreeMap, BTreeSet};
 
 /// Protocol marker for ABD.
 pub struct Abd;
@@ -155,18 +154,15 @@ where
     }
 }
 
-/// Which phase an ABD client is in.
-#[derive(Clone, Debug)]
+/// Which phase an ABD client is in. The per-phase response sets live in
+/// reusable buffers on [`AbdClient`], so an operation allocates nothing in
+/// steady state (the old `BTreeMap`/`BTreeSet` paid a node allocation per
+/// phase on the simulator's hot loop).
+#[derive(Clone, Copy, Debug)]
 enum Phase {
     Idle,
-    Query {
-        op: RegInv,
-        responses: BTreeMap<u32, (Tag, Value)>,
-    },
-    Store {
-        acks: BTreeSet<u32>,
-        reply: RegResp,
-    },
+    Query { op: RegInv },
+    Store { reply: RegResp },
 }
 
 /// An ABD client; acts as writer or reader depending on the invocation.
@@ -177,6 +173,11 @@ pub struct AbdClient {
     me: u32,
     rid: u64,
     phase: Phase,
+    /// Phase-1 responses: `(server, tag, value)`, deduplicated by server,
+    /// cleared at each phase transition.
+    responses: Vec<(u32, Tag, Value)>,
+    /// Phase-2 acknowledging servers, deduplicated, cleared per phase.
+    acks: Vec<u32>,
 }
 
 impl AbdClient {
@@ -189,6 +190,10 @@ impl AbdClient {
             me,
             rid: 0,
             phase: Phase::Idle,
+            // Sized for every server responding, so a phase never grows
+            // them mid-operation.
+            responses: Vec::with_capacity(n as usize),
+            acks: Vec::with_capacity(n as usize),
         }
     }
 }
@@ -203,10 +208,8 @@ where
             "client invoked while an operation is in flight"
         );
         self.rid += 1;
-        self.phase = Phase::Query {
-            op: inv,
-            responses: BTreeMap::new(),
-        };
+        self.responses.clear();
+        self.phase = Phase::Query { op: inv };
         ctx.broadcast_to_servers(self.n, AbdMsg::Query { rid: self.rid });
     }
 
@@ -215,26 +218,25 @@ where
             Some(s) => s.0,
             None => return, // clients only talk to servers
         };
-        match (&mut self.phase, msg) {
-            (Phase::Query { op, responses }, AbdMsg::QueryResp { rid, tag, value })
-                if rid == self.rid =>
-            {
-                responses.insert(server, (tag, value));
-                if responses.len() as u32 == self.majority {
-                    let (&max_tag, &max_value) = responses
+        match (self.phase, msg) {
+            (Phase::Query { op }, AbdMsg::QueryResp { rid, tag, value }) if rid == self.rid => {
+                if self.responses.iter().any(|&(s, _, _)| s == server) {
+                    return; // duplicated delivery of a server's reply
+                }
+                self.responses.push((server, tag, value));
+                if self.responses.len() as u32 == self.majority {
+                    let &(_, max_tag, max_value) = self
+                        .responses
                         .iter()
-                        .map(|(_, (t, v))| (t, v))
-                        .max_by_key(|(t, _)| **t)
+                        .max_by_key(|&&(_, t, _)| t)
                         .expect("majority is nonempty");
-                    let (tag, value, reply) = match *op {
+                    let (tag, value, reply) = match op {
                         RegInv::Write(v) => (max_tag.successor(self.me), v, RegResp::WriteAck),
                         RegInv::Read => (max_tag, max_value, RegResp::ReadValue(max_value)),
                     };
                     self.rid += 1;
-                    self.phase = Phase::Store {
-                        acks: BTreeSet::new(),
-                        reply,
-                    };
+                    self.acks.clear();
+                    self.phase = Phase::Store { reply };
                     ctx.broadcast_to_servers(
                         self.n,
                         AbdMsg::Store {
@@ -245,10 +247,12 @@ where
                     );
                 }
             }
-            (Phase::Store { acks, reply }, AbdMsg::StoreAck { rid }) if rid == self.rid => {
-                acks.insert(server);
-                if acks.len() as u32 == self.majority {
-                    let reply = *reply;
+            (Phase::Store { reply }, AbdMsg::StoreAck { rid }) if rid == self.rid => {
+                if self.acks.contains(&server) {
+                    return; // duplicated ack
+                }
+                self.acks.push(server);
+                if self.acks.len() as u32 == self.majority {
                     self.phase = Phase::Idle;
                     self.rid += 1;
                     ctx.respond(reply);
@@ -259,12 +263,34 @@ where
     }
 
     fn digest(&self) -> u64 {
-        let phase_tag = match &self.phase {
-            Phase::Idle => 0u8,
-            Phase::Query { .. } => 1,
-            Phase::Store { .. } => 2,
+        // The response/ack sets are semantically unordered (behavior
+        // depends only on membership), so canonicalize by server id —
+        // arrival order must not distinguish digests.
+        let canonical: (Vec<(u32, Tag, Value)>, Vec<u32>) = match self.phase {
+            Phase::Idle => (Vec::new(), Vec::new()),
+            Phase::Query { .. } => {
+                let mut r = self.responses.clone();
+                r.sort_unstable_by_key(|&(s, _, _)| s);
+                (r, Vec::new())
+            }
+            Phase::Store { .. } => {
+                let mut a = self.acks.clone();
+                a.sort_unstable();
+                (Vec::new(), a)
+            }
         };
-        hash_of(&(self.me, self.rid, phase_tag, format!("{:?}", self.phase)))
+        let phase_bits = match self.phase {
+            Phase::Idle => (0u8, None, None),
+            Phase::Query { op } => (1, Some(op), None),
+            Phase::Store { reply } => (2, None, Some(reply)),
+        };
+        hash_of(&(
+            self.me,
+            self.rid,
+            phase_bits.0,
+            format!("{:?}{:?}", phase_bits.1, phase_bits.2),
+            canonical,
+        ))
     }
 }
 

@@ -97,7 +97,10 @@ impl Counterexample {
             ("f".into(), Json::Num(f64::from(self.f))),
             ("clients".into(), Json::Num(f64::from(self.clients))),
             ("kept_bits".into(), Json::Num(f64::from(self.kept_bits))),
-            ("seed".into(), Json::Num(self.seed as f64)),
+            // Hex string, not a JSON number: seeds drawn from the fuzzer's
+            // master RNG use all 64 bits, and `f64` would round them — the
+            // replayed schedule must be the recorded one, exactly.
+            ("seed".into(), Json::str(format!("{:#018x}", self.seed))),
             ("oracle".into(), Json::str(self.oracle.name())),
             ("violation".into(), Json::str(&self.violation)),
             ("plan".into(), self.plan.to_json()),
@@ -121,13 +124,20 @@ impl Counterexample {
                 .and_then(Json::as_u64)
                 .ok_or_else(|| format!("counterexample: missing or invalid `{name}`"))
         };
+        // Accept both the current hex-string seed and the legacy numeric
+        // form (exact only below 2⁵³, which all legacy artifacts are).
+        let seed = match v.get("seed") {
+            Some(Json::Str(h)) => u64::from_str_radix(h.trim_start_matches("0x"), 16)
+                .map_err(|e| format!("counterexample: bad `seed`: {e}"))?,
+            _ => num("seed")?,
+        };
         Ok(Counterexample {
             algorithm: s("algorithm")?,
             n: num("n")? as u32,
             f: num("f")? as u32,
             clients: num("clients")? as u32,
             kept_bits: num("kept_bits")? as u32,
-            seed: num("seed")?,
+            seed,
             oracle: Oracle::from_name(&s("oracle")?)?,
             violation: s("violation")?,
             plan: FaultPlan::from_json(v.get("plan").ok_or("counterexample: missing `plan`")?)?,

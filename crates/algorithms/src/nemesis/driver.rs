@@ -103,6 +103,13 @@ pub fn run_plan<P: Protocol<Inv = RegInv, Resp = RegResp>>(
     actions.sort_by_key(|&(tick, _)| tick);
     let mut next_action = 0usize;
 
+    // Per-tick scratch, hoisted out of the fault window so a 10⁵-execution
+    // sweep doesn't allocate twice per tick. Contents (and therefore every
+    // RNG draw and trace entry) are identical to the per-tick vectors this
+    // replaces.
+    let mut eligible: Vec<u32> = Vec::with_capacity(clients as usize);
+    let mut options: Vec<(NodeId, NodeId)> = Vec::new();
+
     for tick in 0..plan.horizon {
         // 1. Timed adversary events due at this tick.
         while next_action < actions.len() && actions[next_action].0 <= tick {
@@ -113,14 +120,13 @@ pub fn run_plan<P: Protocol<Inv = RegInv, Resp = RegResp>>(
         // 2. Invocations: an idle, unblocked client with work left starts
         // its next operation (usually — skipping some ticks varies the
         // overlap structure across seeds).
-        let eligible: Vec<u32> = (0..clients)
-            .filter(|&c| {
-                remaining[c as usize] > 0
-                    && !cluster.sim.has_open_op(ClientId(c))
-                    && !cluster.sim.is_failed(NodeId::client(c))
-                    && !cluster.sim.is_frozen(NodeId::client(c))
-            })
-            .collect();
+        eligible.clear();
+        eligible.extend((0..clients).filter(|&c| {
+            remaining[c as usize] > 0
+                && !cluster.sim.has_open_op(ClientId(c))
+                && !cluster.sim.is_failed(NodeId::client(c))
+                && !cluster.sim.is_frozen(NodeId::client(c))
+        }));
         if !eligible.is_empty() && rng.gen_range(0..4) < 3 {
             let c = eligible[rng.gen_range(0..eligible.len())];
             let inv = if c < plan.writers {
@@ -142,7 +148,7 @@ pub fn run_plan<P: Protocol<Inv = RegInv, Resp = RegResp>>(
         // 3. Network faults against a random deliverable head.
         let roll = rng.gen_range(0..1000u32);
         if roll < plan.drop_per_mille + plan.dup_per_mille + plan.delay_per_mille {
-            let options = cluster.sim.step_options();
+            cluster.sim.step_options_into(&mut options);
             if !options.is_empty() {
                 let (from, to) = options[rng.gen_range(0..options.len())];
                 let info = if roll < plan.drop_per_mille {

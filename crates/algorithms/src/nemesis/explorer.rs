@@ -330,6 +330,30 @@ mod tests {
     }
 
     #[test]
+    fn sweep_is_worker_count_invariant_at_scale() {
+        // NoWriteBack violates atomicity at many seeds, so this exercises
+        // the violation-collecting path (not just empty results) across a
+        // seed budget large enough for real work-stealing interleavings.
+        let factory = || NwbCluster::new(3, 1, 3, ValueSpec::from_bits(64.0));
+        let runs: Vec<Vec<Violation>> = [1usize, 2, 4]
+            .iter()
+            .map(|&w| sweep(&factory, Oracle::Atomic, 300, w))
+            .collect();
+        assert!(
+            !runs[0].is_empty(),
+            "NoWriteBack should violate somewhere in 300 seeds"
+        );
+        for pair in runs.windows(2) {
+            assert_eq!(pair[0].len(), pair[1].len());
+            for (a, b) in pair[0].iter().zip(&pair[1]) {
+                assert_eq!(a.seed, b.seed);
+                assert_eq!(a.plan, b.plan);
+                assert_eq!(a.violation, b.violation);
+            }
+        }
+    }
+
+    #[test]
     fn abd_clean_over_a_small_sweep() {
         let factory = || AbdCluster::new(3, 1, 3, ValueSpec::from_bits(64.0));
         let violations = sweep(&factory, Oracle::Atomic, 40, 4);

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! figures [all|fig1|tab-finite-v|tab-ratio|tab-crossover|tab-measured|
-//!          tab-constraint|tab-multiwrite|tab-section7] [--csv DIR]
+//!          tab-constraint|tab-multiwrite|tab-section7|tab-simperf|...] [--csv DIR]
 //! ```
 //!
 //! With `--csv DIR`, each table is also written as `DIR/<id>.csv`.
@@ -51,6 +51,7 @@ fn main() {
             "tab-nemesis",
             "tab-metrics",
             "tab-fuzz",
+            "tab-simperf",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -84,13 +85,14 @@ fn main() {
             "tab-probe-cache" => measured::probe_cache_table(5, 2, 4, 2),
             "tab-codec" => measured::codec_table(21, 11, &[1 << 10, 1 << 14, 1 << 16, 1 << 20]),
             "tab-nemesis" => measured::nemesis_table(
-                1000,
+                100_000,
                 std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
             ),
             "tab-metrics" => measured::metrics_table(5, 1, &[1, 2, 3], 42),
+            "tab-simperf" => measured::simperf_table(9, 50),
             "tab-fuzz" => measured::fuzz_table(
                 21,
-                2048,
+                100_000,
                 std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
             ),
             other => {

@@ -1,0 +1,130 @@
+//! Step-throughput regression gate (`perf-smoke`).
+//!
+//! Measures the `tab-simperf` configurations and compares each cell's
+//! min-of-trials ns/step against the committed baseline
+//! (`crates/bench/baselines/simperf.json`). A cell slower than **2×**
+//! its baseline fails the gate; the threshold is deliberately loose so
+//! shared CI runners don't flap, while a real regression — say the hot
+//! loop reacquiring a per-step `Arc::make_mut` — lands far beyond it.
+//!
+//! ```text
+//! perf_smoke            # gate against the committed baseline
+//! perf_smoke --record   # rewrite the baseline from this machine
+//! ```
+//!
+//! Either mode also writes `results/tab-simperf.{csv,json}` so the run
+//! that gated is the run that is recorded.
+
+use shmem_bench::measured::{simperf_cell, simperf_table};
+use shmem_bench::render::{render_csv, render_json};
+use shmem_util::json::Json;
+use std::path::Path;
+
+/// Trials per cell; more than the figures default because a gate wants
+/// its min-of-trials estimator saturated.
+const TRIALS: u32 = 15;
+/// Writes per trial.
+const WRITES: u32 = 50;
+/// Gate threshold: measured min ns/step must stay under `baseline × 2`.
+const THRESHOLD: f64 = 2.0;
+
+/// The gated configurations: (n, f, fault permille, metered).
+const CONFIGS: &[(u32, u32, u32, bool)] = &[
+    (5, 2, 0, false),
+    (21, 10, 0, false),
+    (21, 10, 0, true),
+    (21, 10, 100, false),
+];
+
+fn key(n: u32, f: u32, fault_permille: u32, metered: bool) -> String {
+    format!(
+        "n{n}_f{f}_fault{fault_permille}_{}",
+        if metered { "metered" } else { "plain" }
+    )
+}
+
+fn baseline_path() -> &'static Path {
+    Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/baselines/simperf.json"
+    ))
+}
+
+fn main() {
+    let record = std::env::args().any(|a| a == "--record");
+
+    // Write the full table first so every run leaves the artifacts the
+    // evaluation references.
+    let table = simperf_table(9, WRITES);
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/tab-simperf.csv", render_csv(&table)).expect("write csv");
+    std::fs::write("results/tab-simperf.json", render_json(&table)).expect("write json");
+    println!("wrote results/tab-simperf.{{csv,json}}");
+
+    let mut measured: Vec<(String, u64)> = Vec::new();
+    for &(n, f, fault, metered) in CONFIGS {
+        let cell = simperf_cell(n, f, fault, metered, TRIALS, WRITES);
+        println!(
+            "{:<28} {:>6} ns/step (median {} ns, {} events/trial)",
+            key(n, f, fault, metered),
+            cell.min_ns,
+            cell.median_ns,
+            cell.events
+        );
+        measured.push((key(n, f, fault, metered), cell.min_ns));
+    }
+
+    if record {
+        let doc = Json::Obj(vec![
+            (
+                "comment".into(),
+                Json::str(
+                    "perf-smoke baseline: min-of-trials ns/step per configuration; \
+                     regenerate with `cargo run --release --bin perf_smoke -- --record` \
+                     on an otherwise idle machine.",
+                ),
+            ),
+            (
+                "ns_per_step".into(),
+                Json::Obj(
+                    measured
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+        ]);
+        std::fs::create_dir_all(baseline_path().parent().unwrap()).expect("create baselines/");
+        std::fs::write(baseline_path(), doc.to_pretty() + "\n").expect("write baseline");
+        println!("recorded {}", baseline_path().display());
+        return;
+    }
+
+    let text = std::fs::read_to_string(baseline_path()).unwrap_or_else(|e| {
+        panic!(
+            "no baseline at {} ({e}); run `perf_smoke -- --record` first",
+            baseline_path().display()
+        )
+    });
+    let doc = Json::parse(&text).expect("baseline parses");
+    let mut failed = false;
+    for (k, got) in &measured {
+        let base = doc
+            .get("ns_per_step")
+            .and_then(|m| m.get(k))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("baseline missing {k}; re-record it"));
+        let limit = (base as f64 * THRESHOLD).ceil() as u64;
+        if *got > limit {
+            eprintln!("FAIL {k}: {got} ns/step > {limit} (baseline {base} × {THRESHOLD})");
+            failed = true;
+        } else {
+            println!("ok   {k}: {got} ns/step ≤ {limit} (baseline {base} × {THRESHOLD})");
+        }
+    }
+    if failed {
+        eprintln!("perf-smoke: step-throughput regression detected");
+        std::process::exit(1);
+    }
+    println!("perf-smoke: all configurations within {THRESHOLD}× of baseline");
+}

@@ -1383,3 +1383,131 @@ mod nemesis_tests {
         }
     }
 }
+
+/// `tab-simperf`: wall-clock simulator step throughput across cluster
+/// size × fault rate × metrics level.
+///
+/// Each cell drives a single-writer ABD workload through the fair
+/// scheduler; at the given per-event probability the next event is a
+/// nemesis-style head drop (chosen via `step_options_into`, exactly the
+/// explorer's access pattern) instead of a delivery. Every event —
+/// delivery or drop — counts as one step. Timing is min-of-trials
+/// (the least-perturbed run) with the median alongside as a stability
+/// check; the event count per trial is deterministic and identical for
+/// the metered/unmetered pair of a configuration, so the metrics column
+/// isolates pure observer overhead.
+///
+/// `scripts/check.sh` gates on this table via `perf-smoke`, which
+/// compares the min column against `crates/bench/baselines/simperf.json`
+/// with a 2× tolerance.
+pub fn simperf_table(trials: u32, writes: u32) -> Table {
+    let mut t = Table::new(
+        format!("Simulator step throughput, {writes} writes/trial, {trials} trials/cell"),
+        &[
+            "n",
+            "f",
+            "fault rate",
+            "metrics",
+            "events/trial",
+            "ns/step min",
+            "ns/step median",
+        ],
+    );
+    for &(n, f) in &[(5u32, 2u32), (11, 5), (21, 10)] {
+        for &fault_permille in &[0u32, 100] {
+            for &metered in &[false, true] {
+                let m = simperf_cell(n, f, fault_permille, metered, trials, writes);
+                t.push(vec![
+                    n.to_string(),
+                    f.to_string(),
+                    format!("{:.1}%", f64::from(fault_permille) / 10.0),
+                    if metered { "full" } else { "off" }.into(),
+                    m.events.to_string(),
+                    m.min_ns.to_string(),
+                    m.median_ns.to_string(),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+/// One measured cell of [`simperf_table`].
+pub struct SimperfCell {
+    /// Events (deliveries + drops) per trial — deterministic for a
+    /// configuration, so it doubles as a schedule fingerprint.
+    pub events: u64,
+    /// Fastest trial, nanoseconds per event.
+    pub min_ns: u64,
+    /// Median trial, nanoseconds per event.
+    pub median_ns: u64,
+}
+
+/// Measures one (cluster size, fault rate, metrics) configuration; see
+/// [`simperf_table`]. Exposed so the `perf-smoke` gate can probe exactly
+/// the configurations recorded in its baseline file.
+pub fn simperf_cell(
+    n: u32,
+    f: u32,
+    fault_permille: u32,
+    metered: bool,
+    trials: u32,
+    writes: u32,
+) -> SimperfCell {
+    use shmem_algorithms::reg::RegInv;
+    use shmem_util::DetRng;
+
+    let spec = ValueSpec::from_bits(64.0);
+    let mut per_trial: Vec<u64> = Vec::new();
+    let mut events_per_trial = 0u64;
+    let mut options = Vec::new();
+    for trial in 0..trials {
+        let mut cl = AbdCluster::new(n, f, 1, spec);
+        if metered {
+            cl = cl.metered();
+        }
+        // Same seed every trial: identical schedules, so trial-to-trial
+        // spread is pure timing noise.
+        let mut rng = DetRng::seed_from_u64(0x51_3F ^ u64::from(fault_permille));
+        let mut events = 0u64;
+        let start = std::time::Instant::now();
+        for v in 0..writes {
+            if !cl.sim.has_open_op(ClientId(0)) {
+                cl.begin(0, RegInv::Write(u64::from(v % 8))).expect("begin");
+            }
+            loop {
+                if fault_permille > 0 && rng.gen_range(0..1000u32) < fault_permille {
+                    cl.sim.step_options_into(&mut options);
+                    if !options.is_empty() {
+                        let (from, to) = options[rng.gen_range(0..options.len())];
+                        cl.sim.drop_head(from, to).expect("drop head");
+                        events += 1;
+                        continue;
+                    }
+                }
+                if cl.sim.step_fair().is_some() {
+                    events += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        let elapsed = start.elapsed().as_nanos() as u64;
+        assert!(events > 0, "simperf cell did no work");
+        if trial == 0 {
+            events_per_trial = events;
+        } else {
+            assert_eq!(
+                events, events_per_trial,
+                "simperf schedule not deterministic"
+            );
+        }
+        per_trial.push(elapsed / events);
+    }
+    per_trial.sort_unstable();
+    SimperfCell {
+        events: events_per_trial,
+        min_ns: per_trial[0],
+        median_ns: per_trial[per_trial.len() / 2],
+    }
+}

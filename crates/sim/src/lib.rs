@@ -48,7 +48,7 @@ pub mod world;
 
 pub use config::{ChannelOrder, SimConfig};
 pub use coverage::{CoverageMap, COVERAGE_SLOTS};
-pub use hash::hash_of;
+pub use hash::{combine, hash_debug, hash_of, StableHasher};
 pub use ids::{ClientId, NodeId, ServerId};
 pub use meter::{StorageMeter, StorageSnapshot};
 pub use metrics::{ChannelLedger, ConservationError, Histogram, MetricsLevel, MetricsRegistry};

@@ -2,6 +2,20 @@
 //! `MaxStorage = max_i log2 |S_i|` and `TotalStorage = Σ_i log2 |S_i|`,
 //! evaluated over the states actually reached in an execution.
 
+/// One server's meter state: peaks plus the last observed values. Kept as
+/// one struct per server (not parallel vectors) because the per-step
+/// update touches all four fields of exactly one server — one cache line
+/// instead of four.
+#[derive(Clone, Copy, Debug, Default)]
+struct ServerMeter {
+    peak: f64,
+    peak_meta: f64,
+    /// Last observed values — what makes the O(1) single-server update of
+    /// [`StorageMeter::observe_server`] sound.
+    cur: f64,
+    cur_meta: f64,
+}
+
 /// Tracks per-server storage high-water marks over an execution.
 ///
 /// At every point of the execution the simulator reports each server's
@@ -10,8 +24,9 @@
 /// the peak of the per-point maximum.
 #[derive(Clone, Debug)]
 pub struct StorageMeter {
-    per_server_peak: Vec<f64>,
-    per_server_peak_meta: Vec<f64>,
+    servers: Vec<ServerMeter>,
+    current_total: f64,
+    current_total_meta: f64,
     peak_total: f64,
     peak_total_meta: f64,
     peak_max: f64,
@@ -22,8 +37,9 @@ impl StorageMeter {
     /// A meter for `n` servers, all peaks zero.
     pub fn new(n: usize) -> StorageMeter {
         StorageMeter {
-            per_server_peak: vec![0.0; n],
-            per_server_peak_meta: vec![0.0; n],
+            servers: vec![ServerMeter::default(); n],
+            current_total: 0.0,
+            current_total_meta: 0.0,
             peak_total: 0.0,
             peak_total_meta: 0.0,
             peak_max: 0.0,
@@ -37,29 +53,95 @@ impl StorageMeter {
     ///
     /// Panics if the slices don't match the server count.
     pub fn observe(&mut self, state_bits: &[f64], metadata_bits: &[f64]) {
-        assert_eq!(state_bits.len(), self.per_server_peak.len());
-        assert_eq!(metadata_bits.len(), self.per_server_peak.len());
+        assert_eq!(state_bits.len(), self.servers.len());
+        assert_eq!(metadata_bits.len(), self.servers.len());
+        self.observe_with(state_bits.len(), |i| (state_bits[i], metadata_bits[i]));
+    }
+
+    /// [`StorageMeter::observe`] with the per-server values produced by a
+    /// callback — the allocation-free form the simulator's construction
+    /// sample uses.
+    pub fn observe_with(&mut self, n: usize, mut f: impl FnMut(usize) -> (f64, f64)) {
+        assert_eq!(n, self.servers.len());
         let mut total = 0.0;
         let mut total_meta = 0.0;
         let mut max = 0.0f64;
-        for (i, (&b, &m)) in state_bits.iter().zip(metadata_bits).enumerate() {
-            self.per_server_peak[i] = self.per_server_peak[i].max(b);
-            self.per_server_peak_meta[i] = self.per_server_peak_meta[i].max(m);
+        for (i, s) in self.servers.iter_mut().enumerate() {
+            let (b, m) = f(i);
+            s.peak = s.peak.max(b);
+            s.peak_meta = s.peak_meta.max(m);
+            s.cur = b;
+            s.cur_meta = m;
             total += b;
             total_meta += m;
             max = max.max(b);
         }
+        self.current_total = total;
+        self.current_total_meta = total_meta;
         self.peak_total = self.peak_total.max(total);
         self.peak_total_meta = self.peak_total_meta.max(total_meta);
         self.peak_max = self.peak_max.max(max);
         self.samples += 1;
     }
 
+    /// Records one point at which only server `i`'s storage can have moved
+    /// — the simulator's per-step sample. O(1): running totals are adjusted
+    /// by the server's delta, and `peak_max` only needs the new value
+    /// because every *other* server's current value was already a
+    /// `peak_max` candidate when it was last observed. Requires one initial
+    /// full [`StorageMeter::observe`] to seed the currents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn observe_server(&mut self, i: usize, state_bits: f64, metadata_bits: f64) {
+        self.samples += 1;
+        let s = &mut self.servers[i];
+        if state_bits == s.cur && metadata_bits == s.cur_meta {
+            // Storage unchanged: every peak already covers this point.
+            return;
+        }
+        s.peak = s.peak.max(state_bits);
+        s.peak_meta = s.peak_meta.max(metadata_bits);
+        self.current_total += state_bits - s.cur;
+        self.current_total_meta += metadata_bits - s.cur_meta;
+        s.cur = state_bits;
+        s.cur_meta = metadata_bits;
+        self.peak_total = self.peak_total.max(self.current_total);
+        self.peak_total_meta = self.peak_total_meta.max(self.current_total_meta);
+        self.peak_max = self.peak_max.max(state_bits);
+    }
+
+    /// Records one point at which no server's storage moved (a client
+    /// step): the point still counts toward `points_observed`, but every
+    /// peak is unchanged by construction.
+    #[inline]
+    pub fn observe_tick(&mut self) {
+        self.samples += 1;
+    }
+
+    /// Whether an [`StorageMeter::observe_server`] with these values would
+    /// leave every peak untouched — the simulator's check for deferring
+    /// the sample as a tick without unsharing the meter.
+    #[inline]
+    pub fn server_unchanged(&self, i: usize, state_bits: f64, metadata_bits: f64) -> bool {
+        let s = &self.servers[i];
+        state_bits == s.cur && metadata_bits == s.cur_meta
+    }
+
+    /// Books `n` deferred peak-preserving observation points at once (the
+    /// batched form of [`StorageMeter::observe_tick`]).
+    #[inline]
+    pub fn add_ticks(&mut self, n: u64) {
+        self.samples += n;
+    }
+
     /// The current snapshot of all peaks.
     pub fn snapshot(&self) -> StorageSnapshot {
         StorageSnapshot {
-            per_server_peak_bits: self.per_server_peak.clone(),
-            per_server_peak_metadata_bits: self.per_server_peak_meta.clone(),
+            per_server_peak_bits: self.servers.iter().map(|s| s.peak).collect(),
+            per_server_peak_metadata_bits: self.servers.iter().map(|s| s.peak_meta).collect(),
             peak_total_bits: self.peak_total,
             peak_total_metadata_bits: self.peak_total_meta,
             peak_max_bits: self.peak_max,
@@ -144,6 +226,34 @@ mod tests {
     fn wrong_width_panics() {
         let mut m = StorageMeter::new(2);
         m.observe(&[1.0], &[1.0]);
+    }
+
+    #[test]
+    fn incremental_single_server_updates_match_full_observes() {
+        let mut full = StorageMeter::new(3);
+        let mut inc = StorageMeter::new(3);
+        let mut bits = [2.0, 5.0, 1.0];
+        let mut meta = [0.5, 0.25, 1.0];
+        full.observe(&bits, &meta);
+        inc.observe(&bits, &meta);
+        let updates = [
+            (0, 7.0, 0.5),
+            (2, 3.0, 2.0),
+            (0, 1.0, 0.0),
+            (1, 9.0, 0.125),
+            // An unchanged re-observation exercises the fast exit.
+            (1, 9.0, 0.125),
+        ];
+        for &(i, b, m) in &updates {
+            bits[i] = b;
+            meta[i] = m;
+            full.observe(&bits, &meta);
+            inc.observe_server(i, b, m);
+        }
+        // A client step: samples advance, peaks don't.
+        full.observe(&bits, &meta);
+        inc.observe_tick();
+        assert_eq!(inc.snapshot(), full.snapshot());
     }
 
     #[test]

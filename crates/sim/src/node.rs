@@ -97,6 +97,30 @@ impl<P: Protocol> Ctx<P> {
         }
     }
 
+    /// A context backed by caller-provided (empty) buffers — the hot
+    /// loop's recycled-scratch constructor. [`Ctx::into_effects`] hands
+    /// the buffers back so the simulator can drain and reuse them,
+    /// keeping the steady-state step relation allocation-free.
+    pub(crate) fn with_buffers(
+        me: NodeId,
+        now: u64,
+        outbox: Vec<(NodeId, P::Msg)>,
+        responses: Vec<P::Resp>,
+    ) -> Ctx<P> {
+        debug_assert!(outbox.is_empty() && responses.is_empty());
+        Ctx {
+            me,
+            now,
+            outbox,
+            responses,
+        }
+    }
+
+    /// Whether the node produced any effect (a send or a response).
+    pub(crate) fn has_effects(&self) -> bool {
+        !self.outbox.is_empty() || !self.responses.is_empty()
+    }
+
     /// This node's identity.
     pub fn me(&self) -> NodeId {
         self.me

@@ -7,11 +7,18 @@
 //! The nemesis layer additionally needs the reverse directions —
 //! [`Sim::recover`] and [`Sim::heal`] — so a fault schedule can inject a
 //! crash or a freeze window and later lift it.
+//!
+//! Each transition maintains both fast-path caches: the flat block mask
+//! the scheduler reads ([`Sim::refresh_blocked`]) and the eager
+//! failed/frozen/cut components of the incremental world digest (see
+//! `state.rs`).
 
+use super::state::{comp_cut, comp_failed, comp_frozen};
 use super::Sim;
 use crate::ids::NodeId;
 use crate::node::Protocol;
 use crate::trace::StepInfo;
+use std::sync::Arc;
 
 impl<P: Protocol> Sim<P> {
     /// Crashes a node: it stops taking steps and messages to or from it
@@ -24,24 +31,31 @@ impl<P: Protocol> Sim<P> {
     /// Reversible via [`Sim::recover`] (crash-recovery with stable node
     /// state; in-flight traffic at crash time is lost).
     pub fn fail(&mut self, node: NodeId) -> StepInfo {
-        self.failed.insert(node);
-        // Account the purge before the retain drops the queues: the ledger
-        // must book every discarded message for the conservation law.
+        if self.failed.insert(node) {
+            self.digest_acc = self.digest_acc.wrapping_add(comp_failed(node));
+        }
+        self.refresh_blocked(node);
+        // Account the purge before emptying the queues: the ledger must
+        // book every discarded message for the conservation law.
+        let purged: Vec<usize> = (0..self.channels.keys.len())
+            .filter(|&r| {
+                let (from, to) = self.channels.keys[r];
+                (from == node || to == node) && self.channels.len[r] > 0
+            })
+            .collect();
         if self.metrics_level() != crate::metrics::MetricsLevel::Off {
-            let purged: Vec<((NodeId, NodeId), u64)> = self
-                .channels
-                .iter()
-                .filter(|(&(from, to), q)| (from == node || to == node) && !q.is_empty())
-                .map(|(&key, q)| (key, q.len() as u64))
-                .collect();
-            if let Some(m) = self.metrics_mut() {
-                for ((from, to), count) in purged {
+            for &r in &purged {
+                let (from, to) = self.channels.keys[r];
+                let count = u64::from(self.channels.len[r]);
+                if let Some(m) = self.metrics_mut() {
                     m.on_purged(from, to, count);
                 }
             }
         }
-        self.channels
-            .retain(|&(from, to), _| from != node && to != node);
+        for &r in &purged {
+            self.mark_chan_dirty(r);
+            Arc::make_mut(&mut self.channels).purge(r);
+        }
         self.cover(super::cover::kind::CRASH, node, node, 0);
         StepInfo::Crashed { node }
     }
@@ -65,7 +79,10 @@ impl<P: Protocol> Sim<P> {
     /// were in flight when the crash happened are gone — [`Sim::fail`]
     /// discarded them — so the recovered node starts with clean channels.
     pub fn recover(&mut self, node: NodeId) -> StepInfo {
-        self.failed.remove(&node);
+        if self.failed.remove(&node) {
+            self.digest_acc = self.digest_acc.wrapping_sub(comp_failed(node));
+        }
+        self.refresh_blocked(node);
         self.cover(super::cover::kind::RECOVER, node, node, 0);
         StepInfo::Recovered { node }
     }
@@ -75,14 +92,20 @@ impl<P: Protocol> Sim<P> {
     /// queued traffic survives: after [`Sim::unfreeze`], delivery resumes
     /// where it left off.
     pub fn freeze(&mut self, node: NodeId) -> StepInfo {
-        self.frozen.insert(node);
+        if self.frozen.insert(node) {
+            self.digest_acc = self.digest_acc.wrapping_add(comp_frozen(node));
+        }
+        self.refresh_blocked(node);
         self.cover(super::cover::kind::FREEZE, node, node, 0);
         StepInfo::Frozen { node }
     }
 
     /// Lifts a [`Sim::freeze`].
     pub fn unfreeze(&mut self, node: NodeId) -> StepInfo {
-        self.frozen.remove(&node);
+        if self.frozen.remove(&node) {
+            self.digest_acc = self.digest_acc.wrapping_sub(comp_frozen(node));
+        }
+        self.refresh_blocked(node);
         self.cover(super::cover::kind::UNFREEZE, node, node, 0);
         StepInfo::Unfrozen { node }
     }
@@ -92,9 +115,23 @@ impl<P: Protocol> Sim<P> {
     /// counterpart of `freeze` + `cut_link` combined, used by fault
     /// schedules to end a disturbance window in one step.
     pub fn heal(&mut self, node: NodeId) -> StepInfo {
-        self.frozen.remove(&node);
-        self.cut_links
-            .retain(|&(from, to)| from != node && to != node);
+        if self.frozen.remove(&node) {
+            self.digest_acc = self.digest_acc.wrapping_sub(comp_frozen(node));
+        }
+        self.refresh_blocked(node);
+        let cuts: Vec<(NodeId, NodeId)> = self
+            .cut_links
+            .iter()
+            .copied()
+            .filter(|&(from, to)| from == node || to == node)
+            .collect();
+        for (from, to) in cuts {
+            self.cut_links.remove(&(from, to));
+            self.digest_acc = self.digest_acc.wrapping_sub(comp_cut(from, to));
+            if let Some(row) = self.channels.find((from, to)) {
+                Arc::make_mut(&mut self.channels).cut[row] = false;
+            }
+        }
         self.cover(super::cover::kind::HEAL, node, node, 0);
         StepInfo::Healed { node }
     }
@@ -109,7 +146,13 @@ impl<P: Protocol> Sim<P> {
         self.frozen.contains(&node)
     }
 
+    #[inline]
     pub(super) fn is_blocked(&self, node: NodeId) -> bool {
-        self.failed.contains(&node) || self.frozen.contains(&node)
+        // `.get`: a node id outside the world is merely not blocked (its
+        // channel lookup will miss), matching the pre-mask behavior.
+        self.blocked
+            .get(self.node_slot(node))
+            .copied()
+            .unwrap_or(false)
     }
 }

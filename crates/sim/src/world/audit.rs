@@ -59,8 +59,11 @@ impl<P: Protocol> Sim<P> {
     pub fn set_metrics(&mut self, level: MetricsLevel) {
         self.metrics = (level != MetricsLevel::Off).then(|| {
             let mut reg = MetricsRegistry::new(level, self.servers.len());
-            for (&(from, to), q) in &self.channels {
-                reg.baseline_in_flight(from, to, q.len() as u64);
+            let t = &*self.channels;
+            for row in t.nonempty.iter() {
+                let r = row as usize;
+                let (from, to) = t.keys[r];
+                reg.baseline_in_flight(from, to, u64::from(t.len[r]));
             }
             Arc::new(reg)
         });
@@ -72,12 +75,16 @@ impl<P: Protocol> Sim<P> {
     /// the world, not a counter: a heal or unfreeze releases held messages
     /// without any ledger movement.
     pub fn held_messages(&self) -> u64 {
-        self.channels
+        let t = &*self.channels;
+        t.nonempty
             .iter()
-            .filter(|(&(from, to), _)| {
-                self.is_cut(from, to) || self.is_blocked(from) || self.is_blocked(to)
+            .map(|row| row as usize)
+            .filter(|&r| {
+                t.cut[r]
+                    || self.blocked[t.src_slot[r] as usize]
+                    || self.blocked[t.dst_slot[r] as usize]
             })
-            .map(|(_, q)| q.len() as u64)
+            .map(|r| u64::from(t.len[r]))
             .sum()
     }
 
@@ -102,10 +109,14 @@ impl<P: Protocol> Sim<P> {
         if self.metrics_level == MetricsLevel::Off {
             return Ok(());
         }
-        let queued: BTreeMap<(NodeId, NodeId), u64> = self
-            .channels
+        let t = &*self.channels;
+        let queued: BTreeMap<(NodeId, NodeId), u64> = t
+            .nonempty
             .iter()
-            .map(|(&key, q)| (key, q.len() as u64))
+            .map(|row| {
+                let r = row as usize;
+                (t.keys[r], u64::from(t.len[r]))
+            })
             .collect();
         self.metrics().check_conservation(&queued)
     }

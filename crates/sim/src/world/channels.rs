@@ -1,8 +1,27 @@
 //! The step relation: invocations, message delivery, scheduling.
 //!
-//! Channel queues are `Arc`-shared between forks; every mutation goes
-//! through [`Arc::make_mut`], so only the queue actually touched by a step
-//! is copied, and only when another fork still shares it.
+//! This is the simulator's hot loop, and it is allocation-free in steady
+//! state:
+//!
+//! * scheduler scans walk the channel table's `nonempty` row bitset
+//!   (ascending row order, so option order is byte-for-byte the old
+//!   `BTreeMap` iteration order that recorded fault corpora replay
+//!   against);
+//! * messages move through the slab arena (`table.rs`) — enqueueing
+//!   reuses freed slots instead of heap-allocating;
+//! * the per-event [`Ctx`] borrows recycled scratch vectors from the
+//!   world instead of allocating an outbox per step;
+//! * in the fault-free case [`Sim::step_fair`] picks its channel straight
+//!   from the `nonempty` bitset (`select`) without materializing an
+//!   options list at all.
+//!
+//! The channel table and the node vectors are `Arc`s shared between
+//! forks. Rather than paying `Arc::make_mut`'s refcount round-trips per
+//! step, the delivery loop claims *unique ownership* of all three once —
+//! the `hot_owned` flag on [`Sim`] — and thereafter reaches their
+//! payloads directly; the first delivery after a fork unshares the trio
+//! in one go and re-establishes the claim (see [`Sim::deliver_row`]'s
+//! safety comment).
 
 use super::{RunError, SendRecord, Sim};
 use crate::ids::{ClientId, NodeId};
@@ -41,28 +60,53 @@ impl<P: Protocol> Sim<P> {
         if let Some(m) = self.metrics_mut() {
             m.on_op_started();
         }
-        let mut ctx: Ctx<P> = Ctx::new(id, self.now);
-        <P::Client as Node<P>>::on_invoke(Arc::make_mut(&mut self.clients[idx]), inv, &mut ctx);
+        self.mark_node_dirty(self.servers.len() + idx);
+        let mut ctx: Ctx<P> = Ctx::with_buffers(
+            id,
+            self.now,
+            std::mem::take(&mut self.scratch_outbox),
+            std::mem::take(&mut self.scratch_resp),
+        );
+        <P::Client as Node<P>>::on_invoke(
+            &mut Arc::make_mut(&mut self.clients)[idx],
+            inv,
+            &mut ctx,
+        );
         self.apply_effects(id, ctx);
-        self.sample_meter();
+        self.sample_meter_for(id);
         self.cover_step(super::cover::kind::INVOKE, id, id);
         Ok(())
+    }
+
+    /// Collects the deliverable channels into `out` (cleared first): the
+    /// non-empty, un-cut rows whose endpoints are unblocked, in key order.
+    fn fill_step_options(&self, out: &mut Vec<(NodeId, NodeId)>) {
+        out.clear();
+        let t = &*self.channels;
+        for row in t.nonempty.iter() {
+            let r = row as usize;
+            if !t.cut[r]
+                && !self.blocked[t.src_slot[r] as usize]
+                && !self.blocked[t.dst_slot[r] as usize]
+            {
+                out.push(t.keys[r]);
+            }
+        }
     }
 
     /// The deliverable channels at this point: non-empty queues whose
     /// endpoints are neither crashed nor frozen and whose link is not cut,
     /// in deterministic order.
     pub fn step_options(&self) -> Vec<(NodeId, NodeId)> {
-        self.channels
-            .iter()
-            .filter(|(&(from, to), q)| {
-                !q.is_empty()
-                    && !self.is_blocked(from)
-                    && !self.is_blocked(to)
-                    && !self.is_cut(from, to)
-            })
-            .map(|(&key, _)| key)
-            .collect()
+        let mut out = Vec::new();
+        self.fill_step_options(&mut out);
+        out
+    }
+
+    /// [`Sim::step_options`] into a caller-owned buffer (cleared first) —
+    /// the allocation-free variant for schedulers that scan every step.
+    pub fn step_options_into(&self, out: &mut Vec<(NodeId, NodeId)>) {
+        self.fill_step_options(out);
     }
 
     /// Delivers the head message of the `from → to` channel: the receiver's
@@ -82,10 +126,52 @@ impl<P: Protocol> Sim<P> {
         if self.is_cut(from, to) {
             return Err(RunError::LinkDown { from, to });
         }
-        let msg = match self.channels.get_mut(&(from, to)) {
-            Some(q) if !q.is_empty() => Arc::make_mut(q).pop_front().expect("non-empty"),
+        let src = self.node_slot(from) as u32;
+        let dst = self.node_slot(to) as u32;
+        let row = match self.channels.lookup(src, dst) {
+            Some(r) if self.channels.len[r] > 0 => r,
             _ => return Err(RunError::NoSuchMessage { from, to }),
         };
+        Ok(self.deliver_row(row))
+    }
+
+    /// The delivery core: pops `row`'s head, dispatches it, applies the
+    /// effects. The row must be non-empty and deliverable.
+    fn deliver_row(&mut self, row: usize) -> StepInfo {
+        let fast = self.send_log.is_none()
+            && self.metrics_level == crate::metrics::MetricsLevel::Off
+            && self.cut_links.is_empty();
+        let nserv = self.servers.len() as u32;
+        let nclients = self.clients.len() as u32;
+        // Claim unique ownership of the hot allocations once, instead of
+        // paying `Arc::make_mut`'s refcount round-trips on every step.
+        // After the three unshares below, no other pointer to the server
+        // vec, client vec, or channel table exists — re-sharing them
+        // requires `Sim::clone`, which clears `hot_owned` on both worlds
+        // through `&self`, and `&mut self` here excludes any concurrent
+        // clone of *this* world.
+        use std::sync::atomic::Ordering::Relaxed;
+        if !self.hot_owned.load(Relaxed) {
+            Arc::make_mut(&mut self.servers);
+            Arc::make_mut(&mut self.clients);
+            Arc::make_mut(&mut self.channels);
+            self.hot_owned.store(true, Relaxed);
+        }
+        // SAFETY: `hot_owned` (checked or just established above) proves
+        // these `Arc`s unique, so mutating their payloads in place is
+        // sound for the same reason `Arc::get_mut_unchecked` is. The raw
+        // borrow of the table coexists with the disjoint field accesses
+        // below (nodes, scratch, digest caches).
+        let t = unsafe {
+            &mut *(Arc::as_ptr(&self.channels) as *mut super::table::ChannelTable<P::Msg>)
+        };
+        let (from, to) = t.keys[row];
+        if !t.dirty[row] {
+            t.dirty[row] = true;
+            self.digest_acc = self.digest_acc.wrapping_sub(t.comp[row]);
+        }
+        let dst_slot = t.dst_slot[row] as usize;
+        let msg = t.pop_front(row);
         self.now += 1;
         match (from.is_server(), to.is_server()) {
             (false, true) => self.traffic.client_to_server += 1,
@@ -93,44 +179,128 @@ impl<P: Protocol> Sim<P> {
             (true, true) => self.traffic.server_to_server += 1,
             (false, false) => {}
         }
-        if let Some(m) = self.metrics_mut() {
-            m.on_delivered(from, to);
+        if self.metrics_level != crate::metrics::MetricsLevel::Off {
+            if let Some(m) = self.metrics.as_mut().map(Arc::make_mut) {
+                m.on_delivered(from, to);
+            }
         }
-        let mut ctx: Ctx<P> = Ctx::new(to, self.now);
+        // `mark_node_dirty`, inlined to keep the table borrow alive.
+        if !self.node_dirty[dst_slot] {
+            self.node_dirty[dst_slot] = true;
+            self.digest_acc = self.digest_acc.wrapping_sub(self.node_comp[dst_slot]);
+        }
+        let mut ctx: Ctx<P> = Ctx::with_buffers(
+            to,
+            self.now,
+            std::mem::take(&mut self.scratch_outbox),
+            std::mem::take(&mut self.scratch_resp),
+        );
+        // SAFETY: covered by the `hot_owned` uniqueness claim above; the
+        // node vectors are separate allocations from the table borrowed
+        // as `t`.
         match to {
             NodeId::Server(s) => <P::Server as Node<P>>::on_message(
-                Arc::make_mut(&mut self.servers[s.0 as usize]),
+                unsafe {
+                    &mut (&mut *(Arc::as_ptr(&self.servers) as *mut Vec<P::Server>))[s.0 as usize]
+                },
                 from,
                 msg,
                 &mut ctx,
             ),
             NodeId::Client(c) => <P::Client as Node<P>>::on_message(
-                Arc::make_mut(&mut self.clients[c.0 as usize]),
+                unsafe {
+                    &mut (&mut *(Arc::as_ptr(&self.clients) as *mut Vec<P::Client>))[c.0 as usize]
+                },
                 from,
                 msg,
                 &mut ctx,
             ),
         }
-        self.apply_effects(to, ctx);
-        self.sample_meter();
+        if fast {
+            let (mut outbox, mut responses) = ctx.into_effects();
+            if !outbox.is_empty() {
+                let src = dst_slot as u32;
+                let origin_is_server = to.is_server();
+                let gossip_ok = self.config.server_gossip;
+                let now = self.now;
+                for (dst_id, m) in outbox.drain(..) {
+                    let dst = match dst_id {
+                        NodeId::Server(s) => {
+                            if origin_is_server && !gossip_ok {
+                                panic!(
+                                    "protocol violated the no-gossip model: {to} sent a message \
+                                     to {dst_id} but server_gossip is disabled"
+                                );
+                            }
+                            assert!(s.0 < nserv, "message sent to unknown node {dst_id}");
+                            s.0
+                        }
+                        NodeId::Client(c) => {
+                            assert!(c.0 < nclients, "message sent to unknown node {dst_id}");
+                            nserv + c.0
+                        }
+                    };
+                    let r = match t.lookup(src, dst) {
+                        Some(r) => r,
+                        None => t.ensure((to, dst_id), src, dst, false),
+                    };
+                    if !t.dirty[r] {
+                        t.dirty[r] = true;
+                        self.digest_acc = self.digest_acc.wrapping_sub(t.comp[r]);
+                    }
+                    t.push_back(r, m, now);
+                }
+            }
+            self.scratch_outbox = outbox;
+            if !responses.is_empty() {
+                self.record_responses(to, &mut responses);
+            }
+            self.scratch_resp = responses;
+        } else {
+            self.apply_effects(to, ctx);
+        }
+        self.sample_meter_for(to);
         self.cover_step(super::cover::kind::DELIVER, from, to);
-        Ok(StepInfo::Delivered { from, to })
+        StepInfo::Delivered { from, to }
     }
 
     /// Takes one fair step: delivers from the next schedulable channel in
     /// round-robin order. Returns `None` when no channel is deliverable
     /// (quiescence among unblocked nodes).
     pub fn step_fair(&mut self) -> Option<StepInfo> {
-        let options = self.step_options();
-        if options.is_empty() {
-            return None;
+        if self.blocked_count == 0 && self.cut_links.is_empty() {
+            // Fault-free fast path: every non-empty row is deliverable, so
+            // the round-robin pick selects from the nonempty set directly.
+            let t = &*self.channels;
+            let n = t.nonempty.len();
+            if n == 0 {
+                return None;
+            }
+            // Same `rr_cursor mod n` pick as the general path; the cursor
+            // fits 32 bits for any execution the step limit admits, and a
+            // 32-bit division is markedly cheaper.
+            let k = match u32::try_from(self.rr_cursor) {
+                Ok(rr) => rr % n,
+                Err(_) => (self.rr_cursor % u64::from(n)) as u32,
+            };
+            let row = t.nonempty.select(k) as usize;
+            self.rr_cursor += 1;
+            return Some(self.deliver_row(row));
         }
-        let pick = options[(self.rr_cursor % options.len() as u64) as usize];
-        self.rr_cursor += 1;
-        Some(
-            self.deliver_one(pick.0, pick.1)
-                .expect("step option is deliverable by construction"),
-        )
+        let mut options = std::mem::take(&mut self.scratch_options);
+        self.fill_step_options(&mut options);
+        let step = if options.is_empty() {
+            None
+        } else {
+            let pick = options[(self.rr_cursor % options.len() as u64) as usize];
+            self.rr_cursor += 1;
+            Some(
+                self.deliver_one(pick.0, pick.1)
+                    .expect("step option is deliverable by construction"),
+            )
+        };
+        self.scratch_options = options;
+        step
     }
 
     /// Delivers the `idx`-th queued message of the `from → to` channel
@@ -159,19 +329,18 @@ impl<P: Protocol> Sim<P> {
                 "out-of-order delivery requires ChannelOrder::Any"
             );
         }
-        let queue = self
+        let row = self
             .channels
-            .get_mut(&(from, to))
+            .find((from, to))
             .ok_or(RunError::NoSuchMessage { from, to })?;
-        if idx >= queue.len() {
+        if idx >= self.channels.len[row] as usize {
             return Err(RunError::NoSuchMessage { from, to });
         }
         if idx > 0 {
             // Rotate the chosen message to the head; FIFO order of the rest
             // is irrelevant under ChannelOrder::Any.
-            let queue = Arc::make_mut(queue);
-            let msg = queue.remove(idx).expect("index checked");
-            queue.push_front(msg);
+            self.mark_chan_dirty(row);
+            Arc::make_mut(&mut self.channels).rotate_nth_to_front(row, idx);
         }
         self.deliver_one(from, to)
     }
@@ -185,23 +354,32 @@ impl<P: Protocol> Sim<P> {
         &mut self,
         choose: impl FnOnce(&[((NodeId, NodeId), usize)]) -> (usize, usize),
     ) -> Option<StepInfo> {
-        let options: Vec<((NodeId, NodeId), usize)> = self
-            .step_options()
-            .into_iter()
-            .map(|ch| {
-                let len = self.in_flight(ch.0, ch.1);
-                (ch, len)
-            })
-            .collect();
-        if options.is_empty() {
-            return None;
+        let mut options = std::mem::take(&mut self.scratch_weighted);
+        options.clear();
+        {
+            let t = &*self.channels;
+            for row in t.nonempty.iter() {
+                let r = row as usize;
+                if !t.cut[r]
+                    && !self.blocked[t.src_slot[r] as usize]
+                    && !self.blocked[t.dst_slot[r] as usize]
+                {
+                    options.push((t.keys[r], t.len[r] as usize));
+                }
+            }
         }
-        let (oi, mi) = choose(&options);
-        let ((from, to), len) = options[oi % options.len()];
-        Some(
-            self.deliver_nth(from, to, mi % len)
-                .expect("validated option is deliverable"),
-        )
+        let step = if options.is_empty() {
+            None
+        } else {
+            let (oi, mi) = choose(&options);
+            let ((from, to), len) = options[oi % options.len()];
+            Some(
+                self.deliver_nth(from, to, mi % len)
+                    .expect("validated option is deliverable"),
+            )
+        };
+        self.scratch_weighted = options;
+        step
     }
 
     /// Takes one step chosen by the caller from [`Sim::step_options`] —
@@ -212,16 +390,20 @@ impl<P: Protocol> Sim<P> {
         &mut self,
         choose: impl FnOnce(&[(NodeId, NodeId)]) -> usize,
     ) -> Option<StepInfo> {
-        let options = self.step_options();
-        if options.is_empty() {
-            return None;
-        }
-        let idx = choose(&options) % options.len();
-        let pick = options[idx];
-        Some(
-            self.deliver_one(pick.0, pick.1)
-                .expect("step option is deliverable by construction"),
-        )
+        let mut options = std::mem::take(&mut self.scratch_options);
+        self.fill_step_options(&mut options);
+        let step = if options.is_empty() {
+            None
+        } else {
+            let idx = choose(&options) % options.len();
+            let pick = options[idx];
+            Some(
+                self.deliver_one(pick.0, pick.1)
+                    .expect("step option is deliverable by construction"),
+            )
+        };
+        self.scratch_options = options;
+        step
     }
 
     /// Steps fairly until no message is deliverable. When metering is on,
@@ -295,14 +477,20 @@ impl<P: Protocol> Sim<P> {
     pub fn flush_server_channels(&mut self) -> Result<u64, RunError> {
         let mut steps = 0;
         loop {
-            let next = self
-                .step_options()
-                .into_iter()
-                .find(|(from, to)| from.is_server() && to.is_server());
+            // First deliverable server→server row in key order — the same
+            // channel the old options-list `find` selected.
+            let t = &*self.channels;
+            let next = t.nonempty.iter().map(|row| row as usize).find(|&r| {
+                let (from, to) = t.keys[r];
+                from.is_server()
+                    && to.is_server()
+                    && !t.cut[r]
+                    && !self.blocked[t.src_slot[r] as usize]
+                    && !self.blocked[t.dst_slot[r] as usize]
+            });
             match next {
-                Some((from, to)) => {
-                    self.deliver_one(from, to)
-                        .expect("step option is deliverable");
+                Some(row) => {
+                    self.deliver_row(row);
                     steps += 1;
                     if steps > self.config.step_limit {
                         return Err(RunError::StepLimit {
@@ -316,46 +504,106 @@ impl<P: Protocol> Sim<P> {
     }
 
     pub(super) fn apply_effects(&mut self, origin: NodeId, ctx: Ctx<P>) {
-        let (outbox, responses) = ctx.into_effects();
-        for (to, msg) in outbox {
-            if origin.is_server() && to.is_server() && !self.config.server_gossip {
-                panic!(
-                    "protocol violated the no-gossip model: {origin} sent a message to {to} \
-                     but server_gossip is disabled"
-                );
-            }
-            self.validate_target(to);
-            if let Some(log) = &mut self.send_log {
-                Arc::make_mut(log).push(SendRecord {
-                    step: self.now,
-                    from: origin,
-                    to,
-                    msg: msg.clone(),
-                });
-            }
-            let q = Arc::make_mut(self.channels.entry((origin, to)).or_default());
-            q.push_back(msg);
-            let depth = q.len() as u64;
-            if let Some(m) = self.metrics_mut() {
-                m.on_sent(origin, to, std::mem::size_of::<P::Msg>() as u64, depth);
+        let (mut outbox, mut responses) = ctx.into_effects();
+        if !outbox.is_empty() {
+            let fast = self.send_log.is_none()
+                && self.metrics_level == crate::metrics::MetricsLevel::Off
+                && self.cut_links.is_empty();
+            if fast {
+                // No send log, no metrics ledger, no cut links: the whole
+                // outbox drains under a single table unshare, with the
+                // route table resolving each channel in one load.
+                let src = self.node_slot(origin) as u32;
+                let origin_is_server = origin.is_server();
+                let gossip_ok = self.config.server_gossip;
+                let nserv = self.servers.len() as u32;
+                let nclients = self.clients.len() as u32;
+                let now = self.now;
+                let t = Arc::make_mut(&mut self.channels);
+                for (to, msg) in outbox.drain(..) {
+                    let dst = match to {
+                        NodeId::Server(s) => {
+                            if origin_is_server && !gossip_ok {
+                                panic!(
+                                    "protocol violated the no-gossip model: {origin} sent a \
+                                     message to {to} but server_gossip is disabled"
+                                );
+                            }
+                            assert!(s.0 < nserv, "message sent to unknown node {to}");
+                            s.0
+                        }
+                        NodeId::Client(c) => {
+                            assert!(c.0 < nclients, "message sent to unknown node {to}");
+                            nserv + c.0
+                        }
+                    };
+                    let row = match t.lookup(src, dst) {
+                        Some(r) => r,
+                        None => t.ensure((origin, to), src, dst, false),
+                    };
+                    if !t.dirty[row] {
+                        t.dirty[row] = true;
+                        self.digest_acc = self.digest_acc.wrapping_sub(t.comp[row]);
+                    }
+                    t.push_back(row, msg, now);
+                }
+            } else {
+                for (to, msg) in outbox.drain(..) {
+                    if origin.is_server() && to.is_server() && !self.config.server_gossip {
+                        panic!(
+                            "protocol violated the no-gossip model: {origin} sent a message to \
+                             {to} but server_gossip is disabled"
+                        );
+                    }
+                    self.validate_target(to);
+                    if let Some(log) = &mut self.send_log {
+                        Arc::make_mut(log).push(SendRecord {
+                            step: self.now,
+                            from: origin,
+                            to,
+                            msg: msg.clone(),
+                        });
+                    }
+                    let src = self.node_slot(origin) as u32;
+                    let dst = self.node_slot(to) as u32;
+                    let cut = self.is_cut(origin, to);
+                    let row = Arc::make_mut(&mut self.channels).ensure((origin, to), src, dst, cut);
+                    self.mark_chan_dirty(row);
+                    let depth = Arc::make_mut(&mut self.channels).push_back(row, msg, self.now);
+                    if let Some(m) = self.metrics_mut() {
+                        m.on_sent(
+                            origin,
+                            to,
+                            std::mem::size_of::<P::Msg>() as u64,
+                            u64::from(depth),
+                        );
+                    }
+                }
             }
         }
+        self.scratch_outbox = outbox;
         if !responses.is_empty() {
-            let client = origin
-                .as_client()
-                .expect("only clients produce operation responses");
-            for resp in responses {
-                let idx = self
-                    .open_ops
-                    .remove(&client)
-                    .expect("response produced with no open operation");
-                let ops = Arc::make_mut(&mut self.ops);
-                ops[idx].responded_at = Some(self.now);
-                ops[idx].response = Some(resp);
-                let latency = self.now - self.ops[idx].invoked_at;
-                if let Some(m) = self.metrics_mut() {
-                    m.on_op_completed(latency);
-                }
+            self.record_responses(origin, &mut responses);
+        }
+        self.scratch_resp = responses;
+    }
+
+    /// Books a client's operation responses into the op log.
+    fn record_responses(&mut self, origin: NodeId, responses: &mut Vec<P::Resp>) {
+        let client = origin
+            .as_client()
+            .expect("only clients produce operation responses");
+        for resp in responses.drain(..) {
+            let idx = self
+                .open_ops
+                .remove(&client)
+                .expect("response produced with no open operation");
+            let ops = Arc::make_mut(&mut self.ops);
+            ops[idx].responded_at = Some(self.now);
+            ops[idx].response = Some(resp);
+            let latency = self.now - self.ops[idx].invoked_at;
+            if let Some(m) = self.metrics_mut() {
+                m.on_op_completed(latency);
             }
         }
     }
@@ -373,7 +621,14 @@ impl<P: Protocol> Sim<P> {
     /// adversaries that withhold messages by content (e.g. the Section 6
     /// construction withholding value-dependent messages).
     pub fn peek_head(&self, from: NodeId, to: NodeId) -> Option<&P::Msg> {
-        self.channels.get(&(from, to)).and_then(|q| q.front())
+        let t = &*self.channels;
+        let row = t.find((from, to))?;
+        let h = t.head[row];
+        if h.is_nil() {
+            None
+        } else {
+            Some(t.arena.get(h))
+        }
     }
 
     /// Enables or disables the send log. While enabled, every message
@@ -395,11 +650,13 @@ impl<P: Protocol> Sim<P> {
 
     /// Messages currently queued from `from` to `to`.
     pub fn in_flight(&self, from: NodeId, to: NodeId) -> usize {
-        self.channels.get(&(from, to)).map_or(0, |q| q.len())
+        self.channels
+            .find((from, to))
+            .map_or(0, |r| self.channels.len[r] as usize)
     }
 
     /// Total messages in flight anywhere.
     pub fn total_in_flight(&self) -> usize {
-        self.channels.values().map(|q| q.len()).sum()
+        self.channels.in_flight
     }
 }

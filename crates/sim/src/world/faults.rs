@@ -15,7 +15,13 @@
 //! relation — `step_options` skips cut links and `deliver_one` refuses
 //! them with [`RunError::LinkDown`](super::RunError::LinkDown) — until
 //! healed.
+//!
+//! Every primitive is also a digest mutation site: queue manipulations
+//! unfold the touched channel's component ([`Sim::mark_chan_dirty`]
+//! internally), and cut/heal add or subtract their eager component from
+//! the running world digest (see `state.rs`).
 
+use super::state::comp_cut;
 use super::Sim;
 use crate::config::ChannelOrder;
 use crate::ids::NodeId;
@@ -26,13 +32,18 @@ use std::sync::Arc;
 impl<P: Protocol> Sim<P> {
     /// Whether the directed link `from → to` is currently cut.
     pub fn is_cut(&self, from: NodeId, to: NodeId) -> bool {
-        self.cut_links.contains(&(from, to))
+        !self.cut_links.is_empty() && self.cut_links.contains(&(from, to))
     }
 
     /// Cuts the directed link `from → to`: queued and future messages on
     /// it are held (not lost) until [`Sim::heal_link`]. Idempotent.
     pub fn cut_link(&mut self, from: NodeId, to: NodeId) -> StepInfo {
-        self.cut_links.insert((from, to));
+        if self.cut_links.insert((from, to)) {
+            self.digest_acc = self.digest_acc.wrapping_add(comp_cut(from, to));
+            if let Some(row) = self.channels.find((from, to)) {
+                Arc::make_mut(&mut self.channels).cut[row] = true;
+            }
+        }
         self.cover(super::cover::kind::CUT, from, to, 0);
         StepInfo::LinkCut { from, to }
     }
@@ -40,7 +51,12 @@ impl<P: Protocol> Sim<P> {
     /// Restores a cut link; held messages become deliverable again in
     /// their original order. Idempotent.
     pub fn heal_link(&mut self, from: NodeId, to: NodeId) -> StepInfo {
-        self.cut_links.remove(&(from, to));
+        if self.cut_links.remove(&(from, to)) {
+            self.digest_acc = self.digest_acc.wrapping_sub(comp_cut(from, to));
+            if let Some(row) = self.channels.find((from, to)) {
+                Arc::make_mut(&mut self.channels).cut[row] = false;
+            }
+        }
         self.cover(super::cover::kind::HEAL_LINK, from, to, 0);
         StepInfo::LinkHealed { from, to }
     }
@@ -81,12 +97,12 @@ impl<P: Protocol> Sim<P> {
     /// [`RunError::NoSuchMessage`](super::RunError::NoSuchMessage) if the
     /// channel is empty or absent.
     pub fn drop_head(&mut self, from: NodeId, to: NodeId) -> Result<StepInfo, super::RunError> {
-        match self.channels.get_mut(&(from, to)) {
-            Some(q) if !q.is_empty() => {
-                Arc::make_mut(q).pop_front();
-            }
+        let row = match self.channels.find((from, to)) {
+            Some(r) if self.channels.len[r] > 0 => r,
             _ => return Err(super::RunError::NoSuchMessage { from, to }),
-        }
+        };
+        self.mark_chan_dirty(row);
+        Arc::make_mut(&mut self.channels).pop_front(row);
         if let Some(m) = self.metrics_mut() {
             m.on_dropped(from, to);
         }
@@ -108,14 +124,15 @@ impl<P: Protocol> Sim<P> {
         from: NodeId,
         to: NodeId,
     ) -> Result<StepInfo, super::RunError> {
-        match self.channels.get_mut(&(from, to)) {
-            Some(q) if !q.is_empty() => {
-                let q = Arc::make_mut(q);
-                let copy = q.front().expect("non-empty").clone();
-                q.push_back(copy);
-            }
+        let row = match self.channels.find((from, to)) {
+            Some(r) if self.channels.len[r] > 0 => r,
             _ => return Err(super::RunError::NoSuchMessage { from, to }),
-        }
+        };
+        self.mark_chan_dirty(row);
+        let now = self.now;
+        let t = Arc::make_mut(&mut self.channels);
+        let copy = t.arena.get(t.head[row]).clone();
+        t.push_back(row, copy, now);
         if let Some(m) = self.metrics_mut() {
             m.on_duplicated(from, to);
         }
@@ -138,22 +155,23 @@ impl<P: Protocol> Sim<P> {
     /// Panics under the FIFO channel model when the queue holds more than
     /// one message (the rotation would reorder deliveries).
     pub fn delay_head(&mut self, from: NodeId, to: NodeId) -> Result<StepInfo, super::RunError> {
-        match self.channels.get_mut(&(from, to)) {
-            Some(q) if !q.is_empty() => {
-                if q.len() > 1 {
-                    assert_eq!(
-                        self.config.channel_order,
-                        ChannelOrder::Any,
-                        "delaying past queued messages requires ChannelOrder::Any"
-                    );
-                    let q = Arc::make_mut(q);
-                    let head = q.pop_front().expect("non-empty");
-                    q.push_back(head);
-                }
-                self.cover(super::cover::kind::DELAY, from, to, 0);
-                Ok(StepInfo::Delayed { from, to })
-            }
-            _ => Err(super::RunError::NoSuchMessage { from, to }),
+        let row = match self.channels.find((from, to)) {
+            Some(r) if self.channels.len[r] > 0 => r,
+            _ => return Err(super::RunError::NoSuchMessage { from, to }),
+        };
+        if self.channels.len[row] > 1 {
+            assert_eq!(
+                self.config.channel_order,
+                ChannelOrder::Any,
+                "delaying past queued messages requires ChannelOrder::Any"
+            );
+            self.mark_chan_dirty(row);
+            let now = self.now;
+            let t = Arc::make_mut(&mut self.channels);
+            let head = t.pop_front(row);
+            t.push_back(row, head, now);
         }
+        self.cover(super::cover::kind::DELAY, from, to, 0);
+        Ok(StepInfo::Delayed { from, to })
     }
 }

@@ -3,9 +3,13 @@
 //!
 //! `Sim::clone` is O(nodes + channels) reference-count bumps — no node
 //! state, queued message, operation record, or meter history is copied.
-//! The first mutation of a shared piece after a fork promotes exactly that
-//! piece to an owned copy ([`std::sync::Arc::make_mut`]); everything the
-//! fork never touches stays shared for its whole life.
+//! The first *delivery* after a fork promotes the hot trio (server vector,
+//! client vector, channel table) to owned copies in one go and records the
+//! unique ownership in `hot_owned`, so steady-state stepping pays no
+//! refcount traffic at all; everything else (operation log, meter,
+//! metrics, coverage) is promoted piecewise by [`std::sync::Arc::make_mut`]
+//! on first mutation, and whatever a fork never touches stays shared for
+//! its whole life.
 //!
 //! [`Snapshot`] wraps an immutable point of an execution behind an `Arc`
 //! and memoizes its [`Sim::digest`], which walks every queued message and
@@ -20,6 +24,11 @@ use std::sync::{Arc, OnceLock};
 
 impl<P: Protocol> Clone for Sim<P> {
     fn clone(&self) -> Self {
+        // Cloning the hot `Arc`s below makes their allocations shared, so
+        // neither world may keep the unique-ownership claim; clearing the
+        // source's flag through `&self` is why it is atomic.
+        self.hot_owned
+            .store(false, std::sync::atomic::Ordering::Relaxed);
         Sim {
             config: self.config,
             servers: self.servers.clone(),
@@ -28,17 +37,32 @@ impl<P: Protocol> Clone for Sim<P> {
             failed: self.failed.clone(),
             frozen: self.frozen.clone(),
             cut_links: self.cut_links.clone(),
+            blocked: self.blocked.clone(),
+            blocked_count: self.blocked_count,
+            hot_owned: std::sync::atomic::AtomicBool::new(false),
             now: self.now,
             rr_cursor: self.rr_cursor,
             open_ops: self.open_ops.clone(),
             ops: self.ops.clone(),
             meter: self.meter.clone(),
+            // Both forks saw the pending points, so both inherit the count;
+            // each flushes into its own meter copy on next unshare.
+            meter_pending_ticks: self.meter_pending_ticks,
             metrics: self.metrics.clone(),
             metrics_level: self.metrics_level,
             coverage: self.coverage.clone(),
             coverage_on: self.coverage_on,
             send_log: self.send_log.clone(),
             traffic: self.traffic,
+            digest_acc: self.digest_acc,
+            node_comp: self.node_comp.clone(),
+            node_dirty: self.node_dirty.clone(),
+            // Scratch buffers are empty between steps; a fork starts with
+            // fresh (empty) ones rather than copying capacity.
+            scratch_outbox: Vec::new(),
+            scratch_resp: Vec::new(),
+            scratch_options: Vec::new(),
+            scratch_weighted: Vec::new(),
         }
     }
 }

@@ -200,26 +200,34 @@ fn fork_shares_state_until_first_write() {
     let mut sim = world(4, 3);
     sim.invoke(ClientId(0), 5).unwrap();
     let fork = sim.fork();
-    // Structural sharing: the fork points at the same server automata.
-    for (a, b) in sim.servers.iter().zip(&fork.servers) {
-        assert!(Arc::ptr_eq(a, b), "fork must share server state");
-    }
-    for (key, q) in &sim.channels {
-        assert!(
-            Arc::ptr_eq(q, &fork.channels[key]),
-            "fork must share channel queues"
-        );
-    }
+    // Structural sharing: the fork points at the same node vectors and
+    // channel table.
+    assert!(
+        Arc::ptr_eq(&sim.servers, &fork.servers),
+        "fork must share server state"
+    );
+    assert!(Arc::ptr_eq(&sim.clients, &fork.clients));
+    assert!(
+        Arc::ptr_eq(&sim.channels, &fork.channels),
+        "fork must share the channel table"
+    );
     assert!(Arc::ptr_eq(&sim.ops, &fork.ops));
-    // One delivery promotes the touched receiver and queue only.
+    // The first delivery claims unique ownership of the hot trio — the
+    // node vectors and the channel table are promoted to owned copies in
+    // one go, so later steps pay no refcount traffic at all...
     sim.deliver_one(NodeId::client(0), NodeId::server(1))
         .unwrap();
-    assert!(Arc::ptr_eq(&sim.servers[0], &fork.servers[0]));
     assert!(
-        !Arc::ptr_eq(&sim.servers[1], &fork.servers[1]),
-        "mutated server must be promoted to an owned copy"
+        !Arc::ptr_eq(&sim.servers, &fork.servers),
+        "mutated server vector must be promoted to an owned copy"
     );
-    assert!(Arc::ptr_eq(&sim.servers[2], &fork.servers[2]));
+    assert!(!Arc::ptr_eq(&sim.channels, &fork.channels));
+    assert!(!Arc::ptr_eq(&sim.clients, &fork.clients));
+    // ...while everything outside the hot trio stays shared, and the
+    // fork's view is bit-for-bit the pre-step world.
+    assert!(Arc::ptr_eq(&sim.ops, &fork.ops));
+    assert_eq!(fork.server(ServerId(1)).value, 0);
+    assert_eq!(sim.server(ServerId(1)).value, 5);
 }
 
 #[test]
@@ -1239,5 +1247,197 @@ mod coverage_hooks {
                 || sim.coverage_hits() != fork.coverage_hits()
                 || sim.coverage().unwrap().covered() == fork.coverage().unwrap().covered()
         );
+    }
+}
+
+mod hot_loop_properties {
+    use super::*;
+    use shmem_util::prop::prelude::*;
+    use shmem_util::DetRng;
+
+    /// Runs `steps` seeded-random steps and returns the final digest.
+    fn run_schedule(mut sim: Sim<Toy>, seed: u64, steps: usize) -> u64 {
+        let mut rng = DetRng::seed_from_u64(seed);
+        for _ in 0..steps {
+            if sim.step_with(|opts| rng.gen_range(0..opts.len())).is_none() {
+                break;
+            }
+        }
+        sim.digest()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The lazily-maintained incremental digest equals a full
+        /// recompute at every point of a random execution that mixes
+        /// invocations, deliveries, crashes, recoveries, freezes, link
+        /// cuts/heals, and head drops/duplicates — every mutation site
+        /// that touches a digest component.
+        #[test]
+        fn prop_incremental_digest_matches_full_under_faults(seed in 0u64..5000) {
+            const N: u32 = 5;
+            let mut sim = world(N, 3);
+            let mut rng = DetRng::seed_from_u64(seed ^ 0xFA17);
+            let mut value = 1u32;
+            for i in 0..120usize {
+                match rng.gen_range(0..12u32) {
+                    0 => {
+                        let c = NodeId::client(0);
+                        if !sim.has_open_op(ClientId(0))
+                            && !sim.is_failed(c)
+                            && !sim.is_frozen(c)
+                        {
+                            sim.invoke(ClientId(0), value).unwrap();
+                            value += 1;
+                        }
+                    }
+                    1 => {
+                        let s = NodeId::server(rng.gen_range(0..u64::from(N)) as u32);
+                        if !sim.is_failed(s) {
+                            sim.fail(s);
+                        }
+                    }
+                    2 => {
+                        let s = NodeId::server(rng.gen_range(0..u64::from(N)) as u32);
+                        if sim.is_failed(s) {
+                            sim.recover(s);
+                        }
+                    }
+                    3 => {
+                        let s = NodeId::server(rng.gen_range(0..u64::from(N)) as u32);
+                        if !sim.is_frozen(s) && !sim.is_failed(s) {
+                            sim.freeze(s);
+                        }
+                    }
+                    4 => {
+                        let s = NodeId::server(rng.gen_range(0..u64::from(N)) as u32);
+                        if sim.is_frozen(s) {
+                            sim.unfreeze(s);
+                        }
+                    }
+                    5 => {
+                        let s = NodeId::server(rng.gen_range(0..u64::from(N)) as u32);
+                        sim.cut_link(NodeId::client(0), s);
+                    }
+                    6 => {
+                        let s = NodeId::server(rng.gen_range(0..u64::from(N)) as u32);
+                        sim.heal_link(NodeId::client(0), s);
+                    }
+                    7 => {
+                        let opts = sim.step_options();
+                        if !opts.is_empty() {
+                            let (f, t) = opts[rng.gen_range(0..opts.len())];
+                            sim.drop_head(f, t).unwrap();
+                        }
+                    }
+                    8 => {
+                        let opts = sim.step_options();
+                        if !opts.is_empty() {
+                            let (f, t) = opts[rng.gen_range(0..opts.len())];
+                            sim.duplicate_head(f, t).unwrap();
+                        }
+                    }
+                    _ => {
+                        sim.step_with(|opts| rng.gen_range(0..opts.len()));
+                    }
+                }
+                if i % 7 == 0 {
+                    prop_assert_eq!(
+                        sim.digest(),
+                        sim.digest_full(),
+                        "incremental digest drifted after action {}",
+                        i
+                    );
+                }
+            }
+            prop_assert_eq!(sim.digest(), sim.digest_full());
+        }
+
+        /// Forking commutes with stepping: extending a fork along a
+        /// schedule digests identically to extending the original along
+        /// the same schedule — and forking *after* the steps lands on
+        /// that same digest. The batched hot-trio promotion must be
+        /// invisible at digest level.
+        #[test]
+        fn prop_fork_then_step_equals_step_then_fork(
+            seed in 0u64..5000,
+            pre_steps in 0usize..8,
+            steps in 1usize..24,
+        ) {
+            let mut base = world(4, 3);
+            base.invoke(ClientId(0), 7).unwrap();
+            for _ in 0..pre_steps {
+                if base.step_fair().is_none() {
+                    break;
+                }
+            }
+            // Fork first, then run the schedule on the fork...
+            let forked = base.fork();
+            let fork_then_step = run_schedule(forked, seed, steps);
+            // ...and run the identical schedule on the original, forking
+            // at the end.
+            let mut rng = DetRng::seed_from_u64(seed);
+            for _ in 0..steps {
+                if base
+                    .step_with(|opts| rng.gen_range(0..opts.len()))
+                    .is_none()
+                {
+                    break;
+                }
+            }
+            let step_then_fork = base.fork().digest();
+            prop_assert_eq!(fork_then_step, base.digest());
+            prop_assert_eq!(fork_then_step, step_then_fork);
+        }
+    }
+
+    /// Steady-state stepping reuses every buffer it touches: after one
+    /// warm-up operation, fifty more complete operations grow neither the
+    /// scratch buffers, nor the message arena, nor the channel table.
+    #[test]
+    fn steady_state_stepping_grows_no_allocations() {
+        let mut sim = world(5, 3);
+        // Warm-up: two full operations driven through the option-scanning
+        // schedulers prime the arena and every scratch buffer at the peak
+        // in-flight message count of this workload.
+        sim.invoke(ClientId(0), 1).unwrap();
+        while sim.step_with(|_| 0).is_some() {}
+        sim.invoke(ClientId(0), 2).unwrap();
+        while sim.step_with_reorder(|_| (0, 0)).is_some() {}
+        let outbox_cap = sim.scratch_outbox.capacity();
+        let resp_cap = sim.scratch_resp.capacity();
+        let options_cap = sim.scratch_options.capacity();
+        let weighted_cap = sim.scratch_weighted.capacity();
+        let arena_cap = sim.channels.arena.slot_capacity();
+        let rows_cap = sim.channels.keys.capacity();
+        for v in 3..53u32 {
+            sim.invoke(ClientId(0), v).unwrap();
+            // Alternate scheduler entry points so every scratch path runs.
+            loop {
+                let stepped = match v % 3 {
+                    0 => sim.step_fair().is_some(),
+                    1 => sim.step_with(|_| 0).is_some(),
+                    _ => sim.step_with_reorder(|_| (0, 0)).is_some(),
+                };
+                if !stepped {
+                    break;
+                }
+            }
+        }
+        assert_eq!(sim.scratch_outbox.capacity(), outbox_cap, "outbox grew");
+        assert_eq!(sim.scratch_resp.capacity(), resp_cap, "responses grew");
+        assert_eq!(sim.scratch_options.capacity(), options_cap, "options grew");
+        assert_eq!(
+            sim.scratch_weighted.capacity(),
+            weighted_cap,
+            "weighted options grew"
+        );
+        assert_eq!(
+            sim.channels.arena.slot_capacity(),
+            arena_cap,
+            "message arena grew"
+        );
+        assert_eq!(sim.channels.keys.capacity(), rows_cap, "channel rows grew");
     }
 }

@@ -24,6 +24,9 @@ echo "==> fuzz gate: differential + mutator properties (release)"
 cargo test --release -q --test fuzz_differential
 cargo test --release -q -p shmem-algorithms --test mutator_properties
 
+echo "==> perf smoke: step throughput vs committed baseline (release)"
+cargo run --release -q -p shmem-bench --bin perf_smoke
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run -q
 
