@@ -15,10 +15,12 @@
 //! ABD sends no server-to-server messages, so it is a member of the
 //! Theorem 4.1 (no-gossip) algorithm class.
 
+use crate::multikey::{Key, MultiInv, MultiResp, ShardMap, KEY_WIRE_BYTES, RID_WIRE_BYTES};
 use crate::reg::{RegInv, RegResp};
 use crate::tag::Tag;
 use crate::value::{Value, ValueSpec};
 use shmem_sim::{hash_of, Ctx, Node, NodeId, Protocol};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Protocol marker for ABD.
 pub struct Abd;
@@ -294,6 +296,351 @@ where
     }
 }
 
+/// Protocol marker for sharded multi-register ABD.
+///
+/// The single-register automaton generalized to a keyspace: servers hold
+/// a per-key `(tag, value)` map (sparse — an absent key reads as the
+/// initial value under [`Tag::ZERO`]), and clients run both ABD phases for
+/// a whole batch of keys at once, coalescing each round into one message
+/// per (client, server) pair. With [`ShardMap::full`] and batch size 1 the
+/// message flow is step-isomorphic to legacy [`Abd`].
+pub struct ShardedAbd;
+
+impl Protocol for ShardedAbd {
+    type Msg = ShardedAbdMsg;
+    type Inv = MultiInv;
+    type Resp = MultiResp;
+    type Server = ShardedAbdServer;
+    type Client = ShardedAbdClient;
+
+    fn msg_wire_bytes(msg: &ShardedAbdMsg) -> u64 {
+        msg.wire_bytes()
+    }
+}
+
+/// Batched ABD wire messages: the legacy repertoire with per-key payload
+/// vectors. `rid` is the per-client phase nonce, exactly as in [`AbdMsg`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardedAbdMsg {
+    /// Phase 1: ask a server for its `(tag, value)` of every listed key.
+    Query {
+        /// Phase nonce.
+        rid: u64,
+        /// The keys this server covers for the batch.
+        keys: Vec<Key>,
+    },
+    /// Server's phase-1 reply, one entry per queried key.
+    QueryResp {
+        /// Echoed nonce.
+        rid: u64,
+        /// `(key, tag, value)` for every queried key.
+        items: Vec<(Key, Tag, Value)>,
+    },
+    /// Phase 2: store every listed `(key, tag, value)`.
+    Store {
+        /// Phase nonce.
+        rid: u64,
+        /// The batch's versions for this server's keys.
+        items: Vec<(Key, Tag, Value)>,
+    },
+    /// Server's phase-2 acknowledgement, covering every key of the
+    /// [`ShardedAbdMsg::Store`] it answers.
+    StoreAck {
+        /// Echoed nonce.
+        rid: u64,
+    },
+}
+
+impl ShardedAbdMsg {
+    /// Exact serialized size: nonce plus per-entry payload. This is what
+    /// the metrics ledger charges (via [`Protocol::msg_wire_bytes`]), so
+    /// `wire_bytes` reflects the batched encoding rather than the enum's
+    /// in-memory footprint.
+    pub fn wire_bytes(&self) -> u64 {
+        const ITEM: u64 = KEY_WIRE_BYTES + Tag::WIRE_BYTES + ValueSpec::VALUE_BYTES as u64;
+        match self {
+            ShardedAbdMsg::Query { keys, .. } => {
+                RID_WIRE_BYTES + KEY_WIRE_BYTES * keys.len() as u64
+            }
+            ShardedAbdMsg::QueryResp { items, .. } | ShardedAbdMsg::Store { items, .. } => {
+                RID_WIRE_BYTES + ITEM * items.len() as u64
+            }
+            ShardedAbdMsg::StoreAck { .. } => RID_WIRE_BYTES,
+        }
+    }
+}
+
+/// A sharded ABD server: the highest-tagged `(tag, value)` per key it has
+/// been asked to store. Sparse — untouched keys cost nothing and read as
+/// `(Tag::ZERO, initial)`.
+#[derive(Clone, Debug)]
+pub struct ShardedAbdServer {
+    initial: Value,
+    spec: ValueSpec,
+    entries: BTreeMap<Key, (Tag, Value)>,
+}
+
+impl ShardedAbdServer {
+    /// A server whose every key starts at the register initial value.
+    pub fn new(initial: Value, spec: ValueSpec) -> ShardedAbdServer {
+        ShardedAbdServer {
+            initial,
+            spec,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The `(tag, value)` the server would report for `key`.
+    pub fn entry(&self, key: Key) -> (Tag, Value) {
+        self.entries
+            .get(&key)
+            .copied()
+            .unwrap_or((Tag::ZERO, self.initial))
+    }
+
+    /// Number of keys with materialized (written) state.
+    pub fn keys_held(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl<P> Node<P> for ShardedAbdServer
+where
+    P: Protocol<Msg = ShardedAbdMsg, Inv = MultiInv, Resp = MultiResp>,
+{
+    fn on_message(&mut self, from: NodeId, msg: ShardedAbdMsg, ctx: &mut Ctx<P>) {
+        match msg {
+            ShardedAbdMsg::Query { rid, keys } => {
+                let items = keys
+                    .iter()
+                    .map(|&k| {
+                        let (t, v) = self.entry(k);
+                        (k, t, v)
+                    })
+                    .collect();
+                ctx.send(from, ShardedAbdMsg::QueryResp { rid, items });
+            }
+            ShardedAbdMsg::Store { rid, items } => {
+                for (key, tag, value) in items {
+                    let cur = self.entry(key);
+                    if tag > cur.0 {
+                        self.entries.insert(key, (tag, value));
+                    }
+                }
+                ctx.send(from, ShardedAbdMsg::StoreAck { rid });
+            }
+            ShardedAbdMsg::QueryResp { .. } | ShardedAbdMsg::StoreAck { .. } => {}
+        }
+    }
+
+    fn state_bits(&self) -> f64 {
+        // One domain value per materialized key.
+        self.entries.len() as f64 * self.spec.bits
+    }
+
+    fn metadata_bits(&self) -> f64 {
+        self.entries.len() as f64 * (Tag::BITS + 64.0) // tag + key name
+    }
+
+    fn digest(&self) -> u64 {
+        hash_of(&(self.initial, &self.entries))
+    }
+}
+
+/// Which phase a sharded ABD client is in. Both phases run as *lockstep
+/// barriers*: phase 2 starts only when every key of the batch has reached
+/// its shard majority, so each phase costs exactly one message per
+/// (client, server) pair regardless of batch size.
+#[derive(Clone, Debug)]
+enum ShardedPhase {
+    Idle,
+    Query {
+        op: MultiInv,
+        /// Servers whose reply was already counted (dedup under
+        /// duplication faults).
+        heard: BTreeSet<u32>,
+        /// Per key: responses counted, highest tag, its value.
+        acc: BTreeMap<Key, (u32, Tag, Value)>,
+    },
+    Store {
+        reply: MultiResp,
+        heard: BTreeSet<u32>,
+        /// Per key: store-acks counted.
+        acks: BTreeMap<Key, u32>,
+    },
+}
+
+/// A sharded ABD client: batched writer/reader over a [`ShardMap`].
+#[derive(Clone, Debug)]
+pub struct ShardedAbdClient {
+    map: ShardMap,
+    me: u32,
+    rid: u64,
+    phase: ShardedPhase,
+}
+
+impl ShardedAbdClient {
+    /// A client for the given placement; `me` breaks tag ties.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless shard majorities are failure-minority quorums
+    /// (`replicas >= 1`; the caller picks `replicas > 2f`).
+    pub fn new(map: ShardMap, me: u32) -> ShardedAbdClient {
+        ShardedAbdClient {
+            map,
+            me,
+            rid: 0,
+            phase: ShardedPhase::Idle,
+        }
+    }
+
+    /// One coalesced round: for each server (in canonical 0..n order) the
+    /// batch keys it covers, skipping servers with none.
+    fn per_server_keys(&self, op: &MultiInv) -> Vec<(u32, Vec<Key>)> {
+        let mut out: Vec<(u32, Vec<Key>)> = Vec::new();
+        for server in 0..self.map.n() {
+            let keys: Vec<Key> = op.keys().filter(|&k| self.map.covers(server, k)).collect();
+            if !keys.is_empty() {
+                out.push((server, keys));
+            }
+        }
+        out
+    }
+}
+
+impl<P> Node<P> for ShardedAbdClient
+where
+    P: Protocol<Msg = ShardedAbdMsg, Inv = MultiInv, Resp = MultiResp>,
+{
+    fn on_invoke(&mut self, inv: MultiInv, ctx: &mut Ctx<P>) {
+        assert!(
+            matches!(self.phase, ShardedPhase::Idle),
+            "client invoked while an operation is in flight"
+        );
+        inv.assert_well_formed();
+        self.rid += 1;
+        let acc = inv.keys().map(|k| (k, (0, Tag::ZERO, 0))).collect();
+        for (server, keys) in self.per_server_keys(&inv) {
+            ctx.send(
+                NodeId::server(server),
+                ShardedAbdMsg::Query {
+                    rid: self.rid,
+                    keys,
+                },
+            );
+        }
+        self.phase = ShardedPhase::Query {
+            op: inv,
+            heard: BTreeSet::new(),
+            acc,
+        };
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: ShardedAbdMsg, ctx: &mut Ctx<P>) {
+        let server = match from.as_server() {
+            Some(s) => s.0,
+            None => return,
+        };
+        let majority = self.map.majority();
+        match (&mut self.phase, msg) {
+            (ShardedPhase::Query { heard, acc, .. }, ShardedAbdMsg::QueryResp { rid, items })
+                if rid == self.rid =>
+            {
+                if !heard.insert(server) {
+                    return; // duplicated delivery of a server's reply
+                }
+                for (key, tag, value) in items {
+                    if let Some(e) = acc.get_mut(&key) {
+                        e.0 += 1;
+                        // `>=` so the seeded (ZERO, 0) placeholder is
+                        // overwritten by a genuine ZERO-tagged initial.
+                        if tag >= e.1 {
+                            e.1 = tag;
+                            e.2 = value;
+                        }
+                    }
+                }
+                if acc.values().all(|&(count, _, _)| count >= majority) {
+                    // Barrier reached: every key has its shard majority.
+                    let ShardedPhase::Query { op, acc, .. } =
+                        std::mem::replace(&mut self.phase, ShardedPhase::Idle)
+                    else {
+                        unreachable!("matched Query above");
+                    };
+                    let mut decided: Vec<(Key, Tag, Value)> = Vec::with_capacity(op.ops.len());
+                    let mut reply = MultiResp {
+                        ops: Vec::with_capacity(op.ops.len()),
+                    };
+                    for &(key, inv) in &op.ops {
+                        let (_, max_tag, max_value) = acc[&key];
+                        let (tag, value, resp) = match inv {
+                            RegInv::Write(v) => (max_tag.successor(self.me), v, RegResp::WriteAck),
+                            RegInv::Read => (max_tag, max_value, RegResp::ReadValue(max_value)),
+                        };
+                        decided.push((key, tag, value));
+                        reply.ops.push((key, resp));
+                    }
+                    self.rid += 1;
+                    for (server, keys) in self.per_server_keys(&op) {
+                        let items = decided
+                            .iter()
+                            .filter(|&&(k, _, _)| keys.contains(&k))
+                            .copied()
+                            .collect();
+                        ctx.send(
+                            NodeId::server(server),
+                            ShardedAbdMsg::Store {
+                                rid: self.rid,
+                                items,
+                            },
+                        );
+                    }
+                    self.phase = ShardedPhase::Store {
+                        reply,
+                        heard: BTreeSet::new(),
+                        acks: op.keys().map(|k| (k, 0)).collect(),
+                    };
+                }
+            }
+            (ShardedPhase::Store { heard, acks, .. }, ShardedAbdMsg::StoreAck { rid })
+                if rid == self.rid =>
+            {
+                if !heard.insert(server) {
+                    return; // duplicated ack
+                }
+                let map = self.map;
+                for (&key, count) in acks.iter_mut() {
+                    if map.covers(server, key) {
+                        *count += 1;
+                    }
+                }
+                if acks.values().all(|&count| count >= majority) {
+                    let ShardedPhase::Store { reply, .. } =
+                        std::mem::replace(&mut self.phase, ShardedPhase::Idle)
+                    else {
+                        unreachable!("matched Store above");
+                    };
+                    self.rid += 1;
+                    ctx.respond(reply);
+                }
+            }
+            _ => {} // stale or out-of-phase message
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        let phase_tag = match &self.phase {
+            ShardedPhase::Idle => 0u8,
+            ShardedPhase::Query { .. } => 1,
+            ShardedPhase::Store { .. } => 2,
+        };
+        // BTreeMap/BTreeSet debug-print in canonical key order, so arrival
+        // order cannot distinguish digests.
+        hash_of(&(self.me, self.rid, phase_tag, format!("{:?}", self.phase)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -407,6 +754,129 @@ mod tests {
             // The read legitimately missed the in-flight write.
             assert_eq!(r1, RegResp::ReadValue(0));
         }
+    }
+
+    fn sharded(map: ShardMap, clients: u32) -> Sim<ShardedAbd> {
+        let spec = ValueSpec::from_bits(64.0);
+        Sim::new(
+            SimConfig::without_gossip(),
+            (0..map.n())
+                .map(|_| ShardedAbdServer::new(0, spec))
+                .collect(),
+            (0..clients)
+                .map(|c| ShardedAbdClient::new(map, c))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn sharded_batched_write_then_read() {
+        let mut sim = sharded(ShardMap::full(5), 2);
+        sim.invoke(ClientId(0), MultiInv::writes(&[(1, 11), (2, 22), (9, 99)]))
+            .unwrap();
+        let resp = sim.run_until_op_completes(ClientId(0)).unwrap();
+        assert_eq!(resp.ops.len(), 3);
+        assert!(resp.ops.iter().all(|(_, r)| *r == RegResp::WriteAck));
+        sim.invoke(ClientId(1), MultiInv::reads(&[2, 9, 7]))
+            .unwrap();
+        let resp = sim.run_until_op_completes(ClientId(1)).unwrap();
+        assert_eq!(resp.get(2), Some(&RegResp::ReadValue(22)));
+        assert_eq!(resp.get(9), Some(&RegResp::ReadValue(99)));
+        // Untouched key reads the initial value.
+        assert_eq!(resp.get(7), Some(&RegResp::ReadValue(0)));
+    }
+
+    #[test]
+    fn sharded_mixed_batch_and_tag_discipline() {
+        let mut sim = sharded(ShardMap::full(3), 1);
+        sim.invoke(ClientId(0), MultiInv::writes(&[(4, 40)]))
+            .unwrap();
+        sim.run_until_op_completes(ClientId(0)).unwrap();
+        // A mixed batch: overwrite key 4, read key 4's neighbor.
+        sim.invoke(
+            ClientId(0),
+            MultiInv {
+                ops: vec![(4, RegInv::Write(41)), (5, RegInv::Read)],
+            },
+        )
+        .unwrap();
+        let resp = sim.run_until_op_completes(ClientId(0)).unwrap();
+        assert_eq!(resp.get(4), Some(&RegResp::WriteAck));
+        assert_eq!(resp.get(5), Some(&RegResp::ReadValue(0)));
+        sim.run_to_quiescence().unwrap();
+        // Tags grow per key: key 4 was written twice.
+        assert_eq!(sim.server(ServerId(0)).entry(4).0.seq, 2);
+        assert_eq!(sim.server(ServerId(0)).entry(4).1, 41);
+    }
+
+    #[test]
+    fn sharded_placement_restricts_traffic_to_the_shard() {
+        // Disjoint shards on 6 servers: keys of shard 0 never touch
+        // servers 3..6.
+        let map = ShardMap::new(6, 2, 3);
+        let mut sim = sharded(map, 1);
+        let key = (0..100u64).find(|&k| map.shard_of(k) == 0).unwrap();
+        sim.invoke(ClientId(0), MultiInv::writes(&[(key, 7)]))
+            .unwrap();
+        sim.run_until_op_completes(ClientId(0)).unwrap();
+        sim.run_to_quiescence().unwrap();
+        for s in 0..3 {
+            assert_eq!(sim.server(ServerId(s)).entry(key).1, 7, "server {s}");
+        }
+        for s in 3..6 {
+            assert_eq!(sim.server(ServerId(s)).keys_held(), 0, "server {s}");
+        }
+    }
+
+    #[test]
+    fn sharded_tolerates_minority_failures_per_shard() {
+        let mut sim = sharded(ShardMap::full(5), 1);
+        sim.fail_last_servers(2);
+        sim.invoke(ClientId(0), MultiInv::writes(&[(1, 10), (2, 20)]))
+            .unwrap();
+        sim.run_until_op_completes(ClientId(0)).unwrap();
+        sim.invoke(ClientId(0), MultiInv::reads(&[1, 2])).unwrap();
+        let resp = sim.run_until_op_completes(ClientId(0)).unwrap();
+        assert_eq!(resp.get(1), Some(&RegResp::ReadValue(10)));
+        assert_eq!(resp.get(2), Some(&RegResp::ReadValue(20)));
+    }
+
+    #[test]
+    fn sharded_batch_messages_are_coalesced() {
+        // A batch of B keys on one shard costs exactly the single-key
+        // message count: 4 messages per contacted server.
+        for batch in [1usize, 4, 16] {
+            let mut sim = sharded(ShardMap::full(5), 1);
+            let pairs: Vec<(Key, Value)> = (0..batch as u64).map(|k| (k, k + 100)).collect();
+            sim.invoke(ClientId(0), MultiInv::writes(&pairs)).unwrap();
+            sim.run_until_op_completes(ClientId(0)).unwrap();
+            sim.run_to_quiescence().unwrap();
+            let t = sim.traffic();
+            assert_eq!(t.client_to_server, 10, "batch {batch}"); // query + store
+            assert_eq!(t.server_to_client, 10, "batch {batch}"); // resp + ack
+        }
+    }
+
+    #[test]
+    fn sharded_wire_bytes_scale_with_batch() {
+        let q1 = ShardedAbdMsg::Query {
+            rid: 1,
+            keys: vec![1],
+        }
+        .wire_bytes();
+        let q4 = ShardedAbdMsg::Query {
+            rid: 1,
+            keys: vec![1, 2, 3, 4],
+        }
+        .wire_bytes();
+        assert_eq!(q1, 16);
+        assert_eq!(q4, 40);
+        let s = ShardedAbdMsg::Store {
+            rid: 1,
+            items: vec![(1, Tag::new(1, 0), 7), (2, Tag::new(1, 0), 8)],
+        };
+        assert_eq!(s.wire_bytes(), 8 + 2 * 28);
+        assert_eq!(ShardedAbdMsg::StoreAck { rid: 1 }.wire_bytes(), 8);
     }
 
     #[test]

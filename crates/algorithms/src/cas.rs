@@ -21,6 +21,7 @@
 //! versions are retained, capping storage at the price of conditional
 //! liveness (reads are guaranteed only while write concurrency is `≤ δ`).
 
+use crate::multikey::{Key, MultiInv, MultiResp, ShardMap, KEY_WIRE_BYTES, RID_WIRE_BYTES};
 use crate::reg::{RegInv, RegResp};
 use crate::tag::Tag;
 use crate::value::{Value, ValueSpec};
@@ -516,6 +517,736 @@ impl Node<Cas> for CasClient {
     }
 }
 
+/// Protocol marker for sharded multi-register CAS.
+///
+/// Each shard is an independent `(replicas, f)` CAS instance: servers keep
+/// a per-key `(tag → symbol)` store plus finalize labels, and clients run
+/// the write (query → pre-write → finalize) and read (query → get) rounds
+/// for a whole batch of keys at once, one message per (client, server)
+/// pair per round. Batches must be *homogeneous* (all writes or all
+/// reads) — the two CAS flows have different round structures.
+///
+/// Unlike legacy CASGC clients, sharded reads do not restart when garbage
+/// collection races them; an undecodable key surfaces as
+/// [`RegResp::ReadFailed`] for that key alone.
+pub struct ShardedCas;
+
+impl Protocol for ShardedCas {
+    type Msg = ShardedCasMsg;
+    type Inv = MultiInv;
+    type Resp = MultiResp;
+    type Server = ShardedCasServer;
+    type Client = ShardedCasClient;
+
+    fn msg_wire_bytes(msg: &ShardedCasMsg) -> u64 {
+        msg.wire_bytes()
+    }
+}
+
+/// Static sharded-CAS parameters: a placement plus the per-shard code.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardedCasConfig {
+    /// Key → shard → server placement.
+    pub map: ShardMap,
+    /// Per-shard failure tolerance.
+    pub f: u32,
+    /// Per-shard code dimension (`replicas` total shares, `k` to decode).
+    pub k: u32,
+    /// CASGC depth, per key: keep the `δ + 1` newest finalized versions.
+    pub gc_depth: Option<u32>,
+    /// The value domain.
+    pub spec: ValueSpec,
+}
+
+impl ShardedCasConfig {
+    /// The fault-tolerant profile: `k = replicas − 2f`, the legacy CAS
+    /// dimension applied within each shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2f < replicas`.
+    pub fn native(map: ShardMap, f: u32, spec: ValueSpec) -> ShardedCasConfig {
+        let r = map.replicas();
+        assert!(2 * f < r, "CAS requires 2f < replicas, got {r}, f={f}");
+        ShardedCasConfig {
+            map,
+            f,
+            k: r - 2 * f,
+            gc_depth: None,
+            spec,
+        }
+    }
+
+    /// The storage-optimal MDS profile: `k = replicas − f`, so one
+    /// finalized version costs exactly `replicas/(replicas − f)` values —
+    /// the `ν·N/(N−f)` point of the paper's bound catalogue. The price is
+    /// conditional liveness: quorums of `⌈(2·replicas − f)/2⌉` servers
+    /// leave no slack for crashes during a round, so this profile is for
+    /// measuring the storage frontier, not for surviving faults mid-write.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `f < replicas`.
+    pub fn coded(map: ShardMap, f: u32, spec: ValueSpec) -> ShardedCasConfig {
+        let r = map.replicas();
+        assert!(f < r, "code dimension needs f < replicas, got {r}, f={f}");
+        ShardedCasConfig {
+            map,
+            f,
+            k: r - f,
+            gc_depth: None,
+            spec,
+        }
+    }
+
+    /// Enables per-key garbage collection with depth `delta`.
+    pub fn with_gc(mut self, delta: u32) -> ShardedCasConfig {
+        self.gc_depth = Some(delta);
+        self
+    }
+
+    /// Per-shard quorum `q = ⌈(replicas + k)/2⌉`.
+    pub fn quorum(&self) -> u32 {
+        (self.map.replicas() + self.k).div_ceil(2)
+    }
+
+    /// The per-shard `[replicas, k]` codec, memoized process-wide — every
+    /// shard of the geometry shares one generator and decode-plan cache.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for a validated configuration.
+    pub fn code(&self) -> Arc<Codec<Gf256>> {
+        Codec::shared(self.map.replicas() as usize, self.k as usize)
+            .expect("validated sharded-CAS parameters form a legal code")
+    }
+
+    /// Bits one codeword symbol carries: `log2|V| / k`.
+    pub fn symbol_bits(&self) -> f64 {
+        self.spec.bits / self.k as f64
+    }
+}
+
+/// Batched CAS wire messages: the legacy repertoire with per-key payload
+/// vectors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardedCasMsg {
+    /// Ask for the highest finalized tag of every listed key.
+    QueryTag {
+        /// Phase nonce.
+        rid: u64,
+        /// The keys this server covers for the batch.
+        keys: Vec<Key>,
+    },
+    /// Reply to [`ShardedCasMsg::QueryTag`].
+    QueryTagResp {
+        /// Echoed nonce.
+        rid: u64,
+        /// Highest finalized tag per queried key.
+        items: Vec<(Key, Tag)>,
+    },
+    /// Store one codeword symbol per key (the value-dependent round).
+    PreWrite {
+        /// Phase nonce.
+        rid: u64,
+        /// `(key, tag, this server's symbol)` per key.
+        items: Vec<(Key, Tag, Vec<u8>)>,
+    },
+    /// Acknowledge a pre-write batch.
+    PreAck {
+        /// Echoed nonce.
+        rid: u64,
+    },
+    /// Mark every listed `(key, tag)` finalized.
+    Finalize {
+        /// Phase nonce.
+        rid: u64,
+        /// Versions to finalize.
+        items: Vec<(Key, Tag)>,
+    },
+    /// Acknowledge a finalize batch.
+    FinAck {
+        /// Echoed nonce.
+        rid: u64,
+    },
+    /// Read request: finalize each `(key, tag)` and return held symbols.
+    ReadGet {
+        /// Phase nonce.
+        rid: u64,
+        /// The versions the reader is assembling.
+        items: Vec<(Key, Tag)>,
+    },
+    /// Reply to [`ShardedCasMsg::ReadGet`].
+    ReadResp {
+        /// Echoed nonce.
+        rid: u64,
+        /// Per key: this server's symbol for the requested tag, if held.
+        items: Vec<(Key, Option<Vec<u8>>)>,
+    },
+}
+
+impl ShardedCasMsg {
+    /// Exact serialized size: nonce plus per-entry payload (shares at
+    /// their real byte length, options at one presence byte).
+    pub fn wire_bytes(&self) -> u64 {
+        const KT: u64 = KEY_WIRE_BYTES + Tag::WIRE_BYTES;
+        match self {
+            ShardedCasMsg::QueryTag { keys, .. } => {
+                RID_WIRE_BYTES + KEY_WIRE_BYTES * keys.len() as u64
+            }
+            ShardedCasMsg::QueryTagResp { items, .. }
+            | ShardedCasMsg::Finalize { items, .. }
+            | ShardedCasMsg::ReadGet { items, .. } => RID_WIRE_BYTES + KT * items.len() as u64,
+            ShardedCasMsg::PreWrite { items, .. } => {
+                RID_WIRE_BYTES
+                    + items
+                        .iter()
+                        .map(|(_, _, share)| KT + share.len() as u64)
+                        .sum::<u64>()
+            }
+            ShardedCasMsg::ReadResp { items, .. } => {
+                RID_WIRE_BYTES
+                    + items
+                        .iter()
+                        .map(|(_, share)| {
+                            KEY_WIRE_BYTES + 1 + share.as_ref().map_or(0, |s| s.len() as u64)
+                        })
+                        .sum::<u64>()
+            }
+            ShardedCasMsg::PreAck { .. } | ShardedCasMsg::FinAck { .. } => RID_WIRE_BYTES,
+        }
+    }
+}
+
+/// Per-key server state: symbols by tag plus finalize labels.
+#[derive(Clone, Debug)]
+struct KeySlot {
+    shares: BTreeMap<Tag, Vec<u8>>,
+    finalized: BTreeSet<Tag>,
+}
+
+/// A sharded CAS server: a lazily materialized [`KeySlot`] per touched
+/// key. An untouched key logically holds its initial-value symbol under
+/// [`Tag::ZERO`] (finalized); the slot springs into existence — seeded
+/// with exactly that symbol — the first time a message names the key.
+#[derive(Clone, Debug)]
+pub struct ShardedCasServer {
+    cfg: ShardedCasConfig,
+    me: u32,
+    /// `encode(initial)[pos]` for each in-shard position, computed once.
+    initial_share_by_pos: Vec<Vec<u8>>,
+    slots: BTreeMap<Key, KeySlot>,
+}
+
+impl ShardedCasServer {
+    /// Server `index`, initialized so every key of its shards reads as the
+    /// register initial value.
+    pub fn new(cfg: ShardedCasConfig, index: ServerId, initial: Value) -> ShardedCasServer {
+        let initial_share_by_pos = cfg.code().encode_bytes(&ValueSpec::to_bytes(initial));
+        ShardedCasServer {
+            cfg,
+            me: index.0,
+            initial_share_by_pos,
+            slots: BTreeMap::new(),
+        }
+    }
+
+    fn slot(&mut self, key: Key) -> &mut KeySlot {
+        let pos = self
+            .cfg
+            .map
+            .position_for_key(self.me, key)
+            .expect("server addressed for a key outside its shards");
+        let initial = &self.initial_share_by_pos[pos as usize];
+        self.slots.entry(key).or_insert_with(|| KeySlot {
+            shares: [(Tag::ZERO, initial.clone())].into(),
+            finalized: [Tag::ZERO].into(),
+        })
+    }
+
+    fn gc(cfg: &ShardedCasConfig, slot: &mut KeySlot) {
+        let Some(delta) = cfg.gc_depth else {
+            return;
+        };
+        let keep_from = slot.finalized.iter().rev().nth(delta as usize).copied();
+        if let Some(cutoff) = keep_from {
+            slot.shares.retain(|&t, _| t >= cutoff);
+        }
+    }
+
+    /// Coded versions currently held for `key` (0 for untouched keys).
+    pub fn versions_held(&self, key: Key) -> usize {
+        self.slots.get(&key).map_or(0, |s| s.shares.len())
+    }
+
+    /// Highest finalized tag for `key`.
+    pub fn max_finalized(&self, key: Key) -> Tag {
+        self.slots
+            .get(&key)
+            .and_then(|s| s.finalized.iter().next_back().copied())
+            .unwrap_or(Tag::ZERO)
+    }
+
+    /// Number of keys with materialized state.
+    pub fn keys_held(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl<P> Node<P> for ShardedCasServer
+where
+    P: Protocol<Msg = ShardedCasMsg, Inv = MultiInv, Resp = MultiResp>,
+{
+    fn on_message(&mut self, from: NodeId, msg: ShardedCasMsg, ctx: &mut Ctx<P>) {
+        match msg {
+            ShardedCasMsg::QueryTag { rid, keys } => {
+                let items = keys.iter().map(|&k| (k, self.max_finalized(k))).collect();
+                ctx.send(from, ShardedCasMsg::QueryTagResp { rid, items });
+            }
+            ShardedCasMsg::PreWrite { rid, items } => {
+                let cfg = self.cfg.clone();
+                for (key, tag, share) in items {
+                    let slot = self.slot(key);
+                    slot.shares.entry(tag).or_insert(share);
+                    Self::gc(&cfg, slot);
+                }
+                ctx.send(from, ShardedCasMsg::PreAck { rid });
+            }
+            ShardedCasMsg::Finalize { rid, items } => {
+                let cfg = self.cfg.clone();
+                for (key, tag) in items {
+                    let slot = self.slot(key);
+                    slot.finalized.insert(tag);
+                    Self::gc(&cfg, slot);
+                }
+                ctx.send(from, ShardedCasMsg::FinAck { rid });
+            }
+            ShardedCasMsg::ReadGet { rid, items } => {
+                let cfg = self.cfg.clone();
+                let mut replies = Vec::with_capacity(items.len());
+                for (key, tag) in items {
+                    // The read's write-back: answering finalizes the tag.
+                    let slot = self.slot(key);
+                    slot.finalized.insert(tag);
+                    Self::gc(&cfg, slot);
+                    replies.push((key, slot.shares.get(&tag).cloned()));
+                }
+                ctx.send(
+                    from,
+                    ShardedCasMsg::ReadResp {
+                        rid,
+                        items: replies,
+                    },
+                );
+            }
+            ShardedCasMsg::QueryTagResp { .. }
+            | ShardedCasMsg::PreAck { .. }
+            | ShardedCasMsg::FinAck { .. }
+            | ShardedCasMsg::ReadResp { .. } => {}
+        }
+    }
+
+    fn state_bits(&self) -> f64 {
+        let versions: usize = self.slots.values().map(|s| s.shares.len()).sum();
+        versions as f64 * self.cfg.symbol_bits()
+    }
+
+    fn metadata_bits(&self) -> f64 {
+        let tags: usize = self
+            .slots
+            .values()
+            .map(|s| s.shares.len() + s.finalized.len())
+            .sum();
+        tags as f64 * Tag::BITS + self.slots.len() as f64 * 64.0 // + key names
+    }
+
+    fn digest(&self) -> u64 {
+        type SlotView<'a> = (Key, &'a BTreeMap<Tag, Vec<u8>>, &'a BTreeSet<Tag>);
+        let canonical: Vec<SlotView<'_>> = self
+            .slots
+            .iter()
+            .map(|(&k, s)| (k, &s.shares, &s.finalized))
+            .collect();
+        hash_of(&(self.me, canonical))
+    }
+}
+
+/// Which phase a sharded CAS client is in. Every phase is a lockstep
+/// barrier over all batch keys, mirroring the sharded ABD structure.
+#[derive(Clone, Debug)]
+enum ShardedCasPhase {
+    Idle,
+    /// Writer querying finalized tags. `acc`: per key, responses counted
+    /// and the highest tag seen.
+    WriteQuery {
+        op: MultiInv,
+        heard: BTreeSet<u32>,
+        acc: BTreeMap<Key, (u32, Tag)>,
+    },
+    /// Writer waiting for pre-write acks on `decided` versions.
+    PreWrite {
+        decided: Vec<(Key, Tag)>,
+        heard: BTreeSet<u32>,
+        acks: BTreeMap<Key, u32>,
+    },
+    /// Writer waiting for finalize acks.
+    Finalize {
+        decided: Vec<(Key, Tag)>,
+        heard: BTreeSet<u32>,
+        acks: BTreeMap<Key, u32>,
+    },
+    /// Reader querying finalized tags.
+    ReadQuery {
+        op: MultiInv,
+        heard: BTreeSet<u32>,
+        acc: BTreeMap<Key, (u32, Tag)>,
+    },
+    /// Reader assembling symbols: per key, responses counted and symbols
+    /// by responding server.
+    ReadGet {
+        targets: Vec<(Key, Tag)>,
+        heard: BTreeSet<u32>,
+        responses: BTreeMap<Key, u32>,
+        shares: BTreeMap<Key, BTreeMap<u32, Vec<u8>>>,
+    },
+}
+
+/// A sharded CAS client; batches must be homogeneous (all writes or all
+/// reads).
+#[derive(Clone, Debug)]
+pub struct ShardedCasClient {
+    cfg: ShardedCasConfig,
+    me: u32,
+    rid: u64,
+    phase: ShardedCasPhase,
+}
+
+impl ShardedCasClient {
+    /// A client for the given configuration; `me` breaks tag ties.
+    pub fn new(cfg: ShardedCasConfig, me: u32) -> ShardedCasClient {
+        ShardedCasClient {
+            cfg,
+            me,
+            rid: 0,
+            phase: ShardedCasPhase::Idle,
+        }
+    }
+
+    /// The batch keys each server covers, in canonical server order.
+    fn per_server_keys(map: &ShardMap, keys: &[Key]) -> Vec<(u32, Vec<Key>)> {
+        let mut out: Vec<(u32, Vec<Key>)> = Vec::new();
+        for server in 0..map.n() {
+            let mine: Vec<Key> = keys
+                .iter()
+                .copied()
+                .filter(|&k| map.covers(server, k))
+                .collect();
+            if !mine.is_empty() {
+                out.push((server, mine));
+            }
+        }
+        out
+    }
+
+    /// Sends one tagged-item round: each server gets the `(key, tag)`
+    /// pairs it covers, wrapped by `build`.
+    fn send_tagged_round(
+        &self,
+        ctx: &mut Ctx<impl Protocol<Msg = ShardedCasMsg, Inv = MultiInv, Resp = MultiResp>>,
+        decided: &[(Key, Tag)],
+        build: impl Fn(u64, Vec<(Key, Tag)>) -> ShardedCasMsg,
+    ) {
+        let keys: Vec<Key> = decided.iter().map(|&(k, _)| k).collect();
+        for (server, mine) in Self::per_server_keys(&self.cfg.map, &keys) {
+            let items = decided
+                .iter()
+                .filter(|&&(k, _)| mine.contains(&k))
+                .copied()
+                .collect();
+            ctx.send(NodeId::server(server), build(self.rid, items));
+        }
+    }
+}
+
+impl<P> Node<P> for ShardedCasClient
+where
+    P: Protocol<Msg = ShardedCasMsg, Inv = MultiInv, Resp = MultiResp>,
+{
+    fn on_invoke(&mut self, inv: MultiInv, ctx: &mut Ctx<P>) {
+        assert!(
+            matches!(self.phase, ShardedCasPhase::Idle),
+            "client invoked while an operation is in flight"
+        );
+        inv.assert_well_formed();
+        let writes = inv
+            .ops
+            .iter()
+            .filter(|(_, i)| matches!(i, RegInv::Write(_)))
+            .count();
+        assert!(
+            writes == 0 || writes == inv.ops.len(),
+            "sharded CAS batches must be homogeneous (all writes or all reads)"
+        );
+        self.rid += 1;
+        let acc: BTreeMap<Key, (u32, Tag)> = inv.keys().map(|k| (k, (0, Tag::ZERO))).collect();
+        let keys: Vec<Key> = inv.keys().collect();
+        for (server, mine) in Self::per_server_keys(&self.cfg.map, &keys) {
+            ctx.send(
+                NodeId::server(server),
+                ShardedCasMsg::QueryTag {
+                    rid: self.rid,
+                    keys: mine,
+                },
+            );
+        }
+        self.phase = if writes > 0 {
+            ShardedCasPhase::WriteQuery {
+                op: inv,
+                heard: BTreeSet::new(),
+                acc,
+            }
+        } else {
+            ShardedCasPhase::ReadQuery {
+                op: inv,
+                heard: BTreeSet::new(),
+                acc,
+            }
+        };
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: ShardedCasMsg, ctx: &mut Ctx<P>) {
+        let server = match from.as_server() {
+            Some(s) => s.0,
+            None => return,
+        };
+        let q = self.cfg.quorum();
+        match (&mut self.phase, msg) {
+            (
+                ShardedCasPhase::WriteQuery { heard, acc, .. },
+                ShardedCasMsg::QueryTagResp { rid, items },
+            ) if rid == self.rid => {
+                if !heard.insert(server) {
+                    return;
+                }
+                for (key, tag) in items {
+                    if let Some(e) = acc.get_mut(&key) {
+                        e.0 += 1;
+                        e.1 = e.1.max(tag);
+                    }
+                }
+                if acc.values().all(|&(count, _)| count >= q) {
+                    let ShardedCasPhase::WriteQuery { op, acc, .. } =
+                        std::mem::replace(&mut self.phase, ShardedCasPhase::Idle)
+                    else {
+                        unreachable!("matched WriteQuery above");
+                    };
+                    let code = self.cfg.code();
+                    let map = self.cfg.map;
+                    let mut decided: Vec<(Key, Tag)> = Vec::with_capacity(op.ops.len());
+                    let mut shares_by_key: BTreeMap<Key, Vec<Vec<u8>>> = BTreeMap::new();
+                    for &(key, inv) in &op.ops {
+                        let RegInv::Write(value) = inv else {
+                            unreachable!("write batches are homogeneous");
+                        };
+                        let tag = acc[&key].1.successor(self.me);
+                        decided.push((key, tag));
+                        shares_by_key.insert(key, code.encode_bytes(&ValueSpec::to_bytes(value)));
+                    }
+                    self.rid += 1;
+                    let keys: Vec<Key> = decided.iter().map(|&(k, _)| k).collect();
+                    for (server, mine) in Self::per_server_keys(&map, &keys) {
+                        let items = decided
+                            .iter()
+                            .filter(|&&(k, _)| mine.contains(&k))
+                            .map(|&(k, t)| {
+                                let pos = map
+                                    .position_for_key(server, k)
+                                    .expect("per_server_keys only lists covered keys");
+                                (k, t, shares_by_key[&k][pos as usize].clone())
+                            })
+                            .collect();
+                        ctx.send(
+                            NodeId::server(server),
+                            ShardedCasMsg::PreWrite {
+                                rid: self.rid,
+                                items,
+                            },
+                        );
+                    }
+                    let acks = decided.iter().map(|&(k, _)| (k, 0)).collect();
+                    self.phase = ShardedCasPhase::PreWrite {
+                        decided,
+                        heard: BTreeSet::new(),
+                        acks,
+                    };
+                }
+            }
+            (ShardedCasPhase::PreWrite { heard, acks, .. }, ShardedCasMsg::PreAck { rid })
+                if rid == self.rid =>
+            {
+                if !heard.insert(server) {
+                    return;
+                }
+                let map = self.cfg.map;
+                for (&key, count) in acks.iter_mut() {
+                    if map.covers(server, key) {
+                        *count += 1;
+                    }
+                }
+                if acks.values().all(|&count| count >= q) {
+                    let ShardedCasPhase::PreWrite { decided, .. } =
+                        std::mem::replace(&mut self.phase, ShardedCasPhase::Idle)
+                    else {
+                        unreachable!("matched PreWrite above");
+                    };
+                    self.rid += 1;
+                    self.send_tagged_round(ctx, &decided, |rid, items| ShardedCasMsg::Finalize {
+                        rid,
+                        items,
+                    });
+                    let acks = decided.iter().map(|&(k, _)| (k, 0)).collect();
+                    self.phase = ShardedCasPhase::Finalize {
+                        decided,
+                        heard: BTreeSet::new(),
+                        acks,
+                    };
+                }
+            }
+            (ShardedCasPhase::Finalize { heard, acks, .. }, ShardedCasMsg::FinAck { rid })
+                if rid == self.rid =>
+            {
+                if !heard.insert(server) {
+                    return;
+                }
+                let map = self.cfg.map;
+                for (&key, count) in acks.iter_mut() {
+                    if map.covers(server, key) {
+                        *count += 1;
+                    }
+                }
+                if acks.values().all(|&count| count >= q) {
+                    let ShardedCasPhase::Finalize { decided, .. } =
+                        std::mem::replace(&mut self.phase, ShardedCasPhase::Idle)
+                    else {
+                        unreachable!("matched Finalize above");
+                    };
+                    self.rid += 1;
+                    ctx.respond(MultiResp {
+                        ops: decided
+                            .iter()
+                            .map(|&(k, _)| (k, RegResp::WriteAck))
+                            .collect(),
+                    });
+                }
+            }
+            (
+                ShardedCasPhase::ReadQuery { heard, acc, .. },
+                ShardedCasMsg::QueryTagResp { rid, items },
+            ) if rid == self.rid => {
+                if !heard.insert(server) {
+                    return;
+                }
+                for (key, tag) in items {
+                    if let Some(e) = acc.get_mut(&key) {
+                        e.0 += 1;
+                        e.1 = e.1.max(tag);
+                    }
+                }
+                if acc.values().all(|&(count, _)| count >= q) {
+                    let ShardedCasPhase::ReadQuery { op, acc, .. } =
+                        std::mem::replace(&mut self.phase, ShardedCasPhase::Idle)
+                    else {
+                        unreachable!("matched ReadQuery above");
+                    };
+                    let targets: Vec<(Key, Tag)> = op.keys().map(|k| (k, acc[&k].1)).collect();
+                    self.rid += 1;
+                    self.send_tagged_round(ctx, &targets, |rid, items| ShardedCasMsg::ReadGet {
+                        rid,
+                        items,
+                    });
+                    let responses = targets.iter().map(|&(k, _)| (k, 0)).collect();
+                    let shares = targets.iter().map(|&(k, _)| (k, BTreeMap::new())).collect();
+                    self.phase = ShardedCasPhase::ReadGet {
+                        targets,
+                        heard: BTreeSet::new(),
+                        responses,
+                        shares,
+                    };
+                }
+            }
+            (
+                ShardedCasPhase::ReadGet {
+                    heard,
+                    responses,
+                    shares,
+                    ..
+                },
+                ShardedCasMsg::ReadResp { rid, items },
+            ) if rid == self.rid => {
+                if !heard.insert(server) {
+                    return;
+                }
+                for (key, share) in items {
+                    if let Some(count) = responses.get_mut(&key) {
+                        *count += 1;
+                    }
+                    if let (Some(by_server), Some(s)) = (shares.get_mut(&key), share) {
+                        by_server.insert(server, s);
+                    }
+                }
+                if responses.values().all(|&count| count >= q) {
+                    let ShardedCasPhase::ReadGet {
+                        targets, shares, ..
+                    } = std::mem::replace(&mut self.phase, ShardedCasPhase::Idle)
+                    else {
+                        unreachable!("matched ReadGet above");
+                    };
+                    let code = self.cfg.code();
+                    let map = self.cfg.map;
+                    let k_dim = self.cfg.k as usize;
+                    self.rid += 1;
+                    let ops = targets
+                        .iter()
+                        .map(|&(key, _)| {
+                            let picked: Vec<(usize, Vec<u8>)> = shares[&key]
+                                .iter()
+                                .take(k_dim)
+                                .map(|(&s, share)| {
+                                    let pos = map
+                                        .position_for_key(s, key)
+                                        .expect("only covering servers answer");
+                                    (pos as usize, share.clone())
+                                })
+                                .collect();
+                            let resp = match code.decode_bytes(&picked, ValueSpec::VALUE_BYTES) {
+                                Ok(bytes) => RegResp::ReadValue(ValueSpec::from_bytes(&bytes)),
+                                // Symbols collected under us (GC race) or
+                                // corrupted: fail this key's read alone.
+                                Err(e) => RegResp::ReadFailed(e),
+                            };
+                            (key, resp)
+                        })
+                        .collect();
+                    ctx.respond(MultiResp { ops });
+                }
+            }
+            _ => {} // stale or out-of-phase message
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        let phase_tag = match &self.phase {
+            ShardedCasPhase::Idle => 0u8,
+            ShardedCasPhase::WriteQuery { .. } => 1,
+            ShardedCasPhase::PreWrite { .. } => 2,
+            ShardedCasPhase::Finalize { .. } => 3,
+            ShardedCasPhase::ReadQuery { .. } => 4,
+            ShardedCasPhase::ReadGet { .. } => 5,
+        };
+        hash_of(&(self.me, self.rid, phase_tag, format!("{:?}", self.phase)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -685,5 +1416,191 @@ mod tests {
         // k = 5: peak is at most 2 versions * 9 servers * 64/5 bits.
         assert!(total <= 2.0 * 9.0 * 64.0 / 5.0 + 1e-9, "total={total}");
         assert!(total < 9.0 * 64.0, "coded beats replication: {total}");
+    }
+
+    fn sharded(cfg: &ShardedCasConfig, clients: u32) -> Sim<ShardedCas> {
+        Sim::new(
+            SimConfig::without_gossip(),
+            (0..cfg.map.n())
+                .map(|i| ShardedCasServer::new(cfg.clone(), ServerId(i), 0))
+                .collect(),
+            (0..clients)
+                .map(|c| ShardedCasClient::new(cfg.clone(), c))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn sharded_config_arithmetic() {
+        let map = ShardMap::new(6, 2, 3);
+        let spec = ValueSpec::from_bits(64.0);
+        let native = ShardedCasConfig::native(map, 1, spec);
+        assert_eq!(native.k, 1);
+        assert_eq!(native.quorum(), 2);
+        let coded = ShardedCasConfig::coded(map, 1, spec);
+        assert_eq!(coded.k, 2);
+        assert_eq!(coded.quorum(), 3);
+        assert!((coded.symbol_bits() - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharded_batched_write_then_read() {
+        let map = ShardMap::new(6, 2, 3);
+        let cfg = ShardedCasConfig::native(map, 1, ValueSpec::from_bits(64.0));
+        let mut sim = sharded(&cfg, 2);
+        let keys: Vec<Key> = (0..10).collect();
+        let writes: Vec<(Key, Value)> = keys.iter().map(|&k| (k, 500 + k as Value)).collect();
+        sim.invoke(ClientId(0), MultiInv::writes(&writes)).unwrap();
+        let resp = sim.run_until_op_completes(ClientId(0)).unwrap();
+        assert!(resp.ops.iter().all(|(_, r)| *r == RegResp::WriteAck));
+        sim.invoke(ClientId(1), MultiInv::reads(&keys)).unwrap();
+        let resp = sim.run_until_op_completes(ClientId(1)).unwrap();
+        for &k in &keys {
+            assert_eq!(resp.get(k), Some(&RegResp::ReadValue(500 + k as Value)));
+        }
+    }
+
+    #[test]
+    fn sharded_unwritten_keys_read_initial() {
+        let map = ShardMap::full(5);
+        let cfg = ShardedCasConfig::native(map, 1, ValueSpec::from_bits(64.0));
+        let mut sim = sharded(&cfg, 1);
+        sim.invoke(ClientId(0), MultiInv::reads(&[3, 77, 12345]))
+            .unwrap();
+        let resp = sim.run_until_op_completes(ClientId(0)).unwrap();
+        for &k in &[3u64, 77, 12345] {
+            assert_eq!(resp.get(k), Some(&RegResp::ReadValue(0)), "key {k}");
+        }
+    }
+
+    #[test]
+    fn sharded_rounds_are_coalesced() {
+        // A write batch of B keys on one shard costs exactly the
+        // single-key message count: 6 messages per contacted server
+        // (query/pre-write/finalize, each with a reply).
+        for batch in [1u64, 4, 16] {
+            let map = ShardMap::full(5);
+            let cfg = ShardedCasConfig::native(map, 1, ValueSpec::from_bits(64.0));
+            let mut sim = sharded(&cfg, 1);
+            let writes: Vec<(Key, Value)> = (0..batch).map(|k| (k, k + 9)).collect();
+            sim.invoke(ClientId(0), MultiInv::writes(&writes)).unwrap();
+            sim.run_until_op_completes(ClientId(0)).unwrap();
+            sim.run_to_quiescence().unwrap();
+            let t = sim.traffic();
+            assert_eq!(t.client_to_server, 15, "batch {batch}");
+            assert_eq!(t.server_to_client, 15, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn sharded_gc_caps_versions_per_key() {
+        let map = ShardMap::full(3);
+        let cfg = ShardedCasConfig::native(map, 1, ValueSpec::from_bits(64.0)).with_gc(0);
+        let mut sim = sharded(&cfg, 1);
+        for round in 0..5 {
+            sim.invoke(ClientId(0), MultiInv::writes(&[(1, round), (2, round)]))
+                .unwrap();
+            sim.run_until_op_completes(ClientId(0)).unwrap();
+        }
+        sim.run_to_quiescence().unwrap();
+        for s in 0..3 {
+            let server = sim.server(ServerId(s));
+            // δ = 0: only the newest finalized version survives per key.
+            assert!(server.versions_held(1) <= 1, "server {s}");
+            assert!(server.versions_held(2) <= 1, "server {s}");
+            assert_eq!(server.max_finalized(1).seq, 5);
+        }
+    }
+
+    #[test]
+    fn sharded_coded_profile_storage_matches_mds_point() {
+        // k = replicas − f with GC depth 0: steady-state total storage per
+        // key is replicas · |v|/k = |v| · N/(N−f) — the ErasureCoded bound.
+        let map = ShardMap::full(5);
+        let cfg = ShardedCasConfig::coded(map, 1, ValueSpec::from_bits(64.0)).with_gc(0);
+        assert_eq!(cfg.k, 4);
+        let mut sim = sharded(&cfg, 1);
+        sim.invoke(ClientId(0), MultiInv::writes(&[(1, 11), (2, 22)]))
+            .unwrap();
+        sim.run_until_op_completes(ClientId(0)).unwrap();
+        sim.run_to_quiescence().unwrap();
+        let total: f64 = (0..5)
+            .map(|s| Node::<ShardedCas>::state_bits(sim.server(ServerId(s))))
+            .sum();
+        let per_key = 64.0 * 5.0 / 4.0; // ν·N/(N−f) at ν = 1
+        assert!((total - 2.0 * per_key).abs() < 1e-9, "total={total}");
+    }
+
+    #[test]
+    fn sharded_wire_bytes_count_payload() {
+        let m = ShardedCasMsg::QueryTag {
+            rid: 1,
+            keys: vec![1, 2],
+        };
+        assert_eq!(m.wire_bytes(), 8 + 2 * 8);
+        let m = ShardedCasMsg::PreWrite {
+            rid: 1,
+            items: vec![
+                (1, Tag::new(1, 0), vec![0; 2]),
+                (2, Tag::new(1, 0), vec![0; 2]),
+            ],
+        };
+        assert_eq!(m.wire_bytes(), 8 + 2 * (8 + 12 + 2));
+        let m = ShardedCasMsg::ReadResp {
+            rid: 1,
+            items: vec![(1, Some(vec![0; 2])), (2, None)],
+        };
+        assert_eq!(m.wire_bytes(), 8 + (8 + 1 + 2) + (8 + 1));
+        assert_eq!(ShardedCasMsg::FinAck { rid: 1 }.wire_bytes(), 8);
+    }
+
+    #[test]
+    fn sharded_tolerates_f_failures_per_shard_native() {
+        let map = ShardMap::new(6, 2, 3);
+        let cfg = ShardedCasConfig::native(map, 1, ValueSpec::from_bits(64.0));
+        let mut sim = sharded(&cfg, 2);
+        // Crash one server in each shard: {0,1,2} loses 2, {3,4,5} loses 5.
+        sim.fail(shmem_sim::NodeId::server(2));
+        sim.fail(shmem_sim::NodeId::server(5));
+        let keys: Vec<Key> = (0..8).collect();
+        let writes: Vec<(Key, Value)> = keys.iter().map(|&k| (k, k as Value + 1)).collect();
+        sim.invoke(ClientId(0), MultiInv::writes(&writes)).unwrap();
+        sim.run_until_op_completes(ClientId(0)).unwrap();
+        sim.invoke(ClientId(1), MultiInv::reads(&keys)).unwrap();
+        let resp = sim.run_until_op_completes(ClientId(1)).unwrap();
+        for &k in &keys {
+            assert_eq!(resp.get(k), Some(&RegResp::ReadValue(k as Value + 1)));
+        }
+    }
+
+    #[test]
+    fn sharded_projected_histories_atomic() {
+        use shmem_util::DetRng;
+        let map = ShardMap::new(6, 2, 3);
+        let cfg = ShardedCasConfig::native(map, 1, ValueSpec::from_bits(64.0));
+        for seed in 0..4 {
+            let mut sim = sharded(&cfg, 3);
+            let mut rng = DetRng::seed_from_u64(seed);
+            for round in 0..3u64 {
+                sim.invoke(
+                    ClientId(0),
+                    MultiInv::writes(&[(1, round * 10), (2, round * 10 + 1)]),
+                )
+                .unwrap();
+                sim.invoke(ClientId(1), MultiInv::writes(&[(1, round * 10 + 5)]))
+                    .unwrap();
+                sim.invoke(ClientId(2), MultiInv::reads(&[1, 2])).unwrap();
+                while (0..3).any(|c| sim.has_open_op(ClientId(c))) {
+                    sim.step_with(|opts| rng.gen_range(0..opts.len()))
+                        .expect("progress");
+                }
+            }
+            for (key, h) in crate::multikey::project_histories(0, sim.ops()) {
+                assert!(
+                    shmem_spec::check_atomic(&h).is_ok(),
+                    "seed {seed}, key {key}: non-atomic projection"
+                );
+            }
+        }
     }
 }

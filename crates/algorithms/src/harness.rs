@@ -1,16 +1,59 @@
 //! Cluster harnesses: build worlds, drive workloads, extract histories.
 
-use crate::abd::{Abd, AbdClient, AbdServer};
+use crate::abd::{Abd, AbdClient, AbdServer, ShardedAbd, ShardedAbdClient, ShardedAbdServer};
 use crate::abd_gossip::{AbdGossip, GossipServer};
-use crate::cas::{Cas, CasClient, CasConfig, CasServer};
-use crate::hashed::{HashedCas, HashedClient, HashedServer};
+use crate::cas::{
+    Cas, CasClient, CasConfig, CasServer, ShardedCas, ShardedCasClient, ShardedCasConfig,
+    ShardedCasServer,
+};
+use crate::hashed::{
+    HashedCas, HashedClient, HashedServer, ShardedHashed, ShardedHashedClient, ShardedHashedServer,
+};
 use crate::lossy::{Lossy, LossyServer};
+use crate::multikey::{project_histories, Key, MultiInv, MultiResp, ShardMap};
 use crate::nowriteback::{NoWriteBack, NwbClient};
 use crate::reg::{RegInv, RegResp};
 use crate::value::{Value, ValueSpec};
+use shmem_erasure::{Codec, Gf256};
 use shmem_sim::{ClientId, Protocol, RunError, ServerId, Sim, SimConfig, StorageSnapshot};
 use shmem_spec::history::{History, OpKind};
+use shmem_util::json::Json;
 use shmem_util::DetRng;
+use std::collections::BTreeMap;
+
+/// Appends a `"codecs"` section to a metrics JSON document: one entry per
+/// erasure-code geometry the cluster uses, with the [`Codec::shared`]
+/// decode-plan LRU counters. The counters are process-wide per geometry
+/// (the registry memoizes codecs), which is exactly the cache whose
+/// effectiveness the export is meant to surface.
+fn append_codecs_section(doc: &mut Json, geometries: &[(u32, u32)]) {
+    let codecs = Json::Arr(
+        geometries
+            .iter()
+            .map(|&(n, k)| {
+                let stats = Codec::<Gf256>::shared(n as usize, k as usize)
+                    .expect("cluster geometries are validated at construction")
+                    .stats();
+                Json::Obj(vec![
+                    ("n".to_string(), Json::Num(f64::from(n))),
+                    ("k".to_string(), Json::Num(f64::from(k))),
+                    (
+                        "decode_plan_hits".to_string(),
+                        Json::Num(stats.decode_plan_hits as f64),
+                    ),
+                    (
+                        "decode_plan_misses".to_string(),
+                        Json::Num(stats.decode_plan_misses as f64),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    match doc {
+        Json::Obj(fields) => fields.push(("codecs".to_string(), codecs)),
+        _ => unreachable!("metrics export is an object"),
+    }
+}
 
 /// A running register cluster of any protocol with the uniform
 /// [`RegInv`]/[`RegResp`] interface.
@@ -31,6 +74,10 @@ pub struct Cluster<P: Protocol<Inv = RegInv, Resp = RegResp>> {
     pub sim: Sim<P>,
     initial: Value,
     f: u32,
+    /// Erasure-code geometries `(n, k)` this cluster decodes with — the
+    /// codecs whose plan-cache stats `metrics_json` reports (empty for
+    /// replication-only protocols).
+    codec_geometries: Vec<(u32, u32)>,
 }
 
 /// ABD cluster alias.
@@ -72,9 +119,18 @@ impl<P: Protocol<Inv = RegInv, Resp = RegResp>> Cluster<P> {
         self.sim.metrics()
     }
 
-    /// Deterministic JSON export of the metrics registry plus live gauges.
+    /// Deterministic JSON export of the metrics registry plus live gauges
+    /// and the decode-plan cache counters of every codec geometry in use.
     pub fn metrics_json(&self) -> shmem_util::json::Json {
-        self.sim.metrics_json()
+        let mut doc = self.sim.metrics_json();
+        append_codecs_section(&mut doc, &self.codec_geometries);
+        doc
+    }
+
+    /// The erasure-code geometries `(n, k)` this cluster reports codec
+    /// stats for.
+    pub fn codec_geometries(&self) -> &[(u32, u32)] {
+        &self.codec_geometries
     }
 
     /// Completes a full write at `client`, running the world fairly.
@@ -231,6 +287,7 @@ impl AbdCluster {
             ),
             initial: 0,
             f,
+            codec_geometries: Vec::new(),
         }
     }
 
@@ -255,6 +312,7 @@ impl AbdCluster {
             ),
             initial,
             f,
+            codec_geometries: Vec::new(),
         }
     }
 }
@@ -277,6 +335,7 @@ impl CasCluster {
             ),
             initial,
             f: cfg.f,
+            codec_geometries: vec![(cfg.n, cfg.k)],
         }
     }
 
@@ -315,6 +374,7 @@ impl CasCluster {
             ),
             initial: 0,
             f,
+            codec_geometries: vec![(cfg.n, cfg.k)],
         }
     }
 }
@@ -335,6 +395,7 @@ impl GossipCluster {
             ),
             initial: 0,
             f,
+            codec_geometries: Vec::new(),
         }
     }
 }
@@ -352,6 +413,7 @@ impl LossyCluster {
             ),
             initial: 0,
             f,
+            codec_geometries: Vec::new(),
         }
     }
 }
@@ -385,6 +447,7 @@ impl LossyCluster {
             ),
             initial: 0,
             f,
+            codec_geometries: Vec::new(),
         }
     }
 }
@@ -407,6 +470,7 @@ impl NwbCluster {
             ),
             initial: 0,
             f,
+            codec_geometries: Vec::new(),
         }
     }
 }
@@ -429,6 +493,256 @@ impl HashedCluster {
             ),
             initial: 0,
             f,
+            codec_geometries: vec![(cfg.n, cfg.k)],
+        }
+    }
+}
+
+/// A running sharded multi-register cluster of any protocol with the
+/// batched [`MultiInv`]/[`MultiResp`] interface.
+///
+/// # Examples
+///
+/// ```
+/// use shmem_algorithms::harness::ShardedAbdCluster;
+/// use shmem_algorithms::{RegResp, ShardMap};
+///
+/// let map = ShardMap::new(6, 2, 3);
+/// let mut c = ShardedAbdCluster::new(map, 1, 2, shmem_algorithms::ValueSpec::from_bits(64.0));
+/// c.write_batch(0, &[(1, 11), (2, 22)])?;
+/// let got = c.read_batch(1, &[1, 2])?;
+/// assert_eq!(got.get(1), Some(&RegResp::ReadValue(11)));
+/// # Ok::<(), shmem_sim::RunError>(())
+/// ```
+pub struct MultiCluster<P: Protocol<Inv = MultiInv, Resp = MultiResp>> {
+    /// The underlying simulated world, exposed for adversary control.
+    pub sim: Sim<P>,
+    initial: Value,
+    map: ShardMap,
+    f: u32,
+    codec_geometries: Vec<(u32, u32)>,
+}
+
+/// Sharded multi-register ABD cluster alias.
+pub type ShardedAbdCluster = MultiCluster<ShardedAbd>;
+/// Sharded multi-register CAS cluster alias.
+pub type ShardedCasCluster = MultiCluster<ShardedCas>;
+/// Sharded multi-register hashed-CAS cluster alias.
+pub type ShardedHashedCluster = MultiCluster<ShardedHashed>;
+
+impl<P: Protocol<Inv = MultiInv, Resp = MultiResp>> MultiCluster<P> {
+    /// The per-shard failure budget the cluster was built for.
+    pub fn f(&self) -> u32 {
+        self.f
+    }
+
+    /// Every register's initial value.
+    pub fn initial(&self) -> Value {
+        self.initial
+    }
+
+    /// The key → shard → server placement.
+    pub fn map(&self) -> ShardMap {
+        self.map
+    }
+
+    /// Turns on full metering and returns the cluster — chainable after
+    /// any constructor.
+    #[must_use]
+    pub fn metered(mut self) -> Self {
+        self.sim.set_metrics(shmem_sim::MetricsLevel::Full);
+        self
+    }
+
+    /// The cluster's metrics registry.
+    pub fn metrics(&self) -> &shmem_sim::MetricsRegistry {
+        self.sim.metrics()
+    }
+
+    /// Deterministic JSON export of the metrics registry plus live gauges
+    /// and the decode-plan cache counters of every codec geometry in use.
+    pub fn metrics_json(&self) -> shmem_util::json::Json {
+        let mut doc = self.sim.metrics_json();
+        append_codecs_section(&mut doc, &self.codec_geometries);
+        doc
+    }
+
+    /// The erasure-code geometries `(n, k)` this cluster reports codec
+    /// stats for.
+    pub fn codec_geometries(&self) -> &[(u32, u32)] {
+        &self.codec_geometries
+    }
+
+    /// Completes a batched write at `client`, running the world fairly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn write_batch(&mut self, client: u32, pairs: &[(Key, Value)]) -> Result<(), RunError> {
+        self.sim.invoke(ClientId(client), MultiInv::writes(pairs))?;
+        self.sim.run_until_op_completes(ClientId(client))?;
+        Ok(())
+    }
+
+    /// Completes a batched read at `client`, returning per-key outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn read_batch(&mut self, client: u32, keys: &[Key]) -> Result<MultiResp, RunError> {
+        self.sim.invoke(ClientId(client), MultiInv::reads(keys))?;
+        self.sim.run_until_op_completes(ClientId(client))
+    }
+
+    /// Starts a batched operation without running it — for concurrent
+    /// workloads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn begin(&mut self, client: u32, inv: MultiInv) -> Result<(), RunError> {
+        self.sim.invoke(ClientId(client), inv)
+    }
+
+    /// Runs the world under a seeded random schedule until quiescence.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::StepLimit`] if the protocol livelocks.
+    pub fn run_seeded(&mut self, seed: u64) -> Result<u64, RunError> {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut steps = 0u64;
+        let limit = self.sim.config().step_limit;
+        while self
+            .sim
+            .step_with(|opts| rng.gen_range(0..opts.len()))
+            .is_some()
+        {
+            steps += 1;
+            if steps > limit {
+                return Err(RunError::StepLimit { steps: limit });
+            }
+        }
+        Ok(steps)
+    }
+
+    /// Runs the world fairly until quiescence.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::StepLimit`] if the protocol livelocks.
+    pub fn run_fair(&mut self) -> Result<u64, RunError> {
+        self.sim.run_to_quiescence()
+    }
+
+    /// The execution projected into one single-register history per key —
+    /// feed each to the unmodified `shmem-spec` checkers.
+    pub fn histories(&self) -> BTreeMap<Key, History<Value>> {
+        project_histories(self.initial, self.sim.ops())
+    }
+
+    /// Measured storage peaks.
+    pub fn storage(&self) -> StorageSnapshot {
+        self.sim.storage()
+    }
+}
+
+impl ShardedAbdCluster {
+    /// A sharded ABD cluster over `map`, tolerating `f` failures per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2f < replicas` (each shard needs a failure-minority
+    /// majority quorum).
+    pub fn new(map: ShardMap, f: u32, clients: u32, spec: ValueSpec) -> ShardedAbdCluster {
+        assert!(
+            2 * f < map.replicas(),
+            "sharded ABD requires 2f < replicas per shard"
+        );
+        MultiCluster {
+            sim: Sim::new(
+                SimConfig::without_gossip(),
+                (0..map.n())
+                    .map(|_| ShardedAbdServer::new(0, spec))
+                    .collect(),
+                (0..clients)
+                    .map(|c| ShardedAbdClient::new(map, c))
+                    .collect(),
+            ),
+            initial: 0,
+            map,
+            f,
+            codec_geometries: Vec::new(),
+        }
+    }
+}
+
+impl ShardedCasCluster {
+    /// A sharded CAS cluster from a validated [`ShardedCasConfig`].
+    pub fn from_config(cfg: ShardedCasConfig, clients: u32) -> ShardedCasCluster {
+        let map = cfg.map;
+        let geometry = (map.replicas(), cfg.k);
+        MultiCluster {
+            sim: Sim::new(
+                SimConfig::without_gossip(),
+                (0..map.n())
+                    .map(|i| ShardedCasServer::new(cfg.clone(), ServerId(i), 0))
+                    .collect(),
+                (0..clients)
+                    .map(|c| ShardedCasClient::new(cfg.clone(), c))
+                    .collect(),
+            ),
+            initial: 0,
+            map,
+            f: cfg.f,
+            codec_geometries: vec![geometry],
+        }
+    }
+
+    /// Sharded CAS with the native per-shard `k = replicas − 2f` code.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2f < replicas`.
+    pub fn new(map: ShardMap, f: u32, clients: u32, spec: ValueSpec) -> ShardedCasCluster {
+        Self::from_config(ShardedCasConfig::native(map, f, spec), clients)
+    }
+
+    /// Sharded CAS with the storage-optimal `k = replicas − f` MDS code —
+    /// the profile whose per-key storage sits exactly on the `ν·N/(N−f)`
+    /// bound (conditional liveness; see [`ShardedCasConfig::coded`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `f < replicas`.
+    pub fn coded(map: ShardMap, f: u32, clients: u32, spec: ValueSpec) -> ShardedCasCluster {
+        Self::from_config(ShardedCasConfig::coded(map, f, spec), clients)
+    }
+}
+
+impl ShardedHashedCluster {
+    /// A sharded hashed-CAS cluster with the native per-shard code.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2f < replicas`.
+    pub fn new(map: ShardMap, f: u32, clients: u32, spec: ValueSpec) -> ShardedHashedCluster {
+        let cfg = ShardedCasConfig::native(map, f, spec);
+        let geometry = (map.replicas(), cfg.k);
+        MultiCluster {
+            sim: Sim::new(
+                SimConfig::without_gossip(),
+                (0..map.n())
+                    .map(|i| ShardedHashedServer::new(cfg.clone(), ServerId(i), 0))
+                    .collect(),
+                (0..clients)
+                    .map(|c| ShardedHashedClient::new(cfg.clone(), c))
+                    .collect(),
+            ),
+            initial: 0,
+            map,
+            f: cfg.f,
+            codec_geometries: vec![geometry],
         }
     }
 }

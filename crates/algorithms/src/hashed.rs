@@ -17,7 +17,11 @@
 //! finalize. The Assumption 3(b) checker in `shmem-core` detects its two
 //! value-dependent phases.
 
-use crate::cas::{CasConfig, CasMsg, CasServer};
+use crate::cas::{
+    CasConfig, CasMsg, CasServer, ShardedCas, ShardedCasClient, ShardedCasConfig, ShardedCasMsg,
+    ShardedCasServer,
+};
+use crate::multikey::{Key, MultiInv, MultiResp, KEY_WIRE_BYTES, RID_WIRE_BYTES};
 use crate::reg::{RegInv, RegResp};
 use crate::tag::Tag;
 use crate::value::{Value, ValueSpec};
@@ -359,9 +363,296 @@ impl Node<HashedCas> for HashedClient {
     }
 }
 
+/// Protocol marker for sharded, batched hashed CAS.
+///
+/// The multi-key analogue of [`HashedCas`]: the underlying rounds are
+/// [`ShardedCas`]'s, and every write batch gets one extra batched
+/// hash-announcement round between tag query and pre-write — still one
+/// message per (client, server) pair, carrying `(key, tag, h(v))` for
+/// every covered key.
+pub struct ShardedHashed;
+
+impl Protocol for ShardedHashed {
+    type Msg = ShardedHashedMsg;
+    type Inv = MultiInv;
+    type Resp = MultiResp;
+    type Server = ShardedHashedServer;
+    type Client = ShardedHashedClient;
+
+    fn msg_wire_bytes(msg: &ShardedHashedMsg) -> u64 {
+        msg.wire_bytes()
+    }
+}
+
+/// Batched hashed-CAS wire messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardedHashedMsg {
+    /// A plain sharded-CAS message.
+    Cas(ShardedCasMsg),
+    /// Batched hash announcement: `(key, tag, h(value))` per covered key
+    /// (value-dependent!).
+    HashAnnounce {
+        /// Phase nonce.
+        rid: u64,
+        /// The versions being written, with their value digests.
+        items: Vec<(Key, Tag, u64)>,
+    },
+    /// Acknowledge a hash-announcement batch.
+    HashAck {
+        /// Echoed nonce.
+        rid: u64,
+    },
+}
+
+impl ShardedHashedMsg {
+    /// Exact serialized size (digest charged at 8 bytes per item).
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            ShardedHashedMsg::Cas(m) => m.wire_bytes(),
+            ShardedHashedMsg::HashAnnounce { items, .. } => {
+                RID_WIRE_BYTES + (KEY_WIRE_BYTES + Tag::WIRE_BYTES + 8) * items.len() as u64
+            }
+            ShardedHashedMsg::HashAck { .. } => RID_WIRE_BYTES,
+        }
+    }
+}
+
+/// Whether a sharded hashed-CAS message is value-dependent on the
+/// client-to-server path — as in the single-register variant, two kinds
+/// qualify.
+pub fn sharded_is_value_dependent_upstream(msg: &ShardedHashedMsg) -> bool {
+    match msg {
+        ShardedHashedMsg::Cas(m) => matches!(m, ShardedCasMsg::PreWrite { .. }),
+        ShardedHashedMsg::HashAnnounce { .. } => true,
+        ShardedHashedMsg::HashAck { .. } => false,
+    }
+}
+
+/// A sharded hashed-CAS server: a sharded CAS server plus announced
+/// hashes per `(key, tag)`.
+#[derive(Clone, Debug)]
+pub struct ShardedHashedServer {
+    inner: ShardedCasServer,
+    hashes: BTreeMap<(Key, Tag), u64>,
+}
+
+impl ShardedHashedServer {
+    /// Server `index`, initialized like a sharded CAS server.
+    pub fn new(cfg: ShardedCasConfig, index: ServerId, initial: Value) -> ShardedHashedServer {
+        ShardedHashedServer {
+            inner: ShardedCasServer::new(cfg, index, initial),
+            hashes: BTreeMap::new(),
+        }
+    }
+
+    /// The announced hash for `(key, tag)`, if any.
+    pub fn hash_of(&self, key: Key, tag: Tag) -> Option<u64> {
+        self.hashes.get(&(key, tag)).copied()
+    }
+
+    /// The wrapped sharded CAS server.
+    pub fn cas(&self) -> &ShardedCasServer {
+        &self.inner
+    }
+}
+
+impl Node<ShardedHashed> for ShardedHashedServer {
+    fn on_message(&mut self, from: NodeId, msg: ShardedHashedMsg, ctx: &mut Ctx<ShardedHashed>) {
+        match msg {
+            ShardedHashedMsg::Cas(inner) => {
+                let mut cas_ctx: Ctx<ShardedCas> = Ctx::new(ctx.me(), ctx.now());
+                self.inner.on_message(from, inner, &mut cas_ctx);
+                let (outbox, _) = cas_ctx.into_effects();
+                for (to, m) in outbox {
+                    ctx.send(to, ShardedHashedMsg::Cas(m));
+                }
+            }
+            ShardedHashedMsg::HashAnnounce { rid, items } => {
+                for (key, tag, digest) in items {
+                    self.hashes.insert((key, tag), digest);
+                }
+                ctx.send(from, ShardedHashedMsg::HashAck { rid });
+            }
+            ShardedHashedMsg::HashAck { .. } => {}
+        }
+    }
+
+    fn state_bits(&self) -> f64 {
+        Node::<ShardedCas>::state_bits(&self.inner)
+    }
+
+    fn metadata_bits(&self) -> f64 {
+        Node::<ShardedCas>::metadata_bits(&self.inner)
+            + self.hashes.len() as f64 * (64.0 + Tag::BITS)
+    }
+
+    fn digest(&self) -> u64 {
+        hash_of(&(Node::<ShardedCas>::digest(&self.inner), &self.hashes))
+    }
+}
+
+/// The announce interlock: while waiting for hash acks, the inner CAS
+/// client's pre-write messages are held back.
+#[derive(Clone, Debug)]
+enum AnnounceGate {
+    Open,
+    Waiting {
+        heard: BTreeSet<u32>,
+        acks: BTreeMap<Key, u32>,
+        held: Vec<(NodeId, ShardedCasMsg)>,
+    },
+}
+
+/// A sharded hashed-CAS client: drives a [`ShardedCasClient`] and splices
+/// a batched hash-announcement round in front of every pre-write round.
+#[derive(Clone, Debug)]
+pub struct ShardedHashedClient {
+    cfg: ShardedCasConfig,
+    inner: ShardedCasClient,
+    /// Nonce for announce rounds (disjoint use from the inner client's).
+    rid: u64,
+    /// `h(v)` per key of the in-flight write batch.
+    digests: BTreeMap<Key, u64>,
+    gate: AnnounceGate,
+}
+
+impl ShardedHashedClient {
+    /// A client for the given configuration; `me` breaks tag ties.
+    pub fn new(cfg: ShardedCasConfig, me: u32) -> ShardedHashedClient {
+        ShardedHashedClient {
+            inner: ShardedCasClient::new(cfg.clone(), me),
+            cfg,
+            rid: 0,
+            digests: BTreeMap::new(),
+            gate: AnnounceGate::Open,
+        }
+    }
+
+    /// Forwards inner-client effects, diverting pre-write rounds through
+    /// the announce gate.
+    fn route_effects(
+        &mut self,
+        outbox: Vec<(NodeId, ShardedCasMsg)>,
+        responses: Vec<MultiResp>,
+        ctx: &mut Ctx<ShardedHashed>,
+    ) {
+        let prewrite = outbox
+            .iter()
+            .any(|(_, m)| matches!(m, ShardedCasMsg::PreWrite { .. }));
+        if prewrite {
+            // Value-dependent phase #1: announce digests along the same
+            // (server, keys) fan-out the held pre-writes will use.
+            self.rid += 1;
+            let mut acks: BTreeMap<Key, u32> = BTreeMap::new();
+            for (to, m) in &outbox {
+                let ShardedCasMsg::PreWrite { items, .. } = m else {
+                    continue;
+                };
+                let announce = items
+                    .iter()
+                    .map(|&(key, tag, _)| {
+                        acks.entry(key).or_insert(0);
+                        (key, tag, self.digests[&key])
+                    })
+                    .collect();
+                ctx.send(
+                    *to,
+                    ShardedHashedMsg::HashAnnounce {
+                        rid: self.rid,
+                        items: announce,
+                    },
+                );
+            }
+            self.gate = AnnounceGate::Waiting {
+                heard: BTreeSet::new(),
+                acks,
+                held: outbox,
+            };
+        } else {
+            for (to, m) in outbox {
+                ctx.send(to, ShardedHashedMsg::Cas(m));
+            }
+        }
+        for resp in responses {
+            ctx.respond(resp);
+        }
+    }
+}
+
+impl Node<ShardedHashed> for ShardedHashedClient {
+    fn on_invoke(&mut self, inv: MultiInv, ctx: &mut Ctx<ShardedHashed>) {
+        self.digests = inv
+            .ops
+            .iter()
+            .filter_map(|&(k, i)| match i {
+                RegInv::Write(v) => Some((k, value_digest(v))),
+                RegInv::Read => None,
+            })
+            .collect();
+        let mut cas_ctx: Ctx<ShardedCas> = Ctx::new(ctx.me(), ctx.now());
+        self.inner.on_invoke(inv, &mut cas_ctx);
+        let (outbox, responses) = cas_ctx.into_effects();
+        self.route_effects(outbox, responses, ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: ShardedHashedMsg, ctx: &mut Ctx<ShardedHashed>) {
+        match msg {
+            ShardedHashedMsg::HashAck { rid } if rid == self.rid => {
+                let AnnounceGate::Waiting { heard, acks, .. } = &mut self.gate else {
+                    return;
+                };
+                let Some(server) = from.as_server() else {
+                    return;
+                };
+                if !heard.insert(server.0) {
+                    return;
+                }
+                for (&key, count) in acks.iter_mut() {
+                    if self.cfg.map.covers(server.0, key) {
+                        *count += 1;
+                    }
+                }
+                let q = self.cfg.quorum();
+                if acks.values().all(|&count| count >= q) {
+                    let AnnounceGate::Waiting { held, .. } =
+                        std::mem::replace(&mut self.gate, AnnounceGate::Open)
+                    else {
+                        unreachable!("matched Waiting above");
+                    };
+                    // Value-dependent phase #2: release the symbols.
+                    for (to, m) in held {
+                        ctx.send(to, ShardedHashedMsg::Cas(m));
+                    }
+                }
+            }
+            ShardedHashedMsg::Cas(inner) => {
+                let mut cas_ctx: Ctx<ShardedCas> = Ctx::new(ctx.me(), ctx.now());
+                self.inner.on_message(from, inner, &mut cas_ctx);
+                let (outbox, responses) = cas_ctx.into_effects();
+                self.route_effects(outbox, responses, ctx);
+            }
+            ShardedHashedMsg::HashAck { .. } | ShardedHashedMsg::HashAnnounce { .. } => {}
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        let gate_tag = match &self.gate {
+            AnnounceGate::Open => 0u8,
+            AnnounceGate::Waiting { .. } => 1,
+        };
+        hash_of(&(
+            Node::<ShardedCas>::digest(&self.inner),
+            self.rid,
+            gate_tag,
+            format!("{:?}", self.gate),
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::multikey::ShardMap;
     use shmem_sim::{ClientId, Sim, SimConfig};
 
     fn cluster(n: u32, f: u32, clients: u32) -> Sim<HashedCas> {
@@ -461,5 +752,99 @@ mod tests {
             }
         }
         assert!(shmem_spec::check_atomic(&h).is_ok());
+    }
+
+    fn sharded_cluster(map: ShardMap, f: u32, clients: u32) -> Sim<ShardedHashed> {
+        let cfg = ShardedCasConfig::native(map, f, ValueSpec::from_bits(64.0));
+        Sim::new(
+            SimConfig::without_gossip(),
+            (0..map.n())
+                .map(|i| ShardedHashedServer::new(cfg.clone(), ServerId(i), 0))
+                .collect(),
+            (0..clients)
+                .map(|c| ShardedHashedClient::new(cfg.clone(), c))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn sharded_batched_write_then_read() {
+        let mut sim = sharded_cluster(ShardMap::new(6, 2, 3), 1, 2);
+        let keys: Vec<Key> = (0..8).collect();
+        let writes: Vec<(Key, Value)> = keys.iter().map(|&k| (k, 1000 + k as Value)).collect();
+        sim.invoke(ClientId(0), MultiInv::writes(&writes)).unwrap();
+        let resp = sim.run_until_op_completes(ClientId(0)).unwrap();
+        assert!(resp.ops.iter().all(|(_, r)| *r == RegResp::WriteAck));
+        sim.invoke(ClientId(1), MultiInv::reads(&keys)).unwrap();
+        let resp = sim.run_until_op_completes(ClientId(1)).unwrap();
+        for &k in &keys {
+            assert_eq!(resp.get(k), Some(&RegResp::ReadValue(1000 + k as Value)));
+        }
+    }
+
+    #[test]
+    fn sharded_hashes_announced_per_key() {
+        let map = ShardMap::full(5);
+        let mut sim = sharded_cluster(map, 1, 1);
+        sim.invoke(ClientId(0), MultiInv::writes(&[(7, 70), (8, 80)]))
+            .unwrap();
+        sim.run_until_op_completes(ClientId(0)).unwrap();
+        sim.run_to_quiescence().unwrap();
+        for s in 0..5 {
+            let server = sim.server(ServerId(s));
+            assert_eq!(server.hash_of(7, Tag::new(1, 0)), Some(value_digest(70)));
+            assert_eq!(server.hash_of(8, Tag::new(1, 0)), Some(value_digest(80)));
+        }
+    }
+
+    #[test]
+    fn sharded_two_value_dependent_message_kinds() {
+        assert!(sharded_is_value_dependent_upstream(
+            &ShardedHashedMsg::HashAnnounce {
+                rid: 1,
+                items: vec![(3, Tag::new(1, 0), 9)],
+            }
+        ));
+        assert!(sharded_is_value_dependent_upstream(&ShardedHashedMsg::Cas(
+            ShardedCasMsg::PreWrite {
+                rid: 1,
+                items: vec![(3, Tag::new(1, 0), vec![1])],
+            }
+        )));
+        assert!(!sharded_is_value_dependent_upstream(
+            &ShardedHashedMsg::Cas(ShardedCasMsg::QueryTag {
+                rid: 1,
+                keys: vec![3],
+            })
+        ));
+        assert!(!sharded_is_value_dependent_upstream(
+            &ShardedHashedMsg::HashAck { rid: 1 }
+        ));
+    }
+
+    #[test]
+    fn sharded_announce_precedes_symbols_on_the_wire() {
+        // The announce gate must hold pre-writes back until a quorum of
+        // hash acks: drive a write step by step and check no server holds
+        // a symbol for the new tag before it holds the hash.
+        let mut sim = sharded_cluster(ShardMap::full(5), 1, 1);
+        sim.invoke(ClientId(0), MultiInv::writes(&[(1, 11)]))
+            .unwrap();
+        let tag = Tag::new(1, 0);
+        loop {
+            for s in 0..5 {
+                let server = sim.server(ServerId(s));
+                if server.cas().versions_held(1) > 1 {
+                    assert!(
+                        server.hash_of(1, tag).is_some(),
+                        "server {s} holds a symbol for {tag} without its hash"
+                    );
+                }
+            }
+            if !sim.has_open_op(ClientId(0)) {
+                break;
+            }
+            sim.step_fair().expect("progress");
+        }
     }
 }

@@ -27,6 +27,7 @@ pub mod cas;
 pub mod harness;
 pub mod hashed;
 pub mod lossy;
+pub mod multikey;
 pub mod nemesis;
 pub mod nowriteback;
 pub mod reg;
@@ -36,6 +37,8 @@ pub mod value;
 pub mod workloads;
 
 pub use harness::{AbdCluster, CasCluster, GossipCluster, HashedCluster, LossyCluster, NwbCluster};
+pub use harness::{ShardedAbdCluster, ShardedCasCluster, ShardedHashedCluster};
+pub use multikey::{project_histories, Key, MultiInv, MultiResp, ShardMap};
 pub use reg::{RegInv, RegResp};
 pub use tag::Tag;
 pub use value::{Value, ValueSpec};

@@ -1,0 +1,376 @@
+//! The sharded multi-register keyspace: keys, shard placement, and the
+//! batched multi-key operation interface.
+//!
+//! The paper states its storage bounds per register; a production-shaped
+//! emulation serves many registers at once. This module supplies the
+//! pieces that generalization shares across protocols:
+//!
+//! * [`Key`] — the register namespace (`u64`).
+//! * [`ShardMap`] — a deterministic assignment of keys to *shards* and of
+//!   shards to server subsets. Every per-key quorum is taken within the
+//!   key's shard, so each shard is an independent `(replicas, f)` instance
+//!   of the single-register emulation and the per-key bound accounting
+//!   (`ν·N/(N−f)` with `N = replicas`) carries over unchanged.
+//! * [`MultiInv`] / [`MultiResp`] — batched invocations: one operation
+//!   carries reads/writes for any number of distinct keys, and the sharded
+//!   clients coalesce each quorum round into **one message per
+//!   (client, server) pair**, so a round touching `B` keys costs the same
+//!   message count as a round touching one.
+//! * [`project_histories`] — splits a batched execution into one
+//!   single-register [`History`] per key, so the unmodified `shmem-spec`
+//!   atomicity checkers apply key-by-key.
+
+use crate::reg::{RegInv, RegResp};
+use crate::value::Value;
+use shmem_sim::OpRecord;
+use shmem_spec::history::{History, OpKind};
+use std::collections::BTreeMap;
+
+/// A register name in the sharded keyspace.
+pub type Key = u64;
+
+/// Wire bytes of one serialized [`Key`] (`u64`).
+pub const KEY_WIRE_BYTES: u64 = 8;
+
+/// Wire bytes of one serialized phase nonce (`u64`).
+pub const RID_WIRE_BYTES: u64 = 8;
+
+/// SplitMix64-style finalizer: decorrelates adjacent keys before the shard
+/// modulus so dense keyspaces spread evenly across shards.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A deterministic key → shard → server-subset placement.
+///
+/// Shard `s` lives on `replicas` consecutive servers starting at
+/// `(s · spread) mod n` with `spread = max(1, n / shards)`, so shards
+/// stripe around the ring and overlap only when `shards · replicas > n`.
+/// [`ShardMap::full`] (one shard on all servers) makes the batch-size-1
+/// sharded protocols step-isomorphic to their legacy single-register
+/// counterparts — the differential tests pin that.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    n: u32,
+    shards: u32,
+    replicas: u32,
+}
+
+impl ShardMap {
+    /// A map of `shards` shards over `n` servers, `replicas` servers each.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ shards` and `1 ≤ replicas ≤ n`.
+    pub fn new(n: u32, shards: u32, replicas: u32) -> ShardMap {
+        assert!(n >= 1 && shards >= 1, "need at least one server and shard");
+        assert!(
+            (1..=n).contains(&replicas),
+            "replicas must satisfy 1 <= replicas <= n"
+        );
+        ShardMap {
+            n,
+            shards,
+            replicas,
+        }
+    }
+
+    /// The degenerate map: one shard covering every server — the legacy
+    /// single-register placement.
+    pub fn full(n: u32) -> ShardMap {
+        ShardMap::new(n, 1, n)
+    }
+
+    /// Total servers.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Servers per shard.
+    pub fn replicas(&self) -> u32 {
+        self.replicas
+    }
+
+    /// Majority within one shard (`replicas/2 + 1`) — the ABD quorum.
+    pub fn majority(&self) -> u32 {
+        self.replicas / 2 + 1
+    }
+
+    /// The shard owning `key`.
+    pub fn shard_of(&self, key: Key) -> u32 {
+        if self.shards == 1 {
+            0
+        } else {
+            (mix64(key) % u64::from(self.shards)) as u32
+        }
+    }
+
+    /// First server of `shard`.
+    fn base_of(&self, shard: u32) -> u32 {
+        let spread = (self.n / self.shards).max(1);
+        ((u64::from(shard) * u64::from(spread)) % u64::from(self.n)) as u32
+    }
+
+    /// The servers holding `shard`, in canonical (send) order.
+    pub fn servers_of_shard(&self, shard: u32) -> impl Iterator<Item = u32> + '_ {
+        let base = self.base_of(shard);
+        let n = self.n;
+        (0..self.replicas).map(move |j| (base + j) % n)
+    }
+
+    /// The servers holding `key`.
+    pub fn servers_of_key(&self, key: Key) -> impl Iterator<Item = u32> + '_ {
+        self.servers_of_shard(self.shard_of(key))
+    }
+
+    /// `server`'s position within `shard` (its erasure-share index), or
+    /// `None` if the server does not hold the shard.
+    pub fn position_in_shard(&self, server: u32, shard: u32) -> Option<u32> {
+        let pos = (server + self.n - self.base_of(shard)) % self.n;
+        (pos < self.replicas).then_some(pos)
+    }
+
+    /// `server`'s share index for `key`, or `None` if it does not hold it.
+    pub fn position_for_key(&self, server: u32, key: Key) -> Option<u32> {
+        self.position_in_shard(server, self.shard_of(key))
+    }
+
+    /// Whether `server` stores `key`.
+    pub fn covers(&self, server: u32, key: Key) -> bool {
+        self.position_for_key(server, key).is_some()
+    }
+}
+
+/// A batched invocation: per-key register operations executed as one
+/// client operation. Keys must be distinct within a batch (the sharded
+/// clients assert this — one batch is one round, and a round carries at
+/// most one version per key).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MultiInv {
+    /// The batch, in response order: `(key, read-or-write)`.
+    pub ops: Vec<(Key, RegInv)>,
+}
+
+impl MultiInv {
+    /// A write batch: store `value` under each `key`.
+    pub fn writes(pairs: &[(Key, Value)]) -> MultiInv {
+        MultiInv {
+            ops: pairs.iter().map(|&(k, v)| (k, RegInv::Write(v))).collect(),
+        }
+    }
+
+    /// A read batch.
+    pub fn reads(keys: &[Key]) -> MultiInv {
+        MultiInv {
+            ops: keys.iter().map(|&k| (k, RegInv::Read)).collect(),
+        }
+    }
+
+    /// The batch's keys, in batch order.
+    pub fn keys(&self) -> impl Iterator<Item = Key> + '_ {
+        self.ops.iter().map(|&(k, _)| k)
+    }
+
+    /// Panics unless the batch is well-formed: nonempty with distinct keys.
+    pub fn assert_well_formed(&self) {
+        assert!(!self.ops.is_empty(), "empty batch");
+        let mut keys: Vec<Key> = self.keys().collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(
+            keys.len(),
+            self.ops.len(),
+            "batch keys must be distinct: {:?}",
+            self.ops
+        );
+    }
+}
+
+/// A batched response: one [`RegResp`] per key of the invoking batch, in
+/// batch order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MultiResp {
+    /// Per-key outcomes.
+    pub ops: Vec<(Key, RegResp)>,
+}
+
+impl MultiResp {
+    /// The outcome for `key`, if the batch contained it.
+    pub fn get(&self, key: Key) -> Option<&RegResp> {
+        self.ops.iter().find(|&&(k, _)| k == key).map(|(_, r)| r)
+    }
+}
+
+/// Splits a batched execution into one single-register history per key.
+///
+/// Every `(key, op)` of a batch becomes an operation in `key`'s history
+/// with the *batch's* invocation/response interval — the per-key operation
+/// was live for at least that interval, so atomicity of every projection
+/// is exactly the multi-register correctness condition. Mirroring the
+/// nemesis driver's convention, a key whose read came back as
+/// [`RegResp::ReadFailed`] is recorded as *incomplete* (a failed read
+/// constrains nothing), as is any key missing from the response.
+///
+/// Only touched keys appear; each history starts from `initial`.
+pub fn project_histories(
+    initial: Value,
+    ops: &[OpRecord<MultiInv, MultiResp>],
+) -> BTreeMap<Key, History<Value>> {
+    let mut histories: BTreeMap<Key, History<Value>> = BTreeMap::new();
+    for record in ops {
+        for (key, inv) in &record.invocation.ops {
+            let kind = match *inv {
+                RegInv::Write(v) => OpKind::Write(v),
+                RegInv::Read => OpKind::Read,
+            };
+            let h = histories
+                .entry(*key)
+                .or_insert_with(|| History::new(initial));
+            let id = h.begin(record.client.0, kind, record.invoked_at);
+            let outcome = record
+                .responded_at
+                .zip(record.response.as_ref().and_then(|r| r.get(*key)));
+            match outcome {
+                Some((_, RegResp::ReadFailed(_))) => {}
+                Some((t, resp)) => h.complete(id, t, resp.read_value()),
+                None => {}
+            }
+        }
+    }
+    histories
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_map_is_the_legacy_placement() {
+        let m = ShardMap::full(5);
+        assert_eq!(m.shards(), 1);
+        assert_eq!(m.replicas(), 5);
+        assert_eq!(m.majority(), 3);
+        for key in [0u64, 1, 99, u64::MAX] {
+            assert_eq!(m.shard_of(key), 0);
+            let servers: Vec<u32> = m.servers_of_key(key).collect();
+            assert_eq!(servers, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn shards_partition_servers_when_disjoint() {
+        let m = ShardMap::new(6, 2, 3);
+        let s0: Vec<u32> = m.servers_of_shard(0).collect();
+        let s1: Vec<u32> = m.servers_of_shard(1).collect();
+        assert_eq!(s0, vec![0, 1, 2]);
+        assert_eq!(s1, vec![3, 4, 5]);
+        for s in 0..6 {
+            let covering = (0..2).filter(|&sh| m.position_in_shard(s, sh).is_some());
+            assert_eq!(covering.count(), 1, "server {s}");
+        }
+    }
+
+    #[test]
+    fn positions_index_the_shard_consecutively() {
+        let m = ShardMap::new(6, 2, 3);
+        assert_eq!(m.position_in_shard(3, 1), Some(0));
+        assert_eq!(m.position_in_shard(5, 1), Some(2));
+        assert_eq!(m.position_in_shard(0, 1), None);
+        // Wrap-around shard: base 4, replicas 3 on n=6 covers {4, 5, 0}.
+        let w = ShardMap::new(6, 3, 3);
+        assert_eq!(w.base_of(2), 4);
+        let servers: Vec<u32> = w.servers_of_shard(2).collect();
+        assert_eq!(servers, vec![4, 5, 0]);
+        assert_eq!(w.position_in_shard(0, 2), Some(2));
+    }
+
+    #[test]
+    fn shard_of_is_deterministic_and_spread() {
+        let m = ShardMap::new(8, 4, 2);
+        let mut counts = [0u32; 4];
+        for key in 0..1000u64 {
+            let s = m.shard_of(key);
+            assert_eq!(s, m.shard_of(key));
+            counts[s as usize] += 1;
+        }
+        // mix64 spreads a dense keyspace roughly evenly.
+        assert!(counts.iter().all(|&c| c > 150), "skewed: {counts:?}");
+    }
+
+    #[test]
+    fn batch_well_formedness() {
+        MultiInv::writes(&[(1, 10), (2, 20)]).assert_well_formed();
+        MultiInv::reads(&[7]).assert_well_formed();
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_keys_rejected() {
+        MultiInv::reads(&[3, 3]).assert_well_formed();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_batch_rejected() {
+        MultiInv { ops: Vec::new() }.assert_well_formed();
+    }
+
+    #[test]
+    fn projection_splits_batches_per_key() {
+        use shmem_sim::ClientId;
+        let ops = vec![
+            OpRecord {
+                client: ClientId(0),
+                invoked_at: 1,
+                responded_at: Some(5),
+                invocation: MultiInv::writes(&[(1, 11), (2, 22)]),
+                response: Some(MultiResp {
+                    ops: vec![(1, RegResp::WriteAck), (2, RegResp::WriteAck)],
+                }),
+            },
+            OpRecord {
+                client: ClientId(1),
+                invoked_at: 6,
+                responded_at: Some(9),
+                invocation: MultiInv::reads(&[2, 3]),
+                response: Some(MultiResp {
+                    ops: vec![(2, RegResp::ReadValue(22)), (3, RegResp::ReadValue(0))],
+                }),
+            },
+        ];
+        let hs = project_histories(0, &ops);
+        assert_eq!(hs.keys().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(hs[&1].len(), 1);
+        assert_eq!(hs[&2].len(), 2);
+        let read = &hs[&2].ops()[1];
+        assert_eq!(read.returned, Some(22));
+        for h in hs.values() {
+            assert!(shmem_spec::check_atomic(h).is_ok());
+        }
+    }
+
+    #[test]
+    fn projection_leaves_failed_reads_incomplete() {
+        use shmem_erasure::CodeError;
+        use shmem_sim::ClientId;
+        let ops = vec![OpRecord {
+            client: ClientId(0),
+            invoked_at: 1,
+            responded_at: Some(4),
+            invocation: MultiInv::reads(&[5]),
+            response: Some(MultiResp {
+                ops: vec![(5, RegResp::ReadFailed(CodeError::LengthMismatch))],
+            }),
+        }];
+        let hs = project_histories(0, &ops);
+        assert!(!hs[&5].ops()[0].is_complete());
+    }
+}

@@ -33,6 +33,11 @@ impl Tag {
     /// Nominal metadata size of one tag in bits (`u64` + `u32`), the
     /// `o(log|V|)` bookkeeping term of the storage accounting.
     pub const BITS: f64 = 96.0;
+
+    /// Serialized size of one tag on the wire in bytes (`u64` + `u32`,
+    /// packed). Batched multi-key messages charge this per carried tag so
+    /// the `wire_bytes` ledger counts payload, not padding.
+    pub const WIRE_BYTES: u64 = 12;
 }
 
 impl fmt::Debug for Tag {

@@ -7,7 +7,8 @@
 //! writes stay active forever (the "failed write operations whose codeword
 //! symbols have not been propagated" scenario of the introduction).
 
-use crate::harness::Cluster;
+use crate::harness::{Cluster, MultiCluster};
+use crate::multikey::{Key, MultiInv, MultiResp};
 use crate::reg::{RegInv, RegResp};
 use shmem_sim::{ClientId, NodeId, Protocol, RunError};
 use shmem_util::DetRng;
@@ -164,6 +165,143 @@ pub fn run_crashy<P: Protocol<Inv = RegInv, Resp = RegResp>>(
     Ok(report(cluster, steps))
 }
 
+/// A Zipfian key-popularity distribution over `0..universe`: key `i` is
+/// drawn with probability proportional to `1/(i+1)^theta`. Deterministic
+/// and seed-stable — the weight table is integer-quantized once at
+/// construction, and sampling uses only [`DetRng::weighted_index`], so a
+/// given `(universe, theta, seed)` triple reproduces the same key stream
+/// on every platform.
+#[derive(Clone, Debug)]
+pub struct ZipfKeys {
+    weights: Vec<u64>,
+}
+
+impl ZipfKeys {
+    /// Quantization scale for the most popular key's weight. Large enough
+    /// that even steep `theta` keeps distinct ranks distinct until the
+    /// clamp at weight 1.
+    const SCALE: f64 = 1_000_000.0;
+
+    /// A distribution over keys `0..universe` with exponent `theta`
+    /// (`theta = 0` is uniform; ~1 is the classic web-workload skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0` or `theta` is negative or non-finite.
+    pub fn new(universe: u64, theta: f64) -> ZipfKeys {
+        assert!(universe > 0, "need a nonempty key universe");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "theta must be finite and nonnegative"
+        );
+        let weights = (0..universe)
+            .map(|i| {
+                (Self::SCALE / ((i + 1) as f64).powf(theta))
+                    .round()
+                    .max(1.0) as u64
+            })
+            .collect();
+        ZipfKeys { weights }
+    }
+
+    /// The key universe size.
+    pub fn universe(&self) -> u64 {
+        self.weights.len() as u64
+    }
+
+    /// Draws one key.
+    pub fn sample(&self, rng: &mut DetRng) -> Key {
+        rng.weighted_index(&self.weights) as Key
+    }
+
+    /// Draws a batch of `size` *distinct* keys — the shape batched
+    /// invocations require. Popular keys saturate first, so small batches
+    /// stay skewed while `size → universe` degrades gracefully to a
+    /// permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` exceeds the key universe.
+    pub fn sample_batch(&self, rng: &mut DetRng, size: usize) -> Vec<Key> {
+        assert!(
+            size as u64 <= self.universe(),
+            "batch of {size} distinct keys exceeds universe {}",
+            self.universe()
+        );
+        let mut picked = Vec::with_capacity(size);
+        while picked.len() < size {
+            let k = self.sample(rng);
+            if !picked.contains(&k) {
+                picked.push(k);
+            }
+        }
+        picked
+    }
+}
+
+/// A reproducible batched multi-key workload: each of `rounds`, every
+/// writer writes a batch of `batch` Zipf-drawn distinct keys and every
+/// reader reads such a batch, interleaved under a seeded random schedule.
+///
+/// Returns the total scheduler steps.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_zipf_batches<P: Protocol<Inv = MultiInv, Resp = MultiResp>>(
+    cluster: &mut MultiCluster<P>,
+    zipf: &ZipfKeys,
+    writers: u32,
+    readers: u32,
+    batch: usize,
+    rounds: u32,
+    seed: u64,
+) -> Result<u64, RunError> {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut next_value = 1u64;
+    let mut steps = 0u64;
+    let limit = cluster.sim.config().step_limit;
+    for _ in 0..rounds {
+        for w in 0..writers {
+            let keys = zipf.sample_batch(&mut rng, batch);
+            let pairs: Vec<(Key, u64)> = keys
+                .iter()
+                .map(|&k| {
+                    next_value += 1;
+                    (k, next_value)
+                })
+                .collect();
+            cluster.begin(w, MultiInv::writes(&pairs))?;
+        }
+        for r in 0..readers {
+            let keys = zipf.sample_batch(&mut rng, batch);
+            cluster.begin(writers + r, MultiInv::reads(&keys))?;
+        }
+        let mut budget = limit;
+        loop {
+            let open = (0..writers + readers).any(|c| cluster.sim.has_open_op(ClientId(c)));
+            if !open {
+                break;
+            }
+            if cluster
+                .sim
+                .step_with(|opts| rng.gen_range(0..opts.len()))
+                .is_none()
+            {
+                return Err(RunError::Stuck {
+                    client: ClientId(0),
+                });
+            }
+            steps += 1;
+            budget -= 1;
+            if budget == 0 {
+                return Err(RunError::StepLimit { steps: limit });
+            }
+        }
+    }
+    Ok(steps)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,5 +361,65 @@ mod tests {
             run_bursty(&mut c, 3, 2, 11).unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zipf_is_seed_stable_and_skewed() {
+        let z = ZipfKeys::new(64, 0.99);
+        let draw = |seed| {
+            let mut rng = DetRng::seed_from_u64(seed);
+            (0..1000).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        // Same seed → same stream; different seed → different stream.
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+        // Skew: key 0 must dominate any deep-tail key by a wide margin.
+        let stream = draw(7);
+        let count = |k: Key| stream.iter().filter(|&&x| x == k).count();
+        assert!(count(0) > 10 * count(60).max(1), "not skewed: {}", count(0));
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let z = ZipfKeys::new(4, 0.0);
+        let mut rng = DetRng::seed_from_u64(3);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 800), "skewed: {counts:?}");
+    }
+
+    #[test]
+    fn zipf_batches_are_distinct_keys() {
+        let z = ZipfKeys::new(16, 1.2);
+        let mut rng = DetRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let batch = z.sample_batch(&mut rng, 8);
+            let mut sorted = batch.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), batch.len());
+        }
+        // A full-universe batch is a permutation.
+        let full = z.sample_batch(&mut rng, 16);
+        let mut sorted = full.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zipf_batched_workload_runs_and_projects_atomically() {
+        use crate::harness::ShardedAbdCluster;
+        use crate::multikey::ShardMap;
+        let map = ShardMap::new(6, 2, 3);
+        let mut c = ShardedAbdCluster::new(map, 1, 4, spec64());
+        let zipf = ZipfKeys::new(32, 0.99);
+        run_zipf_batches(&mut c, &zipf, 2, 2, 4, 3, 17).unwrap();
+        let histories = c.histories();
+        assert!(!histories.is_empty());
+        for (key, h) in histories {
+            assert!(check_atomic(&h).is_ok(), "key {key}");
+        }
     }
 }

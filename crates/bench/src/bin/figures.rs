@@ -52,6 +52,7 @@ fn main() {
             "tab-metrics",
             "tab-fuzz",
             "tab-simperf",
+            "tab-shard",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -90,6 +91,7 @@ fn main() {
             ),
             "tab-metrics" => measured::metrics_table(5, 1, &[1, 2, 3], 42),
             "tab-simperf" => measured::simperf_table(9, 50),
+            "tab-shard" => measured::shard_table(42),
             "tab-fuzz" => measured::fuzz_table(
                 21,
                 100_000,

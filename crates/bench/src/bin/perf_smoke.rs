@@ -15,7 +15,7 @@
 //! Either mode also writes `results/tab-simperf.{csv,json}` so the run
 //! that gated is the run that is recorded.
 
-use shmem_bench::measured::{simperf_cell, simperf_table};
+use shmem_bench::measured::{shardperf_cell, simperf_cell, simperf_table};
 use shmem_bench::render::{render_csv, render_json};
 use shmem_util::json::Json;
 use std::path::Path;
@@ -73,6 +73,16 @@ fn main() {
         );
         measured.push((key(n, f, fault, metered), cell.min_ns));
     }
+
+    // The batched multi-key cell: a Zipf batch-16 workload over a metered
+    // two-shard sharded ABD keyspace (see `shardperf_cell`). Gated at the
+    // same 2x threshold as the single-register cells.
+    let shard = shardperf_cell(TRIALS, 8);
+    println!(
+        "{:<28} {:>6} ns/step (median {} ns, {} events/trial)",
+        "shard_n10x2_b16_metered", shard.min_ns, shard.median_ns, shard.events
+    );
+    measured.push(("shard_n10x2_b16_metered".into(), shard.min_ns));
 
     if record {
         let doc = Json::Obj(vec![

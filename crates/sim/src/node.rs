@@ -20,6 +20,17 @@ pub trait Protocol: Sized + 'static {
     type Server: Node<Self> + Clone;
     /// The client automaton.
     type Client: Node<Self> + Clone;
+
+    /// The wire size of `msg` in bytes, charged to the metrics ledger when
+    /// the message is sent. The default — the in-memory size of the message
+    /// type — is exact for fixed-width payloads; protocols whose messages
+    /// carry variable-length payloads (batched multi-key rounds, erasure
+    /// shares) override this so the `wire_bytes` counter reflects what a
+    /// real network would carry rather than the enum's stack footprint.
+    fn msg_wire_bytes(msg: &Self::Msg) -> u64 {
+        let _ = msg;
+        std::mem::size_of::<Self::Msg>() as u64
+    }
 }
 
 /// One automaton (server or client).

@@ -569,14 +569,14 @@ impl<P: Protocol> Sim<P> {
                     let cut = self.is_cut(origin, to);
                     let row = Arc::make_mut(&mut self.channels).ensure((origin, to), src, dst, cut);
                     self.mark_chan_dirty(row);
+                    // Wire size is only charged when metered; computing it
+                    // lazily keeps the off path free of the (potentially
+                    // payload-walking) `msg_wire_bytes` call.
+                    let wire_bytes = (self.metrics_level != crate::metrics::MetricsLevel::Off)
+                        .then(|| P::msg_wire_bytes(&msg));
                     let depth = Arc::make_mut(&mut self.channels).push_back(row, msg, self.now);
-                    if let Some(m) = self.metrics_mut() {
-                        m.on_sent(
-                            origin,
-                            to,
-                            std::mem::size_of::<P::Msg>() as u64,
-                            u64::from(depth),
-                        );
+                    if let (Some(m), Some(bytes)) = (self.metrics_mut(), wire_bytes) {
+                        m.on_sent(origin, to, bytes, u64::from(depth));
                     }
                 }
             }

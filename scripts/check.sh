@@ -24,6 +24,9 @@ echo "==> fuzz gate: differential + mutator properties (release)"
 cargo test --release -q --test fuzz_differential
 cargo test --release -q -p shmem-algorithms --test mutator_properties
 
+echo "==> shard gate: batch-1 ≡ legacy differential + chaos projections (release)"
+cargo test --release -q -p shmem-algorithms --test shard_differential
+
 echo "==> perf smoke: step throughput vs committed baseline (release)"
 cargo run --release -q -p shmem-bench --bin perf_smoke
 

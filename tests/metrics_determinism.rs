@@ -26,8 +26,40 @@ fn nemesis_metrics_export_is_byte_identical_across_reruns() {
 
 /// The same seeded concurrent workload on a metered cluster exports
 /// identically across reruns — the non-nemesis path is deterministic too.
+///
+/// One carve-out: the `codecs` decode-plan counters are read from the
+/// process-wide `Codec::shared` registry, whose plan cache deliberately
+/// stays warm across clusters (memoizing per `(field, n, k)` is its
+/// point). Those counters are monotone process state, not per-run state,
+/// so they are zeroed before the byte comparison; the geometries and the
+/// rest of the document must still match exactly.
 #[test]
 fn workload_metrics_export_is_byte_identical_across_reruns() {
+    use shmem_util::json::Json;
+
+    fn scrub_codec_counters(text: &str) -> String {
+        let mut doc = Json::parse(text).expect("export parses");
+        if let Json::Obj(fields) = &mut doc {
+            for (key, value) in fields {
+                if key != "codecs" {
+                    continue;
+                }
+                if let Json::Arr(entries) = value {
+                    for entry in entries {
+                        if let Json::Obj(stats) = entry {
+                            for (k, v) in stats {
+                                if k.starts_with("decode_plan_") {
+                                    *v = Json::Num(0.0);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        doc.to_pretty()
+    }
+
     let spec = ValueSpec::from_bits(64.0);
     let export = |_: ()| {
         let mut c = CasCluster::new(5, 1, 3, spec).metered();
@@ -35,7 +67,10 @@ fn workload_metrics_export_is_byte_identical_across_reruns() {
         c.sim.run_to_quiescence().expect("drains");
         c.metrics_json().to_pretty()
     };
-    assert_eq!(export(()), export(()));
+    assert_eq!(
+        scrub_codec_counters(&export(())),
+        scrub_codec_counters(&export(()))
+    );
 }
 
 /// Aggregated metrics are invariant under the worker count: 1, 2 and 4

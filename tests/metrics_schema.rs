@@ -83,7 +83,13 @@ fn golden_fixture_has_the_v1_shape() {
     assert_eq!(counters.get("dropped").and_then(Json::as_u64), Some(1));
     assert_eq!(counters.get("duplicated").and_then(Json::as_u64), Some(1));
     assert_eq!(counters.get("purged").and_then(Json::as_u64), Some(1));
-    for key in ["per_server", "per_channel", "histograms", "gauges"] {
+    for key in [
+        "per_server",
+        "per_channel",
+        "histograms",
+        "gauges",
+        "codecs",
+    ] {
         assert!(doc.get(key).is_some(), "missing {key}");
     }
     let hist = doc.get("histograms").expect("histograms");
@@ -100,4 +106,36 @@ fn golden_fixture_has_the_v1_shape() {
     let gauges = doc.get("gauges").expect("gauges");
     assert_eq!(gauges.get("in_flight").and_then(Json::as_u64), Some(0));
     assert_eq!(gauges.get("held").and_then(Json::as_u64), Some(3));
+}
+
+/// The `codecs` section lists the shared-registry decode-plan stats for
+/// each erasure geometry the cluster uses. The register-only ABD fixture
+/// pins an empty list; a coded cluster exports its `(n, k)` entry with
+/// hit/miss counters.
+#[test]
+fn codecs_section_lists_cluster_geometries() {
+    use shmem_algorithms::harness::CasCluster;
+
+    let doc = Json::parse(&fs::read_to_string(fixture_path()).expect("read fixture"))
+        .expect("fixture parses");
+    let arr = doc
+        .get("codecs")
+        .and_then(Json::as_arr)
+        .expect("codecs array");
+    assert!(arr.is_empty(), "ABD fixture uses no codec");
+
+    let mut c = CasCluster::new(5, 1, 2, ValueSpec::from_bits(64.0)).metered();
+    c.write(0, 7).expect("write");
+    let doc = c.metrics_json();
+    let arr = doc
+        .get("codecs")
+        .and_then(Json::as_arr)
+        .expect("codecs array");
+    assert_eq!(arr.len(), 1);
+    let entry = &arr[0];
+    assert_eq!(entry.get("n").and_then(Json::as_u64), Some(5));
+    assert_eq!(entry.get("k").and_then(Json::as_u64), Some(3));
+    for field in ["decode_plan_hits", "decode_plan_misses"] {
+        assert!(entry.get(field).is_some(), "missing codecs[0].{field}");
+    }
 }
