@@ -751,17 +751,16 @@ impl ShardedCasServer {
         }
     }
 
-    fn slot(&mut self, key: Key) -> &mut KeySlot {
-        let pos = self
-            .cfg
-            .map
-            .position_for_key(self.me, key)
-            .expect("server addressed for a key outside its shards");
+    /// The key's slot, or `None` for keys outside this server's shards.
+    /// Out-of-shard keys can arrive over a real network (a confused or
+    /// malicious client), so they must be ignorable, not a panic.
+    fn slot(&mut self, key: Key) -> Option<&mut KeySlot> {
+        let pos = self.cfg.map.position_for_key(self.me, key)?;
         let initial = &self.initial_share_by_pos[pos as usize];
-        self.slots.entry(key).or_insert_with(|| KeySlot {
+        Some(self.slots.entry(key).or_insert_with(|| KeySlot {
             shares: [(Tag::ZERO, initial.clone())].into(),
             finalized: [Tag::ZERO].into(),
-        })
+        }))
     }
 
     fn gc(cfg: &ShardedCasConfig, slot: &mut KeySlot) {
@@ -806,7 +805,9 @@ where
             ShardedCasMsg::PreWrite { rid, items } => {
                 let cfg = self.cfg.clone();
                 for (key, tag, share) in items {
-                    let slot = self.slot(key);
+                    let Some(slot) = self.slot(key) else {
+                        continue; // out-of-shard key: not ours to store
+                    };
                     slot.shares.entry(tag).or_insert(share);
                     Self::gc(&cfg, slot);
                 }
@@ -815,7 +816,9 @@ where
             ShardedCasMsg::Finalize { rid, items } => {
                 let cfg = self.cfg.clone();
                 for (key, tag) in items {
-                    let slot = self.slot(key);
+                    let Some(slot) = self.slot(key) else {
+                        continue;
+                    };
                     slot.finalized.insert(tag);
                     Self::gc(&cfg, slot);
                 }
@@ -826,7 +829,11 @@ where
                 let mut replies = Vec::with_capacity(items.len());
                 for (key, tag) in items {
                     // The read's write-back: answering finalizes the tag.
-                    let slot = self.slot(key);
+                    // Out-of-shard keys are omitted from the reply rather
+                    // than answered with junk.
+                    let Some(slot) = self.slot(key) else {
+                        continue;
+                    };
                     slot.finalized.insert(tag);
                     Self::gc(&cfg, slot);
                     replies.push((key, slot.shares.get(&tag).cloned()));
@@ -1186,7 +1193,14 @@ where
                 if !heard.insert(server) {
                     return;
                 }
+                let map = self.cfg.map;
                 for (key, share) in items {
+                    // Only covering servers hold decodable positions for
+                    // a key; an echo from any other server must count
+                    // toward neither the quorum nor the share pool.
+                    if !map.covers(server, key) {
+                        continue;
+                    }
                     if let Some(count) = responses.get_mut(&key) {
                         *count += 1;
                     }
@@ -1210,13 +1224,14 @@ where
                         .map(|&(key, _)| {
                             let picked: Vec<(usize, Vec<u8>)> = shares[&key]
                                 .iter()
-                                .take(k_dim)
-                                .map(|(&s, share)| {
-                                    let pos = map
-                                        .position_for_key(s, key)
-                                        .expect("only covering servers answer");
-                                    (pos as usize, share.clone())
+                                .filter_map(|(&s, share)| {
+                                    // Coverage is enforced at insertion;
+                                    // filter (rather than unwrap) keeps
+                                    // hostile input panic-free even so.
+                                    let pos = map.position_for_key(s, key)?;
+                                    Some((pos as usize, share.clone()))
                                 })
+                                .take(k_dim)
                                 .collect();
                             let resp = match code.decode_bytes(&picked, ValueSpec::VALUE_BYTES) {
                                 Ok(bytes) => RegResp::ReadValue(ValueSpec::from_bytes(&bytes)),
@@ -1602,5 +1617,141 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Regression: a server addressed for a key outside its shards (possible
+    /// over a real network, where clients are not trusted to route
+    /// correctly) must ignore the key, not panic.
+    #[test]
+    fn sharded_server_ignores_out_of_shard_keys() {
+        let map = ShardMap::new(6, 2, 3);
+        let cfg = ShardedCasConfig::native(map, 1, ValueSpec::from_bits(64.0));
+        let mut server = ShardedCasServer::new(cfg.clone(), ServerId(0), 0);
+        let mine = (0..100).find(|&k| map.covers(0, k)).unwrap();
+        let foreign = (0..100).find(|&k| !map.covers(0, k)).unwrap();
+        let from = NodeId::client(9);
+        let t = Tag::new(1, 9);
+
+        let mut ctx: Ctx<ShardedCas> = Ctx::new(NodeId::server(0), 0);
+        server.on_message(
+            from,
+            ShardedCasMsg::PreWrite {
+                rid: 1,
+                items: vec![
+                    (foreign, t, vec![0xAA]),
+                    (mine, t, vec![0x11; cfg.symbol_bits() as usize / 8]),
+                ],
+            },
+            &mut ctx,
+        );
+        let (out, _) = ctx.into_effects();
+        assert!(matches!(out[0].1, ShardedCasMsg::PreAck { rid: 1 }));
+        assert_eq!(server.versions_held(mine), 2); // initial + prewritten
+        assert_eq!(server.versions_held(foreign), 0); // skipped, no slot
+
+        let mut ctx: Ctx<ShardedCas> = Ctx::new(NodeId::server(0), 1);
+        server.on_message(
+            from,
+            ShardedCasMsg::Finalize {
+                rid: 2,
+                items: vec![(foreign, t), (mine, t)],
+            },
+            &mut ctx,
+        );
+        let (out, _) = ctx.into_effects();
+        assert!(matches!(out[0].1, ShardedCasMsg::FinAck { rid: 2 }));
+        assert_eq!(server.max_finalized(mine), t);
+        assert_eq!(server.max_finalized(foreign), Tag::ZERO);
+
+        let mut ctx: Ctx<ShardedCas> = Ctx::new(NodeId::server(0), 2);
+        server.on_message(
+            from,
+            ShardedCasMsg::ReadGet {
+                rid: 3,
+                items: vec![(foreign, t), (mine, t)],
+            },
+            &mut ctx,
+        );
+        let (out, _) = ctx.into_effects();
+        let ShardedCasMsg::ReadResp { rid: 3, ref items } = out[0].1 else {
+            panic!("expected ReadResp, got {:?}", out[0].1);
+        };
+        // The out-of-shard key is omitted, not answered with junk.
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].0, mine);
+    }
+
+    /// Regression: a `ReadResp` echo from a server that does not cover the
+    /// key must count toward neither the read quorum nor the share pool —
+    /// previously it counted toward the quorum and then panicked when its
+    /// (nonexistent) codeword position was looked up.
+    #[test]
+    fn sharded_reader_ignores_noncovering_read_responses() {
+        let map = ShardMap::new(6, 2, 3);
+        let cfg = ShardedCasConfig::native(map, 1, ValueSpec::from_bits(64.0));
+        let q = cfg.quorum(); // 2 of 3 replicas
+        assert_eq!(q, 2);
+        let key: Key = (0..100).find(|&k| map.covers(0, k)).unwrap();
+        let covering: Vec<u32> = map.servers_of_key(key).collect();
+        let outsider = (0..map.n()).find(|&s| !covering.contains(&s)).unwrap();
+
+        let mut client = ShardedCasClient::new(cfg.clone(), 0);
+        let mut ctx: Ctx<ShardedCas> = Ctx::new(NodeId::client(0), 0);
+        client.on_invoke(MultiInv::reads(&[key]), &mut ctx);
+        let (out, _) = ctx.into_effects();
+        assert_eq!(out.len(), covering.len());
+
+        // Advance past the tag query: a quorum reports Tag::ZERO.
+        for &s in covering.iter().take(q as usize) {
+            let mut ctx: Ctx<ShardedCas> = Ctx::new(NodeId::client(0), 1);
+            client.on_message(
+                NodeId::server(s),
+                ShardedCasMsg::QueryTagResp {
+                    rid: 1,
+                    items: vec![(key, Tag::ZERO)],
+                },
+                &mut ctx,
+            );
+            let (out, resp) = ctx.into_effects();
+            assert!(resp.is_empty());
+            let _ = out;
+        }
+
+        // A non-covering server echoes a share it cannot legally hold.
+        let mut ctx: Ctx<ShardedCas> = Ctx::new(NodeId::client(0), 2);
+        client.on_message(
+            NodeId::server(outsider),
+            ShardedCasMsg::ReadResp {
+                rid: 2,
+                items: vec![(key, Some(vec![0xEE, 0xEE]))],
+            },
+            &mut ctx,
+        );
+        let (out, resp) = ctx.into_effects();
+        assert!(
+            out.is_empty() && resp.is_empty(),
+            "echo must not complete a quorum"
+        );
+
+        // Genuine covering replies with the initial-value shares complete
+        // the read and decode to the initial value — untainted.
+        let encoded = cfg.code().encode_bytes(&ValueSpec::to_bytes(0));
+        let mut done = Vec::new();
+        for &s in covering.iter().take(q as usize) {
+            let pos = map.position_for_key(s, key).unwrap() as usize;
+            let mut ctx: Ctx<ShardedCas> = Ctx::new(NodeId::client(0), 3);
+            client.on_message(
+                NodeId::server(s),
+                ShardedCasMsg::ReadResp {
+                    rid: 2,
+                    items: vec![(key, Some(encoded[pos].clone()))],
+                },
+                &mut ctx,
+            );
+            let (_, resp) = ctx.into_effects();
+            done.extend(resp);
+        }
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].get(key), Some(&RegResp::ReadValue(0)));
     }
 }

@@ -214,10 +214,15 @@ impl MultiResp {
 /// Every `(key, op)` of a batch becomes an operation in `key`'s history
 /// with the *batch's* invocation/response interval — the per-key operation
 /// was live for at least that interval, so atomicity of every projection
-/// is exactly the multi-register correctness condition. Mirroring the
-/// nemesis driver's convention, a key whose read came back as
-/// [`RegResp::ReadFailed`] is recorded as *incomplete* (a failed read
-/// constrains nothing), as is any key missing from the response.
+/// is exactly the multi-register correctness condition.
+///
+/// A key whose read came back as [`RegResp::ReadFailed`] is *omitted*: a
+/// failed read returned nothing, so it constrains no checker — and the
+/// client went on to its next operation, so recording the failure as an
+/// open interval would break per-client well-formedness. A key missing
+/// from the response (operation timed out; the client retired without
+/// invoking again) stays recorded as incomplete, since a half-delivered
+/// write may still have taken effect.
 ///
 /// Only touched keys appear; each history starts from `initial`.
 pub fn project_histories(
@@ -231,17 +236,18 @@ pub fn project_histories(
                 RegInv::Write(v) => OpKind::Write(v),
                 RegInv::Read => OpKind::Read,
             };
+            let outcome = record
+                .responded_at
+                .zip(record.response.as_ref().and_then(|r| r.get(*key)));
+            if let Some((_, RegResp::ReadFailed(_))) = outcome {
+                continue;
+            }
             let h = histories
                 .entry(*key)
                 .or_insert_with(|| History::new(initial));
             let id = h.begin(record.client.0, kind, record.invoked_at);
-            let outcome = record
-                .responded_at
-                .zip(record.response.as_ref().and_then(|r| r.get(*key)));
-            match outcome {
-                Some((_, RegResp::ReadFailed(_))) => {}
-                Some((t, resp)) => h.complete(id, t, resp.read_value()),
-                None => {}
+            if let Some((t, resp)) = outcome {
+                h.complete(id, t, resp.read_value());
             }
         }
     }
@@ -358,10 +364,10 @@ mod tests {
     }
 
     #[test]
-    fn projection_leaves_failed_reads_incomplete() {
+    fn projection_omits_failed_reads() {
         use shmem_erasure::CodeError;
         use shmem_sim::ClientId;
-        let ops = vec![OpRecord {
+        let failed = OpRecord {
             client: ClientId(0),
             invoked_at: 1,
             responded_at: Some(4),
@@ -369,6 +375,33 @@ mod tests {
             response: Some(MultiResp {
                 ops: vec![(5, RegResp::ReadFailed(CodeError::LengthMismatch))],
             }),
+        };
+        // The same client moves on after the failure; its later read of
+        // the key must leave the projection well-formed and atomic.
+        let later = OpRecord {
+            client: ClientId(0),
+            invoked_at: 6,
+            responded_at: Some(9),
+            invocation: MultiInv::reads(&[5]),
+            response: Some(MultiResp {
+                ops: vec![(5, RegResp::ReadValue(0))],
+            }),
+        };
+        let hs = project_histories(0, &[failed, later]);
+        assert_eq!(hs[&5].len(), 1, "failed read must not be recorded");
+        assert!(hs[&5].is_well_formed());
+        assert!(shmem_spec::check_atomic(&hs[&5]).is_ok());
+    }
+
+    #[test]
+    fn projection_keeps_timed_out_ops_incomplete() {
+        use shmem_sim::ClientId;
+        let ops = vec![OpRecord {
+            client: ClientId(0),
+            invoked_at: 1,
+            responded_at: None,
+            invocation: MultiInv::writes(&[(5, 50)]),
+            response: None,
         }];
         let hs = project_histories(0, &ops);
         assert!(!hs[&5].ops()[0].is_complete());

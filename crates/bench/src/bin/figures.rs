@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! figures [all|fig1|tab-finite-v|tab-ratio|tab-crossover|tab-measured|
-//!          tab-constraint|tab-multiwrite|tab-section7|tab-simperf|...] [--csv DIR]
+//!          tab-constraint|tab-multiwrite|tab-section7|tab-simperf|
+//!          tab-net|...] [--csv DIR]
 //! ```
 //!
 //! With `--csv DIR`, each table is also written as `DIR/<id>.csv`.
@@ -53,6 +54,7 @@ fn main() {
             "tab-fuzz",
             "tab-simperf",
             "tab-shard",
+            "tab-net",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -92,6 +94,7 @@ fn main() {
             "tab-metrics" => measured::metrics_table(5, 1, &[1, 2, 3], 42),
             "tab-simperf" => measured::simperf_table(9, 50),
             "tab-shard" => measured::shard_table(42),
+            "tab-net" => measured::net_table(42),
             "tab-fuzz" => measured::fuzz_table(
                 21,
                 100_000,

@@ -1,0 +1,633 @@
+//! Cluster orchestration: spin up server loops and client workers over
+//! a chosen backend, run a load, collect histories and storage probes.
+//!
+//! [`NetCluster`] is the generic machinery (start/kill/restart servers,
+//! spawn a load, sever connections); [`NetScenario`] is the convenient
+//! front door the tests and the `tab-net` bench use — pick an algorithm,
+//! a backend, and a [`LoadConfig`], get a [`NetOutcome`] whose histories
+//! feed the same `shmem-spec` checkers the simulator uses.
+
+use crate::client::{run_worker, LoadConfig, WorkerReport};
+use crate::error::NetError;
+use crate::serve::{serve_until, ServeStats};
+use crate::tcp::{addr_table, AddrTable, PoolFaults, TcpClientTransport, TcpServerTransport};
+use crate::transport::InProcHub;
+use crate::wire::WireMsg;
+use shmem_algorithms::abd::{ShardedAbd, ShardedAbdClient, ShardedAbdServer};
+use shmem_algorithms::cas::{ShardedCas, ShardedCasClient, ShardedCasConfig, ShardedCasServer};
+use shmem_algorithms::hashed::{ShardedHashed, ShardedHashedClient, ShardedHashedServer};
+use shmem_algorithms::multikey::{project_histories, Key, MultiInv, MultiResp, ShardMap};
+use shmem_algorithms::value::{Value, ValueSpec};
+use shmem_sim::{ClientId, Histogram, Node, NodeId, OpRecord, Protocol, ServerId};
+use shmem_spec::{check_atomic, History, Violation};
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Which emulation algorithm a net run drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetAlgorithm {
+    /// Sharded multi-writer ABD (replicated).
+    Abd,
+    /// Sharded CAS with the native (`k = r − 2f`) code.
+    Cas,
+    /// Sharded CAS with the storage-optimal (`k = r − f`) code and GC —
+    /// the configuration whose steady-state storage meets the paper's
+    /// `N/(N−f)` bound exactly.
+    CodedCas,
+    /// Sharded hashed-CAS (announce-then-write interlock).
+    Hashed,
+}
+
+impl NetAlgorithm {
+    /// Short table/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetAlgorithm::Abd => "abd",
+            NetAlgorithm::Cas => "cas",
+            NetAlgorithm::CodedCas => "coded-cas",
+            NetAlgorithm::Hashed => "hashed",
+        }
+    }
+
+    /// Parses a table/CLI name.
+    pub fn parse(s: &str) -> Option<NetAlgorithm> {
+        match s {
+            "abd" => Some(NetAlgorithm::Abd),
+            "cas" => Some(NetAlgorithm::Cas),
+            "coded-cas" => Some(NetAlgorithm::CodedCas),
+            "hashed" => Some(NetAlgorithm::Hashed),
+            _ => None,
+        }
+    }
+}
+
+/// Which transport backend carries the messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetBackend {
+    /// In-process channel routing (no syscalls) — the differential
+    /// baseline.
+    InProc,
+    /// Real TCP over loopback with framing and a reconnecting pool.
+    Tcp,
+}
+
+impl NetBackend {
+    /// Short table/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetBackend::InProc => "inproc",
+            NetBackend::Tcp => "tcp",
+        }
+    }
+}
+
+enum BackendState {
+    InProc(InProcHub),
+    Tcp { table: AddrTable },
+}
+
+struct ServerSlot<P: Protocol> {
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<(P::Server, ServeStats)>>,
+    /// The automaton of a killed server, retained for restart (the
+    /// durable-storage crash model: state survives, volatile connections
+    /// do not).
+    parked: Option<P::Server>,
+}
+
+/// A running cluster of server event loops over one backend.
+pub struct NetCluster<P: Protocol> {
+    backend: BackendState,
+    servers: Vec<ServerSlot<P>>,
+    stats: Vec<ServeStats>,
+    epoch: Instant,
+}
+
+/// A load in flight: worker joins plus fault handles.
+pub struct LoadHandle {
+    joins: Vec<JoinHandle<WorkerReport>>,
+    faults: Vec<PoolFaults>,
+    started: Instant,
+}
+
+/// Aggregated outcome of one load.
+pub struct NetRunReport {
+    /// All workers' operation records, usable with `project_histories`.
+    pub records: Vec<OpRecord<MultiInv, MultiResp>>,
+    /// Merged operation latency histogram (nanoseconds).
+    pub latency_ns: Histogram,
+    /// Protocol messages sent by clients (incl. retransmissions).
+    pub msgs_sent: u64,
+    /// Client wire bytes, via `Protocol::msg_wire_bytes`.
+    pub wire_bytes: u64,
+    /// Retransmission rounds fired.
+    pub retransmits: u64,
+    /// Completed operations.
+    pub completed: u64,
+    /// Logical clients retired on op timeout.
+    pub retired: u64,
+    /// Wall-clock duration of the load.
+    pub wall: Duration,
+}
+
+impl NetRunReport {
+    /// Completed operations per second.
+    pub fn throughput(&self) -> f64 {
+        self.completed as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Per-key single-register histories, exactly as the simulator
+    /// harness builds them.
+    pub fn histories(&self, initial: Value) -> BTreeMap<Key, History<Value>> {
+        project_histories(initial, &self.records)
+    }
+
+    /// Runs the atomicity checker over every per-key projection.
+    ///
+    /// # Errors
+    ///
+    /// The first `(key, violation)` found, if any.
+    pub fn check_atomic_all(&self, initial: Value) -> Result<usize, (Key, Violation)> {
+        let mut checked = 0;
+        for (key, history) in self.histories(initial) {
+            if let Err(v) = check_atomic(&history) {
+                return Err((key, v));
+            }
+            checked += 1;
+        }
+        Ok(checked)
+    }
+
+    /// Latency quantile upper bound in microseconds.
+    pub fn latency_us(&self, q: f64) -> f64 {
+        self.latency_ns
+            .quantile_bounds(q)
+            .map_or(0.0, |(_, hi)| hi as f64 / 1_000.0)
+    }
+}
+
+impl<P> NetCluster<P>
+where
+    P: Protocol<Inv = MultiInv, Resp = MultiResp>,
+    P::Msg: WireMsg,
+    P::Server: Send + 'static,
+    P::Client: Send + 'static,
+{
+    /// Starts one event loop per automaton over `backend`.
+    pub fn start(backend: NetBackend, automata: Vec<P::Server>) -> NetCluster<P> {
+        let backend = match backend {
+            NetBackend::InProc => BackendState::InProc(InProcHub::new()),
+            NetBackend::Tcp => BackendState::Tcp {
+                table: addr_table(Vec::new()),
+            },
+        };
+        let mut cluster = NetCluster {
+            backend,
+            servers: Vec::new(),
+            stats: Vec::new(),
+            epoch: Instant::now(),
+        };
+        for (i, automaton) in automata.into_iter().enumerate() {
+            cluster.servers.push(ServerSlot {
+                stop: Arc::new(AtomicBool::new(false)),
+                join: None,
+                parked: Some(automaton),
+            });
+            cluster.stats.push(ServeStats::default());
+            cluster.launch(i);
+        }
+        cluster
+    }
+
+    /// (Re)launches server `i` from its parked automaton.
+    fn launch(&mut self, i: usize) {
+        let automaton = self.servers[i]
+            .parked
+            .take()
+            .expect("server automaton not parked");
+        let stop = Arc::new(AtomicBool::new(false));
+        self.servers[i].stop = Arc::clone(&stop);
+        let me = ServerId(i as u32);
+        let join = match &self.backend {
+            BackendState::InProc(hub) => {
+                let ep = hub.endpoint(&[NodeId::Server(me)]);
+                thread::spawn(move || serve_until::<P, _>(automaton, me, ep, stop))
+            }
+            BackendState::Tcp { table } => {
+                let transport = TcpServerTransport::bind("127.0.0.1:0".parse().unwrap())
+                    .expect("bind loopback");
+                let addr = transport.local_addr();
+                let mut t = table.lock().expect("addr table poisoned");
+                if t.len() <= i {
+                    t.resize(i + 1, addr);
+                }
+                // A restart lands on a fresh ephemeral port; publishing
+                // it here is what makes reconnecting pools find the new
+                // incarnation.
+                t[i] = addr;
+                drop(t);
+                thread::spawn(move || serve_until::<P, _>(automaton, me, transport, stop))
+            }
+        };
+        self.servers[i].join = Some(join);
+    }
+
+    /// The TCP address table (TCP backend only).
+    pub fn addrs(&self) -> Option<Vec<SocketAddr>> {
+        match &self.backend {
+            BackendState::Tcp { table } => Some(table.lock().expect("addr table poisoned").clone()),
+            BackendState::InProc(_) => None,
+        }
+    }
+
+    /// Kills server `i`: stops its loop and drops its transport (TCP
+    /// connections reset; in-proc route vanishes). Its automaton state is
+    /// retained for [`NetCluster::restart_server`].
+    pub fn kill_server(&mut self, i: usize) {
+        if let BackendState::InProc(hub) = &self.backend {
+            hub.drop_route(NodeId::Server(ServerId(i as u32)));
+        }
+        self.servers[i].stop.store(true, Ordering::Release);
+        if let Some(join) = self.servers[i].join.take() {
+            let (automaton, stats) = join.join().expect("server thread panicked");
+            self.stats[i] = merge_stats(self.stats[i], stats);
+            self.servers[i].parked = Some(automaton);
+        }
+    }
+
+    /// Restarts a killed server with its retained state, on a fresh
+    /// ephemeral port under TCP.
+    pub fn restart_server(&mut self, i: usize) {
+        assert!(
+            self.servers[i].parked.is_some(),
+            "restart_server on a live server"
+        );
+        self.launch(i);
+    }
+
+    /// Spawns a closed-loop load of `cfg.clients` logical clients.
+    pub fn spawn_load(
+        &self,
+        cfg: &LoadConfig,
+        make_client: impl Fn(ClientId) -> P::Client + Send + Sync + 'static,
+    ) -> LoadHandle {
+        let make_client = Arc::new(make_client);
+        let mut joins = Vec::new();
+        let mut faults = Vec::new();
+        let epoch = self.epoch;
+        for block in cfg.client_blocks() {
+            let cfg = cfg.clone();
+            let make_client = Arc::clone(&make_client);
+            match &self.backend {
+                BackendState::InProc(hub) => {
+                    let ids: Vec<NodeId> = block.iter().map(|&c| NodeId::Client(c)).collect();
+                    let ep = hub.endpoint(&ids);
+                    joins.push(thread::spawn(move || {
+                        run_worker::<P, _>(ep, block, |id| make_client(id), &cfg, epoch)
+                    }));
+                }
+                BackendState::Tcp { table } => {
+                    let pool = TcpClientTransport::new(Arc::clone(table));
+                    faults.push(pool.faults());
+                    joins.push(thread::spawn(move || {
+                        run_worker::<P, _>(pool, block, |id| make_client(id), &cfg, epoch)
+                    }));
+                }
+            }
+        }
+        LoadHandle {
+            joins,
+            faults,
+            started: Instant::now(),
+        }
+    }
+
+    /// Stops every server and returns the automata (for storage probes).
+    pub fn shutdown(mut self) -> Vec<P::Server> {
+        let n = self.servers.len();
+        for i in 0..n {
+            if self.servers[i].join.is_some() {
+                self.kill_server(i);
+            }
+        }
+        self.servers
+            .into_iter()
+            .map(|s| s.parked.expect("automaton parked at shutdown"))
+            .collect()
+    }
+}
+
+impl LoadHandle {
+    /// Severs every pooled client connection (TCP backend; no-op for
+    /// in-proc loads, which have no connections to cut).
+    pub fn sever_connections(&self) {
+        for f in &self.faults {
+            f.sever_all();
+        }
+    }
+
+    /// Total successful pool connects across workers (grows on
+    /// reconnection — the fault tests' observable).
+    pub fn connects(&self) -> u64 {
+        self.faults.iter().map(|f| f.connects()).sum()
+    }
+
+    /// Waits for every worker and aggregates.
+    pub fn join(self) -> NetRunReport {
+        let mut report = NetRunReport {
+            records: Vec::new(),
+            latency_ns: Histogram::new(),
+            msgs_sent: 0,
+            wire_bytes: 0,
+            retransmits: 0,
+            completed: 0,
+            retired: 0,
+            wall: Duration::ZERO,
+        };
+        for join in self.joins {
+            let w = join.join().expect("worker thread panicked");
+            report.records.extend(w.records);
+            report.latency_ns.merge(&w.latency_ns);
+            report.msgs_sent += w.msgs_sent;
+            report.wire_bytes += w.wire_bytes;
+            report.retransmits += w.retransmits;
+            report.completed += w.completed;
+            report.retired += w.retired;
+        }
+        report.wall = self.started.elapsed();
+        report
+    }
+}
+
+fn merge_stats(a: ServeStats, b: ServeStats) -> ServeStats {
+    ServeStats {
+        msgs_in: a.msgs_in + b.msgs_in,
+        msgs_out: a.msgs_out + b.msgs_out,
+        wire_bytes_out: a.wire_bytes_out + b.wire_bytes_out,
+        decode_errors: a.decode_errors + b.decode_errors,
+    }
+}
+
+/// A complete, declarative net experiment.
+#[derive(Clone, Debug)]
+pub struct NetScenario {
+    /// The algorithm under test.
+    pub algorithm: NetAlgorithm,
+    /// The transport backend.
+    pub backend: NetBackend,
+    /// Servers.
+    pub n: u32,
+    /// Failure tolerance (per shard).
+    pub f: u32,
+    /// Shards; `1` means every server covers every key
+    /// ([`ShardMap::full`]).
+    pub shards: u32,
+    /// Replicas per shard (ignored when `shards == 1`).
+    pub replicas: u32,
+    /// Register initial value.
+    pub initial: Value,
+    /// Settle time between the last response and the storage probe:
+    /// clients complete on quorum acknowledgements, so trailing finalize
+    /// rounds are still in flight when the load joins, and steady-state
+    /// storage is only meaningful after they land.
+    pub drain: Duration,
+    /// The load to generate.
+    pub load: LoadConfig,
+}
+
+impl NetScenario {
+    /// A 5-server, `f = 1`, unsharded scenario — the differential tests'
+    /// default geometry.
+    pub fn new(algorithm: NetAlgorithm, backend: NetBackend) -> NetScenario {
+        NetScenario {
+            algorithm,
+            backend,
+            n: 5,
+            f: 1,
+            shards: 1,
+            replicas: 5,
+            initial: 0,
+            drain: Duration::from_millis(300),
+            load: LoadConfig::default(),
+        }
+    }
+
+    /// The key placement this scenario uses.
+    pub fn map(&self) -> ShardMap {
+        if self.shards <= 1 {
+            ShardMap::full(self.n)
+        } else {
+            ShardMap::new(self.n, self.shards, self.replicas)
+        }
+    }
+
+    fn value_spec(&self) -> ValueSpec {
+        ValueSpec::from_bits(64.0)
+    }
+
+    fn cas_config(&self) -> ShardedCasConfig {
+        let map = self.map();
+        match self.algorithm {
+            NetAlgorithm::Cas => ShardedCasConfig::native(map, self.f, self.value_spec()),
+            NetAlgorithm::CodedCas => {
+                ShardedCasConfig::coded(map, self.f, self.value_spec()).with_gc(0)
+            }
+            NetAlgorithm::Hashed => ShardedCasConfig::native(map, self.f, self.value_spec()),
+            NetAlgorithm::Abd => unreachable!("ABD has no CAS config"),
+        }
+    }
+
+    /// Runs the scenario to completion: start servers, run the load,
+    /// drain, shut down, probe storage.
+    pub fn run(&self) -> NetOutcome {
+        match self.algorithm {
+            NetAlgorithm::Abd => {
+                let spec = self.value_spec();
+                let initial = self.initial;
+                let servers = (0..self.n)
+                    .map(|_| ShardedAbdServer::new(initial, spec))
+                    .collect();
+                let cluster = NetCluster::<ShardedAbd>::start(self.backend, servers);
+                let map = self.map();
+                let handle =
+                    cluster.spawn_load(&self.load, move |id| ShardedAbdClient::new(map, id.0));
+                let report = handle.join();
+                thread::sleep(self.drain);
+                let automata = cluster.shutdown();
+                let state_bits: f64 = automata.iter().map(Node::<ShardedAbd>::state_bits).sum();
+                NetOutcome {
+                    report,
+                    state_bits,
+                    touched_keys: None,
+                }
+            }
+            NetAlgorithm::Cas | NetAlgorithm::CodedCas => {
+                let cfg = self.cas_config();
+                let initial = self.initial;
+                let servers = (0..self.n)
+                    .map(|i| ShardedCasServer::new(cfg.clone(), ServerId(i), initial))
+                    .collect();
+                let cluster = NetCluster::<ShardedCas>::start(self.backend, servers);
+                let client_cfg = cfg.clone();
+                let handle = cluster.spawn_load(&self.load, move |id| {
+                    ShardedCasClient::new(client_cfg.clone(), id.0)
+                });
+                let report = handle.join();
+                thread::sleep(self.drain);
+                let automata = cluster.shutdown();
+                let state_bits: f64 = automata.iter().map(Node::<ShardedCas>::state_bits).sum();
+                let touched: usize = automata.iter().map(|s| s.keys_held()).sum();
+                NetOutcome {
+                    report,
+                    state_bits,
+                    touched_keys: Some(touched as f64 / f64::from(cfg.map.replicas())),
+                }
+            }
+            NetAlgorithm::Hashed => {
+                let cfg = self.cas_config();
+                let initial = self.initial;
+                let servers = (0..self.n)
+                    .map(|i| ShardedHashedServer::new(cfg.clone(), ServerId(i), initial))
+                    .collect();
+                let cluster = NetCluster::<ShardedHashed>::start(self.backend, servers);
+                let client_cfg = cfg.clone();
+                let handle = cluster.spawn_load(&self.load, move |id| {
+                    ShardedHashedClient::new(client_cfg.clone(), id.0)
+                });
+                let report = handle.join();
+                thread::sleep(self.drain);
+                let automata = cluster.shutdown();
+                let state_bits: f64 = automata.iter().map(Node::<ShardedHashed>::state_bits).sum();
+                let touched: usize = automata.iter().map(|s| s.cas().keys_held()).sum();
+                NetOutcome {
+                    report,
+                    state_bits,
+                    touched_keys: Some(touched as f64 / f64::from(cfg.map.replicas())),
+                }
+            }
+        }
+    }
+}
+
+/// Serves one server of `scenario` on `addr` until the process dies —
+/// the `shmem-server` binary's engine. `announce` receives the actually
+/// bound address (useful with port 0) before the loop starts.
+///
+/// # Errors
+///
+/// [`NetError::Io`] if binding fails.
+pub fn serve_forever(
+    scenario: &NetScenario,
+    index: u32,
+    addr: SocketAddr,
+    announce: impl FnOnce(SocketAddr),
+) -> Result<(), NetError> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let me = ServerId(index);
+    let transport = TcpServerTransport::bind(addr)?;
+    announce(transport.local_addr());
+    match scenario.algorithm {
+        NetAlgorithm::Abd => {
+            let s = ShardedAbdServer::new(scenario.initial, ValueSpec::from_bits(64.0));
+            serve_until::<ShardedAbd, _>(s, me, transport, stop);
+        }
+        NetAlgorithm::Cas | NetAlgorithm::CodedCas => {
+            let s = ShardedCasServer::new(scenario.cas_config(), me, scenario.initial);
+            serve_until::<ShardedCas, _>(s, me, transport, stop);
+        }
+        NetAlgorithm::Hashed => {
+            let s = ShardedHashedServer::new(scenario.cas_config(), me, scenario.initial);
+            serve_until::<ShardedHashed, _>(s, me, transport, stop);
+        }
+    }
+    Ok(())
+}
+
+/// Runs `scenario.load` against externally-started TCP servers at
+/// `addrs` — the `shmem-client` binary's engine. No storage probe (the
+/// server states live in other processes); the returned report still
+/// carries everything the atomicity checkers need.
+pub fn run_remote(scenario: &NetScenario, addrs: Vec<SocketAddr>) -> NetRunReport {
+    let table = addr_table(addrs);
+    let epoch = Instant::now();
+    match scenario.algorithm {
+        NetAlgorithm::Abd => {
+            let map = scenario.map();
+            spawn_remote::<ShardedAbd>(&scenario.load, table, epoch, move |id| {
+                ShardedAbdClient::new(map, id.0)
+            })
+        }
+        NetAlgorithm::Cas | NetAlgorithm::CodedCas => {
+            let cfg = scenario.cas_config();
+            spawn_remote::<ShardedCas>(&scenario.load, table, epoch, move |id| {
+                ShardedCasClient::new(cfg.clone(), id.0)
+            })
+        }
+        NetAlgorithm::Hashed => {
+            let cfg = scenario.cas_config();
+            spawn_remote::<ShardedHashed>(&scenario.load, table, epoch, move |id| {
+                ShardedHashedClient::new(cfg.clone(), id.0)
+            })
+        }
+    }
+}
+
+fn spawn_remote<P>(
+    load: &LoadConfig,
+    table: AddrTable,
+    epoch: Instant,
+    make_client: impl Fn(ClientId) -> P::Client + Send + Sync + 'static,
+) -> NetRunReport
+where
+    P: Protocol<Inv = MultiInv, Resp = MultiResp>,
+    P::Msg: WireMsg,
+    P::Server: Send + 'static,
+    P::Client: Send + 'static,
+{
+    let make_client = Arc::new(make_client);
+    let mut joins = Vec::new();
+    let mut faults = Vec::new();
+    for block in load.client_blocks() {
+        let cfg = load.clone();
+        let make_client = Arc::clone(&make_client);
+        let pool = TcpClientTransport::new(Arc::clone(&table));
+        faults.push(pool.faults());
+        joins.push(thread::spawn(move || {
+            run_worker::<P, _>(pool, block, |id| make_client(id), &cfg, epoch)
+        }));
+    }
+    LoadHandle {
+        joins,
+        faults,
+        started: Instant::now(),
+    }
+    .join()
+}
+
+/// A finished scenario: the load report plus a storage probe over the
+/// final server states.
+pub struct NetOutcome {
+    /// The aggregated load report.
+    pub report: NetRunReport,
+    /// Total value-bearing server storage, in bits.
+    pub state_bits: f64,
+    /// Keys with materialized state, normalized by replication (CAS
+    /// variants only — ABD's per-key storage is trivially `N`).
+    pub touched_keys: Option<f64>,
+}
+
+impl NetOutcome {
+    /// Steady-state storage per touched key, normalized by the 64-bit
+    /// value size — directly comparable to the paper's `N/(N−f)` bound.
+    pub fn per_key_storage(&self) -> Option<f64> {
+        let touched = self.touched_keys?;
+        if touched == 0.0 {
+            return None;
+        }
+        Some(self.state_bits / (touched * 64.0))
+    }
+}

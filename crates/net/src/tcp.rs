@@ -1,0 +1,554 @@
+//! The real-network backend: TCP sockets carrying [`crate::frame`]
+//! frames.
+//!
+//! * [`TcpServerTransport`] — a listener plus one reader thread per
+//!   accepted connection. Reply routes are learned from the `from`
+//!   field of inbound frames, so any number of logical clients can
+//!   multiplex over one connection with no handshake. A connection that
+//!   sends garbage is closed; the server itself survives.
+//! * [`TcpClientTransport`] — a lazily-connecting pool, one connection
+//!   per server, with bounded-retry exponential backoff and automatic
+//!   reconnection after failures. Server addresses are read from a
+//!   shared [`AddrTable`] *on every connect attempt*, so a server that
+//!   restarts on a new port becomes reachable the moment the table is
+//!   updated.
+//!
+//! Both ends are best-effort: delivery failures drop the message (the
+//! client layer retransmits; the protocols dedupe), and only an
+//! exhausted reconnect budget surfaces as [`NetError::Disconnected`].
+
+use crate::error::NetError;
+use crate::frame::{read_frame, write_frame, Envelope};
+use crate::transport::Transport;
+use shmem_sim::{NodeId, ServerId};
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Shared, mutable map from server index to socket address.
+///
+/// The harness updates a restarted server's entry; client pools re-read
+/// it on every connect attempt.
+pub type AddrTable = Arc<Mutex<Vec<SocketAddr>>>;
+
+/// Builds an [`AddrTable`] from initial addresses.
+pub fn addr_table(addrs: Vec<SocketAddr>) -> AddrTable {
+    Arc::new(Mutex::new(addrs))
+}
+
+fn spawn_reader(
+    stream: TcpStream,
+    inbox: Sender<Envelope>,
+    alive: Arc<AtomicBool>,
+    decode_errors: Arc<AtomicU64>,
+) {
+    thread::spawn(move || {
+        let mut stream = stream;
+        loop {
+            match read_frame(&mut stream) {
+                Ok(Some(env)) => {
+                    if inbox.send(env).is_err() {
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(NetError::Frame(_)) | Err(NetError::Wire(_)) => {
+                    // Garbage on the stream: count it, drop the
+                    // connection, keep the endpoint alive.
+                    decode_errors.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        alive.store(false, Ordering::Release);
+        let _ = stream.shutdown(Shutdown::Both);
+    });
+}
+
+/// One pooled connection: a shared write half plus a liveness flag the
+/// reader thread clears on failure.
+#[derive(Clone)]
+struct Conn {
+    stream: Arc<Mutex<TcpStream>>,
+    alive: Arc<AtomicBool>,
+}
+
+impl Conn {
+    fn write(&self, env: &Envelope) -> Result<(), NetError> {
+        let mut guard = self.stream.lock().expect("conn stream poisoned");
+        write_frame(&mut *guard, env)
+    }
+
+    fn sever(&self) {
+        self.alive.store(false, Ordering::Release);
+        let guard = self.stream.lock().expect("conn stream poisoned");
+        let _ = guard.shutdown(Shutdown::Both);
+    }
+}
+
+/// Server-side TCP endpoint: accept loop, per-connection readers,
+/// learned reply routes.
+pub struct TcpServerTransport {
+    inbox_rx: Receiver<Envelope>,
+    shared: Arc<ServerShared>,
+    local_addr: SocketAddr,
+}
+
+struct ServerShared {
+    stop: AtomicBool,
+    routes: Mutex<HashMap<NodeId, Conn>>,
+    conns: Mutex<Vec<Conn>>,
+    decode_errors: Arc<AtomicU64>,
+}
+
+impl TcpServerTransport {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] if binding fails.
+    pub fn bind(addr: SocketAddr) -> Result<TcpServerTransport, NetError> {
+        let listener = TcpListener::bind(addr).map_err(|e| NetError::io(&e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| NetError::io(&e))?;
+        let local_addr = listener.local_addr().map_err(|e| NetError::io(&e))?;
+        let (inbox_tx, inbox_rx) = mpsc::channel::<Envelope>();
+        let shared = Arc::new(ServerShared {
+            stop: AtomicBool::new(false),
+            routes: Mutex::new(HashMap::new()),
+            conns: Mutex::new(Vec::new()),
+            decode_errors: Arc::new(AtomicU64::new(0)),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        thread::spawn(move || {
+            while !accept_shared.stop.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let _ = stream.set_nodelay(true);
+                        let alive = Arc::new(AtomicBool::new(true));
+                        let conn = Conn {
+                            stream: Arc::new(Mutex::new(
+                                stream.try_clone().expect("tcp stream clone"),
+                            )),
+                            alive: Arc::clone(&alive),
+                        };
+                        accept_shared
+                            .conns
+                            .lock()
+                            .expect("server conns poisoned")
+                            .push(conn.clone());
+                        // The reader tags routes as frames arrive; stash
+                        // the conn so route learning can find it.
+                        let inbox = RouteLearningSender {
+                            inner: inbox_tx.clone(),
+                            conn,
+                            routes: Arc::clone(&accept_shared),
+                        };
+                        spawn_server_reader(
+                            stream,
+                            inbox,
+                            alive,
+                            Arc::clone(&accept_shared.decode_errors),
+                        );
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        Ok(TcpServerTransport {
+            inbox_rx,
+            shared,
+            local_addr,
+        })
+    }
+
+    /// The bound socket address (with the real port when bound to 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Count of connections dropped for sending undecodable bytes.
+    pub fn decode_errors(&self) -> u64 {
+        self.shared.decode_errors.load(Ordering::Relaxed)
+    }
+}
+
+/// Forwards inbound envelopes to the server inbox while recording which
+/// connection each source node last used, so replies can be routed back
+/// without any handshake.
+struct RouteLearningSender {
+    inner: Sender<Envelope>,
+    conn: Conn,
+    routes: Arc<ServerShared>,
+}
+
+impl RouteLearningSender {
+    fn deliver(&self, env: Envelope) -> bool {
+        self.routes
+            .routes
+            .lock()
+            .expect("server routes poisoned")
+            .insert(env.from, self.conn.clone());
+        self.inner.send(env).is_ok()
+    }
+}
+
+fn spawn_server_reader(
+    stream: TcpStream,
+    inbox: RouteLearningSender,
+    alive: Arc<AtomicBool>,
+    decode_errors: Arc<AtomicU64>,
+) {
+    thread::spawn(move || {
+        let mut stream = stream;
+        loop {
+            match read_frame(&mut stream) {
+                Ok(Some(env)) => {
+                    if !inbox.deliver(env) {
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(NetError::Frame(_)) | Err(NetError::Wire(_)) => {
+                    decode_errors.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        alive.store(false, Ordering::Release);
+        let _ = stream.shutdown(Shutdown::Both);
+    });
+}
+
+impl Transport for TcpServerTransport {
+    fn send(&mut self, env: &Envelope) -> Result<(), NetError> {
+        let conn = {
+            let routes = self.shared.routes.lock().expect("server routes poisoned");
+            routes.get(&env.to).cloned()
+        };
+        let Some(conn) = conn else {
+            // Unknown peer: it never spoke to us, or its connection died.
+            // Best-effort delivery drops the message.
+            return Ok(());
+        };
+        if !conn.alive.load(Ordering::Acquire) || conn.write(env).is_err() {
+            conn.sever();
+            let mut routes = self.shared.routes.lock().expect("server routes poisoned");
+            routes.remove(&env.to);
+        }
+        Ok(())
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Envelope>, NetError> {
+        match self.inbox_rx.recv_timeout(timeout) {
+            Ok(env) => Ok(Some(env)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(NetError::Shutdown),
+        }
+    }
+}
+
+impl Drop for TcpServerTransport {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        let conns = self.shared.conns.lock().expect("server conns poisoned");
+        for c in conns.iter() {
+            c.sever();
+        }
+    }
+}
+
+/// Client-side TCP endpoint: one lazily-established connection per
+/// server, reconnecting with bounded exponential backoff.
+pub struct TcpClientTransport {
+    addrs: AddrTable,
+    conns: HashMap<usize, Conn>,
+    inbox_tx: Sender<Envelope>,
+    inbox_rx: Receiver<Envelope>,
+    decode_errors: Arc<AtomicU64>,
+    connects: Arc<AtomicU64>,
+    registry: Arc<Mutex<Vec<Conn>>>,
+    /// Connect attempts per send before giving up (the retry budget).
+    pub max_attempts: u32,
+    /// First backoff delay; doubles per attempt.
+    pub base_backoff: Duration,
+}
+
+/// Shared handle for injecting connection faults into a
+/// [`TcpClientTransport`] from another thread (the pool itself is owned
+/// by its worker).
+#[derive(Clone)]
+pub struct PoolFaults {
+    registry: Arc<Mutex<Vec<Conn>>>,
+    connects: Arc<AtomicU64>,
+}
+
+impl PoolFaults {
+    /// Severs every currently-open pooled connection (both directions),
+    /// as a middlebox reset would.
+    pub fn sever_all(&self) {
+        let conns = self.registry.lock().expect("pool registry poisoned");
+        for c in conns.iter() {
+            c.sever();
+        }
+    }
+
+    /// Total successful connection establishments (first connects and
+    /// reconnects alike).
+    pub fn connects(&self) -> u64 {
+        self.connects.load(Ordering::Relaxed)
+    }
+}
+
+impl TcpClientTransport {
+    /// A pool over the given address table.
+    pub fn new(addrs: AddrTable) -> TcpClientTransport {
+        let (inbox_tx, inbox_rx) = mpsc::channel();
+        TcpClientTransport {
+            addrs,
+            conns: HashMap::new(),
+            inbox_tx,
+            inbox_rx,
+            decode_errors: Arc::new(AtomicU64::new(0)),
+            connects: Arc::new(AtomicU64::new(0)),
+            registry: Arc::new(Mutex::new(Vec::new())),
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(5),
+        }
+    }
+
+    /// A fault-injection handle sharing this pool's connection registry.
+    pub fn faults(&self) -> PoolFaults {
+        PoolFaults {
+            registry: Arc::clone(&self.registry),
+            connects: Arc::clone(&self.connects),
+        }
+    }
+
+    fn connect(&mut self, server: usize) -> Result<Conn, NetError> {
+        let mut backoff = self.base_backoff;
+        let mut last = NetError::Disconnected {
+            peer: NodeId::Server(ServerId(server as u32)),
+        };
+        for attempt in 0..self.max_attempts {
+            if attempt > 0 {
+                thread::sleep(backoff);
+                backoff *= 2;
+            }
+            // Re-read the table every attempt: a restarted server lands
+            // on a new port, published here by whoever restarted it.
+            let addr = {
+                let table = self.addrs.lock().expect("addr table poisoned");
+                match table.get(server) {
+                    Some(&a) => a,
+                    None => return Err(last),
+                }
+            };
+            match TcpStream::connect_timeout(&addr, Duration::from_millis(250)) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    let alive = Arc::new(AtomicBool::new(true));
+                    let conn = Conn {
+                        stream: Arc::new(Mutex::new(
+                            stream.try_clone().map_err(|e| NetError::io(&e))?,
+                        )),
+                        alive: Arc::clone(&alive),
+                    };
+                    spawn_reader(
+                        stream,
+                        self.inbox_tx.clone(),
+                        alive,
+                        Arc::clone(&self.decode_errors),
+                    );
+                    self.connects.fetch_add(1, Ordering::Relaxed);
+                    self.registry
+                        .lock()
+                        .expect("pool registry poisoned")
+                        .push(conn.clone());
+                    self.conns.insert(server, conn.clone());
+                    return Ok(conn);
+                }
+                Err(e) => last = NetError::io(&e),
+            }
+        }
+        Err(last)
+    }
+
+    fn conn_for(&mut self, server: usize) -> Result<Conn, NetError> {
+        if let Some(conn) = self.conns.get(&server) {
+            if conn.alive.load(Ordering::Acquire) {
+                return Ok(conn.clone());
+            }
+            self.conns.remove(&server);
+        }
+        self.connect(server)
+    }
+}
+
+impl Transport for TcpClientTransport {
+    fn send(&mut self, env: &Envelope) -> Result<(), NetError> {
+        let NodeId::Server(ServerId(idx)) = env.to else {
+            // Clients only talk to servers; anything else is dropped.
+            return Ok(());
+        };
+        let server = idx as usize;
+        let conn = self.conn_for(server)?;
+        if conn.write(env).is_err() {
+            conn.sever();
+            self.conns.remove(&server);
+            // One reconnect-and-retry; a second failure drops the
+            // message and lets the retransmit timer try again later.
+            let conn = self.connect(server)?;
+            if conn.write(env).is_err() {
+                conn.sever();
+                self.conns.remove(&server);
+            }
+        }
+        Ok(())
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Envelope>, NetError> {
+        match self.inbox_rx.recv_timeout(timeout) {
+            Ok(env) => Ok(Some(env)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(NetError::Shutdown),
+        }
+    }
+}
+
+impl Drop for TcpClientTransport {
+    fn drop(&mut self) {
+        for conn in self.conns.values() {
+            conn.sever();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmem_sim::ClientId;
+
+    fn loopback() -> SocketAddr {
+        "127.0.0.1:0".parse().unwrap()
+    }
+
+    #[test]
+    fn request_reply_over_tcp() {
+        let mut server = TcpServerTransport::bind(loopback()).unwrap();
+        let table = addr_table(vec![server.local_addr()]);
+        let mut client = TcpClientTransport::new(table);
+
+        let req = Envelope {
+            from: NodeId::Client(ClientId(9)),
+            to: NodeId::Server(ServerId(0)),
+            payload: vec![1, 2, 3],
+        };
+        client.send(&req).unwrap();
+        let got = server
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .expect("request arrives");
+        assert_eq!(got, req);
+
+        // The learned route carries the reply back.
+        let reply = Envelope {
+            from: NodeId::Server(ServerId(0)),
+            to: NodeId::Client(ClientId(9)),
+            payload: vec![4, 5],
+        };
+        server.send(&reply).unwrap();
+        let got = client
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .expect("reply arrives");
+        assert_eq!(got, reply);
+    }
+
+    #[test]
+    fn garbage_closes_connection_but_not_server() {
+        let mut server = TcpServerTransport::bind(loopback()).unwrap();
+        let addr = server.local_addr();
+
+        // A raw socket spraying garbage.
+        {
+            use std::io::Write;
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"this is not a frame at all........").unwrap();
+        }
+
+        // The server keeps serving well-formed traffic afterwards.
+        let table = addr_table(vec![addr]);
+        let mut client = TcpClientTransport::new(table);
+        let req = Envelope {
+            from: NodeId::Client(ClientId(1)),
+            to: NodeId::Server(ServerId(0)),
+            payload: vec![7],
+        };
+        client.send(&req).unwrap();
+        let got = server.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got, Some(req));
+        assert!(server.decode_errors() >= 1);
+    }
+
+    #[test]
+    fn pool_reconnects_after_sever() {
+        let mut server = TcpServerTransport::bind(loopback()).unwrap();
+        let table = addr_table(vec![server.local_addr()]);
+        let mut client = TcpClientTransport::new(table);
+        let faults = client.faults();
+
+        let env = Envelope {
+            from: NodeId::Client(ClientId(0)),
+            to: NodeId::Server(ServerId(0)),
+            payload: vec![1],
+        };
+        client.send(&env).unwrap();
+        assert!(server
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .is_some());
+        let before = faults.connects();
+
+        faults.sever_all();
+        // The next send notices the dead connection and re-establishes.
+        client.send(&env).unwrap();
+        assert!(server
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .is_some());
+        assert!(faults.connects() > before);
+    }
+
+    #[test]
+    fn exhausted_backoff_reports_disconnected() {
+        // A port with no listener: grab one, then drop it.
+        let dead = TcpListener::bind(loopback()).unwrap();
+        let addr = dead.local_addr().unwrap();
+        drop(dead);
+
+        let mut client = TcpClientTransport::new(addr_table(vec![addr]));
+        client.max_attempts = 2;
+        client.base_backoff = Duration::from_millis(1);
+        let env = Envelope {
+            from: NodeId::Client(ClientId(0)),
+            to: NodeId::Server(ServerId(0)),
+            payload: vec![],
+        };
+        assert!(client.send(&env).is_err());
+    }
+}

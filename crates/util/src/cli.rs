@@ -1,0 +1,298 @@
+//! A tiny clap-style command-line parser for the workspace binaries.
+//!
+//! The build environment is offline, so instead of depending on `clap`
+//! this module provides the small slice of its surface the binaries
+//! need: named `--key value` options with defaults and help text,
+//! boolean `--flag`s, `--help` generation, and typed accessors. Parsing
+//! is strict — an unknown option or a missing value is an error, not a
+//! silent skip — so typos in scripts fail loudly.
+//!
+//! ```
+//! use shmem_util::cli::Cli;
+//!
+//! let cli = Cli::new("demo", "demonstration binary")
+//!     .opt("n", "5", "number of servers")
+//!     .flag("verbose", "chatty output");
+//! let parsed = cli
+//!     .parse(["--n", "7", "--verbose"].iter().map(|s| s.to_string()))
+//!     .unwrap();
+//! assert_eq!(parsed.get_u32("n"), 7);
+//! assert!(parsed.get_flag("verbose"));
+//! ```
+
+use std::collections::BTreeMap;
+
+/// One option specification.
+struct Spec {
+    key: &'static str,
+    default: Option<String>,
+    help: &'static str,
+    is_flag: bool,
+}
+
+/// A declarative CLI: named options with defaults plus boolean flags.
+pub struct Cli {
+    name: &'static str,
+    about: &'static str,
+    specs: Vec<Spec>,
+}
+
+/// The outcome of [`Cli::parse`].
+#[derive(Debug)]
+pub enum CliError {
+    /// `--help` was requested; the payload is the rendered help text.
+    Help(String),
+    /// The arguments did not parse; the payload describes why.
+    Invalid(String),
+}
+
+/// Parsed option values with typed accessors.
+pub struct Parsed {
+    values: BTreeMap<&'static str, String>,
+    flags: BTreeMap<&'static str, bool>,
+}
+
+impl Cli {
+    /// A new parser for binary `name`.
+    pub fn new(name: &'static str, about: &'static str) -> Cli {
+        Cli {
+            name,
+            about,
+            specs: Vec::new(),
+        }
+    }
+
+    /// Declares `--key <value>` with a default.
+    #[must_use]
+    pub fn opt(mut self, key: &'static str, default: &str, help: &'static str) -> Cli {
+        self.specs.push(Spec {
+            key,
+            default: Some(default.to_string()),
+            help,
+            is_flag: false,
+        });
+        self
+    }
+
+    /// Declares a required `--key <value>` (no default).
+    #[must_use]
+    pub fn req(mut self, key: &'static str, help: &'static str) -> Cli {
+        self.specs.push(Spec {
+            key,
+            default: None,
+            help,
+            is_flag: false,
+        });
+        self
+    }
+
+    /// Declares a boolean `--key` flag (off by default).
+    #[must_use]
+    pub fn flag(mut self, key: &'static str, help: &'static str) -> Cli {
+        self.specs.push(Spec {
+            key,
+            default: None,
+            help,
+            is_flag: true,
+        });
+        self
+    }
+
+    /// Renders `--help` output.
+    pub fn usage(&self) -> String {
+        let mut out = format!("{} — {}\n\nOptions:\n", self.name, self.about);
+        for s in &self.specs {
+            let lhs = if s.is_flag {
+                format!("  --{}", s.key)
+            } else {
+                format!("  --{} <value>", s.key)
+            };
+            let default = match &s.default {
+                Some(d) => format!(" [default: {d}]"),
+                None if s.is_flag => String::new(),
+                None => " [required]".to_string(),
+            };
+            out.push_str(&format!("{lhs:<28}{}{default}\n", s.help));
+        }
+        out.push_str("  --help                    print this message\n");
+        out
+    }
+
+    /// Parses `args` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Help`] when `--help`/`-h` appears;
+    /// [`CliError::Invalid`] on unknown options, missing values, or
+    /// missing required options.
+    pub fn parse(&self, args: impl Iterator<Item = String>) -> Result<Parsed, CliError> {
+        let mut values: BTreeMap<&'static str, String> = BTreeMap::new();
+        let mut flags: BTreeMap<&'static str, bool> = BTreeMap::new();
+        for s in &self.specs {
+            if s.is_flag {
+                flags.insert(s.key, false);
+            } else if let Some(d) = &s.default {
+                values.insert(s.key, d.clone());
+            }
+        }
+        let mut it = args.peekable();
+        while let Some(arg) = it.next() {
+            if arg == "--help" || arg == "-h" {
+                return Err(CliError::Help(self.usage()));
+            }
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(CliError::Invalid(format!(
+                    "unexpected positional argument `{arg}`"
+                )));
+            };
+            let Some(spec) = self.specs.iter().find(|s| s.key == key) else {
+                return Err(CliError::Invalid(format!("unknown option `--{key}`")));
+            };
+            if spec.is_flag {
+                flags.insert(spec.key, true);
+            } else {
+                let Some(value) = it.next() else {
+                    return Err(CliError::Invalid(format!("`--{key}` requires a value")));
+                };
+                values.insert(spec.key, value);
+            }
+        }
+        for s in &self.specs {
+            if !s.is_flag && !values.contains_key(s.key) {
+                return Err(CliError::Invalid(format!("`--{}` is required", s.key)));
+            }
+        }
+        Ok(Parsed { values, flags })
+    }
+
+    /// Parses [`std::env::args`], printing help or errors and exiting the
+    /// process as a CLI should.
+    pub fn parse_or_exit(&self) -> Parsed {
+        match self.parse(std::env::args().skip(1)) {
+            Ok(p) => p,
+            Err(CliError::Help(text)) => {
+                println!("{text}");
+                std::process::exit(0);
+            }
+            Err(CliError::Invalid(msg)) => {
+                eprintln!("error: {msg}\n\n{}", self.usage());
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+impl Parsed {
+    /// The raw string value of `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` was never declared — a programming error.
+    pub fn get(&self, key: &str) -> &str {
+        self.values
+            .get(key)
+            .unwrap_or_else(|| panic!("option `--{key}` was not declared"))
+    }
+
+    /// The value of `key` as `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on undeclared keys or unparsable values.
+    pub fn get_u32(&self, key: &str) -> u32 {
+        self.parse_num(key)
+    }
+
+    /// The value of `key` as `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on undeclared keys or unparsable values.
+    pub fn get_u64(&self, key: &str) -> u64 {
+        self.parse_num(key)
+    }
+
+    /// The value of `key` as `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on undeclared keys or unparsable values.
+    pub fn get_usize(&self, key: &str) -> usize {
+        self.parse_num(key)
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str) -> T {
+        let raw = self.get(key);
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!("error: `--{key} {raw}` is not a valid number");
+            std::process::exit(2);
+        })
+    }
+
+    /// Whether flag `key` was passed.
+    pub fn get_flag(&self, key: &str) -> bool {
+        self.flags.get(key).copied().unwrap_or(false)
+    }
+
+    /// The value of `key` split on commas (empty input ⇒ empty list).
+    pub fn get_list(&self, key: &str) -> Vec<String> {
+        let raw = self.get(key);
+        if raw.is_empty() {
+            Vec::new()
+        } else {
+            raw.split(',').map(|s| s.trim().to_string()).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> impl Iterator<Item = String> {
+        args.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let cli = Cli::new("t", "test")
+            .opt("n", "5", "servers")
+            .opt("addr", "127.0.0.1:0", "bind")
+            .flag("check", "verify");
+        let p = cli.parse(strs(&["--n", "9", "--check"])).ok().unwrap();
+        assert_eq!(p.get_u32("n"), 9);
+        assert_eq!(p.get("addr"), "127.0.0.1:0");
+        assert!(p.get_flag("check"));
+    }
+
+    #[test]
+    fn unknown_and_missing() {
+        let cli = Cli::new("t", "test").opt("n", "5", "servers");
+        assert!(matches!(
+            cli.parse(strs(&["--bogus", "1"])),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            cli.parse(strs(&["--n"])),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            cli.parse(strs(&["--help"])),
+            Err(CliError::Help(_))
+        ));
+    }
+
+    #[test]
+    fn required_and_lists() {
+        let cli = Cli::new("t", "test").req("servers", "addresses");
+        assert!(matches!(cli.parse(strs(&[])), Err(CliError::Invalid(_))));
+        let p = cli
+            .parse(strs(&["--servers", "a:1, b:2,c:3"]))
+            .ok()
+            .unwrap();
+        assert_eq!(p.get_list("servers"), vec!["a:1", "b:2", "c:3"]);
+    }
+}

@@ -15,11 +15,14 @@
 //!   `criterion_main!`, `Criterion::bench_function`, groups, throughput).
 //! * [`json`] — a tiny JSON emitter and parser for the table/figure
 //!   exporters and the nemesis counterexample corpus.
+//! * [`cli`] — a tiny clap-style argument parser for the workspace
+//!   binaries (`--key value` options, flags, `--help`).
 //! * [`shrink`] — counterexample minimization (ddmin delta debugging and
 //!   scalar shrinking), the shrinking hook the property harness itself
 //!   omits.
 
 pub mod bench;
+pub mod cli;
 pub mod json;
 pub mod prop;
 pub mod rng;

@@ -27,6 +27,10 @@ cargo test --release -q -p shmem-algorithms --test mutator_properties
 echo "==> shard gate: batch-1 ≡ legacy differential + chaos projections (release)"
 cargo test --release -q -p shmem-algorithms --test shard_differential
 
+echo "==> net gate: TCP/in-proc differential + wire properties + fault soup (release)"
+cargo test --release -q --test net_differential
+cargo test --release -q -p shmem-net --test wire_roundtrip --test transport_faults
+
 echo "==> perf smoke: step throughput vs committed baseline (release)"
 cargo run --release -q -p shmem-bench --bin perf_smoke
 

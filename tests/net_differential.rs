@@ -1,0 +1,174 @@
+//! Differential equivalence of the net layer: the *same* protocol state
+//! machines that the simulator proves atomic must stay atomic when their
+//! messages travel over a real transport.
+//!
+//! Each cell runs a closed-loop concurrent load through `shmem-net` —
+//! in-process channel routing or real TCP over loopback — records
+//! invocation/response histories with wall-clock timestamps, projects
+//! them per key, and feeds every projection to the `shmem-spec`
+//! atomicity checker. The checker is the oracle; the transports are the
+//! variable. Zero violations across every algorithm × batch × backend
+//! cell is the equivalence claim of the net layer.
+//!
+//! The coded-CAS cell additionally probes steady-state storage: with the
+//! `k = N − f` code and GC depth 0, a drained fault-free run must hold
+//! exactly one finalized version per touched key, i.e. `N/(N−f)` values
+//! per key — the paper's Theorem 4 frontier, measured over TCP.
+
+use shmem_net::{NetAlgorithm, NetBackend, NetOutcome, NetScenario};
+
+/// One differential cell: run a load, require every per-key projection
+/// atomic, no retired clients, no failed reads recorded.
+fn run_cell(algorithm: NetAlgorithm, backend: NetBackend, batch: usize) -> NetOutcome {
+    let mut scenario = NetScenario::new(algorithm, backend);
+    scenario.load.clients = 24;
+    scenario.load.workers = 4;
+    scenario.load.ops_per_client = 12;
+    scenario.load.batch = batch;
+    // Scale the keyspace with batch width so no single key's projected
+    // history outgrows the atomicity checker's 128-operation budget
+    // (expected load stays ~12 ops/key at any batch size).
+    scenario.load.keyspace = 32u64.max(24 * batch as u64);
+    scenario.load.write_ratio = 0.5;
+    scenario.load.seed = 0xD1FF ^ batch as u64;
+    let outcome = scenario.run();
+
+    let expected = u64::from(scenario.load.clients) * scenario.load.ops_per_client as u64;
+    assert_eq!(
+        outcome.report.retired,
+        0,
+        "{}/{} batch={batch}: clients retired on timeout in a fault-free run",
+        algorithm.name(),
+        backend.name(),
+    );
+    assert_eq!(
+        outcome.report.completed,
+        expected,
+        "{}/{} batch={batch}: incomplete fault-free load",
+        algorithm.name(),
+        backend.name(),
+    );
+    match outcome.report.check_atomic_all(scenario.initial) {
+        Ok(keys) => assert!(keys > 0, "no keys touched — vacuous check"),
+        Err((key, v)) => panic!(
+            "{}/{} batch={batch}: ATOMICITY VIOLATION at key {key}: {v}",
+            algorithm.name(),
+            backend.name(),
+        ),
+    }
+    outcome
+}
+
+// ---- in-process backend (the baseline the simulator also certifies) ----
+
+#[test]
+fn abd_inproc_singleton_batches_atomic() {
+    run_cell(NetAlgorithm::Abd, NetBackend::InProc, 1);
+}
+
+#[test]
+fn abd_inproc_wide_batches_atomic() {
+    run_cell(NetAlgorithm::Abd, NetBackend::InProc, 16);
+}
+
+#[test]
+fn cas_inproc_singleton_batches_atomic() {
+    run_cell(NetAlgorithm::Cas, NetBackend::InProc, 1);
+}
+
+#[test]
+fn cas_inproc_wide_batches_atomic() {
+    run_cell(NetAlgorithm::Cas, NetBackend::InProc, 16);
+}
+
+#[test]
+fn hashed_inproc_singleton_batches_atomic() {
+    run_cell(NetAlgorithm::Hashed, NetBackend::InProc, 1);
+}
+
+#[test]
+fn hashed_inproc_wide_batches_atomic() {
+    run_cell(NetAlgorithm::Hashed, NetBackend::InProc, 16);
+}
+
+// ---- real TCP over loopback: frames, connection pools, reconnects ----
+
+#[test]
+fn abd_tcp_singleton_batches_atomic() {
+    run_cell(NetAlgorithm::Abd, NetBackend::Tcp, 1);
+}
+
+#[test]
+fn abd_tcp_wide_batches_atomic() {
+    run_cell(NetAlgorithm::Abd, NetBackend::Tcp, 16);
+}
+
+#[test]
+fn cas_tcp_singleton_batches_atomic() {
+    run_cell(NetAlgorithm::Cas, NetBackend::Tcp, 1);
+}
+
+#[test]
+fn cas_tcp_wide_batches_atomic() {
+    run_cell(NetAlgorithm::Cas, NetBackend::Tcp, 16);
+}
+
+#[test]
+fn hashed_tcp_singleton_batches_atomic() {
+    run_cell(NetAlgorithm::Hashed, NetBackend::Tcp, 1);
+}
+
+#[test]
+fn hashed_tcp_wide_batches_atomic() {
+    run_cell(NetAlgorithm::Hashed, NetBackend::Tcp, 16);
+}
+
+// ---- storage frontier over a real network ----
+
+/// Coded CAS (`k = N − f`, GC depth 0) drained to steady state holds
+/// exactly `N/(N−f)` values per touched key — at `N = 5, f = 1`, the
+/// 1.25 point of the paper's bound catalogue — even when every round
+/// travelled over TCP. Sharded geometry (6 servers, 2 shards, 3
+/// replicas) is exercised too: `r/(r−f) = 1.5` per key.
+#[test]
+fn coded_cas_tcp_storage_meets_bound() {
+    let outcome = run_cell(NetAlgorithm::CodedCas, NetBackend::Tcp, 4);
+    let per_key = outcome
+        .per_key_storage()
+        .expect("CAS outcomes carry a storage probe");
+    let n = 5.0;
+    let f = 1.0;
+    let bound = n / (n - f);
+    assert!(
+        (per_key - bound).abs() < 1e-9,
+        "steady-state per-key storage {per_key} != N/(N-f) = {bound}"
+    );
+}
+
+#[test]
+fn coded_cas_sharded_tcp_storage_meets_bound() {
+    let mut scenario = NetScenario::new(NetAlgorithm::CodedCas, NetBackend::Tcp);
+    scenario.n = 6;
+    scenario.shards = 2;
+    scenario.replicas = 3;
+    scenario.load.clients = 12;
+    scenario.load.workers = 3;
+    scenario.load.ops_per_client = 10;
+    scenario.load.batch = 4;
+    scenario.load.keyspace = 32;
+    scenario.load.seed = 0x5AAD;
+    let outcome = scenario.run();
+
+    assert_eq!(outcome.report.retired, 0, "fault-free run retired clients");
+    match outcome.report.check_atomic_all(scenario.initial) {
+        Ok(keys) => assert!(keys > 0),
+        Err((key, v)) => panic!("sharded coded-cas: violation at key {key}: {v}"),
+    }
+    let per_key = outcome.per_key_storage().expect("storage probe");
+    let r = f64::from(scenario.replicas);
+    let bound = r / (r - f64::from(scenario.f));
+    assert!(
+        (per_key - bound).abs() < 1e-9,
+        "sharded steady-state per-key storage {per_key} != r/(r-f) = {bound}"
+    );
+}
