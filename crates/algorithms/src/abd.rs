@@ -15,6 +15,7 @@
 //! ABD sends no server-to-server messages, so it is a member of the
 //! Theorem 4.1 (no-gossip) algorithm class.
 
+use crate::backend::{AbdBackend, LocalAbd};
 use crate::multikey::{Key, MultiInv, MultiResp, ShardMap, KEY_WIRE_BYTES, RID_WIRE_BYTES};
 use crate::reg::{RegInv, RegResp};
 use crate::tag::Tag;
@@ -373,40 +374,57 @@ impl ShardedAbdMsg {
 /// A sharded ABD server: the highest-tagged `(tag, value)` per key it has
 /// been asked to store. Sparse — untouched keys cost nothing and read as
 /// `(Tag::ZERO, initial)`.
+///
+/// Generic over the [`AbdBackend`] holding the per-key state, so the same
+/// automaton runs against the sequential in-struct map ([`LocalAbd`], the
+/// default) or a shared lock-free store (`shmem-store`).
 #[derive(Clone, Debug)]
-pub struct ShardedAbdServer {
+pub struct ShardedAbdServerOn<B> {
     initial: Value,
     spec: ValueSpec,
-    entries: BTreeMap<Key, (Tag, Value)>,
+    backend: B,
 }
 
-impl ShardedAbdServer {
+/// The sequential reference server — the default everywhere in the repo.
+pub type ShardedAbdServer = ShardedAbdServerOn<LocalAbd>;
+
+impl ShardedAbdServerOn<LocalAbd> {
     /// A server whose every key starts at the register initial value.
     pub fn new(initial: Value, spec: ValueSpec) -> ShardedAbdServer {
-        ShardedAbdServer {
+        ShardedAbdServerOn::with_backend(initial, spec, LocalAbd::new())
+    }
+}
+
+impl<B: AbdBackend> ShardedAbdServerOn<B> {
+    /// A server over an explicit backend (possibly shared with others).
+    pub fn with_backend(initial: Value, spec: ValueSpec, backend: B) -> ShardedAbdServerOn<B> {
+        ShardedAbdServerOn {
             initial,
             spec,
-            entries: BTreeMap::new(),
+            backend,
         }
     }
 
     /// The `(tag, value)` the server would report for `key`.
     pub fn entry(&self, key: Key) -> (Tag, Value) {
-        self.entries
-            .get(&key)
-            .copied()
-            .unwrap_or((Tag::ZERO, self.initial))
+        self.backend.load(key).unwrap_or((Tag::ZERO, self.initial))
     }
 
     /// Number of keys with materialized (written) state.
     pub fn keys_held(&self) -> usize {
-        self.entries.len()
+        self.backend.keys_held()
+    }
+
+    /// The state backend (for store-level assertions in tests).
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 }
 
-impl<P> Node<P> for ShardedAbdServer
+impl<P, B> Node<P> for ShardedAbdServerOn<B>
 where
     P: Protocol<Msg = ShardedAbdMsg, Inv = MultiInv, Resp = MultiResp>,
+    B: AbdBackend + Clone + std::fmt::Debug,
 {
     fn on_message(&mut self, from: NodeId, msg: ShardedAbdMsg, ctx: &mut Ctx<P>) {
         match msg {
@@ -422,10 +440,7 @@ where
             }
             ShardedAbdMsg::Store { rid, items } => {
                 for (key, tag, value) in items {
-                    let cur = self.entry(key);
-                    if tag > cur.0 {
-                        self.entries.insert(key, (tag, value));
-                    }
+                    self.backend.store_if_newer(key, tag, value);
                 }
                 ctx.send(from, ShardedAbdMsg::StoreAck { rid });
             }
@@ -435,15 +450,15 @@ where
 
     fn state_bits(&self) -> f64 {
         // One domain value per materialized key.
-        self.entries.len() as f64 * self.spec.bits
+        self.backend.keys_held() as f64 * self.spec.bits
     }
 
     fn metadata_bits(&self) -> f64 {
-        self.entries.len() as f64 * (Tag::BITS + 64.0) // tag + key name
+        self.backend.keys_held() as f64 * (Tag::BITS + 64.0) // tag + key name
     }
 
     fn digest(&self) -> u64 {
-        hash_of(&(self.initial, &self.entries))
+        self.backend.digest_with(self.initial)
     }
 }
 

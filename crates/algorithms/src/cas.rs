@@ -21,6 +21,7 @@
 //! versions are retained, capping storage at the price of conditional
 //! liveness (reads are guaranteed only while write concurrency is `≤ δ`).
 
+use crate::backend::{CasBackend, LocalCas};
 use crate::multikey::{Key, MultiInv, MultiResp, ShardMap, KEY_WIRE_BYTES, RID_WIRE_BYTES};
 use crate::reg::{RegInv, RegResp};
 use crate::tag::Tag;
@@ -718,125 +719,117 @@ impl ShardedCasMsg {
     }
 }
 
-/// Per-key server state: symbols by tag plus finalize labels.
-#[derive(Clone, Debug)]
-struct KeySlot {
-    shares: BTreeMap<Tag, Vec<u8>>,
-    finalized: BTreeSet<Tag>,
-}
-
-/// A sharded CAS server: a lazily materialized [`KeySlot`] per touched
+/// A sharded CAS server: a lazily materialized key slot per touched
 /// key. An untouched key logically holds its initial-value symbol under
 /// [`Tag::ZERO`] (finalized); the slot springs into existence — seeded
 /// with exactly that symbol — the first time a message names the key.
+///
+/// Generic over the [`CasBackend`] holding the per-key slots, so the same
+/// automaton runs against the sequential in-struct map ([`LocalCas`], the
+/// default) or a shared lock-free store (`shmem-store`).
 #[derive(Clone, Debug)]
-pub struct ShardedCasServer {
+pub struct ShardedCasServerOn<B> {
     cfg: ShardedCasConfig,
     me: u32,
-    /// `encode(initial)[pos]` for each in-shard position, computed once.
-    initial_share_by_pos: Vec<Vec<u8>>,
-    slots: BTreeMap<Key, KeySlot>,
+    backend: B,
 }
 
-impl ShardedCasServer {
+/// The sequential reference server — the default everywhere in the repo.
+pub type ShardedCasServer = ShardedCasServerOn<LocalCas>;
+
+impl ShardedCasServerOn<LocalCas> {
     /// Server `index`, initialized so every key of its shards reads as the
     /// register initial value.
     pub fn new(cfg: ShardedCasConfig, index: ServerId, initial: Value) -> ShardedCasServer {
-        let initial_share_by_pos = cfg.code().encode_bytes(&ValueSpec::to_bytes(initial));
-        ShardedCasServer {
+        let backend = LocalCas::new(cfg.clone(), index.0, initial);
+        ShardedCasServerOn::with_backend(cfg, index, backend)
+    }
+}
+
+impl<B: CasBackend> ShardedCasServerOn<B> {
+    /// A server over an explicit backend (possibly shared with others).
+    /// The backend must be seeded for the same `cfg` and server index.
+    pub fn with_backend(
+        cfg: ShardedCasConfig,
+        index: ServerId,
+        backend: B,
+    ) -> ShardedCasServerOn<B> {
+        ShardedCasServerOn {
             cfg,
             me: index.0,
-            initial_share_by_pos,
-            slots: BTreeMap::new(),
-        }
-    }
-
-    /// The key's slot, or `None` for keys outside this server's shards.
-    /// Out-of-shard keys can arrive over a real network (a confused or
-    /// malicious client), so they must be ignorable, not a panic.
-    fn slot(&mut self, key: Key) -> Option<&mut KeySlot> {
-        let pos = self.cfg.map.position_for_key(self.me, key)?;
-        let initial = &self.initial_share_by_pos[pos as usize];
-        Some(self.slots.entry(key).or_insert_with(|| KeySlot {
-            shares: [(Tag::ZERO, initial.clone())].into(),
-            finalized: [Tag::ZERO].into(),
-        }))
-    }
-
-    fn gc(cfg: &ShardedCasConfig, slot: &mut KeySlot) {
-        let Some(delta) = cfg.gc_depth else {
-            return;
-        };
-        let keep_from = slot.finalized.iter().rev().nth(delta as usize).copied();
-        if let Some(cutoff) = keep_from {
-            slot.shares.retain(|&t, _| t >= cutoff);
+            backend,
         }
     }
 
     /// Coded versions currently held for `key` (0 for untouched keys).
     pub fn versions_held(&self, key: Key) -> usize {
-        self.slots.get(&key).map_or(0, |s| s.shares.len())
+        self.backend.versions_held(key)
     }
 
     /// Highest finalized tag for `key`.
     pub fn max_finalized(&self, key: Key) -> Tag {
-        self.slots
-            .get(&key)
-            .and_then(|s| s.finalized.iter().next_back().copied())
-            .unwrap_or(Tag::ZERO)
+        self.backend.max_finalized(key)
     }
 
     /// Number of keys with materialized state.
     pub fn keys_held(&self) -> usize {
-        self.slots.len()
+        self.backend.keys_held()
+    }
+
+    /// This server's index in the placement.
+    pub fn index(&self) -> u32 {
+        self.me
+    }
+
+    /// The state backend (for store-level assertions in tests).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable backend access (the hashed layer stores announced hashes
+    /// through this).
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
     }
 }
 
-impl<P> Node<P> for ShardedCasServer
+impl<P, B> Node<P> for ShardedCasServerOn<B>
 where
     P: Protocol<Msg = ShardedCasMsg, Inv = MultiInv, Resp = MultiResp>,
+    B: CasBackend + Clone + std::fmt::Debug,
 {
     fn on_message(&mut self, from: NodeId, msg: ShardedCasMsg, ctx: &mut Ctx<P>) {
         match msg {
             ShardedCasMsg::QueryTag { rid, keys } => {
-                let items = keys.iter().map(|&k| (k, self.max_finalized(k))).collect();
+                let items = keys
+                    .iter()
+                    .map(|&k| (k, self.backend.max_finalized(k)))
+                    .collect();
                 ctx.send(from, ShardedCasMsg::QueryTagResp { rid, items });
             }
             ShardedCasMsg::PreWrite { rid, items } => {
-                let cfg = self.cfg.clone();
                 for (key, tag, share) in items {
-                    let Some(slot) = self.slot(key) else {
-                        continue; // out-of-shard key: not ours to store
-                    };
-                    slot.shares.entry(tag).or_insert(share);
-                    Self::gc(&cfg, slot);
+                    // Out-of-shard keys are silently ignored by the backend.
+                    self.backend.pre_write(key, tag, share);
                 }
                 ctx.send(from, ShardedCasMsg::PreAck { rid });
             }
             ShardedCasMsg::Finalize { rid, items } => {
-                let cfg = self.cfg.clone();
                 for (key, tag) in items {
-                    let Some(slot) = self.slot(key) else {
-                        continue;
-                    };
-                    slot.finalized.insert(tag);
-                    Self::gc(&cfg, slot);
+                    self.backend.finalize(key, tag);
                 }
                 ctx.send(from, ShardedCasMsg::FinAck { rid });
             }
             ShardedCasMsg::ReadGet { rid, items } => {
-                let cfg = self.cfg.clone();
                 let mut replies = Vec::with_capacity(items.len());
                 for (key, tag) in items {
                     // The read's write-back: answering finalizes the tag.
                     // Out-of-shard keys are omitted from the reply rather
                     // than answered with junk.
-                    let Some(slot) = self.slot(key) else {
+                    let Some(share) = self.backend.read_get(key, tag) else {
                         continue;
                     };
-                    slot.finalized.insert(tag);
-                    Self::gc(&cfg, slot);
-                    replies.push((key, slot.shares.get(&tag).cloned()));
+                    replies.push((key, share));
                 }
                 ctx.send(
                     from,
@@ -854,27 +847,16 @@ where
     }
 
     fn state_bits(&self) -> f64 {
-        let versions: usize = self.slots.values().map(|s| s.shares.len()).sum();
-        versions as f64 * self.cfg.symbol_bits()
+        self.backend.total_versions() as f64 * self.cfg.symbol_bits()
     }
 
     fn metadata_bits(&self) -> f64 {
-        let tags: usize = self
-            .slots
-            .values()
-            .map(|s| s.shares.len() + s.finalized.len())
-            .sum();
-        tags as f64 * Tag::BITS + self.slots.len() as f64 * 64.0 // + key names
+        let tags = self.backend.total_tags();
+        tags as f64 * Tag::BITS + self.backend.keys_held() as f64 * 64.0 // + key names
     }
 
     fn digest(&self) -> u64 {
-        type SlotView<'a> = (Key, &'a BTreeMap<Tag, Vec<u8>>, &'a BTreeSet<Tag>);
-        let canonical: Vec<SlotView<'_>> = self
-            .slots
-            .iter()
-            .map(|(&k, s)| (k, &s.shares, &s.finalized))
-            .collect();
-        hash_of(&(self.me, canonical))
+        self.backend.digest_with(self.me)
     }
 }
 

@@ -17,9 +17,10 @@
 //! finalize. The Assumption 3(b) checker in `shmem-core` detects its two
 //! value-dependent phases.
 
+use crate::backend::{HashedBackend, LocalHashed};
 use crate::cas::{
     CasConfig, CasMsg, CasServer, ShardedCas, ShardedCasClient, ShardedCasConfig, ShardedCasMsg,
-    ShardedCasServer,
+    ShardedCasServerOn,
 };
 use crate::multikey::{Key, MultiInv, MultiResp, KEY_WIRE_BYTES, RID_WIRE_BYTES};
 use crate::reg::{RegInv, RegResp};
@@ -429,35 +430,54 @@ pub fn sharded_is_value_dependent_upstream(msg: &ShardedHashedMsg) -> bool {
 }
 
 /// A sharded hashed-CAS server: a sharded CAS server plus announced
-/// hashes per `(key, tag)`.
+/// hashes per `(key, tag)` — both held in the [`HashedBackend`], so the
+/// same automaton runs against the sequential in-struct state
+/// ([`LocalHashed`], the default) or a shared lock-free store.
 #[derive(Clone, Debug)]
-pub struct ShardedHashedServer {
-    inner: ShardedCasServer,
-    hashes: BTreeMap<(Key, Tag), u64>,
+pub struct ShardedHashedServerOn<B> {
+    inner: ShardedCasServerOn<B>,
 }
 
-impl ShardedHashedServer {
+/// The sequential reference server — the default everywhere in the repo.
+pub type ShardedHashedServer = ShardedHashedServerOn<LocalHashed>;
+
+impl ShardedHashedServerOn<LocalHashed> {
     /// Server `index`, initialized like a sharded CAS server.
     pub fn new(cfg: ShardedCasConfig, index: ServerId, initial: Value) -> ShardedHashedServer {
-        ShardedHashedServer {
-            inner: ShardedCasServer::new(cfg, index, initial),
-            hashes: BTreeMap::new(),
+        let backend = LocalHashed::new(cfg.clone(), index.0, initial);
+        ShardedHashedServerOn::with_backend(cfg, index, backend)
+    }
+}
+
+impl<B: HashedBackend> ShardedHashedServerOn<B> {
+    /// A server over an explicit backend (possibly shared with others).
+    pub fn with_backend(
+        cfg: ShardedCasConfig,
+        index: ServerId,
+        backend: B,
+    ) -> ShardedHashedServerOn<B> {
+        ShardedHashedServerOn {
+            inner: ShardedCasServerOn::with_backend(cfg, index, backend),
         }
     }
 
     /// The announced hash for `(key, tag)`, if any.
     pub fn hash_of(&self, key: Key, tag: Tag) -> Option<u64> {
-        self.hashes.get(&(key, tag)).copied()
+        self.inner.backend().get_hash(key, tag)
     }
 
     /// The wrapped sharded CAS server.
-    pub fn cas(&self) -> &ShardedCasServer {
+    pub fn cas(&self) -> &ShardedCasServerOn<B> {
         &self.inner
     }
 }
 
-impl Node<ShardedHashed> for ShardedHashedServer {
-    fn on_message(&mut self, from: NodeId, msg: ShardedHashedMsg, ctx: &mut Ctx<ShardedHashed>) {
+impl<P, B> Node<P> for ShardedHashedServerOn<B>
+where
+    P: Protocol<Msg = ShardedHashedMsg, Inv = MultiInv, Resp = MultiResp>,
+    B: HashedBackend + Clone + std::fmt::Debug,
+{
+    fn on_message(&mut self, from: NodeId, msg: ShardedHashedMsg, ctx: &mut Ctx<P>) {
         match msg {
             ShardedHashedMsg::Cas(inner) => {
                 let mut cas_ctx: Ctx<ShardedCas> = Ctx::new(ctx.me(), ctx.now());
@@ -469,7 +489,7 @@ impl Node<ShardedHashed> for ShardedHashedServer {
             }
             ShardedHashedMsg::HashAnnounce { rid, items } => {
                 for (key, tag, digest) in items {
-                    self.hashes.insert((key, tag), digest);
+                    self.inner.backend_mut().put_hash(key, tag, digest);
                 }
                 ctx.send(from, ShardedHashedMsg::HashAck { rid });
             }
@@ -483,11 +503,11 @@ impl Node<ShardedHashed> for ShardedHashedServer {
 
     fn metadata_bits(&self) -> f64 {
         Node::<ShardedCas>::metadata_bits(&self.inner)
-            + self.hashes.len() as f64 * (64.0 + Tag::BITS)
+            + self.inner.backend().hash_count() as f64 * (64.0 + Tag::BITS)
     }
 
     fn digest(&self) -> u64 {
-        hash_of(&(Node::<ShardedCas>::digest(&self.inner), &self.hashes))
+        self.inner.backend().hashed_digest_with(self.inner.index())
     }
 }
 
@@ -530,12 +550,14 @@ impl ShardedHashedClient {
 
     /// Forwards inner-client effects, diverting pre-write rounds through
     /// the announce gate.
-    fn route_effects(
+    fn route_effects<P>(
         &mut self,
         outbox: Vec<(NodeId, ShardedCasMsg)>,
         responses: Vec<MultiResp>,
-        ctx: &mut Ctx<ShardedHashed>,
-    ) {
+        ctx: &mut Ctx<P>,
+    ) where
+        P: Protocol<Msg = ShardedHashedMsg, Inv = MultiInv, Resp = MultiResp>,
+    {
         let prewrite = outbox
             .iter()
             .any(|(_, m)| matches!(m, ShardedCasMsg::PreWrite { .. }));
@@ -579,8 +601,11 @@ impl ShardedHashedClient {
     }
 }
 
-impl Node<ShardedHashed> for ShardedHashedClient {
-    fn on_invoke(&mut self, inv: MultiInv, ctx: &mut Ctx<ShardedHashed>) {
+impl<P> Node<P> for ShardedHashedClient
+where
+    P: Protocol<Msg = ShardedHashedMsg, Inv = MultiInv, Resp = MultiResp>,
+{
+    fn on_invoke(&mut self, inv: MultiInv, ctx: &mut Ctx<P>) {
         self.digests = inv
             .ops
             .iter()
@@ -595,7 +620,7 @@ impl Node<ShardedHashed> for ShardedHashedClient {
         self.route_effects(outbox, responses, ctx);
     }
 
-    fn on_message(&mut self, from: NodeId, msg: ShardedHashedMsg, ctx: &mut Ctx<ShardedHashed>) {
+    fn on_message(&mut self, from: NodeId, msg: ShardedHashedMsg, ctx: &mut Ctx<P>) {
         match msg {
             ShardedHashedMsg::HashAck { rid } if rid == self.rid => {
                 let AnnounceGate::Waiting { heard, acks, .. } = &mut self.gate else {

@@ -23,6 +23,7 @@
 
 pub mod abd;
 pub mod abd_gossip;
+pub mod backend;
 pub mod cas;
 pub mod harness;
 pub mod hashed;
@@ -36,6 +37,7 @@ pub mod tag;
 pub mod value;
 pub mod workloads;
 
+pub use backend::{AbdBackend, CasBackend, HashedBackend, LocalAbd, LocalCas, LocalHashed};
 pub use harness::{AbdCluster, CasCluster, GossipCluster, HashedCluster, LossyCluster, NwbCluster};
 pub use harness::{ShardedAbdCluster, ShardedCasCluster, ShardedHashedCluster};
 pub use multikey::{project_histories, Key, MultiInv, MultiResp, ShardMap};

@@ -3,7 +3,7 @@
 //! ```text
 //! figures [all|fig1|tab-finite-v|tab-ratio|tab-crossover|tab-measured|
 //!          tab-constraint|tab-multiwrite|tab-section7|tab-simperf|
-//!          tab-net|...] [--csv DIR]
+//!          tab-net|tab-store|...] [--csv DIR]
 //! ```
 //!
 //! With `--csv DIR`, each table is also written as `DIR/<id>.csv`.
@@ -55,6 +55,7 @@ fn main() {
             "tab-simperf",
             "tab-shard",
             "tab-net",
+            "tab-store",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -95,6 +96,7 @@ fn main() {
             "tab-simperf" => measured::simperf_table(9, 50),
             "tab-shard" => measured::shard_table(42),
             "tab-net" => measured::net_table(42),
+            "tab-store" => measured::store_table(42),
             "tab-fuzz" => measured::fuzz_table(
                 21,
                 100_000,

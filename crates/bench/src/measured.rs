@@ -1793,3 +1793,185 @@ pub fn net_table(seed: u64) -> Table {
     }
     t
 }
+
+/// One measured cell of the concurrent-store throughput sweep
+/// (`tab-store`).
+pub struct StoreCell {
+    /// `"local"` (sequential `BTreeMap` backend) or `"store"` (lock-free
+    /// shared store).
+    pub backend: &'static str,
+    /// Accessing threads (always 1 for `"local"`).
+    pub threads: u32,
+    /// Total operations performed.
+    pub ops: u64,
+    /// Completed operations per second.
+    pub ops_per_sec: f64,
+    /// Throughput relative to the single-threaded `"local"` baseline.
+    pub speedup: f64,
+}
+
+/// Keyspace for the store mixes: large enough that the sequential
+/// backend's tree walks are representative of a real multi-register
+/// deployment.
+const STORE_KEYSPACE: u64 = 4096;
+/// Per-thread operation budget for the throughput mixes.
+const STORE_OPS_PER_THREAD: usize = 200_000;
+
+/// The canonical mixed op against any ABD backend: tag-read + bump-write
+/// or plain read, 1:3 write:read.
+fn store_mixed_op<B: shmem_algorithms::backend::AbdBackend>(
+    backend: &mut B,
+    rng: &mut shmem_util::DetRng,
+    me: u32,
+    seq: u64,
+) {
+    use shmem_algorithms::tag::Tag;
+    let key = rng.gen_range(0..STORE_KEYSPACE);
+    if rng.gen_bool(0.25) {
+        let cur = backend.load(key).map_or(Tag::ZERO, |(t, _)| t);
+        backend.store_if_newer(key, cur.successor(me), seq);
+    } else {
+        std::hint::black_box(backend.load(key));
+    }
+}
+
+/// Ops/sec of the sequential reference backend, single-threaded.
+fn run_local_register_mix(ops: usize, seed: u64) -> f64 {
+    let mut backend = shmem_algorithms::backend::LocalAbd::new();
+    let mut rng = shmem_util::DetRng::seed_from_u64(seed);
+    let start = std::time::Instant::now();
+    for seq in 0..ops {
+        store_mixed_op(&mut backend, &mut rng, 0, seq as u64);
+    }
+    ops as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Ops/sec of the lock-free shared store at `threads` accessing threads
+/// (same per-thread op budget and mix as the sequential baseline).
+fn run_store_register_mix(threads: u32, ops_per_thread: usize, seed: u64) -> f64 {
+    let store = std::sync::Arc::new(shmem_store::RegStore::new());
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let mut backend = shmem_store::StoreAbdBackend::shared(&store);
+            let mut rng = shmem_util::DetRng::seed_from_u64(seed ^ (u64::from(t) << 20));
+            scope.spawn(move || {
+                for seq in 0..ops_per_thread {
+                    store_mixed_op(&mut backend, &mut rng, t, seq as u64);
+                }
+            });
+        }
+    });
+    (threads as usize * ops_per_thread) as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// The `tab-store` measurements: the sequential baseline plus the shared
+/// store at 1/2/4 threads. The acceptance gate (`tests/store_gate.rs`)
+/// requires the 4-thread cell to reach at least twice the baseline.
+pub fn store_measurements(seed: u64) -> Vec<StoreCell> {
+    let ops = STORE_OPS_PER_THREAD;
+    // Best of three per cell: the ratio is the deliverable, and a single
+    // descheduled run on a loaded box would skew it either way.
+    let best = |f: &dyn Fn() -> f64| (0..3).map(|_| f()).fold(f64::NEG_INFINITY, f64::max);
+    let base = best(&|| run_local_register_mix(ops, seed));
+    let mut cells = vec![StoreCell {
+        backend: "local",
+        threads: 1,
+        ops: ops as u64,
+        ops_per_sec: base,
+        speedup: 1.0,
+    }];
+    for threads in [1u32, 2, 4] {
+        let rate = best(&|| run_store_register_mix(threads, ops, seed));
+        cells.push(StoreCell {
+            backend: "store",
+            threads,
+            ops: u64::from(threads) * ops as u64,
+            ops_per_sec: rate,
+            speedup: rate / base,
+        });
+    }
+    cells
+}
+
+/// Steady-state per-key storage of the coded shared store on the paper's
+/// frontier: `N = 5, f = 1`, storage-optimal code (`k = N − f`), GC depth
+/// 0. Returns `(measured per-key storage, N/(N−f) bound)` — the two must
+/// be *exactly* equal.
+pub fn store_storage_frontier() -> (f64, f64) {
+    use shmem_algorithms::backend::CasBackend;
+    use shmem_algorithms::cas::ShardedCasConfig;
+    use shmem_algorithms::multikey::ShardMap;
+    use shmem_algorithms::tag::Tag;
+
+    let (n, f) = (5u32, 1u32);
+    let cfg = ShardedCasConfig::coded(ShardMap::full(n), f, ValueSpec::from_bits(64.0)).with_gc(0);
+    let code = cfg.code();
+    let keys = 64u64;
+    let rounds = 3u64;
+
+    let mut backends: Vec<shmem_store::StoreCasBackend> = (0..n)
+        .map(|i| shmem_store::StoreCasBackend::new(cfg.clone(), i, 0))
+        .collect();
+    for key in 0..keys {
+        for round in 1..=rounds {
+            let tag = Tag::new(round, 0);
+            let shares = code.encode_bytes(&ValueSpec::to_bytes(round * 17));
+            for (i, backend) in backends.iter_mut().enumerate() {
+                backend.pre_write(key, tag, shares[i].clone());
+            }
+            for backend in &mut backends {
+                backend.finalize(key, tag);
+            }
+        }
+    }
+    let state_bits: f64 = backends
+        .iter()
+        .map(|b| b.total_versions() as f64 * cfg.symbol_bits())
+        .sum();
+    let per_key = state_bits / (keys as f64 * 64.0);
+    (per_key, f64::from(n) / f64::from(n - f))
+}
+
+/// The `tab-store` table: concurrent-store throughput vs the sequential
+/// backend, plus the coded store's steady-state storage on the
+/// `N/(N−f)` frontier.
+pub fn store_table(seed: u64) -> Table {
+    let mut t = Table::new(
+        "Concurrent store (lock-free shared backend, 4096 keys, 25% writes)",
+        &[
+            "backend",
+            "threads",
+            "ops",
+            "ops/s",
+            "speedup",
+            "per-key storage",
+            "bound N/(N-f)",
+            "bound ok",
+        ],
+    );
+    for c in store_measurements(seed) {
+        t.push(vec![
+            c.backend.to_string(),
+            c.threads.to_string(),
+            c.ops.to_string(),
+            format!("{:.0}", c.ops_per_sec),
+            format!("{:.2}", c.speedup),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+    }
+    let (per_key, bound) = store_storage_frontier();
+    t.push(vec![
+        "coded-store".to_string(),
+        "4".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        format!("{per_key:.3}"),
+        format!("{bound:.3}"),
+        ((per_key - bound).abs() < 1e-9).to_string(),
+    ]);
+    t
+}

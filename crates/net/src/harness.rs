@@ -9,7 +9,7 @@
 
 use crate::client::{run_worker, LoadConfig, WorkerReport};
 use crate::error::NetError;
-use crate::serve::{serve_until, ServeStats};
+use crate::serve::{serve_shared, serve_until, ServeStats};
 use crate::tcp::{addr_table, AddrTable, PoolFaults, TcpClientTransport, TcpServerTransport};
 use crate::transport::InProcHub;
 use crate::wire::WireMsg;
@@ -92,11 +92,12 @@ enum BackendState {
 
 struct ServerSlot<P: Protocol> {
     stop: Arc<AtomicBool>,
-    join: Option<JoinHandle<(P::Server, ServeStats)>>,
-    /// The automaton of a killed server, retained for restart (the
+    join: Option<JoinHandle<(Vec<P::Server>, ServeStats)>>,
+    /// The worker pool of a killed server, retained for restart (the
     /// durable-storage crash model: state survives, volatile connections
-    /// do not).
-    parked: Option<P::Server>,
+    /// do not). Legacy single-threaded servers are a pool of one; a
+    /// concurrent server's workers share one lock-free store.
+    parked: Option<Vec<P::Server>>,
 }
 
 /// A running cluster of server event loops over one backend.
@@ -179,6 +180,17 @@ where
 {
     /// Starts one event loop per automaton over `backend`.
     pub fn start(backend: NetBackend, automata: Vec<P::Server>) -> NetCluster<P> {
+        NetCluster::start_pooled(backend, automata.into_iter().map(|a| vec![a]).collect())
+    }
+
+    /// Starts one server per *pool* of worker automata over `backend`.
+    ///
+    /// A pool of one runs the classic single-threaded event loop
+    /// ([`serve_until`]); a larger pool runs [`serve_shared`], one worker
+    /// thread per automaton. Pooled workers only make sense when their
+    /// automata share state through a concurrent backend (`shmem-store`)
+    /// — the harness cannot check that, so it is the caller's contract.
+    pub fn start_pooled(backend: NetBackend, pools: Vec<Vec<P::Server>>) -> NetCluster<P> {
         let backend = match backend {
             NetBackend::InProc => BackendState::InProc(InProcHub::new()),
             NetBackend::Tcp => BackendState::Tcp {
@@ -191,11 +203,11 @@ where
             stats: Vec::new(),
             epoch: Instant::now(),
         };
-        for (i, automaton) in automata.into_iter().enumerate() {
+        for (i, pool) in pools.into_iter().enumerate() {
             cluster.servers.push(ServerSlot {
                 stop: Arc::new(AtomicBool::new(false)),
                 join: None,
-                parked: Some(automaton),
+                parked: Some(pool),
             });
             cluster.stats.push(ServeStats::default());
             cluster.launch(i);
@@ -203,9 +215,9 @@ where
         cluster
     }
 
-    /// (Re)launches server `i` from its parked automaton.
+    /// (Re)launches server `i` from its parked worker pool.
     fn launch(&mut self, i: usize) {
-        let automaton = self.servers[i]
+        let pool = self.servers[i]
             .parked
             .take()
             .expect("server automaton not parked");
@@ -215,7 +227,7 @@ where
         let join = match &self.backend {
             BackendState::InProc(hub) => {
                 let ep = hub.endpoint(&[NodeId::Server(me)]);
-                thread::spawn(move || serve_until::<P, _>(automaton, me, ep, stop))
+                thread::spawn(move || run_pool::<P, _>(pool, me, ep, stop))
             }
             BackendState::Tcp { table } => {
                 let transport = TcpServerTransport::bind("127.0.0.1:0".parse().unwrap())
@@ -230,7 +242,7 @@ where
                 // incarnation.
                 t[i] = addr;
                 drop(t);
-                thread::spawn(move || serve_until::<P, _>(automaton, me, transport, stop))
+                thread::spawn(move || run_pool::<P, _>(pool, me, transport, stop))
             }
         };
         self.servers[i].join = Some(join);
@@ -253,9 +265,9 @@ where
         }
         self.servers[i].stop.store(true, Ordering::Release);
         if let Some(join) = self.servers[i].join.take() {
-            let (automaton, stats) = join.join().expect("server thread panicked");
-            self.stats[i] = merge_stats(self.stats[i], stats);
-            self.servers[i].parked = Some(automaton);
+            let (pool, stats) = join.join().expect("server thread panicked");
+            self.stats[i] = self.stats[i].merge(stats);
+            self.servers[i].parked = Some(pool);
         }
     }
 
@@ -306,7 +318,10 @@ where
         }
     }
 
-    /// Stops every server and returns the automata (for storage probes).
+    /// Stops every server and returns one automaton per server (for
+    /// storage probes). For pooled servers this is a *representative*
+    /// worker: its backend shares the pool's store, so probing it sees
+    /// the server's full state exactly once.
     pub fn shutdown(mut self) -> Vec<P::Server> {
         let n = self.servers.len();
         for i in 0..n {
@@ -316,7 +331,13 @@ where
         }
         self.servers
             .into_iter()
-            .map(|s| s.parked.expect("automaton parked at shutdown"))
+            .map(|s| {
+                s.parked
+                    .expect("automaton parked at shutdown")
+                    .into_iter()
+                    .next()
+                    .expect("nonempty server pool")
+            })
             .collect()
     }
 }
@@ -363,12 +384,26 @@ impl LoadHandle {
     }
 }
 
-fn merge_stats(a: ServeStats, b: ServeStats) -> ServeStats {
-    ServeStats {
-        msgs_in: a.msgs_in + b.msgs_in,
-        msgs_out: a.msgs_out + b.msgs_out,
-        wire_bytes_out: a.wire_bytes_out + b.wire_bytes_out,
-        decode_errors: a.decode_errors + b.decode_errors,
+/// One server incarnation: the single-threaded event loop for a pool of
+/// one, the shared-store worker pool otherwise.
+fn run_pool<P, T>(
+    pool: Vec<P::Server>,
+    me: ServerId,
+    transport: T,
+    stop: Arc<AtomicBool>,
+) -> (Vec<P::Server>, ServeStats)
+where
+    P: Protocol,
+    P::Msg: WireMsg,
+    P::Server: Send,
+    T: crate::transport::Transport,
+{
+    if pool.len() == 1 {
+        let automaton = pool.into_iter().next().expect("pool of one");
+        let (automaton, stats) = serve_until::<P, _>(automaton, me, transport, stop);
+        (vec![automaton], stats)
+    } else {
+        serve_shared::<P, _>(pool, me, transport, stop)
     }
 }
 

@@ -1,0 +1,53 @@
+//! A deliberately broken store variant — the mutation control for the
+//! linearizability suite. If the spec checker cannot kill this, the
+//! harness is vacuous.
+
+use crate::reg::{RegHandle, RegStore};
+use shmem_algorithms::multikey::Key;
+use shmem_algorithms::tag::Tag;
+use shmem_algorithms::value::Value;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A register handle with a *stale-tag read* bug: the first version it
+/// observes for a key is cached and returned forever, as if the reader
+/// trusted a stale replica without re-validating its tag against the
+/// shared current version. Writes are honest, so the shared store keeps
+/// advancing underneath — once two further writes have completed, a
+/// cached read returns a value the serialization order can no longer
+/// place, and `shmem_spec::check_atomic` must report the violation.
+pub struct StaleTagRegHandle {
+    inner: RegHandle,
+    /// First-seen version per key (`None` = seen unmaterialized); the
+    /// bug is never refreshing it.
+    cached: RefCell<BTreeMap<Key, Option<(Tag, Value)>>>,
+}
+
+impl StaleTagRegHandle {
+    /// A broken handle over `store`.
+    pub fn new(store: &Arc<RegStore>) -> StaleTagRegHandle {
+        StaleTagRegHandle {
+            inner: store.handle(),
+            cached: RefCell::new(BTreeMap::new()),
+        }
+    }
+
+    /// The broken read: first observation wins forever. Single-threaded
+    /// runs with one write between reads still look plausible, which is
+    /// what makes this a useful mutation — only the recorded-history
+    /// checker, not casual assertions, reliably kills it.
+    pub fn load(&self, key: Key) -> Option<(Tag, Value)> {
+        *self
+            .cached
+            .borrow_mut()
+            .entry(key)
+            .or_insert_with(|| self.inner.load(key))
+    }
+
+    /// Writes are honest (tag-ordered compare-and-bump on the shared
+    /// store).
+    pub fn store_if_newer(&self, key: Key, tag: Tag, value: Value) -> bool {
+        self.inner.store_if_newer(key, tag, value)
+    }
+}

@@ -1,0 +1,533 @@
+//! Lock-free per-key share slots for the coded protocols, plus the hash
+//! side-table of hashed CAS — the store behind [`CasBackend`] /
+//! [`HashedBackend`].
+//!
+//! A CAS key's state (codeword symbols by tag + finalize labels) is a
+//! small immutable value behind one atomic pointer, updated RCU-style: a
+//! mutator copies the current state, applies the legacy transition
+//! (insert symbol / insert finalize label / GC), and CASes the pointer;
+//! on a race it retries from the winner's state, so concurrent rounds
+//! merge exactly like interleaved sequential rounds (every transition is
+//! an idempotent set-insert followed by deterministic GC — the retry
+//! converges). Displaced states go through the epoch collector.
+
+use crate::epoch::{Collector, Handle};
+use crate::map::AtomicMap;
+use shmem_algorithms::backend::{CasBackend, HashedBackend};
+use shmem_algorithms::cas::ShardedCasConfig;
+use shmem_algorithms::multikey::Key;
+use shmem_algorithms::tag::Tag;
+use shmem_algorithms::value::{Value, ValueSpec};
+use shmem_sim::hash_of;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+use std::sync::Arc;
+
+/// One key's immutable CAS state. Cloned and replaced wholesale; the
+/// maps stay `BTreeMap`/`BTreeSet` so snapshots hash byte-identically to
+/// the sequential reference.
+pub(crate) struct CodedState {
+    shares: BTreeMap<Tag, Vec<u8>>,
+    finalized: BTreeSet<Tag>,
+    live: Arc<AtomicUsize>,
+}
+
+impl CodedState {
+    fn new(
+        shares: BTreeMap<Tag, Vec<u8>>,
+        finalized: BTreeSet<Tag>,
+        live: &Arc<AtomicUsize>,
+    ) -> CodedState {
+        live.fetch_add(1, SeqCst);
+        CodedState {
+            shares,
+            finalized,
+            live: Arc::clone(live),
+        }
+    }
+}
+
+impl Drop for CodedState {
+    fn drop(&mut self) {
+        self.live.fetch_sub(1, SeqCst);
+    }
+}
+
+pub(crate) struct CodedCell {
+    state: AtomicPtr<CodedState>,
+}
+
+impl CodedCell {
+    fn empty() -> CodedCell {
+        CodedCell {
+            state: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+}
+
+/// The shared coded store of one emulated server.
+pub struct CodedStore {
+    map: AtomicMap<CodedCell>,
+    /// Announced hashes per key (hashed CAS only; empty otherwise).
+    hashes: AtomicMap<HashCell>,
+    collector: Collector,
+    live: Arc<AtomicUsize>,
+}
+
+impl Default for CodedStore {
+    fn default() -> CodedStore {
+        CodedStore::new()
+    }
+}
+
+impl CodedStore {
+    /// An empty store.
+    pub fn new() -> CodedStore {
+        CodedStore {
+            map: AtomicMap::with_capacity(1024),
+            hashes: AtomicMap::with_capacity(1024),
+            collector: Collector::new(),
+            live: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// The store's reclamation domain (for epoch assertions in tests).
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    /// Currently allocated (published, not yet freed) key states.
+    pub fn live_states(&self) -> usize {
+        self.live.load(SeqCst)
+    }
+}
+
+impl Drop for CodedStore {
+    fn drop(&mut self) {
+        self.map.for_each(|_, cell| {
+            let p = cell.state.swap(std::ptr::null_mut(), SeqCst);
+            if !p.is_null() {
+                drop(unsafe { Box::from_raw(p) });
+            }
+        });
+        self.hashes.for_each(|_, cell| {
+            let p = cell.state.swap(std::ptr::null_mut(), SeqCst);
+            if !p.is_null() {
+                drop(unsafe { Box::from_raw(p) });
+            }
+        });
+    }
+}
+
+/// One key's announced hashes (hashed CAS), RCU like [`CodedState`].
+pub(crate) struct HashState {
+    by_tag: BTreeMap<Tag, u64>,
+}
+
+pub(crate) struct HashCell {
+    state: AtomicPtr<HashState>,
+}
+
+impl HashCell {
+    fn empty() -> HashCell {
+        HashCell {
+            state: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+}
+
+/// [`CasBackend`] over the shared coded store: plugs into
+/// `ShardedCasServerOn<StoreCasBackend>`. Carries the same config-derived
+/// seeding the sequential reference computes, so lazily materialized keys
+/// spring into existence with identical state.
+pub struct StoreCasBackend {
+    store: Arc<CodedStore>,
+    epoch: Handle,
+    cfg: ShardedCasConfig,
+    me: u32,
+    initial_share_by_pos: Vec<Vec<u8>>,
+}
+
+impl StoreCasBackend {
+    /// A backend for server `me` over a fresh private store.
+    pub fn new(cfg: ShardedCasConfig, me: u32, initial: Value) -> StoreCasBackend {
+        StoreCasBackend::shared(&Arc::new(CodedStore::new()), cfg, me, initial)
+    }
+
+    /// A backend for server `me` sharing `store` (one per thread).
+    pub fn shared(
+        store: &Arc<CodedStore>,
+        cfg: ShardedCasConfig,
+        me: u32,
+        initial: Value,
+    ) -> StoreCasBackend {
+        let initial_share_by_pos = cfg.code().encode_bytes(&ValueSpec::to_bytes(initial));
+        StoreCasBackend {
+            epoch: store.collector.register(),
+            store: Arc::clone(store),
+            cfg,
+            me,
+            initial_share_by_pos,
+        }
+    }
+
+    /// The shared store.
+    pub fn store(&self) -> &Arc<CodedStore> {
+        &self.store
+    }
+
+    /// Drains this handle's deferred frees as far as the epoch allows.
+    pub fn collect(&self) {
+        self.epoch.collect();
+    }
+
+    /// The seed state of an untouched in-shard key: its initial-value
+    /// symbol under `Tag::ZERO`, finalized — exactly the reference's.
+    fn seed(&self, pos: u32) -> (BTreeMap<Tag, Vec<u8>>, BTreeSet<Tag>) {
+        let initial = self.initial_share_by_pos[pos as usize].clone();
+        ([(Tag::ZERO, initial)].into(), [Tag::ZERO].into())
+    }
+
+    /// The legacy GC rule, applied to a state under construction.
+    fn gc(cfg: &ShardedCasConfig, shares: &mut BTreeMap<Tag, Vec<u8>>, finalized: &BTreeSet<Tag>) {
+        let Some(delta) = cfg.gc_depth else {
+            return;
+        };
+        let keep_from = finalized.iter().rev().nth(delta as usize).copied();
+        if let Some(cutoff) = keep_from {
+            shares.retain(|&t, _| t >= cutoff);
+        }
+    }
+
+    /// RCU update of `key`'s state: materialize if needed, apply
+    /// `mutate` (returning `None` for "already satisfied"), GC, CAS;
+    /// retry from the winner on a race. Returns the share for
+    /// `want_share` read from the state this call left installed.
+    fn update(
+        &self,
+        key: Key,
+        pos: u32,
+        mutate: impl Fn(&mut BTreeMap<Tag, Vec<u8>>, &mut BTreeSet<Tag>) -> bool,
+        want_share: Option<Tag>,
+    ) -> Option<Vec<u8>> {
+        let _guard = self.epoch.enter();
+        let cell = self.store.map.get_or_insert(key, CodedCell::empty);
+        loop {
+            let p = cell.state.load(SeqCst);
+            let (mut shares, mut finalized) = if p.is_null() {
+                self.seed(pos)
+            } else {
+                let s = unsafe { &*p };
+                (s.shares.clone(), s.finalized.clone())
+            };
+            let changed = mutate(&mut shares, &mut finalized);
+            if changed {
+                Self::gc(&self.cfg, &mut shares, &finalized);
+            } else if !p.is_null() {
+                // Already satisfied: leave the winner in place.
+                let s = unsafe { &*p };
+                return want_share.and_then(|t| s.shares.get(&t).cloned());
+            }
+            let result = want_share.and_then(|t| shares.get(&t).cloned());
+            let n = Box::into_raw(Box::new(CodedState::new(
+                shares,
+                finalized,
+                &self.store.live,
+            )));
+            match cell.state.compare_exchange(p, n, SeqCst, SeqCst) {
+                Ok(_) => {
+                    if !p.is_null() {
+                        self.epoch.retire(unsafe { Box::from_raw(p) });
+                    }
+                    return result;
+                }
+                Err(_) => {
+                    drop(unsafe { Box::from_raw(n) });
+                    continue; // retry from the winner's state
+                }
+            }
+        }
+    }
+
+    /// Read-only view of `key`'s state under a pin.
+    fn with_state<R>(&self, key: Key, f: impl FnOnce(Option<&CodedState>) -> R) -> R {
+        let _guard = self.epoch.enter();
+        let p = self
+            .store
+            .map
+            .get(key)
+            .map_or(std::ptr::null_mut(), |cell| cell.state.load(SeqCst));
+        if p.is_null() {
+            f(None)
+        } else {
+            f(Some(unsafe { &*p }))
+        }
+    }
+}
+
+impl Clone for StoreCasBackend {
+    /// A clone is a *sibling*: same shared store, fresh epoch handle.
+    fn clone(&self) -> StoreCasBackend {
+        StoreCasBackend {
+            epoch: self.store.collector.register(),
+            store: Arc::clone(&self.store),
+            cfg: self.cfg.clone(),
+            me: self.me,
+            initial_share_by_pos: self.initial_share_by_pos.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for StoreCasBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreCasBackend")
+            .field("me", &self.me)
+            .field("keys_held", &CasBackend::keys_held(self))
+            .finish()
+    }
+}
+
+impl CasBackend for StoreCasBackend {
+    fn max_finalized(&self, key: Key) -> Tag {
+        self.with_state(key, |s| {
+            s.and_then(|s| s.finalized.iter().next_back().copied())
+                .unwrap_or(Tag::ZERO)
+        })
+    }
+
+    fn pre_write(&mut self, key: Key, tag: Tag, share: Vec<u8>) {
+        let Some(pos) = self.cfg.map.position_for_key(self.me, key) else {
+            return;
+        };
+        self.update(
+            key,
+            pos,
+            |shares, _| match shares.entry(tag) {
+                std::collections::btree_map::Entry::Occupied(_) => false,
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(share.clone());
+                    true
+                }
+            },
+            None,
+        );
+    }
+
+    fn finalize(&mut self, key: Key, tag: Tag) {
+        let Some(pos) = self.cfg.map.position_for_key(self.me, key) else {
+            return;
+        };
+        self.update(key, pos, |_, finalized| finalized.insert(tag), None);
+    }
+
+    fn read_get(&mut self, key: Key, tag: Tag) -> Option<Option<Vec<u8>>> {
+        let pos = self.cfg.map.position_for_key(self.me, key)?;
+        Some(self.update(key, pos, |_, finalized| finalized.insert(tag), Some(tag)))
+    }
+
+    fn versions_held(&self, key: Key) -> usize {
+        self.with_state(key, |s| s.map_or(0, |s| s.shares.len()))
+    }
+
+    fn keys_held(&self) -> usize {
+        let _guard = self.epoch.enter();
+        let mut n = 0;
+        self.store
+            .map
+            .for_each(|_, cell| n += usize::from(!cell.state.load(SeqCst).is_null()));
+        n
+    }
+
+    fn total_versions(&self) -> usize {
+        let _guard = self.epoch.enter();
+        let mut n = 0;
+        self.store.map.for_each(|_, cell| {
+            let p = cell.state.load(SeqCst);
+            if !p.is_null() {
+                n += unsafe { &*p }.shares.len();
+            }
+        });
+        n
+    }
+
+    fn total_tags(&self) -> usize {
+        let _guard = self.epoch.enter();
+        let mut n = 0;
+        self.store.map.for_each(|_, cell| {
+            let p = cell.state.load(SeqCst);
+            if !p.is_null() {
+                let s = unsafe { &*p };
+                n += s.shares.len() + s.finalized.len();
+            }
+        });
+        n
+    }
+
+    fn digest_with(&self, me: u32) -> u64 {
+        let _guard = self.epoch.enter();
+        // Owned snapshot in canonical key order; hashes byte-identically
+        // to the reference's borrowed views.
+        type Canonical = Vec<(Key, BTreeMap<Tag, Vec<u8>>, BTreeSet<Tag>)>;
+        let mut canonical: Canonical = Vec::new();
+        self.store.map.for_each(|key, cell| {
+            let p = cell.state.load(SeqCst);
+            if !p.is_null() {
+                let s = unsafe { &*p };
+                canonical.push((key, s.shares.clone(), s.finalized.clone()));
+            }
+        });
+        canonical.sort_by_key(|&(k, _, _)| k);
+        hash_of(&(me, canonical))
+    }
+}
+
+/// [`HashedBackend`] over the shared coded store: the CAS backend plus
+/// the RCU'd hash side-table.
+pub struct StoreHashedBackend {
+    cas: StoreCasBackend,
+}
+
+impl StoreHashedBackend {
+    /// A backend for server `me` over a fresh private store.
+    pub fn new(cfg: ShardedCasConfig, me: u32, initial: Value) -> StoreHashedBackend {
+        StoreHashedBackend {
+            cas: StoreCasBackend::new(cfg, me, initial),
+        }
+    }
+
+    /// A backend for server `me` sharing `store` (one per thread).
+    pub fn shared(
+        store: &Arc<CodedStore>,
+        cfg: ShardedCasConfig,
+        me: u32,
+        initial: Value,
+    ) -> StoreHashedBackend {
+        StoreHashedBackend {
+            cas: StoreCasBackend::shared(store, cfg, me, initial),
+        }
+    }
+
+    /// The shared store.
+    pub fn store(&self) -> &Arc<CodedStore> {
+        &self.cas.store
+    }
+
+    fn hash_snapshot(&self) -> BTreeMap<(Key, Tag), u64> {
+        let _guard = self.cas.epoch.enter();
+        let mut out = BTreeMap::new();
+        self.cas.store.hashes.for_each(|key, cell| {
+            let p = cell.state.load(SeqCst);
+            if !p.is_null() {
+                for (&tag, &d) in &unsafe { &*p }.by_tag {
+                    out.insert((key, tag), d);
+                }
+            }
+        });
+        out
+    }
+}
+
+impl Clone for StoreHashedBackend {
+    fn clone(&self) -> StoreHashedBackend {
+        StoreHashedBackend {
+            cas: self.cas.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for StoreHashedBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreHashedBackend")
+            .field("me", &self.cas.me)
+            .finish()
+    }
+}
+
+impl CasBackend for StoreHashedBackend {
+    fn max_finalized(&self, key: Key) -> Tag {
+        self.cas.max_finalized(key)
+    }
+    fn pre_write(&mut self, key: Key, tag: Tag, share: Vec<u8>) {
+        self.cas.pre_write(key, tag, share);
+    }
+    fn finalize(&mut self, key: Key, tag: Tag) {
+        self.cas.finalize(key, tag);
+    }
+    fn read_get(&mut self, key: Key, tag: Tag) -> Option<Option<Vec<u8>>> {
+        self.cas.read_get(key, tag)
+    }
+    fn versions_held(&self, key: Key) -> usize {
+        self.cas.versions_held(key)
+    }
+    fn keys_held(&self) -> usize {
+        self.cas.keys_held()
+    }
+    fn total_versions(&self) -> usize {
+        self.cas.total_versions()
+    }
+    fn total_tags(&self) -> usize {
+        self.cas.total_tags()
+    }
+    fn digest_with(&self, me: u32) -> u64 {
+        self.cas.digest_with(me)
+    }
+}
+
+impl HashedBackend for StoreHashedBackend {
+    fn put_hash(&mut self, key: Key, tag: Tag, digest: u64) {
+        let _guard = self.cas.epoch.enter();
+        let cell = self.cas.store.hashes.get_or_insert(key, HashCell::empty);
+        loop {
+            let p = cell.state.load(SeqCst);
+            let mut by_tag = if p.is_null() {
+                BTreeMap::new()
+            } else {
+                let s = unsafe { &*p };
+                // Last announcement wins, like the reference's insert.
+                if s.by_tag.get(&tag) == Some(&digest) {
+                    return;
+                }
+                s.by_tag.clone()
+            };
+            by_tag.insert(tag, digest);
+            let n = Box::into_raw(Box::new(HashState { by_tag }));
+            match cell.state.compare_exchange(p, n, SeqCst, SeqCst) {
+                Ok(_) => {
+                    if !p.is_null() {
+                        self.cas.epoch.retire(unsafe { Box::from_raw(p) });
+                    }
+                    return;
+                }
+                Err(_) => {
+                    drop(unsafe { Box::from_raw(n) });
+                }
+            }
+        }
+    }
+
+    fn get_hash(&self, key: Key, tag: Tag) -> Option<u64> {
+        let _guard = self.cas.epoch.enter();
+        let cell = self.cas.store.hashes.get(key)?;
+        let p = cell.state.load(SeqCst);
+        if p.is_null() {
+            return None;
+        }
+        unsafe { &*p }.by_tag.get(&tag).copied()
+    }
+
+    fn hash_count(&self) -> usize {
+        let _guard = self.cas.epoch.enter();
+        let mut n = 0;
+        self.cas.store.hashes.for_each(|_, cell| {
+            let p = cell.state.load(SeqCst);
+            if !p.is_null() {
+                n += unsafe { &*p }.by_tag.len();
+            }
+        });
+        n
+    }
+
+    fn hashed_digest_with(&self, me: u32) -> u64 {
+        hash_of(&(self.cas.digest_with(me), &self.hash_snapshot()))
+    }
+}

@@ -1,0 +1,366 @@
+//! Epoch-based memory reclamation for the lock-free store.
+//!
+//! Hand-rolled (the workspace is dependency-free) but following the
+//! classic three-epoch scheme used by the mw-cas / chamt reclamation
+//! idiom (SNIPPETS.md Snippet 2): readers *pin* the global epoch for the
+//! duration of a lock-free read, writers *retire* unlinked allocations
+//! into a per-handle deferred list stamped with the epoch at unlink time,
+//! and a retired allocation is freed only once the global epoch has
+//! advanced **two** steps past its stamp.
+//!
+//! Safety argument, informally: an allocation retired at epoch `g` was
+//! unlinked from the shared structure *before* being retired, so only a
+//! reader already pinned at the time of the unlink can still hold a
+//! reference to it — and that reader's pin epoch is at most `g`. The
+//! global epoch advances `g → g+1` only when every pinned participant is
+//! pinned at `g`, and `g+1 → g+2` only when every pinned participant is
+//! pinned at `g+1`; by then every pin from epoch `≤ g` has been dropped.
+//! Hence at `global ≥ g+2` no live guard can reach the retired
+//! allocation and freeing it is sound. All orderings are `SeqCst`; the
+//! store's throughput comes from per-operation cheapness, not from
+//! relaxed-ordering heroics. The one deliberate optimisation is the
+//! *standing pin* ([`Handle::enter`]): per-operation hot paths keep the
+//! slot continuously published and refresh it only every
+//! [`REFRESH_EVERY`] entries, so the store-load publish fence — the
+//! dominant per-op cost of classic epoch pinning — is amortised away.
+//! A stale standing pin can only *delay* reclamation (the epoch stalls
+//! until the refresh), never admit a use-after-free: safety needs the
+//! slot published before any dereference, and a standing slot is
+//! published at all times.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex, Weak};
+
+/// Anything retirable. The blanket impl makes every `Send` payload
+/// retirable; "reclaiming" is simply dropping the box once safe.
+pub trait Reclaim: Send {}
+impl<T: Send> Reclaim for T {}
+
+type Garbage = (u64, Box<dyn Reclaim>);
+
+/// A participant's pin state: 0 = unpinned, `e + 1` = pinned at epoch `e`.
+struct ParticipantSlot {
+    pinned: AtomicU64,
+}
+
+struct CollectorInner {
+    /// The global epoch. Monotonic; advances by 1.
+    global: AtomicU64,
+    /// Pin slots of all live handles (dead ones pruned lazily).
+    slots: Mutex<Vec<Weak<ParticipantSlot>>>,
+    /// Garbage whose owning handle exited before it became freeable.
+    orphan: Mutex<Vec<Garbage>>,
+    /// Retired-but-not-yet-freed allocations (across all handles).
+    deferred: AtomicU64,
+    /// Allocations freed so far.
+    reclaimed: AtomicU64,
+}
+
+/// The shared reclamation domain of one store. Cheap to clone.
+#[derive(Clone)]
+pub struct Collector {
+    inner: Arc<CollectorInner>,
+}
+
+impl Default for Collector {
+    fn default() -> Collector {
+        Collector::new()
+    }
+}
+
+impl Collector {
+    /// A fresh domain at epoch 0.
+    pub fn new() -> Collector {
+        Collector {
+            inner: Arc::new(CollectorInner {
+                global: AtomicU64::new(0),
+                slots: Mutex::new(Vec::new()),
+                orphan: Mutex::new(Vec::new()),
+                deferred: AtomicU64::new(0),
+                reclaimed: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Registers a new participant (one per accessing thread).
+    pub fn register(&self) -> Handle {
+        let slot = Arc::new(ParticipantSlot {
+            pinned: AtomicU64::new(0),
+        });
+        self.inner.slots.lock().unwrap().push(Arc::downgrade(&slot));
+        Handle {
+            inner: Arc::clone(&self.inner),
+            slot,
+            garbage: RefCell::new(Vec::new()),
+            ops: Cell::new(0),
+            standing: Cell::new(0),
+            since_refresh: Cell::new(0),
+            active_guards: Cell::new(0),
+        }
+    }
+
+    /// Retired allocations not yet freed.
+    pub fn deferred(&self) -> u64 {
+        self.inner.deferred.load(SeqCst)
+    }
+
+    /// Allocations freed so far.
+    pub fn reclaimed(&self) -> u64 {
+        self.inner.reclaimed.load(SeqCst)
+    }
+
+    /// The current global epoch (for tests).
+    pub fn epoch(&self) -> u64 {
+        self.inner.global.load(SeqCst)
+    }
+
+    /// Drains the orphan list as far as the epoch allows, advancing it if
+    /// possible. At quiescence (no pinned participants), repeated calls
+    /// drain everything: each call advances the epoch by one and frees
+    /// what became stale, so three calls always suffice.
+    pub fn flush(&self) {
+        for _ in 0..3 {
+            self.inner.try_advance();
+            self.inner.collect_orphans();
+        }
+    }
+}
+
+impl CollectorInner {
+    /// Advances the global epoch iff every pinned participant is pinned
+    /// at the current epoch. Returns the (possibly new) epoch.
+    ///
+    /// Non-blocking: if another participant is already scanning the
+    /// slot list, skip — their scan is the progress we wanted, and
+    /// waiting here would let one preempted mutex holder stall every
+    /// writer's periodic collect for a scheduler quantum.
+    fn try_advance(&self) -> u64 {
+        let global = self.global.load(SeqCst);
+        {
+            let Ok(mut slots) = self.slots.try_lock() else {
+                return global;
+            };
+            let mut all_current = true;
+            slots.retain(|w| match w.upgrade() {
+                Some(slot) => {
+                    let p = slot.pinned.load(SeqCst);
+                    if p != 0 && p != global + 1 {
+                        all_current = false;
+                    }
+                    true
+                }
+                None => false,
+            });
+            if !all_current {
+                return global;
+            }
+        }
+        // A lost race just means someone else advanced; that is progress
+        // too, and the caller re-reads the epoch anyway.
+        let _ = self
+            .global
+            .compare_exchange(global, global + 1, SeqCst, SeqCst);
+        self.global.load(SeqCst)
+    }
+
+    /// Frees every garbage item (in `list`) stamped two or more epochs
+    /// behind `global`, for a list whose stamps are non-decreasing (a
+    /// per-handle deferred list: stamps are read from the monotone
+    /// global at retire time). The freeable set is then a prefix, so a
+    /// fruitless call — the common case while a descheduled sibling
+    /// stalls the epoch and the list grows — costs `O(log len)`, not a
+    /// full scan. A linear `retain` here is quadratic over a scheduler
+    /// quantum on loaded machines and collapses write throughput.
+    fn collect_sorted(&self, list: &mut Vec<Garbage>, global: u64) {
+        debug_assert!(list.windows(2).all(|w| w[0].0 <= w[1].0));
+        let freeable = list.partition_point(|&(stamp, _)| stamp + 2 <= global);
+        if freeable > 0 {
+            list.drain(..freeable);
+            self.deferred.fetch_sub(freeable as u64, SeqCst);
+            self.reclaimed.fetch_add(freeable as u64, SeqCst);
+        }
+    }
+
+    /// [`CollectorInner::collect_sorted`] for lists with no stamp order
+    /// (the orphan list interleaves chunks from differently-aged
+    /// handles). Rare path: only `flush` and post-orphaning collects
+    /// land here.
+    fn collect_list(&self, list: &mut Vec<Garbage>, global: u64) {
+        let before = list.len();
+        list.retain(|&(stamp, _)| stamp + 2 > global);
+        let freed = (before - list.len()) as u64;
+        if freed > 0 {
+            self.deferred.fetch_sub(freed, SeqCst);
+            self.reclaimed.fetch_add(freed, SeqCst);
+        }
+    }
+
+    /// Non-blocking for the same reason as [`CollectorInner::try_advance`];
+    /// orphans skipped here drain on the next collect or flush.
+    fn collect_orphans(&self) {
+        let global = self.global.load(SeqCst);
+        if let Ok(mut orphan) = self.orphan.try_lock() {
+            self.collect_list(&mut orphan, global);
+        }
+    }
+}
+
+impl Drop for CollectorInner {
+    fn drop(&mut self) {
+        // Last reference: no handles, no guards. Everything still
+        // deferred is unreachable and safe to drop with the orphan Vec.
+        let orphan = self.orphan.get_mut().unwrap();
+        let n = orphan.len() as u64;
+        self.deferred.fetch_sub(n, SeqCst);
+        self.reclaimed.fetch_add(n, SeqCst);
+    }
+}
+
+/// One thread's participation in a [`Collector`]. `Send` but not `Sync`:
+/// each accessing thread registers its own handle.
+pub struct Handle {
+    inner: Arc<CollectorInner>,
+    slot: Arc<ParticipantSlot>,
+    garbage: RefCell<Vec<Garbage>>,
+    /// Operations since the last advance/collect attempt.
+    ops: Cell<u64>,
+    /// Standing-pin state for [`Handle::enter`]: the value currently
+    /// published in the slot (0 = slot not standing-pinned).
+    standing: Cell<u64>,
+    /// [`Handle::enter`] calls since the standing pin was last refreshed.
+    since_refresh: Cell<u64>,
+    /// Live guards on this handle (eager and standing alike).
+    active_guards: Cell<u32>,
+}
+
+/// Try to advance the epoch every this many retires.
+const ADVANCE_EVERY: u64 = 32;
+
+/// Refresh a standing pin ([`Handle::enter`]) to the current epoch every
+/// this many entries. Larger = cheaper hot path, slower reclamation
+/// convergence (garbage lingers at most one refresh interval longer).
+const REFRESH_EVERY: u64 = 128;
+
+impl Handle {
+    /// Pins the current epoch for the guard's lifetime. Lock-free reads
+    /// of store pointers are valid only under a live guard.
+    ///
+    /// This is the *eager* pin: the slot publishes on entry and clears on
+    /// the (outermost) guard drop, so a dropped guard immediately stops
+    /// blocking reclamation. Per-operation hot paths should prefer
+    /// [`Handle::enter`], which amortises the publish fence.
+    pub fn pin(&self) -> Guard<'_> {
+        self.publish();
+        self.active_guards.set(self.active_guards.get() + 1);
+        Guard {
+            handle: self,
+            eager: true,
+        }
+    }
+
+    /// Pins like [`Handle::pin`], but *keeps the slot published* after
+    /// the guard drops (a "standing" pin) so the next `enter` is a
+    /// couple of unsynchronised counter bumps instead of a store-load
+    /// fence. The standing pin is refreshed to the current epoch every
+    /// [`REFRESH_EVERY`] entries and released by [`Handle::collect`] at
+    /// quiescence; in between it merely *delays* reclamation (the epoch
+    /// cannot advance past a stale standing pin), never unsafely — the
+    /// slot is continuously published, so no collector can free a
+    /// version this handle might still dereference.
+    pub fn enter(&self) -> Guard<'_> {
+        let n = self.since_refresh.get() + 1;
+        self.since_refresh.set(n);
+        // Refresh only with no guard live: re-publishing while a guard
+        // holds references is fine for *this* overwrite-in-place scheme,
+        // but releasing in `collect` is not, and one rule is simpler.
+        if self.standing.get() == 0 || (n >= REFRESH_EVERY && self.active_guards.get() == 0) {
+            self.publish();
+            self.since_refresh.set(0);
+        }
+        self.active_guards.set(self.active_guards.get() + 1);
+        Guard {
+            handle: self,
+            eager: false,
+        }
+    }
+
+    /// Publishes the slot at the current epoch with the full
+    /// store-then-recheck fence: if the epoch moved between the read and
+    /// the store we re-pin at the newer epoch, so an advancing collector
+    /// can never miss this participant.
+    fn publish(&self) {
+        loop {
+            let e = self.inner.global.load(SeqCst);
+            self.slot.pinned.store(e + 1, SeqCst);
+            if self.inner.global.load(SeqCst) == e {
+                self.standing.set(e + 1);
+                return;
+            }
+        }
+    }
+
+    /// Defers dropping `garbage` until two epochs from now. The caller
+    /// must have already unlinked it from the shared structure.
+    pub fn retire(&self, garbage: Box<dyn Reclaim>) {
+        let stamp = self.inner.global.load(SeqCst);
+        self.garbage.borrow_mut().push((stamp, garbage));
+        self.inner.deferred.fetch_add(1, SeqCst);
+        let ops = self.ops.get() + 1;
+        self.ops.set(ops);
+        if ops.is_multiple_of(ADVANCE_EVERY) {
+            self.collect();
+        }
+    }
+
+    /// Tries to advance the epoch and frees whatever became stale in this
+    /// handle's deferred list. If this handle holds a standing pin with
+    /// no live guard, the pin is released first so the handle's own
+    /// (possibly stale) pin cannot stall the advance it is asking for.
+    pub fn collect(&self) {
+        if self.active_guards.get() == 0 && self.standing.get() != 0 {
+            self.slot.pinned.store(0, SeqCst);
+            self.standing.set(0);
+        }
+        let global = self.inner.try_advance();
+        self.inner
+            .collect_sorted(&mut self.garbage.borrow_mut(), global);
+        self.inner.collect_orphans();
+    }
+
+    /// The owning collector (to register sibling handles).
+    pub fn collector(&self) -> Collector {
+        Collector {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Drop for Handle {
+    fn drop(&mut self) {
+        // This handle can no longer advance its garbage; hand it to the
+        // collector so surviving handles (or teardown) free it.
+        let mut garbage = self.garbage.borrow_mut();
+        self.inner.orphan.lock().unwrap().append(&mut garbage);
+        self.slot.pinned.store(0, SeqCst);
+    }
+}
+
+/// An active pin. Dropping an eager guard ([`Handle::pin`]) unpins the
+/// slot once no guard remains; dropping a standing guard
+/// ([`Handle::enter`]) leaves the slot published for the next entry.
+pub struct Guard<'a> {
+    handle: &'a Handle,
+    eager: bool,
+}
+
+impl Drop for Guard<'_> {
+    fn drop(&mut self) {
+        let remaining = self.handle.active_guards.get() - 1;
+        self.handle.active_guards.set(remaining);
+        if self.eager && remaining == 0 {
+            self.handle.slot.pinned.store(0, SeqCst);
+            self.handle.standing.set(0);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Low-overhead per-thread operation logging for linearizability checks.
+//!
+//! Every concurrent code path under test records `(invoke, respond)`
+//! intervals against a single shared logical clock (one `fetch_add` per
+//! boundary — no locks, no allocation on the hot path beyond the op
+//! record itself). After the threads join, the logs merge into per-key
+//! [`shmem_spec::History`]s and the *unchanged* `shmem-spec` atomicity
+//! checker delivers the verdict: linearizability of the store is checked,
+//! not argued.
+
+use shmem_algorithms::multikey::Key;
+use shmem_algorithms::value::Value;
+use shmem_spec::{History, OpKind, Operation};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+
+/// The shared logical clock. Timestamps only order events; density is
+/// irrelevant.
+#[derive(Clone, Default)]
+pub struct OpClock {
+    now: Arc<AtomicU64>,
+}
+
+impl OpClock {
+    /// A fresh clock at 0.
+    pub fn new() -> OpClock {
+        OpClock::default()
+    }
+
+    /// The next timestamp.
+    pub fn tick(&self) -> u64 {
+        self.now.fetch_add(1, SeqCst)
+    }
+}
+
+/// One recorded operation.
+struct LoggedOp {
+    key: Key,
+    kind: OpKind<Value>,
+    invoked: u64,
+    responded: u64,
+    returned: Option<Value>,
+}
+
+/// One thread's private log. Create one per worker, collect with
+/// [`merge_histories`] after joining.
+pub struct ThreadLog {
+    client: u32,
+    clock: OpClock,
+    ops: Vec<LoggedOp>,
+}
+
+impl ThreadLog {
+    /// A log for `client` (the thread's id in the merged history).
+    pub fn new(client: u32, clock: &OpClock) -> ThreadLog {
+        ThreadLog {
+            client,
+            clock: clock.clone(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Stamps an invocation. Call immediately *before* the operation.
+    pub fn invoke(&self) -> u64 {
+        self.clock.tick()
+    }
+
+    /// Records a completed read. `invoked` is the matching [`Self::invoke`]
+    /// stamp; the response is stamped here, *after* the operation.
+    pub fn read_done(&mut self, key: Key, invoked: u64, returned: Value) {
+        let responded = self.clock.tick();
+        self.ops.push(LoggedOp {
+            key,
+            kind: OpKind::Read,
+            invoked,
+            responded,
+            returned: Some(returned),
+        });
+    }
+
+    /// Records a completed write.
+    pub fn write_done(&mut self, key: Key, invoked: u64, value: Value) {
+        let responded = self.clock.tick();
+        self.ops.push(LoggedOp {
+            key,
+            kind: OpKind::Write(value),
+            invoked,
+            responded,
+            returned: None,
+        });
+    }
+}
+
+/// Merges joined thread logs into one history per key, ordered by
+/// invocation time.
+pub fn merge_histories(initial: Value, logs: Vec<ThreadLog>) -> BTreeMap<Key, History<Value>> {
+    let mut per_key: BTreeMap<Key, Vec<Operation<Value>>> = BTreeMap::new();
+    for log in logs {
+        for op in log.ops {
+            per_key.entry(op.key).or_default().push(Operation {
+                client: log.client,
+                kind: op.kind,
+                invoked: op.invoked,
+                responded: Some(op.responded),
+                returned: op.returned,
+            });
+        }
+    }
+    per_key
+        .into_iter()
+        .map(|(key, mut ops)| {
+            ops.sort_by_key(|op| op.invoked);
+            (key, History::from_ops(initial, ops))
+        })
+        .collect()
+}

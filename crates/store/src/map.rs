@@ -1,0 +1,223 @@
+//! A lock-free, insert-only open-addressed hash map from `u64` keys to
+//! heap cells.
+//!
+//! This is the key-routing layer of the store: one cell per key, created
+//! on first touch and never removed (the register keyspace is bounded, so
+//! cells are only freed when the whole map drops). All *versioned* state
+//! lives behind atomic pointers **inside** the cells and is reclaimed via
+//! the epoch [`crate::epoch`] machinery; the map itself therefore needs
+//! no reclamation at all, which keeps it simple enough to verify by
+//! reading.
+//!
+//! Layout: a chain of tables, each double the previous capacity. A probe
+//! walks every table; insertion claims a key slot with a CAS in the first
+//! table with room, growing the chain when full. Keys are never removed,
+//! so a key committed in one table is found by every later prober before
+//! it could be duplicated in a younger table.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::SeqCst};
+
+/// Key slot sentinel: no key claimed yet.
+const EMPTY: u64 = u64::MAX;
+
+struct Table<T> {
+    keys: Vec<AtomicU64>,
+    cells: Vec<AtomicPtr<T>>,
+    /// Claimed key slots (advisory; racing claims may overshoot by the
+    /// number of concurrent inserters, which only shortens probes more).
+    claimed: AtomicU64,
+    next: AtomicPtr<Table<T>>,
+}
+
+impl<T> Table<T> {
+    fn new(cap: usize) -> Box<Table<T>> {
+        Box::new(Table {
+            keys: (0..cap).map(|_| AtomicU64::new(EMPTY)).collect(),
+            cells: (0..cap)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+            claimed: AtomicU64::new(0),
+            next: AtomicPtr::new(std::ptr::null_mut()),
+        })
+    }
+
+    /// Claims stop at half capacity, so probe runs stay short: with at
+    /// most every other slot claimed, an unsuccessful probe hits an
+    /// `EMPTY` terminator in expected O(1) steps instead of scanning a
+    /// saturated table end to end.
+    fn at_claim_cap(&self) -> bool {
+        self.claimed.load(SeqCst) as usize >= self.keys.len() / 2
+    }
+}
+
+/// SplitMix64 finalizer — the probe start for a key.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The insert-only concurrent map. `T` is the per-key cell type.
+pub struct AtomicMap<T> {
+    head: AtomicPtr<Table<T>>,
+}
+
+unsafe impl<T: Send + Sync> Send for AtomicMap<T> {}
+unsafe impl<T: Send + Sync> Sync for AtomicMap<T> {}
+
+impl<T> AtomicMap<T> {
+    /// A map with initial capacity for roughly `cap` keys.
+    pub fn with_capacity(cap: usize) -> AtomicMap<T> {
+        let cap = cap.next_power_of_two().max(64);
+        AtomicMap {
+            head: AtomicPtr::new(Box::into_raw(Table::new(cap))),
+        }
+    }
+
+    /// Looks up the cell for `key`, if one was ever inserted.
+    pub fn get(&self, key: u64) -> Option<&T> {
+        debug_assert_ne!(key, EMPTY, "u64::MAX is the reserved empty sentinel");
+        let mut table = self.head.load(SeqCst);
+        while !table.is_null() {
+            let t = unsafe { &*table };
+            if let Some(cell) = Self::find_in(t, key) {
+                return Some(cell);
+            }
+            table = t.next.load(SeqCst);
+        }
+        None
+    }
+
+    /// Looks up the cell for `key`, inserting `make()` if absent. Returns
+    /// the winning cell (the loser's allocation is dropped).
+    pub fn get_or_insert(&self, key: u64, make: impl FnOnce() -> T) -> &T {
+        debug_assert_ne!(key, EMPTY, "u64::MAX is the reserved empty sentinel");
+        let mut make = Some(make);
+        let mut table = self.head.load(SeqCst);
+        loop {
+            let t = unsafe { &*table };
+            let cap = t.keys.len();
+            let at_cap = t.at_claim_cap();
+            let mut idx = mix64(key) as usize & (cap - 1);
+            // Bounded probe: past this, treat the table as full and chain.
+            for _ in 0..cap.min(128) {
+                let slot_key = t.keys[idx].load(SeqCst);
+                let claimed = if slot_key == EMPTY {
+                    // An EMPTY slot proves `key` is not in this table
+                    // (inserts claim the first EMPTY on this same probe
+                    // path); at the claim cap we chain instead of
+                    // claiming, keeping the table half empty.
+                    if at_cap {
+                        break;
+                    }
+                    match t.keys[idx].compare_exchange(EMPTY, key, SeqCst, SeqCst) {
+                        Ok(_) => {
+                            t.claimed.fetch_add(1, SeqCst);
+                            true
+                        }
+                        Err(actual) => actual == key,
+                    }
+                } else {
+                    slot_key == key
+                };
+                if claimed {
+                    let cell = &t.cells[idx];
+                    let mut p = cell.load(SeqCst);
+                    if p.is_null() {
+                        let raw = Box::into_raw(Box::new(make
+                            .take()
+                            .expect("cell publish races at most once per call")(
+                        )));
+                        match cell.compare_exchange(std::ptr::null_mut(), raw, SeqCst, SeqCst) {
+                            Ok(_) => p = raw,
+                            Err(winner) => {
+                                // Reclaim our losing allocation.
+                                drop(unsafe { Box::from_raw(raw) });
+                                p = winner;
+                            }
+                        }
+                    }
+                    return unsafe { &*p };
+                }
+                idx = (idx + 1) & (cap - 1);
+            }
+            // Table full along this probe path: move to (or grow) the chain.
+            let next = t.next.load(SeqCst);
+            table = if next.is_null() {
+                let grown = Box::into_raw(Table::new(cap * 2));
+                match t
+                    .next
+                    .compare_exchange(std::ptr::null_mut(), grown, SeqCst, SeqCst)
+                {
+                    Ok(_) => grown,
+                    Err(winner) => {
+                        drop(unsafe { Box::from_raw(grown) });
+                        winner
+                    }
+                }
+            } else {
+                next
+            };
+        }
+    }
+
+    fn find_in(t: &Table<T>, key: u64) -> Option<&T> {
+        let cap = t.keys.len();
+        let mut idx = mix64(key) as usize & (cap - 1);
+        for _ in 0..cap.min(128) {
+            match t.keys[idx].load(SeqCst) {
+                EMPTY => return None,
+                k if k == key => {
+                    // The claimer publishes the cell right after the key
+                    // CAS; spin out the (tiny) window.
+                    loop {
+                        let p = t.cells[idx].load(SeqCst);
+                        if !p.is_null() {
+                            return Some(unsafe { &*p });
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+                _ => idx = (idx + 1) & (cap - 1),
+            }
+        }
+        None
+    }
+
+    /// Visits every inserted `(key, cell)` pair. Keys committed before
+    /// the call are all visited; concurrent insertions may or may not be.
+    pub fn for_each(&self, mut f: impl FnMut(u64, &T)) {
+        let mut table = self.head.load(SeqCst);
+        while !table.is_null() {
+            let t = unsafe { &*table };
+            for idx in 0..t.keys.len() {
+                let key = t.keys[idx].load(SeqCst);
+                if key == EMPTY {
+                    continue;
+                }
+                let p = t.cells[idx].load(SeqCst);
+                if !p.is_null() {
+                    f(key, unsafe { &*p });
+                }
+            }
+            table = t.next.load(SeqCst);
+        }
+    }
+}
+
+impl<T> Drop for AtomicMap<T> {
+    fn drop(&mut self) {
+        // Exclusive access: free every cell and every table in the chain.
+        let mut table = *self.head.get_mut();
+        while !table.is_null() {
+            let mut t = unsafe { Box::from_raw(table) };
+            for cell in &mut t.cells {
+                let p = *cell.get_mut();
+                if !p.is_null() {
+                    drop(unsafe { Box::from_raw(p) });
+                }
+            }
+            table = *t.next.get_mut();
+        }
+    }
+}

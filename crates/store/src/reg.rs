@@ -1,0 +1,289 @@
+//! The lock-free replicated-register store behind [`AbdBackend`].
+//!
+//! One [`AtomicMap`] cell per key, holding a single atomic pointer to the
+//! current immutable `(tag, value)` version. `store_if_newer` is a
+//! tag-ordered compare-and-bump: racing writers CAS the pointer and the
+//! loser re-reads, so concurrent stores always resolve to the maximum
+//! MWMR tag — the same merge the sequential reference performs, made
+//! atomic. Displaced versions are retired through the epoch collector and
+//! freed two epochs later, after every reader that could hold them has
+//! unpinned.
+
+use crate::epoch::{Collector, Handle};
+use crate::map::AtomicMap;
+use shmem_algorithms::backend::AbdBackend;
+use shmem_algorithms::multikey::Key;
+use shmem_algorithms::tag::Tag;
+use shmem_algorithms::value::Value;
+use shmem_sim::hash_of;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+use std::sync::Arc;
+
+/// An immutable published version. Carries the store's live-allocation
+/// counter so the leak tests can assert every displaced version is freed.
+pub(crate) struct RegVersion {
+    tag: Tag,
+    value: Value,
+    live: Arc<AtomicUsize>,
+}
+
+impl RegVersion {
+    fn new(tag: Tag, value: Value, live: &Arc<AtomicUsize>) -> RegVersion {
+        live.fetch_add(1, SeqCst);
+        RegVersion {
+            tag,
+            value,
+            live: Arc::clone(live),
+        }
+    }
+}
+
+impl Drop for RegVersion {
+    fn drop(&mut self) {
+        self.live.fetch_sub(1, SeqCst);
+    }
+}
+
+/// Per-key cell: the current version, or null while unmaterialized
+/// (logically `(Tag::ZERO, initial)`).
+pub(crate) struct RegCell {
+    cur: AtomicPtr<RegVersion>,
+}
+
+impl RegCell {
+    fn empty() -> RegCell {
+        RegCell {
+            cur: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+}
+
+/// The shared register store: one process-wide instance per emulated
+/// server, accessed by any number of threads through [`RegHandle`]s.
+pub struct RegStore {
+    map: AtomicMap<RegCell>,
+    collector: Collector,
+    live: Arc<AtomicUsize>,
+}
+
+impl Default for RegStore {
+    fn default() -> RegStore {
+        RegStore::new()
+    }
+}
+
+impl RegStore {
+    /// An empty store (every key at its initial value).
+    pub fn new() -> RegStore {
+        RegStore {
+            // Claims chain at half capacity, so this hosts 8k keys in
+            // the first table — comfortably above the benchmark and
+            // emulation keyspaces, at 256 KiB of slot metadata.
+            map: AtomicMap::with_capacity(16 * 1024),
+            collector: Collector::new(),
+            live: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Registers an accessing thread.
+    pub fn handle(self: &Arc<RegStore>) -> RegHandle {
+        RegHandle {
+            epoch: self.collector.register(),
+            store: Arc::clone(self),
+        }
+    }
+
+    /// The store's reclamation domain (for epoch assertions in tests).
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    /// Currently allocated (published, not yet freed) versions.
+    pub fn live_versions(&self) -> usize {
+        self.live.load(SeqCst)
+    }
+}
+
+impl Drop for RegStore {
+    fn drop(&mut self) {
+        // Exclusive access: free the current version of every cell. The
+        // map then frees the cells, the collector whatever was deferred.
+        self.map.for_each(|_, cell| {
+            let p = cell.cur.swap(std::ptr::null_mut(), SeqCst);
+            if !p.is_null() {
+                drop(unsafe { Box::from_raw(p) });
+            }
+        });
+    }
+}
+
+/// One thread's handle onto a [`RegStore`]. `Send`, not `Sync`.
+pub struct RegHandle {
+    store: Arc<RegStore>,
+    epoch: Handle,
+}
+
+impl RegHandle {
+    /// The current `(tag, value)` for `key`, if materialized.
+    pub fn load(&self, key: Key) -> Option<(Tag, Value)> {
+        let _guard = self.epoch.enter();
+        let cell = self.store.map.get(key)?;
+        let p = cell.cur.load(SeqCst);
+        if p.is_null() {
+            return None;
+        }
+        // Safe: pinned, so a concurrently displaced version outlives us.
+        let v = unsafe { &*p };
+        Some((v.tag, v.value))
+    }
+
+    /// Tag-ordered compare-and-bump: publishes `(tag, value)` iff `tag`
+    /// exceeds the key's current tag (absent = `Tag::ZERO`). Concurrent
+    /// racers resolve to the maximum tag. Returns whether this call won.
+    pub fn store_if_newer(&self, key: Key, tag: Tag, value: Value) -> bool {
+        let _guard = self.epoch.enter();
+        let cell = self.store.map.get_or_insert(key, RegCell::empty);
+        let mut new: Option<*mut RegVersion> = None;
+        loop {
+            let p = cell.cur.load(SeqCst);
+            let cur_tag = if p.is_null() {
+                Tag::ZERO
+            } else {
+                unsafe { &*p }.tag
+            };
+            if tag <= cur_tag {
+                // Lost to an equal-or-newer version; drop the unpublished
+                // allocation, if any.
+                if let Some(n) = new {
+                    drop(unsafe { Box::from_raw(n) });
+                }
+                return false;
+            }
+            let n = *new.get_or_insert_with(|| {
+                Box::into_raw(Box::new(RegVersion::new(tag, value, &self.store.live)))
+            });
+            match cell.cur.compare_exchange(p, n, SeqCst, SeqCst) {
+                Ok(_) => {
+                    if !p.is_null() {
+                        self.epoch.retire(unsafe { Box::from_raw(p) });
+                    }
+                    return true;
+                }
+                Err(_) => continue, // re-read the winner's tag
+            }
+        }
+    }
+
+    /// Number of keys with materialized state.
+    pub fn keys_held(&self) -> usize {
+        let _guard = self.epoch.enter();
+        let mut n = 0;
+        self.store
+            .map
+            .for_each(|_, cell| n += usize::from(!cell.cur.load(SeqCst).is_null()));
+        n
+    }
+
+    /// A point-in-time snapshot (canonical key order). Byte-identical to
+    /// the sequential reference's map once quiescent.
+    pub fn snapshot(&self) -> BTreeMap<Key, (Tag, Value)> {
+        let _guard = self.epoch.enter();
+        let mut out = BTreeMap::new();
+        self.store.map.for_each(|key, cell| {
+            let p = cell.cur.load(SeqCst);
+            if !p.is_null() {
+                let v = unsafe { &*p };
+                out.insert(key, (v.tag, v.value));
+            }
+        });
+        out
+    }
+
+    /// Drains this handle's deferred frees as far as the epoch allows.
+    pub fn collect(&self) {
+        self.epoch.collect();
+    }
+
+    /// The shared store.
+    pub fn store(&self) -> &Arc<RegStore> {
+        &self.store
+    }
+}
+
+impl Clone for RegHandle {
+    /// A clone is a *sibling*: same shared store, fresh epoch handle.
+    fn clone(&self) -> RegHandle {
+        self.store.handle()
+    }
+}
+
+/// [`AbdBackend`] over the shared store: plugs into
+/// `ShardedAbdServerOn<StoreAbdBackend>` so the unchanged ABD automaton
+/// runs against lock-free shared state.
+pub struct StoreAbdBackend {
+    handle: RegHandle,
+}
+
+impl StoreAbdBackend {
+    /// A backend over a fresh private store.
+    pub fn new() -> StoreAbdBackend {
+        StoreAbdBackend {
+            handle: Arc::new(RegStore::new()).handle(),
+        }
+    }
+
+    /// A backend sharing `store` (one per accessing thread).
+    pub fn shared(store: &Arc<RegStore>) -> StoreAbdBackend {
+        StoreAbdBackend {
+            handle: store.handle(),
+        }
+    }
+
+    /// The underlying handle.
+    pub fn handle(&self) -> &RegHandle {
+        &self.handle
+    }
+}
+
+impl Default for StoreAbdBackend {
+    fn default() -> StoreAbdBackend {
+        StoreAbdBackend::new()
+    }
+}
+
+impl Clone for StoreAbdBackend {
+    fn clone(&self) -> StoreAbdBackend {
+        StoreAbdBackend {
+            handle: self.handle.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for StoreAbdBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreAbdBackend")
+            .field("keys_held", &self.handle.keys_held())
+            .finish()
+    }
+}
+
+impl AbdBackend for StoreAbdBackend {
+    fn load(&self, key: Key) -> Option<(Tag, Value)> {
+        self.handle.load(key)
+    }
+
+    fn store_if_newer(&mut self, key: Key, tag: Tag, value: Value) -> bool {
+        self.handle.store_if_newer(key, tag, value)
+    }
+
+    fn keys_held(&self) -> usize {
+        self.handle.keys_held()
+    }
+
+    fn digest_with(&self, initial: Value) -> u64 {
+        // Hashing an owned snapshot produces the same bytes as the
+        // reference hashing its in-struct map.
+        hash_of(&(initial, &self.handle.snapshot()))
+    }
+}

@@ -136,6 +136,39 @@ impl Bencher {
         }
         self.elapsed += start.elapsed();
     }
+
+    /// Runs `routine` over fresh values from `setup`, timing only the
+    /// routine — criterion's `iter_batched`. The `size` hint is accepted
+    /// for compatibility; this shim always sets up one input per
+    /// iteration outside the timed section, which matches every
+    /// [`BatchSize`] semantically (only criterion's amortisation of
+    /// timer overhead differs, and the store benches iterate
+    /// millisecond-scale routines where that overhead is noise).
+    pub fn iter_batched<S, F, I, R>(&mut self, mut setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let _ = size;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+/// How setup outputs are batched relative to timing (accepted for
+/// criterion-compatibility; see [`Bencher::iter_batched`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are small; criterion would batch many per timing slice.
+    SmallInput,
+    /// Inputs are large; criterion would batch few per timing slice.
+    LargeInput,
+    /// Exactly one input per iteration.
+    PerIteration,
 }
 
 /// A named group of related benchmarks with shared settings.

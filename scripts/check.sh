@@ -31,6 +31,10 @@ echo "==> net gate: TCP/in-proc differential + wire properties + fault soup (rel
 cargo test --release -q --test net_differential
 cargo test --release -q -p shmem-net --test wire_roundtrip --test transport_faults
 
+echo "==> store gate: linearizability stress + differential + reclamation + throughput/storage (release)"
+cargo test --release -q -p shmem-store
+cargo test --release -q -p shmem-bench --test store_gate
+
 echo "==> perf smoke: step throughput vs committed baseline (release)"
 cargo run --release -q -p shmem-bench --bin perf_smoke
 
