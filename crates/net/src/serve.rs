@@ -129,15 +129,30 @@ where
     std::thread::scope(|scope| {
         let handles: Vec<_> = automata
             .into_iter()
-            .map(|mut automaton| {
+            .enumerate()
+            .map(|(worker, mut automaton)| {
                 let out_tx = out_tx.clone();
                 let (inbox, available, stop) = (&inbox, &available, &stop);
                 scope.spawn(move || {
                     let mut stats = ServeStats::default();
                     let mut event: u64 = 0;
                     let mut ctx: Ctx<P> = Ctx::new(my_id, event);
+                    // Every worker runs on_start (per-instance init),
+                    // but the pool is ONE logical server: only the
+                    // first worker's start-up effects go to the wire.
+                    // A protocol whose server emits on_start traffic
+                    // must not have it multiplied by the pool size.
                     automaton.on_start(&mut ctx);
-                    enqueue::<P>(&out_tx, my_id, ctx, &mut stats);
+                    if worker == 0 {
+                        enqueue::<P>(&out_tx, my_id, ctx, &mut stats);
+                    } else {
+                        let (outbox, responses) = ctx.into_effects();
+                        assert!(
+                            outbox.is_empty() && responses.is_empty(),
+                            "pooled server on_start effects are emitted once, \
+                             by the first worker only"
+                        );
+                    }
                     loop {
                         let env = {
                             let mut q = inbox.lock().expect("inbox poisoned");

@@ -250,8 +250,17 @@ impl Handle {
     /// the (outermost) guard drop, so a dropped guard immediately stops
     /// blocking reclamation. Per-operation hot paths should prefer
     /// [`Handle::enter`], which amortises the publish fence.
+    ///
+    /// Nesting under a live guard (from `pin` or `enter`) is allowed:
+    /// the inner pin reuses the already-published slot rather than
+    /// republishing it. Republishing would move the slot forward to the
+    /// current epoch, letting the collector advance two past the outer
+    /// guard's pin epoch and free versions that guard still
+    /// dereferences.
     pub fn pin(&self) -> Guard<'_> {
-        self.publish();
+        if self.active_guards.get() == 0 {
+            self.publish();
+        }
         self.active_guards.set(self.active_guards.get() + 1);
         Guard {
             handle: self,

@@ -10,10 +10,16 @@
 //! reading.
 //!
 //! Layout: a chain of tables, each double the previous capacity. A probe
-//! walks every table; insertion claims a key slot with a CAS in the first
-//! table with room, growing the chain when full. Keys are never removed,
-//! so a key committed in one table is found by every later prober before
-//! it could be duplicated in a younger table.
+//! walks every table; insertion CAS-claims the first `EMPTY` slot on its
+//! probe path, growing the chain when a bounded probe window is full.
+//! Keys are never removed, so a key committed in one table is found by
+//! every later prober before it could be duplicated in a younger table.
+//! The invariant that makes this hold is *mandatory claiming*: a prober
+//! moves past a table only after observing its whole probe window
+//! non-`EMPTY` (which, with no removals, stays true forever) — it never
+//! skips an observed `EMPTY` slot, because a sibling could claim the
+//! same key right there while the skipper inserts it into a younger
+//! table, splitting the key across two live cells.
 
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::SeqCst};
 
@@ -23,9 +29,6 @@ const EMPTY: u64 = u64::MAX;
 struct Table<T> {
     keys: Vec<AtomicU64>,
     cells: Vec<AtomicPtr<T>>,
-    /// Claimed key slots (advisory; racing claims may overshoot by the
-    /// number of concurrent inserters, which only shortens probes more).
-    claimed: AtomicU64,
     next: AtomicPtr<Table<T>>,
 }
 
@@ -36,17 +39,8 @@ impl<T> Table<T> {
             cells: (0..cap)
                 .map(|_| AtomicPtr::new(std::ptr::null_mut()))
                 .collect(),
-            claimed: AtomicU64::new(0),
             next: AtomicPtr::new(std::ptr::null_mut()),
         })
-    }
-
-    /// Claims stop at half capacity, so probe runs stay short: with at
-    /// most every other slot claimed, an unsuccessful probe hits an
-    /// `EMPTY` terminator in expected O(1) steps instead of scanning a
-    /// saturated table end to end.
-    fn at_claim_cap(&self) -> bool {
-        self.claimed.load(SeqCst) as usize >= self.keys.len() / 2
     }
 }
 
@@ -66,9 +60,12 @@ unsafe impl<T: Send + Sync> Send for AtomicMap<T> {}
 unsafe impl<T: Send + Sync> Sync for AtomicMap<T> {}
 
 impl<T> AtomicMap<T> {
-    /// A map with initial capacity for roughly `cap` keys.
+    /// A map with initial capacity for roughly `cap` keys. Slots are
+    /// allocated at 2× that, so the head table stays around half load
+    /// for the sized keyspace and probe runs hit an `EMPTY` terminator
+    /// in expected O(1) steps.
     pub fn with_capacity(cap: usize) -> AtomicMap<T> {
-        let cap = cap.next_power_of_two().max(64);
+        let cap = (cap * 2).next_power_of_two().max(64);
         AtomicMap {
             head: AtomicPtr::new(Box::into_raw(Table::new(cap))),
         }
@@ -97,24 +94,21 @@ impl<T> AtomicMap<T> {
         loop {
             let t = unsafe { &*table };
             let cap = t.keys.len();
-            let at_cap = t.at_claim_cap();
             let mut idx = mix64(key) as usize & (cap - 1);
-            // Bounded probe: past this, treat the table as full and chain.
+            // Bounded probe: a window with no EMPTY stays that way
+            // forever (keys are never removed), so chaining past it is
+            // a decision every prober of this key reproduces.
             for _ in 0..cap.min(128) {
                 let slot_key = t.keys[idx].load(SeqCst);
                 let claimed = if slot_key == EMPTY {
-                    // An EMPTY slot proves `key` is not in this table
-                    // (inserts claim the first EMPTY on this same probe
-                    // path); at the claim cap we chain instead of
-                    // claiming, keeping the table half empty.
-                    if at_cap {
-                        break;
-                    }
+                    // An observed EMPTY slot MUST be claimed, never
+                    // skipped: moving on and inserting into a younger
+                    // table would race a sibling CASing `key` into this
+                    // very slot, leaving two live cells for one key —
+                    // readers would find the older table's cell while
+                    // writers ack through the younger (split brain).
                     match t.keys[idx].compare_exchange(EMPTY, key, SeqCst, SeqCst) {
-                        Ok(_) => {
-                            t.claimed.fetch_add(1, SeqCst);
-                            true
-                        }
+                        Ok(_) => true,
                         Err(actual) => actual == key,
                     }
                 } else {
@@ -169,14 +163,22 @@ impl<T> AtomicMap<T> {
                 EMPTY => return None,
                 k if k == key => {
                     // The claimer publishes the cell right after the key
-                    // CAS; spin out the (tiny) window.
-                    loop {
+                    // CAS; spin out the (tiny) window — but bounded. If
+                    // the claimer is descheduled, or died between the
+                    // claim and the publish (`make` panicked), readers
+                    // report "not inserted yet" instead of livelocking;
+                    // the insert has not completed, so linearizing the
+                    // read before it is sound, and the next
+                    // `get_or_insert` heals the slot by publishing its
+                    // own cell.
+                    for _ in 0..128 {
                         let p = t.cells[idx].load(SeqCst);
                         if !p.is_null() {
                             return Some(unsafe { &*p });
                         }
                         std::hint::spin_loop();
                     }
+                    return None;
                 }
                 _ => idx = (idx + 1) & (cap - 1),
             }

@@ -77,9 +77,10 @@ impl RegStore {
     /// An empty store (every key at its initial value).
     pub fn new() -> RegStore {
         RegStore {
-            // Claims chain at half capacity, so this hosts 8k keys in
-            // the first table — comfortably above the benchmark and
-            // emulation keyspaces, at 256 KiB of slot metadata.
+            // Sized (with the map's 2x slot headroom) so 16k keys fit
+            // in the first table at half load — comfortably above the
+            // benchmark and emulation keyspaces, at 512 KiB of slot
+            // metadata.
             map: AtomicMap::with_capacity(16 * 1024),
             collector: Collector::new(),
             live: Arc::new(AtomicUsize::new(0)),

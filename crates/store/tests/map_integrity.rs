@@ -1,0 +1,128 @@
+//! `AtomicMap` integrity under contention: exactly one live cell per
+//! key across the whole table chain, and bounded reader behavior when a
+//! claim stalls between the key CAS and the cell publish.
+//!
+//! The split-brain these tests pin down: a prober that skips an
+//! observed `EMPTY` slot (the seed map broke on a stale at-capacity
+//! snapshot) and inserts the key into a younger table races a sibling
+//! CASing the same key into that very slot — two live cells for one
+//! key, with readers served by the older table and writers acking
+//! through the younger. Every `get_or_insert`/`get` must instead agree
+//! on a single cell address.
+
+use shmem_store::map::AtomicMap;
+use std::collections::HashMap;
+use std::sync::{mpsc, Arc};
+
+/// Threads race `get_or_insert` over a keyspace that spills a 64-slot
+/// head table into a long chain, each walking the keys in a different
+/// stride so claims collide at every probe depth and chain boundary.
+/// All returned cell addresses for one key must be identical, and `get`
+/// must agree.
+#[test]
+fn concurrent_inserts_resolve_to_one_cell_per_key() {
+    const THREADS: u64 = 8;
+    const KEYS: u64 = 4096;
+    for _round in 0..4 {
+        // Minimum capacity (64 slots): forces growth through the chain.
+        let map = Arc::new(AtomicMap::<u64>::with_capacity(1));
+        let per_thread: Vec<Vec<(u64, usize)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let map = Arc::clone(&map);
+                    scope.spawn(move || {
+                        // Odd stride: a full permutation of 0..KEYS.
+                        let stride = 2 * t + 1;
+                        (0..KEYS)
+                            .map(|i| {
+                                let key = i.wrapping_mul(stride) % KEYS;
+                                let cell = map.get_or_insert(key, || key);
+                                assert_eq!(*cell, key, "cell bound to the wrong key");
+                                (key, cell as *const u64 as usize)
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let mut canonical: HashMap<u64, usize> = HashMap::new();
+        for thread in &per_thread {
+            for &(key, addr) in thread {
+                match canonical.get(&key) {
+                    None => {
+                        canonical.insert(key, addr);
+                    }
+                    Some(&seen) => assert_eq!(
+                        seen, addr,
+                        "key {key} split across two live cells (duplicate insert)"
+                    ),
+                }
+            }
+        }
+        assert_eq!(canonical.len(), KEYS as usize);
+        for key in 0..KEYS {
+            let cell = map.get(key).expect("inserted key must be found");
+            assert_eq!(
+                cell as *const u64 as usize, canonical[&key],
+                "get() disagrees with the cell get_or_insert returned"
+            );
+        }
+    }
+}
+
+/// A reader never livelocks on a claimed-but-unpublished slot: if the
+/// claimer stalls between the key CAS and the cell publish (here: a
+/// `make` that blocks), `get` reports the key as not yet inserted —
+/// the insert has not returned, so linearizing the read before it is
+/// sound — and sees the cell once the claim completes.
+#[test]
+fn get_does_not_livelock_on_a_stalled_claim() {
+    let map = Arc::new(AtomicMap::<u64>::with_capacity(64));
+    let (claimed_tx, claimed_rx) = mpsc::channel();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let claimer = {
+        let map = Arc::clone(&map);
+        std::thread::spawn(move || {
+            let cell = map.get_or_insert(7, move || {
+                // Runs after the key CAS, before the cell publish.
+                claimed_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+                42u64
+            });
+            assert_eq!(*cell, 42);
+        })
+    };
+    claimed_rx.recv().unwrap();
+    // Mid-claim: the key slot is taken, the cell still null.
+    assert!(
+        map.get(7).is_none(),
+        "a stalled claim must read as not-yet-inserted, not hang"
+    );
+    release_tx.send(()).unwrap();
+    claimer.join().unwrap();
+    assert_eq!(map.get(7).copied(), Some(42));
+}
+
+/// A claim whose `make` panics leaves a claimed key with no cell: readers
+/// keep (boundedly) reporting absence, and the next insert of that key
+/// heals the slot by publishing its own cell.
+#[test]
+fn panicked_make_leaves_a_healable_slot() {
+    let map = AtomicMap::<u64>::with_capacity(64);
+    let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        map.get_or_insert(9, || panic!("make dies mid-claim"));
+    }));
+    assert!(died.is_err());
+    assert!(
+        map.get(9).is_none(),
+        "reader must not livelock on a dead claim"
+    );
+    assert_eq!(
+        *map.get_or_insert(9, || 5),
+        5,
+        "later insert heals the slot"
+    );
+    assert_eq!(map.get(9).copied(), Some(5));
+}

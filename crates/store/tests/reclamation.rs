@@ -143,6 +143,42 @@ fn pinned_guard_blocks_reclamation() {
     assert_eq!(collector.reclaimed(), 1);
 }
 
+/// A nested `pin` under a live guard must reuse the already-published
+/// slot, not republish it at a newer epoch: republishing would move the
+/// participant forward, unblock the collector two epochs past the outer
+/// guard's pin, and free versions that guard still dereferences.
+#[test]
+fn nested_pin_keeps_the_outer_guard_epoch() {
+    let collector = Collector::new();
+    let reader = collector.register();
+    let writer = collector.register();
+
+    // Outer guard pins at the current epoch e; a version retired now is
+    // stamped e and must stay deferred while the guard lives.
+    let outer = reader.enter();
+    writer.retire(Box::new(vec![1u8; 8]));
+
+    // The epoch can advance once (everyone is at e) but must then
+    // stall: freeing needs e+2, reachable only after the pin drops.
+    writer.collect();
+    let inner = reader.pin(); // nested: the slot must stay pinned at e
+    for _ in 0..5 {
+        writer.collect();
+    }
+    assert_eq!(
+        collector.deferred(),
+        1,
+        "a nested pin republished the slot and let reclamation pass a live guard"
+    );
+
+    drop(inner);
+    drop(outer);
+    reader.collect(); // releases the standing pin left by `enter`
+    writer.collect();
+    assert_eq!(collector.deferred(), 0, "unpinned garbage must drain");
+    assert_eq!(collector.reclaimed(), 1);
+}
+
 /// Garbage owned by a handle that exits early is handed to the collector
 /// (orphaned) and freed by `flush` at quiescence — dropping a thread's
 /// handle never leaks its deferred list.
