@@ -32,6 +32,14 @@ impl Protocol for Abd {
     type Resp = RegResp;
     type Server = AbdServer;
     type Client = AbdClient;
+
+    fn corrupt_server(server: &mut AbdServer, mode: u8, salt: u64) -> bool {
+        server.corrupt(mode, salt)
+    }
+
+    fn corrupt_msg(msg: &mut AbdMsg, salt: u64) -> bool {
+        corrupt_abd_msg(msg, salt)
+    }
 }
 
 /// ABD wire messages. `rid` is a per-client phase nonce; stale responses
@@ -87,6 +95,19 @@ pub fn is_value_dependent_upstream(msg: &AbdMsg) -> bool {
     matches!(msg, AbdMsg::Store { .. })
 }
 
+/// In-flight corruption for the ABD repertoire: tamper the carried value
+/// of the value-bearing messages, leave routing, nonces and tags intact.
+/// Queries and acks carry no corruptible payload.
+pub(crate) fn corrupt_abd_msg(msg: &mut AbdMsg, salt: u64) -> bool {
+    match msg {
+        AbdMsg::QueryResp { value, .. } | AbdMsg::Store { value, .. } => {
+            *value = shmem_util::tamper_value(*value, salt, 0);
+            true
+        }
+        AbdMsg::Query { .. } | AbdMsg::StoreAck { .. } => false,
+    }
+}
+
 /// An ABD server: stores the highest-tagged `(tag, value)` pair seen.
 #[derive(Clone, Debug)]
 pub struct AbdServer {
@@ -113,6 +134,17 @@ impl AbdServer {
     /// The currently stored value.
     pub fn value(&self) -> Value {
         self.value
+    }
+
+    /// Corruption-adversary entry point: fabricate the stored pair —
+    /// tamper the value and forge a higher tag (writer
+    /// [`crate::corrupt::FORGED_WRITER`]) so the fabrication wins the
+    /// reader's max-tag fold. Replication holds exactly one version, so
+    /// all modes collapse to this one attack.
+    pub fn corrupt(&mut self, _mode: u8, salt: u64) -> bool {
+        self.tag = self.tag.successor(crate::corrupt::FORGED_WRITER);
+        self.value = shmem_util::tamper_value(self.value, salt, 0);
+        true
     }
 }
 
@@ -317,6 +349,22 @@ impl Protocol for ShardedAbd {
     fn msg_wire_bytes(msg: &ShardedAbdMsg) -> u64 {
         msg.wire_bytes()
     }
+
+    fn corrupt_server(server: &mut ShardedAbdServer, mode: u8, salt: u64) -> bool {
+        server.backend_mut().corrupt(mode, salt)
+    }
+
+    fn corrupt_msg(msg: &mut ShardedAbdMsg, salt: u64) -> bool {
+        match msg {
+            ShardedAbdMsg::QueryResp { items, .. } | ShardedAbdMsg::Store { items, .. } => {
+                for (key, _, value) in items.iter_mut() {
+                    *value = shmem_util::tamper_value(*value, salt, *key);
+                }
+                !items.is_empty()
+            }
+            ShardedAbdMsg::Query { .. } | ShardedAbdMsg::StoreAck { .. } => false,
+        }
+    }
 }
 
 /// Batched ABD wire messages: the legacy repertoire with per-key payload
@@ -418,6 +466,12 @@ impl<B: AbdBackend> ShardedAbdServerOn<B> {
     /// The state backend (for store-level assertions in tests).
     pub fn backend(&self) -> &B {
         &self.backend
+    }
+
+    /// Mutable backend access — the corruption adversary's seam into the
+    /// server's stored state.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
     }
 }
 

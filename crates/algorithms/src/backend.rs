@@ -109,6 +109,23 @@ impl LocalAbd {
     pub fn new() -> LocalAbd {
         LocalAbd::default()
     }
+
+    /// Corruption-adversary entry point: fabricate every materialized
+    /// entry, deterministically in `salt`. Replication has no stale
+    /// versions or shares to play with, so all modes collapse to the one
+    /// attack that matters: tamper the value and forge a higher tag
+    /// (writer [`crate::corrupt::FORGED_WRITER`]) so the fabrication wins
+    /// the reader's max-tag fold. Refuses when nothing is materialized.
+    pub fn corrupt(&mut self, _mode: u8, salt: u64) -> bool {
+        if self.entries.is_empty() {
+            return false;
+        }
+        for (&key, entry) in self.entries.iter_mut() {
+            entry.0 = entry.0.successor(crate::corrupt::FORGED_WRITER);
+            entry.1 = shmem_util::tamper_value(entry.1, salt, key);
+        }
+        true
+    }
 }
 
 impl AbdBackend for LocalAbd {
@@ -176,6 +193,24 @@ impl LocalCas {
             shares: [(Tag::ZERO, initial.clone())].into(),
             finalized: [Tag::ZERO].into(),
         }))
+    }
+
+    /// Corruption-adversary entry point: tamper every materialized key
+    /// slot in `mode` (see [`crate::corrupt::modes`]), deterministically
+    /// in `(salt, key)`. Refuses when no slot holds a corruptible
+    /// finalized version.
+    pub fn corrupt(&mut self, mode: u8, salt: u64) -> bool {
+        let mut tampered = false;
+        for (&key, slot) in self.slots.iter_mut() {
+            tampered |= crate::corrupt::corrupt_coded_slot(
+                &mut slot.shares,
+                &mut slot.finalized,
+                mode,
+                salt,
+                key,
+            );
+        }
+        tampered
     }
 
     fn gc(cfg: &ShardedCasConfig, slot: &mut KeySlot) {
@@ -261,6 +296,11 @@ impl CasBackend for LocalCas {
 pub struct LocalHashed {
     cas: LocalCas,
     hashes: BTreeMap<(Key, Tag), u64>,
+    /// `h(initial)`, served for `Tag::ZERO` lookups that miss the map:
+    /// every key starts at the initial value without an announcement, and
+    /// keeping the fallback out of `hashes` leaves `hashed_digest_with`
+    /// (and the lazily-materialized canonical shape) unchanged.
+    initial_digest: u64,
 }
 
 impl LocalHashed {
@@ -269,7 +309,15 @@ impl LocalHashed {
         LocalHashed {
             cas: LocalCas::new(cfg, me, initial),
             hashes: BTreeMap::new(),
+            initial_digest: crate::hashed::value_digest(initial),
         }
+    }
+
+    /// Corruption-adversary entry point: tamper the coded slots only —
+    /// the announced hashes are integrity metadata the adversary must not
+    /// forge (that is the whole detection premise).
+    pub fn corrupt(&mut self, mode: u8, salt: u64) -> bool {
+        self.cas.corrupt(mode, salt)
     }
 }
 
@@ -309,7 +357,11 @@ impl HashedBackend for LocalHashed {
     }
 
     fn get_hash(&self, key: Key, tag: Tag) -> Option<u64> {
-        self.hashes.get(&(key, tag)).copied()
+        self.hashes.get(&(key, tag)).copied().or_else(|| {
+            // Tag::ZERO is never announced — every key implicitly starts
+            // at the initial value, whose digest is seeded at startup.
+            (tag == Tag::ZERO).then_some(self.initial_digest)
+        })
     }
 
     fn hash_count(&self) -> usize {

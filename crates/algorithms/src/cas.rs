@@ -40,6 +40,28 @@ impl Protocol for Cas {
     type Resp = RegResp;
     type Server = CasServer;
     type Client = CasClient;
+
+    fn corrupt_server(server: &mut CasServer, mode: u8, salt: u64) -> bool {
+        server.corrupt(mode, salt)
+    }
+
+    fn corrupt_msg(msg: &mut CasMsg, salt: u64) -> bool {
+        corrupt_cas_msg(msg, salt)
+    }
+}
+
+/// In-flight corruption for the CAS repertoire: tamper the coded-share
+/// payload of the value-bearing messages (`PreWrite` upstream, `ReadResp`
+/// downstream), leave routing, nonces and tags intact. The other kinds
+/// carry no corruptible payload.
+pub(crate) fn corrupt_cas_msg(msg: &mut CasMsg, salt: u64) -> bool {
+    match msg {
+        CasMsg::PreWrite { share, .. } => shmem_util::tamper_bytes(share, salt, 0),
+        CasMsg::ReadResp {
+            share: Some(share), ..
+        } => shmem_util::tamper_bytes(share, salt, 0),
+        _ => false,
+    }
 }
 
 /// Static CAS parameters shared by servers and clients.
@@ -237,6 +259,21 @@ impl CasServer {
         if let Some(cutoff) = keep_from {
             self.shares.retain(|&t, _| t >= cutoff);
         }
+    }
+
+    /// Corruption-adversary entry point: tamper the coded slot in `mode`
+    /// (see [`crate::corrupt::modes`]). `FORGE_TAG` is degraded to
+    /// `BITFLIP` here: the legacy single-register reader retries a read
+    /// whose tag yields too few symbols, so a forged tag starves it into
+    /// its GC-starvation panic instead of producing a verdict — the
+    /// forgery attack is meaningful for the batched readers, which fail
+    /// the key and move on.
+    pub fn corrupt(&mut self, mode: u8, salt: u64) -> bool {
+        let mode = match mode % crate::corrupt::modes::COUNT {
+            crate::corrupt::modes::FORGE_TAG => crate::corrupt::modes::BITFLIP,
+            m => m,
+        };
+        crate::corrupt::corrupt_coded_slot(&mut self.shares, &mut self.finalized, mode, salt, 0)
     }
 }
 
@@ -541,6 +578,39 @@ impl Protocol for ShardedCas {
 
     fn msg_wire_bytes(msg: &ShardedCasMsg) -> u64 {
         msg.wire_bytes()
+    }
+
+    fn corrupt_server(server: &mut ShardedCasServer, mode: u8, salt: u64) -> bool {
+        server.backend_mut().corrupt(mode, salt)
+    }
+
+    fn corrupt_msg(msg: &mut ShardedCasMsg, salt: u64) -> bool {
+        corrupt_sharded_cas_msg(msg, salt)
+    }
+}
+
+/// In-flight corruption for the batched CAS repertoire: tamper every
+/// key's coded-share payload (deterministically per key), leave routing,
+/// nonces and tags intact.
+pub(crate) fn corrupt_sharded_cas_msg(msg: &mut ShardedCasMsg, salt: u64) -> bool {
+    match msg {
+        ShardedCasMsg::PreWrite { items, .. } => {
+            let mut tampered = false;
+            for (key, _, share) in items.iter_mut() {
+                tampered |= shmem_util::tamper_bytes(share, salt, *key);
+            }
+            tampered
+        }
+        ShardedCasMsg::ReadResp { items, .. } => {
+            let mut tampered = false;
+            for (key, share) in items.iter_mut() {
+                if let Some(share) = share {
+                    tampered |= shmem_util::tamper_bytes(share, salt, *key);
+                }
+            }
+            tampered
+        }
+        _ => false,
     }
 }
 

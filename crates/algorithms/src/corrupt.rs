@@ -1,0 +1,215 @@
+//! The protocols' side of the corruption adversary: shared tampering
+//! helpers and the mode vocabulary behind the [`Protocol::corrupt_server`]
+//! / [`Protocol::corrupt_msg`] hooks.
+//!
+//! The simulator's `corrupt_server_state` / `corrupt_head` primitives
+//! (and the nemesis `CorruptStore` fault events built on them) are
+//! protocol-agnostic; what a corruption *does* is defined here, per
+//! protocol, so the same `(mode, salt)` draw tampers equivalently across
+//! ABD's replicated values and CAS's coded shares:
+//!
+//! * **Stored state** — every value-bearing entry the server holds is
+//!   tampered (deterministically per key), never the announced hashes:
+//!   the adversary corrupts data, it does not get to forge the checksums
+//!   guarding that data. See [`modes`] for the three flavors.
+//! * **In-flight payload** — only the value-bearing bytes of a message
+//!   (coded shares in `PreWrite`/`ReadResp`, carried values in ABD's
+//!   `Store`/`QueryResp`) are tampered; routing fields, nonces, tags and
+//!   hash announcements stay intact, so a corrupted message still parses
+//!   and still reaches its destination.
+//!
+//! All tampering bottoms out in `shmem-util`'s `tamper_*` primitives, so
+//! the sim-level adversary, the store decorator (`shmem-store`), and the
+//! corrupting transport (`shmem-net`) flip byte-identical bits for the
+//! same `(salt, key)` — the differential tests gate on that.
+//!
+//! [`Protocol::corrupt_server`]: shmem_sim::Protocol::corrupt_server
+//! [`Protocol::corrupt_msg`]: shmem_sim::Protocol::corrupt_msg
+
+use crate::multikey::MultiResp;
+use crate::reg::RegResp;
+use crate::tag::Tag;
+use shmem_erasure::CodeError;
+use shmem_util::tamper_bytes;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The stored-state corruption modes. A nemesis draw is reduced
+/// `mode % COUNT`, so plans stay valid as modes are added.
+pub mod modes {
+    /// Flip one byte of the newest finalized coded share (or tamper the
+    /// stored value, for replication protocols) — the classic silent
+    /// media fault.
+    pub const BITFLIP: u8 = 0;
+    /// Resurrect a stale version: overwrite the newest finalized share's
+    /// bytes with the oldest held version's bytes. Degrades to
+    /// [`BITFLIP`] when only one version is held.
+    pub const RESURRECT: u8 = 1;
+    /// Forge a tag: duplicate the newest share under a higher tag that no
+    /// writer ever produced (writer [`super::FORGED_WRITER`]), tampered,
+    /// and mark it finalized, so readers chase a fabricated version.
+    pub const FORGE_TAG: u8 = 2;
+    /// Number of modes, for reducing unconstrained draws.
+    pub const COUNT: u8 = 3;
+}
+
+/// The writer id stamped into forged tags. Real writers are small dense
+/// client indices, so a forged tag is recognizable in traces (and can
+/// never collide with a tag a legitimate writer will later mint: writers
+/// pick successors of the *sequence* number, with their own id).
+pub const FORGED_WRITER: u32 = u32::MAX;
+
+/// Tampers with one `(shares, finalized)` coded slot — the state shape
+/// shared by the legacy `CasServer` and the per-key `LocalCas` slots —
+/// in `mode`, deterministically in `(salt, key)`.
+///
+/// Returns whether anything was mutated; refusals (nothing finalized is
+/// held, or the tamper is a no-op) leave the slot byte-identical so the
+/// caller can skip recording the corruption.
+pub(crate) fn corrupt_coded_slot(
+    shares: &mut BTreeMap<Tag, Vec<u8>>,
+    finalized: &mut BTreeSet<Tag>,
+    mode: u8,
+    salt: u64,
+    key: u64,
+) -> bool {
+    // Target the newest finalized version that still has its symbol —
+    // the one a quorum read will fetch.
+    let Some(newest) = finalized
+        .iter()
+        .rev()
+        .find(|t| shares.contains_key(t))
+        .copied()
+    else {
+        return false;
+    };
+    match mode % modes::COUNT {
+        modes::RESURRECT => {
+            let oldest = *shares.keys().next().expect("newest implies nonempty");
+            if oldest < newest {
+                let stale = shares[&oldest].clone();
+                let cur = shares.get_mut(&newest).expect("newest is held");
+                if *cur == stale {
+                    return false;
+                }
+                *cur = stale;
+                true
+            } else {
+                tamper_bytes(shares.get_mut(&newest).expect("newest is held"), salt, key)
+            }
+        }
+        modes::FORGE_TAG => {
+            let top = finalized
+                .iter()
+                .next_back()
+                .copied()
+                .expect("newest implies nonempty");
+            let forged = top.successor(FORGED_WRITER);
+            let mut bytes = shares[&newest].clone();
+            tamper_bytes(&mut bytes, salt, key);
+            shares.insert(forged, bytes);
+            finalized.insert(forged);
+            true
+        }
+        _ => tamper_bytes(shares.get_mut(&newest).expect("newest is held"), salt, key),
+    }
+}
+
+/// Detections carried by a single-register response: a read that failed
+/// its integrity check (hashed CAS caught tampered shares).
+pub fn detections_in_reg(resp: &RegResp) -> u64 {
+    u64::from(matches!(
+        resp,
+        RegResp::ReadFailed(CodeError::IntegrityMismatch)
+    ))
+}
+
+/// Detections carried by a batched response, counted per key.
+pub fn detections_in_multi(resp: &MultiResp) -> u64 {
+    resp.ops.iter().map(|(_, r)| detections_in_reg(r)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot_with(versions: &[(Tag, &[u8])]) -> (BTreeMap<Tag, Vec<u8>>, BTreeSet<Tag>) {
+        let shares = versions.iter().map(|&(t, s)| (t, s.to_vec())).collect();
+        let finalized = versions.iter().map(|&(t, _)| t).collect();
+        (shares, finalized)
+    }
+
+    #[test]
+    fn bitflip_mutates_only_the_newest_share() {
+        let t1 = Tag::new(1, 0);
+        let (mut shares, mut fin) = slot_with(&[(Tag::ZERO, &[7, 7]), (t1, &[9, 9])]);
+        assert!(corrupt_coded_slot(
+            &mut shares,
+            &mut fin,
+            modes::BITFLIP,
+            1,
+            2
+        ));
+        assert_eq!(shares[&Tag::ZERO], vec![7, 7], "old version untouched");
+        assert_ne!(shares[&t1], vec![9, 9], "newest version flipped");
+        assert_eq!(fin.len(), 2, "no tags forged");
+    }
+
+    #[test]
+    fn resurrect_replays_the_oldest_bytes() {
+        let t1 = Tag::new(1, 0);
+        let (mut shares, mut fin) = slot_with(&[(Tag::ZERO, &[7, 7]), (t1, &[9, 9])]);
+        assert!(corrupt_coded_slot(
+            &mut shares,
+            &mut fin,
+            modes::RESURRECT,
+            1,
+            2
+        ));
+        assert_eq!(shares[&t1], vec![7, 7], "newest now carries stale bytes");
+    }
+
+    #[test]
+    fn forge_adds_a_higher_finalized_tag() {
+        let t1 = Tag::new(1, 0);
+        let (mut shares, mut fin) = slot_with(&[(Tag::ZERO, &[7, 7]), (t1, &[9, 9])]);
+        assert!(corrupt_coded_slot(
+            &mut shares,
+            &mut fin,
+            modes::FORGE_TAG,
+            1,
+            2
+        ));
+        let top = *fin.iter().next_back().unwrap();
+        assert!(top > t1);
+        assert_eq!(top.writer, FORGED_WRITER);
+        assert!(shares.contains_key(&top));
+        assert_ne!(shares[&top], vec![9, 9], "forged share is also tampered");
+    }
+
+    #[test]
+    fn empty_slot_refuses() {
+        let mut shares = BTreeMap::new();
+        let mut fin = BTreeSet::new();
+        assert!(!corrupt_coded_slot(
+            &mut shares,
+            &mut fin,
+            modes::BITFLIP,
+            1,
+            2
+        ));
+    }
+
+    #[test]
+    fn tampering_is_deterministic_in_salt_and_key() {
+        let t1 = Tag::new(1, 0);
+        let mk = || slot_with(&[(Tag::ZERO, &[7, 7, 7, 7]), (t1, &[9, 9, 9, 9])]);
+        let (mut a, mut af) = mk();
+        let (mut b, mut bf) = mk();
+        corrupt_coded_slot(&mut a, &mut af, modes::BITFLIP, 5, 6);
+        corrupt_coded_slot(&mut b, &mut bf, modes::BITFLIP, 5, 6);
+        assert_eq!(a, b);
+        let (mut c, mut cf) = mk();
+        corrupt_coded_slot(&mut c, &mut cf, modes::BITFLIP, 5, 7);
+        assert_ne!(a, c, "different keys flip different bits");
+    }
+}

@@ -26,6 +26,7 @@ use crate::multikey::{Key, MultiInv, MultiResp, KEY_WIRE_BYTES, RID_WIRE_BYTES};
 use crate::reg::{RegInv, RegResp};
 use crate::tag::Tag;
 use crate::value::{Value, ValueSpec};
+use shmem_erasure::CodeError;
 use shmem_sim::{hash_of, Ctx, Node, NodeId, Protocol, ServerId};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -38,6 +39,27 @@ impl Protocol for HashedCas {
     type Resp = RegResp;
     type Server = HashedServer;
     type Client = HashedClient;
+
+    fn corrupt_server(server: &mut HashedServer, mode: u8, salt: u64) -> bool {
+        server.corrupt(mode, salt)
+    }
+
+    fn corrupt_msg(msg: &mut HashedMsg, salt: u64) -> bool {
+        match msg {
+            HashedMsg::Cas(m) => crate::cas::corrupt_cas_msg(m, salt),
+            HashedMsg::ReadResp {
+                share: Some(share), ..
+            } => shmem_util::tamper_bytes(share, salt, 0),
+            // Hash announcements and attached digests are integrity
+            // metadata; the adversary corrupts data, not the checksums
+            // guarding it.
+            _ => false,
+        }
+    }
+
+    fn count_detections(resp: &RegResp) -> u64 {
+        crate::corrupt::detections_in_reg(resp)
+    }
 }
 
 /// Wire messages: the CAS repertoire plus the hash announcement.
@@ -59,6 +81,19 @@ pub enum HashedMsg {
         /// Echoed nonce.
         rid: u64,
     },
+    /// A read reply: the plain CAS [`CasMsg::ReadResp`] with the server's
+    /// stored digest for the requested tag attached, so the reader can
+    /// verify the decoded value before returning it.
+    ReadResp {
+        /// Echoed nonce.
+        rid: u64,
+        /// This server's symbol for the tag, if it holds one.
+        share: Option<Vec<u8>>,
+        /// The announced `h(value)` for the tag, if this server heard the
+        /// announcement (`Tag::ZERO` reads serve the initial value's
+        /// digest, seeded at startup).
+        digest: Option<u64>,
+    },
 }
 
 /// Whether a message is value-dependent on the client-to-server path —
@@ -67,6 +102,8 @@ pub fn is_value_dependent_upstream(msg: &HashedMsg) -> bool {
     match msg {
         HashedMsg::Cas(m) => crate::cas::is_value_dependent_upstream(m),
         HashedMsg::HashAnnounce { .. } => true,
+        // Server-to-client only: value-bearing, but downstream.
+        HashedMsg::ReadResp { .. } => false,
         HashedMsg::HashAck { .. } => false,
     }
 }
@@ -98,25 +135,48 @@ impl HashedServer {
     pub fn hash_of(&self, tag: Tag) -> Option<u64> {
         self.hashes.get(&tag).copied()
     }
+
+    /// Corruption-adversary entry point: tamper the wrapped CAS server's
+    /// coded slot only — the announced hashes are the integrity metadata
+    /// the adversary must not forge.
+    pub fn corrupt(&mut self, mode: u8, salt: u64) -> bool {
+        self.inner.corrupt(mode, salt)
+    }
 }
 
 impl Node<HashedCas> for HashedServer {
     fn on_message(&mut self, from: NodeId, msg: HashedMsg, ctx: &mut Ctx<HashedCas>) {
         match msg {
             HashedMsg::Cas(inner) => {
-                // Run the CAS server and translate its replies.
+                // Run the CAS server and translate its replies. Replies
+                // to a `ReadGet` get the stored digest for the requested
+                // tag attached, so the reader can verify what it decodes.
+                let read_tag = match &inner {
+                    CasMsg::ReadGet { tag, .. } => Some(*tag),
+                    _ => None,
+                };
                 let mut cas_ctx: Ctx<crate::cas::Cas> = Ctx::new(ctx.me(), ctx.now());
                 self.inner.on_message(from, inner, &mut cas_ctx);
                 let (outbox, _) = cas_ctx.into_effects();
                 for (to, m) in outbox {
-                    ctx.send(to, HashedMsg::Cas(m));
+                    match (m, read_tag) {
+                        (CasMsg::ReadResp { rid, share }, Some(tag)) => ctx.send(
+                            to,
+                            HashedMsg::ReadResp {
+                                rid,
+                                share,
+                                digest: self.hashes.get(&tag).copied(),
+                            },
+                        ),
+                        (m, _) => ctx.send(to, HashedMsg::Cas(m)),
+                    }
                 }
             }
             HashedMsg::HashAnnounce { rid, tag, digest } => {
                 self.hashes.insert(tag, digest);
                 ctx.send(from, HashedMsg::HashAck { rid });
             }
-            HashedMsg::HashAck { .. } => {}
+            HashedMsg::HashAck { .. } | HashedMsg::ReadResp { .. } => {}
         }
     }
 
@@ -157,9 +217,11 @@ enum Phase {
         tags: BTreeMap<u32, Tag>,
     },
     ReadGet {
-        tag: Tag,
         responses: BTreeSet<u32>,
         shares: BTreeMap<u32, Vec<u8>>,
+        /// Stored digests attached to the replies — the integrity
+        /// evidence the decoded value is checked against.
+        digests: BTreeMap<u32, u64>,
     },
 }
 
@@ -309,23 +371,27 @@ impl Node<HashedCas> for HashedClient {
                         },
                     );
                     self.phase = Phase::ReadGet {
-                        tag: t,
                         responses: BTreeSet::new(),
                         shares: BTreeMap::new(),
+                        digests: BTreeMap::new(),
                     };
                 }
             }
             (
                 Phase::ReadGet {
-                    tag,
                     responses,
                     shares,
+                    digests,
+                    ..
                 },
-                HashedMsg::Cas(CasMsg::ReadResp { rid, share }),
+                HashedMsg::ReadResp { rid, share, digest },
             ) if rid == self.rid => {
                 responses.insert(server);
                 if let Some(s) = share {
                     shares.insert(server, s);
+                }
+                if let Some(d) = digest {
+                    digests.insert(server, d);
                 }
                 if responses.len() as u32 >= q && shares.len() as u32 >= self.cfg.k {
                     let picked: Vec<(usize, Vec<u8>)> = shares
@@ -337,13 +403,26 @@ impl Node<HashedCas> for HashedClient {
                         .cfg
                         .code()
                         .decode_bytes(&picked, ValueSpec::VALUE_BYTES);
-                    let _ = tag;
+                    // The detection step: the decoded value must match
+                    // every digest the responders stored for the tag —
+                    // and at least one responder must have carried one
+                    // (quorum intersection with the announce round
+                    // guarantees that in every corruption-free run).
+                    let verdict = match decoded {
+                        Ok(bytes) => {
+                            let value = ValueSpec::from_bytes(&bytes);
+                            let expected = value_digest(value);
+                            if !digests.is_empty() && digests.values().all(|&d| d == expected) {
+                                RegResp::ReadValue(value)
+                            } else {
+                                RegResp::ReadFailed(CodeError::IntegrityMismatch)
+                            }
+                        }
+                        Err(e) => RegResp::ReadFailed(e),
+                    };
                     self.phase = Phase::Idle;
                     self.rid += 1;
-                    match decoded {
-                        Ok(bytes) => ctx.respond(RegResp::ReadValue(ValueSpec::from_bytes(&bytes))),
-                        Err(e) => ctx.respond(RegResp::ReadFailed(e)),
-                    }
+                    ctx.respond(verdict);
                 }
             }
             _ => {}
@@ -383,6 +462,32 @@ impl Protocol for ShardedHashed {
     fn msg_wire_bytes(msg: &ShardedHashedMsg) -> u64 {
         msg.wire_bytes()
     }
+
+    fn corrupt_server(server: &mut ShardedHashedServer, mode: u8, salt: u64) -> bool {
+        server.corrupt(mode, salt)
+    }
+
+    fn corrupt_msg(msg: &mut ShardedHashedMsg, salt: u64) -> bool {
+        match msg {
+            ShardedHashedMsg::Cas(m) => crate::cas::corrupt_sharded_cas_msg(m, salt),
+            ShardedHashedMsg::ReadResp { items, .. } => {
+                let mut tampered = false;
+                for (key, share, _digest) in items.iter_mut() {
+                    // Shares are fair game; the attached digests are
+                    // integrity metadata and stay untouched.
+                    if let Some(share) = share {
+                        tampered |= shmem_util::tamper_bytes(share, salt, *key);
+                    }
+                }
+                tampered
+            }
+            ShardedHashedMsg::HashAnnounce { .. } | ShardedHashedMsg::HashAck { .. } => false,
+        }
+    }
+
+    fn count_detections(resp: &MultiResp) -> u64 {
+        crate::corrupt::detections_in_multi(resp)
+    }
 }
 
 /// Batched hashed-CAS wire messages.
@@ -403,6 +508,16 @@ pub enum ShardedHashedMsg {
         /// Echoed nonce.
         rid: u64,
     },
+    /// A batched read reply: the plain [`ShardedCasMsg::ReadResp`] with
+    /// each key's stored digest for the requested tag attached, so the
+    /// reader can verify what it decodes per key.
+    ReadResp {
+        /// Echoed nonce.
+        rid: u64,
+        /// Per key: this server's symbol for the requested tag (if held)
+        /// and the announced `h(value)` for that tag (if heard).
+        items: Vec<(Key, Option<Vec<u8>>, Option<u64>)>,
+    },
 }
 
 impl ShardedHashedMsg {
@@ -414,6 +529,19 @@ impl ShardedHashedMsg {
                 RID_WIRE_BYTES + (KEY_WIRE_BYTES + Tag::WIRE_BYTES + 8) * items.len() as u64
             }
             ShardedHashedMsg::HashAck { .. } => RID_WIRE_BYTES,
+            ShardedHashedMsg::ReadResp { items, .. } => {
+                RID_WIRE_BYTES
+                    + items
+                        .iter()
+                        .map(|(_, share, digest)| {
+                            KEY_WIRE_BYTES
+                                + 1
+                                + share.as_ref().map_or(0, |s| s.len() as u64)
+                                + 1
+                                + digest.map_or(0, |_| 8)
+                        })
+                        .sum::<u64>()
+            }
         }
     }
 }
@@ -425,6 +553,8 @@ pub fn sharded_is_value_dependent_upstream(msg: &ShardedHashedMsg) -> bool {
     match msg {
         ShardedHashedMsg::Cas(m) => matches!(m, ShardedCasMsg::PreWrite { .. }),
         ShardedHashedMsg::HashAnnounce { .. } => true,
+        // Server-to-client only: value-bearing, but downstream.
+        ShardedHashedMsg::ReadResp { .. } => false,
         ShardedHashedMsg::HashAck { .. } => false,
     }
 }
@@ -470,6 +600,20 @@ impl<B: HashedBackend> ShardedHashedServerOn<B> {
     pub fn cas(&self) -> &ShardedCasServerOn<B> {
         &self.inner
     }
+
+    /// Mutable backend access — the corruption adversary's seam into the
+    /// server's stored state.
+    pub fn backend_mut(&mut self) -> &mut B {
+        self.inner.backend_mut()
+    }
+}
+
+impl ShardedHashedServerOn<LocalHashed> {
+    /// Corruption-adversary entry point: tamper the coded slots only —
+    /// announced hashes are off-limits (see [`LocalHashed::corrupt`]).
+    pub fn corrupt(&mut self, mode: u8, salt: u64) -> bool {
+        self.inner.backend_mut().corrupt(mode, salt)
+    }
 }
 
 impl<P, B> Node<P> for ShardedHashedServerOn<B>
@@ -480,11 +624,32 @@ where
     fn on_message(&mut self, from: NodeId, msg: ShardedHashedMsg, ctx: &mut Ctx<P>) {
         match msg {
             ShardedHashedMsg::Cas(inner) => {
+                // Replies to a `ReadGet` get each key's stored digest for
+                // its requested tag attached, so the reader can verify
+                // what it decodes.
+                let read_tags: Option<BTreeMap<Key, Tag>> = match &inner {
+                    ShardedCasMsg::ReadGet { items, .. } => Some(items.iter().copied().collect()),
+                    _ => None,
+                };
                 let mut cas_ctx: Ctx<ShardedCas> = Ctx::new(ctx.me(), ctx.now());
                 self.inner.on_message(from, inner, &mut cas_ctx);
                 let (outbox, _) = cas_ctx.into_effects();
                 for (to, m) in outbox {
-                    ctx.send(to, ShardedHashedMsg::Cas(m));
+                    match (m, &read_tags) {
+                        (ShardedCasMsg::ReadResp { rid, items }, Some(tags)) => {
+                            let items = items
+                                .into_iter()
+                                .map(|(key, share)| {
+                                    let digest = tags
+                                        .get(&key)
+                                        .and_then(|&t| self.inner.backend().get_hash(key, t));
+                                    (key, share, digest)
+                                })
+                                .collect();
+                            ctx.send(to, ShardedHashedMsg::ReadResp { rid, items });
+                        }
+                        (m, _) => ctx.send(to, ShardedHashedMsg::Cas(m)),
+                    }
                 }
             }
             ShardedHashedMsg::HashAnnounce { rid, items } => {
@@ -493,7 +658,7 @@ where
                 }
                 ctx.send(from, ShardedHashedMsg::HashAck { rid });
             }
-            ShardedHashedMsg::HashAck { .. } => {}
+            ShardedHashedMsg::HashAck { .. } | ShardedHashedMsg::ReadResp { .. } => {}
         }
     }
 
@@ -533,6 +698,10 @@ pub struct ShardedHashedClient {
     rid: u64,
     /// `h(v)` per key of the in-flight write batch.
     digests: BTreeMap<Key, u64>,
+    /// Stored digests attached to read replies, per key — the integrity
+    /// evidence each decoded value is checked against. Cleared when the
+    /// batch completes (and at the next invocation).
+    read_digests: BTreeMap<Key, Vec<u64>>,
     gate: AnnounceGate,
 }
 
@@ -544,8 +713,29 @@ impl ShardedHashedClient {
             cfg,
             rid: 0,
             digests: BTreeMap::new(),
+            read_digests: BTreeMap::new(),
             gate: AnnounceGate::Open,
         }
+    }
+
+    /// The detection step for a completed batch: every key read back must
+    /// match every digest its responders stored for the tag, and at least
+    /// one responder must have carried one (quorum intersection with the
+    /// announce round guarantees that in every corruption-free run; the
+    /// `Tag::ZERO` digest is seeded at startup). Failing keys degrade to
+    /// `ReadFailed(IntegrityMismatch)` — detection, not a wrong value.
+    fn verify_reads(&mut self, mut resp: MultiResp) -> MultiResp {
+        for (key, r) in resp.ops.iter_mut() {
+            if let RegResp::ReadValue(value) = *r {
+                let expected = value_digest(value);
+                let ds = self.read_digests.get(key).map_or(&[][..], Vec::as_slice);
+                if ds.is_empty() || ds.iter().any(|&d| d != expected) {
+                    *r = RegResp::ReadFailed(CodeError::IntegrityMismatch);
+                }
+            }
+        }
+        self.read_digests.clear();
+        resp
     }
 
     /// Forwards inner-client effects, diverting pre-write rounds through
@@ -606,6 +796,7 @@ where
     P: Protocol<Msg = ShardedHashedMsg, Inv = MultiInv, Resp = MultiResp>,
 {
     fn on_invoke(&mut self, inv: MultiInv, ctx: &mut Ctx<P>) {
+        self.read_digests.clear();
         self.digests = inv
             .ops
             .iter()
@@ -656,6 +847,39 @@ where
                 let (outbox, responses) = cas_ctx.into_effects();
                 self.route_effects(outbox, responses, ctx);
             }
+            ShardedHashedMsg::ReadResp { rid, items } => {
+                // Bank the integrity evidence (from covering servers
+                // only, matching the inner client's share filter), then
+                // feed the shares to the inner client as the plain CAS
+                // reply it expects; verify whatever completes.
+                let Some(server) = from.as_server() else {
+                    return;
+                };
+                let mut stripped = Vec::with_capacity(items.len());
+                for (key, share, digest) in items {
+                    if let Some(d) = digest {
+                        if self.cfg.map.covers(server.0, key) {
+                            self.read_digests.entry(key).or_default().push(d);
+                        }
+                    }
+                    stripped.push((key, share));
+                }
+                let mut cas_ctx: Ctx<ShardedCas> = Ctx::new(ctx.me(), ctx.now());
+                self.inner.on_message(
+                    from,
+                    ShardedCasMsg::ReadResp {
+                        rid,
+                        items: stripped,
+                    },
+                    &mut cas_ctx,
+                );
+                let (outbox, responses) = cas_ctx.into_effects();
+                let responses = responses
+                    .into_iter()
+                    .map(|r| self.verify_reads(r))
+                    .collect();
+                self.route_effects(outbox, responses, ctx);
+            }
             ShardedHashedMsg::HashAck { .. } | ShardedHashedMsg::HashAnnounce { .. } => {}
         }
     }
@@ -670,6 +894,7 @@ where
             self.rid,
             gate_tag,
             format!("{:?}", self.gate),
+            &self.read_digests,
         ))
     }
 }

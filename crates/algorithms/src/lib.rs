@@ -25,6 +25,7 @@ pub mod abd;
 pub mod abd_gossip;
 pub mod backend;
 pub mod cas;
+pub mod corrupt;
 pub mod harness;
 pub mod hashed;
 pub mod lossy;

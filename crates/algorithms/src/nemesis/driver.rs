@@ -28,7 +28,7 @@ use crate::nemesis::plan::{FaultEvent, FaultPlan};
 use crate::reg::{RegInv, RegResp};
 use crate::value::Value;
 use shmem_sim::{
-    ClientId, MetricsLevel, MetricsRegistry, NodeId, Protocol, StepInfo, StorageSnapshot,
+    ClientId, MetricsLevel, MetricsRegistry, NodeId, Protocol, ServerId, StepInfo, StorageSnapshot,
 };
 use shmem_spec::history::{History, OpKind};
 use shmem_util::DetRng;
@@ -98,6 +98,9 @@ pub fn run_plan<P: Protocol<Inv = RegInv, Resp = RegResp>>(
                 actions.push((at, Action::Cut(from, to)));
                 actions.push((until, Action::Heal(from, to)));
             }
+            FaultEvent::CorruptStore { at, server, mode } => {
+                actions.push((at, Action::CorruptStore(server, mode)));
+            }
         }
     }
     actions.sort_by_key(|&(tick, _)| tick);
@@ -115,7 +118,9 @@ pub fn run_plan<P: Protocol<Inv = RegInv, Resp = RegResp>>(
         while next_action < actions.len() && actions[next_action].0 <= tick {
             let (_, action) = actions[next_action];
             next_action += 1;
-            trace.push(apply(cluster, action));
+            if let Some(info) = apply(cluster, action, &mut rng) {
+                trace.push(info);
+            }
         }
         // 2. Invocations: an idle, unblocked client with work left starts
         // its next operation (usually — skipping some ticks varies the
@@ -162,6 +167,30 @@ pub fn run_plan<P: Protocol<Inv = RegInv, Resp = RegResp>>(
                 };
                 if let Some(info) = info {
                     trace.push(info.expect("step option has a deliverable head"));
+                }
+            }
+        }
+        // 3b. In-flight corruption against a deliverable head touching a
+        // corrupt server. The roll (and every draw after it) happens only
+        // on corruption-armed plans, so corruption-free plans keep their
+        // exact historical RNG stream.
+        if plan.corrupt_per_mille > 0 && rng.gen_range(0..1000u32) < plan.corrupt_per_mille {
+            cluster.sim.step_options_into(&mut options);
+            options.retain(|&(from, to)| {
+                let corrupt = |n: NodeId| {
+                    matches!(n, NodeId::Server(s) if plan.corrupt_servers.contains(&s.0))
+                };
+                corrupt(from) || corrupt(to)
+            });
+            if !options.is_empty() {
+                let (from, to) = options[rng.gen_range(0..options.len())];
+                let salt = rng.next_u64();
+                if let Some(info) = cluster
+                    .sim
+                    .corrupt_head(from, to, salt)
+                    .expect("step option has a deliverable head")
+                {
+                    trace.push(info);
                 }
             }
         }
@@ -252,28 +281,40 @@ enum Action {
     Unfreeze(NodeId),
     Cut(NodeId, NodeId),
     Heal(NodeId, NodeId),
+    CorruptStore(u32, u8),
 }
 
+/// Applies one timed adversary action. Returns `None` only for a refused
+/// corruption (the protocol does not implement the hook, or the server
+/// holds nothing corruptible yet) — refusals are not recorded, matching
+/// [`shmem_sim::Sim::corrupt_server_state`]. The salt draw happens only
+/// on `CorruptStore` actions, which exist only in corruption-armed plans.
 fn apply<P: Protocol<Inv = RegInv, Resp = RegResp>>(
     cluster: &mut Cluster<P>,
     action: Action,
-) -> StepInfo {
-    match action {
+    rng: &mut DetRng,
+) -> Option<StepInfo> {
+    Some(match action {
         Action::Crash(s) => cluster.sim.fail(NodeId::server(s)),
         Action::Recover(s) => cluster.sim.recover(NodeId::server(s)),
         Action::Freeze(n) => cluster.sim.freeze(n),
         Action::Unfreeze(n) => cluster.sim.unfreeze(n),
         Action::Cut(f, t) => cluster.sim.cut_link(f, t),
         Action::Heal(f, t) => cluster.sim.heal_link(f, t),
-    }
+        Action::CorruptStore(s, mode) => {
+            let salt = rng.next_u64();
+            return cluster.sim.corrupt_server_state(ServerId(s), mode, salt);
+        }
+    })
 }
 
 /// The run's history for the consistency oracles. Unlike
 /// [`Cluster::history`], a read that completed with a protocol-level
-/// failure ([`RegResp::ReadFailed`]) is recorded as *incomplete*: a failed
-/// read returned nothing, so it must constrain the checkers like an open
-/// operation, not like a read of `None` (which the regular/safe checkers
-/// reject as malformed).
+/// failure ([`RegResp::ReadFailed`]) is *omitted*: a failed read returned
+/// nothing, so it constrains the checkers like an operation that never
+/// happened. (Leaving it open instead would make the history malformed the
+/// moment the same client invokes again — the detection path of hashed CAS
+/// fails reads loudly and the client moves on.)
 pub fn nemesis_history<P: Protocol<Inv = RegInv, Resp = RegResp>>(
     cluster: &Cluster<P>,
 ) -> History<Value> {
@@ -283,13 +324,14 @@ pub fn nemesis_history<P: Protocol<Inv = RegInv, Resp = RegResp>>(
             RegInv::Write(v) => OpKind::Write(v),
             RegInv::Read => OpKind::Read,
         };
+        if let (RegInv::Read, Some(_), Some(RegResp::ReadFailed(_))) =
+            (&op.invocation, op.responded_at, &op.response)
+        {
+            continue;
+        }
         let id = h.begin(op.client.0, kind, op.invoked_at);
-        match (&op.invocation, op.responded_at, &op.response) {
-            (RegInv::Read, Some(_), Some(RegResp::ReadFailed(_))) => {}
-            (_, Some(t), resp) => {
-                h.complete(id, t, (*resp).and_then(RegResp::read_value));
-            }
-            _ => {}
+        if let Some(t) = op.responded_at {
+            h.complete(id, t, op.response.and_then(RegResp::read_value));
         }
     }
     h
@@ -337,6 +379,8 @@ mod tests {
             drop_per_mille: 0,
             dup_per_mille: 0,
             delay_per_mille: 0,
+            corrupt_servers: vec![],
+            corrupt_per_mille: 0,
             events: vec![],
         };
         let mut c = AbdCluster::new(3, 1, 3, ValueSpec::from_bits(64.0));
@@ -356,6 +400,8 @@ mod tests {
             drop_per_mille: 0,
             dup_per_mille: 0,
             delay_per_mille: 0,
+            corrupt_servers: vec![],
+            corrupt_per_mille: 0,
             events: vec![FaultEvent::Crash { at: 0, server: 2 }],
         };
         let mut c = NwbCluster::new(3, 1, 2, ValueSpec::from_bits(64.0));

@@ -17,7 +17,7 @@ use crate::reg::{RegInv, RegResp};
 use crate::value::Value;
 use shmem_sim::Protocol;
 use shmem_spec::history::History;
-use shmem_spec::{check_atomic, check_regular, check_safe};
+use shmem_spec::{check_atomic, check_no_fabrication, check_regular, check_safe};
 use shmem_util::DetRng;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
@@ -33,6 +33,11 @@ pub enum Oracle {
     Regular,
     /// Safeness ([`check_safe`]).
     Safe,
+    /// Integrity ([`check_no_fabrication`]): reads may be stale or fail
+    /// visibly, but a completed read returning a never-written value is a
+    /// *silent corruption*. The verdict corruption schedules are judged
+    /// by — hashed CAS must stay clean, plain CAS and ABD must not.
+    NoSilentCorruption,
 }
 
 impl Oracle {
@@ -42,6 +47,7 @@ impl Oracle {
             Oracle::Atomic => check_atomic(history),
             Oracle::Regular => check_regular(history),
             Oracle::Safe => check_safe(history),
+            Oracle::NoSilentCorruption => check_no_fabrication(history),
         };
         verdict.map(|_| ()).map_err(|v| format!("{v:?}"))
     }
@@ -52,6 +58,7 @@ impl Oracle {
             Oracle::Atomic => "atomic",
             Oracle::Regular => "regular",
             Oracle::Safe => "safe",
+            Oracle::NoSilentCorruption => "no-silent-corruption",
         }
     }
 
@@ -65,6 +72,7 @@ impl Oracle {
             "atomic" => Ok(Oracle::Atomic),
             "regular" => Ok(Oracle::Regular),
             "safe" => Ok(Oracle::Safe),
+            "no-silent-corruption" => Ok(Oracle::NoSilentCorruption),
             other => Err(format!("unknown oracle {other:?}")),
         }
     }
@@ -92,6 +100,14 @@ pub fn plan_for_seed(seed: u64, shape: ClusterShape) -> FaultPlan {
     FaultPlan::sample(&mut DetRng::seed_from_u64(seed ^ PLAN_SALT), shape)
 }
 
+/// The corruption-armed plan a given seed samples for `shape`: the same
+/// salted stream as [`plan_for_seed`] with the corruption draws appended,
+/// so the crash/partition/delay base of the schedule is shared between the
+/// clean and corrupt explorations of a seed.
+pub fn corrupt_plan_for_seed(seed: u64, shape: ClusterShape) -> FaultPlan {
+    FaultPlan::sample_corrupt(&mut DetRng::seed_from_u64(seed ^ PLAN_SALT), shape)
+}
+
 /// The shape of the cluster a factory builds, observed from an instance.
 pub fn observe_shape<P: Protocol<Inv = RegInv, Resp = RegResp>>(
     cluster: &Cluster<P>,
@@ -111,8 +127,24 @@ where
     P: Protocol<Inv = RegInv, Resp = RegResp>,
     F: Fn() -> Cluster<P>,
 {
+    run_seed_with(factory, oracle, seed, plan_for_seed)
+}
+
+/// [`run_seed`] with an explicit plan sampler ([`plan_for_seed`],
+/// [`corrupt_plan_for_seed`], or a test's own).
+pub fn run_seed_with<P, F, S>(
+    factory: &F,
+    oracle: Oracle,
+    seed: u64,
+    sampler: S,
+) -> Option<Violation>
+where
+    P: Protocol<Inv = RegInv, Resp = RegResp>,
+    F: Fn() -> Cluster<P>,
+    S: Fn(u64, ClusterShape) -> FaultPlan,
+{
     let mut cluster = factory();
-    let plan = plan_for_seed(seed, observe_shape(&cluster));
+    let plan = sampler(seed, observe_shape(&cluster));
     let run = run_plan(&mut cluster, seed, &plan);
     violation_of(&run, oracle, seed, &plan)
 }
@@ -143,9 +175,27 @@ where
     P: Protocol<Inv = RegInv, Resp = RegResp>,
     F: Fn() -> Cluster<P> + Sync,
 {
+    explore_with(factory, oracle, seeds, workers, plan_for_seed)
+}
+
+/// [`explore`] with an explicit plan sampler. Worker-count invariance
+/// holds for any deterministic sampler: the sampler sees only
+/// `(seed, shape)`, never thread state.
+pub fn explore_with<P, F, S>(
+    factory: &F,
+    oracle: Oracle,
+    seeds: u64,
+    workers: usize,
+    sampler: S,
+) -> Option<Violation>
+where
+    P: Protocol<Inv = RegInv, Resp = RegResp>,
+    F: Fn() -> Cluster<P> + Sync,
+    S: Fn(u64, ClusterShape) -> FaultPlan + Sync,
+{
     let workers = workers.max(1).min(seeds.max(1) as usize);
     if workers == 1 {
-        return (0..seeds).find_map(|seed| run_seed(factory, oracle, seed));
+        return (0..seeds).find_map(|seed| run_seed_with(factory, oracle, seed, &sampler));
     }
     let next = AtomicUsize::new(0);
     let best = AtomicU64::new(u64::MAX);
@@ -162,7 +212,7 @@ where
                         if seed > best.load(Ordering::Relaxed) {
                             continue; // a smaller violating seed already won
                         }
-                        if let Some(v) = run_seed(factory, oracle, seed) {
+                        if let Some(v) = run_seed_with(factory, oracle, seed, &sampler) {
                             best.fetch_min(seed, Ordering::Relaxed);
                             local.push(v);
                         }
@@ -186,10 +236,28 @@ where
     P: Protocol<Inv = RegInv, Resp = RegResp>,
     F: Fn() -> Cluster<P> + Sync,
 {
+    sweep_with(factory, oracle, seeds, workers, plan_for_seed)
+}
+
+/// [`sweep`] with an explicit plan sampler — the corruption campaigns run
+/// `sweep_with(.., corrupt_plan_for_seed)` to count silent-corruption
+/// verdicts over a seed budget.
+pub fn sweep_with<P, F, S>(
+    factory: &F,
+    oracle: Oracle,
+    seeds: u64,
+    workers: usize,
+    sampler: S,
+) -> Vec<Violation>
+where
+    P: Protocol<Inv = RegInv, Resp = RegResp>,
+    F: Fn() -> Cluster<P> + Sync,
+    S: Fn(u64, ClusterShape) -> FaultPlan + Sync,
+{
     let workers = workers.max(1).min(seeds.max(1) as usize);
     if workers == 1 {
         return (0..seeds)
-            .filter_map(|seed| run_seed(factory, oracle, seed))
+            .filter_map(|seed| run_seed_with(factory, oracle, seed, &sampler))
             .collect();
     }
     let next = AtomicUsize::new(0);
@@ -203,7 +271,7 @@ where
                         if seed >= seeds {
                             break;
                         }
-                        local.extend(run_seed(factory, oracle, seed));
+                        local.extend(run_seed_with(factory, oracle, seed, &sampler));
                     }
                     local
                 })
@@ -350,6 +418,71 @@ mod tests {
                 assert_eq!(a.plan, b.plan);
                 assert_eq!(a.violation, b.violation);
             }
+        }
+    }
+
+    #[test]
+    fn corrupt_sweep_separates_hashed_from_plain_cas() {
+        use crate::harness::{CasCluster, HashedCluster};
+        // Same corrupt plans, same integrity oracle. Hashed CAS turns
+        // every tampered share into a visible ReadFailed (incomplete in
+        // the history — the oracle ignores it); plain CAS completes reads
+        // with fabricated values somewhere in the budget.
+        let hashed = || HashedCluster::new(5, 1, 3, ValueSpec::from_bits(64.0));
+        let clean = sweep_with(
+            &hashed,
+            Oracle::NoSilentCorruption,
+            60,
+            2,
+            corrupt_plan_for_seed,
+        );
+        assert!(
+            clean.is_empty(),
+            "hashed CAS read a fabricated value at seeds {:?}",
+            clean.iter().map(|v| v.seed).collect::<Vec<_>>()
+        );
+        let plain = || CasCluster::new(5, 1, 3, ValueSpec::from_bits(64.0));
+        let v = explore_with(
+            &plain,
+            Oracle::NoSilentCorruption,
+            400,
+            2,
+            corrupt_plan_for_seed,
+        )
+        .expect("plain CAS must silently return a corrupted value somewhere in 400 seeds");
+        assert!(!v.plan.corrupt_servers.is_empty());
+    }
+
+    #[test]
+    fn corrupt_explore_is_worker_count_invariant() {
+        use crate::harness::CasCluster;
+        let factory = || CasCluster::new(5, 1, 3, ValueSpec::from_bits(64.0));
+        let seq = explore_with(
+            &factory,
+            Oracle::NoSilentCorruption,
+            400,
+            1,
+            corrupt_plan_for_seed,
+        );
+        let par = explore_with(
+            &factory,
+            Oracle::NoSilentCorruption,
+            400,
+            4,
+            corrupt_plan_for_seed,
+        );
+        match (seq, par) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.seed, b.seed);
+                assert_eq!(a.plan, b.plan);
+                assert_eq!(a.violation, b.violation);
+            }
+            (None, None) => panic!("expected a violation in 400 corrupt seeds"),
+            (a, b) => panic!(
+                "worker counts disagree: seq={:?} par={:?}",
+                a.map(|v| v.seed),
+                b.map(|v| v.seed)
+            ),
         }
     }
 

@@ -37,7 +37,9 @@
 
 use crate::harness::Cluster;
 use crate::nemesis::driver::run_plan;
-use crate::nemesis::explorer::{observe_shape, plan_for_seed, Oracle, Violation};
+use crate::nemesis::explorer::{
+    corrupt_plan_for_seed, observe_shape, plan_for_seed, Oracle, Violation,
+};
 use crate::nemesis::mutate::MUTATORS;
 use crate::nemesis::plan::{ClusterShape, FaultPlan};
 use crate::reg::{RegInv, RegResp};
@@ -324,6 +326,7 @@ fn propose(
     corpus: &Corpus,
     shape: ClusterShape,
     config: &FuzzConfig,
+    oracle: Oracle,
     next_fresh: &mut u64,
 ) -> Vec<Candidate> {
     let mut out = Vec::with_capacity(config.batch as usize);
@@ -335,9 +338,16 @@ fn propose(
         if fresh {
             let seed = config.seed_start + *next_fresh;
             *next_fresh += 1;
+            // Integrity campaigns draw corruption-armed fresh plans — the
+            // oracle is vacuous on a schedule with nothing to corrupt.
+            let plan = if oracle == Oracle::NoSilentCorruption {
+                corrupt_plan_for_seed(seed, shape)
+            } else {
+                plan_for_seed(seed, shape)
+            };
             out.push(Candidate {
                 seed,
-                plan: plan_for_seed(seed, shape),
+                plan,
                 op: "fresh",
             });
         } else {
@@ -354,8 +364,16 @@ fn propose(
             // Exploit arm: never Resample (that is what the fresh arm is
             // for); splice carries the most weight because recombining
             // fault schedules from two interesting plans finds violations
-            // at the highest per-execution rate.
-            let mutator = MUTATORS[rng.weighted_index(&[0, 5, 3, 2])];
+            // at the highest per-execution rate. Corruption perturbation
+            // only enters integrity campaigns — arming a Byzantine server
+            // against a crash-fault oracle would report model-breaking
+            // "violations" the algorithm never promised to survive.
+            let weights: [u64; 5] = if oracle == Oracle::NoSilentCorruption {
+                [0, 5, 3, 2, 2]
+            } else {
+                [0, 5, 3, 2, 0]
+            };
+            let mutator = MUTATORS[rng.weighted_index(&weights)];
             let mut crng = DetRng::seed_from_u64(rng.next_u64());
             let plan = mutator.apply(&parent.plan, &mut crng, shape);
             // Mostly re-roll the schedule seed: interesting fault plans
@@ -447,7 +465,7 @@ where
     let mut rounds_run = 0;
 
     for round in 0..config.rounds {
-        let candidates = propose(&mut rng, &corpus, shape, &config, &mut next_fresh);
+        let candidates = propose(&mut rng, &corpus, shape, &config, oracle, &mut next_fresh);
         let results = execute(factory, oracle, &candidates, config.workers);
         if executions_to_first_violation.is_none() {
             if let Some(i) = results.iter().position(|r| r.violation.is_some()) {
@@ -549,6 +567,31 @@ mod tests {
         assert!(first <= out.executions);
         // The reported violation replays from (seed, plan) alone.
         let v = &out.violations[0];
+        let mut c = factory();
+        let run = run_plan(&mut c, v.seed, &v.plan);
+        assert!(v.oracle.check(&run.history).is_err());
+    }
+
+    #[test]
+    fn corruption_campaign_finds_silent_cas_corruption() {
+        use crate::harness::CasCluster;
+        let factory = || CasCluster::new(5, 1, 3, ValueSpec::from_bits(64.0));
+        let out = fuzz(
+            &factory,
+            Oracle::NoSilentCorruption,
+            FuzzConfig {
+                rounds: 64,
+                batch: 16,
+                workers: 2,
+                ..FuzzConfig::default()
+            },
+        );
+        let v = out
+            .violations
+            .first()
+            .expect("plain CAS must silently corrupt under the integrity campaign");
+        assert!(!v.plan.corrupt_servers.is_empty());
+        // Replays from (seed, plan) alone, like every other counterexample.
         let mut c = factory();
         let run = run_plan(&mut c, v.seed, &v.plan);
         assert!(v.oracle.check(&run.history).is_err());

@@ -41,7 +41,8 @@ pub mod shrink;
 pub use artifact::{pretty_history, Counterexample};
 pub use driver::{nemesis_history, run_plan, NemesisRun};
 pub use explorer::{
-    aggregate_metrics, explore, observe_shape, plan_for_seed, run_seed, sweep, Oracle, Violation,
+    aggregate_metrics, corrupt_plan_for_seed, explore, explore_with, observe_shape, plan_for_seed,
+    run_seed, run_seed_with, sweep, sweep_with, Oracle, Violation,
 };
 pub use fuzz::{fuzz, Corpus, CorpusEntry, FuzzConfig, FuzzOutcome};
 pub use mutate::{normalize, Mutator, MUTATORS};

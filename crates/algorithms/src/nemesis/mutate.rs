@@ -29,14 +29,19 @@ pub enum Mutator {
     WindowShift,
     /// Multiply or nudge the per-mille network fault rates.
     RatePerturb,
+    /// Arm, disarm, or retune the corruption adversary: grow the corrupt
+    /// set, nudge the in-flight tampering rate, or inject a stored-state
+    /// corruption event.
+    CorruptPerturb,
 }
 
 /// All mutators, in the fixed order the fuzzer's weighted choice indexes.
-pub const MUTATORS: [Mutator; 4] = [
+pub const MUTATORS: [Mutator; 5] = [
     Mutator::Resample,
     Mutator::Splice,
     Mutator::WindowShift,
     Mutator::RatePerturb,
+    Mutator::CorruptPerturb,
 ];
 
 impl Mutator {
@@ -47,6 +52,7 @@ impl Mutator {
             Mutator::Splice => "splice",
             Mutator::WindowShift => "window-shift",
             Mutator::RatePerturb => "rate-perturb",
+            Mutator::CorruptPerturb => "corrupt-perturb",
         }
     }
 
@@ -58,6 +64,7 @@ impl Mutator {
             Mutator::Splice => splice(parent, rng, shape),
             Mutator::WindowShift => window_shift(parent, rng),
             Mutator::RatePerturb => rate_perturb(parent, rng),
+            Mutator::CorruptPerturb => corrupt_perturb(parent, rng, shape),
         };
         normalize(raw, shape)
     }
@@ -115,11 +122,51 @@ fn window_shift(parent: &FaultPlan, rng: &mut DetRng) -> FaultPlan {
         }
     };
     match &mut plan.events[idx] {
-        FaultEvent::Crash { at, .. } | FaultEvent::Recover { at, .. } => *at = shift(*at),
+        FaultEvent::Crash { at, .. }
+        | FaultEvent::Recover { at, .. }
+        | FaultEvent::CorruptStore { at, .. } => *at = shift(*at),
         FaultEvent::Freeze { at, until, .. } | FaultEvent::Cut { at, until, .. } => {
             *at = shift(*at);
             *until = shift(*until);
         }
+    }
+    plan
+}
+
+fn corrupt_perturb(parent: &FaultPlan, rng: &mut DetRng, shape: ClusterShape) -> FaultPlan {
+    let mut plan = parent.clone();
+    match rng.gen_range(0..4u32) {
+        0 => {
+            // Disarm the adversary entirely — shrinking pressure toward
+            // corruption-free plans.
+            plan.corrupt_servers.clear();
+            plan.corrupt_per_mille = 0;
+        }
+        1 if shape.f > 0 => {
+            // Grow the corrupt set (normalize re-caps it at f).
+            let server = rng.gen_range(0..shape.servers);
+            if !plan.corrupt_servers.contains(&server) {
+                plan.corrupt_servers.push(server);
+            }
+        }
+        2 => {
+            plan.corrupt_per_mille = match rng.gen_range(0..3u32) {
+                0 => 0,
+                1 => plan
+                    .corrupt_per_mille
+                    .saturating_add(rng.gen_range(1..=40u32)),
+                _ => plan.corrupt_per_mille / 2,
+            };
+        }
+        _ if !plan.corrupt_servers.is_empty() => {
+            let pick = rng.gen_range(0..plan.corrupt_servers.len());
+            plan.events.push(FaultEvent::CorruptStore {
+                at: rng.gen_range(0..plan.horizon),
+                server: plan.corrupt_servers[pick],
+                mode: rng.gen_range(0..crate::corrupt::modes::COUNT),
+            });
+        }
+        _ => {}
     }
     plan
 }
@@ -160,6 +207,20 @@ pub fn normalize(mut plan: FaultPlan, shape: ClusterShape) -> FaultPlan {
         0
     };
 
+    // Corruption budget: distinct sorted servers in range, at most f, and
+    // no in-flight tampering rate without a corrupt set to scope it to.
+    for s in &mut plan.corrupt_servers {
+        *s %= shape.servers.max(1);
+    }
+    plan.corrupt_servers.sort_unstable();
+    plan.corrupt_servers.dedup();
+    plan.corrupt_servers.truncate(shape.f as usize);
+    plan.corrupt_per_mille = if plan.corrupt_servers.is_empty() {
+        0
+    } else {
+        plan.corrupt_per_mille.min(1000)
+    };
+
     let clients = plan.clients();
     let fix_node = |node: NodeId| match node {
         NodeId::Server(s) => NodeId::server(s.0 % shape.servers.max(1)),
@@ -192,6 +253,19 @@ pub fn normalize(mut plan: FaultPlan, shape: ClusterShape) -> FaultPlan {
                 *from = fix_node(*from);
                 *to = fix_node(*to);
             }
+            FaultEvent::CorruptStore { at, server, .. } => {
+                *at = (*at).min(horizon - 1);
+                // Wrap out-of-budget targets into the corrupt set; an empty
+                // set drops the event in the retain pass below.
+                if !plan.corrupt_servers.contains(server) {
+                    if let Some(&s) = plan
+                        .corrupt_servers
+                        .get(*server as usize % plan.corrupt_servers.len().max(1))
+                    {
+                        *server = s;
+                    }
+                }
+            }
         }
     }
     plan.events.sort_by_key(FaultEvent::at);
@@ -201,6 +275,7 @@ pub fn normalize(mut plan: FaultPlan, shape: ClusterShape) -> FaultPlan {
     // that would push the distinct-server count past `f` are dropped.
     let mut crashed: Vec<u32> = Vec::new();
     let mut ever: Vec<u32> = Vec::new();
+    let corrupt_armed = !plan.corrupt_servers.is_empty();
     plan.events.retain(|e| match *e {
         FaultEvent::Crash { server, .. } => {
             if crashed.contains(&server) {
@@ -223,6 +298,7 @@ pub fn normalize(mut plan: FaultPlan, shape: ClusterShape) -> FaultPlan {
                 false
             }
         }
+        FaultEvent::CorruptStore { .. } => corrupt_armed,
         _ => true,
     });
     plan
@@ -255,7 +331,13 @@ mod tests {
     fn mutated_plans_always_validate() {
         for seed in 0..100u64 {
             let mut rng = DetRng::seed_from_u64(seed);
-            let mut plan = FaultPlan::sample(&mut rng, shape());
+            // Alternate base and corruption-armed parents so the chains
+            // exercise the corrupt knobs from both starting points.
+            let mut plan = if seed % 2 == 0 {
+                FaultPlan::sample(&mut rng, shape())
+            } else {
+                FaultPlan::sample_corrupt(&mut rng, shape())
+            };
             // Chains of mutations stay valid, not just single steps.
             for step in 0..6 {
                 let m = MUTATORS[rng.gen_range(0..MUTATORS.len())];
@@ -288,7 +370,14 @@ mod tests {
             drop_per_mille: 5_000,
             dup_per_mille: 2_000,
             delay_per_mille: 700,
+            corrupt_servers: vec![9, 9, 1, 2, 3],
+            corrupt_per_mille: 4_000,
             events: vec![
+                FaultEvent::CorruptStore {
+                    at: 777,
+                    server: 31,
+                    mode: 250,
+                },
                 FaultEvent::Recover { at: 3, server: 0 },
                 FaultEvent::Crash { at: 90, server: 7 },
                 FaultEvent::Crash { at: 10, server: 1 },

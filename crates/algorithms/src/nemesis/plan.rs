@@ -63,6 +63,18 @@ pub enum FaultEvent {
         /// Destination endpoint.
         to: NodeId,
     },
+    /// Tamper with the stored state of `server` at tick `at`. The server
+    /// must be listed in [`FaultPlan::corrupt_servers`]; `mode` selects the
+    /// tampering strategy (see [`crate::corrupt::modes`]) and is reduced
+    /// modulo the mode count at application.
+    CorruptStore {
+        /// Tick at which the corruption is injected.
+        at: u64,
+        /// Server index (must be in the plan's corruption budget).
+        server: u32,
+        /// Tampering strategy selector.
+        mode: u8,
+    },
 }
 
 /// A complete nemesis fault plan: workload knobs, per-tick network fault
@@ -84,6 +96,14 @@ pub struct FaultPlan {
     /// Per-tick probability (‰) of delaying a random deliverable head
     /// (applied only on reordering channels).
     pub delay_per_mille: u32,
+    /// Servers the corruption adversary controls, sorted ascending. At
+    /// most `f` of them — the same budget the algorithms claim to
+    /// tolerate. Both [`FaultEvent::CorruptStore`] events and the
+    /// per-tick in-flight tampering rate are confined to these servers.
+    pub corrupt_servers: Vec<u32>,
+    /// Per-tick probability (‰) of tampering with a deliverable message
+    /// head to or from a corrupt server (in-flight payload corruption).
+    pub corrupt_per_mille: u32,
     /// Timed adversary events.
     pub events: Vec<FaultEvent>,
 }
@@ -95,7 +115,8 @@ impl FaultEvent {
             FaultEvent::Crash { at, .. }
             | FaultEvent::Recover { at, .. }
             | FaultEvent::Freeze { at, .. }
-            | FaultEvent::Cut { at, .. } => *at,
+            | FaultEvent::Cut { at, .. }
+            | FaultEvent::CorruptStore { at, .. } => *at,
         }
     }
 }
@@ -195,8 +216,52 @@ impl FaultPlan {
             drop_per_mille,
             dup_per_mille,
             delay_per_mille,
+            corrupt_servers: Vec::new(),
+            corrupt_per_mille: 0,
             events,
         }
+    }
+
+    /// Like [`FaultPlan::sample`], but additionally arms the corruption
+    /// adversary: a budget of at most `f` corrupt servers, timed
+    /// stored-state tampering events on them, and (sometimes) an in-flight
+    /// tampering rate.
+    ///
+    /// The base draws come first and are byte-identical to
+    /// [`FaultPlan::sample`]'s — corruption draws are strictly appended, so
+    /// corruption-free exploration keeps its exact historical RNG stream.
+    pub fn sample_corrupt(rng: &mut DetRng, shape: ClusterShape) -> FaultPlan {
+        let mut plan = FaultPlan::sample(rng, shape);
+        if shape.f == 0 {
+            return plan;
+        }
+        // Corruptible servers: 1..=f distinct (collisions shrink the set,
+        // like crash sampling).
+        for _ in 0..rng.gen_range(1..=u64::from(shape.f)) {
+            let server = rng.gen_range(0..shape.servers);
+            if !plan.corrupt_servers.contains(&server) {
+                plan.corrupt_servers.push(server);
+            }
+        }
+        plan.corrupt_servers.sort_unstable();
+        // In-flight tampering: often zero — stored-state corruption alone
+        // is the sharper probe, and heavy tampering mostly stalls ops.
+        plan.corrupt_per_mille = if rng.gen_range(0..2) == 0 {
+            0
+        } else {
+            rng.gen_range(0..=120u32)
+        };
+        // Timed stored-state corruption, confined to the corrupt set.
+        for _ in 0..rng.gen_range(1..=3u32) {
+            let pick = rng.gen_range(0..plan.corrupt_servers.len());
+            let server = plan.corrupt_servers[pick];
+            let at = rng.gen_range(0..plan.horizon);
+            let mode = rng.gen_range(0..crate::corrupt::modes::COUNT);
+            plan.events
+                .push(FaultEvent::CorruptStore { at, server, mode });
+        }
+        plan.events.sort_by_key(FaultEvent::at);
+        plan
     }
 
     /// Checks the shape invariants [`FaultPlan::sample`] guarantees and the
@@ -237,6 +302,28 @@ impl FaultPlan {
         }
         if self.delay_per_mille > 0 && !shape.reordering {
             return Err("delay rate on a FIFO shape".into());
+        }
+        if self.corrupt_per_mille > 1000 {
+            return Err(format!(
+                "corrupt_per_mille {} exceeds 1000",
+                self.corrupt_per_mille
+            ));
+        }
+        if self.corrupt_servers.len() as u32 > shape.f {
+            return Err(format!(
+                "{} corrupt servers exceed the f = {} budget",
+                self.corrupt_servers.len(),
+                shape.f
+            ));
+        }
+        if self.corrupt_servers.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("corrupt servers are not sorted and distinct".into());
+        }
+        if let Some(&s) = self.corrupt_servers.iter().find(|&&s| s >= shape.servers) {
+            return Err(format!("corruption budget names unknown server {s}"));
+        }
+        if self.corrupt_per_mille > 0 && self.corrupt_servers.is_empty() {
+            return Err("in-flight corruption rate without corrupt servers".into());
         }
         let node_ok = |node: NodeId| match node {
             NodeId::Server(s) => s.0 < shape.servers,
@@ -303,6 +390,16 @@ impl FaultPlan {
                         return Err("cut window outside the horizon".into());
                     }
                 }
+                FaultEvent::CorruptStore { at, server, .. } => {
+                    if !self.corrupt_servers.contains(&server) {
+                        return Err(format!(
+                            "corruption of server {server} outside the corrupt budget"
+                        ));
+                    }
+                    if at >= self.horizon {
+                        return Err("corruption outside the horizon".into());
+                    }
+                }
             }
         }
         Ok(())
@@ -331,6 +428,19 @@ impl FaultPlan {
                 Json::Num(f64::from(self.delay_per_mille)),
             ),
             (
+                "corrupt_servers".into(),
+                Json::Arr(
+                    self.corrupt_servers
+                        .iter()
+                        .map(|&s| Json::Num(f64::from(s)))
+                        .collect(),
+                ),
+            ),
+            (
+                "corrupt_per_mille".into(),
+                Json::Num(f64::from(self.corrupt_per_mille)),
+            ),
+            (
                 "events".into(),
                 Json::Arr(self.events.iter().map(event_to_json).collect()),
             ),
@@ -355,6 +465,27 @@ impl FaultPlan {
             .iter()
             .map(event_from_json)
             .collect::<Result<Vec<_>, _>>()?;
+        // Corruption fields postdate the corpus format: absent means the
+        // plan predates the corruption adversary and runs without it.
+        let corrupt_servers = match v.get("corrupt_servers") {
+            None => Vec::new(),
+            Some(arr) => arr
+                .as_arr()
+                .ok_or("plan: `corrupt_servers` is not an array")?
+                .iter()
+                .map(|s| {
+                    s.as_u64()
+                        .map(|s| s as u32)
+                        .ok_or_else(|| "plan: invalid `corrupt_servers` entry".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let corrupt_per_mille = match v.get("corrupt_per_mille") {
+            None => 0,
+            Some(n) => n
+                .as_u64()
+                .ok_or("plan: invalid field `corrupt_per_mille`")? as u32,
+        };
         Ok(FaultPlan {
             writers: field("writers")? as u32,
             readers: field("readers")? as u32,
@@ -363,6 +494,8 @@ impl FaultPlan {
             drop_per_mille: field("drop_per_mille")? as u32,
             dup_per_mille: field("dup_per_mille")? as u32,
             delay_per_mille: field("delay_per_mille")? as u32,
+            corrupt_servers,
+            corrupt_per_mille,
             events,
         })
     }
@@ -415,6 +548,12 @@ fn event_to_json(e: &FaultEvent) -> Json {
             ("from".into(), Json::str(node_to_str(*from))),
             ("to".into(), Json::str(node_to_str(*to))),
         ]),
+        FaultEvent::CorruptStore { at, server, mode } => Json::Obj(vec![
+            ("kind".into(), Json::str("corrupt-store")),
+            ("at".into(), Json::Num(*at as f64)),
+            ("server".into(), Json::Num(f64::from(*server))),
+            ("mode".into(), Json::Num(f64::from(*mode))),
+        ]),
     }
 }
 
@@ -450,6 +589,11 @@ fn event_from_json(v: &Json) -> Result<FaultEvent, String> {
             until: num("until")?,
             from: node("from")?,
             to: node("to")?,
+        }),
+        Some("corrupt-store") => Ok(FaultEvent::CorruptStore {
+            at: num("at")?,
+            server: num("server")? as u32,
+            mode: num("mode")? as u8,
         }),
         other => Err(format!("event: unknown kind {other:?}")),
     }
@@ -561,7 +705,93 @@ mod tests {
             let back =
                 FaultPlan::from_json(&Json::parse(&plan.to_json().to_pretty()).unwrap()).unwrap();
             assert_eq!(plan, back, "seed {seed}");
+            let corrupt = FaultPlan::sample_corrupt(&mut DetRng::seed_from_u64(seed), shape());
+            let back = FaultPlan::from_json(&Json::parse(&corrupt.to_json().to_pretty()).unwrap())
+                .unwrap();
+            assert_eq!(corrupt, back, "seed {seed} (corrupt)");
         }
+    }
+
+    #[test]
+    fn corrupt_sampling_extends_the_base_stream() {
+        for seed in 0..100 {
+            let base = FaultPlan::sample(&mut DetRng::seed_from_u64(seed), shape());
+            let corrupt = FaultPlan::sample_corrupt(&mut DetRng::seed_from_u64(seed), shape());
+            // The appended corruption draws never perturb the base plan.
+            assert_eq!(base.writers, corrupt.writers, "seed {seed}");
+            assert_eq!(base.horizon, corrupt.horizon, "seed {seed}");
+            assert_eq!(base.drop_per_mille, corrupt.drop_per_mille, "seed {seed}");
+            let base_events: Vec<_> = base.events.iter().collect();
+            let kept: Vec<_> = corrupt
+                .events
+                .iter()
+                .filter(|e| !matches!(e, FaultEvent::CorruptStore { .. }))
+                .collect();
+            assert_eq!(base_events, kept, "seed {seed}");
+            assert!(!corrupt.corrupt_servers.is_empty(), "seed {seed}");
+            corrupt.validate(shape()).unwrap_or_else(|e| {
+                panic!("seed {seed}: corrupt plan fails validation: {e}\n{corrupt:?}")
+            });
+        }
+    }
+
+    #[test]
+    fn validate_rejects_broken_corruption() {
+        let good = FaultPlan::sample_corrupt(&mut DetRng::seed_from_u64(3), shape());
+        assert!(good.validate(shape()).is_ok());
+
+        let mut over_budget = good.clone();
+        over_budget.corrupt_servers = vec![0, 1, 2];
+        assert!(over_budget.validate(shape()).is_err());
+
+        let mut unknown = good.clone();
+        unknown.corrupt_servers = vec![99];
+        unknown.events.clear();
+        assert!(unknown.validate(shape()).is_err());
+
+        let mut unsorted = good.clone();
+        unsorted.corrupt_servers = vec![1, 0];
+        unsorted.events.clear();
+        assert!(unsorted.validate(shape()).is_err());
+
+        let mut hot = good.clone();
+        hot.corrupt_per_mille = 1001;
+        assert!(hot.validate(shape()).is_err());
+
+        let mut rate_no_servers = good.clone();
+        rate_no_servers.corrupt_servers.clear();
+        rate_no_servers.corrupt_per_mille = 5;
+        rate_no_servers.events.clear();
+        assert!(rate_no_servers.validate(shape()).is_err());
+
+        let mut outside = good.clone();
+        outside.corrupt_servers = vec![0];
+        outside.events = vec![FaultEvent::CorruptStore {
+            at: 1,
+            server: 4,
+            mode: 0,
+        }];
+        assert!(outside.validate(shape()).is_err());
+
+        let mut late = good.clone();
+        late.corrupt_servers = vec![0];
+        late.events = vec![FaultEvent::CorruptStore {
+            at: late.horizon,
+            server: 0,
+            mode: 0,
+        }];
+        assert!(late.validate(shape()).is_err());
+    }
+
+    #[test]
+    fn legacy_json_defaults_to_no_corruption() {
+        // Corpus artifacts written before the corruption adversary carry no
+        // corruption fields; they must decode to a corruption-free plan.
+        let legacy = r#"{"writers":1,"readers":1,"ops_per_client":1,"horizon":10,
+            "drop_per_mille":0,"dup_per_mille":0,"delay_per_mille":0,"events":[]}"#;
+        let plan = FaultPlan::from_json(&Json::parse(legacy).unwrap()).unwrap();
+        assert!(plan.corrupt_servers.is_empty());
+        assert_eq!(plan.corrupt_per_mille, 0);
     }
 
     #[test]

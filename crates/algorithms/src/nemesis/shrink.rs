@@ -114,6 +114,36 @@ where
             current = with(&current, shrunk);
         }
 
+        // 3. Corruption: which corrupt servers are load-bearing? Dropping
+        // a server also drops its timed corruption events, and an empty
+        // set disarms the in-flight rate — every candidate stays a valid
+        // plan by construction.
+        let with_corrupt = |p: &FaultPlan, servers: &[u32]| -> FaultPlan {
+            let mut p = p.clone();
+            p.corrupt_servers = servers.to_vec();
+            p.events.retain(|e| match e {
+                FaultEvent::CorruptStore { server, .. } => servers.contains(server),
+                _ => true,
+            });
+            if p.corrupt_servers.is_empty() {
+                p.corrupt_per_mille = 0;
+            }
+            p
+        };
+        let servers: Vec<u32> = ddmin(&current.corrupt_servers, |s| {
+            fails(&with_corrupt(&current, s))
+        });
+        current = with_corrupt(&current, &servers);
+        if !current.corrupt_servers.is_empty() {
+            current.corrupt_per_mille =
+                shrink_scalar(u64::from(current.corrupt_per_mille), 0, |v| {
+                    fails(&FaultPlan {
+                        corrupt_per_mille: v as u32,
+                        ..current.clone()
+                    })
+                }) as u32;
+        }
+
         if current == before {
             return (current, stats);
         }
@@ -143,6 +173,37 @@ mod tests {
         // it) — neither can shrink away entirely.
         assert!(small.writers >= 1);
         assert!(small.readers >= 1);
+    }
+
+    #[test]
+    fn corrupt_counterexample_shrinks_and_stays_valid() {
+        use crate::harness::CasCluster;
+        use crate::nemesis::explorer::{corrupt_plan_for_seed, explore_with, observe_shape};
+        let factory = || CasCluster::new(5, 1, 3, ValueSpec::from_bits(64.0));
+        let v = explore_with(
+            &factory,
+            Oracle::NoSilentCorruption,
+            400,
+            2,
+            corrupt_plan_for_seed,
+        )
+        .expect("plain CAS must silently corrupt somewhere in 400 seeds");
+        let (small, stats) = shrink_plan(&factory, Oracle::NoSilentCorruption, v.seed, &v.plan);
+        assert!(stats.candidates > 0);
+        let mut c = factory();
+        let run = run_plan(&mut c, v.seed, &small);
+        assert!(Oracle::NoSilentCorruption.check(&run.history).is_err());
+        // A fabricated read needs the corruption machinery — it cannot
+        // shrink away entirely — and the shrunk plan is still well formed.
+        assert!(
+            !small.corrupt_servers.is_empty(),
+            "the corrupt set is load-bearing for a silent-corruption violation"
+        );
+        small
+            .validate(observe_shape(&factory()))
+            .expect("shrunk plan must stay valid");
+        assert!(small.corrupt_servers.len() <= v.plan.corrupt_servers.len());
+        assert!(small.corrupt_per_mille <= v.plan.corrupt_per_mille);
     }
 
     #[test]

@@ -50,6 +50,7 @@ fn main() {
             "tab-probe-cache",
             "tab-codec",
             "tab-nemesis",
+            "tab-corrupt",
             "tab-metrics",
             "tab-fuzz",
             "tab-simperf",
@@ -90,6 +91,10 @@ fn main() {
             "tab-codec" => measured::codec_table(21, 11, &[1 << 10, 1 << 14, 1 << 16, 1 << 20]),
             "tab-nemesis" => measured::nemesis_table(
                 100_000,
+                std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
+            ),
+            "tab-corrupt" => measured::corrupt_table(
+                1000,
                 std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
             ),
             "tab-metrics" => measured::metrics_table(5, 1, &[1, 2, 3], 42),

@@ -260,6 +260,10 @@ pub enum CodeError {
     },
     /// Byte shares of unequal length, or too short for the requested size.
     LengthMismatch,
+    /// A decoded value failed its integrity check: the reconstruction
+    /// succeeded arithmetically, but the result's digest disagrees with the
+    /// digest announced at write time — tampered shares were detected.
+    IntegrityMismatch,
 }
 
 impl fmt::Display for CodeError {
@@ -280,6 +284,12 @@ impl fmt::Display for CodeError {
                 write!(f, "share index {index} supplied more than once")
             }
             CodeError::LengthMismatch => write!(f, "byte shares have inconsistent lengths"),
+            CodeError::IntegrityMismatch => {
+                write!(
+                    f,
+                    "decoded value failed its integrity check (corruption detected)"
+                )
+            }
         }
     }
 }

@@ -8,6 +8,7 @@
 //! feed the same `shmem-spec` checkers the simulator uses.
 
 use crate::client::{run_worker, LoadConfig, WorkerReport};
+use crate::corrupt::{CorruptingTransport, NetCorruption};
 use crate::error::NetError;
 use crate::serve::{serve_shared, serve_until, ServeStats};
 use crate::tcp::{addr_table, AddrTable, PoolFaults, TcpClientTransport, TcpServerTransport};
@@ -106,6 +107,9 @@ pub struct NetCluster<P: Protocol> {
     servers: Vec<ServerSlot<P>>,
     stats: Vec<ServeStats>,
     epoch: Instant,
+    /// Byzantine corruption policy: listed servers send through a
+    /// [`CorruptingTransport`] armed with the policy's salt.
+    corrupt: Option<NetCorruption>,
 }
 
 /// A load in flight: worker joins plus fault handles.
@@ -180,7 +184,20 @@ where
 {
     /// Starts one event loop per automaton over `backend`.
     pub fn start(backend: NetBackend, automata: Vec<P::Server>) -> NetCluster<P> {
-        NetCluster::start_pooled(backend, automata.into_iter().map(|a| vec![a]).collect())
+        NetCluster::start_corrupt(backend, automata, None)
+    }
+
+    /// [`NetCluster::start`] with a Byzantine corruption policy.
+    pub fn start_corrupt(
+        backend: NetBackend,
+        automata: Vec<P::Server>,
+        corrupt: Option<NetCorruption>,
+    ) -> NetCluster<P> {
+        NetCluster::start_pooled_corrupt(
+            backend,
+            automata.into_iter().map(|a| vec![a]).collect(),
+            corrupt,
+        )
     }
 
     /// Starts one server per *pool* of worker automata over `backend`.
@@ -191,6 +208,20 @@ where
     /// automata share state through a concurrent backend (`shmem-store`)
     /// — the harness cannot check that, so it is the caller's contract.
     pub fn start_pooled(backend: NetBackend, pools: Vec<Vec<P::Server>>) -> NetCluster<P> {
+        NetCluster::start_pooled_corrupt(backend, pools, None)
+    }
+
+    /// [`NetCluster::start_pooled`] with a Byzantine corruption policy:
+    /// every server listed in `corrupt` sends its frames through a
+    /// [`CorruptingTransport`], tampering value-bearing payloads
+    /// deterministically in the policy's salt. Honest servers (and every
+    /// server when `corrupt` is `None`) behave byte-identically to an
+    /// unwrapped cluster.
+    pub fn start_pooled_corrupt(
+        backend: NetBackend,
+        pools: Vec<Vec<P::Server>>,
+        corrupt: Option<NetCorruption>,
+    ) -> NetCluster<P> {
         let backend = match backend {
             NetBackend::InProc => BackendState::InProc(InProcHub::new()),
             NetBackend::Tcp => BackendState::Tcp {
@@ -202,6 +233,7 @@ where
             servers: Vec::new(),
             stats: Vec::new(),
             epoch: Instant::now(),
+            corrupt,
         };
         for (i, pool) in pools.into_iter().enumerate() {
             cluster.servers.push(ServerSlot {
@@ -224,9 +256,17 @@ where
         let stop = Arc::new(AtomicBool::new(false));
         self.servers[i].stop = Arc::clone(&stop);
         let me = ServerId(i as u32);
+        // Byzantine servers keep lying across restarts: the policy wraps
+        // every incarnation of their transport.
+        let salt = self
+            .corrupt
+            .as_ref()
+            .filter(|c| c.applies_to(me.0))
+            .map(|c| c.salt);
         let join = match &self.backend {
             BackendState::InProc(hub) => {
-                let ep = hub.endpoint(&[NodeId::Server(me)]);
+                let ep =
+                    CorruptingTransport::<_, P>::new(hub.endpoint(&[NodeId::Server(me)]), salt);
                 thread::spawn(move || run_pool::<P, _>(pool, me, ep, stop))
             }
             BackendState::Tcp { table } => {
@@ -242,6 +282,7 @@ where
                 // incarnation.
                 t[i] = addr;
                 drop(t);
+                let transport = CorruptingTransport::<_, P>::new(transport, salt);
                 thread::spawn(move || run_pool::<P, _>(pool, me, transport, stop))
             }
         };
@@ -432,6 +473,9 @@ pub struct NetScenario {
     pub drain: Duration,
     /// The load to generate.
     pub load: LoadConfig,
+    /// Byzantine corruption policy: listed servers tamper the
+    /// value-bearing payloads they send (see [`NetCorruption`]).
+    pub corrupt: Option<NetCorruption>,
 }
 
 impl NetScenario {
@@ -448,6 +492,7 @@ impl NetScenario {
             initial: 0,
             drain: Duration::from_millis(300),
             load: LoadConfig::default(),
+            corrupt: None,
         }
     }
 
@@ -486,7 +531,11 @@ impl NetScenario {
                 let servers = (0..self.n)
                     .map(|_| ShardedAbdServer::new(initial, spec))
                     .collect();
-                let cluster = NetCluster::<ShardedAbd>::start(self.backend, servers);
+                let cluster = NetCluster::<ShardedAbd>::start_corrupt(
+                    self.backend,
+                    servers,
+                    self.corrupt.clone(),
+                );
                 let map = self.map();
                 let handle =
                     cluster.spawn_load(&self.load, move |id| ShardedAbdClient::new(map, id.0));
@@ -506,7 +555,11 @@ impl NetScenario {
                 let servers = (0..self.n)
                     .map(|i| ShardedCasServer::new(cfg.clone(), ServerId(i), initial))
                     .collect();
-                let cluster = NetCluster::<ShardedCas>::start(self.backend, servers);
+                let cluster = NetCluster::<ShardedCas>::start_corrupt(
+                    self.backend,
+                    servers,
+                    self.corrupt.clone(),
+                );
                 let client_cfg = cfg.clone();
                 let handle = cluster.spawn_load(&self.load, move |id| {
                     ShardedCasClient::new(client_cfg.clone(), id.0)
@@ -528,7 +581,11 @@ impl NetScenario {
                 let servers = (0..self.n)
                     .map(|i| ShardedHashedServer::new(cfg.clone(), ServerId(i), initial))
                     .collect();
-                let cluster = NetCluster::<ShardedHashed>::start(self.backend, servers);
+                let cluster = NetCluster::<ShardedHashed>::start_corrupt(
+                    self.backend,
+                    servers,
+                    self.corrupt.clone(),
+                );
                 let client_cfg = cfg.clone();
                 let handle = cluster.spawn_load(&self.load, move |id| {
                     ShardedHashedClient::new(client_cfg.clone(), id.0)

@@ -14,6 +14,9 @@
 //! * [`frame`] — length-prefixed frames with source/destination routing.
 //! * [`transport`] — the [`transport::Transport`] trait and the
 //!   in-process hub backend.
+//! * [`corrupt`] — the Byzantine corruption seam: a transport decorator
+//!   that tampers value-bearing payloads post-codec, driven by the same
+//!   protocol hooks and salts as the simulator's adversary.
 //! * [`tcp`] — the TCP backend: listener + reader threads server-side, a
 //!   reconnecting connection pool with bounded backoff client-side.
 //! * [`serve`] — the server event loop adapting a `Protocol` automaton
@@ -27,6 +30,7 @@
 //! on the command line.
 
 pub mod client;
+pub mod corrupt;
 pub mod error;
 pub mod frame;
 pub mod harness;
@@ -36,6 +40,7 @@ pub mod transport;
 pub mod wire;
 
 pub use client::{LoadConfig, WorkerReport};
+pub use corrupt::{CorruptingTransport, NetCorruption};
 pub use error::{FrameError, NetError, WireError};
 pub use frame::Envelope;
 pub use harness::{

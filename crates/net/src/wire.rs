@@ -244,6 +244,7 @@ impl WireMsg for CodeError {
                 w.u64(*index as u64);
             }
             CodeError::LengthMismatch => w.u8(4),
+            CodeError::IntegrityMismatch => w.u8(5),
         }
     }
 
@@ -266,6 +267,7 @@ impl WireMsg for CodeError {
                 index: r.u64()? as usize,
             }),
             4 => Ok(CodeError::LengthMismatch),
+            5 => Ok(CodeError::IntegrityMismatch),
             tag => Err(WireError::BadTag {
                 what: "CodeError",
                 tag,
@@ -567,6 +569,27 @@ impl WireMsg for ShardedHashedMsg {
                 w.u8(2);
                 w.u64(*rid);
             }
+            ShardedHashedMsg::ReadResp { rid, items } => {
+                w.u8(3);
+                w.u64(*rid);
+                encode_seq(w, items, |w, (k, share, digest)| {
+                    w.u64(*k);
+                    match share {
+                        Some(s) => {
+                            w.u8(1);
+                            w.bytes(s);
+                        }
+                        None => w.u8(0),
+                    }
+                    match digest {
+                        Some(d) => {
+                            w.u8(1);
+                            w.u64(*d);
+                        }
+                        None => w.u8(0),
+                    }
+                });
+            }
         }
     }
 
@@ -584,6 +607,34 @@ impl WireMsg for ShardedHashedMsg {
                 Ok(ShardedHashedMsg::HashAnnounce { rid, items })
             }
             2 => Ok(ShardedHashedMsg::HashAck { rid: r.u64()? }),
+            3 => {
+                let rid = r.u64()?;
+                let items = decode_seq(r, |r| {
+                    let k: Key = r.u64()?;
+                    let share = match r.u8()? {
+                        0 => None,
+                        1 => Some(r.bytes()?),
+                        tag => {
+                            return Err(WireError::BadTag {
+                                what: "Option<share>",
+                                tag,
+                            })
+                        }
+                    };
+                    let digest = match r.u8()? {
+                        0 => None,
+                        1 => Some(r.u64()?),
+                        tag => {
+                            return Err(WireError::BadTag {
+                                what: "Option<digest>",
+                                tag,
+                            })
+                        }
+                    };
+                    Ok((k, share, digest))
+                })?;
+                Ok(ShardedHashedMsg::ReadResp { rid, items })
+            }
             tag => Err(WireError::BadTag {
                 what: "ShardedHashedMsg",
                 tag,

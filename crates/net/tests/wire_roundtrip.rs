@@ -37,7 +37,7 @@ fn arb_share(rng: &mut DetRng, max_len: usize) -> Vec<u8> {
 }
 
 fn arb_code_error(rng: &mut DetRng) -> CodeError {
-    match rng.gen_range(0..4u32) {
+    match rng.gen_range(0..5u32) {
         0 => CodeError::InvalidParams {
             n: rng.gen_range(0..1000usize),
             k: rng.gen_range(0..1000usize),
@@ -51,6 +51,7 @@ fn arb_code_error(rng: &mut DetRng) -> CodeError {
             index: rng.gen_range(0..1000usize),
             n: rng.gen_range(0..1000usize),
         },
+        3 => CodeError::IntegrityMismatch,
         _ => CodeError::LengthMismatch,
     }
 }
@@ -153,13 +154,24 @@ fn arb_abd_msg(rng: &mut DetRng, batch: usize) -> ShardedAbdMsg {
 
 fn arb_hashed_msg(rng: &mut DetRng, batch: usize) -> ShardedHashedMsg {
     let rid = rng.next_u64();
-    match rng.gen_range(0..3u32) {
+    match rng.gen_range(0..4u32) {
         0 => ShardedHashedMsg::Cas(arb_cas_msg(rng, batch)),
         1 => ShardedHashedMsg::HashAnnounce {
             rid,
             items: arb_keys(rng, batch)
                 .into_iter()
                 .map(|k| (k, arb_tag(rng), rng.next_u64()))
+                .collect(),
+        },
+        2 => ShardedHashedMsg::ReadResp {
+            rid,
+            items: arb_keys(rng, batch)
+                .into_iter()
+                .map(|k| {
+                    let share = rng.gen_bool(0.7).then(|| arb_share(rng, 32));
+                    let digest = rng.gen_bool(0.7).then(|| rng.next_u64());
+                    (k, share, digest)
+                })
                 .collect(),
         },
         _ => ShardedHashedMsg::HashAck { rid },

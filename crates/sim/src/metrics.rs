@@ -301,6 +301,7 @@ pub struct MetricsRegistry {
     wire_bytes: u64,
     ops_started: u64,
     ops_completed: u64,
+    reads_failed_detect: u64,
     server_sent: Vec<u64>,
     server_recv: Vec<u64>,
     per_channel: BTreeMap<(NodeId, NodeId), ChannelLedger>,
@@ -323,6 +324,7 @@ impl MetricsRegistry {
             wire_bytes: 0,
             ops_started: 0,
             ops_completed: 0,
+            reads_failed_detect: 0,
             server_sent: vec![0; servers],
             server_recv: vec![0; servers],
             per_channel: BTreeMap::new(),
@@ -356,6 +358,14 @@ impl MetricsRegistry {
     /// Operations that produced a response.
     pub fn ops_completed(&self) -> u64 {
         self.ops_completed
+    }
+
+    /// Per-key reads that failed with a *detected* integrity mismatch —
+    /// the hashed-CAS client caught tampered share bytes before returning
+    /// a value. Counted separately from ordinary decode-length failures,
+    /// so corruption detection is distinguishable in the export.
+    pub fn reads_failed_detect(&self) -> u64 {
+        self.reads_failed_detect
     }
 
     /// Per-server sends, indexed by server id.
@@ -431,6 +441,10 @@ impl MetricsRegistry {
         }
     }
 
+    pub(crate) fn on_read_failed_detect(&mut self, count: u64) {
+        self.reads_failed_detect += count;
+    }
+
     pub(crate) fn baseline_in_flight(&mut self, from: NodeId, to: NodeId, count: u64) {
         if count > 0 {
             self.global.baseline += count;
@@ -447,6 +461,7 @@ impl MetricsRegistry {
         self.wire_bytes += other.wire_bytes;
         self.ops_started += other.ops_started;
         self.ops_completed += other.ops_completed;
+        self.reads_failed_detect += other.reads_failed_detect;
         if self.server_sent.len() < other.server_sent.len() {
             self.server_sent.resize(other.server_sent.len(), 0);
             self.server_recv.resize(other.server_recv.len(), 0);
@@ -519,6 +534,10 @@ impl MetricsRegistry {
         counters.push((
             "ops_completed".to_string(),
             Json::Num(self.ops_completed as f64),
+        ));
+        counters.push((
+            "reads_failed_detect".to_string(),
+            Json::Num(self.reads_failed_detect as f64),
         ));
         let per_server = self
             .server_sent

@@ -31,6 +31,36 @@ pub trait Protocol: Sized + 'static {
         let _ = msg;
         std::mem::size_of::<Self::Msg>() as u64
     }
+
+    /// Corruption-adversary hook: tamper with `server`'s stored
+    /// value-bearing state in protocol-defined `mode` (bit-flip a held
+    /// share, resurrect a stale version, forge a tag), deterministically in
+    /// `salt`. Returns whether anything was actually mutated; the default —
+    /// no protocol supports corruption — refuses, so the adversary is
+    /// strictly opt-in per protocol.
+    fn corrupt_server(server: &mut Self::Server, mode: u8, salt: u64) -> bool {
+        let _ = (server, mode, salt);
+        false
+    }
+
+    /// Corruption-adversary hook: tamper with the *payload* of an
+    /// in-flight message (share bytes, carried values) without touching
+    /// routing, deterministically in `salt`. Returns whether the message
+    /// carried corruptible payload; the default refuses.
+    fn corrupt_msg(msg: &mut Self::Msg, salt: u64) -> bool {
+        let _ = (msg, salt);
+        false
+    }
+
+    /// How many per-key corruption *detections* this response carries —
+    /// reads that failed with an integrity mismatch rather than a value.
+    /// Booked into the metrics `reads_failed_detect` counter, so detected
+    /// corruption is distinguishable from plain decode failures in the
+    /// metrics export. Defaults to none.
+    fn count_detections(resp: &Self::Resp) -> u64 {
+        let _ = resp;
+        0
+    }
 }
 
 /// One automaton (server or client).

@@ -80,6 +80,22 @@ pub enum StepInfo {
         /// The healed node.
         node: NodeId,
     },
+    /// A corruption adversary tampered with a server's stored state
+    /// (bit-flipped share, resurrected stale version, forged tag).
+    CorruptedStore {
+        /// The tampered server.
+        node: NodeId,
+        /// Protocol-defined corruption mode that was applied.
+        mode: u8,
+    },
+    /// A corruption adversary tampered with the payload of the head
+    /// message of `from → to` without touching routing.
+    CorruptedMsg {
+        /// Sender of the tampered message.
+        from: NodeId,
+        /// Receiver that will see the tampered payload.
+        to: NodeId,
+    },
 }
 
 impl fmt::Display for StepInfo {
@@ -97,6 +113,10 @@ impl fmt::Display for StepInfo {
             StepInfo::Frozen { node } => write!(f, "freeze {node}"),
             StepInfo::Unfrozen { node } => write!(f, "unfreeze {node}"),
             StepInfo::Healed { node } => write!(f, "heal {node}"),
+            StepInfo::CorruptedStore { node, mode } => {
+                write!(f, "corrupt-store {node} mode={mode}")
+            }
+            StepInfo::CorruptedMsg { from, to } => write!(f, "corrupt-msg {from}->{to}"),
         }
     }
 }

@@ -598,12 +598,20 @@ impl<P: Protocol> Sim<P> {
                 .open_ops
                 .remove(&client)
                 .expect("response produced with no open operation");
+            let detections = if self.metrics_level != crate::metrics::MetricsLevel::Off {
+                P::count_detections(&resp)
+            } else {
+                0
+            };
             let ops = Arc::make_mut(&mut self.ops);
             ops[idx].responded_at = Some(self.now);
             ops[idx].response = Some(resp);
             let latency = self.now - self.ops[idx].invoked_at;
             if let Some(m) = self.metrics_mut() {
                 m.on_op_completed(latency);
+                if detections > 0 {
+                    m.on_read_failed_detect(detections);
+                }
             }
         }
     }

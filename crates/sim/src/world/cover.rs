@@ -34,6 +34,8 @@ pub(super) mod kind {
     pub const FREEZE: u64 = 10;
     pub const UNFREEZE: u64 = 11;
     pub const HEAL: u64 = 12;
+    pub const CORRUPT_STORE: u64 = 13;
+    pub const CORRUPT_MSG: u64 = 14;
 }
 
 /// Compact, deterministic `NodeId` encoding for coverage keys: servers as

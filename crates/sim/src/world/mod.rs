@@ -11,6 +11,8 @@
 //! * `adversary` — crash/recover and freeze/unfreeze controls;
 //! * `faults` — nemesis primitives: message drop, duplication, delay,
 //!   directed link cuts and partitions with heal;
+//! * `corrupt` — corruption-adversary primitives: stored-state tampering
+//!   and in-flight payload tampering behind protocol opt-in hooks;
 //! * `fork` — cheap structural-sharing clones and the [`Snapshot`] /
 //!   [`Point`] handle API;
 //! * `error` — [`RunError`] and [`SendRecord`].
@@ -44,6 +46,7 @@
 mod adversary;
 mod audit;
 mod channels;
+mod corrupt;
 mod cover;
 mod error;
 mod faults;

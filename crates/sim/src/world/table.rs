@@ -147,6 +147,18 @@ impl<M> MsgArena<M> {
             .expect("arena handle points at a free slot")
     }
 
+    /// Mutable access to the message at `h` — the corruption adversary's
+    /// in-flight tamper seam. The caller must mark the owning channel's
+    /// digest component dirty *before* mutating through this.
+    #[inline]
+    pub fn get_mut(&mut self, h: Handle) -> &mut M {
+        let slot = &mut self.slots[h.idx as usize];
+        debug_assert_eq!(slot.gen, h.gen, "stale arena handle");
+        slot.msg
+            .as_mut()
+            .expect("arena handle points at a free slot")
+    }
+
     /// The queue successor recorded in `h`'s slot.
     #[inline]
     pub fn next(&self, h: Handle) -> Handle {

@@ -1,0 +1,138 @@
+//! The corruption-detection oracle: no completed read may return a value
+//! that was never written.
+//!
+//! This is deliberately the *weakest* condition in the repo's hierarchy —
+//! strictly below safe. A corruption adversary (see
+//! `shmem-algorithms::corrupt`) legitimately destroys freshness: a
+//! resurrected stale share makes reads return old-but-real values, which
+//! safe/regular/atomic all reject. What a detecting protocol still owes
+//! its callers is *integrity*: every read either fails visibly or returns
+//! the initial value or some writer's actual value. A read returning a
+//! fabricated value — decoded garbage from a tampered codeword, a
+//! bit-flipped replica — is a *silent* corruption, and that is the one
+//! verdict this checker issues.
+//!
+//! Incomplete writes still justify reads (their value may have reached a
+//! quorum before the writer stalled), and reads that never completed or
+//! failed visibly constrain nothing — the nemesis driver records failed
+//! reads as incomplete, so detection shows up here as absence, not as a
+//! violation.
+
+use crate::history::{History, OpId};
+use crate::verdict::{Verdict, Violation, Witness};
+
+/// Checks that every completed read returns the initial value or the value
+/// of some write (complete or not) in the history.
+///
+/// The witness lists, in read order, one justifying write per read that
+/// did not return the initial value.
+///
+/// # Errors
+///
+/// [`Violation::UnjustifiedRead`] for the first read whose returned value
+/// no write (and not the initial value) justifies;
+/// [`Violation::Malformed`] on an ill-formed history.
+pub fn check_no_fabrication<V: Clone + Eq>(history: &History<V>) -> Verdict {
+    if !history.is_well_formed() {
+        return Err(Violation::Malformed);
+    }
+    let ops = history.ops();
+    let mut witness = Vec::new();
+    for (ri, read) in ops.iter().enumerate() {
+        if read.is_write() || read.responded.is_none() {
+            continue;
+        }
+        let returned = read
+            .returned
+            .as_ref()
+            .expect("completed read must carry a value");
+        if returned == history.initial() {
+            continue;
+        }
+        match (0..ops.len()).find(|&i| ops[i].written() == Some(returned)) {
+            Some(wi) => witness.push(OpId(wi)),
+            None => return Err(Violation::UnjustifiedRead { read: OpId(ri) }),
+        }
+    }
+    Ok(Witness { order: witness })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::OpKind;
+
+    fn w(h: &mut History<u64>, c: u32, v: u64, t0: u64, t1: u64) {
+        let id = h.begin(c, OpKind::Write(v), t0);
+        h.complete(id, t1, None);
+    }
+
+    fn r(h: &mut History<u64>, c: u32, got: u64, t0: u64, t1: u64) {
+        let id = h.begin(c, OpKind::Read, t0);
+        h.complete(id, t1, Some(got));
+    }
+
+    #[test]
+    fn written_and_initial_values_are_justified() {
+        let mut h = History::new(7u64);
+        w(&mut h, 0, 1, 0, 1);
+        r(&mut h, 1, 1, 2, 3);
+        r(&mut h, 1, 7, 4, 5); // stale initial — fine here, not a fabrication
+        assert!(check_no_fabrication(&h).is_ok());
+    }
+
+    #[test]
+    fn stale_reads_are_not_fabrications() {
+        // This is the separation from safe: value 1 was superseded, the
+        // safe checker rejects, but nobody fabricated anything.
+        let mut h = History::new(0u64);
+        w(&mut h, 0, 1, 0, 1);
+        w(&mut h, 0, 2, 2, 3);
+        r(&mut h, 1, 1, 4, 5);
+        assert!(crate::check_safe(&h).is_err());
+        assert!(check_no_fabrication(&h).is_ok());
+    }
+
+    #[test]
+    fn incomplete_write_justifies_a_read() {
+        let mut h = History::new(0u64);
+        h.begin(0, OpKind::Write(5), 0); // writer stalled mid-flight
+        r(&mut h, 1, 5, 10, 11);
+        assert!(check_no_fabrication(&h).is_ok());
+    }
+
+    #[test]
+    fn reading_from_the_future_is_still_justified() {
+        // Pure integrity: real-time order is not this checker's business.
+        let mut h = History::new(0u64);
+        r(&mut h, 1, 9, 0, 1);
+        w(&mut h, 0, 9, 2, 3);
+        assert!(check_no_fabrication(&h).is_ok());
+    }
+
+    #[test]
+    fn fabricated_value_is_rejected() {
+        let mut h = History::new(0u64);
+        w(&mut h, 0, 1, 0, 1);
+        r(&mut h, 1, 0xBAD, 2, 3);
+        assert_eq!(
+            check_no_fabrication(&h),
+            Err(Violation::UnjustifiedRead { read: OpId(1) })
+        );
+    }
+
+    #[test]
+    fn incomplete_reads_constrain_nothing() {
+        let mut h = History::new(0u64);
+        h.begin(1, OpKind::Read, 0); // a detected (failed) read stays open
+        assert!(check_no_fabrication(&h).is_ok());
+    }
+
+    #[test]
+    fn malformed_is_rejected() {
+        let mut h = History::new(0u64);
+        h.begin(0, OpKind::Write(1), 0);
+        w(&mut h, 0, 2, 1, 2);
+        assert_eq!(check_no_fabrication(&h), Err(Violation::Malformed));
+    }
+}

@@ -30,12 +30,14 @@
 //! ```
 
 pub mod atomic;
+pub mod fabricate;
 pub mod history;
 pub mod regular;
 pub mod safe;
 pub mod verdict;
 
 pub use atomic::check_atomic;
+pub use fabricate::check_no_fabrication;
 pub use history::{History, OpId, OpKind, Operation};
 pub use regular::{check_regular, check_weak_regular};
 pub use safe::check_safe;

@@ -178,6 +178,97 @@ fn malformed_history_is_rejected() {
     all_reject(&h, "a malformed history");
 }
 
+/// Mutants of the corruption-detection oracle. The corruption nemesis
+/// trusts `check_no_fabrication` to draw the line between *detected*
+/// corruption (a read fails visibly → recorded as an incomplete read) and
+/// *silent* corruption (a read completes with a value nobody wrote). Each
+/// mutant below breaks that line in one direction, and the test shows the
+/// real checker disagrees with it on a pinpointed history — which is
+/// exactly the kill.
+mod fabricate_mutants {
+    use super::{read, write};
+    use shmem_spec::history::{History, OpKind};
+    use shmem_spec::{check_no_fabrication, Verdict, Violation};
+
+    /// Mutant 1: an oracle that accepts silently-corrupted reads — it
+    /// "justifies" every completed read, so a fabricated value (the torn
+    /// bits a tampered codeword decodes to) sails through. The sound
+    /// checker rejects the same history.
+    fn mutant_rubber_stamp<V: Clone + Eq>(history: &History<V>) -> Verdict {
+        if !history.is_well_formed() {
+            return Err(Violation::Malformed);
+        }
+        Ok(shmem_spec::verdict::Witness { order: Vec::new() })
+    }
+
+    #[test]
+    fn silently_corrupted_read_mutant_is_killed() {
+        // A corruption schedule against plain CAS: the writer stores 1,
+        // a tampered share decodes to garbage, the read completes with it.
+        let mut bad = History::new(0u64);
+        write(&mut bad, 0, 1, 0, 1);
+        read(&mut bad, 1, 1 | (1 << 47), 2, 3); // tamper_value sets bit 47
+        assert!(
+            mutant_rubber_stamp(&bad).is_ok(),
+            "the mutant must accept the corrupted read for the kill to mean anything"
+        );
+        assert!(
+            check_no_fabrication(&bad).is_err(),
+            "check_no_fabrication accepted a silently-corrupted read"
+        );
+    }
+
+    /// Mutant 2: an oracle that misclassifies detection as violation — it
+    /// treats every read left incomplete (the shape a visible `ReadFailed`
+    /// takes in a nemesis history) as an unjustified read. The sound
+    /// checker accepts: a read that failed loudly constrains nothing.
+    fn mutant_detection_is_violation<V: Clone + Eq>(history: &History<V>) -> Verdict {
+        let base = check_no_fabrication(history)?;
+        for (i, op) in history.ops().iter().enumerate() {
+            if !op.is_write() && op.responded.is_none() {
+                return Err(Violation::UnjustifiedRead {
+                    read: shmem_spec::OpId(i),
+                });
+            }
+        }
+        Ok(base)
+    }
+
+    #[test]
+    fn detection_as_violation_mutant_is_killed() {
+        // Hashed CAS under the same schedule: the tampered share trips the
+        // digest check, the read returns ReadFailed, the history records
+        // it as incomplete. Detection, not violation.
+        let mut detected = History::new(0u64);
+        write(&mut detected, 0, 1, 0, 1);
+        detected.begin(1, OpKind::Read, 2); // failed visibly — never completes
+        assert!(
+            mutant_detection_is_violation(&detected).is_err(),
+            "the mutant must flag the detected read for the kill to mean anything"
+        );
+        assert!(
+            check_no_fabrication(&detected).is_ok(),
+            "check_no_fabrication misclassified a detected (failed) read as a violation"
+        );
+    }
+
+    /// The separation the two mutants straddle, on one pair of histories:
+    /// same corruption, hashed CAS detects (incomplete read, oracle
+    /// accepts), plain CAS completes with the forgery (oracle rejects).
+    #[test]
+    fn oracle_separates_detection_from_silence() {
+        let forged = 7u64 | (1 << 47);
+        let mut silent = History::new(0u64);
+        write(&mut silent, 0, 7, 0, 1);
+        read(&mut silent, 1, forged, 2, 3);
+        let mut loud = History::new(0u64);
+        write(&mut loud, 0, 7, 0, 1);
+        loud.begin(1, OpKind::Read, 2);
+        assert!(check_no_fabrication(&silent).is_err());
+        assert!(check_no_fabrication(&loud).is_ok());
+    }
+}
+
 /// Mutants of the fuzzer's own machinery. The coverage-guided loop in
 /// `shmem-algorithms::nemesis::fuzz` trusts three invariants: the corpus
 /// deduplicates by coverage signature, the coverage map distinguishes

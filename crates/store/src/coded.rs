@@ -385,6 +385,10 @@ impl CasBackend for StoreCasBackend {
 /// the RCU'd hash side-table.
 pub struct StoreHashedBackend {
     cas: StoreCasBackend,
+    /// `h(initial)`, served for `Tag::ZERO` lookups that miss the table —
+    /// kept out of the hash side-table so `hashed_digest_with` matches the
+    /// reference backend's canonical shape (see `LocalHashed`).
+    initial_digest: u64,
 }
 
 impl StoreHashedBackend {
@@ -392,6 +396,7 @@ impl StoreHashedBackend {
     pub fn new(cfg: ShardedCasConfig, me: u32, initial: Value) -> StoreHashedBackend {
         StoreHashedBackend {
             cas: StoreCasBackend::new(cfg, me, initial),
+            initial_digest: shmem_algorithms::hashed::value_digest(initial),
         }
     }
 
@@ -404,6 +409,7 @@ impl StoreHashedBackend {
     ) -> StoreHashedBackend {
         StoreHashedBackend {
             cas: StoreCasBackend::shared(store, cfg, me, initial),
+            initial_digest: shmem_algorithms::hashed::value_digest(initial),
         }
     }
 
@@ -431,6 +437,7 @@ impl Clone for StoreHashedBackend {
     fn clone(&self) -> StoreHashedBackend {
         StoreHashedBackend {
             cas: self.cas.clone(),
+            initial_digest: self.initial_digest,
         }
     }
 }
@@ -506,13 +513,20 @@ impl HashedBackend for StoreHashedBackend {
     }
 
     fn get_hash(&self, key: Key, tag: Tag) -> Option<u64> {
-        let _guard = self.cas.epoch.enter();
-        let cell = self.cas.store.hashes.get(key)?;
-        let p = cell.state.load(SeqCst);
-        if p.is_null() {
-            return None;
-        }
-        unsafe { &*p }.by_tag.get(&tag).copied()
+        let stored = (|| {
+            let _guard = self.cas.epoch.enter();
+            let cell = self.cas.store.hashes.get(key)?;
+            let p = cell.state.load(SeqCst);
+            if p.is_null() {
+                return None;
+            }
+            unsafe { &*p }.by_tag.get(&tag).copied()
+        })();
+        stored.or_else(|| {
+            // Tag::ZERO is never announced — every key implicitly starts
+            // at the initial value, whose digest is seeded at startup.
+            (tag == Tag::ZERO).then_some(self.initial_digest)
+        })
     }
 
     fn hash_count(&self) -> usize {

@@ -21,6 +21,7 @@
 
 pub mod broken;
 pub mod coded;
+pub mod corrupt;
 pub mod epoch;
 pub mod log;
 pub mod map;
@@ -29,6 +30,7 @@ pub mod reg;
 
 pub use broken::StaleTagRegHandle;
 pub use coded::{CodedStore, StoreCasBackend, StoreHashedBackend};
+pub use corrupt::CorruptingBackend;
 pub use epoch::{Collector, Guard, Handle};
 pub use log::{merge_histories, OpClock, ThreadLog};
 pub use protocol::{StoreAbd, StoreCas, StoreHashed};

@@ -20,6 +20,9 @@
 //! * [`shrink`] — counterexample minimization (ddmin delta debugging and
 //!   scalar shrinking), the shrinking hook the property harness itself
 //!   omits.
+//! * [`tamper`] — the canonical corruption-adversary byte tamper, defined
+//!   once so the simulator, the lock-free store, and the network layer
+//!   corrupt payloads byte-identically.
 
 pub mod bench;
 pub mod cli;
@@ -27,5 +30,7 @@ pub mod json;
 pub mod prop;
 pub mod rng;
 pub mod shrink;
+pub mod tamper;
 
 pub use rng::DetRng;
+pub use tamper::{tamper_bytes, tamper_mix, tamper_value};

@@ -1,0 +1,78 @@
+//! Regenerates the corruption regression corpus under `tests/corpus/`.
+//!
+//! The corruption adversary's positive controls are the *real* crash-fault
+//! algorithms: plain CAS and ABD store shares without integrity metadata,
+//! so a corruption plan within the `f` budget makes a completed read
+//! return a value nobody wrote — a silent corruption the
+//! `no-silent-corruption` oracle rejects. This explores corruption-armed
+//! plans until such a read appears, shrinks the plan (the corrupt-server
+//! set shrinks with it), and writes the replayable artifact.
+//! `tests/corpus_replay.rs` picks the files up automatically.
+//!
+//! Hashed CAS is deliberately absent: it has no such counterexample — the
+//! `corrupt-gate` sweeps assert it stays clean over the same plans.
+//!
+//! ```sh
+//! cargo run --release --example gen_corrupt_corpus
+//! ```
+
+use shmem_algorithms::nemesis::{
+    corrupt_plan_for_seed, explore_with, pretty_history, run_plan, shrink_plan, Counterexample,
+    Oracle,
+};
+use shmem_algorithms::{AbdCluster, CasCluster, ValueSpec};
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let dir = Path::new("tests/corpus");
+    fs::create_dir_all(dir).expect("create tests/corpus");
+
+    // Plain CAS: a tampered coded slot decodes to garbage and the read
+    // completes with it — no digest to catch the forgery.
+    {
+        let factory = || CasCluster::new(5, 1, 3, ValueSpec::from_bits(64.0));
+        generate(dir, "cas-corrupt", "cas", &factory, 1000);
+    }
+
+    // ABD: a forged tag above every honest one makes readers adopt the
+    // tampered replica outright.
+    {
+        let factory = || AbdCluster::new(5, 1, 3, ValueSpec::from_bits(64.0));
+        generate(dir, "abd-corrupt", "abd", &factory, 1000);
+    }
+}
+
+fn generate<P, F>(dir: &Path, name: &str, algorithm: &str, factory: &F, seeds: u64)
+where
+    P: shmem_sim::Protocol<Inv = shmem_algorithms::RegInv, Resp = shmem_algorithms::RegResp>,
+    F: Fn() -> shmem_algorithms::harness::Cluster<P> + Sync,
+{
+    let oracle = Oracle::NoSilentCorruption;
+    let workers = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    let mut v = explore_with(factory, oracle, seeds, workers, corrupt_plan_for_seed)
+        .unwrap_or_else(|| panic!("{name}: no silent corruption within {seeds} seeds"));
+    println!("== {name}: seed {} violates {:?}", v.seed, oracle);
+    let (plan, stats) = shrink_plan(factory, oracle, v.seed, &v.plan);
+    println!(
+        "   shrunk: {} events -> {}, corrupt servers {:?}, {} candidates, {} rounds",
+        v.plan.events.len(),
+        plan.events.len(),
+        plan.corrupt_servers,
+        stats.candidates,
+        stats.rounds
+    );
+    v.plan = plan;
+    // Re-run the shrunk plan so the stored violation text matches it.
+    let mut cluster = factory();
+    let run = run_plan(&mut cluster, v.seed, &v.plan);
+    let violation = oracle
+        .check(&run.history)
+        .expect_err("shrunk plan must still violate");
+    v.violation = violation;
+    println!("{}", pretty_history(&run.history));
+    let cx = Counterexample::package(algorithm, 5, 1, 3, 0, &v);
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, cx.to_json().to_pretty()).expect("write corpus file");
+    println!("   wrote {}", path.display());
+}

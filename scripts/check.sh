@@ -31,6 +31,9 @@ echo "==> net gate: TCP/in-proc differential + wire properties + fault soup (rel
 cargo test --release -q --test net_differential
 cargo test --release -q -p shmem-net --test wire_roundtrip --test transport_faults
 
+echo "==> corrupt gate: 1000-seed acceptance sweep + cross-world differential (release)"
+cargo test --release -q --test corrupt_sweep --test corrupt_differential
+
 echo "==> store gate: linearizability stress + differential + reclamation + throughput/storage (release)"
 cargo test --release -q -p shmem-store
 cargo test --release -q -p shmem-bench --test store_gate
